@@ -1,0 +1,57 @@
+//! Ablation A2: result-set capture strategies.
+//!
+//! The paper's design moves the result into the persistent table *at the
+//! server* via a generated stored procedure ("all data is moved locally at
+//! the server, not sent first to the client … a single round-trip message").
+//! This bench quantifies that choice against (a) a direct server-side
+//! `INSERT INTO … SELECT` and (b) the anti-pattern of round-tripping every
+//! row through the client.
+//!
+//! Each strategy gets a fresh environment, and Phoenix sessions are closed
+//! (dropping their materialized tables) every iteration, so accumulated
+//! state never skews the comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use phoenix_bench::BenchEnv;
+use phoenix_core::CaptureStrategy;
+use phoenix_tpch::power::SqlExecutor;
+
+fn bench_capture_strategies(c: &mut Criterion) {
+    // A query with a result set big enough for transfer costs to matter
+    // (thousands of rows).
+    let sql = "SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem WHERE l_extendedprice > 1000.0";
+
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+
+    for (label, strategy) in [
+        ("server_proc", CaptureStrategy::ServerProc),
+        ("server_insert", CaptureStrategy::ServerInsert),
+        ("client_round_trip", CaptureStrategy::ClientRoundTrip),
+    ] {
+        let env = BenchEnv::tpch(0.5);
+        group.bench_with_input(BenchmarkId::new("capture", label), &strategy, |b, &strategy| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut pc =
+                        env.phoenix(BenchEnv::bench_phoenix_config().with_capture(strategy));
+                    let t0 = Instant::now();
+                    pc.exec_sql(sql).unwrap();
+                    total += t0.elapsed();
+                    // Close between iterations: drops the materialized
+                    // tables so the durable image stays constant-size.
+                    pc.close();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture_strategies);
+criterion_main!(benches);

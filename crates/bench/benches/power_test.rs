@@ -1,0 +1,53 @@
+//! Criterion bench behind Table 1: individual power-test items, native vs
+//! Phoenix, so per-query overhead distributions are visible (the printed
+//! table only shows means).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use phoenix_bench::BenchEnv;
+use phoenix_tpch::power::SqlExecutor;
+use phoenix_tpch::queries::by_name;
+
+fn bench_power_items(c: &mut Criterion) {
+    let env = BenchEnv::tpch(0.5);
+    let mut native = env.native();
+    let mut phoenix = env.phoenix(BenchEnv::bench_phoenix_config());
+
+    let mut group = c.benchmark_group("power_test");
+    group.sample_size(20);
+
+    for name in ["Q1", "Q6", "Q11"] {
+        let sql = by_name(name).unwrap().sql;
+        group.bench_with_input(BenchmarkId::new("native", name), &sql, |b, sql| {
+            b.iter(|| native.exec_sql(sql).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("phoenix", name), &sql, |b, sql| {
+            b.iter(|| phoenix.exec_sql(sql).unwrap())
+        });
+    }
+
+    // One representative update item (paper: negligible overhead).
+    let (lo, hi) = env.workload.refresh_key_range();
+    let rf1 = phoenix_tpch::refresh::rf1(lo, hi);
+    let rf2 = phoenix_tpch::refresh::rf2(lo, hi);
+    group.bench_function("native/RF1+RF2", |b| {
+        b.iter(|| {
+            for sql in rf1.iter().chain(rf2.iter()) {
+                native.exec_sql(sql).unwrap();
+            }
+        })
+    });
+    group.bench_function("phoenix/RF1+RF2", |b| {
+        b.iter(|| {
+            for sql in rf1.iter().chain(rf2.iter()) {
+                phoenix.exec_sql(sql).unwrap();
+            }
+        })
+    });
+    group.finish();
+
+    phoenix.close();
+}
+
+criterion_group!(benches, bench_power_items);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation A3: the `WHERE 0=1` metadata probe.
+//!
+//! The paper: "we want to acquire this metadata with a single round trip to
+//! the server with minimum data transfer and with minimum server impact …
+//! This Phoenix/ODBC trick guarantees that the query will not be executed
+//! and that no result data will actually be returned."
+//!
+//! This bench shows the probe is O(1) — constant regardless of how much data
+//! the full query would touch — by comparing probe latency against full
+//! execution over growing tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use phoenix_bench::{figure2_query, load_figure2_table, BenchEnv};
+use phoenix_sql::rewrite::metadata_probe;
+use phoenix_sql::{parse_statement, Statement};
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata_probe");
+    group.sample_size(20);
+
+    for &rows in &[500u64, 5000, 20000] {
+        let env = BenchEnv::empty();
+        {
+            let mut loader = env.native();
+            load_figure2_table(&mut loader, "f2", rows);
+            loader.close();
+        }
+        let query = figure2_query("f2");
+        let probe_sql = {
+            let select = match parse_statement(&query).unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            phoenix_sql::display::render_statement(&Statement::Select(metadata_probe(&select)))
+        };
+
+        let mut conn = env.native();
+        group.bench_with_input(BenchmarkId::new("probe", rows), &probe_sql, |b, sql| {
+            b.iter(|| {
+                let r = conn.execute(sql).unwrap();
+                assert!(r.rows().is_empty(), "probe must return no rows");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_query", rows), &query, |b, sql| {
+            b.iter(|| conn.execute(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation A1: repositioning strategies after recovery.
+//!
+//! The paper re-positions the interrupted result set *on the server* —
+//! "advancing through the result set on the server without passing tuples
+//! to the client" — and shows recovery in a fraction of recompute time.
+//! This bench compares that against the naive client-side scan-and-discard
+//! re-open, isolating just the re-open + reposition + first-row cost (no
+//! crash in the loop; the delivery cursor is dropped and re-opened at a
+//! deep position each iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use phoenix_bench::{load_figure2_table, BenchEnv};
+use phoenix_core::{PhoenixCursorKind, RepositionStrategy};
+
+fn bench_reposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reposition");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+
+    const ROWS: u64 = 5000;
+    const POSITION: u64 = 4700;
+
+    for (label, strategy) in [
+        ("server_side_offset", RepositionStrategy::ServerSide),
+        ("client_scan_discard", RepositionStrategy::ClientScan),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", label),
+            &strategy,
+            |b, &strategy| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut env = BenchEnv::empty();
+                        {
+                            let mut loader = env.native();
+                            load_figure2_table(&mut loader, "f2", ROWS);
+                            loader.close();
+                        }
+                        let mut pc = env.phoenix(
+                            BenchEnv::bench_phoenix_config().with_reposition(strategy),
+                        );
+                        let mut stmt = pc.statement();
+                        stmt.set_cursor_type(PhoenixCursorKind::ForwardOnly);
+                        // Block divides POSITION exactly: the buffer is
+                        // empty at the crash, so the timed fetch performs
+                        // the full reposition.
+                        stmt.set_fetch_block(50);
+                        stmt.execute("SELECT id, payload FROM f2").unwrap();
+                        for _ in 0..POSITION {
+                            stmt.fetch().unwrap().unwrap();
+                        }
+                        // Force the reposition path with a real crash.
+                        env.harness.crash();
+                        env.harness.restart().unwrap();
+                        let t0 = Instant::now();
+                        let row = stmt.fetch().unwrap().unwrap();
+                        total += t0.elapsed();
+                        assert_eq!(row[0], phoenix_storage::types::Value::Int(POSITION as i64));
+                        pc.close();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reposition);
+criterion_main!(benches);

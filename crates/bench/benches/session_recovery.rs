@@ -1,0 +1,56 @@
+//! Criterion bench behind Figure 2: full session-recovery latency (crash →
+//! restart → next fetch answered) at a fixed result size.
+//!
+//! Each iteration pays a real crash + WAL recovery + Phoenix reinstall, so
+//! samples are few and seconds-scale; Criterion still gives a distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use phoenix_bench::{load_figure2_table, BenchEnv};
+
+fn bench_session_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_recovery");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+
+    group.bench_function("crash_restart_resume_2500_rows_at_2300", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let mut env = BenchEnv::empty();
+                {
+                    let mut loader = env.native();
+                    load_figure2_table(&mut loader, "f2", 2500);
+                    loader.close();
+                }
+                let mut pc = env.phoenix(BenchEnv::bench_phoenix_config());
+                let mut stmt = pc.statement();
+                // Block size divides the fetch count exactly, so the read-
+                // ahead buffer is empty at the crash point and the timed
+                // fetch must reach the server.
+                stmt.set_fetch_block(50);
+                stmt.execute("SELECT id, payload FROM f2").unwrap();
+                for _ in 0..2300 {
+                    stmt.fetch().unwrap().unwrap();
+                }
+                env.harness.crash();
+                env.harness.restart().unwrap();
+
+                // Timed region: the fetch that triggers detection, virtual-
+                // session recovery, repositioning, and returns the next row.
+                let t0 = Instant::now();
+                let row = stmt.fetch().unwrap().unwrap();
+                total += t0.elapsed();
+
+                assert_eq!(row[0], phoenix_storage::types::Value::Int(2300));
+                pc.close();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_recovery);
+criterion_main!(benches);

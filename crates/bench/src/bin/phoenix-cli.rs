@@ -1,0 +1,177 @@
+//! Interactive SQL client for a Phoenix database server.
+//!
+//! ```text
+//! phoenix-cli [--addr host:port] [--user name] [--phoenix]
+//! ```
+//!
+//! Reads statements from stdin (one per line; `\q` quits) and prints
+//! results. With `--phoenix` the session is wrapped by the Phoenix layer and
+//! survives server crashes; without it, the native driver is used and a
+//! crash kills the session — try both against a server you restart.
+
+use std::io::{BufRead, Write};
+
+use phoenix_driver::Environment;
+use phoenix_storage::types::Schema;
+use phoenix_wire::message::Outcome;
+
+enum Session {
+    Native(phoenix_driver::Connection),
+    Phoenix(Box<phoenix_core::PhoenixConnection>),
+}
+
+impl Session {
+    fn execute(&mut self, sql: &str) -> Result<phoenix_driver::QueryResult, phoenix_driver::DriverError> {
+        match self {
+            Session::Native(c) => c.execute(sql),
+            Session::Phoenix(p) => p.execute(sql),
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:54321".to_string();
+    let mut user = whoami();
+    let mut use_phoenix = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs host:port"),
+            "--user" => user = args.next().expect("--user needs a name"),
+            "--phoenix" => use_phoenix = true,
+            "--help" | "-h" => {
+                eprintln!("usage: phoenix-cli [--addr host:port] [--user name] [--phoenix]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let env = Environment::new();
+    let mut session = if use_phoenix {
+        match phoenix_core::PhoenixConnection::connect(
+            &env,
+            &addr,
+            &user,
+            "default",
+            phoenix_core::PhoenixConfig::default(),
+        ) {
+            Ok(c) => {
+                eprintln!("connected to {addr} with a PERSISTENT (Phoenix) session");
+                Session::Phoenix(Box::new(c))
+            }
+            Err(e) => {
+                eprintln!("cannot connect: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match env.connect(&addr, &user, "default") {
+            Ok(c) => {
+                eprintln!("connected to {addr} with a native session");
+                Session::Native(c)
+            }
+            Err(e) => {
+                eprintln!("cannot connect: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("sql> ");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql == "\\q" || sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match session.execute(sql) {
+            Ok(result) => {
+                for m in &result.messages {
+                    let _ = writeln!(out, "-- {m}");
+                }
+                match &result.outcome {
+                    Outcome::ResultSet { schema, rows } => {
+                        print_table(&mut out, schema, rows);
+                        let _ = writeln!(out, "({} row{})", rows.len(), plural(rows.len()));
+                    }
+                    Outcome::RowsAffected(n) => {
+                        let _ = writeln!(out, "({n} row{} affected)", plural(*n as usize));
+                    }
+                    Outcome::Done => {
+                        let _ = writeln!(out, "OK");
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                if e.is_comm() && !use_phoenix {
+                    let _ = writeln!(out, "(native session lost — restart phoenix-cli, or use --phoenix)");
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Session::Phoenix(p) = session {
+        p.close();
+    }
+    eprintln!("bye");
+}
+
+fn print_table(out: &mut impl Write, schema: &Schema, rows: &[phoenix_storage::types::Row]) {
+    // Column widths: header vs. rendered values.
+    let mut widths: Vec<usize> = schema.columns.iter().map(|c| c.name.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header: Vec<String> = schema
+        .columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{:w$}", c.name, w = w))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(" | "));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "{}", rule.join("-+-"));
+    for row in &rendered {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:w$}", w = w))
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(" | "));
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn whoami() -> String {
+    std::env::var("USER").unwrap_or_else(|_| "sql".to_string())
+}

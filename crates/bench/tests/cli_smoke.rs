@@ -1,0 +1,102 @@
+//! Smoke test for the `phoenix-cli` binary: drive it through stdin against a
+//! crash-injectable server, in both native and `--phoenix` modes.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-clismoke-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn cli_executes_statements_and_renders_results() {
+    let dir = temp_dir();
+    let h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_phoenix-cli"))
+        .args(["--addr", &h.addr(), "--user", "smoke"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        stdin
+            .write_all(
+                b"CREATE TABLE t (id INT PRIMARY KEY, name TEXT)\n\
+                  INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')\n\
+                  SELECT id, name FROM t ORDER BY id\n\
+                  PRINT 'all done'\n\
+                  \\q\n",
+            )
+            .unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK"), "{stdout}");
+    assert!(stdout.contains("(2 rows affected)"), "{stdout}");
+    assert!(stdout.contains("alpha"), "{stdout}");
+    assert!(stdout.contains("beta"), "{stdout}");
+    assert!(stdout.contains("(2 rows)"), "{stdout}");
+    assert!(stdout.contains("-- all done"), "{stdout}");
+
+    drop(h);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cli_phoenix_mode_survives_a_crash_native_mode_dies() {
+    let dir = temp_dir();
+    let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let addr = h.addr();
+
+    // Seed.
+    {
+        let mut conn = phoenix_driver::Environment::new()
+            .connect(&addr, "seed", "d")
+            .unwrap();
+        conn.execute("CREATE TABLE t (v INT)").unwrap();
+        conn.execute("INSERT INTO t VALUES (42)").unwrap();
+        conn.close();
+    }
+
+    // Phoenix mode: a crash between two statements is masked.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_phoenix-cli"))
+        .args(["--addr", &addr, "--user", "smoke", "--phoenix"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        stdin.write_all(b"SELECT v FROM t\n").unwrap();
+        stdin.flush().unwrap();
+        // Give the CLI a moment to execute, then crash + restart the server.
+        std::thread::sleep(Duration::from_millis(400));
+        h.crash();
+        std::thread::sleep(Duration::from_millis(100));
+        h.restart().unwrap();
+        stdin.write_all(b"SELECT v + 1 FROM t\n\\q\n").unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("42"), "{stdout}");
+    assert!(stdout.contains("43"), "pre/post-crash statements must both succeed: {stdout}");
+    assert!(!stdout.contains("error:"), "{stdout}");
+
+    drop(h);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,756 @@
+//! [`PhoenixConnection`] — the virtual database session (paper §3, "Virtual
+//! ODBC Sessions").
+//!
+//! The application connects to Phoenix; Phoenix maps that virtual session
+//! onto *two* real driver connections:
+//!
+//! * the **mapped** connection, which carries (possibly rewritten)
+//!   application requests — "the mapped connection activity mimics the
+//!   application's use of a normal ODBC connection";
+//! * the **private** connection, on which Phoenix performs the activity it
+//!   must mask from the application: creating persistent tables and capture
+//!   procedures, pinging for server recovery, probing the status table, and
+//!   re-creating session state.
+//!
+//! Should a crash occur, the virtual handles stay valid: Phoenix re-maps
+//! them to fresh post-crash connections, replays the recorded session
+//! context, verifies its materialized state, and resumes — the application
+//! sees only a delayed response.
+
+use phoenix_driver::{error::codes, Connection, DriverError, Environment, QueryResult};
+use phoenix_sql::ast::{SelectStmt, Statement};
+use phoenix_sql::classify::{
+    classify, creates_temp_object, drops_temp_object, temp_object_refs, RequestKind,
+};
+use phoenix_sql::display::render_statement;
+use phoenix_sql::parser::parse_statement;
+use phoenix_sql::rewrite::rename_table_refs;
+use phoenix_storage::types::Value;
+use phoenix_wire::message::Outcome;
+
+use crate::config::PhoenixConfig;
+use crate::context::{PhoenixObject, SessionContext};
+use crate::dml::{self, DmlOutcome};
+use crate::materialize::{self, Materialized};
+use crate::naming::{fresh_session_tag, Namer};
+use crate::recovery;
+use crate::statement::PhoenixStatement;
+use crate::Result;
+
+/// Observable Phoenix behaviour counters (used by tests, examples and the
+/// benchmark harness; the application never needs them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhoenixStats {
+    /// Microseconds spent re-establishing the virtual session in the most
+    /// recent recovery (reconnects + context replay + state verification) —
+    /// the "Virtual Session" component of the paper's Figure 2.
+    pub last_recovery_virtual_us: u64,
+    /// Accumulated virtual-session recovery time, microseconds.
+    pub recovery_virtual_us: u64,
+    /// Microseconds spent reinstalling SQL state (re-opening and
+    /// re-positioning result delivery) after the most recent recovery — the
+    /// "SQL State" component of Figure 2.
+    pub last_reposition_us: u64,
+    /// Accumulated repositioning time, microseconds.
+    pub reposition_us: u64,
+    /// Completed recovery passes (crash or comm-blip).
+    pub recoveries: u64,
+    /// Reconnect attempts made inside ping loops.
+    pub reconnect_attempts: u64,
+    /// Result sets materialized into persistent tables.
+    pub materialized_result_sets: u64,
+    /// DML statements wrapped with status records.
+    pub wrapped_dml: u64,
+    /// Status-table probes performed after failures.
+    pub status_probes: u64,
+    /// Requests answered from the status table (logged outcome returned
+    /// instead of re-execution).
+    pub replied_from_status: u64,
+    /// Requests resubmitted after a crash.
+    pub resubmissions: u64,
+    /// Application-transaction statements replayed.
+    pub replayed_txn_statements: u64,
+    /// Cursor downgrades (requested kind unsupported for the query shape).
+    pub cursor_downgrades: u64,
+}
+
+/// A persistent client-server database session.
+pub struct PhoenixConnection {
+    pub(crate) env: Environment,
+    pub(crate) addr: String,
+    pub(crate) user: String,
+    pub(crate) database: String,
+    pub(crate) config: PhoenixConfig,
+    pub(crate) mapped: Connection,
+    pub(crate) private: Connection,
+    pub(crate) namer: Namer,
+    pub(crate) ctx: SessionContext,
+    pub(crate) stats: PhoenixStats,
+}
+
+impl PhoenixConnection {
+    /// Open a persistent session. Applications call this exactly as they
+    /// would a native driver connect; everything else is Phoenix's problem.
+    pub fn connect(
+        env: &Environment,
+        addr: &str,
+        user: &str,
+        database: &str,
+        config: PhoenixConfig,
+    ) -> Result<PhoenixConnection> {
+        let env = env
+            .clone()
+            .with_read_timeout(config.recovery.read_timeout);
+        let mapped = env.connect(addr, user, database)?;
+        let mut private = env.connect(addr, user, database)?;
+        let namer = Namer::new(fresh_session_tag());
+        if !config.passthrough {
+            dml::ensure_status_table(&mut private)?;
+            recovery::create_marker(&mut private, &namer.alive_marker())?;
+        }
+        Ok(PhoenixConnection {
+            env,
+            addr: addr.to_string(),
+            user: user.to_string(),
+            database: database.to_string(),
+            config,
+            mapped,
+            private,
+            namer,
+            ctx: SessionContext::new(),
+            stats: PhoenixStats::default(),
+        })
+    }
+
+    /// Behaviour counters (recoveries, materializations, probes, …).
+    pub fn stats(&self) -> &PhoenixStats {
+        &self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PhoenixConfig {
+        &self.config
+    }
+
+    /// Allocate a statement handle for fetch-wise delivery and persistent
+    /// cursors.
+    pub fn statement(&mut self) -> PhoenixStatement<'_> {
+        PhoenixStatement::new(self)
+    }
+
+    // -----------------------------------------------------------------------
+    // The intercepted execute path
+    // -----------------------------------------------------------------------
+
+    /// Execute one statement through the full Phoenix pipeline, returning
+    /// the complete result (queries are materialized and then read back in
+    /// full; use [`PhoenixConnection::statement`] for incremental delivery).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        if self.config.passthrough {
+            return self.mapped.execute(sql);
+        }
+        // One-pass parse to determine request type. Unparseable requests are
+        // forwarded opaquely — the server is the authority on errors.
+        let stmt = match parse_statement(sql) {
+            Ok(s) => s,
+            Err(_) => return self.run_mapped_retry(sql),
+        };
+        let stmt = self.redirect_temps(&stmt);
+
+        match classify(&stmt) {
+            RequestKind::Query => {
+                let select = match &stmt {
+                    Statement::Select(s) => s.clone(),
+                    _ => unreachable!("classified Query"),
+                };
+                self.execute_query_complete(&select)
+            }
+            RequestKind::DataModification => self.execute_dml(&render_statement(&stmt)),
+            RequestKind::Ddl => self.execute_ddl(&stmt),
+            RequestKind::TxnBegin => self.execute_begin(),
+            RequestKind::TxnEnd => match stmt {
+                Statement::Commit => self.execute_commit(),
+                _ => self.execute_rollback(),
+            },
+            RequestKind::SessionContext => {
+                if let Statement::Set { name, value } = &stmt {
+                    self.ctx.record_option(name, literal_to_value(value));
+                }
+                self.run_in_txn_context(&render_statement(&stmt))
+            }
+            RequestKind::Message => self.run_in_txn_context(&render_statement(&stmt)),
+            RequestKind::Exec => self.execute_exec(&render_statement(&stmt)),
+        }
+    }
+
+    /// Execute a SQL command batch (the paper lists command batches among
+    /// the session-state elements Phoenix manages). Phoenix decomposes the
+    /// batch client-side and runs every statement through the interception
+    /// pipeline, so each piece gets the persistence treatment appropriate to
+    /// its kind; execution stops at the first error, like a server batch.
+    pub fn execute_batch(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = match phoenix_sql::parse_statements(sql) {
+            Ok(s) => s,
+            Err(_) => {
+                // Unparseable batch: forward opaquely as a single request.
+                return Ok(vec![self.run_mapped_retry(sql)?]);
+            }
+        };
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute(&render_statement(stmt))?);
+        }
+        Ok(out)
+    }
+
+    /// Graceful session termination: Phoenix "cleans up all persistent
+    /// structures on the database server that were created to store database
+    /// session state … dropping all tables and stored procedures".
+    pub fn close(mut self) {
+        if !self.config.passthrough {
+            let mut sweep = self.ctx.debris.clone();
+            sweep.extend(self.ctx.created.clone());
+            for obj in sweep.iter().rev() {
+                let sql = match obj.kind {
+                    PhoenixObject::Table => format!("DROP TABLE IF EXISTS {}", obj.name),
+                    PhoenixObject::Procedure => format!("DROP PROCEDURE IF EXISTS {}", obj.name),
+                };
+                let _ = self.private.execute(&sql);
+            }
+            let _ = dml::clear_status(&mut self.private, self.namer.tag());
+        }
+        self.mapped.close();
+        self.private.close();
+    }
+
+    // -----------------------------------------------------------------------
+    // Query path
+    // -----------------------------------------------------------------------
+
+    /// Materialize and read back a complete result set.
+    fn execute_query_complete(&mut self, select: &SelectStmt) -> Result<QueryResult> {
+        let m = self.materialize_with_retry(select)?;
+        let sql = format!("SELECT * FROM {}", m.table);
+        let mut r = self.run_mapped_retry(&sql)?;
+        // Present the probed schema (it carries the query's own column
+        // names and types).
+        if let Outcome::ResultSet { schema, .. } = &mut r.outcome {
+            *schema = m.schema.clone();
+        }
+        if self.config.eager_cleanup {
+            // The application holds the complete result; the persistent
+            // copy has served its purpose.
+            self.drop_phoenix_table(&m.table);
+            if let Some(p) = &m.capture_proc {
+                self.drop_phoenix_proc(p);
+            }
+        }
+        Ok(r)
+    }
+
+    /// Best-effort eager drop of a Phoenix table: demoted from verified
+    /// session state first, so a failure (or crash) here can never make
+    /// recovery think durable state was lost — the termination sweep will
+    /// finish the job.
+    pub(crate) fn drop_phoenix_table(&mut self, name: &phoenix_sql::ast::ObjectName) {
+        self.ctx.demote(name);
+        let _ = self.private.execute(&format!("DROP TABLE IF EXISTS {name}"));
+    }
+
+    /// Best-effort eager drop of a Phoenix procedure (see
+    /// [`Self::drop_phoenix_table`]).
+    pub(crate) fn drop_phoenix_proc(&mut self, name: &phoenix_sql::ast::ObjectName) {
+        self.ctx.demote(name);
+        let _ = self.private.execute(&format!("DROP PROCEDURE IF EXISTS {name}"));
+    }
+
+    /// Materialize a result set, retrying with fresh object names if a crash
+    /// interrupts the pipeline (partially-created objects are swept at
+    /// session cleanup).
+    pub(crate) fn materialize_with_retry(&mut self, select: &SelectStmt) -> Result<Materialized> {
+        loop {
+            let table = self.namer.result_table();
+            let proc = self.namer.capture_proc();
+            // Reserve the names so cleanup sweeps partial runs; successful
+            // materialization promotes them to verified session state.
+            self.ctx.reserve(PhoenixObject::Table, table.clone());
+            self.ctx.reserve(PhoenixObject::Procedure, proc.clone());
+            match materialize::materialize(
+                &mut self.mapped,
+                &mut self.private,
+                table,
+                proc,
+                select,
+                self.config.capture,
+            ) {
+                Ok(m) => {
+                    self.ctx.register(PhoenixObject::Table, m.table.clone());
+                    if let Some(p) = &m.capture_proc {
+                        self.ctx.register(PhoenixObject::Procedure, p.clone());
+                    }
+                    self.stats.materialized_result_sets += 1;
+                    return Ok(m);
+                }
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.replay_open_txn()?;
+                    self.stats.resubmissions += 1;
+                    // Loop: fresh names, full re-run.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // DML path
+    // -----------------------------------------------------------------------
+
+    fn execute_dml(&mut self, sql: &str) -> Result<QueryResult> {
+        if self.ctx.txn_open {
+            // Inside an application transaction Phoenix does not wrap — the
+            // outcome becomes testable via the status record injected at
+            // COMMIT, and the statement is logged for replay.
+            let r = self.run_in_txn_context(sql)?;
+            return Ok(r);
+        }
+
+        let req_id = self.namer.request_id();
+        self.stats.wrapped_dml += 1;
+        loop {
+            match dml::wrap_and_execute(&mut self.mapped, &req_id, sql) {
+                Ok(out) => return Ok(dml_reply(out)),
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.stats.status_probes += 1;
+                    if let Some(out) = self.probe_status_retry(&req_id)? {
+                        // Committed before the crash: return the logged
+                        // outcome (the preserved reply buffer).
+                        self.stats.replied_from_status += 1;
+                        return Ok(dml_reply(out));
+                    }
+                    self.stats.resubmissions += 1;
+                    // Not committed: resubmit the wrapped transaction.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execute a stored-procedure call. Procedures can modify data, so —
+    /// like DML — the call is wrapped in a status-recording transaction and
+    /// resubmitted only when the status probe proves it never committed
+    /// (exactly-once). Procedures that manage their *own* transactions
+    /// cannot be wrapped (the nested BEGIN errors out); those fall back to
+    /// plain forwarding, where a crash in the commit-to-reply window gives
+    /// at-least-once semantics (documented limitation; the paper's
+    /// treatment of procedures with internal transactions is equally
+    /// best-effort). A wrapped call that committed before a crash replays
+    /// its logged rows-affected and messages; any result-set rows it
+    /// produced are not reconstructable from the status record.
+    fn execute_exec(&mut self, sql: &str) -> Result<QueryResult> {
+        if self.ctx.txn_open {
+            return self.run_in_txn_context(sql);
+        }
+        let req_id = self.namer.request_id();
+        self.stats.wrapped_dml += 1;
+        loop {
+            let attempt = (|| -> Result<QueryResult> {
+                self.mapped.execute("BEGIN")?;
+                let r = match self.mapped.execute(sql) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        if !e.is_comm() {
+                            let _ = self.mapped.execute("ROLLBACK");
+                        }
+                        return Err(e);
+                    }
+                };
+                let affected = match &r.outcome {
+                    Outcome::RowsAffected(n) => *n,
+                    _ => 0,
+                };
+                self.mapped
+                    .execute(&dml::status_insert_sql(&req_id, affected, &r.messages))?;
+                self.mapped.execute("COMMIT")?;
+                Ok(r)
+            })();
+            match attempt {
+                Ok(r) => return Ok(r),
+                Err(DriverError::Server { code, .. }) if code == codes::TXN => {
+                    // The procedure opened (or closed) its own transaction:
+                    // unwrappable. Forward plainly.
+                    return self.run_mapped_retry(sql);
+                }
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.stats.status_probes += 1;
+                    if let Some(out) = self.probe_status_retry(&req_id)? {
+                        self.stats.replied_from_status += 1;
+                        return Ok(dml_reply(out));
+                    }
+                    self.stats.resubmissions += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn probe_status_retry(&mut self, req_id: &str) -> Result<Option<DmlOutcome>> {
+        loop {
+            match dml::probe_status(&mut self.private, req_id) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_comm() => self.recover()?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Application transactions
+    // -----------------------------------------------------------------------
+
+    fn execute_begin(&mut self) -> Result<QueryResult> {
+        if self.ctx.txn_open {
+            // Let the server report the nesting error.
+            return self.mapped.execute("BEGIN");
+        }
+        let r = self.run_mapped_retry("BEGIN")?;
+        let req_id = self.namer.request_id();
+        self.ctx.txn_begin(req_id);
+        Ok(r)
+    }
+
+    fn execute_commit(&mut self) -> Result<QueryResult> {
+        if !self.ctx.txn_open {
+            return self.mapped.execute("COMMIT");
+        }
+        let req_id = self
+            .ctx
+            .txn_req_id
+            .clone()
+            .expect("open txn always has a request id");
+        loop {
+            // The paper's reply-buffer write: record the transaction outcome
+            // in the status table *inside* the transaction, then commit.
+            let attempt = (|| -> Result<QueryResult> {
+                self.mapped
+                    .execute(&dml::status_insert_sql(&req_id, 0, &[]))?;
+                self.mapped.execute("COMMIT")
+            })();
+            match attempt {
+                Ok(r) => {
+                    self.ctx.txn_end();
+                    return Ok(r);
+                }
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.stats.status_probes += 1;
+                    if self.probe_status_retry(&req_id)?.is_some() {
+                        // The commit made it before the crash.
+                        self.stats.replied_from_status += 1;
+                        self.ctx.txn_end();
+                        return Ok(QueryResult {
+                            outcome: Outcome::Done,
+                            messages: Vec::new(),
+                        });
+                    }
+                    // Transaction lost: replay it and retry the commit.
+                    self.replay_open_txn()?;
+                    self.stats.resubmissions += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn execute_rollback(&mut self) -> Result<QueryResult> {
+        if !self.ctx.txn_open {
+            return self.mapped.execute("ROLLBACK");
+        }
+        let result = self.mapped.execute("ROLLBACK");
+        match result {
+            Ok(r) => {
+                self.ctx.txn_end();
+                Ok(r)
+            }
+            Err(e) if e.is_comm() => {
+                // The crash rolled the transaction back for us.
+                self.recover()?;
+                self.ctx.txn_end();
+                Ok(QueryResult {
+                    outcome: Outcome::Done,
+                    messages: Vec::new(),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-establish a lost application transaction by replaying its logged
+    /// statements (application message logging; assumes deterministic SQL,
+    /// the paper's piecewise-determinism premise).
+    pub(crate) fn replay_open_txn(&mut self) -> Result<()> {
+        if !self.ctx.txn_open {
+            return Ok(());
+        }
+        loop {
+            let attempt = (|| -> Result<()> {
+                self.mapped.execute("BEGIN")?;
+                let log = self.ctx.txn_log.clone();
+                for sql in &log {
+                    self.mapped.execute(sql)?;
+                    self.stats.replayed_txn_statements += 1;
+                }
+                Ok(())
+            })();
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_comm() => self.recover()?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // DDL / temp objects
+    // -----------------------------------------------------------------------
+
+    fn execute_ddl(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Temporary object creation → persistent stand-in (paper §3,
+        // "Temporary Objects"). The liveness marker is exempt — it must stay
+        // genuinely temporary.
+        if let Some(temp) = creates_temp_object(stmt).cloned() {
+            let kind = match stmt {
+                Statement::CreateProc(_) => PhoenixObject::Procedure,
+                _ => PhoenixObject::Table,
+            };
+            let stand_in = self.namer.temp_stand_in(&temp);
+            let renamed = rename_table_refs(stmt, &temp, &stand_in);
+            let r = self.run_ddl_reconciled(&render_statement(&renamed))?;
+            self.ctx.map_temp(temp, kind, stand_in);
+            return Ok(r);
+        }
+        if let Some(temp) = drops_temp_object(stmt).cloned() {
+            if let Some(obj) = self.ctx.unmap_temp(&temp) {
+                let renamed = rename_table_refs(stmt, &temp, &obj.name);
+                let r = self.run_ddl_reconciled(&render_statement(&renamed))?;
+                // The stand-in no longer exists: demote it from verified
+                // session state (recovery must not require it) to debris
+                // (the termination sweep stays harmless).
+                self.ctx.demote(&obj.name);
+                return Ok(r);
+            }
+            // Unknown temp object: let the server report it.
+            return self.mapped.execute(&render_statement(stmt));
+        }
+        let sql = render_statement(stmt);
+        if self.ctx.txn_open {
+            return self.run_in_txn_context(&sql);
+        }
+        self.run_ddl_reconciled(&sql)
+    }
+
+    /// Run DDL with resubmission after recovery; an `AlreadyExists` (CREATE)
+    /// or `NotFound` (DROP) on a *resubmitted* statement means the original
+    /// execution succeeded and only its reply was lost.
+    fn run_ddl_reconciled(&mut self, sql: &str) -> Result<QueryResult> {
+        let mut resubmitted = false;
+        loop {
+            match self.mapped.execute(sql) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.replay_open_txn()?;
+                    self.stats.resubmissions += 1;
+                    resubmitted = true;
+                }
+                Err(DriverError::Server { code, .. })
+                    if resubmitted
+                        && (code == codes::ALREADY_EXISTS || code == codes::NOT_FOUND) =>
+                {
+                    return Ok(QueryResult {
+                        outcome: Outcome::Done,
+                        messages: Vec::new(),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Forwarding with recovery
+    // -----------------------------------------------------------------------
+
+    /// Forward an idempotent statement on the mapped connection, recovering
+    /// and resubmitting on communication failure.
+    pub(crate) fn run_mapped_retry(&mut self, sql: &str) -> Result<QueryResult> {
+        loop {
+            match self.mapped.execute(sql) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    self.replay_open_txn()?;
+                    self.stats.resubmissions += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Forward a statement, logging it in the open application transaction
+    /// (so the transaction can be replayed).
+    fn run_in_txn_context(&mut self, sql: &str) -> Result<QueryResult> {
+        let r = self.run_mapped_retry(sql)?;
+        self.ctx.txn_log_statement(sql);
+        Ok(r)
+    }
+
+    // -----------------------------------------------------------------------
+    // Recovery (paper §3, "Server and Session Crash Recovery")
+    // -----------------------------------------------------------------------
+
+    /// Recover the virtual session after a detected failure.
+    ///
+    /// Phase 0 — decide crash vs. blip with the liveness proxy on the
+    /// private connection. Phase 1 — rebuild connections and replay the
+    /// session context. Phase 2 — verify that every Phoenix-materialized
+    /// table survived database recovery. (Statement-level reinstallation —
+    /// repositioning result delivery, probing in-flight requests — is done
+    /// by the call sites that know what was in flight.)
+    pub(crate) fn recover(&mut self) -> Result<()> {
+        self.stats.recoveries += 1;
+        let t0 = std::time::Instant::now();
+        let deadline = t0 + self.config.recovery.max_wait;
+
+        // The whole recovery sequence retries as a unit: a *second* crash
+        // landing mid-recovery just sends us around again, until the
+        // configured window is exhausted (then the communication error goes
+        // to the application, per the paper's give-up policy).
+        loop {
+            match self.try_recover_once() {
+                Ok(()) => {
+                    let us = t0.elapsed().as_micros() as u64;
+                    self.stats.last_recovery_virtual_us = us;
+                    self.stats.recovery_virtual_us += us;
+                    return Ok(());
+                }
+                Err(e) if e.is_comm() && std::time::Instant::now() < deadline => {
+                    std::thread::sleep(self.config.recovery.ping_interval);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt at the full recovery sequence (see [`Self::recover`]).
+    fn try_recover_once(&mut self) -> Result<()> {
+        // Phase 0: if the private connection's session still exists, the
+        // server never crashed — only the mapped link failed.
+        let marker = self.namer.alive_marker();
+        let blip = !self.private.is_poisoned()
+            && recovery::session_alive(&mut self.private, &marker).unwrap_or(false);
+
+        if !blip {
+            // Full path: ping until the server answers, then rebuild the
+            // private connection and re-create the proxy marker.
+            let (private, attempts) = recovery::reconnect_loop(
+                &self.env,
+                &self.addr,
+                &self.user,
+                &self.database,
+                Vec::new(),
+                &self.config.recovery,
+            )?;
+            self.stats.reconnect_attempts += attempts;
+            self.private = private;
+            recovery::create_marker(&mut self.private, &marker)?;
+            dml::ensure_status_table(&mut self.private)?;
+        }
+
+        // Phase 1: rebuild the mapped connection, replaying the recorded
+        // session context (login info + SET options).
+        let (mapped, attempts) = recovery::reconnect_loop(
+            &self.env,
+            &self.addr,
+            &self.user,
+            &self.database,
+            self.ctx.options.clone(),
+            &self.config.recovery,
+        )?;
+        self.stats.reconnect_attempts += attempts;
+        self.mapped = mapped;
+
+        if !blip {
+            // Phase 2: verify materialized session state was recovered by
+            // the database recovery mechanisms.
+            for obj in self.ctx.created.clone() {
+                if obj.kind == PhoenixObject::Table
+                    && !recovery::verify_table(&mut self.private, &obj.name)?
+                {
+                    return Err(DriverError::Protocol(format!(
+                        "phoenix session state lost: table {} missing after recovery",
+                        obj.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Temp-object redirection
+    // -----------------------------------------------------------------------
+
+    /// Rewrite references to known temp objects into their persistent
+    /// stand-ins.
+    pub(crate) fn redirect_temps(&self, stmt: &Statement) -> Statement {
+        let mut current = stmt.clone();
+        for temp in temp_object_refs(stmt) {
+            // Skip the object being created or dropped by this very
+            // statement — DDL handling resolves those names itself (and
+            // must see the temp spelling to update the redirection map).
+            if creates_temp_object(stmt).is_some_and(|c| c.same_as(&temp))
+                || drops_temp_object(stmt).is_some_and(|d| d.same_as(&temp))
+            {
+                continue;
+            }
+            if let Some(obj) = self.ctx.temp_stand_in(&temp) {
+                current = rename_table_refs(&current, &temp, &obj.name.clone());
+            }
+        }
+        // EXEC of a redirected temp procedure.
+        if let Statement::Exec(e) = &current {
+            if e.name.is_temp() {
+                if let Some(obj) = self.ctx.temp_stand_in(&e.name) {
+                    current = rename_table_refs(&current, &e.name.clone(), &obj.name.clone());
+                }
+            }
+        }
+        current
+    }
+}
+
+fn dml_reply(out: DmlOutcome) -> QueryResult {
+    QueryResult {
+        outcome: Outcome::RowsAffected(out.affected),
+        messages: out.messages,
+    }
+}
+
+/// Extract a value from a SET literal (non-literals are stored rendered).
+fn literal_to_value(e: &phoenix_sql::ast::Expr) -> Value {
+    use phoenix_sql::ast::{Expr, Literal};
+    match e {
+        Expr::Literal(Literal::Null) => Value::Null,
+        Expr::Literal(Literal::Int(i)) => Value::Int(*i),
+        Expr::Literal(Literal::Float(f)) => Value::Float(*f),
+        Expr::Literal(Literal::String(s)) => Value::Text(s.clone()),
+        Expr::Literal(Literal::Bool(b)) => Value::Bool(*b),
+        Expr::Literal(Literal::Date(d)) => phoenix_storage::types::parse_date(d)
+            .map(Value::Date)
+            .unwrap_or(Value::Null),
+        other => Value::Text(phoenix_sql::display::render_expr(other)),
+    }
+}

@@ -1,0 +1,138 @@
+//! Data-modification wrapping and the status table (paper §3, "Data
+//! Modification Statements Results" and "Message Results").
+//!
+//! A data modification has no result set but it *does* have state: the
+//! number of tuples affected, and the fact of its completion. Phoenix makes
+//! that state **testable** by wrapping each DML statement in a transaction
+//! that also inserts an outcome record into `phoenix.status`:
+//!
+//! ```text
+//! BEGIN;
+//! <dml>;                                   -- reply carries rows-affected n
+//! INSERT INTO phoenix.status VALUES (req_id, n, messages);
+//! COMMIT;
+//! ```
+//!
+//! After a crash, probing `phoenix.status` for `req_id` answers the only
+//! question that matters: *did the request complete?* Found → return the
+//! logged outcome (the preserved reply buffer); absent → the transaction
+//! aborted with the crash and the original request is resubmitted, exactly
+//! once-semantics for the application.
+//!
+//! The same record doubles as the paper's *reply buffer* persistence: the
+//! messages column carries the server messages that would otherwise be lost
+//! when a crash lands between commit and reply.
+
+use phoenix_driver::{error::codes, Connection, DriverError};
+
+use crate::naming::STATUS_TABLE;
+use crate::Result;
+
+/// A recovered or fresh DML outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmlOutcome {
+    /// Rows affected by the statement.
+    pub affected: u64,
+    /// Server messages delivered (or preserved) with the reply.
+    pub messages: Vec<String>,
+}
+
+/// Create the status table if this is the first Phoenix session against the
+/// database. Racing sessions are fine: "already exists" is success.
+pub fn ensure_status_table(conn: &mut Connection) -> Result<()> {
+    let sql = format!(
+        "CREATE TABLE {STATUS_TABLE} (req_id TEXT NOT NULL, affected INT, messages TEXT, PRIMARY KEY (req_id))"
+    );
+    match conn.execute(&sql) {
+        Ok(_) => Ok(()),
+        Err(DriverError::Server { code, .. }) if code == codes::ALREADY_EXISTS => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Escape a string for a SQL literal.
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// The INSERT that records an outcome; issued *inside* the wrapping (or the
+/// application's) transaction, so it commits atomically with the work.
+pub fn status_insert_sql(req_id: &str, affected: u64, messages: &[String]) -> String {
+    format!(
+        "INSERT INTO {STATUS_TABLE} VALUES ({}, {affected}, {})",
+        quote(req_id),
+        quote(&messages.join("\u{1f}"))
+    )
+}
+
+/// Wrap one DML statement in a transaction with a status record.
+///
+/// Errors reported by the server roll the transaction back and surface to
+/// the caller; communication failures bubble up for the recovery machinery
+/// (which will [`probe_status`] before deciding to resubmit).
+pub fn wrap_and_execute(conn: &mut Connection, req_id: &str, dml_sql: &str) -> Result<DmlOutcome> {
+    conn.execute("BEGIN")?;
+    let result = match conn.execute(dml_sql) {
+        Ok(r) => r,
+        Err(e) => {
+            // Server-side statement failure: roll back the wrapper. A comm
+            // failure here leaves the transaction to die with the session.
+            if !e.is_comm() {
+                let _ = conn.execute("ROLLBACK");
+            }
+            return Err(e);
+        }
+    };
+    let affected = match result.outcome {
+        phoenix_wire::message::Outcome::RowsAffected(n) => n,
+        _ => 0,
+    };
+    conn.execute(&status_insert_sql(req_id, affected, &result.messages))?;
+    conn.execute("COMMIT")?;
+    Ok(DmlOutcome {
+        affected,
+        messages: result.messages,
+    })
+}
+
+/// Probe the status table for a request id. `Ok(Some(_))` means the wrapped
+/// transaction committed before the crash; the logged outcome is the reply.
+pub fn probe_status(conn: &mut Connection, req_id: &str) -> Result<Option<DmlOutcome>> {
+    let sql = format!(
+        "SELECT affected, messages FROM {STATUS_TABLE} WHERE req_id = {}",
+        quote(req_id)
+    );
+    let result = conn.execute(&sql)?;
+    let rows = result.rows();
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    let affected = rows[0][0].as_i64().unwrap_or(0) as u64;
+    let messages = match rows[0][1].as_str() {
+        Some("") | None => Vec::new(),
+        Some(s) => s.split('\u{1f}').map(str::to_string).collect(),
+    };
+    Ok(Some(DmlOutcome { affected, messages }))
+}
+
+/// Delete this session's status records (clean termination).
+pub fn clear_status(conn: &mut Connection, tag: &str) -> Result<()> {
+    let sql = format!(
+        "DELETE FROM {STATUS_TABLE} WHERE req_id LIKE {}",
+        quote(&format!("{tag}-%"))
+    );
+    conn.execute(&sql)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_insert_sql_parses_and_escapes() {
+        let sql = status_insert_sql("12_3-7", 42, &["it's done".to_string(), "msg2".to_string()]);
+        phoenix_sql::parse_statement(&sql).unwrap();
+        assert!(sql.contains("''"), "{sql}");
+    }
+}

@@ -1,0 +1,872 @@
+//! [`PhoenixStatement`] — fetch-wise delivery of persistent result sets and
+//! the persistent keyset/dynamic cursors of paper §3 ("Cursors").
+//!
+//! * **Forward-only** (default result set): the query is materialized into a
+//!   persistent table; Phoenix delivers from that table through a server
+//!   cursor, remembering the delivery position client-side. After a crash
+//!   it re-opens delivery and re-positions — server-side (`OFFSET`, no
+//!   tuples shipped) or by client scan-and-discard, per configuration.
+//! * **Keyset**: only the result's *primary keys* are materialized in a
+//!   persistent key table; each fetch reads the next key(s) and SELECTs the
+//!   current row by key. Deleted rows are skipped, updated rows show fresh
+//!   data, and the cursor — unlike a native one — survives a crash.
+//! * **Dynamic**: the same key table paces the cursor, but each fetch
+//!   SELECTs a key *range* `(last delivered, next key]`, so rows inserted
+//!   into the range appear — and again the cursor persists across failures.
+//!
+//! A cursor request the query shape can't support (no primary key, computed
+//! projection, aggregation, multi-table) is downgraded, exactly as native
+//! ODBC drivers downgrade cursor types.
+
+use phoenix_driver::DriverError;
+use phoenix_sql::ast::{Expr, ObjectName, SelectItem, SelectStmt, Statement};
+use phoenix_sql::display::render_expr;
+use phoenix_sql::parser::parse_statement;
+use phoenix_sql::rewrite::with_projections;
+use phoenix_storage::types::{Row, Schema, Value};
+use phoenix_wire::message::{CursorKind as WireCursor, FetchDir};
+
+use crate::config::RepositionStrategy;
+use crate::connection::PhoenixConnection;
+use crate::materialize::value_literal;
+use crate::naming::STATUS_TABLE;
+use crate::Result;
+
+/// Fetch orientation for [`PhoenixStatement::fetch_scroll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhoenixFetch {
+    /// The next `n` rows from the current position.
+    Next,
+    /// The `n` rows before the current position (position moves back).
+    Prior,
+    /// Rows starting at the 0-based index.
+    Absolute(u64),
+}
+
+/// Cursor kinds the application can request on a Phoenix statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhoenixCursorKind {
+    /// Persistent result table, forward delivery (default result set).
+    ForwardOnly,
+    /// Persistent key table; rows re-read by key.
+    Keyset,
+    /// Persistent key table; key-range SELECTs per fetch.
+    Dynamic,
+}
+
+enum Delivery {
+    /// Forward-only delivery from a persistent result table.
+    Persistent {
+        table: ObjectName,
+        schema: Schema,
+        /// Rows already handed to the application.
+        delivered: u64,
+        /// Open driver cursor on the mapped connection (`None` right after
+        /// a recovery — re-opened lazily with repositioning).
+        cursor: Option<u64>,
+        buf: Vec<Row>,
+        buf_pos: usize,
+        at_end: bool,
+    },
+    /// Keyset cursor over a persistent key table.
+    Keyset {
+        key_table: ObjectName,
+        base: ObjectName,
+        key_cols: Vec<String>,
+        proj_cols: Vec<String>,
+        schema: Schema,
+        /// Keys consumed so far (client-side position).
+        pos: u64,
+        key_buf: Vec<Row>,
+        key_buf_pos: usize,
+        keys_done: bool,
+    },
+    /// Dynamic cursor: key table for pacing + range SELECTs.
+    Dynamic {
+        key_table: ObjectName,
+        base: ObjectName,
+        key_col: String,
+        proj_cols: Vec<String>,
+        schema: Schema,
+        pred_sql: Option<String>,
+        /// Key-table entries consumed (pacing).
+        pos: u64,
+        /// Key of the last row delivered to the application.
+        last_key: Option<Value>,
+        buf: Vec<Row>,
+        buf_pos: usize,
+        done: bool,
+    },
+}
+
+/// A Phoenix statement handle.
+pub struct PhoenixStatement<'c> {
+    pc: &'c mut PhoenixConnection,
+    kind: PhoenixCursorKind,
+    fetch_block: usize,
+    granted: Option<PhoenixCursorKind>,
+    state: Option<Delivery>,
+    /// Server objects this statement's execution created (result/key table,
+    /// capture procedure) — dropped eagerly on re-execute/close when
+    /// `eager_cleanup` is configured.
+    owned: Vec<phoenix_sql::ast::ObjectName>,
+}
+
+impl<'c> PhoenixStatement<'c> {
+    pub(crate) fn new(pc: &'c mut PhoenixConnection) -> PhoenixStatement<'c> {
+        let fetch_block = pc.config.fetch_block;
+        PhoenixStatement {
+            pc,
+            kind: PhoenixCursorKind::ForwardOnly,
+            fetch_block,
+            granted: None,
+            state: None,
+            owned: Vec::new(),
+        }
+    }
+
+    /// Release this statement's server-side objects now (no-op unless
+    /// `eager_cleanup` is configured; otherwise everything is swept at
+    /// session termination, as in the paper).
+    pub fn close(&mut self) {
+        self.state = None;
+        self.granted = None;
+        if self.pc.config.eager_cleanup {
+            for name in std::mem::take(&mut self.owned) {
+                // Tables and procedures are disjoint name sets; try both.
+                self.pc.drop_phoenix_table(&name);
+                self.pc.drop_phoenix_proc(&name);
+            }
+        } else {
+            self.owned.clear();
+        }
+    }
+
+    /// Set the requested cursor type (before `execute`).
+    pub fn set_cursor_type(&mut self, kind: PhoenixCursorKind) -> &mut Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Rows per delivery block (min 1).
+    pub fn set_fetch_block(&mut self, n: usize) -> &mut Self {
+        self.fetch_block = n.max(1);
+        self
+    }
+
+    /// The cursor kind actually granted after `execute` (downgrades happen
+    /// exactly where a native driver would downgrade).
+    pub fn granted_cursor(&self) -> Option<PhoenixCursorKind> {
+        self.granted
+    }
+
+    /// Result schema of the open statement.
+    pub fn schema(&self) -> Option<&Schema> {
+        match &self.state {
+            Some(Delivery::Persistent { schema, .. })
+            | Some(Delivery::Keyset { schema, .. })
+            | Some(Delivery::Dynamic { schema, .. }) => Some(schema),
+            None => None,
+        }
+    }
+
+    /// Rows delivered so far (the client-side position Phoenix re-syncs
+    /// from after a crash).
+    pub fn delivered(&self) -> u64 {
+        match &self.state {
+            Some(Delivery::Persistent { delivered, .. }) => *delivered,
+            Some(Delivery::Keyset { pos, .. }) => *pos,
+            Some(Delivery::Dynamic { pos, .. }) => *pos,
+            None => 0,
+        }
+    }
+
+    /// Execute a SELECT under the configured cursor type.
+    pub fn execute(&mut self, sql: &str) -> Result<()> {
+        self.close();
+        let select = match parse_statement(sql) {
+            Ok(Statement::Select(s)) => s,
+            Ok(_) => {
+                return Err(DriverError::Usage(
+                    "PhoenixStatement::execute takes a SELECT; use PhoenixConnection::execute for other statements".into(),
+                ))
+            }
+            Err(e) => {
+                return Err(DriverError::Server {
+                    code: phoenix_driver::error::codes::PARSE,
+                    message: e.to_string(),
+                })
+            }
+        };
+        // Temp-object references go through the same redirection as the
+        // connection-level pipeline.
+        let select = match self.pc.redirect_temps(&Statement::Select(select)) {
+            Statement::Select(s) => s,
+            _ => unreachable!("redirect preserves statement kind"),
+        };
+
+        match self.kind {
+            PhoenixCursorKind::ForwardOnly => self.open_persistent(&select),
+            PhoenixCursorKind::Keyset | PhoenixCursorKind::Dynamic => {
+                match self.cursor_plan(&select)? {
+                    Some(plan) => {
+                        if self.kind == PhoenixCursorKind::Keyset {
+                            self.open_keyset(&select, plan)
+                        } else {
+                            self.open_dynamic(&select, plan)
+                        }
+                    }
+                    None => {
+                        self.pc.stats.cursor_downgrades += 1;
+                        self.open_persistent(&select)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetch the next row, or `None` at the end of the result set. A server
+    /// crash at any point during delivery is masked: the fetch simply takes
+    /// longer while Phoenix recovers and re-positions.
+    pub fn fetch(&mut self) -> Result<Option<Row>> {
+        match self.state.as_ref() {
+            None => Err(DriverError::Usage("no open result set".into())),
+            Some(Delivery::Persistent { .. }) => self.fetch_persistent(),
+            Some(Delivery::Keyset { .. }) => self.fetch_keyset(),
+            Some(Delivery::Dynamic { .. }) => self.fetch_dynamic(),
+        }
+    }
+
+    /// Scrollable fetch over the persistent result (forward-only and keyset
+    /// deliveries; dynamic cursors have no stable numbering, as in ODBC).
+    ///
+    /// Scrolling reads the materialized table directly with windowed
+    /// `LIMIT/OFFSET` queries, so it is stateless on the server and
+    /// trivially crash-proof: a scroll issued right after a server crash
+    /// simply waits out the recovery like any other request.
+    pub fn fetch_scroll(&mut self, dir: PhoenixFetch, n: usize) -> Result<Vec<Row>> {
+        match self.state.as_ref() {
+            None => Err(DriverError::Usage("no open result set".into())),
+            Some(Delivery::Persistent { .. }) => self.scroll_persistent(dir, n),
+            Some(Delivery::Keyset { .. }) => self.scroll_keyset(dir, n),
+            Some(Delivery::Dynamic { .. }) => Err(DriverError::Server {
+                code: phoenix_driver::error::codes::CURSOR,
+                message: "dynamic cursors do not support scrolling".into(),
+            }),
+        }
+    }
+
+    fn scroll_persistent(&mut self, dir: PhoenixFetch, n: usize) -> Result<Vec<Row>> {
+        let (table, delivered) = match self.state.as_ref() {
+            Some(Delivery::Persistent {
+                table, delivered, ..
+            }) => (table.clone(), *delivered),
+            _ => unreachable!(),
+        };
+        let start = match dir {
+            PhoenixFetch::Next => delivered,
+            PhoenixFetch::Prior => delivered.saturating_sub(n as u64),
+            PhoenixFetch::Absolute(k) => k,
+        };
+        let r = self
+            .pc
+            .run_mapped_retry(&format!("SELECT * FROM {table} LIMIT {n} OFFSET {start}"))?;
+        let rows = r.rows().to_vec();
+        // Scrolling repositions the statement and invalidates the streaming
+        // cursor/read-ahead buffer.
+        if let Some(Delivery::Persistent {
+            delivered,
+            cursor,
+            buf,
+            buf_pos,
+            at_end,
+            ..
+        }) = self.state.as_mut()
+        {
+            *delivered = match dir {
+                PhoenixFetch::Prior => start,
+                _ => start + rows.len() as u64,
+            };
+            if let Some(cid) = cursor.take() {
+                let _ = self.pc.mapped.close_cursor(cid);
+            }
+            buf.clear();
+            *buf_pos = 0;
+            *at_end = false;
+        }
+        Ok(rows)
+    }
+
+    fn scroll_keyset(&mut self, dir: PhoenixFetch, n: usize) -> Result<Vec<Row>> {
+        // Reposition the key-table position, then serve through the normal
+        // keyset fetch path (current row data by key).
+        let pos = match self.state.as_ref() {
+            Some(Delivery::Keyset { pos, .. }) => *pos,
+            _ => unreachable!(),
+        };
+        let new_pos = match dir {
+            PhoenixFetch::Next => pos,
+            PhoenixFetch::Prior => pos.saturating_sub(n as u64),
+            PhoenixFetch::Absolute(k) => k,
+        };
+        if let Some(Delivery::Keyset {
+            pos,
+            key_buf,
+            key_buf_pos,
+            keys_done,
+            ..
+        }) = self.state.as_mut()
+        {
+            *pos = new_pos;
+            key_buf.clear();
+            *key_buf_pos = 0;
+            *keys_done = false;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.fetch_keyset()? {
+                Some(row) => out.push(row),
+                None => break,
+            }
+        }
+        if matches!(dir, PhoenixFetch::Prior) {
+            // A Prior scroll leaves the position where it started reading.
+            if let Some(Delivery::Keyset {
+                pos,
+                key_buf,
+                key_buf_pos,
+                keys_done,
+                ..
+            }) = self.state.as_mut()
+            {
+                *pos = new_pos;
+                key_buf.clear();
+                *key_buf_pos = 0;
+                *keys_done = false;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drain the remaining rows.
+    pub fn fetch_all(&mut self) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        while let Some(row) = self.fetch()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------------
+    // Forward-only persistent delivery
+    // -----------------------------------------------------------------------
+
+    fn open_persistent(&mut self, select: &SelectStmt) -> Result<()> {
+        let m = self.pc.materialize_with_retry(select)?;
+        self.owned.push(m.table.clone());
+        if let Some(p) = &m.capture_proc {
+            self.owned.push(p.clone());
+        }
+        self.granted = Some(PhoenixCursorKind::ForwardOnly);
+        self.state = Some(Delivery::Persistent {
+            table: m.table,
+            schema: m.schema,
+            delivered: 0,
+            cursor: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+            at_end: false,
+        });
+        Ok(())
+    }
+
+    fn fetch_persistent(&mut self) -> Result<Option<Row>> {
+        loop {
+            // Serve from the block buffer.
+            if let Some(Delivery::Persistent {
+                buf,
+                buf_pos,
+                delivered,
+                ..
+            }) = self.state.as_mut()
+            {
+                if *buf_pos < buf.len() {
+                    let row = buf[*buf_pos].clone();
+                    *buf_pos += 1;
+                    *delivered += 1;
+                    return Ok(Some(row));
+                }
+            }
+            let (at_end, cursor) = match self.state.as_ref() {
+                Some(Delivery::Persistent { at_end, cursor, .. }) => (*at_end, *cursor),
+                _ => unreachable!(),
+            };
+            if at_end {
+                return Ok(None);
+            }
+
+            // Ensure a delivery cursor is open (re-positioning if this is a
+            // post-recovery re-open).
+            if cursor.is_none() {
+                self.reopen_persistent_cursor()?;
+                continue;
+            }
+
+            // Fetch the next block; a comm failure triggers recovery and a
+            // repositioned re-open.
+            let block = self.fetch_block;
+            let cid = cursor.expect("checked above");
+            match self.pc.mapped.fetch_cursor(cid, FetchDir::Next, block) {
+                Ok((rows, end)) => {
+                    // Buffered rows are always served before `at_end` is
+                    // consulted (the buffer check heads the loop), so the
+                    // final block is delivered in full.
+                    if let Some(Delivery::Persistent {
+                        buf,
+                        buf_pos,
+                        at_end,
+                        ..
+                    }) = self.state.as_mut()
+                    {
+                        *buf = rows;
+                        *buf_pos = 0;
+                        *at_end = end;
+                    }
+                }
+                Err(e) if e.is_comm() => {
+                    self.pc.recover()?;
+                    if let Some(Delivery::Persistent {
+                        cursor,
+                        buf,
+                        buf_pos,
+                        ..
+                    }) = self.state.as_mut()
+                    {
+                        *cursor = None;
+                        buf.clear();
+                        *buf_pos = 0;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// (Re-)open the delivery cursor over the persistent result table,
+    /// positioned after the rows already delivered.
+    fn reopen_persistent_cursor(&mut self) -> Result<()> {
+        let (table, delivered) = match self.state.as_ref() {
+            Some(Delivery::Persistent {
+                table, delivered, ..
+            }) => (table.clone(), *delivered),
+            _ => unreachable!(),
+        };
+        let strategy = self.pc.config.reposition;
+        let t0 = std::time::Instant::now();
+        loop {
+            let attempt = (|| -> Result<u64> {
+                match strategy {
+                    RepositionStrategy::ServerSide => {
+                        // Server-side skip: no tuples cross the wire.
+                        let sql = if delivered > 0 {
+                            format!("SELECT * FROM {table} OFFSET {delivered}")
+                        } else {
+                            format!("SELECT * FROM {table}")
+                        };
+                        let (cid, _, _) =
+                            self.pc.mapped.open_cursor(&sql, WireCursor::ForwardOnly)?;
+                        Ok(cid)
+                    }
+                    RepositionStrategy::ClientScan => {
+                        // Baseline: re-open from the start and discard.
+                        let sql = format!("SELECT * FROM {table}");
+                        let (cid, _, _) =
+                            self.pc.mapped.open_cursor(&sql, WireCursor::ForwardOnly)?;
+                        let mut to_skip = delivered;
+                        while to_skip > 0 {
+                            let n = to_skip.min(256) as usize;
+                            let (rows, end) =
+                                self.pc.mapped.fetch_cursor(cid, FetchDir::Next, n)?;
+                            to_skip -= rows.len() as u64;
+                            if end {
+                                break;
+                            }
+                        }
+                        Ok(cid)
+                    }
+                }
+            })();
+            match attempt {
+                Ok(cid) => {
+                    if let Some(Delivery::Persistent { cursor, .. }) = self.state.as_mut() {
+                        *cursor = Some(cid);
+                    }
+                    if delivered > 0 {
+                        let us = t0.elapsed().as_micros() as u64;
+                        self.pc.stats.last_reposition_us = us;
+                        self.pc.stats.reposition_us += us;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_comm() => self.pc.recover()?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Keyset / dynamic plumbing
+    // -----------------------------------------------------------------------
+
+    /// Decide whether the query shape supports a keyed Phoenix cursor:
+    /// single base table with a primary key, plain column (or `*`)
+    /// projection, no aggregation/ordering/limit. Returns the base table,
+    /// its key columns, and the output projection column names.
+    fn cursor_plan(&mut self, select: &SelectStmt) -> Result<Option<CursorPlan>> {
+        if select.from.len() != 1
+            || select.distinct
+            || !select.group_by.is_empty()
+            || select.having.is_some()
+            || !select.order_by.is_empty()
+            || select.limit.is_some()
+            || select.offset.is_some()
+        {
+            return Ok(None);
+        }
+        let base = select.from[0].table.clone();
+        let (schema, pk) = loop {
+            match self.pc.private.describe(&base.to_string()) {
+                Ok(x) => break x,
+                Err(e) if e.is_comm() => self.pc.recover()?,
+                Err(e) => return Err(e),
+            }
+        };
+        if pk.is_empty() {
+            return Ok(None);
+        }
+        let mut proj_cols = Vec::new();
+        for item in &select.projections {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    proj_cols.extend(schema.names().map(str::to_string));
+                }
+                SelectItem::Expr {
+                    expr: Expr::Column { name, .. },
+                    ..
+                } => proj_cols.push(name.clone()),
+                _ => return Ok(None), // computed projection → downgrade
+            }
+        }
+        // Output schema from the base table's column metadata.
+        let mut cols = Vec::new();
+        for name in &proj_cols {
+            match schema.index_of(name) {
+                Some(i) => cols.push(schema.columns[i].clone()),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(CursorPlan {
+            base,
+            key_cols: pk,
+            proj_cols,
+            out_schema: Schema::new(cols),
+        }))
+    }
+
+    /// Materialize the key table for a keyed cursor.
+    fn materialize_keys(&mut self, select: &SelectStmt, plan: &CursorPlan) -> Result<ObjectName> {
+        let key_select = with_projections(select.clone(), &plan.key_cols);
+        let m = self.pc.materialize_with_retry(&key_select)?;
+        self.owned.push(m.table.clone());
+        if let Some(p) = &m.capture_proc {
+            self.owned.push(p.clone());
+        }
+        Ok(m.table)
+    }
+
+    fn open_keyset(&mut self, select: &SelectStmt, plan: CursorPlan) -> Result<()> {
+        let key_table = self.materialize_keys(select, &plan)?;
+        self.granted = Some(PhoenixCursorKind::Keyset);
+        self.state = Some(Delivery::Keyset {
+            key_table,
+            base: plan.base,
+            key_cols: plan.key_cols,
+            proj_cols: plan.proj_cols,
+            schema: plan.out_schema,
+            pos: 0,
+            key_buf: Vec::new(),
+            key_buf_pos: 0,
+            keys_done: false,
+        });
+        Ok(())
+    }
+
+    fn fetch_keyset(&mut self) -> Result<Option<Row>> {
+        loop {
+            // Next key from the buffered block, refilling as needed.
+            let key = {
+                let (need_refill, done) = match self.state.as_ref() {
+                    Some(Delivery::Keyset {
+                        key_buf,
+                        key_buf_pos,
+                        keys_done,
+                        ..
+                    }) => (*key_buf_pos >= key_buf.len(), *keys_done),
+                    _ => unreachable!(),
+                };
+                if need_refill {
+                    if done {
+                        return Ok(None);
+                    }
+                    self.refill_key_buffer()?;
+                    continue;
+                }
+                match self.state.as_mut() {
+                    Some(Delivery::Keyset {
+                        key_buf,
+                        key_buf_pos,
+                        pos,
+                        ..
+                    }) => {
+                        let k = key_buf[*key_buf_pos].clone();
+                        *key_buf_pos += 1;
+                        *pos += 1;
+                        k
+                    }
+                    _ => unreachable!(),
+                }
+            };
+
+            // SELECT the current row by key (paper: "reads the key from the
+            // table and SELECTs the record from the database using this
+            // key"). Deleted → skip; updated → fresh data.
+            let sql = {
+                let (base, key_cols, proj_cols) = match self.state.as_ref() {
+                    Some(Delivery::Keyset {
+                        base,
+                        key_cols,
+                        proj_cols,
+                        ..
+                    }) => (base.clone(), key_cols.clone(), proj_cols.clone()),
+                    _ => unreachable!(),
+                };
+                let preds: Vec<String> = key_cols
+                    .iter()
+                    .zip(&key)
+                    .map(|(c, v)| format!("{c} = {}", value_literal(v)))
+                    .collect();
+                format!(
+                    "SELECT {} FROM {base} WHERE {}",
+                    proj_cols.join(", "),
+                    preds.join(" AND ")
+                )
+            };
+            let r = self.pc.run_mapped_retry(&sql)?;
+            let rows = r.rows();
+            if let Some(row) = rows.first() {
+                return Ok(Some(row.clone()));
+            }
+            // Row deleted since the keyset was captured: skip to next key.
+        }
+    }
+
+    fn refill_key_buffer(&mut self) -> Result<()> {
+        let (key_table, pos) = match self.state.as_ref() {
+            Some(Delivery::Keyset { key_table, pos, .. }) => (key_table.clone(), *pos),
+            _ => unreachable!(),
+        };
+        let block = self.fetch_block;
+        let sql = format!("SELECT * FROM {key_table} LIMIT {block} OFFSET {pos}");
+        let r = self.pc.run_mapped_retry(&sql)?;
+        let rows = r.rows().to_vec();
+        if let Some(Delivery::Keyset {
+            key_buf,
+            key_buf_pos,
+            keys_done,
+            ..
+        }) = self.state.as_mut()
+        {
+            *keys_done = rows.len() < block;
+            *key_buf = rows;
+            *key_buf_pos = 0;
+        }
+        Ok(())
+    }
+
+    fn open_dynamic(&mut self, select: &SelectStmt, plan: CursorPlan) -> Result<()> {
+        // Dynamic range pacing needs a single-column key; composite keys
+        // downgrade to keyset (still persistent, slightly stricter
+        // membership semantics).
+        if plan.key_cols.len() != 1 {
+            self.pc.stats.cursor_downgrades += 1;
+            return self.open_keyset(select, plan);
+        }
+        let key_table = self.materialize_keys(select, &plan)?;
+        // Internally the projection is extended with the key column so the
+        // cursor can track `last_key`; it is stripped before delivery if the
+        // application did not ask for it (see `fetch_dynamic`).
+        self.granted = Some(PhoenixCursorKind::Dynamic);
+        self.state = Some(Delivery::Dynamic {
+            key_table,
+            base: plan.base,
+            key_col: plan.key_cols[0].clone(),
+            proj_cols: plan.proj_cols,
+            schema: plan.out_schema,
+            pred_sql: select.where_clause.as_ref().map(render_expr),
+            pos: 0,
+            last_key: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+            done: false,
+        });
+        Ok(())
+    }
+
+    fn fetch_dynamic(&mut self) -> Result<Option<Row>> {
+        loop {
+            // Serve the buffered range, tracking last_key.
+            if let Some(Delivery::Dynamic {
+                buf,
+                buf_pos,
+                last_key,
+                proj_cols,
+                ..
+            }) = self.state.as_mut()
+            {
+                if *buf_pos < buf.len() {
+                    let mut row = buf[*buf_pos].clone();
+                    *buf_pos += 1;
+                    // Internal layout: proj cols then the key column.
+                    let key = row.pop().expect("internal key column present");
+                    *last_key = Some(key);
+                    debug_assert_eq!(row.len(), proj_cols.len());
+                    return Ok(Some(row));
+                }
+            }
+            let done = match self.state.as_ref() {
+                Some(Delivery::Dynamic { done, .. }) => *done,
+                _ => unreachable!(),
+            };
+            if done {
+                return Ok(None);
+            }
+            self.refill_dynamic_buffer()?;
+        }
+    }
+
+    /// Fetch the next key range into the buffer (paper: "a fetch causes
+    /// Phoenix/ODBC to use the last record key seen by the application and
+    /// the next record key from the table to SELECT a range of rows").
+    fn refill_dynamic_buffer(&mut self) -> Result<()> {
+        let (key_table, base, key_col, proj_cols, pred_sql, pos, last_key) =
+            match self.state.as_ref() {
+                Some(Delivery::Dynamic {
+                    key_table,
+                    base,
+                    key_col,
+                    proj_cols,
+                    pred_sql,
+                    pos,
+                    last_key,
+                    ..
+                }) => (
+                    key_table.clone(),
+                    base.clone(),
+                    key_col.clone(),
+                    proj_cols.clone(),
+                    pred_sql.clone(),
+                    *pos,
+                    last_key.clone(),
+                ),
+                _ => unreachable!(),
+            };
+
+        // Next pacing key from the persistent key table.
+        let next_key = {
+            let sql = format!("SELECT * FROM {key_table} LIMIT 1 OFFSET {pos}");
+            let r = self.pc.run_mapped_retry(&sql)?;
+            r.rows().first().map(|row| row[0].clone())
+        };
+
+        let mut preds = Vec::new();
+        if let Some(p) = &pred_sql {
+            preds.push(format!("({p})"));
+        }
+        if let Some(last) = &last_key {
+            preds.push(format!("{key_col} > {}", value_literal(last)));
+        }
+        let tail_block = self.fetch_block;
+        let (sql, advance_pos, tail) = match &next_key {
+            Some(k) => {
+                preds.push(format!("{key_col} <= {}", value_literal(k)));
+                (
+                    format!(
+                        "SELECT {}, {key_col} FROM {base}{} ORDER BY {key_col}",
+                        proj_cols.join(", "),
+                        where_clause(&preds)
+                    ),
+                    true,
+                    false,
+                )
+            }
+            None => (
+                // Key table exhausted: tail query picks up rows inserted
+                // beyond the last captured key.
+                format!(
+                    "SELECT {}, {key_col} FROM {base}{} ORDER BY {key_col} LIMIT {tail_block}",
+                    proj_cols.join(", "),
+                    where_clause(&preds)
+                ),
+                false,
+                true,
+            ),
+        };
+
+        let r = self.pc.run_mapped_retry(&sql)?;
+        let rows = r.rows().to_vec();
+        if let Some(Delivery::Dynamic {
+            buf,
+            buf_pos,
+            pos,
+            done,
+            last_key,
+            ..
+        }) = self.state.as_mut()
+        {
+            if advance_pos {
+                *pos += 1;
+                if rows.is_empty() {
+                    // Every row in (last, next_key] is gone; move the lower
+                    // bound forward so the next range starts after it.
+                    *last_key = next_key;
+                }
+            } else if tail && rows.is_empty() {
+                *done = true;
+            }
+            *buf = rows;
+            *buf_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Expose the status-table name so examples can show the testable-state
+    /// machinery without reaching into internals.
+    pub fn status_table_name() -> &'static str {
+        STATUS_TABLE
+    }
+}
+
+struct CursorPlan {
+    base: ObjectName,
+    key_cols: Vec<String>,
+    proj_cols: Vec<String>,
+    out_schema: Schema,
+}
+
+fn where_clause(preds: &[String]) -> String {
+    if preds.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", preds.join(" AND "))
+    }
+}

@@ -1,0 +1,264 @@
+//! The connection handle: one TCP connection, one server session.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use phoenix_storage::types::{Row, Schema, Value};
+use phoenix_wire::frame::{read_frame, write_frame};
+use phoenix_wire::message::{Outcome, Request, Response};
+
+use crate::environment::Environment;
+use crate::error::{DriverError, Result};
+use crate::statement::Statement;
+
+/// Result of `Connection::execute` (a complete, default result set — the
+/// server ships all rows at once, as with ODBC default result sets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// What the statement produced.
+    pub outcome: Outcome,
+    /// Server messages delivered with the reply (PRINT output, notices) —
+    /// the paper's "reply buffers".
+    pub messages: Vec<String>,
+}
+
+impl QueryResult {
+    /// The result rows; panics if the statement did not produce a result set
+    /// (test/example convenience).
+    pub fn rows(&self) -> &[Row] {
+        match &self.outcome {
+            Outcome::ResultSet { rows, .. } => rows,
+            other => panic!("expected result set, got {other:?}"),
+        }
+    }
+
+    /// Result metadata, when the outcome is a result set.
+    pub fn schema(&self) -> Option<&Schema> {
+        match &self.outcome {
+            Outcome::ResultSet { schema, .. } => Some(schema),
+            _ => None,
+        }
+    }
+
+    /// Rows affected; panics otherwise (test/example convenience).
+    pub fn affected(&self) -> u64 {
+        match &self.outcome {
+            Outcome::RowsAffected(n) => *n,
+            other => panic!("expected rows-affected, got {other:?}"),
+        }
+    }
+}
+
+/// An open connection. After any [`DriverError::Comm`] the connection is
+/// poisoned and every further call fails — reconnect by opening a new one
+/// (which is what Phoenix does under the covers).
+pub struct Connection {
+    stream: TcpStream,
+    session: u64,
+    addr: String,
+    user: String,
+    database: String,
+    env: Environment,
+    poisoned: bool,
+}
+
+impl Connection {
+    pub(crate) fn open(
+        env: &Environment,
+        addr: &str,
+        user: &str,
+        database: &str,
+        options: Vec<(String, Value)>,
+    ) -> Result<Connection> {
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(DriverError::from)?
+            .next()
+            .ok_or_else(|| DriverError::Usage(format!("cannot resolve '{addr}'")))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, env.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(env.read_timeout)?;
+
+        let mut conn = Connection {
+            stream,
+            session: 0,
+            addr: addr.to_string(),
+            user: user.to_string(),
+            database: database.to_string(),
+            env: env.clone(),
+            poisoned: false,
+        };
+        match conn.call(Request::Login {
+            user: user.to_string(),
+            database: database.to_string(),
+            options,
+        })? {
+            Response::LoginAck { session } => {
+                conn.session = session;
+                Ok(conn)
+            }
+            other => Err(DriverError::Protocol(format!(
+                "unexpected login response: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server address this connection was opened against.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Login user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Database name given at connect.
+    pub fn database(&self) -> &str {
+        &self.database
+    }
+
+    /// Server-assigned session id (diagnostics only).
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// The environment this connection was opened from.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Has a communication failure poisoned this connection?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Override the read timeout for subsequent requests.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// One request/response round trip. Any transport failure poisons the
+    /// connection.
+    pub(crate) fn call(&mut self, request: Request) -> Result<Response> {
+        if self.poisoned {
+            return Err(DriverError::Comm(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection previously failed",
+            )));
+        }
+        let mut send = || -> Result<Response> {
+            write_frame(&mut self.stream, &request.encode())?;
+            let payload = read_frame(&mut self.stream)?;
+            Response::decode(&payload).map_err(|e| DriverError::Protocol(e.to_string()))
+        };
+        match send() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                if e.is_comm() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute a statement with default result-set semantics: for a SELECT
+    /// the server sends every row in the reply.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.call(Request::Exec {
+            sql: sql.to_string(),
+        })? {
+            Response::Result { outcome, messages } => Ok(QueryResult { outcome, messages }),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Allocate a statement handle (ODBC `SQLAllocStmt` analogue).
+    pub fn statement(&mut self) -> Statement<'_> {
+        Statement::new(self)
+    }
+
+    /// Low-level: open a server cursor, returning `(cursor id, schema,
+    /// granted kind)`. Phoenix holds cursor ids across its own calls rather
+    /// than borrowing a [`Statement`].
+    pub fn open_cursor(
+        &mut self,
+        sql: &str,
+        kind: phoenix_wire::message::CursorKind,
+    ) -> Result<(u64, Schema, phoenix_wire::message::CursorKind)> {
+        match self.call(Request::OpenCursor {
+            sql: sql.to_string(),
+            kind,
+        })? {
+            Response::CursorOpened {
+                cursor,
+                schema,
+                granted,
+            } => Ok((cursor, schema, granted)),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Low-level: fetch a block from an open server cursor.
+    pub fn fetch_cursor(
+        &mut self,
+        cursor: u64,
+        dir: phoenix_wire::message::FetchDir,
+        n: usize,
+    ) -> Result<(Vec<Row>, bool)> {
+        match self.call(Request::Fetch {
+            cursor,
+            dir,
+            n: n as u32,
+        })? {
+            Response::Rows { rows, at_end } => Ok((rows, at_end)),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Low-level: close a server cursor.
+    pub fn close_cursor(&mut self, cursor: u64) -> Result<()> {
+        match self.call(Request::CloseCursor { cursor })? {
+            Response::Result { .. } => Ok(()),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Catalog call: schema and primary-key columns of a table (the ODBC
+    /// `SQLColumns`/`SQLPrimaryKeys` analogue).
+    pub fn describe(&mut self, table: &str) -> Result<(Schema, Vec<String>)> {
+        match self.call(Request::Describe {
+            table: table.to_string(),
+        })? {
+            Response::TableInfo {
+                schema,
+                primary_key,
+            } => Ok((schema, primary_key)),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Liveness probe: a Ping round trip. Succeeds even when the server has
+    /// restarted (Ping is session-less); use a session-scoped request to
+    /// test whether *this session* still exists.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Graceful logout. Consumes the connection; errors are ignored (the
+    /// server cleans the session up on disconnect anyway).
+    pub fn close(mut self) {
+        let _ = self.call(Request::Logout);
+    }
+}

@@ -1,0 +1,141 @@
+//! Driver error model.
+
+use std::fmt;
+use std::io;
+
+/// Error code mirrored from the engine (`phoenix_engine::ErrorCode` as u16);
+/// kept as a raw number here so the driver does not depend on the engine
+/// crate — clients link only driver + wire.
+pub type ServerErrorCode = u16;
+
+/// Well-known server error codes the Phoenix layer dispatches on.
+pub mod codes {
+    use super::ServerErrorCode;
+    /// SQL did not parse.
+    pub const PARSE: ServerErrorCode = 1;
+    /// Table/procedure/cursor not found.
+    pub const NOT_FOUND: ServerErrorCode = 2;
+    /// Object already exists.
+    pub const ALREADY_EXISTS: ServerErrorCode = 3;
+    /// Unknown or ambiguous column.
+    pub const COLUMN: ServerErrorCode = 4;
+    /// Type error.
+    pub const TYPE: ServerErrorCode = 5;
+    /// Constraint violation.
+    pub const CONSTRAINT: ServerErrorCode = 6;
+    /// Transaction-state misuse.
+    pub const TXN: ServerErrorCode = 7;
+    /// Unsupported dialect feature.
+    pub const UNSUPPORTED: ServerErrorCode = 8;
+    /// Cursor misuse.
+    pub const CURSOR: ServerErrorCode = 9;
+    /// Unknown/stale session (all sessions die in a server crash).
+    pub const NO_SESSION: ServerErrorCode = 10;
+    /// Server-internal invariant failure.
+    pub const INTERNAL: ServerErrorCode = 11;
+    /// Server-side I/O or durability failure.
+    pub const STORAGE: ServerErrorCode = 12;
+}
+
+/// A driver error.
+#[derive(Debug)]
+pub enum DriverError {
+    /// Communication failure: connect refused, socket died mid-request, or
+    /// a read timed out. After a `Comm` error the connection is unusable and
+    /// the server session may no longer exist — this is the signal Phoenix's
+    /// failure detector triggers on.
+    Comm(io::Error),
+    /// The server executed (or refused) the request and reported an error.
+    /// The session itself is intact.
+    Server {
+        /// The engine's error class.
+        code: ServerErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The peer sent bytes that don't decode — a protocol bug or version
+    /// mismatch. Treated as fatal for the connection.
+    Protocol(String),
+    /// Driver misuse (fetch without an open result, etc.).
+    Usage(String),
+}
+
+impl DriverError {
+    /// Is this a communication failure (vs. a server-reported statement
+    /// error)?
+    pub fn is_comm(&self) -> bool {
+        matches!(self, DriverError::Comm(_))
+    }
+
+    /// Did the read time out (possible slow server — not necessarily dead)?
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            DriverError::Comm(e) => {
+                matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+            }
+            _ => false,
+        }
+    }
+
+    /// The server error class, when this is a `Server` error.
+    pub fn server_code(&self) -> Option<ServerErrorCode> {
+        match self {
+            DriverError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Comm(e) => write!(f, "communication failure: {e}"),
+            DriverError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            DriverError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DriverError::Usage(m) => write!(f, "driver usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<io::Error> for DriverError {
+    fn from(e: io::Error) -> Self {
+        DriverError::Comm(e)
+    }
+}
+
+impl From<phoenix_wire::FrameError> for DriverError {
+    fn from(e: phoenix_wire::FrameError) -> Self {
+        match e {
+            phoenix_wire::FrameError::Io(io) => DriverError::Comm(io),
+            phoenix_wire::FrameError::TooLarge(n) => {
+                DriverError::Protocol(format!("oversized frame ({n} bytes)"))
+            }
+        }
+    }
+}
+
+/// Driver result alias.
+pub type Result<T> = std::result::Result<T, DriverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let comm = DriverError::Comm(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(comm.is_comm());
+        assert!(comm.is_timeout());
+        let comm2 = DriverError::Comm(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
+        assert!(comm2.is_comm());
+        assert!(!comm2.is_timeout());
+        let srv = DriverError::Server {
+            code: codes::NOT_FOUND,
+            message: "x".into(),
+        };
+        assert!(!srv.is_comm());
+        assert_eq!(srv.server_code(), Some(codes::NOT_FOUND));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # phoenix-driver
+//!
+//! The native client driver — the stand-in for a vendor ODBC driver. Its
+//! surface mirrors the CLI handle model the paper wraps:
+//!
+//! * [`Environment`] — driver defaults (timeouts, fetch block size);
+//!   allocates connections.
+//! * [`Connection`] — one TCP connection = one server session. Executes
+//!   statements (default result sets arrive complete, as ODBC default
+//!   result sets do) and pings.
+//! * [`Statement`] — per-statement cursor options (forward-only / keyset /
+//!   dynamic) and block fetching with `next` / `prior` / `absolute`
+//!   orientations.
+//!
+//! The error model is the part Phoenix cares most about:
+//! [`DriverError::Comm`] (socket death, timeout — the session may be gone)
+//! versus [`DriverError::Server`] (the statement failed; the session is
+//! fine). The paper's failure detector is built on exactly this distinction.
+//!
+//! The driver is intentionally *not* crash-aware: it surfaces failures and
+//! does nothing else, like the native drivers the paper leaves unmodified.
+//! All recovery intelligence lives in `phoenix-core`.
+
+pub mod connection;
+pub mod environment;
+pub mod error;
+pub mod statement;
+
+pub use connection::{Connection, QueryResult};
+pub use environment::Environment;
+pub use error::{DriverError, Result};
+pub use statement::{Statement, StatementResult};
+
+pub use phoenix_wire::message::{CursorKind, FetchDir};

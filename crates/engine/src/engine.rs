@@ -1,0 +1,909 @@
+//! The engine facade: sessions, statement execution, cursors, checkpoints.
+//!
+//! This is the object the server wraps in a lock and drives from connection
+//! threads. Its lifecycle mirrors a real DBMS process:
+//!
+//! * [`Engine::open`] performs crash recovery (via the durability layer) and
+//!   starts with **zero sessions** — all session state from a previous
+//!   incarnation (temp tables, cursors, options, open transactions) is gone.
+//! * Statements from a session run under that session's explicit transaction
+//!   if one is open, otherwise autocommit.
+//! * Dropping the engine without [`Engine::checkpoint`] loses nothing
+//!   committed: the WAL replays on the next open.
+
+use std::collections::HashMap;
+
+use phoenix_sql::ast::{ExecStmt, ObjectName, SelectStmt, Statement};
+use phoenix_sql::display::render_statement;
+use phoenix_sql::parser::{parse_statement, parse_statements};
+use phoenix_storage::db::{Durability, Durable};
+use phoenix_storage::store::Store;
+use phoenix_storage::types::{Row, Schema, TxnId, Value};
+
+use crate::cursor::{Cursor, CursorId, CursorKind, FetchDir, Fetched};
+use crate::error::{EngineError, ErrorCode, Result};
+use crate::eval::{eval, Env};
+use crate::exec::{
+    build_table_def, compute_delete, compute_insert_rows, compute_update, CatalogView,
+};
+use crate::plan::execute_select;
+use crate::session::{SessionId, SessionState};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Commit durability for the WAL.
+    pub durability: Durability,
+    /// Take a checkpoint automatically once this many log records have
+    /// accumulated and the engine is quiescent. `None` disables.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            durability: Durability::Fsync,
+            checkpoint_every: Some(100_000),
+        }
+    }
+}
+
+/// What a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A complete (default) result set.
+    ResultSet {
+        /// Result metadata.
+        schema: Schema,
+        /// All result rows.
+        rows: Vec<Row>,
+    },
+    /// Rows affected by a data-modification statement.
+    RowsAffected(u64),
+    /// DDL / SET / transaction control.
+    Done,
+}
+
+/// Statement result: outcome plus any server messages generated (PRINT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// What the statement produced.
+    pub outcome: ExecOutcome,
+    /// Server messages generated during execution (PRINT).
+    pub messages: Vec<String>,
+}
+
+impl ExecResult {
+    fn done() -> ExecResult {
+        ExecResult {
+            outcome: ExecOutcome::Done,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Rows of a result set, panicking otherwise (test convenience).
+    pub fn rows(&self) -> &[Row] {
+        match &self.outcome {
+            ExecOutcome::ResultSet { rows, .. } => rows,
+            other => panic!("expected result set, got {other:?}"),
+        }
+    }
+
+    /// Rows-affected count, panicking otherwise (test convenience).
+    pub fn affected(&self) -> u64 {
+        match &self.outcome {
+            ExecOutcome::RowsAffected(n) => *n,
+            other => panic!("expected rows-affected, got {other:?}"),
+        }
+    }
+}
+
+/// The database engine.
+pub struct Engine {
+    durable: Durable,
+    sessions: HashMap<SessionId, SessionState>,
+    next_session: SessionId,
+    next_cursor: CursorId,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Open (and recover) the database in `dir`.
+    pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Engine> {
+        let durable = Durable::open(dir, config.durability)?;
+        Ok(Engine {
+            durable,
+            sessions: HashMap::new(),
+            next_session: 1,
+            next_cursor: 1,
+            config,
+        })
+    }
+
+    /// Read access to the durable store (tests, snapshot tooling).
+    pub fn durable_store(&self) -> &Store {
+        self.durable.store()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    // -- session lifecycle ---------------------------------------------------
+
+    /// Open a new session for `user`.
+    pub fn create_session(&mut self, user: &str) -> SessionId {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(id, SessionState::new(id, user));
+        id
+    }
+
+    /// Close a session: abort any open transaction, drop cursors and temp
+    /// objects. (Temporary tables "are deleted when a session terminates for
+    /// any reason" — the property Phoenix's liveness probe relies on.)
+    pub fn close_session(&mut self, sid: SessionId) -> Result<()> {
+        let session = self
+            .sessions
+            .remove(&sid)
+            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
+        if let Some(txn) = session.txn {
+            self.durable.abort(txn)?;
+        }
+        Ok(())
+    }
+
+    fn take_session(&mut self, sid: SessionId) -> Result<SessionState> {
+        self.sessions
+            .remove(&sid)
+            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))
+    }
+
+    // -- statement execution --------------------------------------------------
+
+    /// Parse and execute a single statement.
+    pub fn execute(&mut self, sid: SessionId, sql: &str) -> Result<ExecResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(sid, &stmt)
+    }
+
+    /// Execute a batch (semicolon-separated). Results are returned per
+    /// statement; execution stops at the first error.
+    pub fn execute_batch(&mut self, sid: SessionId, sql: &str) -> Result<Vec<ExecResult>> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_stmt(sid, stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_stmt(&mut self, sid: SessionId, stmt: &Statement) -> Result<ExecResult> {
+        let mut session = self.take_session(sid)?;
+        let result = self.exec_in(&mut session, stmt, None, 0);
+        self.sessions.insert(sid, session);
+        if result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
+    }
+
+    fn exec_in(
+        &mut self,
+        session: &mut SessionState,
+        stmt: &Statement,
+        params: Option<&HashMap<String, Value>>,
+        depth: usize,
+    ) -> Result<ExecResult> {
+        if depth > 8 {
+            return Err(EngineError::unsupported("procedure call nesting too deep"));
+        }
+        match stmt {
+            Statement::Begin => {
+                if session.txn.is_some() {
+                    return Err(EngineError::new(ErrorCode::Txn, "transaction already open"));
+                }
+                session.txn = Some(self.durable.begin()?);
+                Ok(ExecResult::done())
+            }
+            Statement::Commit => {
+                let txn = session
+                    .txn
+                    .take()
+                    .ok_or_else(|| EngineError::new(ErrorCode::Txn, "no open transaction"))?;
+                self.durable.commit(txn)?;
+                Ok(ExecResult::done())
+            }
+            Statement::Rollback => {
+                let txn = session
+                    .txn
+                    .take()
+                    .ok_or_else(|| EngineError::new(ErrorCode::Txn, "no open transaction"))?;
+                self.durable.abort(txn)?;
+                Ok(ExecResult::done())
+            }
+            Statement::Set { name, value } => {
+                let env = Env {
+                    columns: &[],
+                    row: &[],
+                    params,
+                    precomputed: None,
+                };
+                let v = eval(value, &env)?;
+                session.set_option(name, v);
+                Ok(ExecResult::done())
+            }
+            Statement::Print(e) => {
+                let env = Env {
+                    columns: &[],
+                    row: &[],
+                    params,
+                    precomputed: None,
+                };
+                let v = eval(e, &env)?;
+                Ok(ExecResult {
+                    outcome: ExecOutcome::Done,
+                    messages: vec![v.to_string()],
+                })
+            }
+            Statement::Select(sel) => {
+                let view = CatalogView {
+                    durable: self.durable.store(),
+                    temp: &session.temp,
+                };
+                let rs = execute_select(sel, &view, params)?;
+                Ok(ExecResult {
+                    outcome: ExecOutcome::ResultSet {
+                        schema: rs.schema,
+                        rows: rs.rows,
+                    },
+                    messages: Vec::new(),
+                })
+            }
+            Statement::Insert(ins) => {
+                let rows = {
+                    let view = CatalogView {
+                        durable: self.durable.store(),
+                        temp: &session.temp,
+                    };
+                    let def = view_def(&view, &ins.table)?;
+                    compute_insert_rows(ins, &def, &view, params)?
+                };
+                let n = rows.len() as u64;
+                if ins.table.is_temp() {
+                    let t = session.temp.table_mut(&ins.table.canonical())?;
+                    for row in rows {
+                        t.insert(row)?;
+                    }
+                } else {
+                    let name = ins.table.canonical();
+                    self.with_txn(session, |db, txn| {
+                        for row in rows {
+                            db.insert(txn, &name, row)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+                Ok(ExecResult {
+                    outcome: ExecOutcome::RowsAffected(n),
+                    messages: Vec::new(),
+                })
+            }
+            Statement::Update(upd) => {
+                if upd.table.is_temp() {
+                    let data = session.temp.table(&upd.table.canonical())?;
+                    let changes = compute_update(upd, data, params)?;
+                    let n = changes.len() as u64;
+                    let t = session.temp.table_mut(&upd.table.canonical())?;
+                    for (rid, row) in changes {
+                        t.update(rid, row)?;
+                    }
+                    Ok(ExecResult {
+                        outcome: ExecOutcome::RowsAffected(n),
+                        messages: Vec::new(),
+                    })
+                } else {
+                    let name = upd.table.canonical();
+                    let changes = compute_update(upd, self.durable.store().table(&name)?, params)?;
+                    let n = changes.len() as u64;
+                    self.with_txn(session, |db, txn| {
+                        for (rid, row) in changes {
+                            db.update(txn, &name, rid, row)?;
+                        }
+                        Ok(())
+                    })?;
+                    Ok(ExecResult {
+                        outcome: ExecOutcome::RowsAffected(n),
+                        messages: Vec::new(),
+                    })
+                }
+            }
+            Statement::Delete(del) => {
+                if del.table.is_temp() {
+                    let data = session.temp.table(&del.table.canonical())?;
+                    let ids = compute_delete(del, data, params)?;
+                    let n = ids.len() as u64;
+                    let t = session.temp.table_mut(&del.table.canonical())?;
+                    for rid in ids {
+                        t.delete(rid)?;
+                    }
+                    Ok(ExecResult {
+                        outcome: ExecOutcome::RowsAffected(n),
+                        messages: Vec::new(),
+                    })
+                } else {
+                    let name = del.table.canonical();
+                    let ids = compute_delete(del, self.durable.store().table(&name)?, params)?;
+                    let n = ids.len() as u64;
+                    self.with_txn(session, |db, txn| {
+                        for rid in ids {
+                            db.delete(txn, &name, rid)?;
+                        }
+                        Ok(())
+                    })?;
+                    Ok(ExecResult {
+                        outcome: ExecOutcome::RowsAffected(n),
+                        messages: Vec::new(),
+                    })
+                }
+            }
+            Statement::CreateTable(c) => {
+                let def = build_table_def(c)?;
+                if c.name.is_temp() {
+                    session.temp.create_table(def)?;
+                } else {
+                    self.with_txn(session, |db, txn| Ok(db.create_table(txn, def)?))?;
+                }
+                Ok(ExecResult::done())
+            }
+            Statement::DropTable { name, if_exists } => {
+                let key = name.canonical();
+                if name.is_temp() {
+                    match session.temp.drop_table(&key) {
+                        Ok(_) => {}
+                        Err(_) if *if_exists => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                } else {
+                    let exists = self.durable.store().has_table(&key);
+                    if !exists {
+                        if *if_exists {
+                            return Ok(ExecResult::done());
+                        }
+                        return Err(EngineError::not_found(format!("no such table '{name}'")));
+                    }
+                    self.with_txn(session, |db, txn| Ok(db.drop_table(txn, &key)?))?;
+                }
+                Ok(ExecResult::done())
+            }
+            Statement::CreateProc(p) => {
+                // Procedures are stored as their rendered CREATE text and
+                // re-parsed at EXEC time.
+                let sql = render_statement(stmt);
+                let key = p.name.canonical();
+                if p.name.is_temp() {
+                    session.temp.create_proc(&key, &sql)?;
+                } else {
+                    if self.durable.store().has_proc(&key) {
+                        return Err(EngineError::new(
+                            ErrorCode::AlreadyExists,
+                            format!("procedure '{}' already exists", p.name),
+                        ));
+                    }
+                    self.with_txn(session, |db, txn| Ok(db.create_proc(txn, &key, &sql)?))?;
+                }
+                Ok(ExecResult::done())
+            }
+            Statement::DropProc { name, if_exists } => {
+                let key = name.canonical();
+                if name.is_temp() {
+                    match session.temp.drop_proc(&key) {
+                        Ok(_) => {}
+                        Err(_) if *if_exists => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                } else {
+                    if !self.durable.store().has_proc(&key) {
+                        if *if_exists {
+                            return Ok(ExecResult::done());
+                        }
+                        return Err(EngineError::not_found(format!("no such procedure '{name}'")));
+                    }
+                    self.with_txn(session, |db, txn| Ok(db.drop_proc(txn, &key)?))?;
+                }
+                Ok(ExecResult::done())
+            }
+            Statement::Exec(e) => self.exec_proc(session, e, params, depth),
+        }
+    }
+
+    /// Run `body` under the session's explicit transaction if one is open,
+    /// otherwise under a fresh autocommit transaction (committed on success,
+    /// aborted on error).
+    fn with_txn<F>(&mut self, session: &mut SessionState, body: F) -> Result<()>
+    where
+        F: FnOnce(&mut Durable, TxnId) -> Result<()>,
+    {
+        match session.txn {
+            Some(txn) => body(&mut self.durable, txn),
+            None => {
+                let txn = self.durable.begin()?;
+                match body(&mut self.durable, txn) {
+                    Ok(()) => {
+                        self.durable.commit(txn)?;
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.durable.abort(txn)?;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_proc(
+        &mut self,
+        session: &mut SessionState,
+        call: &ExecStmt,
+        outer_params: Option<&HashMap<String, Value>>,
+        depth: usize,
+    ) -> Result<ExecResult> {
+        let key = call.name.canonical();
+        let sql = if call.name.is_temp() {
+            session.temp.proc(&key).map(str::to_string)
+        } else {
+            self.durable.store().proc(&key).map(str::to_string)
+        }
+        .ok_or_else(|| EngineError::not_found(format!("no such procedure '{}'", call.name)))?;
+
+        let parsed = parse_statement(&sql)?;
+        let proc = match parsed {
+            Statement::CreateProc(p) => p,
+            other => {
+                return Err(EngineError::internal(format!(
+                    "stored procedure text is not CREATE PROCEDURE: {other:?}"
+                )))
+            }
+        };
+        if call.args.len() != proc.params.len() {
+            return Err(EngineError::new(
+                ErrorCode::Type,
+                format!(
+                    "procedure '{}' takes {} argument(s), got {}",
+                    call.name,
+                    proc.params.len(),
+                    call.args.len()
+                ),
+            ));
+        }
+        // Bind arguments (evaluated in the caller's parameter scope).
+        let mut params = HashMap::with_capacity(proc.params.len());
+        for (p, arg) in proc.params.iter().zip(&call.args) {
+            let env = Env {
+                columns: &[],
+                row: &[],
+                params: outer_params,
+                precomputed: None,
+            };
+            params.insert(p.name.clone(), eval(arg, &env)?);
+        }
+
+        let mut messages = Vec::new();
+        let mut outcome = ExecOutcome::Done;
+        for stmt in &proc.body {
+            let r = self.exec_in(session, stmt, Some(&params), depth + 1)?;
+            messages.extend(r.messages);
+            match r.outcome {
+                ExecOutcome::Done => {}
+                other => outcome = other,
+            }
+        }
+        Ok(ExecResult { outcome, messages })
+    }
+
+    // -- cursors ---------------------------------------------------------------
+
+    /// Open a server cursor over a SELECT.
+    pub fn open_cursor(
+        &mut self,
+        sid: SessionId,
+        select: &SelectStmt,
+        kind: CursorKind,
+    ) -> Result<(CursorId, Schema, CursorKind)> {
+        let mut session = self.take_session(sid)?;
+        let id = self.next_cursor;
+        let result = {
+            let view = CatalogView {
+                durable: self.durable.store(),
+                temp: &session.temp,
+            };
+            Cursor::open(id, select, kind, &view)
+        };
+        let out = match result {
+            Ok(cursor) => {
+                self.next_cursor += 1;
+                let schema = cursor.schema.clone();
+                let granted = cursor.kind;
+                session.cursors.insert(id, cursor);
+                Ok((id, schema, granted))
+            }
+            Err(e) => Err(e),
+        };
+        self.sessions.insert(sid, session);
+        out
+    }
+
+    /// Fetch from an open cursor.
+    pub fn fetch(
+        &mut self,
+        sid: SessionId,
+        cid: CursorId,
+        dir: FetchDir,
+        n: usize,
+    ) -> Result<Fetched> {
+        let mut session = self.take_session(sid)?;
+        let result = match session.cursors.remove(&cid) {
+            None => Err(EngineError::new(
+                ErrorCode::Cursor,
+                format!("no such cursor {cid}"),
+            )),
+            Some(mut cursor) => {
+                let r = {
+                    let view = CatalogView {
+                        durable: self.durable.store(),
+                        temp: &session.temp,
+                    };
+                    cursor.fetch(dir, n, &view)
+                };
+                session.cursors.insert(cid, cursor);
+                r
+            }
+        };
+        self.sessions.insert(sid, session);
+        result
+    }
+
+    /// Close an open cursor.
+    pub fn close_cursor(&mut self, sid: SessionId, cid: CursorId) -> Result<()> {
+        let session = self
+            .sessions
+            .get_mut(&sid)
+            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
+        session
+            .cursors
+            .remove(&cid)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::new(ErrorCode::Cursor, format!("no such cursor {cid}")))
+    }
+
+    /// Describe a table visible to the session: schema plus primary-key
+    /// column names (the catalog call behind the wire `Describe` request).
+    pub fn describe(&self, sid: SessionId, table: &ObjectName) -> Result<(Schema, Vec<String>)> {
+        let session = self
+            .sessions
+            .get(&sid)
+            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
+        let view = CatalogView {
+            durable: self.durable.store(),
+            temp: &session.temp,
+        };
+        use crate::plan::Catalog as _;
+        let data = view.table(table)?;
+        let pk = data
+            .def
+            .primary_key
+            .iter()
+            .map(|&i| data.def.schema.columns[i].name.clone())
+            .collect();
+        Ok((data.def.schema.clone(), pk))
+    }
+
+    // -- maintenance -------------------------------------------------------------
+
+    /// Take a checkpoint now. Fails if any session has an open transaction.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(s) = self.sessions.values().find(|s| s.txn.is_some()) {
+            return Err(EngineError::new(
+                ErrorCode::Txn,
+                format!("session {} has an open transaction", s.id),
+            ));
+        }
+        self.durable.checkpoint()?;
+        Ok(())
+    }
+
+    fn maybe_auto_checkpoint(&mut self) {
+        if let Some(every) = self.config.checkpoint_every {
+            if self.durable.log_records_since_checkpoint() >= every
+                && self.sessions.values().all(|s| s.txn.is_none())
+            {
+                // Best effort; failure surfaces on the next explicit call.
+                let _ = self.durable.checkpoint();
+            }
+        }
+    }
+}
+
+/// Look up a table definition through the view (cloned out so the view's
+/// borrow can end before mutation starts).
+fn view_def(view: &CatalogView<'_>, name: &ObjectName) -> Result<phoenix_storage::types::TableDef> {
+    use crate::plan::Catalog as _;
+    Ok(view.table(name)?.def.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("phoenix-engine-test-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn engine() -> (Engine, PathBuf) {
+        let dir = temp_dir();
+        (Engine::open(&dir, EngineConfig::default()).unwrap(), dir)
+    }
+
+    fn setup(e: &mut Engine, sid: SessionId) {
+        e.execute(sid, "CREATE TABLE customer (id INT PRIMARY KEY, name TEXT, nation INT)")
+            .unwrap();
+        e.execute(sid, "INSERT INTO customer VALUES (1, 'Smith', 10), (2, 'Jones', 10), (3, 'Smith', 20)")
+            .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        let r = e.execute(sid, "SELECT name FROM customer WHERE id = 2").unwrap();
+        assert_eq!(r.rows(), &[vec![Value::Text("Jones".into())]]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn dml_counts() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        assert_eq!(e.execute(sid, "UPDATE customer SET nation = 30 WHERE name = 'Smith'").unwrap().affected(), 2);
+        assert_eq!(e.execute(sid, "DELETE FROM customer WHERE nation = 30").unwrap().affected(), 2);
+        assert_eq!(e.execute(sid, "INSERT INTO customer (id, name) VALUES (9, 'New')").unwrap().affected(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_txn_commit_and_rollback() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(sid, "BEGIN").unwrap();
+        e.execute(sid, "DELETE FROM customer WHERE id = 1").unwrap();
+        e.execute(sid, "ROLLBACK").unwrap();
+        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(3));
+
+        e.execute(sid, "BEGIN").unwrap();
+        e.execute(sid, "DELETE FROM customer WHERE id = 1").unwrap();
+        e.execute(sid, "COMMIT").unwrap();
+        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(2));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn txn_misuse_errors() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        assert_eq!(e.execute(sid, "COMMIT").unwrap_err().code, ErrorCode::Txn);
+        e.execute(sid, "BEGIN").unwrap();
+        assert_eq!(e.execute(sid, "BEGIN").unwrap_err().code, ErrorCode::Txn);
+        e.execute(sid, "ROLLBACK").unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn autocommit_failure_rolls_back() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        // Second tuple violates the primary key; the whole statement must
+        // roll back.
+        let err = e
+            .execute(sid, "INSERT INTO customer VALUES (50, 'A', 1), (1, 'Dup', 1)")
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Constraint);
+        assert_eq!(
+            e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0],
+            Value::Int(3)
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn temp_tables_are_session_scoped_and_volatile() {
+        let (mut e, dir) = engine();
+        let s1 = e.create_session("a");
+        let s2 = e.create_session("b");
+        e.execute(s1, "CREATE TABLE #w (v INT)").unwrap();
+        e.execute(s1, "INSERT INTO #w VALUES (1), (2)").unwrap();
+        assert_eq!(e.execute(s1, "SELECT COUNT(*) FROM #w").unwrap().rows()[0][0], Value::Int(2));
+        // Invisible to the other session.
+        assert_eq!(e.execute(s2, "SELECT * FROM #w").unwrap_err().code, ErrorCode::NotFound);
+        // Gone when the session closes.
+        e.close_session(s1).unwrap();
+        let s3 = e.create_session("a");
+        assert_eq!(e.execute(s3, "SELECT * FROM #w").unwrap_err().code, ErrorCode::NotFound);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn temp_insert_can_read_durable() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(sid, "CREATE TABLE #copy (id INT, name TEXT)").unwrap();
+        let n = e
+            .execute(sid, "INSERT INTO #copy SELECT id, name FROM customer")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn procedures_with_params() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(
+            sid,
+            "CREATE PROCEDURE by_name (@n TEXT) AS SELECT id FROM customer WHERE name = @n",
+        )
+        .unwrap();
+        let r = e.execute(sid, "EXEC by_name ('Smith')").unwrap();
+        assert_eq!(r.rows().len(), 2);
+        // Wrong arity.
+        assert_eq!(e.execute(sid, "EXEC by_name").unwrap_err().code, ErrorCode::Type);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn capture_proc_shape_runs_atomically() {
+        // The exact pattern Phoenix generates for result-set capture.
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(sid, "CREATE TABLE phoenix.rs_1 (id INT, name TEXT)").unwrap();
+        e.execute(
+            sid,
+            "CREATE PROCEDURE phoenix.cap_1 AS INSERT INTO phoenix.rs_1 SELECT id, name FROM customer WHERE name = 'Smith'",
+        )
+        .unwrap();
+        let r = e.execute(sid, "EXEC phoenix.cap_1").unwrap();
+        assert_eq!(r.affected(), 2);
+        let r = e.execute(sid, "SELECT * FROM phoenix.rs_1").unwrap();
+        assert_eq!(r.rows().len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn print_produces_message() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        let r = e.execute(sid, "PRINT 'batch ' + '7'").unwrap();
+        assert_eq!(r.messages, vec!["batch 7"]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn set_options_recorded() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        e.execute(sid, "SET lock_timeout 5000").unwrap();
+        assert_eq!(
+            e.sessions[&sid].option("lock_timeout"),
+            Some(&Value::Int(5000))
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn committed_data_survives_engine_restart() {
+        let dir = temp_dir();
+        {
+            let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
+            let sid = e.create_session("app");
+            setup(&mut e, sid);
+            e.execute(sid, "CREATE TABLE #volatile (v INT)").unwrap();
+            // Open a transaction with uncommitted work, then "crash".
+            e.execute(sid, "BEGIN").unwrap();
+            e.execute(sid, "DELETE FROM customer").unwrap();
+            // no COMMIT — drop the engine
+        }
+        let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
+        let sid = e.create_session("app");
+        // Committed rows are back; uncommitted delete is not; temp is gone;
+        // old session ids are dead.
+        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(3));
+        assert_eq!(e.execute(sid, "SELECT * FROM #volatile").unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(e.execute(99, "SELECT 1").unwrap_err().code, ErrorCode::NoSession);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_through_engine() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        let sel = match parse_statement("SELECT id FROM customer").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let (cid, schema, kind) = e.open_cursor(sid, &sel, CursorKind::Keyset).unwrap();
+        assert_eq!(kind, CursorKind::Keyset);
+        assert_eq!(schema.columns[0].name, "id");
+        let f = e.fetch(sid, cid, FetchDir::Next, 2, ).unwrap();
+        assert_eq!(f.rows.len(), 2);
+        e.close_cursor(sid, cid).unwrap();
+        assert_eq!(e.fetch(sid, cid, FetchDir::Next, 1).unwrap_err().code, ErrorCode::Cursor);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_respects_open_txns() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(sid, "BEGIN").unwrap();
+        assert_eq!(e.checkpoint().unwrap_err().code, ErrorCode::Txn);
+        e.execute(sid, "COMMIT").unwrap();
+        e.checkpoint().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn close_session_aborts_open_txn() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&mut e, sid);
+        e.execute(sid, "BEGIN").unwrap();
+        e.execute(sid, "DELETE FROM customer").unwrap();
+        e.close_session(sid).unwrap();
+        let sid2 = e.create_session("app");
+        assert_eq!(
+            e.execute(sid2, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0],
+            Value::Int(3)
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn batch_execution() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        let results = e
+            .execute_batch(sid, "CREATE TABLE t (v INT); INSERT INTO t VALUES (1); SELECT * FROM t")
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[2].rows().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn drop_if_exists() {
+        let (mut e, dir) = engine();
+        let sid = e.create_session("app");
+        e.execute(sid, "DROP TABLE IF EXISTS nothing").unwrap();
+        assert_eq!(e.execute(sid, "DROP TABLE nothing").unwrap_err().code, ErrorCode::NotFound);
+        e.execute(sid, "DROP PROCEDURE IF EXISTS nothing").unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,879 @@
+//! Scalar expression evaluation and static type inference.
+//!
+//! Evaluation follows SQL three-valued logic: comparisons involving `NULL`
+//! yield `NULL`, `AND`/`OR` are Kleene connectives, and a `WHERE` predicate
+//! admits a row only when it evaluates to `TRUE` (not `NULL`).
+//!
+//! Type inference ([`infer_type`]) computes a result-set schema without
+//! executing anything — it is what lets the engine answer Phoenix's
+//! `WHERE 0=1` metadata probe with column names, types and nullability and
+//! zero rows, exactly as the paper requires ("only query compilation is
+//! performed on the server").
+
+use std::collections::HashMap;
+
+use phoenix_sql::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use phoenix_sql::display::render_expr;
+use phoenix_storage::types::{parse_date, DataType, Value};
+
+use crate::error::{EngineError, Result};
+
+/// A column visible to expression evaluation: optional qualifier (table name
+/// or alias), column name, and declared type.
+#[derive(Debug, Clone)]
+pub struct BoundColumn {
+    /// Table name or alias the column is reachable through.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// May hold `NULL`?
+    pub nullable: bool,
+}
+
+/// The evaluation environment: a set of bound columns, the current row, an
+/// optional parameter map (procedure execution), and — during grouped
+/// aggregation — precomputed values for aggregate expressions and group keys,
+/// looked up by rendered expression text.
+pub struct Env<'a> {
+    /// Columns visible to name resolution.
+    pub columns: &'a [BoundColumn],
+    /// The current row, positionally matching `columns`.
+    pub row: &'a [Value],
+    /// Procedure parameters (`@name`), when executing a procedure body.
+    pub params: Option<&'a HashMap<String, Value>>,
+    /// Rendered-expression → computed value, consulted before structural
+    /// evaluation. Carries aggregate results and group keys in the
+    /// post-aggregation environment.
+    pub precomputed: Option<&'a HashMap<String, Value>>,
+}
+
+impl<'a> Env<'a> {
+    /// An environment with no parameters or precomputed values.
+    pub fn new(columns: &'a [BoundColumn], row: &'a [Value]) -> Env<'a> {
+        Env {
+            columns,
+            row,
+            params: None,
+            precomputed: None,
+        }
+    }
+
+    /// Builder: attach procedure parameters.
+    pub fn with_params(mut self, params: &'a HashMap<String, Value>) -> Env<'a> {
+        self.params = Some(params);
+        self
+    }
+
+    /// Resolve a column reference to its index. Ambiguity (same unqualified
+    /// name bound by several tables) is an error, as in SQL.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if !c.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = qualifier {
+                let matches = c
+                    .qualifier
+                    .as_deref()
+                    .is_some_and(|cq| cq.eq_ignore_ascii_case(q));
+                if !matches {
+                    continue;
+                }
+            }
+            if found.is_some() {
+                return Err(EngineError::column(format!("ambiguous column '{name}'")));
+            }
+            found = Some(i);
+        }
+        found.ok_or_else(|| {
+            let full = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            };
+            EngineError::column(format!("unknown column '{full}'"))
+        })
+    }
+}
+
+/// Aggregate function names, recognized case-insensitively.
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "SUM" | "COUNT" | "AVG" | "MIN" | "MAX"
+    )
+}
+
+/// Does this expression contain an aggregate function call?
+pub fn contains_aggregate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Function { name, .. } if is_aggregate(name) => true,
+        Expr::Function { args, .. } => args.iter().any(contains_aggregate),
+        Expr::Unary { expr, .. } => contains_aggregate(expr),
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
+                || else_expr.as_deref().is_some_and(contains_aggregate)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
+        Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        Expr::Nested(e) => contains_aggregate(e),
+        _ => false,
+    }
+}
+
+/// Convert a SQL literal to a runtime value.
+pub fn literal_value(lit: &Literal) -> Result<Value> {
+    Ok(match lit {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Date(s) => Value::Date(
+            parse_date(s).ok_or_else(|| EngineError::type_err(format!("bad date literal '{s}'")))?,
+        ),
+    })
+}
+
+/// Evaluate `expr` in `env`.
+pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
+    // Precomputed aggregate/group values take precedence over structural
+    // evaluation (post-aggregation environment).
+    if let Some(pre) = env.precomputed {
+        if let Some(v) = pre.get(&render_expr(expr)) {
+            return Ok(v.clone());
+        }
+    }
+
+    match expr {
+        Expr::Literal(lit) => literal_value(lit),
+        Expr::Column { table, name } => {
+            let idx = env.resolve(table.as_deref(), name)?;
+            Ok(env.row[idx].clone())
+        }
+        Expr::Param(p) => match env.params.and_then(|m| m.get(p)) {
+            Some(v) => Ok(v.clone()),
+            None => Err(EngineError::column(format!("unbound parameter '@{p}'"))),
+        },
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(EngineError::type_err(format!("NOT applied to {other}"))),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(EngineError::type_err(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, env),
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            if is_aggregate(name) {
+                return Err(EngineError::column(format!(
+                    "aggregate {name}() used outside aggregation context"
+                )));
+            }
+            if *distinct {
+                return Err(EngineError::unsupported("DISTINCT on scalar function"));
+            }
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Result<Vec<_>>>()?;
+            scalar_function(name, &vals)
+        }
+        Expr::Wildcard => Err(EngineError::column("'*' outside COUNT(*)")),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, val) in branches {
+                if eval(cond, env)? == Value::Bool(true) {
+                    return eval(val, env);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, env),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval(expr, env)?;
+            let lo = eval(low, env)?;
+            let hi = eval(high, env)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let inside = compare(&lo, &v)? != std::cmp::Ordering::Greater
+                && compare(&v, &hi)? != std::cmp::Ordering::Greater;
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, env)?;
+                if iv.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if compare(&v, &iv)? == std::cmp::Ordering::Equal {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval(expr, env)?;
+            let p = eval(pattern, env)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(EngineError::type_err(format!("LIKE on {a} / {b}"))),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Nested(e) => eval(e, env),
+    }
+}
+
+fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, env: &Env<'_>) -> Result<Value> {
+    // Kleene AND/OR with short-circuiting where sound.
+    if op == BinaryOp::And || op == BinaryOp::Or {
+        let l = eval(left, env)?;
+        let lb = truth(&l)?;
+        match (op, lb) {
+            (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = eval(right, env)?;
+        let rb = truth(&r)?;
+        return Ok(match (op, lb, rb) {
+            (BinaryOp::And, Some(a), Some(b)) => Value::Bool(a && b),
+            (BinaryOp::And, Some(false), _) | (BinaryOp::And, _, Some(false)) => Value::Bool(false),
+            (BinaryOp::Or, Some(a), Some(b)) => Value::Bool(a || b),
+            (BinaryOp::Or, Some(true), _) | (BinaryOp::Or, _, Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        });
+    }
+
+    let l = eval(left, env)?;
+    let r = eval(right, env)?;
+
+    if op.is_comparison() {
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        let ord = compare(&l, &r)?;
+        use std::cmp::Ordering::*;
+        let b = match op {
+            BinaryOp::Eq => ord == Equal,
+            BinaryOp::NotEq => ord != Equal,
+            BinaryOp::Lt => ord == Less,
+            BinaryOp::LtEq => ord != Greater,
+            BinaryOp::Gt => ord == Greater,
+            BinaryOp::GtEq => ord != Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+
+    // Arithmetic (and string concatenation via `+`).
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (op, &l, &r) {
+        (BinaryOp::Add, Value::Text(a), Value::Text(b)) => Ok(Value::Text(format!("{a}{b}"))),
+        (BinaryOp::Add, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d + *n as i32)),
+        (BinaryOp::Sub, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d - *n as i32)),
+        (BinaryOp::Sub, Value::Date(a), Value::Date(b)) => Ok(Value::Int((*a as i64) - (*b as i64))),
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EngineError::type_err(format!(
+                        "arithmetic on non-numeric values {l} {} {r}",
+                        op.sql()
+                    )))
+                }
+            };
+            let both_int = matches!((&l, &r), (Value::Int(_), Value::Int(_)));
+            Ok(match op {
+                BinaryOp::Add if both_int => Value::Int(a as i64 + b as i64),
+                BinaryOp::Sub if both_int => Value::Int(a as i64 - b as i64),
+                BinaryOp::Mul if both_int => Value::Int((a as i64).wrapping_mul(b as i64)),
+                BinaryOp::Add => Value::Float(a + b),
+                BinaryOp::Sub => Value::Float(a - b),
+                BinaryOp::Mul => Value::Float(a * b),
+                // Division always yields float: `1/2 = 0.5`, not 0. Documented
+                // dialect deviation from T-SQL integer division.
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        return Err(EngineError::type_err("division by zero"));
+                    }
+                    Value::Float(a / b)
+                }
+                BinaryOp::Mod => {
+                    if b == 0.0 {
+                        return Err(EngineError::type_err("modulo by zero"));
+                    }
+                    if both_int {
+                        Value::Int(a as i64 % b as i64)
+                    } else {
+                        Value::Float(a % b)
+                    }
+                }
+                _ => unreachable!("non-arithmetic op in arithmetic path"),
+            })
+        }
+    }
+}
+
+/// Truth view of a value for WHERE/HAVING: `Some(bool)` or `None` for NULL.
+pub fn truth(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(EngineError::type_err(format!(
+            "expected boolean predicate, got {other}"
+        ))),
+    }
+}
+
+/// SQL comparison between two non-null values, with Int/Float cross-typing
+/// and Text→Date coercion (so `odate >= '1994-01-01'` works).
+pub fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+    use Value::*;
+    let ord = match (a, b) {
+        (Int(_), Int(_))
+        | (Float(_), Float(_))
+        | (Int(_), Float(_))
+        | (Float(_), Int(_))
+        | (Text(_), Text(_))
+        | (Bool(_), Bool(_))
+        | (Date(_), Date(_)) => a.cmp(b),
+        (Text(s), Date(_)) => match parse_date(s) {
+            Some(d) => Date(d).cmp(b),
+            None => return Err(EngineError::type_err(format!("cannot compare '{s}' to a date"))),
+        },
+        (Date(_), Text(s)) => match parse_date(s) {
+            Some(d) => a.cmp(&Date(d)),
+            None => return Err(EngineError::type_err(format!("cannot compare a date to '{s}'"))),
+        },
+        _ => {
+            return Err(EngineError::type_err(format!(
+                "cannot compare {a} with {b}"
+            )))
+        }
+    };
+    Ok(ord)
+}
+
+/// `LIKE` pattern matching: `%` any run, `_` any single char. Matching is
+/// case-sensitive, per ANSI.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+/// Scalar (non-aggregate) function dispatch.
+fn scalar_function(name: &str, args: &[Value]) -> Result<Value> {
+    let upper = name.to_ascii_uppercase();
+    let arity = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EngineError::type_err(format!(
+                "{upper}() expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match upper.as_str() {
+        "ABS" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(EngineError::type_err(format!("ABS({other})"))),
+            }
+        }
+        "UPPER" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_uppercase())),
+                other => Err(EngineError::type_err(format!("UPPER({other})"))),
+            }
+        }
+        "LOWER" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_lowercase())),
+                other => Err(EngineError::type_err(format!("LOWER({other})"))),
+            }
+        }
+        "LENGTH" | "LEN" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(EngineError::type_err(format!("LENGTH({other})"))),
+            }
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            arity(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Text(s), Value::Int(start), Value::Int(len)) => {
+                    let start = (*start).max(1) as usize - 1; // SQL is 1-based
+                    let out: String = s.chars().skip(start).take((*len).max(0) as usize).collect();
+                    Ok(Value::Text(out))
+                }
+                _ => Err(EngineError::type_err("SUBSTR(text, int, int)")),
+            }
+        }
+        "COALESCE" => {
+            if args.is_empty() {
+                return Err(EngineError::type_err("COALESCE needs arguments"));
+            }
+            Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null))
+        }
+        "ROUND" => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Null, _) => Ok(Value::Null),
+                (Value::Float(f), Value::Int(n)) => {
+                    let m = 10f64.powi(*n as i32);
+                    Ok(Value::Float((f * m).round() / m))
+                }
+                (Value::Int(i), Value::Int(_)) => Ok(Value::Int(*i)),
+                _ => Err(EngineError::type_err("ROUND(number, int)")),
+            }
+        }
+        "YEAR" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Date(d) => {
+                    let (y, _, _) = phoenix_storage::types::civil_from_days(*d);
+                    Ok(Value::Int(y))
+                }
+                other => Err(EngineError::type_err(format!("YEAR({other})"))),
+            }
+        }
+        "MONTH" => {
+            arity(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Date(d) => {
+                    let (_, m, _) = phoenix_storage::types::civil_from_days(*d);
+                    Ok(Value::Int(m as i64))
+                }
+                other => Err(EngineError::type_err(format!("MONTH({other})"))),
+            }
+        }
+        other => Err(EngineError::unsupported(format!("unknown function {other}()"))),
+    }
+}
+
+/// Infer the static type of `expr` against the given bound columns.
+///
+/// Returns `(type, nullable)`. Where the type is genuinely unknowable
+/// (e.g. a bare NULL literal) we default to `Text`, matching the behavior of
+/// drivers that describe untyped NULLs as varchar.
+pub fn infer_type(expr: &Expr, columns: &[BoundColumn]) -> Result<(DataType, bool)> {
+    Ok(match expr {
+        Expr::Literal(Literal::Null) => (DataType::Text, true),
+        Expr::Literal(Literal::Int(_)) => (DataType::Int, false),
+        Expr::Literal(Literal::Float(_)) => (DataType::Float, false),
+        Expr::Literal(Literal::String(_)) => (DataType::Text, false),
+        Expr::Literal(Literal::Bool(_)) => (DataType::Bool, false),
+        Expr::Literal(Literal::Date(_)) => (DataType::Date, false),
+        Expr::Column { table, name } => {
+            // Reuse Env::resolve with an empty row.
+            let env = Env::new(columns, &[]);
+            let idx = env.resolve(table.as_deref(), name)?;
+            (columns[idx].dtype, columns[idx].nullable)
+        }
+        Expr::Param(_) => (DataType::Text, true),
+        Expr::Unary { op, expr } => {
+            let (t, n) = infer_type(expr, columns)?;
+            match op {
+                UnaryOp::Not => (DataType::Bool, n),
+                UnaryOp::Neg => (t, n),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            if *op == BinaryOp::And || *op == BinaryOp::Or || op.is_comparison() {
+                (DataType::Bool, true)
+            } else {
+                let (lt, ln) = infer_type(left, columns)?;
+                let (rt, rn) = infer_type(right, columns)?;
+                let t = match (lt, rt) {
+                    (DataType::Text, _) | (_, DataType::Text) => DataType::Text,
+                    (DataType::Date, DataType::Int) => DataType::Date,
+                    (DataType::Date, DataType::Date) => DataType::Int,
+                    (DataType::Float, _) | (_, DataType::Float) => DataType::Float,
+                    _ if *op == BinaryOp::Div => DataType::Float,
+                    _ => DataType::Int,
+                };
+                (t, ln || rn)
+            }
+        }
+        Expr::Function { name, args, .. } => {
+            let upper = name.to_ascii_uppercase();
+            match upper.as_str() {
+                "COUNT" => (DataType::Int, false),
+                "AVG" => (DataType::Float, true),
+                "SUM" | "MIN" | "MAX" => {
+                    let (t, _) = match args.first() {
+                        Some(Expr::Wildcard) | None => (DataType::Int, true),
+                        Some(a) => infer_type(a, columns)?,
+                    };
+                    let t = if upper == "SUM" && t == DataType::Int {
+                        DataType::Int
+                    } else {
+                        t
+                    };
+                    (t, true)
+                }
+                "LENGTH" | "LEN" | "YEAR" | "MONTH" => (DataType::Int, true),
+                "UPPER" | "LOWER" | "SUBSTR" | "SUBSTRING" => (DataType::Text, true),
+                "ABS" | "ROUND" => match args.first() {
+                    Some(a) => infer_type(a, columns)?,
+                    None => (DataType::Float, true),
+                },
+                "COALESCE" => match args.first() {
+                    Some(a) => {
+                        let (t, _) = infer_type(a, columns)?;
+                        (t, true)
+                    }
+                    None => (DataType::Text, true),
+                },
+                _ => (DataType::Text, true),
+            }
+        }
+        Expr::Wildcard => (DataType::Int, false),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            // Type of the first non-NULL-literal branch.
+            for (_, v) in branches {
+                if !matches!(v, Expr::Literal(Literal::Null)) {
+                    return infer_type(v, columns).map(|(t, _)| (t, true));
+                }
+            }
+            match else_expr {
+                Some(e) => {
+                    let (t, _) = infer_type(e, columns)?;
+                    (t, true)
+                }
+                None => (DataType::Text, true),
+            }
+        }
+        Expr::Between { .. } | Expr::InList { .. } | Expr::Like { .. } | Expr::IsNull { .. } => {
+            (DataType::Bool, true)
+        }
+        Expr::Nested(e) => infer_type(e, columns)?,
+    })
+}
+
+/// The display name for a projection item without an alias: a bare column
+/// keeps its name; anything else uses the rendered expression text.
+pub fn output_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Nested(e) => output_name(e),
+        other => render_expr(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_sql::parser::parse_statement;
+    use phoenix_sql::Statement;
+
+    fn cols() -> Vec<BoundColumn> {
+        vec![
+            BoundColumn {
+                qualifier: Some("t".into()),
+                name: "a".into(),
+                dtype: DataType::Int,
+                nullable: false,
+            },
+            BoundColumn {
+                qualifier: Some("t".into()),
+                name: "b".into(),
+                dtype: DataType::Text,
+                nullable: true,
+            },
+            BoundColumn {
+                qualifier: Some("u".into()),
+                name: "a".into(),
+                dtype: DataType::Float,
+                nullable: true,
+            },
+        ]
+    }
+
+    fn expr_of(sql: &str) -> Expr {
+        match parse_statement(&format!("SELECT {sql}")).unwrap() {
+            Statement::Select(s) => match s.projections.into_iter().next().unwrap() {
+                phoenix_sql::ast::SelectItem::Expr { expr, .. } => expr,
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn eval_str(sql: &str, row: &[Value]) -> Result<Value> {
+        let columns = cols();
+        let env = Env::new(&columns, row);
+        eval(&expr_of(sql), &env)
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(5), Value::Text("Smith".into()), Value::Float(1.5)]
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("1 + 2 * 3", &row()).unwrap(), Value::Int(7));
+        assert_eq!(eval_str("7 / 2", &row()).unwrap(), Value::Float(3.5));
+        assert_eq!(eval_str("7 % 3", &row()).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("-t.a", &row()).unwrap(), Value::Int(-5));
+        assert_eq!(eval_str("1.5 + 1", &row()).unwrap(), Value::Float(2.5));
+        assert!(eval_str("1 / 0", &row()).is_err());
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            eval_str("b + '!'", &row()).unwrap(),
+            Value::Text("Smith!".into())
+        );
+    }
+
+    #[test]
+    fn qualified_resolution_and_ambiguity() {
+        assert_eq!(eval_str("t.a", &row()).unwrap(), Value::Int(5));
+        assert_eq!(eval_str("u.a", &row()).unwrap(), Value::Float(1.5));
+        let e = eval_str("a", &row()).unwrap_err();
+        assert!(e.message.contains("ambiguous"));
+        assert!(eval_str("t.zzz", &row()).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = vec![Value::Int(5), Value::Null, Value::Float(1.0)];
+        assert_eq!(eval_str("b = 'x'", &r).unwrap(), Value::Null);
+        assert_eq!(eval_str("b = 'x' AND t.a = 5", &r).unwrap(), Value::Null);
+        assert_eq!(eval_str("b = 'x' AND t.a = 9", &r).unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("b = 'x' OR t.a = 5", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("NOT (b = 'x')", &r).unwrap(), Value::Null);
+        assert_eq!(eval_str("b IS NULL", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("b IS NOT NULL", &r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn comparisons_and_coercion() {
+        assert_eq!(eval_str("t.a > 4", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a = 5.0", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("DATE '1994-06-01' < '1995-01-01'", &row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_str("t.a > 'x'", &row()).is_err());
+    }
+
+    #[test]
+    fn between_in_like() {
+        assert_eq!(eval_str("t.a BETWEEN 1 AND 10", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a NOT BETWEEN 1 AND 4", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a IN (1, 5, 9)", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a NOT IN (1, 9)", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a IN (1, NULL)", &row()).unwrap(), Value::Null);
+        assert_eq!(eval_str("b LIKE 'Sm%'", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("b LIKE '_mith'", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("b NOT LIKE '%x%'", &row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%c"));
+        assert!(like_match("a%c", "a%c")); // literal pass-through of matched text
+        assert!(!like_match("ABC", "abc")); // case-sensitive
+        assert!(like_match("PROMO BURNISHED", "PROMO%"));
+    }
+
+    #[test]
+    fn case_expression() {
+        assert_eq!(
+            eval_str("CASE WHEN t.a = 5 THEN 'five' ELSE 'other' END", &row()).unwrap(),
+            Value::Text("five".into())
+        );
+        assert_eq!(
+            eval_str("CASE WHEN t.a = 9 THEN 'nine' END", &row()).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval_str("ABS(-3)", &row()).unwrap(), Value::Int(3));
+        assert_eq!(eval_str("UPPER(b)", &row()).unwrap(), Value::Text("SMITH".into()));
+        assert_eq!(eval_str("LENGTH(b)", &row()).unwrap(), Value::Int(5));
+        assert_eq!(eval_str("SUBSTR(b, 2, 3)", &row()).unwrap(), Value::Text("mit".into()));
+        assert_eq!(eval_str("COALESCE(NULL, 7)", &row()).unwrap(), Value::Int(7));
+        assert_eq!(eval_str("ROUND(2.567, 2)", &row()).unwrap(), Value::Float(2.57));
+        assert_eq!(eval_str("YEAR(DATE '1994-03-01')", &row()).unwrap(), Value::Int(1994));
+        assert_eq!(eval_str("MONTH(DATE '1994-03-01')", &row()).unwrap(), Value::Int(3));
+        assert!(eval_str("NO_SUCH_FN(1)", &row()).is_err());
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        assert_eq!(
+            eval_str("DATE '1970-01-01' + 10", &row()).unwrap(),
+            Value::Date(10)
+        );
+        assert_eq!(
+            eval_str("DATE '1970-02-01' - DATE '1970-01-01'", &row()).unwrap(),
+            Value::Int(31)
+        );
+    }
+
+    #[test]
+    fn aggregates_rejected_outside_grouping() {
+        let e = eval_str("SUM(t.a)", &row()).unwrap_err();
+        assert!(e.message.contains("aggregate"));
+    }
+
+    #[test]
+    fn type_inference() {
+        let columns = cols();
+        let t = |sql: &str| infer_type(&expr_of(sql), &columns).unwrap().0;
+        assert_eq!(t("t.a"), DataType::Int);
+        assert_eq!(t("t.a + 1"), DataType::Int);
+        assert_eq!(t("t.a / 2"), DataType::Float);
+        assert_eq!(t("t.a + u.a"), DataType::Float);
+        assert_eq!(t("b + 'x'"), DataType::Text);
+        assert_eq!(t("t.a > 1"), DataType::Bool);
+        assert_eq!(t("COUNT(*)"), DataType::Int);
+        assert_eq!(t("AVG(t.a)"), DataType::Float);
+        assert_eq!(t("SUM(t.a)"), DataType::Int);
+        assert_eq!(t("SUM(u.a)"), DataType::Float);
+        assert_eq!(t("MIN(b)"), DataType::Text);
+        assert_eq!(t("CASE WHEN TRUE THEN 1 END"), DataType::Int);
+        assert_eq!(t("DATE '1994-01-01' + 30"), DataType::Date);
+    }
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        assert!(contains_aggregate(&expr_of("1 + SUM(t.a)")));
+        assert!(contains_aggregate(&expr_of("CASE WHEN COUNT(*) > 1 THEN 1 END")));
+        assert!(!contains_aggregate(&expr_of("t.a + 1")));
+    }
+
+    #[test]
+    fn precomputed_values_win() {
+        let columns = cols();
+        let mut pre = HashMap::new();
+        pre.insert("SUM(t.a)".to_string(), Value::Int(42));
+        let r = row();
+        let env = Env {
+            columns: &columns,
+            row: &r,
+            params: None,
+            precomputed: Some(&pre),
+        };
+        assert_eq!(eval(&expr_of("SUM(t.a)"), &env).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn params() {
+        let columns = cols();
+        let mut params = HashMap::new();
+        params.insert("cid".to_string(), Value::Int(9));
+        let r = row();
+        let env = Env::new(&columns, &r).with_params(&params);
+        assert_eq!(eval(&expr_of("@cid + 1"), &env).unwrap(), Value::Int(10));
+        assert!(eval(&expr_of("@missing"), &env).is_err());
+    }
+
+    #[test]
+    fn output_names() {
+        assert_eq!(output_name(&expr_of("t.a")), "a");
+        assert_eq!(output_name(&expr_of("COUNT(*)")), "COUNT(*)");
+    }
+}

@@ -1,0 +1,1455 @@
+//! SELECT execution.
+//!
+//! The planner is deliberately simple but real: it splits the WHERE clause
+//! into conjuncts, pushes single-table conjuncts down to the scans, joins the
+//! FROM list left-to-right using hash joins whenever an equi-conjunct links
+//! the next table to the tables already joined (nested-loop filtering
+//! otherwise), then applies grouping/aggregation, HAVING, ORDER BY and
+//! LIMIT/OFFSET.
+//!
+//! Constant conjuncts are evaluated once before any scan — so Phoenix's
+//! `WHERE 0=1` metadata probe touches no data at all, matching the paper's
+//! "only query compilation is performed on the server".
+//!
+//! Scan order is row-id (insertion) order; a `SELECT * FROM t` with no ORDER
+//! BY therefore returns rows in the order they were inserted. Phoenix's
+//! result-set materialization relies on this documented property.
+
+use std::collections::HashMap;
+
+use phoenix_sql::ast::{Expr, ObjectName, SelectItem, SelectStmt};
+use phoenix_sql::display::render_expr;
+use phoenix_storage::store::TableData;
+use phoenix_storage::types::{Column, Row, Schema, Value};
+
+use crate::error::{EngineError, Result};
+#[cfg(test)]
+use crate::error::ErrorCode;
+use crate::eval::{
+    compare, eval, infer_type, is_aggregate, output_name, truth, BoundColumn, Env,
+};
+
+/// Read access to tables by (possibly qualified, possibly temp) name.
+/// Implemented by the engine over its durable + session-temporary stores.
+pub trait Catalog {
+    /// Resolve a (possibly temp) table name to its data.
+    fn table(&self, name: &ObjectName) -> Result<&TableData>;
+}
+
+/// A fully executed result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Result metadata.
+    pub schema: Schema,
+    /// All rows, in delivery order.
+    pub rows: Vec<Row>,
+}
+
+/// Execute a SELECT, returning the complete result set.
+pub fn execute_select(
+    select: &SelectStmt,
+    catalog: &dyn Catalog,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<ResultSet> {
+    let bound = bind_from(select, catalog)?;
+    let schema = output_schema_from_binding(select, &bound)?;
+
+    // Split WHERE into conjuncts and classify by referenced tables.
+    let conjuncts = split_conjuncts(select.where_clause.as_ref());
+    let mut classified = Vec::with_capacity(conjuncts.len());
+    for c in &conjuncts {
+        classified.push((c, tables_of_expr(c, &bound)?));
+    }
+
+    // Constant conjuncts: evaluate once; a false/NULL constant conjunct
+    // empties the result without scanning.
+    let empty_row: Row = Vec::new();
+    for (c, tables) in &classified {
+        if tables.is_empty() {
+            let env = Env {
+                columns: &[],
+                row: &empty_row,
+                params,
+                precomputed: None,
+            };
+            if truth(&eval(c, &env)?)? != Some(true) {
+                return finish_select(select, &bound, Vec::new(), params, schema);
+            }
+        }
+    }
+
+    // Join the FROM list left-to-right.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut applied = vec![false; classified.len()];
+    // Mark constant conjuncts applied (handled above).
+    for (i, (_, tables)) in classified.iter().enumerate() {
+        if tables.is_empty() {
+            applied[i] = true;
+        }
+    }
+
+    if bound.tables.is_empty() {
+        // SELECT without FROM: one empty row.
+        rows.push(Vec::new());
+    }
+
+    for (ti, table) in bound.tables.iter().enumerate() {
+        // Scan the next table, applying its single-table conjuncts.
+        let single: Vec<&Expr> = classified
+            .iter()
+            .enumerate()
+            .filter(|(i, (_, tabs))| !applied[*i] && tabs.len() == 1 && tabs.contains(&ti))
+            .map(|(_, (c, _))| *c)
+            .collect();
+        let scan = scan_table(table, &bound, ti, &single, params)?;
+        for (i, (_, tabs)) in classified.iter().enumerate() {
+            if tabs.len() == 1 && tabs.contains(&ti) {
+                applied[i] = true;
+            }
+        }
+
+        if ti == 0 {
+            rows = scan;
+        } else {
+            // Equi-conjuncts linking the new table to the already-joined
+            // prefix drive a hash join.
+            let mut left_keys: Vec<&Expr> = Vec::new();
+            let mut right_keys: Vec<&Expr> = Vec::new();
+            let mut equi_idx: Vec<usize> = Vec::new();
+            for (i, (c, tabs)) in classified.iter().enumerate() {
+                if applied[i] || !tabs.iter().all(|t| *t <= ti) || !tabs.contains(&ti) {
+                    continue;
+                }
+                if let Expr::Binary {
+                    left,
+                    op: phoenix_sql::ast::BinaryOp::Eq,
+                    right,
+                } = c
+                {
+                    let lt = tables_of_expr(left, &bound)?;
+                    let rt = tables_of_expr(right, &bound)?;
+                    if lt.iter().all(|t| *t < ti) && rt == vec![ti] {
+                        left_keys.push(left);
+                        right_keys.push(right);
+                        equi_idx.push(i);
+                    } else if rt.iter().all(|t| *t < ti) && lt == vec![ti] {
+                        left_keys.push(right);
+                        right_keys.push(left);
+                        equi_idx.push(i);
+                    }
+                }
+            }
+
+            rows = if left_keys.is_empty() {
+                cross_join(rows, scan)
+            } else {
+                for i in &equi_idx {
+                    applied[*i] = true;
+                }
+                hash_join(
+                    rows, scan, &left_keys, &right_keys, &bound, ti, params,
+                )?
+            };
+            let joined_tables = ti + 1;
+
+            // Apply any now-evaluable residual conjuncts.
+            let cols = &bound.columns[..bound.offsets[joined_tables]];
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut ok = true;
+                for (i, (c, tabs)) in classified.iter().enumerate() {
+                    if applied[i] || !tabs.iter().all(|t| *t < joined_tables) {
+                        continue;
+                    }
+                    let env = Env {
+                        columns: cols,
+                        row: &row,
+                        params,
+                        precomputed: None,
+                    };
+                    if truth(&eval(c, &env)?)? != Some(true) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    kept.push(row);
+                }
+            }
+            for (i, (_, tabs)) in classified.iter().enumerate() {
+                if tabs.iter().all(|t| *t < joined_tables) {
+                    applied[i] = true;
+                }
+            }
+            rows = kept;
+        }
+    }
+
+    // With a single table all conjuncts were applied during the scan; with
+    // zero tables, apply row-level conjuncts (there are none possible beyond
+    // constants). Any conjunct still unapplied here is a bug.
+    debug_assert!(applied.iter().all(|a| *a), "unapplied conjunct after join");
+
+    finish_select(select, &bound, rows, params, schema)
+}
+
+/// Compute the output schema of a SELECT without executing it — the engine's
+/// answer to the metadata probe.
+pub fn select_schema(select: &SelectStmt, catalog: &dyn Catalog) -> Result<Schema> {
+    let bound = bind_from(select, catalog)?;
+    output_schema_from_binding(select, &bound)
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+struct BoundFrom<'a> {
+    /// Borrowed table data, in FROM order — scans never copy table storage.
+    tables: Vec<&'a TableData>,
+    /// Flattened bound columns across tables, in FROM order.
+    columns: Vec<BoundColumn>,
+    /// `offsets[i]` = first column index of table `i`; one extra entry holds
+    /// the total width.
+    offsets: Vec<usize>,
+}
+
+fn bind_from<'a>(select: &SelectStmt, catalog: &'a dyn Catalog) -> Result<BoundFrom<'a>> {
+    let mut tables = Vec::with_capacity(select.from.len());
+    let mut columns = Vec::new();
+    let mut offsets = vec![0usize];
+    for item in &select.from {
+        let data = catalog.table(&item.table)?;
+        let qualifier = item
+            .alias
+            .clone()
+            .unwrap_or_else(|| item.table.name.clone());
+        for col in &data.def.schema.columns {
+            columns.push(BoundColumn {
+                qualifier: Some(qualifier.clone()),
+                name: col.name.clone(),
+                dtype: col.dtype,
+                nullable: col.nullable,
+            });
+        }
+        offsets.push(columns.len());
+        tables.push(data);
+    }
+    Ok(BoundFrom {
+        tables,
+        columns,
+        offsets,
+    })
+}
+
+/// Expand the projection list into concrete expressions with output names.
+fn expand_projections(
+    select: &SelectStmt,
+    bound: &BoundFrom,
+) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => {
+                if bound.columns.is_empty() {
+                    return Err(EngineError::column("SELECT * with no FROM clause"));
+                }
+                for c in &bound.columns {
+                    out.push((
+                        Expr::Column {
+                            table: c.qualifier.clone(),
+                            name: c.name.clone(),
+                        },
+                        c.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut any = false;
+                for c in &bound.columns {
+                    if c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q)) {
+                        out.push((
+                            Expr::Column {
+                                table: c.qualifier.clone(),
+                                name: c.name.clone(),
+                            },
+                            c.name.clone(),
+                        ));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(EngineError::column(format!("unknown table alias '{q}'")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| output_name(expr));
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn output_schema_from_binding(select: &SelectStmt, bound: &BoundFrom) -> Result<Schema> {
+    let projections = expand_projections(select, bound)?;
+    let mut cols = Vec::with_capacity(projections.len());
+    for (expr, name) in &projections {
+        let (dtype, nullable) = infer_type(expr, &bound.columns)?;
+        cols.push(Column {
+            name: name.clone(),
+            dtype,
+            nullable,
+        });
+    }
+    Ok(Schema::new(cols))
+}
+
+// ---------------------------------------------------------------------------
+// Scanning and joining
+// ---------------------------------------------------------------------------
+
+/// Scan one table in row-id order, filtering by its single-table conjuncts.
+///
+/// When the conjuncts pin every primary-key column to a constant, the scan
+/// collapses to an index point lookup — this is what makes Phoenix's keyset
+/// cursor (one `SELECT … WHERE pk = v` per fetched row) sub-linear instead
+/// of a full scan per row.
+fn scan_table(
+    table: &TableData,
+    bound: &BoundFrom,
+    table_idx: usize,
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Vec<Row>> {
+    let cols = &bound.columns[bound.offsets[table_idx]..bound.offsets[table_idx + 1]];
+
+    // Fast path: primary-key point lookup.
+    if let Some(candidates) = try_point_lookup(table, cols, filters, params)? {
+        let mut out = Vec::new();
+        'cands: for row in candidates {
+            for f in filters {
+                let env = Env {
+                    columns: cols,
+                    row: &row,
+                    params,
+                    precomputed: None,
+                };
+                if truth(&eval(f, &env)?)? != Some(true) {
+                    continue 'cands;
+                }
+            }
+            out.push(row);
+        }
+        return Ok(out);
+    }
+
+    let mut out = Vec::new();
+    'rows: for row in table.rows.values() {
+        for f in filters {
+            let env = Env {
+                columns: cols,
+                row,
+                params,
+                precomputed: None,
+            };
+            if truth(&eval(f, &env)?)? != Some(true) {
+                continue 'rows;
+            }
+        }
+        out.push(row.clone());
+    }
+    Ok(out)
+}
+
+/// If the filter conjuncts contain `pk_col = <constant>` for every primary-
+/// key column, resolve the key through the index and return the candidate
+/// rows (zero or one). `None` means the fast path does not apply.
+fn try_point_lookup(
+    table: &TableData,
+    cols: &[BoundColumn],
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Option<Vec<Row>>> {
+    if !table.def.has_primary_key() {
+        return Ok(None);
+    }
+    let empty_row: Row = Vec::new();
+    let mut key = Vec::with_capacity(table.def.primary_key.len());
+    for &pk_idx in &table.def.primary_key {
+        let pk_name = &table.def.schema.columns[pk_idx].name;
+        let mut found = None;
+        for f in filters {
+            if let Expr::Binary {
+                left,
+                op: phoenix_sql::ast::BinaryOp::Eq,
+                right,
+            } = f
+            {
+                let (col_side, const_side) = if is_column_named(left, pk_name, cols) && is_constant(right) {
+                    (left, right)
+                } else if is_column_named(right, pk_name, cols) && is_constant(left) {
+                    (right, left)
+                } else {
+                    continue;
+                };
+                let _ = col_side;
+                let env = Env {
+                    columns: &[],
+                    row: &empty_row,
+                    params,
+                    precomputed: None,
+                };
+                let v = eval(const_side, &env)?;
+                // Coerce to the key column's type so index comparison is
+                // exact (e.g. `k = 5` against a FLOAT key).
+                let coerced = v
+                    .coerce_to(table.def.schema.columns[pk_idx].dtype)
+                    .unwrap_or(v);
+                found = Some(coerced);
+                break;
+            }
+        }
+        match found {
+            Some(v) => key.push(v),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(match table.row_id_by_key(&key) {
+        Some(rid) => vec![table.rows[&rid].clone()],
+        None => Vec::new(),
+    }))
+}
+
+/// Is `e` a bare reference to the column `name` of this table?
+fn is_column_named(e: &Expr, name: &str, cols: &[BoundColumn]) -> bool {
+    match e {
+        Expr::Column { table, name: n } if n.eq_ignore_ascii_case(name) => match table {
+            None => true,
+            Some(q) => cols
+                .iter()
+                .any(|c| c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))),
+        },
+        Expr::Nested(inner) => is_column_named(inner, name, cols),
+        _ => false,
+    }
+}
+
+/// Constant expression: literals and parameters only (no column refs).
+fn is_constant(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Nested(inner) => is_constant(inner),
+        Expr::Unary { expr, .. } => is_constant(expr),
+        Expr::Binary { left, right, .. } => is_constant(left) && is_constant(right),
+        _ => false,
+    }
+}
+
+fn cross_join(left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    for l in &left {
+        for r in &right {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Hash join: build on the (smaller, already-filtered) right input, probe
+/// with the joined prefix.
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_keys: &[&Expr],
+    right_keys: &[&Expr],
+    bound: &BoundFrom,
+    right_table: usize,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Vec<Row>> {
+    let right_cols = &bound.columns[bound.offsets[right_table]..bound.offsets[right_table + 1]];
+    let left_cols = &bound.columns[..bound.offsets[right_table]];
+
+    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
+    for r in &right {
+        let env = Env {
+            columns: right_cols,
+            row: r,
+            params,
+            precomputed: None,
+        };
+        let mut key = Vec::with_capacity(right_keys.len());
+        let mut null = false;
+        for k in right_keys {
+            let v = eval(k, &env)?;
+            if v.is_null() {
+                null = true;
+                break;
+            }
+            key.push(v);
+        }
+        if !null {
+            table.entry(key).or_default().push(r);
+        }
+    }
+
+    let mut out = Vec::new();
+    for l in &left {
+        let env = Env {
+            columns: left_cols,
+            row: l,
+            params,
+            precomputed: None,
+        };
+        let mut key = Vec::with_capacity(left_keys.len());
+        let mut null = false;
+        for k in left_keys {
+            let v = eval(k, &env)?;
+            if v.is_null() {
+                null = true;
+                break;
+            }
+            key.push(v);
+        }
+        if null {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Conjunct analysis
+// ---------------------------------------------------------------------------
+
+/// Split an optional predicate into top-level AND conjuncts.
+pub fn split_conjuncts(pred: Option<&Expr>) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Binary {
+                left,
+                op: phoenix_sql::ast::BinaryOp::And,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Nested(inner) => walk(inner, out),
+            other => out.push(other.clone()),
+        }
+    }
+    if let Some(p) = pred {
+        walk(p, &mut out);
+    }
+    out
+}
+
+/// Which FROM tables does this expression reference? Sorted, deduplicated.
+fn tables_of_expr(expr: &Expr, bound: &BoundFrom) -> Result<Vec<usize>> {
+    let mut tables = Vec::new();
+    collect_tables(expr, bound, &mut tables)?;
+    tables.sort_unstable();
+    tables.dedup();
+    Ok(tables)
+}
+
+fn collect_tables(expr: &Expr, bound: &BoundFrom, out: &mut Vec<usize>) -> Result<()> {
+    match expr {
+        Expr::Column { table, name } => {
+            let env = Env::new(&bound.columns, &[]);
+            let idx = env.resolve(table.as_deref(), name)?;
+            // Map the flat column index back to its table.
+            let t = bound
+                .offsets
+                .windows(2)
+                .position(|w| idx >= w[0] && idx < w[1])
+                .ok_or_else(|| EngineError::internal("column offset out of range"))?;
+            out.push(t);
+            Ok(())
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Nested(expr) => {
+            collect_tables(expr, bound, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_tables(left, bound, out)?;
+            collect_tables(right, bound, out)
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                if !matches!(a, Expr::Wildcard) {
+                    collect_tables(a, bound, out)?;
+                }
+            }
+            Ok(())
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                collect_tables(c, bound, out)?;
+                collect_tables(v, bound, out)?;
+            }
+            if let Some(e) = else_expr {
+                collect_tables(e, bound, out)?;
+            }
+            Ok(())
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_tables(expr, bound, out)?;
+            collect_tables(low, bound, out)?;
+            collect_tables(high, bound, out)
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_tables(expr, bound, out)?;
+            for e in list {
+                collect_tables(e, bound, out)?;
+            }
+            Ok(())
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_tables(expr, bound, out)?;
+            collect_tables(pattern, bound, out)
+        }
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation / projection / ordering
+// ---------------------------------------------------------------------------
+
+/// Collect the distinct aggregate expressions appearing anywhere in the
+/// statement's output positions, keyed by rendered text.
+fn collect_aggregates(select: &SelectStmt) -> Vec<Expr> {
+    let mut seen: Vec<Expr> = Vec::new();
+    let mut push = |e: &Expr| {
+        let key = render_expr(e);
+        if !seen.iter().any(|s| render_expr(s) == key) {
+            seen.push(e.clone());
+        }
+    };
+    fn walk(e: &Expr, push: &mut dyn FnMut(&Expr)) {
+        match e {
+            Expr::Function { name, .. } if is_aggregate(name) => push(e),
+            Expr::Function { args, .. } => args.iter().for_each(|a| walk(a, push)),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Nested(expr) => {
+                walk(expr, push)
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left, push);
+                walk(right, push);
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    walk(c, push);
+                    walk(v, push);
+                }
+                if let Some(x) = else_expr {
+                    walk(x, push);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, push);
+                walk(low, push);
+                walk(high, push);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, push);
+                list.iter().for_each(|x| walk(x, push));
+            }
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, push);
+                walk(pattern, push);
+            }
+            _ => {}
+        }
+    }
+    for item in &select.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, &mut push);
+        }
+    }
+    if let Some(h) = &select.having {
+        walk(h, &mut push);
+    }
+    for o in &select.order_by {
+        walk(&o.expr, &mut push);
+    }
+    seen
+}
+
+fn finish_select(
+    select: &SelectStmt,
+    bound: &BoundFrom,
+    rows: Vec<Row>,
+    params: Option<&HashMap<String, Value>>,
+    schema: Schema,
+) -> Result<ResultSet> {
+    let projections = expand_projections(select, bound)?;
+    let aggregates = collect_aggregates(select);
+    let grouped = !select.group_by.is_empty() || !aggregates.is_empty();
+
+    // (output row, sort-env precomputed map, input row) triples for ORDER BY.
+    type SortableRow = (Row, Option<HashMap<String, Value>>, Option<Row>);
+    let mut output: Vec<SortableRow> = Vec::new();
+
+    if grouped {
+        // Group rows by group-key values.
+        let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        for row in rows {
+            let env = Env {
+                columns: &bound.columns,
+                row: &row,
+                params,
+                precomputed: None,
+            };
+            let mut key = Vec::with_capacity(select.group_by.len());
+            for g in &select.group_by {
+                key.push(eval(g, &env)?);
+            }
+            let mut kb = bytes::BytesMut::new();
+            phoenix_storage::codec::put_row(&mut kb, &key);
+            let kb = kb.to_vec();
+            match index.get(&kb) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    index.insert(kb, groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        // A global aggregate over zero rows still yields one group.
+        if groups.is_empty() && select.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        for (key, grows) in &groups {
+            let mut pre: HashMap<String, Value> = HashMap::new();
+            for (g, k) in select.group_by.iter().zip(key.iter()) {
+                pre.insert(render_expr(g), k.clone());
+            }
+            for agg in &aggregates {
+                let v = compute_aggregate(agg, grows, bound, params)?;
+                pre.insert(render_expr(agg), v);
+            }
+            // Representative row for column refs not captured by the group
+            // key (lenient, MySQL-style; strict SQL would reject them).
+            let rep = grows.first().cloned().unwrap_or_default();
+            let env = Env {
+                columns: &bound.columns,
+                row: &rep,
+                params,
+                precomputed: Some(&pre),
+            };
+            if let Some(h) = &select.having {
+                if truth(&eval(h, &env)?)? != Some(true) {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::with_capacity(projections.len());
+            for (expr, _) in &projections {
+                out_row.push(eval(expr, &env)?);
+            }
+            output.push((out_row, Some(pre), Some(rep)));
+        }
+    } else {
+        for row in rows {
+            let env = Env {
+                columns: &bound.columns,
+                row: &row,
+                params,
+                precomputed: None,
+            };
+            let mut out_row = Vec::with_capacity(projections.len());
+            for (expr, _) in &projections {
+                out_row.push(eval(expr, &env)?);
+            }
+            output.push((out_row, None, Some(row)));
+        }
+    }
+
+    // SELECT DISTINCT: deduplicate output rows (before ordering, as SQL
+    // defines — DISTINCT is a property of the result set).
+    if select.distinct {
+        let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+        output.retain(|(row, _, _)| {
+            let mut kb = bytes::BytesMut::new();
+            phoenix_storage::codec::put_row(&mut kb, row);
+            seen.insert(kb.to_vec())
+        });
+    }
+
+    // ORDER BY.
+    if !select.order_by.is_empty() {
+        // Precompute sort keys.
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(output.len());
+        for (out_row, pre, in_row) in &output {
+            let mut keys = Vec::with_capacity(select.order_by.len());
+            for item in &select.order_by {
+                let v = sort_key_value(
+                    &item.expr,
+                    select,
+                    &projections,
+                    out_row,
+                    pre.as_ref(),
+                    in_row.as_deref(),
+                    bound,
+                    params,
+                )?;
+                keys.push(v);
+            }
+            keyed.push((keys, out_row.clone()));
+        }
+        keyed.sort_by(|a, b| {
+            for (i, item) in select.order_by.iter().enumerate() {
+                let ord = a.0[i].cmp(&b.0[i]);
+                let ord = if item.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        output = keyed
+            .into_iter()
+            .map(|(_, r)| (r, None, None))
+            .collect();
+    }
+
+    // OFFSET / LIMIT.
+    let mut rows: Vec<Row> = output.into_iter().map(|(r, _, _)| r).collect();
+    if let Some(off) = select.offset {
+        rows = rows.into_iter().skip(off as usize).collect();
+    }
+    if let Some(lim) = select.limit {
+        rows.truncate(lim as usize);
+    }
+
+    Ok(ResultSet { schema, rows })
+}
+
+/// Evaluate one ORDER BY expression for a single output row.
+#[allow(clippy::too_many_arguments)]
+fn sort_key_value(
+    expr: &Expr,
+    _select: &SelectStmt,
+    projections: &[(Expr, String)],
+    out_row: &Row,
+    pre: Option<&HashMap<String, Value>>,
+    in_row: Option<&[Value]>,
+    bound: &BoundFrom,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Value> {
+    // Ordinal reference: ORDER BY 2.
+    if let Expr::Literal(phoenix_sql::ast::Literal::Int(n)) = expr {
+        let i = *n as usize;
+        if i >= 1 && i <= out_row.len() {
+            return Ok(out_row[i - 1].clone());
+        }
+        return Err(EngineError::column(format!("ORDER BY position {n} out of range")));
+    }
+    // Alias or exact-projection match → output column.
+    let key = render_expr(expr);
+    for (i, (pexpr, pname)) in projections.iter().enumerate() {
+        let alias_match = matches!(expr, Expr::Column { table: None, name } if name.eq_ignore_ascii_case(pname));
+        if alias_match || render_expr(pexpr) == key {
+            return Ok(out_row[i].clone());
+        }
+    }
+    // Fall back to evaluating against the input/group environment.
+    let in_row = in_row.ok_or_else(|| {
+        EngineError::column(format!("cannot order by '{key}': not in projection"))
+    })?;
+    let env = Env {
+        columns: &bound.columns,
+        row: in_row,
+        params,
+        precomputed: pre,
+    };
+    eval(expr, &env)
+}
+
+/// Compute one aggregate over the rows of a group.
+fn compute_aggregate(
+    agg: &Expr,
+    rows: &[Row],
+    bound: &BoundFrom,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Value> {
+    let (name, args, distinct) = match agg {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => (name.to_ascii_uppercase(), args, *distinct),
+        other => return Err(EngineError::internal(format!("not an aggregate: {other:?}"))),
+    };
+
+    // COUNT(*) counts rows.
+    if name == "COUNT" && matches!(args.first(), Some(Expr::Wildcard) | None) {
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| EngineError::type_err(format!("{name}() needs an argument")))?;
+
+    let mut values: Vec<Value> = Vec::new();
+    for row in rows {
+        let env = Env {
+            columns: &bound.columns,
+            row,
+            params,
+            precomputed: None,
+        };
+        let v = eval(arg, &env)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen: Vec<Value> = Vec::new();
+        values.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(v.clone());
+                true
+            }
+        });
+    }
+
+    Ok(match name.as_str() {
+        "COUNT" => Value::Int(values.len() as i64),
+        "SUM" | "AVG" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let sum: f64 = values
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| EngineError::type_err(format!("{name}() over non-numeric value"))))
+                .sum::<Result<f64>>()?;
+            if name == "AVG" {
+                Value::Float(sum / values.len() as f64)
+            } else if all_int {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        "MIN" | "MAX" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = compare(&v, &b)?;
+                        let take = if name == "MIN" {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+        other => return Err(EngineError::unsupported(format!("aggregate {other}()"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_sql::parser::parse_statement;
+    use phoenix_sql::Statement;
+    use phoenix_storage::store::Store;
+    use phoenix_storage::types::{DataType, TableDef};
+
+    struct TestCatalog {
+        store: Store,
+    }
+
+    impl Catalog for TestCatalog {
+        fn table(&self, name: &ObjectName) -> Result<&TableData> {
+            self.store
+                .table(&name.canonical())
+                .map_err(|e| EngineError::new(ErrorCode::NotFound, e.to_string()))
+        }
+    }
+
+    fn catalog() -> TestCatalog {
+        let mut store = Store::new();
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.customer",
+                    Schema::new(vec![
+                        Column::new("id", DataType::Int).not_null(),
+                        Column::new("name", DataType::Text),
+                        Column::new("nation", DataType::Int),
+                    ]),
+                )
+                .with_primary_key(vec![0]),
+            )
+            .unwrap();
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.orders",
+                    Schema::new(vec![
+                        Column::new("okey", DataType::Int).not_null(),
+                        Column::new("cust_id", DataType::Int),
+                        Column::new("total", DataType::Float),
+                        Column::new("status", DataType::Text),
+                    ]),
+                )
+                .with_primary_key(vec![0]),
+            )
+            .unwrap();
+        {
+            let c = store.table_mut("dbo.customer").unwrap();
+            for (id, name, nation) in [(1, "Smith", 10), (2, "Jones", 10), (3, "Smith", 20)] {
+                c.insert(vec![Value::Int(id), Value::Text(name.into()), Value::Int(nation)])
+                    .unwrap();
+            }
+        }
+        {
+            let o = store.table_mut("dbo.orders").unwrap();
+            for (okey, cid, total, status) in [
+                (100, 1, 10.0, "O"),
+                (101, 1, 20.0, "F"),
+                (102, 2, 30.0, "O"),
+                (103, 3, 40.0, "F"),
+                (104, 3, 50.0, "F"),
+            ] {
+                o.insert(vec![
+                    Value::Int(okey),
+                    Value::Int(cid),
+                    Value::Float(total),
+                    Value::Text(status.into()),
+                ])
+                .unwrap();
+            }
+        }
+        TestCatalog { store }
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let cat = catalog();
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => execute_select(&s, &cat, None).unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_select() {
+        let rs = run("SELECT 1 + 1, 'x'");
+        assert_eq!(rs.rows, vec![vec![Value::Int(2), Value::Text("x".into())]]);
+    }
+
+    #[test]
+    fn full_scan_in_insertion_order() {
+        let rs = run("SELECT id FROM customer");
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn filter_pushdown() {
+        let rs = run("SELECT id FROM customer WHERE name = 'Smith'");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn where_0_eq_1_returns_schema_only() {
+        let rs = run("SELECT id, name FROM customer WHERE (name = 'Smith') AND (0 = 1)");
+        assert!(rs.rows.is_empty());
+        assert_eq!(rs.schema.columns[0].name, "id");
+        assert_eq!(rs.schema.columns[0].dtype, DataType::Int);
+        assert_eq!(rs.schema.columns[1].dtype, DataType::Text);
+    }
+
+    #[test]
+    fn hash_join_two_tables() {
+        let rs = run(
+            "SELECT c.name, o.total FROM customer c, orders o \
+             WHERE c.id = o.cust_id AND o.status = 'F' ORDER BY o.total",
+        );
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0], Value::Text("Smith".into()));
+        assert_eq!(rs.rows[2][1], Value::Float(50.0));
+    }
+
+    #[test]
+    fn explicit_join_syntax() {
+        let rs = run("SELECT c.name FROM customer c JOIN orders o ON c.id = o.cust_id WHERE o.total > 35.0");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn cross_join_when_no_equi() {
+        let rs = run("SELECT c.id, o.okey FROM customer c, orders o");
+        assert_eq!(rs.rows.len(), 15);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let rs = run(
+            "SELECT status, COUNT(*) AS n, SUM(total) AS s, AVG(total), MIN(total), MAX(total) \
+             FROM orders GROUP BY status ORDER BY status",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        // F: 3 orders totalling 110
+        assert_eq!(rs.rows[0][0], Value::Text("F".into()));
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+        assert_eq!(rs.rows[0][2], Value::Float(110.0));
+        // O: 2 orders totalling 40
+        assert_eq!(rs.rows[1][1], Value::Int(2));
+        assert_eq!(rs.rows[1][2], Value::Float(40.0));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let rs = run("SELECT COUNT(*), SUM(total) FROM orders");
+        assert_eq!(rs.rows, vec![vec![Value::Int(5), Value::Float(150.0)]]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let rs = run("SELECT COUNT(*), SUM(total) FROM orders WHERE okey > 999");
+        assert_eq!(rs.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let rs = run("SELECT cust_id, COUNT(*) FROM orders GROUP BY cust_id HAVING COUNT(*) >= 2 ORDER BY cust_id");
+        assert_eq!(rs.rows.len(), 2); // customers 1 and 3
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("SELECT COUNT(DISTINCT name) FROM customer");
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn order_by_alias_and_ordinal() {
+        let rs = run("SELECT id AS k FROM customer ORDER BY k DESC");
+        assert_eq!(rs.rows[0], vec![Value::Int(3)]);
+        let rs = run("SELECT id, name FROM customer ORDER BY 2, 1 DESC");
+        assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Text("Jones".into())]);
+    }
+
+    #[test]
+    fn order_by_non_projected_column() {
+        let rs = run("SELECT name FROM customer ORDER BY id DESC");
+        assert_eq!(rs.rows[0], vec![Value::Text("Smith".into())]);
+    }
+
+    #[test]
+    fn limit_offset() {
+        let rs = run("SELECT okey FROM orders ORDER BY okey LIMIT 2 OFFSET 1");
+        assert_eq!(rs.rows, vec![vec![Value::Int(101)], vec![Value::Int(102)]]);
+        let rs = run("SELECT okey FROM orders OFFSET 3");
+        assert_eq!(rs.rows.len(), 2);
+        let rs = run("SELECT TOP 1 okey FROM orders");
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_in_arithmetic() {
+        let rs = run("SELECT SUM(total) / COUNT(*) FROM orders");
+        assert_eq!(rs.rows, vec![vec![Value::Float(30.0)]]);
+    }
+
+    #[test]
+    fn case_with_aggregate_q14_shape() {
+        let rs = run(
+            "SELECT 100.0 * SUM(CASE WHEN status LIKE 'O%' THEN total ELSE 0.0 END) / SUM(total) FROM orders",
+        );
+        match &rs.rows[0][0] {
+            Value::Float(f) => assert!((f - 26.6667).abs() < 0.01, "{f}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_without_execution() {
+        let cat = catalog();
+        let s = match parse_statement("SELECT name, SUM(total) AS st FROM customer, orders WHERE id = cust_id GROUP BY name").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let schema = select_schema(&s, &cat).unwrap();
+        assert_eq!(schema.columns[0].name, "name");
+        assert_eq!(schema.columns[1].name, "st");
+        assert_eq!(schema.columns[1].dtype, DataType::Float);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let cat = catalog();
+        let s = match parse_statement("SELECT * FROM nope").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(execute_select(&s, &cat, None).unwrap_err().code, ErrorCode::NotFound);
+        let s = match parse_statement("SELECT zzz FROM customer").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(execute_select(&s, &cat, None).unwrap_err().code, ErrorCode::Column);
+    }
+
+    #[test]
+    fn three_way_join() {
+        // Self-join chain through two tables plus customer again.
+        let rs = run(
+            "SELECT c.name, o.okey, c2.id FROM customer c, orders o, customer c2 \
+             WHERE c.id = o.cust_id AND o.cust_id = c2.id AND c.id = 1 ORDER BY o.okey",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][2], Value::Int(1));
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let mut cat = catalog();
+        cat.store
+            .table_mut("dbo.orders")
+            .unwrap()
+            .insert(vec![Value::Int(105), Value::Null, Value::Float(1.0), Value::Text("O".into())])
+            .unwrap();
+        let s = match parse_statement("SELECT c.id FROM customer c, orders o WHERE c.id = o.cust_id").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let rs = execute_select(&s, &cat, None).unwrap();
+        assert_eq!(rs.rows.len(), 5); // the NULL-keyed order matches nothing
+    }
+}
+
+#[cfg(test)]
+mod point_lookup_tests {
+    use super::*;
+    use phoenix_sql::parser::parse_statement;
+    use phoenix_sql::Statement;
+    use phoenix_storage::store::Store;
+    use phoenix_storage::types::{DataType, TableDef};
+
+    struct Cat {
+        store: Store,
+    }
+
+    impl Catalog for Cat {
+        fn table(&self, name: &ObjectName) -> Result<&TableData> {
+            self.store.table(&name.canonical()).map_err(EngineError::from)
+        }
+    }
+
+    fn cat() -> Cat {
+        let mut store = Store::new();
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.kv",
+                    Schema::new(vec![
+                        Column::new("k", DataType::Int).not_null(),
+                        Column::new("v", DataType::Text),
+                    ]),
+                )
+                .with_primary_key(vec![0]),
+            )
+            .unwrap();
+        let t = store.table_mut("dbo.kv").unwrap();
+        for i in 0..1000 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("v{i}"))]).unwrap();
+        }
+        // Composite-keyed table.
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.pair",
+                    Schema::new(vec![
+                        Column::new("a", DataType::Int).not_null(),
+                        Column::new("b", DataType::Int).not_null(),
+                        Column::new("v", DataType::Int),
+                    ]),
+                )
+                .with_primary_key(vec![0, 1]),
+            )
+            .unwrap();
+        let t = store.table_mut("dbo.pair").unwrap();
+        for a in 0..10 {
+            for b in 0..10 {
+                t.insert(vec![Value::Int(a), Value::Int(b), Value::Int(a * 10 + b)]).unwrap();
+            }
+        }
+        Cat { store }
+    }
+
+    fn run(cat: &Cat, sql: &str) -> Vec<Row> {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => execute_select(&s, cat, None).unwrap().rows,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_lookup_matches_scan_semantics() {
+        let c = cat();
+        let rows = run(&c, "SELECT v FROM kv WHERE k = 437");
+        assert_eq!(rows, vec![vec![Value::Text("v437".into())]]);
+        // Missing key → empty, not an error.
+        assert!(run(&c, "SELECT v FROM kv WHERE k = 99999").is_empty());
+        // Reversed operand order also hits the fast path.
+        let rows = run(&c, "SELECT v FROM kv WHERE 42 = k");
+        assert_eq!(rows, vec![vec![Value::Text("v42".into())]]);
+    }
+
+    #[test]
+    fn point_lookup_keeps_residual_predicates() {
+        let c = cat();
+        // The key matches but the residual predicate does not.
+        assert!(run(&c, "SELECT v FROM kv WHERE k = 10 AND v = 'nope'").is_empty());
+        let rows = run(&c, "SELECT v FROM kv WHERE k = 10 AND v = 'v10'");
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn composite_key_lookup() {
+        let c = cat();
+        let rows = run(&c, "SELECT v FROM pair WHERE a = 3 AND b = 7");
+        assert_eq!(rows, vec![vec![Value::Int(37)]]);
+        // Partial key does NOT take the fast path but must still be correct.
+        let rows = run(&c, "SELECT v FROM pair WHERE a = 3");
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn constant_expressions_and_coercion() {
+        let c = cat();
+        let rows = run(&c, "SELECT v FROM kv WHERE k = 400 + 37");
+        assert_eq!(rows, vec![vec![Value::Text("v437".into())]]);
+        // Float constant coerces to the INT key.
+        let rows = run(&c, "SELECT v FROM kv WHERE k = 437.0");
+        assert_eq!(rows, vec![vec![Value::Text("v437".into())]]);
+    }
+
+    #[test]
+    fn column_equals_column_is_not_a_point_lookup() {
+        let c = cat();
+        // `k = k` references a column on both sides; must fall back to scan
+        // and return everything.
+        let rows = run(&c, "SELECT k FROM kv WHERE k = k");
+        assert_eq!(rows.len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod distinct_tests {
+    use super::*;
+    use phoenix_sql::parser::parse_statement;
+    use phoenix_sql::Statement;
+    use phoenix_storage::store::Store;
+    use phoenix_storage::types::{DataType, TableDef};
+
+    struct Cat {
+        store: Store,
+    }
+
+    impl Catalog for Cat {
+        fn table(&self, name: &ObjectName) -> Result<&TableData> {
+            self.store.table(&name.canonical()).map_err(EngineError::from)
+        }
+    }
+
+    fn cat() -> Cat {
+        let mut store = Store::new();
+        store
+            .create_table(TableDef::new(
+                "dbo.dup",
+                Schema::new(vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Text),
+                ]),
+            ))
+            .unwrap();
+        let t = store.table_mut("dbo.dup").unwrap();
+        for (a, b) in [(1, "x"), (1, "x"), (2, "x"), (1, "y"), (2, "x")] {
+            t.insert(vec![Value::Int(a), Value::Text(b.into())]).unwrap();
+        }
+        Cat { store }
+    }
+
+    fn run(cat: &Cat, sql: &str) -> Vec<Row> {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => execute_select(&s, cat, None).unwrap().rows,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_deduplicates_rows() {
+        let c = cat();
+        let rows = run(&c, "SELECT DISTINCT a, b FROM dup ORDER BY a, b");
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Text("x".into())],
+                vec![Value::Int(1), Value::Text("y".into())],
+                vec![Value::Int(2), Value::Text("x".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_single_column() {
+        let c = cat();
+        let rows = run(&c, "SELECT DISTINCT b FROM dup");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence_order() {
+        let c = cat();
+        let rows = run(&c, "SELECT DISTINCT a FROM dup");
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn distinct_respects_limit() {
+        let c = cat();
+        let rows = run(&c, "SELECT DISTINCT a, b FROM dup LIMIT 2");
+        assert_eq!(rows.len(), 2);
+    }
+}

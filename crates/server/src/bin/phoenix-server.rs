@@ -1,0 +1,67 @@
+//! Standalone Phoenix database server.
+//!
+//! ```text
+//! phoenix-server [--data <dir>] [--port <port>] [--buffered]
+//! ```
+//!
+//! Opens (and crash-recovers) the database in the data directory, listens on
+//! the given port, and serves until SIGINT/EOF on stdin. A checkpoint is
+//! taken on orderly shutdown.
+
+use std::io::BufRead;
+
+use phoenix_engine::{Engine, EngineConfig};
+use phoenix_server::RunningServer;
+use phoenix_storage::db::Durability;
+
+fn main() {
+    let mut data_dir = std::path::PathBuf::from("./phoenix-data");
+    let mut port: u16 = 54321;
+    let mut durability = Durability::Fsync;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data" => data_dir = args.next().expect("--data needs a path").into(),
+            "--port" => port = args.next().expect("--port needs a number").parse().expect("bad port"),
+            "--buffered" => durability = Durability::Buffered,
+            "--help" | "-h" => {
+                eprintln!("usage: phoenix-server [--data <dir>] [--port <port>] [--buffered]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = EngineConfig {
+        durability,
+        checkpoint_every: Some(100_000),
+    };
+    eprintln!("phoenix-server: opening {} (recovery may replay the log)…", data_dir.display());
+    let engine = Engine::open(&data_dir, config).unwrap_or_else(|e| {
+        eprintln!("cannot open database: {e}");
+        std::process::exit(1);
+    });
+
+    let server = RunningServer::start(engine, port).unwrap_or_else(|e| {
+        eprintln!("cannot listen on port {port}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("phoenix-server: listening on 127.0.0.1:{}", server.port);
+    eprintln!("phoenix-server: press Enter (or close stdin) to shut down gracefully");
+
+    // Block until stdin yields a line or closes.
+    let stdin = std::io::stdin();
+    let _ = stdin.lock().lines().next();
+
+    eprintln!("phoenix-server: shutting down (checkpointing)…");
+    if let Some(mut engine) = server.stop() {
+        if let Err(e) = engine.checkpoint() {
+            eprintln!("checkpoint failed: {e}");
+        }
+    }
+    eprintln!("phoenix-server: bye");
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # phoenix-server
+//!
+//! The TCP database server over [`phoenix_engine`], plus the crash-injection
+//! harness used by tests and benchmarks.
+//!
+//! * [`server`] — thread-per-connection request/response loop. A connection
+//!   owns one engine session; losing the connection (for any reason) closes
+//!   the session, destroying its temp tables — the property Phoenix's
+//!   liveness probe tests.
+//! * [`harness`] — [`harness::ServerHarness`]: `start()` / `crash()` /
+//!   `restart()` / `shutdown()`. `crash()` is deliberately brutal: client
+//!   sockets are severed *before* the engine is dropped, so a request that
+//!   committed but had not yet been answered loses its reply — reproducing
+//!   the paper's lost-message failure mode. Nothing survives a crash except
+//!   the data directory; `restart()` runs real WAL recovery.
+
+pub mod harness;
+pub mod server;
+
+pub use harness::ServerHarness;
+pub use server::{serve_connection, RunningServer};

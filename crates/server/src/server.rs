@@ -1,0 +1,365 @@
+//! The TCP request/response server.
+//!
+//! One OS thread per client connection, one engine session per connection.
+//! All engine access funnels through a single `Mutex<Option<Engine>>` —
+//! statement-level serialization, which is the concurrency model the
+//! evaluation needs (the paper's experiments are single-client). The `Option`
+//! is the crash switch: [`crate::harness::ServerHarness::crash`] takes the
+//! engine out and drops it, after which every request on every connection
+//! fails exactly as if the process had died.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use phoenix_engine::{cursor, Engine, EngineError, ErrorCode, ExecOutcome, SessionId};
+use phoenix_wire::frame::{read_frame, write_frame, FrameError};
+use phoenix_wire::message::{CursorKind, FetchDir, Outcome, Request, Response};
+
+/// Shared handle to the (possibly crashed) engine.
+pub type SharedEngine = Arc<Mutex<Option<Engine>>>;
+
+/// A running server: listener thread + connection registry.
+pub struct RunningServer {
+    /// The engine behind the crash switch (None once crashed).
+    pub engine: SharedEngine,
+    /// The TCP port being listened on.
+    pub port: u16,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Clones of every live client stream so a crash can sever them.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl RunningServer {
+    /// Start listening on 127.0.0.1:`port` (0 = ephemeral). The engine is
+    /// supplied by the caller (the harness owns open/recover).
+    pub fn start(engine: Engine, port: u16) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+
+        let engine: SharedEngine = Arc::new(Mutex::new(Some(engine)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_engine = Arc::clone(&engine);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("phx-accept-{port}"))
+            .spawn(move || {
+                accept_loop(listener, accept_engine, accept_shutdown, accept_conns);
+            })?;
+
+        Ok(RunningServer {
+            engine,
+            port,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// Sever every client connection immediately.
+    pub fn sever_connections(&self) {
+        let mut conns = self.conns.lock();
+        for c in conns.drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Stop accepting, sever connections, and return the engine (if it has
+    /// not already been crashed away).
+    pub fn stop(mut self) -> Option<Engine> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.sever_connections();
+        self.engine.lock().take()
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.sever_connections();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: SharedEngine,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().push(clone);
+                }
+                let engine = Arc::clone(&engine);
+                let _ = std::thread::Builder::new()
+                    .name("phx-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, engine);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one client connection until logout, client disconnect, or crash.
+pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
+    let mut session: Option<SessionId> = None;
+
+    // (clippy suggests `while let`, but the explicit break keeps the
+    // "client gone or socket severed" exit path annotated.)
+    #[allow(clippy::while_let_loop)]
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => break, // client gone or socket severed
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = send(
+                    &mut stream,
+                    &Response::Err {
+                        code: ErrorCode::Internal as u16,
+                        message: format!("malformed request: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+
+        let logout = matches!(request, Request::Logout);
+        let response = dispatch(&engine, &mut session, request);
+        if send(&mut stream, &response).is_err() {
+            break; // reply lost — the paper's lost-message case
+        }
+        if logout {
+            break;
+        }
+    }
+
+    // Connection teardown kills the session (temp tables die with it).
+    if let Some(sid) = session {
+        if let Some(engine) = engine.lock().as_mut() {
+            let _ = engine.close_session(sid);
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
+    write_frame(stream, &response.encode())
+}
+
+fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Request) -> Response {
+    // Ping is answered even without a session — it is the recovery probe.
+    let mut guard = engine.lock();
+    let eng = match guard.as_mut() {
+        Some(e) => e,
+        None => {
+            // Crashed: every request fails. The socket will be severed by the
+            // harness moments later; answering here keeps the failure mode
+            // deterministic for requests that race the crash.
+            return Response::Err {
+                code: ErrorCode::NoSession as u16,
+                message: "server unavailable".into(),
+            };
+        }
+    };
+
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Login {
+            user,
+            database: _,
+            options,
+        } => {
+            let sid = eng.create_session(&user);
+            for (name, value) in options {
+                // Initial options are ordinary SETs.
+                let stmt = phoenix_sql::ast::Statement::Set {
+                    name,
+                    value: value_to_literal_expr(value),
+                };
+                if let Err(e) = eng.execute_stmt(sid, &stmt) {
+                    let _ = eng.close_session(sid);
+                    return err_of(e);
+                }
+            }
+            *session = Some(sid);
+            Response::LoginAck { session: sid }
+        }
+        Request::Logout => {
+            if let Some(sid) = session.take() {
+                let _ = eng.close_session(sid);
+            }
+            Response::Bye
+        }
+        Request::Exec { sql } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            match eng.execute(sid, &sql) {
+                Ok(result) => Response::Result {
+                    outcome: match result.outcome {
+                        ExecOutcome::ResultSet { schema, rows } => {
+                            Outcome::ResultSet { schema, rows }
+                        }
+                        ExecOutcome::RowsAffected(n) => Outcome::RowsAffected(n),
+                        ExecOutcome::Done => Outcome::Done,
+                    },
+                    messages: result.messages,
+                },
+                Err(e) => err_of(e),
+            }
+        }
+        Request::OpenCursor { sql, kind } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            let select = match phoenix_sql::parse_statement(&sql) {
+                Ok(phoenix_sql::Statement::Select(s)) => s,
+                Ok(_) => {
+                    return Response::Err {
+                        code: ErrorCode::Unsupported as u16,
+                        message: "cursors require a SELECT statement".into(),
+                    }
+                }
+                Err(e) => {
+                    return Response::Err {
+                        code: ErrorCode::Parse as u16,
+                        message: e.to_string(),
+                    }
+                }
+            };
+            match eng.open_cursor(sid, &select, kind_to_engine(kind)) {
+                Ok((cursor, schema, granted)) => Response::CursorOpened {
+                    cursor,
+                    schema,
+                    granted: kind_from_engine(granted),
+                },
+                Err(e) => err_of(e),
+            }
+        }
+        Request::Fetch { cursor, dir, n } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            match eng.fetch(sid, cursor, dir_to_engine(dir), n as usize) {
+                Ok(f) => Response::Rows {
+                    rows: f.rows,
+                    at_end: f.at_end,
+                },
+                Err(e) => err_of(e),
+            }
+        }
+        Request::Describe { table } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            let name = match phoenix_sql::parse_statement(&format!("SELECT * FROM {table}")) {
+                Ok(phoenix_sql::Statement::Select(s)) if s.from.len() == 1 => {
+                    s.from[0].table.clone()
+                }
+                _ => {
+                    return Response::Err {
+                        code: ErrorCode::Parse as u16,
+                        message: format!("bad table name '{table}'"),
+                    }
+                }
+            };
+            match eng.describe(sid, &name) {
+                Ok((schema, primary_key)) => Response::TableInfo {
+                    schema,
+                    primary_key,
+                },
+                Err(e) => err_of(e),
+            }
+        }
+        Request::CloseCursor { cursor } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            match eng.close_cursor(sid, cursor) {
+                Ok(()) => Response::Result {
+                    outcome: Outcome::Done,
+                    messages: Vec::new(),
+                },
+                Err(e) => err_of(e),
+            }
+        }
+    }
+}
+
+fn no_session() -> Response {
+    Response::Err {
+        code: ErrorCode::NoSession as u16,
+        message: "not logged in".into(),
+    }
+}
+
+fn err_of(e: EngineError) -> Response {
+    Response::Err {
+        code: e.code as u16,
+        message: e.message,
+    }
+}
+
+fn kind_to_engine(k: CursorKind) -> cursor::CursorKind {
+    match k {
+        CursorKind::ForwardOnly => cursor::CursorKind::ForwardOnly,
+        CursorKind::Keyset => cursor::CursorKind::Keyset,
+        CursorKind::Dynamic => cursor::CursorKind::Dynamic,
+    }
+}
+
+fn kind_from_engine(k: cursor::CursorKind) -> CursorKind {
+    match k {
+        cursor::CursorKind::ForwardOnly => CursorKind::ForwardOnly,
+        cursor::CursorKind::Keyset => CursorKind::Keyset,
+        cursor::CursorKind::Dynamic => CursorKind::Dynamic,
+    }
+}
+
+fn dir_to_engine(d: FetchDir) -> cursor::FetchDir {
+    match d {
+        FetchDir::Next => cursor::FetchDir::Next,
+        FetchDir::Prior => cursor::FetchDir::Prior,
+        FetchDir::Absolute(k) => cursor::FetchDir::Absolute(k),
+    }
+}
+
+/// Convert a wire value into a literal expression for SET replay.
+fn value_to_literal_expr(v: phoenix_storage::types::Value) -> phoenix_sql::ast::Expr {
+    use phoenix_sql::ast::{Expr, Literal};
+    use phoenix_storage::types::Value;
+    Expr::Literal(match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(f),
+        Value::Text(s) => Literal::String(s),
+        Value::Bool(b) => Literal::Bool(b),
+        Value::Date(d) => Literal::Date(phoenix_storage::types::format_date(d)),
+    })
+}

@@ -1,0 +1,131 @@
+//! Smoke test for the standalone `phoenix-server` binary: start it as a real
+//! child process, talk to it over TCP, shut it down via stdin, and verify
+//! the data survived (checkpoint on shutdown + recovery on start).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use phoenix_wire::frame::{read_frame, write_frame};
+use phoenix_wire::message::{Outcome, Request, Response};
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-binsmoke-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn spawn_server(data: &PathBuf, port: u16) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_phoenix-server"))
+        .args(["--data", data.to_str().unwrap(), "--port", &port.to_string()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn phoenix-server")
+}
+
+fn wait_for_port(port: u16) -> TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => return s,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25))
+            }
+            Err(e) => panic!("server never came up on {port}: {e}"),
+        }
+    }
+}
+
+fn call(s: &mut TcpStream, req: Request) -> Response {
+    write_frame(s, &req.encode()).unwrap();
+    Response::decode(&read_frame(s).unwrap()).unwrap()
+}
+
+fn shutdown(mut child: Child) {
+    // A newline on stdin triggers graceful shutdown (checkpoint).
+    child.stdin.as_mut().unwrap().write_all(b"\n").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "server exited with {status}");
+                return;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
+            None => {
+                let _ = child.kill();
+                panic!("server did not shut down");
+            }
+        }
+    }
+}
+
+/// Pick a free port by binding an ephemeral listener and dropping it.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+#[test]
+fn server_binary_serves_and_persists_across_restarts() {
+    let data = temp_dir();
+    let port = free_port();
+
+    // Incarnation 1: create data.
+    let child = spawn_server(&data, port);
+    {
+        let mut s = wait_for_port(port);
+        match call(
+            &mut s,
+            Request::Login {
+                user: "smoke".into(),
+                database: "d".into(),
+                options: vec![],
+            },
+        ) {
+            Response::LoginAck { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        call(&mut s, Request::Exec { sql: "CREATE TABLE t (v INT)".into() });
+        call(&mut s, Request::Exec { sql: "INSERT INTO t VALUES (1), (2), (3)".into() });
+        match call(&mut s, Request::Logout) {
+            Response::Bye => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    shutdown(child);
+
+    // Incarnation 2: the data is still there after a full process restart.
+    let child = spawn_server(&data, port);
+    {
+        let mut s = wait_for_port(port);
+        call(
+            &mut s,
+            Request::Login {
+                user: "smoke".into(),
+                database: "d".into(),
+                options: vec![],
+            },
+        );
+        match call(&mut s, Request::Exec { sql: "SELECT COUNT(*) FROM t".into() }) {
+            Response::Result {
+                outcome: Outcome::ResultSet { rows, .. },
+                ..
+            } => assert_eq!(rows[0][0], phoenix_storage::types::Value::Int(3)),
+            other => panic!("{other:?}"),
+        }
+    }
+    shutdown(child);
+
+    std::fs::remove_dir_all(&data).unwrap();
+}

@@ -1,0 +1,473 @@
+//! SQL tokenizer.
+//!
+//! Notable dialect points, all needed by the Phoenix layers above:
+//!
+//! * `#name` — session temporary object (T-SQL style); lexed as a single
+//!   identifier token including the `#`, since Phoenix must recognize and
+//!   redirect temp-object references.
+//! * `@name` — procedure parameter.
+//! * `"quoted id"` / `[bracketed id]` — delimited identifiers.
+//! * `'string'` with `''` escaping.
+//! * `--` line comments and `/* */` block comments.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset), kept for error
+/// reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source text.
+    pub offset: usize,
+}
+
+/// The lexical token classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or plain identifier; `text` preserves the original spelling,
+    /// `upper` is the normalized form used for keyword matching.
+    Word {
+        /// Original spelling.
+        text: String,
+        /// Uppercased spelling for keyword matching.
+        upper: String,
+    },
+    /// Delimited identifier — never treated as a keyword.
+    QuotedIdent(String),
+    /// `#temp` or `@param` style identifier (sigil retained in `text`).
+    SigilIdent(String),
+    /// Numeric literal, kept as source text until the parser types it.
+    Number(String),
+    /// String literal with quote-escaping already resolved.
+    StringLit(String),
+    /// Punctuation / operators.
+    Symbol(Symbol),
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are their own documentation
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Semicolon => ";",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Star => "*",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Eq => "=",
+            Symbol::NotEq => "<>",
+            Symbol::Lt => "<",
+            Symbol::LtEq => "<=",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word { text, .. } => write!(f, "{text}"),
+            TokenKind::QuotedIdent(s) => write!(f, "\"{s}\""),
+            TokenKind::SigilIdent(s) => write!(f, "{s}"),
+            TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Symbol(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// Lexing error: unexpected character or unterminated literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input` into a vector ending with an `Eof` token.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        offset: start,
+                    });
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+
+        let offset = i;
+
+        // String literal
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset,
+                    });
+                }
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Multi-byte UTF-8 safe: walk char boundaries.
+                let ch_len = utf8_len(bytes[i]);
+                s.push_str(&input[i..i + ch_len]);
+                i += ch_len;
+            }
+            tokens.push(Token {
+                kind: TokenKind::StringLit(s),
+                offset,
+            });
+            continue;
+        }
+
+        // Quoted identifier: "name"
+        if c == '"' {
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(LexError {
+                    message: "unterminated quoted identifier".into(),
+                    offset,
+                });
+            }
+            tokens.push(Token {
+                kind: TokenKind::QuotedIdent(input[start..i].to_string()),
+                offset,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Bracketed identifier: [name]
+        if c == '[' {
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i] != b']' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(LexError {
+                    message: "unterminated bracketed identifier".into(),
+                    offset,
+                });
+            }
+            tokens.push(Token {
+                kind: TokenKind::QuotedIdent(input[start..i].to_string()),
+                offset,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Sigil identifier: #temp or @param
+        if c == '#' || c == '@' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            if i == start + 1 {
+                return Err(LexError {
+                    message: format!("bare '{c}' is not a token"),
+                    offset,
+                });
+            }
+            tokens.push(Token {
+                kind: TokenKind::SigilIdent(input[start..i].to_string()),
+                offset,
+            });
+            continue;
+        }
+
+        // Number: digits, optional fraction, optional exponent.
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number(input[start..i].to_string()),
+                offset,
+            });
+            continue;
+        }
+
+        // Word (keyword or identifier)
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let text = input[start..i].to_string();
+            let upper = text.to_ascii_uppercase();
+            tokens.push(Token {
+                kind: TokenKind::Word { text, upper },
+                offset,
+            });
+            continue;
+        }
+
+        // Symbols
+        let sym = match c {
+            '(' => Some(Symbol::LParen),
+            ')' => Some(Symbol::RParen),
+            ',' => Some(Symbol::Comma),
+            '.' => Some(Symbol::Dot),
+            ';' => Some(Symbol::Semicolon),
+            '+' => Some(Symbol::Plus),
+            '-' => Some(Symbol::Minus),
+            '*' => Some(Symbol::Star),
+            '/' => Some(Symbol::Slash),
+            '%' => Some(Symbol::Percent),
+            '=' => Some(Symbol::Eq),
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    Some(Symbol::LtEq)
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    i += 1;
+                    Some(Symbol::NotEq)
+                } else {
+                    Some(Symbol::Lt)
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    Some(Symbol::GtEq)
+                } else {
+                    Some(Symbol::Gt)
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    Some(Symbol::NotEq)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match sym {
+            Some(s) => {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(s),
+                    offset,
+                });
+                i += 1;
+            }
+            None => {
+                return Err(LexError {
+                    message: format!("unexpected character '{c}'"),
+                    offset,
+                })
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_symbols() {
+        let ts = kinds("SELECT a, b FROM t WHERE a >= 10;");
+        assert!(matches!(&ts[0], TokenKind::Word { upper, .. } if upper == "SELECT"));
+        assert!(matches!(&ts[1], TokenKind::Word { text, .. } if text == "a"));
+        assert_eq!(ts[2], TokenKind::Symbol(Symbol::Comma));
+        assert!(ts.contains(&TokenKind::Symbol(Symbol::GtEq)));
+        assert!(ts.contains(&TokenKind::Symbol(Symbol::Semicolon)));
+        assert_eq!(*ts.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let ts = kinds("'it''s'");
+        assert_eq!(ts[0], TokenKind::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn unicode_string() {
+        let ts = kinds("'héllo wörld'");
+        assert_eq!(ts[0], TokenKind::StringLit("héllo wörld".into()));
+    }
+
+    #[test]
+    fn temp_and_param_identifiers() {
+        let ts = kinds("#phx_alive @customer_id");
+        assert_eq!(ts[0], TokenKind::SigilIdent("#phx_alive".into()));
+        assert_eq!(ts[1], TokenKind::SigilIdent("@customer_id".into()));
+    }
+
+    #[test]
+    fn quoted_and_bracketed_identifiers() {
+        let ts = kinds("\"Order Details\" [Weird Name]");
+        assert_eq!(ts[0], TokenKind::QuotedIdent("Order Details".into()));
+        assert_eq!(ts[1], TokenKind::QuotedIdent("Weird Name".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("1 2.5 .75 1e6 3.14e-2");
+        assert_eq!(ts[0], TokenKind::Number("1".into()));
+        assert_eq!(ts[1], TokenKind::Number("2.5".into()));
+        assert_eq!(ts[2], TokenKind::Number(".75".into()));
+        assert_eq!(ts[3], TokenKind::Number("1e6".into()));
+        assert_eq!(ts[4], TokenKind::Number("3.14e-2".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = kinds("SELECT -- line comment\n 1 /* block\ncomment */ + 2");
+        assert_eq!(ts.len(), 5); // SELECT 1 + 2 EOF
+    }
+
+    #[test]
+    fn neq_spellings() {
+        assert!(kinds("a <> b").contains(&TokenKind::Symbol(Symbol::NotEq)));
+        assert!(kinds("a != b").contains(&TokenKind::Symbol(Symbol::NotEq)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("a ^ b").is_err());
+        assert!(tokenize("# alone").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let ts = tokenize("SELECT  x").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 8);
+    }
+}

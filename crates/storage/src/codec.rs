@@ -1,0 +1,328 @@
+//! Compact binary encoding for values, rows, schemas and table definitions.
+//!
+//! One codec is shared by the write-ahead log, snapshots and the wire
+//! protocol, so there is a single place where a value's byte representation
+//! is defined. The format is tag-prefixed and self-describing enough to be
+//! decoded without external schema information:
+//!
+//! ```text
+//! value   := tag:u8 payload
+//! tag     := 0 NULL | 1 INT(i64 LE) | 2 FLOAT(f64 LE) | 3 TEXT(len:u32 bytes)
+//!          | 4 BOOL(u8) | 5 DATE(i32 LE)
+//! row     := ncols:u16 value*
+//! string  := len:u32 utf8-bytes
+//! ```
+//!
+//! Decoding is strict: unknown tags, truncated buffers and invalid UTF-8 all
+//! surface as [`DecodeError`] rather than panics, because the WAL reader must
+//! treat a torn tail as end-of-log, not as a crash.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+use crate::types::{Column, DataType, Row, Schema, TableDef, Value};
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+/// Ensure `buf` has at least `n` readable bytes.
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(err(format!(
+            "truncated {what}: need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+/// Encode a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decode a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String, DecodeError> {
+    need(buf, 4, "string length")?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len, "string body")?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| err("invalid utf-8 in string"))
+}
+
+// ---------------------------------------------------------------------------
+// Values and rows
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+/// Encode one value (tag + payload).
+pub fn put_value(buf: &mut impl BufMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Date(d) => {
+            buf.put_u8(TAG_DATE);
+            buf.put_i32_le(*d);
+        }
+    }
+}
+
+/// Decode one value.
+pub fn get_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
+    need(buf, 1, "value tag")?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_INT => {
+            need(buf, 8, "int")?;
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_FLOAT => {
+            need(buf, 8, "float")?;
+            Value::Float(buf.get_f64_le())
+        }
+        TAG_TEXT => Value::Text(get_str(buf)?),
+        TAG_BOOL => {
+            need(buf, 1, "bool")?;
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_DATE => {
+            need(buf, 4, "date")?;
+            Value::Date(buf.get_i32_le())
+        }
+        other => return Err(err(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Encode a row (arity + values).
+pub fn put_row(buf: &mut impl BufMut, row: &Row) {
+    buf.put_u16_le(row.len() as u16);
+    for v in row {
+        put_value(buf, v);
+    }
+}
+
+/// Decode a row.
+pub fn get_row(buf: &mut impl Buf) -> Result<Row, DecodeError> {
+    need(buf, 2, "row arity")?;
+    let n = buf.get_u16_le() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(get_value(buf)?);
+    }
+    Ok(row)
+}
+
+// ---------------------------------------------------------------------------
+// Schemas and table definitions
+// ---------------------------------------------------------------------------
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType, DecodeError> {
+    Ok(match t {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        4 => DataType::Date,
+        other => return Err(err(format!("unknown data type tag {other}"))),
+    })
+}
+
+/// Encode a schema (column names, types, nullability).
+pub fn put_schema(buf: &mut impl BufMut, schema: &Schema) {
+    buf.put_u16_le(schema.columns.len() as u16);
+    for c in &schema.columns {
+        put_str(buf, &c.name);
+        buf.put_u8(dtype_tag(c.dtype));
+        buf.put_u8(c.nullable as u8);
+    }
+}
+
+/// Decode a schema.
+pub fn get_schema(buf: &mut impl Buf) -> Result<Schema, DecodeError> {
+    need(buf, 2, "schema arity")?;
+    let n = buf.get_u16_le() as usize;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        need(buf, 2, "column type")?;
+        let dtype = dtype_from_tag(buf.get_u8())?;
+        let nullable = buf.get_u8() != 0;
+        columns.push(Column {
+            name,
+            dtype,
+            nullable,
+        });
+    }
+    Ok(Schema { columns })
+}
+
+/// Encode a full table definition (name + schema + primary key).
+pub fn put_table_def(buf: &mut impl BufMut, def: &TableDef) {
+    put_str(buf, &def.name);
+    put_schema(buf, &def.schema);
+    buf.put_u16_le(def.primary_key.len() as u16);
+    for &i in &def.primary_key {
+        buf.put_u16_le(i as u16);
+    }
+}
+
+/// Decode a table definition, validating key indices against the schema.
+pub fn get_table_def(buf: &mut impl Buf) -> Result<TableDef, DecodeError> {
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    need(buf, 2, "pk arity")?;
+    let n = buf.get_u16_le() as usize;
+    let mut primary_key = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 2, "pk index")?;
+        let i = buf.get_u16_le() as usize;
+        if i >= schema.columns.len() {
+            return Err(err(format!("pk index {i} out of range")));
+        }
+        primary_key.push(i);
+    }
+    Ok(TableDef {
+        name,
+        schema,
+        primary_key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &v);
+        let mut b = buf.freeze();
+        assert_eq!(get_value(&mut b).unwrap(), v);
+        assert_eq!(b.remaining(), 0, "trailing bytes after {v:?}");
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Int(-42));
+        roundtrip_value(Value::Int(i64::MAX));
+        roundtrip_value(Value::Float(3.25));
+        roundtrip_value(Value::Float(f64::NEG_INFINITY));
+        roundtrip_value(Value::Text(String::new()));
+        roundtrip_value(Value::Text("héllo, wörld".into()));
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Date(-719468));
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let row: Row = vec![Value::Int(1), Value::Null, Value::Text("x".into())];
+        let mut buf = BytesMut::new();
+        put_row(&mut buf, &row);
+        let mut b = buf.freeze();
+        assert_eq!(get_row(&mut b).unwrap(), row);
+    }
+
+    #[test]
+    fn schema_and_table_def_roundtrip() {
+        let def = TableDef {
+            name: "phoenix.rs_7".into(),
+            schema: Schema::new(vec![
+                Column::new("id", DataType::Int).not_null(),
+                Column::new("name", DataType::Text),
+                Column::new("when", DataType::Date),
+            ]),
+            primary_key: vec![0, 2],
+        };
+        let mut buf = BytesMut::new();
+        put_table_def(&mut buf, &def);
+        let mut b = buf.freeze();
+        assert_eq!(get_table_def(&mut b).unwrap(), def);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &Value::Text("hello".into()));
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut part = full.slice(..cut);
+            assert!(get_value(&mut part).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut b = bytes::Bytes::from_static(&[200u8]);
+        assert!(get_value(&mut b).is_err());
+    }
+
+    #[test]
+    fn pk_index_out_of_range_rejected() {
+        let def = TableDef {
+            name: "t".into(),
+            schema: Schema::new(vec![Column::new("a", DataType::Int)]),
+            primary_key: vec![0],
+        };
+        let mut buf = BytesMut::new();
+        put_table_def(&mut buf, &def);
+        let mut raw = buf.to_vec();
+        // Corrupt the pk index (last two bytes) to point out of range.
+        let n = raw.len();
+        raw[n - 2] = 9;
+        let mut b = bytes::Bytes::from(raw);
+        assert!(get_table_def(&mut b).is_err());
+    }
+}

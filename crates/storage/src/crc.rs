@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) used to frame WAL records.
+//!
+//! A torn write at the log tail — the normal outcome of crashing mid-append —
+//! must be detected and treated as end-of-log. Length framing alone cannot
+//! distinguish a half-written record from a corrupt one; the checksum can.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Compute the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"phoenix wal record");
+        let mut data = b"phoenix wal record".to_vec();
+        for i in 0..data.len() {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), base, "flip at byte {i} undetected");
+            data[i] ^= 1;
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Checkpointing: full-state snapshots written atomically.
+//!
+//! A snapshot serializes the entire durable [`Store`] plus the transaction-id
+//! high-water mark. It is written to a temporary file, fsynced, and renamed
+//! over the live snapshot — the classic atomic-replace pattern — after which
+//! the WAL can be truncated. Recovery loads the snapshot (if any) and replays
+//! the remaining log on top.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::codec::{self, DecodeError};
+use crate::crc::crc32;
+use crate::store::{Store, TableData};
+use crate::types::TxnId;
+
+/// Magic header identifying a phoenix snapshot file (and its format version).
+const MAGIC: &[u8; 8] = b"PHXSNAP1";
+
+/// Serialize the store + txn high-water mark to bytes.
+fn encode(store: &Store, last_txn: TxnId) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(last_txn);
+
+    let names = store.table_names();
+    buf.put_u32_le(names.len() as u32);
+    for name in &names {
+        let t = store.table(name).expect("table listed but missing");
+        codec::put_table_def(&mut buf, &t.def);
+        buf.put_u64_le(t.next_row_id);
+        buf.put_u64_le(t.rows.len() as u64);
+        for (row_id, row) in &t.rows {
+            buf.put_u64_le(*row_id);
+            codec::put_row(&mut buf, row);
+        }
+    }
+
+    let procs = store.proc_names();
+    buf.put_u32_le(procs.len() as u32);
+    for name in &procs {
+        let sql = store.proc(name).expect("proc listed but missing");
+        codec::put_str(&mut buf, name);
+        codec::put_str(&mut buf, sql);
+    }
+
+    let body = buf.freeze();
+    // Trailing CRC over everything, so a torn snapshot write is detectable
+    // (the atomic rename makes this nearly impossible, but cheap belt and
+    // braces for the file that everything else depends on).
+    let mut out = body.to_vec();
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+fn decode(bytes: &[u8]) -> Result<(Store, TxnId), DecodeError> {
+    if bytes.len() < MAGIC.len() + 8 + 4 {
+        return Err(DecodeError("snapshot too short".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(DecodeError("snapshot checksum mismatch".into()));
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError("bad snapshot magic".into()));
+    }
+    let last_txn = buf.get_u64_le();
+
+    let mut store = Store::new();
+    let ntables = buf.get_u32_le();
+    for _ in 0..ntables {
+        let def = codec::get_table_def(&mut buf)?;
+        if buf.remaining() < 16 {
+            return Err(DecodeError("truncated table header".into()));
+        }
+        let next_row_id = buf.get_u64_le();
+        let nrows = buf.get_u64_le();
+        let mut data = TableData::new(def);
+        for _ in 0..nrows {
+            if buf.remaining() < 8 {
+                return Err(DecodeError("truncated row id".into()));
+            }
+            let row_id = buf.get_u64_le();
+            let row = codec::get_row(&mut buf)?;
+            data.insert_with_id(row_id, row)
+                .map_err(|e| DecodeError(format!("snapshot row rejected: {e}")))?;
+        }
+        data.next_row_id = next_row_id;
+        store.install_table(data);
+    }
+
+    if buf.remaining() < 4 {
+        return Err(DecodeError("truncated proc count".into()));
+    }
+    let nprocs = buf.get_u32_le();
+    for _ in 0..nprocs {
+        let name = codec::get_str(&mut buf)?;
+        let sql = codec::get_str(&mut buf)?;
+        store
+            .create_proc(&name, &sql)
+            .map_err(|e| DecodeError(format!("snapshot proc rejected: {e}")))?;
+    }
+    Ok((store, last_txn))
+}
+
+/// Write a snapshot atomically: temp file + fsync + rename + dir fsync.
+pub fn write(path: impl AsRef<Path>, store: &Store, last_txn: TxnId) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let bytes = encode(store, last_txn);
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+    }
+    Ok(())
+}
+
+/// Load the snapshot at `path`. Returns `Ok(None)` when no snapshot exists.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Option<(Store, TxnId)>> {
+    let mut bytes = Vec::new();
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    decode(&bytes)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Column, DataType, Schema, TableDef, Value};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("phoenix-snap-test-{}-{n}.snap", std::process::id()))
+    }
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        s.create_table(
+            TableDef::new(
+                "dbo.t",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int).not_null(),
+                    Column::new("v", DataType::Text),
+                ]),
+            )
+            .with_primary_key(vec![0]),
+        )
+        .unwrap();
+        let t = s.table_mut("dbo.t").unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        s.create_proc("phoenix.p", "SELECT * FROM dbo.t").unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let path = temp_path();
+        let store = sample_store();
+        write(&path, &store, 42).unwrap();
+        let (loaded, last_txn) = load(&path).unwrap().unwrap();
+        assert_eq!(last_txn, 42);
+        assert_eq!(loaded.table_names(), store.table_names());
+        let t = loaded.table("dbo.t").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row_id_by_key(&[Value::Int(2)]), Some(2));
+        assert_eq!(t.next_row_id, 3);
+        assert_eq!(loaded.proc("phoenix.p"), Some("SELECT * FROM dbo.t"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        assert!(load(temp_path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        let path = temp_path();
+        write(&path, &sample_store(), 1).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_previous_snapshot() {
+        let path = temp_path();
+        write(&path, &sample_store(), 1).unwrap();
+        let mut bigger = sample_store();
+        bigger
+            .table_mut("dbo.t")
+            .unwrap()
+            .insert(vec![Value::Int(3), Value::Null])
+            .unwrap();
+        write(&path, &bigger, 2).unwrap();
+        let (loaded, last_txn) = load(&path).unwrap().unwrap();
+        assert_eq!(last_txn, 2);
+        assert_eq!(loaded.table("dbo.t").unwrap().len(), 3);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,454 @@
+//! The in-memory materialized image of the durable state.
+//!
+//! A [`Store`] holds tables (rows addressed by stable [`RowId`]), optional
+//! primary-key indexes, and stored-procedure text. It is deliberately free of
+//! transaction logic: [`crate::db::Durable`] layers logging/undo on top, and
+//! crash recovery rebuilds a `Store` by applying committed log records to a
+//! snapshot image. The engine also uses a bare `Store` for *volatile* state
+//! (session temp tables), which is exactly the state that must die in a
+//! crash.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::record::LogRecord;
+use crate::types::{Row, RowId, TableDef, Value};
+
+/// Error type for store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// CREATE of a table that already exists.
+    TableExists(String),
+    /// Reference to a table that does not exist.
+    NoSuchTable(String),
+    /// CREATE of a procedure that already exists.
+    ProcExists(String),
+    /// Reference to a procedure that does not exist.
+    NoSuchProc(String),
+    /// Primary-key uniqueness violation.
+    DuplicateKey(String),
+    /// Row width does not match the table schema.
+    ArityMismatch {
+        /// The table.
+        table: String,
+        /// Schema width.
+        expected: usize,
+        /// Supplied width.
+        got: usize,
+    },
+    /// Row id not present in the table.
+    NoSuchRow {
+        /// The table.
+        table: String,
+        /// The missing row id.
+        row_id: RowId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableExists(n) => write!(f, "table '{n}' already exists"),
+            StoreError::NoSuchTable(n) => write!(f, "no such table '{n}'"),
+            StoreError::ProcExists(n) => write!(f, "procedure '{n}' already exists"),
+            StoreError::NoSuchProc(n) => write!(f, "no such procedure '{n}'"),
+            StoreError::DuplicateKey(n) => write!(f, "duplicate primary key in '{n}'"),
+            StoreError::ArityMismatch { table, expected, got } => {
+                write!(f, "row arity {got} does not match table '{table}' ({expected} columns)")
+            }
+            StoreError::NoSuchRow { table, row_id } => {
+                write!(f, "no row {row_id} in table '{table}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One table's data: definition, rows by id, and (when a primary key is
+/// declared) a key → row-id index kept in key order so keyset cursors can
+/// walk it.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// The table definition.
+    pub def: TableDef,
+    /// Rows by stable id; iteration order is insertion order.
+    pub rows: BTreeMap<RowId, Row>,
+    /// Primary-key index; empty map when no key is declared.
+    pub pk_index: BTreeMap<Vec<Value>, RowId>,
+    /// Next row id to assign (never reused).
+    pub next_row_id: RowId,
+}
+
+impl TableData {
+    /// An empty table with the given definition.
+    pub fn new(def: TableDef) -> TableData {
+        TableData {
+            def,
+            rows: BTreeMap::new(),
+            pk_index: BTreeMap::new(),
+            next_row_id: 1,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Zero rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Look up a row id by primary-key value.
+    pub fn row_id_by_key(&self, key: &[Value]) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    fn check_arity(&self, row: &Row) -> Result<(), StoreError> {
+        let expected = self.def.schema.len();
+        if row.len() != expected {
+            return Err(StoreError::ArityMismatch {
+                table: self.def.name.clone(),
+                expected,
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert with a specific row id (used by recovery and undo).
+    pub fn insert_with_id(&mut self, row_id: RowId, row: Row) -> Result<(), StoreError> {
+        self.check_arity(&row)?;
+        if self.def.has_primary_key() {
+            let key = self.def.key_of(&row);
+            if self.pk_index.contains_key(&key) {
+                return Err(StoreError::DuplicateKey(self.def.name.clone()));
+            }
+            self.pk_index.insert(key, row_id);
+        }
+        self.rows.insert(row_id, row);
+        if row_id >= self.next_row_id {
+            self.next_row_id = row_id + 1;
+        }
+        Ok(())
+    }
+
+    /// Insert a fresh row, assigning the next row id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, StoreError> {
+        let id = self.next_row_id;
+        self.insert_with_id(id, row)?;
+        Ok(id)
+    }
+
+    /// Remove a row by id, returning it.
+    pub fn delete(&mut self, row_id: RowId) -> Result<Row, StoreError> {
+        let row = self.rows.remove(&row_id).ok_or_else(|| StoreError::NoSuchRow {
+            table: self.def.name.clone(),
+            row_id,
+        })?;
+        if self.def.has_primary_key() {
+            self.pk_index.remove(&self.def.key_of(&row));
+        }
+        Ok(row)
+    }
+
+    /// Replace a row in place, returning the previous image.
+    pub fn update(&mut self, row_id: RowId, new_row: Row) -> Result<Row, StoreError> {
+        self.check_arity(&new_row)?;
+        let old = self
+            .rows
+            .get(&row_id)
+            .cloned()
+            .ok_or_else(|| StoreError::NoSuchRow {
+                table: self.def.name.clone(),
+                row_id,
+            })?;
+        if self.def.has_primary_key() {
+            let old_key = self.def.key_of(&old);
+            let new_key = self.def.key_of(&new_row);
+            if old_key != new_key {
+                if self.pk_index.contains_key(&new_key) {
+                    return Err(StoreError::DuplicateKey(self.def.name.clone()));
+                }
+                self.pk_index.remove(&old_key);
+                self.pk_index.insert(new_key, row_id);
+            }
+        }
+        self.rows.insert(row_id, new_row);
+        Ok(old)
+    }
+}
+
+/// A collection of tables and stored procedures. Lookup is case-insensitive
+/// on the fully qualified name (names are normalized to lowercase keys).
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    tables: HashMap<String, TableData>,
+    procs: HashMap<String, String>,
+}
+
+/// Normalize a table/procedure name for lookup.
+pub fn normalize_name(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Create an empty table; errors if the name is taken.
+    pub fn create_table(&mut self, def: TableDef) -> Result<(), StoreError> {
+        let key = normalize_name(&def.name);
+        if self.tables.contains_key(&key) {
+            return Err(StoreError::TableExists(def.name));
+        }
+        self.tables.insert(key, TableData::new(def));
+        Ok(())
+    }
+
+    /// Install a fully populated table (snapshot load).
+    pub fn install_table(&mut self, data: TableData) {
+        self.tables.insert(normalize_name(&data.def.name), data);
+    }
+
+    /// Remove a table, returning its data.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableData, StoreError> {
+        self.tables
+            .remove(&normalize_name(name))
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Look a table up by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Result<&TableData, StoreError> {
+        self.tables
+            .get(&normalize_name(name))
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableData, StoreError> {
+        self.tables
+            .get_mut(&normalize_name(name))
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Does a table with this name exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&normalize_name(name))
+    }
+
+    /// Iterate over all tables in an unspecified order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableData> {
+        self.tables.values()
+    }
+
+    /// Names of all tables, sorted (deterministic for snapshots and tests).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.def.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Register a stored procedure's SQL text.
+    pub fn create_proc(&mut self, name: &str, sql: &str) -> Result<(), StoreError> {
+        let key = normalize_name(name);
+        if self.procs.contains_key(&key) {
+            return Err(StoreError::ProcExists(name.to_string()));
+        }
+        self.procs.insert(key, sql.to_string());
+        Ok(())
+    }
+
+    /// Remove a stored procedure, returning its SQL text.
+    pub fn drop_proc(&mut self, name: &str) -> Result<String, StoreError> {
+        self.procs
+            .remove(&normalize_name(name))
+            .ok_or_else(|| StoreError::NoSuchProc(name.to_string()))
+    }
+
+    /// Look a procedure's SQL text up by name.
+    pub fn proc(&self, name: &str) -> Option<&str> {
+        self.procs.get(&normalize_name(name)).map(String::as_str)
+    }
+
+    /// Does a procedure with this name exist?
+    pub fn has_proc(&self, name: &str) -> bool {
+        self.procs.contains_key(&normalize_name(name))
+    }
+
+    /// Names of all procedures, sorted.
+    pub fn proc_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.procs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Iterate `(name, sql)` over all procedures.
+    pub fn procs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.procs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Apply one committed log record during recovery.
+    ///
+    /// Recovery applies records in log order, so every operation is valid
+    /// against the state produced by its predecessors; any failure here means
+    /// the log and snapshot disagree, which is a corruption bug worth
+    /// surfacing loudly.
+    pub fn apply(&mut self, rec: &LogRecord) -> Result<(), StoreError> {
+        match rec {
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => Ok(()),
+            LogRecord::Insert {
+                table, row_id, row, ..
+            } => self.table_mut(table)?.insert_with_id(*row_id, row.clone()),
+            LogRecord::Delete { table, row_id, .. } => {
+                self.table_mut(table)?.delete(*row_id).map(|_| ())
+            }
+            LogRecord::Update {
+                table, row_id, row, ..
+            } => self.table_mut(table)?.update(*row_id, row.clone()).map(|_| ()),
+            LogRecord::CreateTable { def, .. } => self.create_table(def.clone()),
+            LogRecord::DropTable { name, .. } => self.drop_table(name).map(|_| ()),
+            LogRecord::CreateProc { name, sql, .. } => self.create_proc(name, sql),
+            LogRecord::DropProc { name, .. } => self.drop_proc(name).map(|_| ()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Column, DataType, Schema};
+
+    fn keyed_def(name: &str) -> TableDef {
+        TableDef::new(
+            name,
+            Schema::new(vec![
+                Column::new("id", DataType::Int).not_null(),
+                Column::new("name", DataType::Text),
+            ]),
+        )
+        .with_primary_key(vec![0])
+    }
+
+    #[test]
+    fn insert_assigns_monotone_ids() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        let a = t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let e = t.insert(vec![Value::Int(1), Value::Null]).unwrap_err();
+        assert!(matches!(e, StoreError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn update_maintains_pk_index() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        let id = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.update(id, vec![Value::Int(5), Value::Null]).unwrap();
+        assert_eq!(t.row_id_by_key(&[Value::Int(5)]), Some(id));
+        assert_eq!(t.row_id_by_key(&[Value::Int(1)]), None);
+    }
+
+    #[test]
+    fn update_to_existing_key_rejected() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let id2 = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        let e = t.update(id2, vec![Value::Int(1), Value::Null]).unwrap_err();
+        assert!(matches!(e, StoreError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn delete_clears_index() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        let id = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.delete(id).unwrap();
+        assert_eq!(t.row_id_by_key(&[Value::Int(1)]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_names_are_case_insensitive() {
+        let mut s = Store::new();
+        s.create_table(keyed_def("dbo.Customer")).unwrap();
+        assert!(s.has_table("DBO.CUSTOMER"));
+        assert!(s.table("dbo.customer").is_ok());
+        assert!(s.create_table(keyed_def("DBO.customer")).is_err());
+        s.drop_table("dbo.CUSTOMER").unwrap();
+        assert!(!s.has_table("dbo.customer"));
+    }
+
+    #[test]
+    fn procs_crud() {
+        let mut s = Store::new();
+        s.create_proc("phoenix.p1", "SELECT 1").unwrap();
+        assert_eq!(s.proc("PHOENIX.P1"), Some("SELECT 1"));
+        assert!(s.create_proc("phoenix.p1", "x").is_err());
+        s.drop_proc("phoenix.p1").unwrap();
+        assert!(s.proc("phoenix.p1").is_none());
+    }
+
+    #[test]
+    fn apply_replays_records() {
+        let mut s = Store::new();
+        s.apply(&LogRecord::CreateTable {
+            txn: 1,
+            def: keyed_def("dbo.t"),
+        })
+        .unwrap();
+        s.apply(&LogRecord::Insert {
+            txn: 1,
+            table: "dbo.t".into(),
+            row_id: 1,
+            row: vec![Value::Int(1), Value::Text("a".into())],
+        })
+        .unwrap();
+        s.apply(&LogRecord::Update {
+            txn: 1,
+            table: "dbo.t".into(),
+            row_id: 1,
+            row: vec![Value::Int(1), Value::Text("b".into())],
+        })
+        .unwrap();
+        assert_eq!(
+            s.table("dbo.t").unwrap().rows[&1],
+            vec![Value::Int(1), Value::Text("b".into())]
+        );
+        s.apply(&LogRecord::Delete {
+            txn: 1,
+            table: "dbo.t".into(),
+            row_id: 1,
+        })
+        .unwrap();
+        assert!(s.table("dbo.t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_reproduces_row_ids() {
+        let mut t = TableData::new(keyed_def("dbo.t"));
+        t.insert_with_id(7, vec![Value::Int(1), Value::Null]).unwrap();
+        // next insert must not collide with the recovered id
+        let id = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(id, 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Append-only write-ahead log with length + CRC framing.
+//!
+//! Frame layout on disk:
+//!
+//! ```text
+//! frame := len:u32 LE | crc:u32 LE | payload[len]
+//! ```
+//!
+//! The reader stops at the first frame whose header is truncated, whose
+//! payload is shorter than `len`, or whose CRC does not match — all three are
+//! the signature of a crash mid-append (a *torn tail*), and everything before
+//! the torn frame is still valid. This is the same discipline real engines
+//! use for their log tails.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+
+/// Maximum accepted payload size (64 MiB). A length field larger than this is
+/// treated as tail corruption rather than an attempt to allocate wildly.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// An open write-ahead log.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Bytes appended since the last sync, used by tests and stats.
+    unsynced: usize,
+}
+
+impl Wal {
+    /// Open (creating if necessary) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path,
+            unsynced: 0,
+        })
+    }
+
+    /// Append one framed record. The bytes are written to the OS but not
+    /// necessarily forced to stable storage; call [`Wal::sync`] (commit) for
+    /// that.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        debug_assert!((payload.len() as u32) <= MAX_FRAME);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.unsynced += frame.len();
+        Ok(())
+    }
+
+    /// Force all appended frames to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncate the log to zero length (after a successful checkpoint).
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Current size of the log file in bytes.
+    pub fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read every valid frame currently in the log, stopping silently at a
+    /// torn or corrupt tail.
+    pub fn read_all(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u8>>> {
+        let path = path.as_ref();
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut reader = BufReader::new(file);
+        let mut frames = Vec::new();
+        loop {
+            let mut header = [0u8; 8];
+            match read_exact_or_eof(&mut reader, &mut header)? {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Partial => break, // torn header
+                ReadOutcome::Full => {}
+            }
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if len > MAX_FRAME {
+                break; // corrupt length — treat as tail
+            }
+            let mut payload = vec![0u8; len as usize];
+            match read_exact_or_eof(&mut reader, &mut payload)? {
+                ReadOutcome::Full => {}
+                _ => break, // torn payload
+            }
+            if crc32(&payload) != crc {
+                break; // corrupt payload — treat as tail
+            }
+            frames.push(payload);
+        }
+        Ok(frames)
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Read exactly `buf.len()` bytes, reporting whether we got all, some, or
+/// none before EOF.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "phoenix-wal-test-{}-{tag}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let path = temp_path("basic");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.append(b"").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let frames = Wal::read_all(&path).unwrap();
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), Vec::new()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let frames = Wal::read_all(temp_path("missing")).unwrap();
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = temp_path("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"keep me").unwrap();
+        wal.append(b"tear me").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Chop 3 bytes off the end, simulating a crash mid-append.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let frames = Wal::read_all(&path).unwrap();
+        assert_eq!(frames, vec![b"keep me".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_is_ignored() {
+        let path = temp_path("corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"good record").unwrap();
+        wal.append(b"bad record!").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip a byte inside the second record's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let frames = Wal::read_all(&path).unwrap();
+        assert_eq!(frames, vec![b"good record".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let path = temp_path("trunc");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"x").unwrap();
+        wal.truncate().unwrap();
+        assert!(wal.is_empty().unwrap());
+        wal.append(b"y").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(Wal::read_all(&path).unwrap(), vec![b"y".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn absurd_length_field_treated_as_tail() {
+        let path = temp_path("len");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"ok").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut bytes = fs::read(&path).unwrap();
+        // Append a frame header claiming a gigantic payload.
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(Wal::read_all(&path).unwrap(), vec![b"ok".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests of the durability substrate:
+//!
+//! 1. The binary codec round-trips every value/row/schema.
+//! 2. **Crash-recovery equivalence**: for any interleaving of committed and
+//!    uncommitted transactions over the durable layer, reopening after a
+//!    simulated crash (drop without checkpoint, plus optional torn tail)
+//!    reconstructs exactly the committed state — the invariant everything
+//!    above (the engine, Phoenix, the paper's whole design) stands on.
+
+use proptest::prelude::*;
+
+use phoenix_storage::codec;
+use phoenix_storage::db::{Durability, Durable};
+use phoenix_storage::types::{Column, DataType, Row, Schema, TableDef, Value};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "phoenix-storage-prop-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>()
+            .prop_filter("no NaN (PartialEq)", |f| !f.is_nan())
+            .prop_map(Value::Float),
+        "[ -~]{0,20}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::Date),
+    ]
+}
+
+fn row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(value(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_codec_roundtrip(v in value()) {
+        let mut buf = bytes::BytesMut::new();
+        codec::put_value(&mut buf, &v);
+        let mut b = buf.freeze();
+        prop_assert_eq!(codec::get_value(&mut b).unwrap(), v);
+        prop_assert_eq!(bytes::Buf::remaining(&b), 0);
+    }
+
+    #[test]
+    fn row_codec_roundtrip(r in row()) {
+        let mut buf = bytes::BytesMut::new();
+        codec::put_row(&mut buf, &r);
+        let mut b = buf.freeze();
+        prop_assert_eq!(codec::get_row(&mut b).unwrap(), r);
+    }
+
+    #[test]
+    fn codec_rejects_arbitrary_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Must never panic; may legitimately decode if the bytes happen to
+        // be valid.
+        let mut b = bytes::Bytes::from(bytes);
+        let _ = codec::get_value(&mut b);
+    }
+}
+
+/// Abstract op in a transaction script.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    /// Delete the `k % live`-th live row.
+    Delete(usize),
+    /// Update the `k % live`-th live row to a new value.
+    Update(usize, i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(Op::Insert),
+        any::<usize>().prop_map(Op::Delete),
+        (any::<usize>(), any::<i64>()).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct TxnScript {
+    ops: Vec<Op>,
+    commit: bool,
+}
+
+fn txn_script() -> impl Strategy<Value = TxnScript> {
+    (prop::collection::vec(op(), 0..8), any::<bool>())
+        .prop_map(|(ops, commit)| TxnScript { ops, commit })
+}
+
+fn table_def() -> TableDef {
+    TableDef::new(
+        "dbo.t",
+        Schema::new(vec![Column::new("v", DataType::Int)]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply a random sequence of transactions (some committed, some
+    /// aborted, the final one possibly left in flight), "crash" by dropping
+    /// the handle, reopen, and compare against a pure in-memory model that
+    /// saw only the committed transactions.
+    #[test]
+    fn recovery_reconstructs_exactly_committed_state(
+        scripts in prop::collection::vec(txn_script(), 1..8),
+        leave_last_open in any::<bool>(),
+        checkpoint_after in prop::option::of(0usize..8),
+    ) {
+        let dir = temp_dir();
+        let mut model: Vec<(u64, i64)> = Vec::new(); // (row_id, value)
+        {
+            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let t0 = db.begin().unwrap();
+            db.create_table(t0, table_def()).unwrap();
+            db.commit(t0).unwrap();
+
+            for (si, script) in scripts.iter().enumerate() {
+                let txn = db.begin().unwrap();
+                let mut scratch = model.clone();
+                let mut ok = true;
+                for op in &script.ops {
+                    match op {
+                        Op::Insert(v) => {
+                            let rid = db.insert(txn, "dbo.t", vec![Value::Int(*v)]).unwrap();
+                            scratch.push((rid, *v));
+                        }
+                        Op::Delete(k) => {
+                            if scratch.is_empty() { continue; }
+                            let idx = k % scratch.len();
+                            let (rid, _) = scratch.remove(idx);
+                            db.delete(txn, "dbo.t", rid).unwrap();
+                        }
+                        Op::Update(k, v) => {
+                            if scratch.is_empty() { continue; }
+                            let idx = k % scratch.len();
+                            let rid = scratch[idx].0;
+                            db.update(txn, "dbo.t", rid, vec![Value::Int(*v)]).unwrap();
+                            scratch[idx].1 = *v;
+                        }
+                    }
+                }
+                let last = si == scripts.len() - 1;
+                if last && leave_last_open {
+                    // Crash with this transaction in flight: its effects
+                    // must not survive.
+                    ok = false;
+                } else if script.commit {
+                    db.commit(txn).unwrap();
+                } else {
+                    db.abort(txn).unwrap();
+                    ok = false;
+                }
+                if ok && script.commit {
+                    model = scratch;
+                }
+                if Some(si) == checkpoint_after && !(last && leave_last_open) {
+                    db.checkpoint().unwrap();
+                }
+            }
+            // Crash: drop without checkpoint.
+        }
+
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let table = db.store().table("dbo.t").unwrap();
+        let mut recovered: Vec<(u64, i64)> = table
+            .rows
+            .iter()
+            .map(|(rid, row)| (*rid, row[0].as_i64().unwrap()))
+            .collect();
+        recovered.sort_unstable();
+        let mut expect = model.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(recovered, expect);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A torn tail (truncated log) never breaks recovery and loses at most
+    /// the torn suffix — committed transactions whose commit record survived
+    /// the truncation are intact.
+    #[test]
+    fn torn_tail_is_survivable(values in prop::collection::vec(any::<i64>(), 1..20), cut in 1usize..64) {
+        let dir = temp_dir();
+        {
+            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let t0 = db.begin().unwrap();
+            db.create_table(t0, table_def()).unwrap();
+            db.commit(t0).unwrap();
+            for v in &values {
+                let t = db.begin().unwrap();
+                db.insert(t, "dbo.t", vec![Value::Int(*v)]).unwrap();
+                db.commit(t).unwrap();
+            }
+        }
+        // Tear the tail.
+        let wal = dir.join("phoenix.wal");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let new_len = len.saturating_sub(cut as u64);
+        let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(new_len).unwrap();
+        drop(f);
+
+        // Recovery must succeed, and every surviving row must be a prefix-
+        // respecting subset of the inserted values (commits are sequential,
+        // so losses come only from the tail).
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let table = db.store().table("dbo.t").unwrap();
+        let recovered: Vec<i64> = table.rows.values().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert!(recovered.len() <= values.len());
+        prop_assert_eq!(&recovered[..], &values[..recovered.len()]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `Eq`, `Ord` and `Hash` on [`Value`] must be mutually consistent —
+    /// the contract BTreeMap (primary-key indexes) and HashMap (hash joins)
+    /// require. Floats use IEEE total ordering throughout.
+    #[test]
+    fn value_eq_ord_hash_consistent(a in value(), b in value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        // Ord consistent with Eq.
+        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+        // Hash consistent with Eq.
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b));
+        }
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Reflexivity.
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    /// Transitivity of the total order (sampled).
+    #[test]
+    fn value_ord_transitive(a in value(), b in value(), c in value()) {
+        let mut vs = [a, b, c];
+        vs.sort();
+        prop_assert!(vs[0] <= vs[1] && vs[1] <= vs[2] && vs[0] <= vs[2]);
+    }
+}

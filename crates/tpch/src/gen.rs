@@ -1,0 +1,343 @@
+//! Seeded TPC-H-style data generation.
+//!
+//! Everything is driven by a single seed, so two runs (e.g. the native
+//! baseline and the Phoenix run of the power test) see byte-identical data.
+//! The scale factor multiplies the row counts of the big tables; `scale =
+//! 1.0` builds a laptop-friendly database (≈6k LINEITEM rows) that keeps
+//! the paper's *relative* characteristics: LINEITEM ≫ ORDERS ≫ CUSTOMER,
+//! selective predicates, skewless uniform distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use phoenix_storage::types::days_from_civil;
+
+use crate::schema;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Row-count multiplier (1.0 ≈ 6k LINEITEM rows).
+    pub scale: f64,
+    /// RNG seed; identical seeds generate identical databases.
+    pub seed: u64,
+    /// Rows per INSERT batch in the generated load script.
+    pub batch: usize,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 1.0,
+            seed: 42,
+            batch: 200,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Builder: set the scale factor.
+    pub fn with_scale(mut self, s: f64) -> Self {
+        self.scale = s;
+        self
+    }
+}
+
+/// The generated workload: row counts plus the SQL load script.
+pub struct Tpch {
+    /// The generator configuration.
+    pub config: TpchConfig,
+    /// SUPPLIER row count.
+    pub suppliers: i64,
+    /// PART row count.
+    pub parts: i64,
+    /// CUSTOMER row count.
+    pub customers: i64,
+    /// ORDERS row count (base keys `1..=orders`).
+    pub orders: i64,
+    /// Refresh set size (orders inserted by RF1 / deleted by RF2).
+    pub refresh_orders: i64,
+    /// Approximate lineitem count (exact count depends on the seed).
+    pub lineitems_approx: i64,
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+];
+const PART_ADJ: [&str; 10] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush",
+];
+
+fn q(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+impl Tpch {
+    /// Derive row counts from the configuration.
+    pub fn new(config: TpchConfig) -> Tpch {
+        let s = config.scale;
+        let suppliers = ((100.0 * s) as i64).max(10);
+        let parts = ((200.0 * s) as i64).max(20);
+        let customers = ((150.0 * s) as i64).max(15);
+        let orders = ((1500.0 * s) as i64).max(100);
+        let refresh_orders = (orders / 10).max(4);
+        Tpch {
+            config,
+            suppliers,
+            parts,
+            customers,
+            orders,
+            refresh_orders,
+            lineitems_approx: orders * 4,
+        }
+    }
+
+    /// First order key used by the refresh set (base keys are
+    /// `1..=self.orders`).
+    pub fn refresh_key_range(&self) -> (i64, i64) {
+        (self.orders + 1, self.orders + self.refresh_orders)
+    }
+
+    /// The complete load script: DDL + batched inserts + staging data.
+    pub fn setup_sql(&self) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut out: Vec<String> = Vec::new();
+        out.extend(schema::ddl().into_iter().map(str::to_string));
+        out.extend(schema::staging_ddl().into_iter().map(str::to_string));
+
+        // REGION / NATION — fixed tiny tables.
+        out.push(format!(
+            "INSERT INTO region VALUES {}",
+            REGIONS
+                .iter()
+                .enumerate()
+                .map(|(i, r)| format!("({i}, {}, 'comment')", q(r)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push(format!(
+            "INSERT INTO nation VALUES {}",
+            NATIONS
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("({i}, {}, {}, 'comment')", q(n), i % 5))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+
+        // SUPPLIER — nations assigned round-robin so every nation has
+        // suppliers at any scale (Q5/Q11 depend on nation coverage).
+        self.batched(&mut out, "supplier", (1..=self.suppliers).map(|k| {
+            format!(
+                "({k}, 'Supplier#{k:09}', {}, {:.2})",
+                (k - 1) % 25,
+                rng.gen_range(-999.99..9999.99)
+            )
+        }));
+
+        // PART
+        let mut part_types = Vec::with_capacity(self.parts as usize);
+        self.batched(&mut out, "part", (1..=self.parts).map(|k| {
+            let ptype = format!(
+                "{} {} {}",
+                TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+                TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+                TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
+            );
+            part_types.push(ptype.clone());
+            format!(
+                "({k}, {}, 'Manufacturer#{}', 'Brand#{}{}', {}, {}, {}, {:.2})",
+                q(&format!(
+                    "{} {}",
+                    PART_ADJ[rng.gen_range(0..PART_ADJ.len())],
+                    PART_ADJ[rng.gen_range(0..PART_ADJ.len())]
+                )),
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5),
+                q(&ptype),
+                rng.gen_range(1..=50),
+                q(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                (90000.0 + rng.gen_range(0.0..11000.0)) / 100.0
+            )
+        }));
+
+        // PARTSUPP — four suppliers per part.
+        self.batched(
+            &mut out,
+            "partsupp",
+            (1..=self.parts).flat_map(|p| {
+                let ns = self.suppliers;
+                (0..4).map(move |i| (p, ((p + i * (ns / 4)) % ns) + 1))
+            })
+            .map(|(p, sk)| {
+                format!(
+                    "({p}, {sk}, {}, {:.2})",
+                    rng.gen_range(1..=9999),
+                    rng.gen_range(1.0..1000.0)
+                )
+            }),
+        );
+
+        // CUSTOMER — round-robin nations, like suppliers.
+        self.batched(&mut out, "customer", (1..=self.customers).map(|k| {
+            format!(
+                "({k}, 'Customer#{k:09}', {}, {:.2}, {})",
+                (k - 1) % 25,
+                rng.gen_range(-999.99..9999.99),
+                q(SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
+            )
+        }));
+
+        // ORDERS + LINEITEM (base + refresh staging).
+        let (orders_sql, lineitem_sql) =
+            self.gen_orders(&mut rng, 1, self.orders, "orders", "lineitem");
+        out.extend(orders_sql);
+        out.extend(lineitem_sql);
+        let (rf_start, rf_end) = self.refresh_key_range();
+        let (o2, l2) = self.gen_orders(&mut rng, rf_start, rf_end, "rf_orders_new", "rf_lineitem_new");
+        out.extend(o2);
+        out.extend(l2);
+
+        out
+    }
+
+    /// Generate orders with keys `lo..=hi` (inclusive) and their lineitems,
+    /// as batched INSERTs into the given tables.
+    fn gen_orders(
+        &self,
+        rng: &mut StdRng,
+        lo: i64,
+        hi: i64,
+        orders_table: &str,
+        lineitem_table: &str,
+    ) -> (Vec<String>, Vec<String>) {
+        let epoch_lo = days_from_civil(1992, 1, 1);
+        let epoch_hi = days_from_civil(1998, 8, 2);
+        let cutover = days_from_civil(1995, 6, 17);
+
+        let mut order_tuples = Vec::new();
+        let mut line_tuples = Vec::new();
+        for okey in lo..=hi {
+            let odate = rng.gen_range(epoch_lo..epoch_hi);
+            let nlines = rng.gen_range(1..=7);
+            let mut total = 0.0f64;
+            for ln in 1..=nlines {
+                let qty = rng.gen_range(1..=50) as f64;
+                let price_per = (90000.0 + rng.gen_range(0.0..11000.0)) / 100.0;
+                let extended = qty * price_per;
+                let discount = rng.gen_range(0..=10) as f64 / 100.0;
+                let tax = rng.gen_range(0..=8) as f64 / 100.0;
+                let shipdate = odate + rng.gen_range(1..=121);
+                let (rflag, lstatus) = if shipdate < cutover {
+                    (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+                } else {
+                    ("N", "O")
+                };
+                total += extended * (1.0 - discount) * (1.0 + tax);
+                line_tuples.push(format!(
+                    "({okey}, {ln}, {}, {}, {qty:.1}, {extended:.2}, {discount:.2}, {tax:.2}, '{rflag}', '{lstatus}', DATE {}, {})",
+                    rng.gen_range(1..=self.parts),
+                    rng.gen_range(1..=self.suppliers),
+                    q(&phoenix_storage::types::format_date(shipdate)),
+                    q(SHIPMODES[rng.gen_range(0..SHIPMODES.len())])
+                ));
+            }
+            let status = if odate < cutover { "F" } else { "O" };
+            order_tuples.push(format!(
+                "({okey}, {}, '{status}', {total:.2}, DATE {}, {}, 0)",
+                rng.gen_range(1..=self.customers),
+                q(&phoenix_storage::types::format_date(odate)),
+                q(PRIORITIES[rng.gen_range(0..PRIORITIES.len())])
+            ));
+        }
+
+        let mut orders_sql = Vec::new();
+        for chunk in order_tuples.chunks(self.config.batch) {
+            orders_sql.push(format!("INSERT INTO {orders_table} VALUES {}", chunk.join(", ")));
+        }
+        let mut lineitem_sql = Vec::new();
+        for chunk in line_tuples.chunks(self.config.batch) {
+            lineitem_sql.push(format!("INSERT INTO {lineitem_table} VALUES {}", chunk.join(", ")));
+        }
+        (orders_sql, lineitem_sql)
+    }
+
+    fn batched(
+        &self,
+        out: &mut Vec<String>,
+        table: &str,
+        tuples: impl Iterator<Item = String>,
+    ) {
+        let tuples: Vec<String> = tuples.collect();
+        for chunk in tuples.chunks(self.config.batch) {
+            out.push(format!("INSERT INTO {table} VALUES {}", chunk.join(", ")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Tpch::new(TpchConfig::default()).setup_sql();
+        let b = Tpch::new(TpchConfig::default()).setup_sql();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = Tpch::new(TpchConfig::default()).setup_sql();
+        let b = Tpch::new(TpchConfig {
+            seed: 43,
+            ..TpchConfig::default()
+        })
+        .setup_sql();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_statement_parses() {
+        let t = Tpch::new(TpchConfig {
+            scale: 0.1,
+            ..TpchConfig::default()
+        });
+        for sql in t.setup_sql() {
+            phoenix_sql::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("{e}: {}", &sql[..sql.len().min(120)]));
+        }
+    }
+
+    #[test]
+    fn scale_controls_counts() {
+        let small = Tpch::new(TpchConfig::default().with_scale(0.5));
+        let big = Tpch::new(TpchConfig::default().with_scale(2.0));
+        assert!(big.orders > small.orders);
+        assert_eq!(big.orders, 3000);
+        assert_eq!(small.orders, 750);
+    }
+
+    #[test]
+    fn refresh_keys_disjoint_from_base() {
+        let t = Tpch::new(TpchConfig::default());
+        let (lo, hi) = t.refresh_key_range();
+        assert!(lo > t.orders);
+        assert_eq!(hi - lo + 1, t.refresh_orders);
+    }
+}

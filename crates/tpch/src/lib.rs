@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # phoenix-tpch
+//!
+//! A deterministic, scaled-down TPC-H-style workload for the Phoenix
+//! evaluation — the stand-in for the TPC-H database and *power test* the
+//! paper measures (§4).
+//!
+//! * [`schema`] — the eight TPC-H tables (REGION, NATION, SUPPLIER, PART,
+//!   PARTSUPP, CUSTOMER, ORDERS, LINEITEM) in the engine's dialect.
+//! * [`gen`] — seeded data generation at a configurable scale factor, plus
+//!   the refresh-function staging data (new orders/lineitems preloaded into
+//!   staging tables, deletion key ranges — exactly the setup the paper
+//!   describes: "the tuples corresponding to new orders and new lineitems
+//!   were already loaded into the database, as were the keys …").
+//! * [`queries`] — a query suite in the supported dialect preserving the
+//!   TPC-H operator mix (single-table aggregation through six-way joins,
+//!   CASE/LIKE/BETWEEN/IN predicates, COUNT(DISTINCT …)).
+//! * [`refresh`] — RF1 (insert) and RF2 (delete), each decomposed into two
+//!   transactions covering half the key range, each submitting the paper's
+//!   four insert/delete requests total.
+//! * [`power`] — the power-test runner: every query and refresh function
+//!   executed one at a time and timed individually, over any executor (the
+//!   native driver or Phoenix), with mean/stddev across repetitions.
+
+pub mod gen;
+pub mod power;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+
+pub use gen::{Tpch, TpchConfig};
+pub use power::{PowerReport, PowerRow, SqlExecutor};

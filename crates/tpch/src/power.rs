@@ -1,0 +1,164 @@
+//! The TPC-H power test (paper §4).
+//!
+//! "The TPC-H power test executes all queries and update functions defined
+//! in the benchmark one at a time in order and their running time is
+//! measured individually." The runner is generic over [`SqlExecutor`], so
+//! the same code measures the native driver and Phoenix — the comparison
+//! that produces the paper's Table 1.
+
+use std::time::Instant;
+
+use crate::gen::Tpch;
+use crate::queries::QUERIES;
+use crate::refresh::{rf1, rf2};
+
+/// Anything that can execute SQL and report how many rows came back or were
+/// affected. Implemented for the native driver connection and for
+/// [`phoenix_core::PhoenixConnection`] by the benchmark harness.
+pub trait SqlExecutor {
+    /// Execute `sql`, returning rows returned/affected or an error string.
+    fn exec_sql(&mut self, sql: &str) -> Result<u64, String>;
+}
+
+impl SqlExecutor for phoenix_driver::Connection {
+    fn exec_sql(&mut self, sql: &str) -> Result<u64, String> {
+        let r = self.execute(sql).map_err(|e| e.to_string())?;
+        Ok(match &r.outcome {
+            phoenix_wire::message::Outcome::ResultSet { rows, .. } => rows.len() as u64,
+            phoenix_wire::message::Outcome::RowsAffected(n) => *n,
+            phoenix_wire::message::Outcome::Done => 0,
+        })
+    }
+}
+
+impl SqlExecutor for phoenix_core::PhoenixConnection {
+    fn exec_sql(&mut self, sql: &str) -> Result<u64, String> {
+        let r = self.execute(sql).map_err(|e| e.to_string())?;
+        Ok(match &r.outcome {
+            phoenix_wire::message::Outcome::ResultSet { rows, .. } => rows.len() as u64,
+            phoenix_wire::message::Outcome::RowsAffected(n) => *n,
+            phoenix_wire::message::Outcome::Done => 0,
+        })
+    }
+}
+
+/// One measured row of the power test.
+#[derive(Debug, Clone)]
+pub struct PowerRow {
+    /// Query or refresh-function name.
+    pub name: String,
+    /// Rows returned (queries) or modified (refresh functions), from the
+    /// last repetition.
+    pub rows: u64,
+    /// Mean elapsed seconds across repetitions.
+    pub seconds_mean: f64,
+    /// Sample standard deviation.
+    pub seconds_std: f64,
+    /// Is this a refresh function (vs. a query)?
+    pub is_update: bool,
+}
+
+/// A complete power-test report.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Per-item results, in execution order.
+    pub rows: Vec<PowerRow>,
+    /// Sum of query means (the paper's "Total Query" row).
+    pub total_query_seconds: f64,
+    /// Sum of refresh-function means ("Total Updates").
+    pub total_update_seconds: f64,
+}
+
+impl PowerReport {
+    /// Look an item up by name.
+    pub fn row(&self, name: &str) -> Option<&PowerRow> {
+        self.rows.iter().find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+}
+
+fn mean_std(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Run the power test `iterations` times and report per-item mean/stddev.
+///
+/// Each iteration runs every query in order, then RF1, then RF2 — RF2
+/// removes exactly the rows RF1 added, so the database is in the same state
+/// at the start of every iteration (and for every executor).
+pub fn run_power_test(
+    exec: &mut dyn SqlExecutor,
+    workload: &Tpch,
+    iterations: usize,
+) -> Result<PowerReport, String> {
+    let (lo, hi) = workload.refresh_key_range();
+    let items: Vec<(String, Vec<String>, bool)> = QUERIES
+        .iter()
+        .map(|q| (q.name.to_string(), vec![q.sql.to_string()], false))
+        .chain([
+            ("RF1".to_string(), rf1(lo, hi), true),
+            ("RF2".to_string(), rf2(lo, hi), true),
+        ])
+        .collect();
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(iterations); items.len()];
+    let mut rows: Vec<u64> = vec![0; items.len()];
+
+    for _ in 0..iterations {
+        for (i, (name, stmts, _)) in items.iter().enumerate() {
+            let start = Instant::now();
+            let mut item_rows = 0;
+            for sql in stmts {
+                item_rows += exec
+                    .exec_sql(sql)
+                    .map_err(|e| format!("{name}: {e}"))?;
+            }
+            samples[i].push(start.elapsed().as_secs_f64());
+            rows[i] = item_rows;
+        }
+    }
+
+    let mut report_rows = Vec::with_capacity(items.len());
+    let mut total_query = 0.0;
+    let mut total_update = 0.0;
+    for (i, (name, _, is_update)) in items.iter().enumerate() {
+        let (mean, std) = mean_std(&samples[i]);
+        if *is_update {
+            total_update += mean;
+        } else {
+            total_query += mean;
+        }
+        report_rows.push(PowerRow {
+            name: name.clone(),
+            rows: rows[i],
+            seconds_mean: mean,
+            seconds_std: std,
+            is_update: *is_update,
+        });
+    }
+
+    Ok(PowerReport {
+        rows: report_rows,
+        total_query_seconds: total_query,
+        total_update_seconds: total_update,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.138089935299395).abs() < 1e-9);
+        let (m, s) = mean_std(&[3.0]);
+        assert_eq!((m, s), (3.0, 0.0));
+    }
+}

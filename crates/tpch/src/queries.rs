@@ -1,0 +1,190 @@
+//! The query suite: TPC-H-style queries re-expressed in the engine's
+//! dialect, preserving the operator mix the paper's power test exercises —
+//! "from a simple single-table query to a complex eight-way join", with
+//! selective predicates, grouped aggregation, CASE, LIKE, BETWEEN, IN and
+//! COUNT(DISTINCT …).
+//!
+//! Queries the paper's Table 1 names (Q1, Q11, Q16) keep their numbers and
+//! intent; the rest are faithful adaptations within the supported dialect
+//! (no correlated subqueries — see DESIGN.md §6).
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// TPC-H-style name (`Q1`, `Q11`, …).
+    pub name: &'static str,
+    /// The SQL text in this engine's dialect.
+    pub sql: &'static str,
+    /// What the query exercises.
+    pub description: &'static str,
+}
+
+/// The full suite, in execution order.
+pub const QUERIES: &[Query] = &[
+    Query {
+        name: "Q1",
+        description: "pricing summary report: single-table scan, 8 aggregates, GROUP BY",
+        sql: "SELECT l_returnflag, l_linestatus, \
+                     SUM(l_quantity) AS sum_qty, \
+                     SUM(l_extendedprice) AS sum_base_price, \
+                     SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+                     SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+                     AVG(l_quantity) AS avg_qty, \
+                     AVG(l_extendedprice) AS avg_price, \
+                     AVG(l_discount) AS avg_disc, \
+                     COUNT(*) AS count_order \
+              FROM lineitem \
+              WHERE l_shipdate <= DATE '1998-09-02' \
+              GROUP BY l_returnflag, l_linestatus \
+              ORDER BY l_returnflag, l_linestatus",
+    },
+    Query {
+        name: "Q3",
+        description: "shipping priority: 3-way join, selective date predicates, TOP 10",
+        sql: "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+                     o_orderdate, o_shippriority \
+              FROM customer, orders, lineitem \
+              WHERE c_mktsegment = 'BUILDING' \
+                AND c_custkey = o_custkey \
+                AND l_orderkey = o_orderkey \
+                AND o_orderdate < DATE '1995-03-15' \
+                AND l_shipdate > DATE '1995-03-15' \
+              GROUP BY l_orderkey, o_orderdate, o_shippriority \
+              ORDER BY revenue DESC, o_orderdate \
+              LIMIT 10",
+    },
+    Query {
+        name: "Q5",
+        description: "local supplier volume: 6-way join, GROUP BY nation",
+        sql: "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer, orders, lineitem, supplier, nation, region \
+              WHERE c_custkey = o_custkey \
+                AND l_orderkey = o_orderkey \
+                AND l_suppkey = s_suppkey \
+                AND c_nationkey = s_nationkey \
+                AND s_nationkey = n_nationkey \
+                AND n_regionkey = r_regionkey \
+                AND r_name = 'ASIA' \
+                AND o_orderdate >= DATE '1994-01-01' \
+                AND o_orderdate < DATE '1995-01-01' \
+              GROUP BY n_name \
+              ORDER BY revenue DESC",
+    },
+    Query {
+        name: "Q6",
+        description: "forecast revenue change: single-table, BETWEEN predicates, one aggregate",
+        sql: "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+              FROM lineitem \
+              WHERE l_shipdate >= DATE '1994-01-01' \
+                AND l_shipdate < DATE '1995-01-01' \
+                AND l_discount BETWEEN 0.05 AND 0.07 \
+                AND l_quantity < 24",
+    },
+    Query {
+        name: "Q10",
+        description: "returned-item reporting: 4-way join, GROUP BY customer, TOP 20",
+        sql: "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+                     c_acctbal, n_name \
+              FROM customer, orders, lineitem, nation \
+              WHERE c_custkey = o_custkey \
+                AND l_orderkey = o_orderkey \
+                AND o_orderdate >= DATE '1993-10-01' \
+                AND o_orderdate < DATE '1994-01-01' \
+                AND l_returnflag = 'R' \
+                AND c_nationkey = n_nationkey \
+              GROUP BY c_custkey, c_name, c_acctbal, n_name \
+              ORDER BY revenue DESC \
+              LIMIT 20",
+    },
+    Query {
+        name: "Q11",
+        description: "important stock identification: 3-way join, GROUP BY part (the paper's recovery-experiment query)",
+        sql: "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+              FROM partsupp, supplier, nation \
+              WHERE ps_suppkey = s_suppkey \
+                AND s_nationkey = n_nationkey \
+                AND n_name = 'GERMANY' \
+              GROUP BY ps_partkey \
+              ORDER BY value DESC",
+    },
+    Query {
+        name: "Q12",
+        description: "shipping modes: join + CASE aggregation over priorities, IN predicate",
+        sql: "SELECT l_shipmode, \
+                     SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, \
+                     SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count \
+              FROM orders, lineitem \
+              WHERE o_orderkey = l_orderkey \
+                AND l_shipmode IN ('MAIL', 'SHIP') \
+                AND l_shipdate >= DATE '1994-01-01' \
+                AND l_shipdate < DATE '1995-01-01' \
+              GROUP BY l_shipmode \
+              ORDER BY l_shipmode",
+    },
+    Query {
+        name: "Q14",
+        description: "promotion effect: join + CASE/LIKE ratio aggregate",
+        sql: "SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+              FROM lineitem, part \
+              WHERE l_partkey = p_partkey \
+                AND l_shipdate >= DATE '1995-09-01' \
+                AND l_shipdate < DATE '1995-10-01'",
+    },
+    Query {
+        name: "Q16",
+        description: "parts/supplier relationship: COUNT(DISTINCT), NOT LIKE, IN (paper Table 1 row)",
+        sql: "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+              FROM partsupp, part \
+              WHERE p_partkey = ps_partkey \
+                AND p_brand <> 'Brand#45' \
+                AND p_type NOT LIKE 'MEDIUM POLISHED%' \
+                AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) \
+              GROUP BY p_brand, p_type, p_size \
+              ORDER BY supplier_cnt DESC, p_brand, p_type, p_size",
+    },
+    Query {
+        name: "Q19",
+        description: "discounted revenue: join with OR-of-ANDs predicate block",
+        sql: "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM lineitem, part \
+              WHERE p_partkey = l_partkey \
+                AND ((p_container = 'SM CASE' AND l_quantity BETWEEN 1 AND 11) \
+                  OR (p_container = 'MED BOX' AND l_quantity BETWEEN 10 AND 20) \
+                  OR (p_container = 'LG BOX' AND l_quantity BETWEEN 20 AND 30)) \
+                AND l_shipmode IN ('AIR', 'REG AIR')",
+    },
+];
+
+/// Look a query up by name.
+pub fn by_name(name: &str) -> Option<&'static Query> {
+    QUERIES.iter().find(|q| q.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for q in QUERIES {
+            phoenix_sql::parse_statement(q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(by_name("q11").is_some());
+        assert!(by_name("Q1").is_some());
+        assert!(by_name("q99").is_none());
+    }
+
+    #[test]
+    fn suite_covers_operator_mix() {
+        let all: String = QUERIES.iter().map(|q| q.sql).collect();
+        for token in ["GROUP BY", "ORDER BY", "CASE", "LIKE", "BETWEEN", "IN (", "DISTINCT", "LIMIT"] {
+            assert!(all.contains(token), "suite missing {token}");
+        }
+        // At least one 6-way join (Q5).
+        assert!(QUERIES.iter().any(|q| q.sql.matches(',').count() > 10));
+    }
+}

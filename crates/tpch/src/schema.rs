@@ -1,0 +1,55 @@
+//! The TPC-H-style schema in the engine's dialect.
+//!
+//! Column names follow TPC-H; types map to the engine's type system
+//! (DECIMAL → FLOAT, VARCHAR/CHAR → TEXT, DATE stays DATE).
+
+/// DDL for all base tables, in creation order.
+pub fn ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE region (r_regionkey INT NOT NULL, r_name TEXT, r_comment TEXT, PRIMARY KEY (r_regionkey))",
+        "CREATE TABLE nation (n_nationkey INT NOT NULL, n_name TEXT, n_regionkey INT, n_comment TEXT, PRIMARY KEY (n_nationkey))",
+        "CREATE TABLE supplier (s_suppkey INT NOT NULL, s_name TEXT, s_nationkey INT, s_acctbal FLOAT, PRIMARY KEY (s_suppkey))",
+        "CREATE TABLE part (p_partkey INT NOT NULL, p_name TEXT, p_mfgr TEXT, p_brand TEXT, p_type TEXT, p_size INT, p_container TEXT, p_retailprice FLOAT, PRIMARY KEY (p_partkey))",
+        "CREATE TABLE partsupp (ps_partkey INT NOT NULL, ps_suppkey INT NOT NULL, ps_availqty INT, ps_supplycost FLOAT, PRIMARY KEY (ps_partkey, ps_suppkey))",
+        "CREATE TABLE customer (c_custkey INT NOT NULL, c_name TEXT, c_nationkey INT, c_acctbal FLOAT, c_mktsegment TEXT, PRIMARY KEY (c_custkey))",
+        "CREATE TABLE orders (o_orderkey INT NOT NULL, o_custkey INT, o_orderstatus TEXT, o_totalprice FLOAT, o_orderdate DATE, o_orderpriority TEXT, o_shippriority INT, PRIMARY KEY (o_orderkey))",
+        "CREATE TABLE lineitem (l_orderkey INT NOT NULL, l_linenumber INT NOT NULL, l_partkey INT, l_suppkey INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag TEXT, l_linestatus TEXT, l_shipdate DATE, l_shipmode TEXT, PRIMARY KEY (l_orderkey, l_linenumber))",
+    ]
+}
+
+/// DDL for the refresh-function staging tables (pre-loaded new rows and
+/// deletion key lists, per the paper's experimental setup).
+pub fn staging_ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE rf_orders_new (o_orderkey INT NOT NULL, o_custkey INT, o_orderstatus TEXT, o_totalprice FLOAT, o_orderdate DATE, o_orderpriority TEXT, o_shippriority INT, PRIMARY KEY (o_orderkey))",
+        "CREATE TABLE rf_lineitem_new (l_orderkey INT NOT NULL, l_linenumber INT NOT NULL, l_partkey INT, l_suppkey INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag TEXT, l_linestatus TEXT, l_shipdate DATE, l_shipmode TEXT, PRIMARY KEY (l_orderkey, l_linenumber))",
+    ]
+}
+
+/// Names of every table this workload creates.
+pub fn all_tables() -> Vec<&'static str> {
+    vec![
+        "region",
+        "nation",
+        "supplier",
+        "part",
+        "partsupp",
+        "customer",
+        "orders",
+        "lineitem",
+        "rf_orders_new",
+        "rf_lineitem_new",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ddl_parses() {
+        for sql in ddl().into_iter().chain(staging_ddl()) {
+            phoenix_sql::parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The full TPC-H-style suite executed against the real engine: every query
+//! must run, return plausible shapes, and be deterministic; the refresh
+//! functions must round-trip the database back to its starting state.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use phoenix_engine::{Engine, EngineConfig, ExecOutcome};
+use phoenix_storage::types::Value;
+use phoenix_tpch::queries::QUERIES;
+use phoenix_tpch::refresh::{rf1, rf2};
+use phoenix_tpch::{Tpch, TpchConfig};
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-tpch-test-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn load(scale: f64) -> (Engine, u64, Tpch, PathBuf) {
+    let dir = temp_dir();
+    let mut engine = Engine::open(&dir, EngineConfig::default()).unwrap();
+    let sid = engine.create_session("bench");
+    let t = Tpch::new(TpchConfig::default().with_scale(scale));
+    for sql in t.setup_sql() {
+        engine.execute(sid, &sql).unwrap_or_else(|e| panic!("{e}: {}", &sql[..sql.len().min(100)]));
+    }
+    (engine, sid, t, dir)
+}
+
+#[test]
+fn all_queries_run_and_are_deterministic() {
+    let (mut engine, sid, _t, dir) = load(0.25);
+    for q in QUERIES {
+        let a = engine.execute(sid, q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        let b = engine.execute(sid, q.sql).unwrap();
+        match (&a.outcome, &b.outcome) {
+            (
+                ExecOutcome::ResultSet { rows: ra, schema },
+                ExecOutcome::ResultSet { rows: rb, .. },
+            ) => {
+                assert_eq!(ra, rb, "{} not deterministic", q.name);
+                assert!(!schema.is_empty(), "{} empty schema", q.name);
+            }
+            other => panic!("{}: {other:?}", q.name),
+        }
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn query_shapes_are_plausible() {
+    let (mut engine, sid, _t, dir) = load(0.25);
+
+    // Q1 groups by (returnflag, linestatus): at most 4 combinations exist in
+    // the generator (R/F, A/F, N/O).
+    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q1").unwrap().sql).unwrap();
+    let n = r.rows().len();
+    assert!((1..=4).contains(&n), "Q1 groups: {n}");
+
+    // Q6 returns a single aggregate row with a positive revenue.
+    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q6").unwrap().sql).unwrap();
+    assert_eq!(r.rows().len(), 1);
+    match &r.rows()[0][0] {
+        Value::Float(f) => assert!(*f > 0.0, "Q6 revenue {f}"),
+        Value::Null => panic!("Q6 revenue NULL — predicates select nothing"),
+        other => panic!("{other:?}"),
+    }
+
+    // Q3 respects its LIMIT.
+    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q3").unwrap().sql).unwrap();
+    assert!(r.rows().len() <= 10);
+
+    // Q11 (the recovery-experiment query) returns a sizable ordered result.
+    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q11").unwrap().sql).unwrap();
+    assert!(!r.rows().is_empty(), "Q11 empty");
+    let values: Vec<f64> = r
+        .rows()
+        .iter()
+        .map(|row| row[1].as_f64().unwrap())
+        .collect();
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert_eq!(values, sorted, "Q11 not ordered by value DESC");
+
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn refresh_functions_round_trip() {
+    let (mut engine, sid, t, dir) = load(0.25);
+    let count = |e: &mut Engine, sid, table: &str| -> i64 {
+        e.execute(sid, &format!("SELECT COUNT(*) FROM {table}"))
+            .unwrap()
+            .rows()[0][0]
+            .as_i64()
+            .unwrap()
+    };
+
+    let orders0 = count(&mut engine, sid, "orders");
+    let lines0 = count(&mut engine, sid, "lineitem");
+    let (lo, hi) = t.refresh_key_range();
+
+    // RF1 inserts the staged rows…
+    let mut inserted = 0;
+    for sql in rf1(lo, hi) {
+        inserted += engine.execute(sid, &sql).unwrap().affected();
+    }
+    assert!(inserted > 0);
+    assert_eq!(count(&mut engine, sid, "orders"), orders0 + t.refresh_orders);
+    assert!(count(&mut engine, sid, "lineitem") > lines0);
+
+    // …and RF2 removes exactly what RF1 added.
+    let mut deleted = 0;
+    for sql in rf2(lo, hi) {
+        deleted += engine.execute(sid, &sql).unwrap().affected();
+    }
+    assert_eq!(deleted, inserted);
+    assert_eq!(count(&mut engine, sid, "orders"), orders0);
+    assert_eq!(count(&mut engine, sid, "lineitem"), lines0);
+
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn row_counts_match_config() {
+    let (mut engine, sid, t, dir) = load(0.25);
+    let count = |e: &mut Engine, sid, table: &str| -> i64 {
+        e.execute(sid, &format!("SELECT COUNT(*) FROM {table}"))
+            .unwrap()
+            .rows()[0][0]
+            .as_i64()
+            .unwrap()
+    };
+    assert_eq!(count(&mut engine, sid, "region"), 5);
+    assert_eq!(count(&mut engine, sid, "nation"), 25);
+    assert_eq!(count(&mut engine, sid, "orders"), t.orders);
+    assert_eq!(count(&mut engine, sid, "customer"), t.customers);
+    assert_eq!(count(&mut engine, sid, "partsupp"), t.parts * 4);
+    assert_eq!(count(&mut engine, sid, "rf_orders_new"), t.refresh_orders);
+    let li = count(&mut engine, sid, "lineitem");
+    assert!(li >= t.orders && li <= t.orders * 7, "lineitem {li}");
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,109 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! ```text
+//! frame := len:u32 LE | payload[len]
+//! ```
+//!
+//! TCP already guarantees integrity, so unlike the WAL no checksum is
+//! carried; what this layer must get right is clean failure: a peer that
+//! dies mid-frame produces `UnexpectedEof`, which the driver classifies as a
+//! communication failure (the trigger for Phoenix's recovery machinery).
+
+use std::io::{self, Read, Write};
+
+/// Maximum frame payload (64 MiB) — guards against garbage length fields.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Framing error.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (including EOF mid-frame).
+    Io(io::Error),
+    /// Frame length exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() as u32 > MAX_FRAME {
+        return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, blocking. EOF before a complete frame is an `Io` error
+/// with kind `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![0xAB; 1000]);
+        // Stream exhausted → UnexpectedEof.
+        match read_frame(&mut r) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full frame").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+}

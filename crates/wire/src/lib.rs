@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # phoenix-wire
+//!
+//! The framed binary client-server protocol for the Phoenix database stack —
+//! the stand-in for the proprietary protocol between the paper's ODBC driver
+//! and its commercial DBMS.
+//!
+//! * [`frame`] — length-prefixed frames over any `Read`/`Write` transport.
+//! * [`message`] — the request/response message set and its binary codec
+//!   (value encoding shared with the storage layer, so a row is encoded the
+//!   same way on disk and on the wire).
+//!
+//! The protocol is strictly request/response per connection; concurrency
+//! comes from multiple connections, exactly as in ODBC. Failure modes the
+//! Phoenix layer must handle — a dead socket mid-request, a response that
+//! never arrives — surface here as ordinary `io::Error`s, which the driver
+//! maps to its `Comm` error class.
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{read_frame, write_frame, FrameError};
+pub use message::{CursorKind, FetchDir, Outcome, Request, Response};

@@ -1,0 +1,645 @@
+//! The protocol message set.
+//!
+//! Requests model the ODBC driver's interactions with the server: log in,
+//! execute a statement (default result set — all rows shipped at once, the
+//! server "assumes the application will fetch all the rows promptly"), open
+//! a server cursor of a given kind, fetch blocks, ping, log out.
+//!
+//! Responses carry result sets (schema + rows), rows-affected counts, server
+//! messages (the paper's *reply buffers*), cursor handles and errors.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use phoenix_storage::codec::{self, DecodeError};
+use phoenix_storage::types::{Row, Schema, Value};
+
+/// Cursor kinds on the wire (mirrors the engine's taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorKind {
+    /// Result materialized at open; forward block fetches.
+    ForwardOnly,
+    /// Key membership fixed at open; rows re-read by key.
+    Keyset,
+    /// Predicate re-evaluated per fetch over key order.
+    Dynamic,
+}
+
+/// Fetch orientation on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchDir {
+    /// The next block.
+    Next,
+    /// The previous block.
+    Prior,
+    /// Position to the 0-based row index before fetching.
+    Absolute(u64),
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session. `options` are applied as initial SET options.
+    Login {
+        /// Login user name.
+        user: String,
+        /// Target database name (advisory in this engine).
+        database: String,
+        /// Initial session options, applied as SETs.
+        options: Vec<(String, Value)>,
+    },
+    /// Execute a statement; the response is the complete result.
+    Exec {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Open a server cursor over a SELECT.
+    OpenCursor {
+        /// The SELECT text.
+        sql: String,
+        /// Requested cursor kind (the server may downgrade).
+        kind: CursorKind,
+    },
+    /// Fetch up to `n` rows.
+    Fetch {
+        /// The cursor handle.
+        cursor: u64,
+        /// Fetch orientation.
+        dir: FetchDir,
+        /// Maximum rows to return.
+        n: u32,
+    },
+    /// Close a server cursor.
+    CloseCursor {
+        /// The cursor handle.
+        cursor: u64,
+    },
+    /// Liveness check; answered with `Pong` without touching any session
+    /// state.
+    Ping,
+    /// Catalog introspection: schema and primary key of a table (the
+    /// ODBC `SQLPrimaryKeys`/`SQLColumns` analogue; Phoenix uses it to
+    /// build key tables for persistent cursors).
+    Describe {
+        /// Table name (optionally namespace-qualified).
+        table: String,
+    },
+    /// End the session gracefully.
+    Logout,
+}
+
+/// What a statement produced (wire view of the engine's outcome).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A complete result set.
+    ResultSet {
+        /// Result metadata.
+        schema: Schema,
+        /// All result rows.
+        rows: Vec<Row>,
+    },
+    /// Rows modified by a DML statement.
+    RowsAffected(u64),
+    /// DDL / control statement completed.
+    Done,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session opened.
+    LoginAck {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Statement result.
+    Result {
+        /// What the statement produced.
+        outcome: Outcome,
+        /// Server messages (PRINT output — the paper's reply buffers).
+        messages: Vec<String>,
+    },
+    /// Cursor opened.
+    CursorOpened {
+        /// The cursor handle.
+        cursor: u64,
+        /// Result metadata.
+        schema: Schema,
+        /// The kind actually granted.
+        granted: CursorKind,
+    },
+    /// A fetched block.
+    Rows {
+        /// The rows (possibly fewer than requested).
+        rows: Vec<Row>,
+        /// No more rows in this direction?
+        at_end: bool,
+    },
+    /// Ping answer.
+    Pong,
+    /// Catalog answer for `Describe`.
+    TableInfo {
+        /// The table's schema.
+        schema: Schema,
+        /// Primary-key column names, in key order; empty when keyless.
+        primary_key: Vec<String>,
+    },
+    /// Statement/session error. `code` is the engine's `ErrorCode` as u16.
+    Err {
+        /// The engine's `ErrorCode` as a number.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Logout acknowledged.
+    Bye,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const REQ_LOGIN: u8 = 1;
+const REQ_EXEC: u8 = 2;
+const REQ_OPEN_CURSOR: u8 = 3;
+const REQ_FETCH: u8 = 4;
+const REQ_CLOSE_CURSOR: u8 = 5;
+const REQ_PING: u8 = 6;
+const REQ_LOGOUT: u8 = 7;
+const REQ_DESCRIBE: u8 = 8;
+
+const RSP_LOGIN_ACK: u8 = 101;
+const RSP_RESULT: u8 = 102;
+const RSP_CURSOR_OPENED: u8 = 103;
+const RSP_ROWS: u8 = 104;
+const RSP_PONG: u8 = 105;
+const RSP_ERR: u8 = 106;
+const RSP_BYE: u8 = 107;
+const RSP_TABLE_INFO: u8 = 108;
+
+fn cursor_kind_tag(k: CursorKind) -> u8 {
+    match k {
+        CursorKind::ForwardOnly => 0,
+        CursorKind::Keyset => 1,
+        CursorKind::Dynamic => 2,
+    }
+}
+
+fn cursor_kind_from(t: u8) -> Result<CursorKind, DecodeError> {
+    Ok(match t {
+        0 => CursorKind::ForwardOnly,
+        1 => CursorKind::Keyset,
+        2 => CursorKind::Dynamic,
+        other => return Err(DecodeError(format!("bad cursor kind {other}"))),
+    })
+}
+
+fn put_fetch_dir(buf: &mut impl BufMut, d: FetchDir) {
+    match d {
+        FetchDir::Next => buf.put_u8(0),
+        FetchDir::Prior => buf.put_u8(1),
+        FetchDir::Absolute(k) => {
+            buf.put_u8(2);
+            buf.put_u64_le(k);
+        }
+    }
+}
+
+fn get_fetch_dir(buf: &mut impl Buf) -> Result<FetchDir, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError("truncated fetch dir".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => FetchDir::Next,
+        1 => FetchDir::Prior,
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError("truncated absolute position".into()));
+            }
+            FetchDir::Absolute(buf.get_u64_le())
+        }
+        other => return Err(DecodeError(format!("bad fetch dir {other}"))),
+    })
+}
+
+fn put_rows(buf: &mut impl BufMut, rows: &[Row]) {
+    buf.put_u32_le(rows.len() as u32);
+    for r in rows {
+        codec::put_row(buf, r);
+    }
+}
+
+fn get_rows(buf: &mut impl Buf) -> Result<Vec<Row>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("truncated row count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        rows.push(codec::get_row(buf)?);
+    }
+    Ok(rows)
+}
+
+impl Request {
+    /// Serialize for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Login {
+                user,
+                database,
+                options,
+            } => {
+                buf.put_u8(REQ_LOGIN);
+                codec::put_str(&mut buf, user);
+                codec::put_str(&mut buf, database);
+                buf.put_u16_le(options.len() as u16);
+                for (k, v) in options {
+                    codec::put_str(&mut buf, k);
+                    codec::put_value(&mut buf, v);
+                }
+            }
+            Request::Exec { sql } => {
+                buf.put_u8(REQ_EXEC);
+                codec::put_str(&mut buf, sql);
+            }
+            Request::OpenCursor { sql, kind } => {
+                buf.put_u8(REQ_OPEN_CURSOR);
+                codec::put_str(&mut buf, sql);
+                buf.put_u8(cursor_kind_tag(*kind));
+            }
+            Request::Fetch { cursor, dir, n } => {
+                buf.put_u8(REQ_FETCH);
+                buf.put_u64_le(*cursor);
+                put_fetch_dir(&mut buf, *dir);
+                buf.put_u32_le(*n);
+            }
+            Request::CloseCursor { cursor } => {
+                buf.put_u8(REQ_CLOSE_CURSOR);
+                buf.put_u64_le(*cursor);
+            }
+            Request::Ping => buf.put_u8(REQ_PING),
+            Request::Describe { table } => {
+                buf.put_u8(REQ_DESCRIBE);
+                codec::put_str(&mut buf, table);
+            }
+            Request::Logout => buf.put_u8(REQ_LOGOUT),
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Request, DecodeError> {
+        let mut buf = bytes;
+        if buf.remaining() < 1 {
+            return Err(DecodeError("empty request".into()));
+        }
+        let tag = buf.get_u8();
+        let req = match tag {
+            REQ_LOGIN => {
+                let user = codec::get_str(&mut buf)?;
+                let database = codec::get_str(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated option count".into()));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut options = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = codec::get_str(&mut buf)?;
+                    let v = codec::get_value(&mut buf)?;
+                    options.push((k, v));
+                }
+                Request::Login {
+                    user,
+                    database,
+                    options,
+                }
+            }
+            REQ_EXEC => Request::Exec {
+                sql: codec::get_str(&mut buf)?,
+            },
+            REQ_OPEN_CURSOR => {
+                let sql = codec::get_str(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError("truncated cursor kind".into()));
+                }
+                let kind = cursor_kind_from(buf.get_u8())?;
+                Request::OpenCursor { sql, kind }
+            }
+            REQ_FETCH => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated cursor id".into()));
+                }
+                let cursor = buf.get_u64_le();
+                let dir = get_fetch_dir(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated fetch size".into()));
+                }
+                let n = buf.get_u32_le();
+                Request::Fetch { cursor, dir, n }
+            }
+            REQ_CLOSE_CURSOR => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated cursor id".into()));
+                }
+                Request::CloseCursor {
+                    cursor: buf.get_u64_le(),
+                }
+            }
+            REQ_PING => Request::Ping,
+            REQ_DESCRIBE => Request::Describe {
+                table: codec::get_str(&mut buf)?,
+            },
+            REQ_LOGOUT => Request::Logout,
+            other => return Err(DecodeError(format!("unknown request tag {other}"))),
+        };
+        if buf.remaining() != 0 {
+            return Err(DecodeError("trailing bytes in request".into()));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::LoginAck { session } => {
+                buf.put_u8(RSP_LOGIN_ACK);
+                buf.put_u64_le(*session);
+            }
+            Response::Result { outcome, messages } => {
+                buf.put_u8(RSP_RESULT);
+                match outcome {
+                    Outcome::ResultSet { schema, rows } => {
+                        buf.put_u8(0);
+                        codec::put_schema(&mut buf, schema);
+                        put_rows(&mut buf, rows);
+                    }
+                    Outcome::RowsAffected(n) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*n);
+                    }
+                    Outcome::Done => buf.put_u8(2),
+                }
+                buf.put_u16_le(messages.len() as u16);
+                for m in messages {
+                    codec::put_str(&mut buf, m);
+                }
+            }
+            Response::CursorOpened {
+                cursor,
+                schema,
+                granted,
+            } => {
+                buf.put_u8(RSP_CURSOR_OPENED);
+                buf.put_u64_le(*cursor);
+                codec::put_schema(&mut buf, schema);
+                buf.put_u8(cursor_kind_tag(*granted));
+            }
+            Response::Rows { rows, at_end } => {
+                buf.put_u8(RSP_ROWS);
+                put_rows(&mut buf, rows);
+                buf.put_u8(*at_end as u8);
+            }
+            Response::Pong => buf.put_u8(RSP_PONG),
+            Response::TableInfo {
+                schema,
+                primary_key,
+            } => {
+                buf.put_u8(RSP_TABLE_INFO);
+                codec::put_schema(&mut buf, schema);
+                buf.put_u16_le(primary_key.len() as u16);
+                for k in primary_key {
+                    codec::put_str(&mut buf, k);
+                }
+            }
+            Response::Err { code, message } => {
+                buf.put_u8(RSP_ERR);
+                buf.put_u16_le(*code);
+                codec::put_str(&mut buf, message);
+            }
+            Response::Bye => buf.put_u8(RSP_BYE),
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Response, DecodeError> {
+        let mut buf = bytes;
+        if buf.remaining() < 1 {
+            return Err(DecodeError("empty response".into()));
+        }
+        let tag = buf.get_u8();
+        let rsp = match tag {
+            RSP_LOGIN_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated session id".into()));
+                }
+                Response::LoginAck {
+                    session: buf.get_u64_le(),
+                }
+            }
+            RSP_RESULT => {
+                if buf.remaining() < 1 {
+                    return Err(DecodeError("truncated outcome tag".into()));
+                }
+                let outcome = match buf.get_u8() {
+                    0 => {
+                        let schema = codec::get_schema(&mut buf)?;
+                        let rows = get_rows(&mut buf)?;
+                        Outcome::ResultSet { schema, rows }
+                    }
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(DecodeError("truncated count".into()));
+                        }
+                        Outcome::RowsAffected(buf.get_u64_le())
+                    }
+                    2 => Outcome::Done,
+                    other => return Err(DecodeError(format!("bad outcome tag {other}"))),
+                };
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated message count".into()));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut messages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    messages.push(codec::get_str(&mut buf)?);
+                }
+                Response::Result { outcome, messages }
+            }
+            RSP_CURSOR_OPENED => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated cursor id".into()));
+                }
+                let cursor = buf.get_u64_le();
+                let schema = codec::get_schema(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError("truncated granted kind".into()));
+                }
+                let granted = cursor_kind_from(buf.get_u8())?;
+                Response::CursorOpened {
+                    cursor,
+                    schema,
+                    granted,
+                }
+            }
+            RSP_ROWS => {
+                let rows = get_rows(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError("truncated at_end flag".into()));
+                }
+                Response::Rows {
+                    rows,
+                    at_end: buf.get_u8() != 0,
+                }
+            }
+            RSP_PONG => Response::Pong,
+            RSP_TABLE_INFO => {
+                let schema = codec::get_schema(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated pk count".into()));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut primary_key = Vec::with_capacity(n);
+                for _ in 0..n {
+                    primary_key.push(codec::get_str(&mut buf)?);
+                }
+                Response::TableInfo {
+                    schema,
+                    primary_key,
+                }
+            }
+            RSP_ERR => {
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated error code".into()));
+                }
+                let code = buf.get_u16_le();
+                let message = codec::get_str(&mut buf)?;
+                Response::Err { code, message }
+            }
+            RSP_BYE => Response::Bye,
+            other => return Err(DecodeError(format!("unknown response tag {other}"))),
+        };
+        if buf.remaining() != 0 {
+            return Err(DecodeError("trailing bytes in response".into()));
+        }
+        Ok(rsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_storage::types::{Column, DataType};
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_rsp(r: Response) {
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Login {
+            user: "app".into(),
+            database: "tpch".into(),
+            options: vec![("lock_timeout".into(), Value::Int(5000))],
+        });
+        roundtrip_req(Request::Exec {
+            sql: "SELECT * FROM customer WHERE name = 'Smith'".into(),
+        });
+        roundtrip_req(Request::OpenCursor {
+            sql: "SELECT * FROM orders".into(),
+            kind: CursorKind::Dynamic,
+        });
+        roundtrip_req(Request::Fetch {
+            cursor: 7,
+            dir: FetchDir::Absolute(42),
+            n: 100,
+        });
+        roundtrip_req(Request::Fetch {
+            cursor: 7,
+            dir: FetchDir::Prior,
+            n: 1,
+        });
+        roundtrip_req(Request::CloseCursor { cursor: 7 });
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Describe { table: "dbo.orders".into() });
+        roundtrip_req(Request::Logout);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_rsp(Response::LoginAck { session: 3 });
+        roundtrip_rsp(Response::Result {
+            outcome: Outcome::ResultSet {
+                schema: Schema::new(vec![
+                    Column::new("id", DataType::Int).not_null(),
+                    Column::new("name", DataType::Text),
+                ]),
+                rows: vec![
+                    vec![Value::Int(1), Value::Text("Smith".into())],
+                    vec![Value::Int(2), Value::Null],
+                ],
+            },
+            messages: vec!["1 row(s) affected".into()],
+        });
+        roundtrip_rsp(Response::Result {
+            outcome: Outcome::RowsAffected(1500),
+            messages: Vec::new(),
+        });
+        roundtrip_rsp(Response::Result {
+            outcome: Outcome::Done,
+            messages: Vec::new(),
+        });
+        roundtrip_rsp(Response::CursorOpened {
+            cursor: 9,
+            schema: Schema::new(vec![Column::new("k", DataType::Int)]),
+            granted: CursorKind::Keyset,
+        });
+        roundtrip_rsp(Response::Rows {
+            rows: vec![vec![Value::Float(1.5)]],
+            at_end: true,
+        });
+        roundtrip_rsp(Response::Pong);
+        roundtrip_rsp(Response::TableInfo {
+            schema: Schema::new(vec![Column::new("id", DataType::Int).not_null()]),
+            primary_key: vec!["id".into()],
+        });
+        roundtrip_rsp(Response::Err {
+            code: 2,
+            message: "no such table 'x'".into(),
+        });
+        roundtrip_rsp(Response::Bye);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[200]).is_err());
+        assert!(Response::decode(&[200]).is_err());
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncations_rejected_not_panicking() {
+        let full = Response::Result {
+            outcome: Outcome::ResultSet {
+                schema: Schema::new(vec![Column::new("a", DataType::Text)]),
+                rows: vec![vec![Value::Text("x".into())]],
+            },
+            messages: vec!["m".into()],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Response::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Side-by-side comparison: what a database server crash does to an
+//! application on the native driver versus on Phoenix.
+//!
+//! The workload is a small billing batch: N wrapped inserts plus a running
+//! query. The native application dies at the first crash (exactly the
+//! "application outage" the paper's introduction describes); the Phoenix
+//! application finishes every item despite repeated crashes, with every
+//! insert applied exactly once.
+//!
+//! ```text
+//! cargo run -p phoenix-bench --example crash_survival
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use phoenix_core::{PhoenixConfig, PhoenixConnection};
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+
+const ITEMS: i64 = 25;
+
+fn env() -> Environment {
+    Environment::new().with_read_timeout(Some(Duration::from_millis(800)))
+}
+
+/// The batch, written naively (no retry logic) against the native driver.
+fn native_batch(addr: &str) -> Result<i64, String> {
+    let mut conn = env().connect(addr, "billing", "db").map_err(|e| e.to_string())?;
+    conn.execute("CREATE TABLE IF_bills (id INT PRIMARY KEY, amount INT)")
+        .map_err(|e| e.to_string())?;
+    for i in 0..ITEMS {
+        conn.execute(&format!("INSERT INTO IF_bills VALUES ({i}, {})", i * 3))
+            .map_err(|e| format!("item {i}: {e}"))?;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    let r = conn
+        .execute("SELECT COUNT(*) FROM IF_bills")
+        .map_err(|e| e.to_string())?;
+    Ok(r.rows()[0][0].as_i64().unwrap())
+}
+
+/// The identical batch against Phoenix.
+fn phoenix_batch(addr: &str) -> Result<i64, String> {
+    let mut cfg = PhoenixConfig::default();
+    cfg.recovery.read_timeout = Some(Duration::from_millis(800));
+    cfg.recovery.ping_interval = Duration::from_millis(25);
+    let mut db =
+        PhoenixConnection::connect(&env(), addr, "billing", "db", cfg).map_err(|e| e.to_string())?;
+    db.execute("CREATE TABLE PH_bills (id INT PRIMARY KEY, amount INT)")
+        .map_err(|e| e.to_string())?;
+    for i in 0..ITEMS {
+        db.execute(&format!("INSERT INTO PH_bills VALUES ({i}, {})", i * 3))
+            .map_err(|e| format!("item {i}: {e}"))?;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    let r = db
+        .execute("SELECT COUNT(*) FROM PH_bills")
+        .map_err(|e| e.to_string())?;
+    let count = r.rows()[0][0].as_i64().unwrap();
+    println!(
+        "  (phoenix absorbed {} recoveries, {} resubmissions, {} status probes)",
+        db.stats().recoveries,
+        db.stats().resubmissions,
+        db.stats().status_probes
+    );
+    db.close();
+    Ok(count)
+}
+
+/// Crash/restart the server every ~120 ms until told to stop.
+fn chaos(mut server: ServerHarness, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<ServerHarness> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(120));
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            server.crash();
+            std::thread::sleep(Duration::from_millis(80));
+            server.restart().unwrap();
+        }
+        server
+    })
+}
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("phoenix-survival-{}", std::process::id()));
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let server = ServerHarness::start(&data_dir, EngineConfig::default()).unwrap();
+    let addr = server.addr();
+
+    println!("native driver, with the server crashing underneath:");
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = chaos(server, Arc::clone(&stop));
+    match native_batch(&addr) {
+        Ok(n) => println!("  unexpectedly finished with {n} rows"),
+        Err(e) => println!("  application DIED: {e}"),
+    }
+    stop.store(true, Ordering::SeqCst);
+    let server = handle.join().unwrap();
+
+    println!("\nphoenix, same crash storm:");
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = chaos(server, Arc::clone(&stop));
+    match phoenix_batch(&addr) {
+        Ok(n) => {
+            println!("  application finished: {n}/{ITEMS} rows present");
+            assert_eq!(n, ITEMS, "exactly-once violated");
+        }
+        Err(e) => println!("  application died: {e} (unexpected!)"),
+    }
+    stop.store(true, Ordering::SeqCst);
+    let server = handle.join().unwrap();
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

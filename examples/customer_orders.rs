@@ -1,0 +1,153 @@
+//! The paper's illustrative client-server session (§2, Figure 1), run twice:
+//! once uneventfully and once with the database server crashing in the
+//! middle of step 5 — with the *same application code*.
+//!
+//! The task, verbatim from the paper: "extract the appropriate records for a
+//! customer with the last name Smith, find that customer's current orders,
+//! and then aggregate the order totals into the invoice summary table."
+//!
+//! 1. Open a connection and set application-specific options.
+//! 2. Create a result set from the customer table for last name 'Smith'.
+//! 3. Fetch until the appropriate customer is found.
+//! 4. Open a cursor on the orders table for that customer's orders.
+//! 5. Fetch all matching order detail records.        ← crash lands here
+//! 6. Aggregate the order totals.
+//! 7. Update the invoices table with the aggregate.
+//! 8. Close the connection.
+//!
+//! ```text
+//! cargo run -p phoenix-bench --example customer_orders
+//! ```
+
+use std::time::Duration;
+
+use phoenix_core::{PhoenixConfig, PhoenixConnection, PhoenixCursorKind};
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+use phoenix_storage::types::Value;
+
+/// Steps 1–8 of the paper's example. Contains **zero** failure-handling
+/// code; that is the entire point.
+fn run_application(addr: &str) -> f64 {
+    // Step 1: connect and set application-specific connection attributes.
+    let mut db = PhoenixConnection::connect(
+        &Environment::new(),
+        addr,
+        "order-app",
+        "sales",
+        PhoenixConfig::default(),
+    )
+    .unwrap();
+    db.execute("SET app_name 'customer-orders'").unwrap();
+    db.execute("SET lock_timeout 5000").unwrap();
+
+    // Step 2: result set from the customer table (A) for last name Smith.
+    let mut stmt = db.statement();
+    stmt.execute("SELECT id, first_name, city FROM customers WHERE last_name = 'Smith'")
+        .unwrap();
+
+    // Step 3: fetch until the appropriate customer is found.
+    let mut customer_id = None;
+    while let Some(row) = stmt.fetch().unwrap() {
+        if row[2] == Value::Text("Redmond".into()) {
+            customer_id = row[0].as_i64();
+            println!("  found customer: {} Smith (#{})", row[1], row[0]);
+            break;
+        }
+    }
+    let customer_id = customer_id.expect("a Smith in Redmond exists");
+
+    // Step 4: open a cursor on the orders table (B) for this customer.
+    let mut orders = db.statement();
+    orders.set_cursor_type(PhoenixCursorKind::Keyset);
+    orders
+        .execute(&format!(
+            "SELECT order_id, amount FROM orders WHERE customer_id = {customer_id}"
+        ))
+        .unwrap();
+
+    // Steps 5 + 6: fetch all matching order detail rows, aggregating.
+    let mut total = 0.0;
+    let mut n = 0;
+    while let Some(row) = orders.fetch().unwrap() {
+        total += row[1].as_f64().unwrap();
+        n += 1;
+    }
+    println!("  aggregated {n} orders totalling {total:.2}");
+
+    // Step 7: update the invoice summary table (C) with the aggregate.
+    db.execute(&format!(
+        "UPDATE invoices SET total = {total:.2}, order_count = {n} WHERE customer_id = {customer_id}"
+    ))
+    .unwrap();
+
+    // Step 8: close the connection, terminating the session.
+    db.close();
+    total
+}
+
+fn seed(addr: &str) {
+    let env = Environment::new();
+    let mut conn = env.connect(addr, "dba", "sales").unwrap();
+    conn.execute("CREATE TABLE customers (id INT PRIMARY KEY, first_name TEXT, last_name TEXT, city TEXT)").unwrap();
+    conn.execute(
+        "INSERT INTO customers VALUES \
+         (1, 'Alice', 'Smith', 'Seattle'), (2, 'Bob', 'Jones', 'Portland'), \
+         (3, 'Carol', 'Smith', 'Redmond'), (4, 'Dan', 'Smith', 'Spokane')",
+    )
+    .unwrap();
+    conn.execute("CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, amount FLOAT)").unwrap();
+    let mut tuples = Vec::new();
+    for i in 0..40 {
+        // Customer 3 owns every fourth order.
+        tuples.push(format!("({i}, {}, {}.50)", (i % 4) + 1, (i + 1) * 10));
+    }
+    conn.execute(&format!("INSERT INTO orders VALUES {}", tuples.join(", "))).unwrap();
+    conn.execute("CREATE TABLE invoices (customer_id INT PRIMARY KEY, total FLOAT, order_count INT)").unwrap();
+    conn.execute("INSERT INTO invoices VALUES (1, 0.0, 0), (2, 0.0, 0), (3, 0.0, 0), (4, 0.0, 0)").unwrap();
+    conn.close();
+}
+
+fn read_invoice(addr: &str) -> (f64, i64) {
+    let env = Environment::new();
+    let mut conn = env.connect(addr, "dba", "sales").unwrap();
+    let r = conn.execute("SELECT total, order_count FROM invoices WHERE customer_id = 3").unwrap();
+    let out = (r.rows()[0][0].as_f64().unwrap(), r.rows()[0][1].as_i64().unwrap());
+    conn.close();
+    out
+}
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("phoenix-custord-{}", std::process::id()));
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let mut server = ServerHarness::start(&data_dir, EngineConfig::default()).unwrap();
+    seed(&server.addr());
+
+    println!("run 1 — no failures:");
+    let total1 = run_application(&server.addr());
+    let (inv1, n1) = read_invoice(&server.addr());
+    println!("  invoice summary now: total={inv1:.2} ({n1} orders)\n");
+
+    println!("run 2 — the server crashes while order details are being fetched:");
+    let addr = server.addr();
+    let killer = std::thread::spawn(move || {
+        // Give the app time to reach step 5, then pull the plug.
+        std::thread::sleep(Duration::from_millis(60));
+        server.crash();
+        std::thread::sleep(Duration::from_millis(250));
+        server.restart().unwrap();
+        server
+    });
+    let total2 = run_application(&addr);
+    let server = killer.join().unwrap();
+    let (inv2, n2) = read_invoice(&addr);
+    println!("  invoice summary now: total={inv2:.2} ({n2} orders)");
+
+    assert_eq!(total1, total2, "the two runs must agree");
+    assert_eq!((inv1, n1), (inv2, n2));
+    println!("\nidentical results with and without the crash — the outage was masked.");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
