@@ -33,22 +33,26 @@ fn bench_capture_strategies(c: &mut Criterion) {
         ("client_round_trip", CaptureStrategy::ClientRoundTrip),
     ] {
         let env = BenchEnv::tpch(0.5);
-        group.bench_with_input(BenchmarkId::new("capture", label), &strategy, |b, &strategy| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let mut pc =
-                        env.phoenix(BenchEnv::bench_phoenix_config().with_capture(strategy));
-                    let t0 = Instant::now();
-                    pc.exec_sql(sql).unwrap();
-                    total += t0.elapsed();
-                    // Close between iterations: drops the materialized
-                    // tables so the durable image stays constant-size.
-                    pc.close();
-                }
-                total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("capture", label),
+            &strategy,
+            |b, &strategy| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut pc =
+                            env.phoenix(BenchEnv::bench_phoenix_config().with_capture(strategy));
+                        let t0 = Instant::now();
+                        pc.exec_sql(sql).unwrap();
+                        total += t0.elapsed();
+                        // Close between iterations: drops the materialized
+                        // tables so the durable image stays constant-size.
+                        pc.close();
+                    }
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }

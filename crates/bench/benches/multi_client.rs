@@ -1,0 +1,77 @@
+//! Multi-client throughput bench: aggregate statements/second as the number
+//! of concurrent client connections grows.
+//!
+//! Before the concurrency rework the server executed every request under one
+//! global engine lock, so adding clients added no throughput; with
+//! per-session execution and group commit, the `clients_4` / `clients_8`
+//! numbers should pull clearly ahead of `clients_1` on a multicore box.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phoenix_bench::BenchEnv;
+
+/// Statements each client issues per timed iteration (4 inserts + 1 scan).
+const OPS_PER_CLIENT: usize = 50;
+
+fn run_clients(env: &Arc<BenchEnv>, clients: usize) -> Duration {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let env = Arc::clone(env);
+            std::thread::spawn(move || {
+                let mut conn = env.native();
+                for i in 0..OPS_PER_CLIENT {
+                    if i % 5 == 4 {
+                        conn.execute("SELECT COUNT(*) FROM ops").unwrap();
+                    } else {
+                        conn.execute(&format!("INSERT INTO ops VALUES ({c})"))
+                            .unwrap();
+                    }
+                }
+                conn.close();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    start.elapsed()
+}
+
+fn bench_multi_client(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_client_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+
+    for clients in [1usize, 2, 4, 8] {
+        let env = Arc::new(BenchEnv::empty());
+        {
+            let mut admin = env.native();
+            admin.execute("CREATE TABLE ops (v INT)").unwrap();
+            admin.close();
+        }
+        group.bench_function(format!("clients_{clients}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_clients(&env, clients);
+                }
+                total
+            })
+        });
+        // Report the aggregate rate once per client count so scaling is
+        // visible without post-processing Criterion's per-iteration times.
+        let elapsed = run_clients(&env, clients);
+        let ops = (clients * OPS_PER_CLIENT) as f64;
+        eprintln!(
+            "multi_client: {clients} client(s) -> {:.0} stmts/s aggregate",
+            ops / elapsed.as_secs_f64()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_client);
+criterion_main!(benches);

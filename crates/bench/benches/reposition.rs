@@ -39,9 +39,8 @@ fn bench_reposition(c: &mut Criterion) {
                             load_figure2_table(&mut loader, "f2", ROWS);
                             loader.close();
                         }
-                        let mut pc = env.phoenix(
-                            BenchEnv::bench_phoenix_config().with_reposition(strategy),
-                        );
+                        let mut pc =
+                            env.phoenix(BenchEnv::bench_phoenix_config().with_reposition(strategy));
                         let mut stmt = pc.statement();
                         stmt.set_cursor_type(PhoenixCursorKind::ForwardOnly);
                         // Block divides POSITION exactly: the buffer is
@@ -53,7 +52,7 @@ fn bench_reposition(c: &mut Criterion) {
                             stmt.fetch().unwrap().unwrap();
                         }
                         // Force the reposition path with a real crash.
-                        env.harness.crash();
+                        env.harness.crash().unwrap();
                         env.harness.restart().unwrap();
                         let t0 = Instant::now();
                         let row = stmt.fetch().unwrap().unwrap();

@@ -34,7 +34,7 @@ fn bench_session_recovery(c: &mut Criterion) {
                 for _ in 0..2300 {
                     stmt.fetch().unwrap().unwrap();
                 }
-                env.harness.crash();
+                env.harness.crash().unwrap();
                 env.harness.restart().unwrap();
 
                 // Timed region: the fetch that triggers detection, virtual-

@@ -47,8 +47,12 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(76));
-    println!("paper shape check: virtual-session time constant across sizes (paper: 0.37 s on 1999");
-    println!("hardware); SQL-state time small and growing mildly; recovery ≪ recompute (paper: <0.1x).");
+    println!(
+        "paper shape check: virtual-session time constant across sizes (paper: 0.37 s on 1999"
+    );
+    println!(
+        "hardware); SQL-state time small and growing mildly; recovery ≪ recompute (paper: <0.1x)."
+    );
 }
 
 /// Run one recovery experiment at result size `n`. Returns
@@ -88,7 +92,7 @@ fn measure(n: u64) -> (f64, f64, f64) {
         stmt.fetch().unwrap().unwrap();
     }
 
-    env.harness.crash();
+    env.harness.crash().unwrap();
     env.harness.restart().unwrap();
 
     // The next fetch detects the failure, recovers the virtual session and

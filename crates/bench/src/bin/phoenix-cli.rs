@@ -21,7 +21,10 @@ enum Session {
 }
 
 impl Session {
-    fn execute(&mut self, sql: &str) -> Result<phoenix_driver::QueryResult, phoenix_driver::DriverError> {
+    fn execute(
+        &mut self,
+        sql: &str,
+    ) -> Result<phoenix_driver::QueryResult, phoenix_driver::DriverError> {
         match self {
             Session::Native(c) => c.execute(sql),
             Session::Phoenix(p) => p.execute(sql),
@@ -118,7 +121,10 @@ fn main() {
             Err(e) => {
                 let _ = writeln!(out, "error: {e}");
                 if e.is_comm() && !use_phoenix {
-                    let _ = writeln!(out, "(native session lost — restart phoenix-cli, or use --phoenix)");
+                    let _ = writeln!(
+                        out,
+                        "(native session lost — restart phoenix-cli, or use --phoenix)"
+                    );
                     break;
                 }
             }

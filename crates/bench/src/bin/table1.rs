@@ -44,7 +44,9 @@ fn main() {
 }
 
 fn print_table1(native: &PowerReport, phoenix: &PowerReport, scale: f64, iterations: usize) {
-    println!("Table 1. Selected results from TPC-H-style power test using native driver and Phoenix.");
+    println!(
+        "Table 1. Selected results from TPC-H-style power test using native driver and Phoenix."
+    );
     println!("(scale factor {scale}, mean of {iterations} runs; times in seconds)");
     println!();
     println!(

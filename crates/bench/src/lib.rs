@@ -46,7 +46,7 @@ impl BenchEnv {
         let dir = temp_dir("tpch");
         let workload = Tpch::new(TpchConfig::default().with_scale(scale));
         {
-            let mut engine = Engine::open(&dir, EngineConfig::default()).unwrap();
+            let engine = Engine::open(&dir, EngineConfig::default()).unwrap();
             let sid = engine.create_session("loader");
             for sql in workload.setup_sql() {
                 engine
@@ -159,7 +159,9 @@ mod tests {
         let n = conn.exec_sql("SELECT COUNT(*) FROM lineitem").unwrap();
         assert_eq!(n, 1);
         let mut pc = env.phoenix(BenchEnv::bench_phoenix_config());
-        let n = pc.exec_sql(phoenix_tpch::queries::by_name("Q6").unwrap().sql).unwrap();
+        let n = pc
+            .exec_sql(phoenix_tpch::queries::by_name("Q6").unwrap().sql)
+            .unwrap();
         assert_eq!(n, 1);
         pc.close();
     }

@@ -86,7 +86,7 @@ fn cli_phoenix_mode_survives_a_crash_native_mode_dies() {
         stdin.flush().unwrap();
         // Give the CLI a moment to execute, then crash + restart the server.
         std::thread::sleep(Duration::from_millis(400));
-        h.crash();
+        h.crash().unwrap();
         std::thread::sleep(Duration::from_millis(100));
         h.restart().unwrap();
         stdin.write_all(b"SELECT v + 1 FROM t\n\\q\n").unwrap();
@@ -94,7 +94,10 @@ fn cli_phoenix_mode_survives_a_crash_native_mode_dies() {
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("42"), "{stdout}");
-    assert!(stdout.contains("43"), "pre/post-crash statements must both succeed: {stdout}");
+    assert!(
+        stdout.contains("43"),
+        "pre/post-crash statements must both succeed: {stdout}"
+    );
     assert!(!stdout.contains("error:"), "{stdout}");
 
     drop(h);

@@ -98,9 +98,7 @@ impl PhoenixConnection {
         database: &str,
         config: PhoenixConfig,
     ) -> Result<PhoenixConnection> {
-        let env = env
-            .clone()
-            .with_read_timeout(config.recovery.read_timeout);
+        let env = env.clone().with_read_timeout(config.recovery.read_timeout);
         let mapped = env.connect(addr, user, database)?;
         let mut private = env.connect(addr, user, database)?;
         let namer = Namer::new(fresh_session_tag());
@@ -254,14 +252,18 @@ impl PhoenixConnection {
     /// finish the job.
     pub(crate) fn drop_phoenix_table(&mut self, name: &phoenix_sql::ast::ObjectName) {
         self.ctx.demote(name);
-        let _ = self.private.execute(&format!("DROP TABLE IF EXISTS {name}"));
+        let _ = self
+            .private
+            .execute(&format!("DROP TABLE IF EXISTS {name}"));
     }
 
     /// Best-effort eager drop of a Phoenix procedure (see
     /// [`Self::drop_phoenix_table`]).
     pub(crate) fn drop_phoenix_proc(&mut self, name: &phoenix_sql::ast::ObjectName) {
         self.ctx.demote(name);
-        let _ = self.private.execute(&format!("DROP PROCEDURE IF EXISTS {name}"));
+        let _ = self
+            .private
+            .execute(&format!("DROP PROCEDURE IF EXISTS {name}"));
     }
 
     /// Materialize a result set, retrying with fresh object names if a crash

@@ -161,7 +161,13 @@ mod tests {
         c.record_option("a", Value::Int(1));
         c.record_option("b", Value::Int(2));
         c.record_option("A", Value::Int(3));
-        assert_eq!(c.options, vec![("a".to_string(), Value::Int(3)), ("b".to_string(), Value::Int(2))]);
+        assert_eq!(
+            c.options,
+            vec![
+                ("a".to_string(), Value::Int(3)),
+                ("b".to_string(), Value::Int(2))
+            ]
+        );
     }
 
     #[test]

@@ -17,9 +17,7 @@
 //!    [`crate::statement::PhoenixStatement`].
 
 use phoenix_driver::Connection;
-use phoenix_sql::ast::{
-    ColumnDef, CreateTableStmt, ObjectName, SelectStmt, Statement,
-};
+use phoenix_sql::ast::{ColumnDef, CreateTableStmt, ObjectName, SelectStmt, Statement};
 use phoenix_sql::display::{render_expr, render_statement};
 use phoenix_sql::rewrite;
 use phoenix_storage::types::{format_date, Row, Schema, Value};
@@ -142,7 +140,8 @@ pub fn materialize(
     let mut capture_proc = None;
     let rows = match strategy {
         CaptureStrategy::ServerProc => {
-            let proc = rewrite::capture_proc(capture_proc_name.clone(), table.clone(), select.clone());
+            let proc =
+                rewrite::capture_proc(capture_proc_name.clone(), table.clone(), select.clone());
             worker.execute(&render_statement(&Statement::CreateProc(proc)))?;
             capture_proc = Some(capture_proc_name.clone());
             let r = worker.execute(&format!("EXEC {capture_proc_name}"))?;

@@ -40,11 +40,15 @@ pub fn reconnect_loop(
         match env.connect_with_options(addr, user, database, options.clone()) {
             Ok(conn) => return Ok((conn, attempts)),
             Err(e) => {
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     // Give up: pass the communication error to the app.
                     return Err(e);
                 }
-                std::thread::sleep(settings.ping_interval);
+                // Clamp the sleep to the remaining window so the loop never
+                // overshoots max_wait by (almost) a whole ping interval —
+                // the app asked to wait max_wait, not max_wait rounded up.
+                std::thread::sleep(settings.ping_interval.min(deadline - now));
             }
         }
     }
@@ -111,6 +115,26 @@ mod tests {
         let r = reconnect_loop(&env, "127.0.0.1:1", "u", "d", Vec::new(), &settings);
         assert!(r.is_err());
         assert!(started.elapsed() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn reconnect_does_not_overshoot_max_wait() {
+        let env = Environment::new().with_connect_timeout(Duration::from_millis(50));
+        let settings = RecoverySettings {
+            // A ping interval much larger than the window: without the
+            // deadline clamp the final sleep alone would take 5 s.
+            ping_interval: Duration::from_secs(5),
+            max_wait: Duration::from_millis(100),
+            read_timeout: None,
+        };
+        let started = Instant::now();
+        let r = reconnect_loop(&env, "127.0.0.1:1", "u", "d", Vec::new(), &settings);
+        assert!(r.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "reconnect_loop overshot max_wait: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use phoenix_core::{CaptureStrategy, PhoenixConfig, PhoenixConnection, PhoenixCursorKind, RepositionStrategy};
+use phoenix_core::{
+    CaptureStrategy, PhoenixConfig, PhoenixConnection, PhoenixCursorKind, RepositionStrategy,
+};
 use phoenix_driver::Environment;
 use phoenix_engine::EngineConfig;
 use phoenix_server::ServerHarness;
@@ -50,10 +52,15 @@ fn transparent_in_absence_of_failures() {
     let (h, dir) = start();
     let mut pc = connect(&h);
     seed(&mut pc);
-    let r = pc.execute("SELECT name FROM customer WHERE nation = 10 ORDER BY id").unwrap();
+    let r = pc
+        .execute("SELECT name FROM customer WHERE nation = 10 ORDER BY id")
+        .unwrap();
     assert_eq!(
         r.rows(),
-        &[vec![Value::Text("Smith".into())], vec![Value::Text("Jones".into())]]
+        &[
+            vec![Value::Text("Smith".into())],
+            vec![Value::Text("Jones".into())]
+        ]
     );
     assert_eq!(pc.stats().materialized_result_sets, 1);
     assert_eq!(pc.stats().recoveries, 0);
@@ -87,7 +94,7 @@ fn query_resubmitted_after_crash_between_requests() {
     let mut pc = connect(&h);
     seed(&mut pc);
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn({
         let mut h = h;
         move || {
@@ -115,10 +122,12 @@ fn seamless_delivery_across_crash_mid_fetch() {
     // returns the next tuple as if nothing happened.
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE seq (id INT PRIMARY KEY, v TEXT)").unwrap();
+    pc.execute("CREATE TABLE seq (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for chunk in (0..200).collect::<Vec<i64>>().chunks(50) {
         let vals: Vec<String> = chunk.iter().map(|i| format!("({i}, 'row{i}')")).collect();
-        pc.execute(&format!("INSERT INTO seq VALUES {}", vals.join(", "))).unwrap();
+        pc.execute(&format!("INSERT INTO seq VALUES {}", vals.join(", ")))
+            .unwrap();
     }
 
     let mut stmt = pc.statement();
@@ -131,7 +140,7 @@ fn seamless_delivery_across_crash_mid_fetch() {
     assert_eq!(stmt.delivered(), 150);
 
     // Crash and restart in the background while the client keeps fetching.
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -158,10 +167,11 @@ fn seamless_delivery_across_crash_mid_fetch() {
 fn dml_applied_exactly_once_despite_crash() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE acc (id INT PRIMARY KEY, bal INT)").unwrap();
+    pc.execute("CREATE TABLE acc (id INT PRIMARY KEY, bal INT)")
+        .unwrap();
     pc.execute("INSERT INTO acc VALUES (1, 100)").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -170,7 +180,9 @@ fn dml_applied_exactly_once_despite_crash() {
 
     // This update hits the dead server: Phoenix recovers, probes the status
     // table (nothing committed), resubmits — exactly once.
-    let r = pc.execute("UPDATE acc SET bal = bal + 10 WHERE id = 1").unwrap();
+    let r = pc
+        .execute("UPDATE acc SET bal = bal + 10 WHERE id = 1")
+        .unwrap();
     assert_eq!(r.affected(), 1);
     let r = pc.execute("SELECT bal FROM acc").unwrap();
     assert_eq!(r.rows()[0][0], Value::Int(110));
@@ -186,14 +198,15 @@ fn dml_applied_exactly_once_despite_crash() {
 fn application_transaction_replayed_after_crash() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
 
     pc.execute("BEGIN").unwrap();
     pc.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     pc.execute("INSERT INTO t VALUES (2, 20)").unwrap();
 
     // Crash mid-transaction: the server loses the uncommitted work.
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -223,7 +236,7 @@ fn rollback_during_outage_is_honored() {
     pc.execute("BEGIN").unwrap();
     pc.execute("INSERT INTO t VALUES (1)").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -247,10 +260,12 @@ fn temp_objects_survive_crash_via_redirection() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
     seed(&mut pc);
-    pc.execute("CREATE TABLE #work (id INT, doubled INT)").unwrap();
-    pc.execute("INSERT INTO #work SELECT id, nation * 2 FROM customer").unwrap();
+    pc.execute("CREATE TABLE #work (id INT, doubled INT)")
+        .unwrap();
+    pc.execute("INSERT INTO #work SELECT id, nation * 2 FROM customer")
+        .unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -291,15 +306,18 @@ fn temp_procedures_are_redirected() {
 fn keyset_cursor_survives_crash_and_sees_updates() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE orders (okey INT PRIMARY KEY, total FLOAT)").unwrap();
+    pc.execute("CREATE TABLE orders (okey INT PRIMARY KEY, total FLOAT)")
+        .unwrap();
     for i in 1..=20 {
-        pc.execute(&format!("INSERT INTO orders VALUES ({i}, {i}.0)")).unwrap();
+        pc.execute(&format!("INSERT INTO orders VALUES ({i}, {i}.0)"))
+            .unwrap();
     }
 
     let mut stmt = pc.statement();
     stmt.set_cursor_type(PhoenixCursorKind::Keyset);
     stmt.set_fetch_block(4);
-    stmt.execute("SELECT okey, total FROM orders WHERE okey <= 10").unwrap();
+    stmt.execute("SELECT okey, total FROM orders WHERE okey <= 10")
+        .unwrap();
     assert_eq!(stmt.granted_cursor(), Some(PhoenixCursorKind::Keyset));
     let mut rows = Vec::new();
     for _ in 0..5 {
@@ -310,11 +328,12 @@ fn keyset_cursor_survives_crash_and_sees_updates() {
     {
         let env = Environment::new();
         let mut raw = env.connect(&h.addr(), "x", "test").unwrap();
-        raw.execute("UPDATE orders SET total = 777.0 WHERE okey = 7").unwrap();
+        raw.execute("UPDATE orders SET total = 777.0 WHERE okey = 7")
+            .unwrap();
         raw.execute("DELETE FROM orders WHERE okey = 8").unwrap();
         raw.close();
     }
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -338,9 +357,11 @@ fn keyset_cursor_survives_crash_and_sees_updates() {
 fn dynamic_cursor_sees_inserts_and_survives_crash() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE ev (id INT PRIMARY KEY, kind TEXT)").unwrap();
+    pc.execute("CREATE TABLE ev (id INT PRIMARY KEY, kind TEXT)")
+        .unwrap();
     for i in [10, 20, 30, 40, 50] {
-        pc.execute(&format!("INSERT INTO ev VALUES ({i}, 'a')")).unwrap();
+        pc.execute(&format!("INSERT INTO ev VALUES ({i}, 'a')"))
+            .unwrap();
     }
 
     let mut stmt = pc.statement();
@@ -358,7 +379,7 @@ fn dynamic_cursor_sees_inserts_and_survives_crash() {
         raw.execute("INSERT INTO ev VALUES (60, 'a')").unwrap(); // beyond captured keys
         raw.close();
     }
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(200));
         h.restart().unwrap();
@@ -405,7 +426,7 @@ fn set_options_replayed_on_recovery() {
     pc.execute("SET app_name 'report-runner'").unwrap();
     pc.execute("CREATE TABLE t (v INT)").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -432,7 +453,7 @@ fn gives_up_when_server_stays_down() {
     })
     .unwrap();
     pc.execute("CREATE TABLE t (v INT)").unwrap();
-    h.crash();
+    h.crash().unwrap();
     // No restart: Phoenix must eventually pass the comm error to the app.
     let e = pc.execute("SELECT * FROM t").unwrap_err();
     assert!(e.is_comm());
@@ -446,7 +467,8 @@ fn chaos_exactly_once_under_repeated_crashes() {
     // restarting underneath, must each apply exactly once.
     let (h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE ledger (id INT PRIMARY KEY, v INT)").unwrap();
+    pc.execute("CREATE TABLE ledger (id INT PRIMARY KEY, v INT)")
+        .unwrap();
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let chaos_stop = std::sync::Arc::clone(&stop);
@@ -458,7 +480,7 @@ fn chaos_exactly_once_under_repeated_crashes() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             crashes += 1;
             std::thread::sleep(Duration::from_millis(60));
             h.restart().unwrap();
@@ -468,14 +490,20 @@ fn chaos_exactly_once_under_repeated_crashes() {
 
     const N: i64 = 40;
     for i in 0..N {
-        let r = pc.execute(&format!("INSERT INTO ledger VALUES ({i}, {i})")).unwrap();
+        let r = pc
+            .execute(&format!("INSERT INTO ledger VALUES ({i}, {i})"))
+            .unwrap();
         assert_eq!(r.affected(), 1, "insert {i}");
     }
     stop.store(true, Ordering::SeqCst);
     let (h, crashes) = chaos.join().unwrap();
 
     let r = pc.execute("SELECT COUNT(*), SUM(v) FROM ledger").unwrap();
-    assert_eq!(r.rows()[0][0], Value::Int(N), "exactly-once violated (crashes: {crashes})");
+    assert_eq!(
+        r.rows()[0][0],
+        Value::Int(N),
+        "exactly-once violated (crashes: {crashes})"
+    );
     assert_eq!(r.rows()[0][1], Value::Int((N - 1) * N / 2));
 
     pc.close();
@@ -500,7 +528,9 @@ fn capture_strategies_agree() {
         )
         .unwrap();
         seed(&mut pc);
-        let r = pc.execute("SELECT id, name FROM customer WHERE nation = 10 ORDER BY id").unwrap();
+        let r = pc
+            .execute("SELECT id, name FROM customer WHERE nation = 10 ORDER BY id")
+            .unwrap();
         assert_eq!(r.rows().len(), 2, "{strategy:?}");
         assert_eq!(r.rows()[0][1], Value::Text("Smith".into()));
         pc.close();
@@ -511,7 +541,10 @@ fn capture_strategies_agree() {
 
 #[test]
 fn reposition_strategies_agree_across_crash() {
-    for strategy in [RepositionStrategy::ServerSide, RepositionStrategy::ClientScan] {
+    for strategy in [
+        RepositionStrategy::ServerSide,
+        RepositionStrategy::ClientScan,
+    ] {
         let (mut h, dir) = start();
         let mut pc = PhoenixConnection::connect(
             &Environment::new(),
@@ -523,7 +556,8 @@ fn reposition_strategies_agree_across_crash() {
         .unwrap();
         pc.execute("CREATE TABLE s (id INT PRIMARY KEY)").unwrap();
         let vals: Vec<String> = (0..100).map(|i| format!("({i})")).collect();
-        pc.execute(&format!("INSERT INTO s VALUES {}", vals.join(", "))).unwrap();
+        pc.execute(&format!("INSERT INTO s VALUES {}", vals.join(", ")))
+            .unwrap();
 
         let mut stmt = pc.statement();
         stmt.set_fetch_block(8);
@@ -531,7 +565,7 @@ fn reposition_strategies_agree_across_crash() {
         for _ in 0..60 {
             stmt.fetch().unwrap().unwrap();
         }
-        h.crash();
+        h.crash().unwrap();
         let hh = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(150));
             h.restart().unwrap();

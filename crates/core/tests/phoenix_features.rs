@@ -68,7 +68,7 @@ fn command_batch_survives_crash_between_statements() {
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -93,7 +93,9 @@ fn batch_stops_at_first_error() {
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
     let err = pc
-        .execute_batch("INSERT INTO b VALUES (1); INSERT INTO missing VALUES (2); INSERT INTO b VALUES (3)")
+        .execute_batch(
+            "INSERT INTO b VALUES (1); INSERT INTO missing VALUES (2); INSERT INTO b VALUES (3)",
+        )
         .unwrap_err();
     assert!(!err.is_comm());
     // Only the first statement ran.
@@ -108,14 +110,13 @@ fn batch_stops_at_first_error() {
 fn stored_procedures_survive_crash_and_keep_working() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE audit (id INT PRIMARY KEY, what TEXT)").unwrap();
-    pc.execute(
-        "CREATE PROCEDURE log_it (@id INT, @w TEXT) AS INSERT INTO audit VALUES (@id, @w)",
-    )
-    .unwrap();
+    pc.execute("CREATE TABLE audit (id INT PRIMARY KEY, what TEXT)")
+        .unwrap();
+    pc.execute("CREATE PROCEDURE log_it (@id INT, @w TEXT) AS INSERT INTO audit VALUES (@id, @w)")
+        .unwrap();
     pc.execute("EXEC log_it (1, 'before')").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -162,7 +163,7 @@ fn passthrough_mode_behaves_like_native() {
     assert_eq!(pc.stats().materialized_result_sets, 0);
     assert_eq!(pc.stats().wrapped_dml, 0);
     // And a crash is NOT masked.
-    h.crash();
+    h.crash().unwrap();
     let e = pc.execute("SELECT 1").unwrap_err();
     assert!(e.is_comm());
     h.restart().unwrap();
@@ -174,7 +175,8 @@ fn passthrough_mode_behaves_like_native() {
 fn select_inside_transaction_is_still_recoverable() {
     let (mut h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     pc.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
 
     pc.execute("BEGIN").unwrap();
@@ -184,7 +186,7 @@ fn select_inside_transaction_is_still_recoverable() {
     let r = pc.execute("SELECT v FROM t WHERE id = 1").unwrap();
     assert_eq!(r.rows()[0][0], Value::Int(11));
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -213,7 +215,9 @@ fn schema_presented_to_app_keeps_original_names() {
     pc.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     // The materialized table sanitizes `COUNT(*)` to a storable name, but
     // the application must see the original result-set metadata.
-    let r = pc.execute("SELECT COUNT(*), SUM(v) AS total FROM t").unwrap();
+    let r = pc
+        .execute("SELECT COUNT(*), SUM(v) AS total FROM t")
+        .unwrap();
     match &r.outcome {
         Outcome::ResultSet { schema, rows } => {
             assert_eq!(schema.columns[0].name, "COUNT(*)");
@@ -268,7 +272,8 @@ fn dynamic_cursor_with_composite_key_downgrades_to_keyset() {
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE li (a INT NOT NULL, b INT NOT NULL, v INT, PRIMARY KEY (a, b))")
         .unwrap();
-    pc.execute("INSERT INTO li VALUES (1, 1, 10), (1, 2, 20), (2, 1, 30)").unwrap();
+    pc.execute("INSERT INTO li VALUES (1, 1, 10), (1, 2, 20), (2, 1, 30)")
+        .unwrap();
     let mut stmt = pc.statement();
     stmt.set_cursor_type(PhoenixCursorKind::Dynamic);
     stmt.execute("SELECT a, b, v FROM li").unwrap();
@@ -284,10 +289,14 @@ fn dynamic_cursor_with_composite_key_downgrades_to_keyset() {
 fn keyset_cursor_over_temp_object_redirection() {
     let (h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)").unwrap();
-    pc.execute("INSERT INTO src VALUES (1, 1), (2, 2), (3, 3)").unwrap();
-    pc.execute("CREATE TABLE #snap (id INT PRIMARY KEY, v INT)").unwrap();
-    pc.execute("INSERT INTO #snap SELECT id, v FROM src").unwrap();
+    pc.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    pc.execute("INSERT INTO src VALUES (1, 1), (2, 2), (3, 3)")
+        .unwrap();
+    pc.execute("CREATE TABLE #snap (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    pc.execute("INSERT INTO #snap SELECT id, v FROM src")
+        .unwrap();
     // Cursor over a temp table: the redirection makes it a persistent
     // phoenix table, which even has a primary key — keyset works.
     let mut stmt = pc.statement();
@@ -312,12 +321,12 @@ fn double_crash_during_recovery_is_survived() {
     // Crash; restart briefly; crash again almost immediately (so the client
     // is very likely inside recovery when the second crash hits); then come
     // back for good.
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(120));
         h.restart().unwrap();
         std::thread::sleep(Duration::from_millis(15));
-        h.crash();
+        h.crash().unwrap();
         std::thread::sleep(Duration::from_millis(120));
         h.restart().unwrap();
         h
@@ -353,7 +362,8 @@ fn hung_server_detected_by_timeout_and_masked() {
         c
     })
     .unwrap();
-    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     pc.execute("INSERT INTO t VALUES (1, 10)").unwrap();
 
     // Stall the engine well past the client's read timeout.
@@ -380,9 +390,11 @@ fn exec_side_effects_exactly_once_under_crashes() {
     // as bare DML.
     let (h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE counters (id INT PRIMARY KEY, v INT)").unwrap();
+    pc.execute("CREATE TABLE counters (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     pc.execute("INSERT INTO counters VALUES (1, 0)").unwrap();
-    pc.execute("CREATE PROCEDURE bump AS UPDATE counters SET v = v + 1 WHERE id = 1").unwrap();
+    pc.execute("CREATE PROCEDURE bump AS UPDATE counters SET v = v + 1 WHERE id = 1")
+        .unwrap();
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let chaos_stop = std::sync::Arc::clone(&stop);
@@ -393,7 +405,7 @@ fn exec_side_effects_exactly_once_under_crashes() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             std::thread::sleep(Duration::from_millis(50));
             h.restart().unwrap();
         }
@@ -419,10 +431,8 @@ fn exec_with_internal_transaction_falls_back_to_forwarding() {
     let (h, dir) = start();
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE t (v INT)").unwrap();
-    pc.execute(
-        "CREATE PROC txn_proc AS BEGIN BEGIN TRAN; INSERT INTO t VALUES (1); COMMIT END",
-    )
-    .unwrap();
+    pc.execute("CREATE PROC txn_proc AS BEGIN BEGIN TRAN; INSERT INTO t VALUES (1); COMMIT END")
+        .unwrap();
     // The wrap attempt hits the nested-BEGIN error and falls back; the call
     // still succeeds.
     let r = pc.execute("EXEC txn_proc").unwrap();
@@ -440,7 +450,8 @@ fn exec_returning_result_set_still_delivers_rows() {
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE t (v INT)").unwrap();
     pc.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
-    pc.execute("CREATE PROC all_rows AS SELECT v FROM t ORDER BY v").unwrap();
+    pc.execute("CREATE PROC all_rows AS SELECT v FROM t ORDER BY v")
+        .unwrap();
     let r = pc.execute("EXEC all_rows").unwrap();
     assert_eq!(r.rows().len(), 3);
     pc.close();
@@ -455,20 +466,32 @@ fn scrollable_persistent_result_set_across_crash() {
     let mut pc = connect(&h);
     pc.execute("CREATE TABLE s (id INT PRIMARY KEY)").unwrap();
     let vals: Vec<String> = (0..50).map(|i| format!("({i})")).collect();
-    pc.execute(&format!("INSERT INTO s VALUES {}", vals.join(", "))).unwrap();
+    pc.execute(&format!("INSERT INTO s VALUES {}", vals.join(", ")))
+        .unwrap();
 
     let mut stmt = pc.statement();
     stmt.execute("SELECT id FROM s").unwrap();
 
     let first = stmt.fetch_scroll(PhoenixFetch::Next, 5).unwrap();
-    assert_eq!(first.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    assert_eq!(
+        first
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
+        vec![0, 1, 2, 3, 4]
+    );
 
     let back = stmt.fetch_scroll(PhoenixFetch::Prior, 3).unwrap();
-    assert_eq!(back.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(), vec![2, 3, 4]);
+    assert_eq!(
+        back.iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
 
     // Crash the server; the next scroll waits out recovery and still lands
     // on the right window.
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -494,9 +517,11 @@ fn scrollable_keyset_absolute() {
     use phoenix_core::PhoenixFetch;
     let (h, dir) = start();
     let mut pc = connect(&h);
-    pc.execute("CREATE TABLE s (id INT PRIMARY KEY, v TEXT)").unwrap();
+    pc.execute("CREATE TABLE s (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..20 {
-        pc.execute(&format!("INSERT INTO s VALUES ({i}, 'r{i}')")).unwrap();
+        pc.execute(&format!("INSERT INTO s VALUES ({i}, 'r{i}')"))
+            .unwrap();
     }
     let mut stmt = pc.statement();
     stmt.set_cursor_type(PhoenixCursorKind::Keyset);
@@ -505,7 +530,8 @@ fn scrollable_keyset_absolute() {
     assert_eq!(w.len(), 5);
     assert_eq!(w[0][0], Value::Int(15));
     // Keyset semantics persist: an update is visible on a re-scroll.
-    pc.execute("UPDATE s SET v = 'CHANGED' WHERE id = 16").unwrap();
+    pc.execute("UPDATE s SET v = 'CHANGED' WHERE id = 16")
+        .unwrap();
     let mut stmt = pc.statement();
     stmt.set_cursor_type(PhoenixCursorKind::Keyset);
     stmt.execute("SELECT id, v FROM s").unwrap();
@@ -560,9 +586,7 @@ fn eager_cleanup_bounds_server_growth() {
     }
 
     // …leave no lingering result tables: inspect the server directly.
-    let engine_tables: Vec<String> = h
-        .with_engine(|e| e.durable_store().table_names())
-        .unwrap();
+    let engine_tables: Vec<String> = h.with_engine(|e| e.durable_store().table_names()).unwrap();
     let rs_tables: Vec<&String> = engine_tables
         .iter()
         .filter(|n| n.starts_with("phoenix.rs_"))
@@ -594,7 +618,7 @@ fn eager_cleanup_does_not_break_recovery() {
     pc.execute("INSERT INTO t VALUES (1)").unwrap();
     pc.execute("SELECT * FROM t").unwrap(); // materialized + eagerly dropped
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -624,7 +648,7 @@ fn dropped_temp_object_does_not_fail_recovery_verification() {
     pc.execute("INSERT INTO #stage SELECT v FROM base").unwrap();
     pc.execute("DROP TABLE #stage").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     let hh = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         h.restart().unwrap();
@@ -661,13 +685,17 @@ fn scrollable_keyset_prior() {
     assert_eq!(fwd.last().unwrap()[0], Value::Int(5));
     let back = stmt.fetch_scroll(PhoenixFetch::Prior, 3).unwrap();
     assert_eq!(
-        back.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        back.iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
         vec![3, 4, 5]
     );
     // Position stays where the Prior window started: Next resumes at 3.
     let next = stmt.fetch_scroll(PhoenixFetch::Next, 2).unwrap();
     assert_eq!(
-        next.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        next.iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
         vec![3, 4]
     );
     pc.close();
@@ -687,7 +715,7 @@ fn dml_gives_up_when_server_stays_down() {
     })
     .unwrap();
     pc.execute("CREATE TABLE t (v INT)").unwrap();
-    h.crash();
+    h.crash().unwrap();
     let e = pc.execute("INSERT INTO t VALUES (1)").unwrap_err();
     assert!(e.is_comm());
     // After the server comes back, a NEW phoenix session works and the

@@ -172,7 +172,9 @@ impl Connection {
         })? {
             Response::Result { outcome, messages } => Ok(QueryResult { outcome, messages }),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -199,7 +201,9 @@ impl Connection {
                 granted,
             } => Ok((cursor, schema, granted)),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -217,7 +221,9 @@ impl Connection {
         })? {
             Response::Rows { rows, at_end } => Ok((rows, at_end)),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -226,7 +232,9 @@ impl Connection {
         match self.call(Request::CloseCursor { cursor })? {
             Response::Result { .. } => Ok(()),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -241,7 +249,9 @@ impl Connection {
                 primary_key,
             } => Ok((schema, primary_key)),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -252,7 +262,9 @@ impl Connection {
         match self.call(Request::Ping)? {
             Response::Pong => Ok(()),
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 

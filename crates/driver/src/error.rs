@@ -71,7 +71,10 @@ impl DriverError {
     pub fn is_timeout(&self) -> bool {
         match self {
             DriverError::Comm(e) => {
-                matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                )
             }
             _ => false,
         }

@@ -118,7 +118,9 @@ impl<'c> Statement<'c> {
                     Ok(StatementResult::ResultSet)
                 }
                 Response::Err { code, message } => Err(DriverError::Server { code, message }),
-                other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+                other => Err(DriverError::Protocol(format!(
+                    "unexpected response {other:?}"
+                ))),
             }
         } else {
             // Default result set / non-query statement.
@@ -142,7 +144,9 @@ impl<'c> Statement<'c> {
                     }
                 }
                 Response::Err { code, message } => Err(DriverError::Server { code, message }),
-                other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+                other => Err(DriverError::Protocol(format!(
+                    "unexpected response {other:?}"
+                ))),
             }
         }
     }
@@ -262,7 +266,9 @@ impl<'c> Statement<'c> {
                         Ok(rows)
                     }
                     Response::Err { code, message } => Err(DriverError::Server { code, message }),
-                    other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+                    other => Err(DriverError::Protocol(format!(
+                        "unexpected response {other:?}"
+                    ))),
                 }
             }
         }
@@ -293,7 +299,9 @@ impl<'c> Statement<'c> {
                 Ok(())
             }
             Response::Err { code, message } => Err(DriverError::Server { code, message }),
-            other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -303,7 +311,9 @@ impl<'c> Statement<'c> {
             match self.conn.call(Request::CloseCursor { cursor: id })? {
                 Response::Result { .. } => Ok(()),
                 Response::Err { code, message } => Err(DriverError::Server { code, message }),
-                other => Err(DriverError::Protocol(format!("unexpected response {other:?}"))),
+                other => Err(DriverError::Protocol(format!(
+                    "unexpected response {other:?}"
+                ))),
             }
         } else {
             Ok(())

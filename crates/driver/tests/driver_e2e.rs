@@ -28,7 +28,8 @@ fn connect_execute_fetch() {
     let (h, dir) = start();
     let env = Environment::new();
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     assert_eq!(
         conn.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
             .unwrap()
@@ -50,10 +51,14 @@ fn statement_default_cursor_fetches_client_side() {
     let env = Environment::new();
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
-    conn.execute("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+        .unwrap();
 
     let mut stmt = conn.statement();
-    assert_eq!(stmt.execute("SELECT id FROM t").unwrap(), StatementResult::ResultSet);
+    assert_eq!(
+        stmt.execute("SELECT id FROM t").unwrap(),
+        StatementResult::ResultSet
+    );
     let mut got = Vec::new();
     while let Some(row) = stmt.fetch().unwrap() {
         got.push(row[0].as_i64().unwrap());
@@ -68,9 +73,11 @@ fn keyset_cursor_round_trips_blocks() {
     let (h, dir) = start();
     let env = Environment::new().with_fetch_block(2);
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
     for i in 1..=7 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i}, {i}.5)")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i}, {i}.5)"))
+            .unwrap();
     }
     let mut stmt = conn.statement();
     stmt.set_cursor_type(CursorKind::Keyset);
@@ -93,7 +100,8 @@ fn dynamic_cursor_scrolls() {
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
     for i in 1..=6 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     let mut stmt = conn.statement();
     stmt.set_cursor_type(CursorKind::Dynamic);
@@ -102,7 +110,9 @@ fn dynamic_cursor_scrolls() {
     assert_eq!(rows.len(), 3);
     let rows = stmt.fetch_scroll(FetchDir::Prior, 2).unwrap();
     assert_eq!(
-        rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
         vec![1, 2]
     );
     drop(h);
@@ -130,7 +140,7 @@ fn crash_surfaces_as_comm_error_and_poisons() {
     let env = Environment::new().with_read_timeout(Some(Duration::from_millis(500)));
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     conn.execute("CREATE TABLE t (v INT)").unwrap();
-    h.crash();
+    h.crash().unwrap();
     let e = conn.execute("SELECT 1").unwrap_err();
     assert!(e.is_comm(), "expected comm error, got {e}");
     assert!(conn.is_poisoned());
@@ -155,12 +165,15 @@ fn session_liveness_probe_via_temp_table() {
     conn.execute("CREATE TABLE #phx_alive (v INT)").unwrap();
     conn.execute("SELECT * FROM #phx_alive").unwrap();
 
-    h.crash();
+    h.crash().unwrap();
     h.restart().unwrap();
 
     let mut conn2 = env.connect(&h.addr(), "app", "test").unwrap();
     let e = conn2.execute("SELECT * FROM #phx_alive").unwrap_err();
-    assert_eq!(e.server_code(), Some(phoenix_driver::error::codes::NOT_FOUND));
+    assert_eq!(
+        e.server_code(),
+        Some(phoenix_driver::error::codes::NOT_FOUND)
+    );
     drop(h);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -202,15 +215,22 @@ fn buffered_result_scrolls_client_side() {
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
     for i in 0..8 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     let mut stmt = conn.statement();
     stmt.execute("SELECT id FROM t ORDER BY id").unwrap();
     // Default result set: scrolling is served from the client buffer.
     let w = stmt.fetch_scroll(FetchDir::Next, 3).unwrap();
-    assert_eq!(w.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert_eq!(
+        w.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
     let w = stmt.fetch_scroll(FetchDir::Prior, 2).unwrap();
-    assert_eq!(w.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(), vec![1, 2]);
+    assert_eq!(
+        w.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
     let w = stmt.fetch_scroll(FetchDir::Absolute(6), 5).unwrap();
     assert_eq!(w.len(), 2);
     assert_eq!(w[0][0], Value::Int(6));

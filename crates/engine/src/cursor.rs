@@ -122,7 +122,11 @@ impl Cursor {
         }
     }
 
-    fn open_materialized(id: CursorId, select: &SelectStmt, catalog: &dyn Catalog) -> Result<Cursor> {
+    fn open_materialized(
+        id: CursorId,
+        select: &SelectStmt,
+        catalog: &dyn Catalog,
+    ) -> Result<Cursor> {
         let rs = execute_select(select, catalog, None)?;
         Ok(Cursor {
             id,
@@ -359,10 +363,7 @@ fn row_passes(pred: Option<&Expr>, columns: &[BoundColumn], row: &Row) -> Result
     }
 }
 
-fn projected_schema(
-    data: &phoenix_storage::store::TableData,
-    projection: &[usize],
-) -> Schema {
+fn projected_schema(data: &phoenix_storage::store::TableData, projection: &[usize]) -> Schema {
     Schema::new(
         projection
             .iter()
@@ -395,7 +396,10 @@ fn keyed_single_table(
     if !data.def.has_primary_key() {
         return Ok(None);
     }
-    let qualifier = item.alias.clone().unwrap_or_else(|| item.table.name.clone());
+    let qualifier = item
+        .alias
+        .clone()
+        .unwrap_or_else(|| item.table.name.clone());
     let columns: Vec<BoundColumn> = data
         .def
         .schema
@@ -485,7 +489,13 @@ mod tests {
     #[test]
     fn materialized_forward_and_prior() {
         let c = cat();
-        let mut cur = Cursor::open(1, &select("SELECT okey FROM orders"), CursorKind::ForwardOnly, &c).unwrap();
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders"),
+            CursorKind::ForwardOnly,
+            &c,
+        )
+        .unwrap();
         let f = cur.fetch(FetchDir::Next, 3, &c).unwrap();
         assert_eq!(f.rows.len(), 3);
         assert!(!f.at_end);
@@ -514,7 +524,8 @@ mod tests {
         {
             let t = c.store.table_mut("dbo.orders").unwrap();
             let rid3 = t.row_id_by_key(&[Value::Int(3)]).unwrap();
-            t.update(rid3, vec![Value::Int(3), Value::Float(999.0)]).unwrap();
+            t.update(rid3, vec![Value::Int(3), Value::Float(999.0)])
+                .unwrap();
             let rid4 = t.row_id_by_key(&[Value::Int(4)]).unwrap();
             t.delete(rid4).unwrap();
         }
@@ -534,7 +545,13 @@ mod tests {
     #[test]
     fn keyset_does_not_see_inserts() {
         let mut c = cat();
-        let mut cur = Cursor::open(1, &select("SELECT okey FROM orders"), CursorKind::Keyset, &c).unwrap();
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders"),
+            CursorKind::Keyset,
+            &c,
+        )
+        .unwrap();
         c.store
             .table_mut("dbo.orders")
             .unwrap()
@@ -590,7 +607,13 @@ mod tests {
     #[test]
     fn dynamic_prior_walks_backwards() {
         let c = cat();
-        let mut cur = Cursor::open(1, &select("SELECT okey FROM orders"), CursorKind::Dynamic, &c).unwrap();
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders"),
+            CursorKind::Dynamic,
+            &c,
+        )
+        .unwrap();
         let f = cur.fetch(FetchDir::Prior, 2, &c).unwrap();
         assert!(f.rows.is_empty()); // before first fetch there is no position
         cur.fetch(FetchDir::Next, 5, &c).unwrap();
@@ -601,7 +624,13 @@ mod tests {
     #[test]
     fn dynamic_rejects_absolute() {
         let c = cat();
-        let mut cur = Cursor::open(1, &select("SELECT okey FROM orders"), CursorKind::Dynamic, &c).unwrap();
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders"),
+            CursorKind::Dynamic,
+            &c,
+        )
+        .unwrap();
         let e = cur.fetch(FetchDir::Absolute(3), 1, &c).unwrap_err();
         assert_eq!(e.code, ErrorCode::Cursor);
     }
@@ -627,14 +656,26 @@ mod tests {
     #[test]
     fn downgrade_on_aggregation() {
         let c = cat();
-        let cur = Cursor::open(1, &select("SELECT COUNT(*) FROM orders"), CursorKind::Dynamic, &c).unwrap();
+        let cur = Cursor::open(
+            1,
+            &select("SELECT COUNT(*) FROM orders"),
+            CursorKind::Dynamic,
+            &c,
+        )
+        .unwrap();
         assert_eq!(cur.kind, CursorKind::ForwardOnly);
     }
 
     #[test]
     fn keyset_position_is_reported() {
         let c = cat();
-        let mut cur = Cursor::open(1, &select("SELECT okey FROM orders"), CursorKind::Keyset, &c).unwrap();
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders"),
+            CursorKind::Keyset,
+            &c,
+        )
+        .unwrap();
         cur.fetch(FetchDir::Next, 4, &c).unwrap();
         assert_eq!(cur.position(), Some(4));
     }

@@ -1,7 +1,7 @@
 //! The engine facade: sessions, statement execution, cursors, checkpoints.
 //!
-//! This is the object the server wraps in a lock and drives from connection
-//! threads. Its lifecycle mirrors a real DBMS process:
+//! This is the object the server shares across connection threads. Its
+//! lifecycle mirrors a real DBMS process:
 //!
 //! * [`Engine::open`] performs crash recovery (via the durability layer) and
 //!   starts with **zero sessions** — all session state from a previous
@@ -10,9 +10,27 @@
 //!   if one is open, otherwise autocommit.
 //! * Dropping the engine without [`Engine::checkpoint`] loses nothing
 //!   committed: the WAL replays on the next open.
+//!
+//! # Concurrency
+//!
+//! Every public method takes `&self`; the engine is shared as an `Arc` and
+//! driven from many connection threads at once:
+//!
+//! * the session catalog is a `RwLock<HashMap>` of `Arc<Mutex<SessionState>>`
+//!   entries — looking a session up takes a short shared lock, and only the
+//!   *session's own* mutex is held while its statement runs, so different
+//!   sessions execute concurrently;
+//! * durable-store access goes through the storage layer's reader-writer
+//!   lock (reads run in parallel, mutations serialize, commits group-flush);
+//! * the *stall gate* is a reader-writer lock every entry point acquires in
+//!   shared mode; the test harness takes it exclusively to simulate a server
+//!   that has stopped responding without dying.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use phoenix_sql::ast::{ExecStmt, ObjectName, SelectStmt, Statement};
 use phoenix_sql::display::render_statement;
 use phoenix_sql::parser::{parse_statement, parse_statements};
@@ -98,13 +116,19 @@ impl ExecResult {
     }
 }
 
-/// The database engine.
+/// The database engine. Shared across connection threads (`&self` API).
 pub struct Engine {
     durable: Durable,
-    sessions: HashMap<SessionId, SessionState>,
-    next_session: SessionId,
-    next_cursor: CursorId,
+    /// Session catalog. The outer lock is held only to look up / insert /
+    /// remove entries; each session's statements serialize on its own mutex.
+    sessions: RwLock<HashMap<SessionId, Arc<Mutex<SessionState>>>>,
+    next_session: AtomicU64,
+    next_cursor: AtomicU64,
     config: EngineConfig,
+    /// Every entry point holds this in shared mode for the duration of the
+    /// call; [`Engine::stall`] takes it exclusively so the test harness can
+    /// freeze the server without killing it.
+    stall_gate: RwLock<()>,
 }
 
 impl Engine {
@@ -113,64 +137,96 @@ impl Engine {
         let durable = Durable::open(dir, config.durability)?;
         Ok(Engine {
             durable,
-            sessions: HashMap::new(),
-            next_session: 1,
-            next_cursor: 1,
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            next_cursor: AtomicU64::new(1),
             config,
+            stall_gate: RwLock::new(()),
         })
     }
 
-    /// Read access to the durable store (tests, snapshot tooling).
-    pub fn durable_store(&self) -> &Store {
+    /// Shared read access to the durable store (tests, snapshot tooling).
+    /// Mutations block while the guard is held; keep it short-lived.
+    pub fn durable_store(&self) -> RwLockReadGuard<'_, Store> {
         self.durable.store()
+    }
+
+    /// Number of `sync_data` calls the WAL has issued (group-commit probe).
+    pub fn wal_sync_count(&self) -> u64 {
+        self.durable.wal_sync_count()
     }
 
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.len()
+        self.sessions.read().len()
+    }
+
+    /// Block every engine entry point for `d`, simulating a server that has
+    /// stopped responding without dying (test harness hook).
+    pub fn stall(&self, d: std::time::Duration) {
+        self.stall_with(d, || {});
+    }
+
+    /// Like [`Engine::stall`], but invokes `engaged` once the gate is
+    /// actually held — a handshake for harnesses that must not return to
+    /// the caller before the stall has taken effect.
+    pub fn stall_with(&self, d: std::time::Duration, engaged: impl FnOnce()) {
+        let _gate = self.stall_gate.write();
+        engaged();
+        std::thread::sleep(d);
     }
 
     // -- session lifecycle ---------------------------------------------------
 
     /// Open a new session for `user`.
-    pub fn create_session(&mut self, user: &str) -> SessionId {
-        let id = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(id, SessionState::new(id, user));
+    pub fn create_session(&self, user: &str) -> SessionId {
+        let _gate = self.stall_gate.read();
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .write()
+            .insert(id, Arc::new(Mutex::new(SessionState::new(id, user))));
         id
     }
 
     /// Close a session: abort any open transaction, drop cursors and temp
     /// objects. (Temporary tables "are deleted when a session terminates for
     /// any reason" — the property Phoenix's liveness probe relies on.)
-    pub fn close_session(&mut self, sid: SessionId) -> Result<()> {
-        let session = self
-            .sessions
-            .remove(&sid)
-            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
-        if let Some(txn) = session.txn {
+    ///
+    /// If a statement is in flight on the session, this waits for it to
+    /// finish before tearing the session down.
+    pub fn close_session(&self, sid: SessionId) -> Result<()> {
+        let _gate = self.stall_gate.read();
+        let session =
+            self.sessions.write().remove(&sid).ok_or_else(|| {
+                EngineError::new(ErrorCode::NoSession, format!("no session {sid}"))
+            })?;
+        let txn = session.lock().txn.take();
+        if let Some(txn) = txn {
             self.durable.abort(txn)?;
         }
         Ok(())
     }
 
-    fn take_session(&mut self, sid: SessionId) -> Result<SessionState> {
+    /// Look up a session's shared handle.
+    fn session(&self, sid: SessionId) -> Result<Arc<Mutex<SessionState>>> {
         self.sessions
-            .remove(&sid)
+            .read()
+            .get(&sid)
+            .cloned()
             .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))
     }
 
     // -- statement execution --------------------------------------------------
 
     /// Parse and execute a single statement.
-    pub fn execute(&mut self, sid: SessionId, sql: &str) -> Result<ExecResult> {
+    pub fn execute(&self, sid: SessionId, sql: &str) -> Result<ExecResult> {
         let stmt = parse_statement(sql)?;
         self.execute_stmt(sid, &stmt)
     }
 
     /// Execute a batch (semicolon-separated). Results are returned per
     /// statement; execution stops at the first error.
-    pub fn execute_batch(&mut self, sid: SessionId, sql: &str) -> Result<Vec<ExecResult>> {
+    pub fn execute_batch(&self, sid: SessionId, sql: &str) -> Result<Vec<ExecResult>> {
         let stmts = parse_statements(sql)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
@@ -180,10 +236,15 @@ impl Engine {
     }
 
     /// Execute an already-parsed statement.
-    pub fn execute_stmt(&mut self, sid: SessionId, stmt: &Statement) -> Result<ExecResult> {
-        let mut session = self.take_session(sid)?;
-        let result = self.exec_in(&mut session, stmt, None, 0);
-        self.sessions.insert(sid, session);
+    pub fn execute_stmt(&self, sid: SessionId, stmt: &Statement) -> Result<ExecResult> {
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let result = {
+            let mut session = session.lock();
+            self.exec_in(&mut session, stmt, None, 0)
+        };
+        // Auto-checkpoint runs with no session lock held (it needs the
+        // engine quiescent, and must never deadlock with our own session).
         if result.is_ok() {
             self.maybe_auto_checkpoint();
         }
@@ -191,7 +252,7 @@ impl Engine {
     }
 
     fn exec_in(
-        &mut self,
+        &self,
         session: &mut SessionState,
         stmt: &Statement,
         params: Option<&HashMap<String, Value>>,
@@ -249,8 +310,9 @@ impl Engine {
                 })
             }
             Statement::Select(sel) => {
+                let store = self.durable.store();
                 let view = CatalogView {
-                    durable: self.durable.store(),
+                    durable: &store,
                     temp: &session.temp,
                 };
                 let rs = execute_select(sel, &view, params)?;
@@ -264,8 +326,9 @@ impl Engine {
             }
             Statement::Insert(ins) => {
                 let rows = {
+                    let store = self.durable.store();
                     let view = CatalogView {
-                        durable: self.durable.store(),
+                        durable: &store,
                         temp: &session.temp,
                     };
                     let def = view_def(&view, &ins.table)?;
@@ -306,7 +369,10 @@ impl Engine {
                     })
                 } else {
                     let name = upd.table.canonical();
-                    let changes = compute_update(upd, self.durable.store().table(&name)?, params)?;
+                    let changes = {
+                        let store = self.durable.store();
+                        compute_update(upd, store.table(&name)?, params)?
+                    };
                     let n = changes.len() as u64;
                     self.with_txn(session, |db, txn| {
                         for (rid, row) in changes {
@@ -335,7 +401,10 @@ impl Engine {
                     })
                 } else {
                     let name = del.table.canonical();
-                    let ids = compute_delete(del, self.durable.store().table(&name)?, params)?;
+                    let ids = {
+                        let store = self.durable.store();
+                        compute_delete(del, store.table(&name)?, params)?
+                    };
                     let n = ids.len() as u64;
                     self.with_txn(session, |db, txn| {
                         for rid in ids {
@@ -409,7 +478,9 @@ impl Engine {
                         if *if_exists {
                             return Ok(ExecResult::done());
                         }
-                        return Err(EngineError::not_found(format!("no such procedure '{name}'")));
+                        return Err(EngineError::not_found(format!(
+                            "no such procedure '{name}'"
+                        )));
                     }
                     self.with_txn(session, |db, txn| Ok(db.drop_proc(txn, &key)?))?;
                 }
@@ -422,15 +493,15 @@ impl Engine {
     /// Run `body` under the session's explicit transaction if one is open,
     /// otherwise under a fresh autocommit transaction (committed on success,
     /// aborted on error).
-    fn with_txn<F>(&mut self, session: &mut SessionState, body: F) -> Result<()>
+    fn with_txn<F>(&self, session: &mut SessionState, body: F) -> Result<()>
     where
-        F: FnOnce(&mut Durable, TxnId) -> Result<()>,
+        F: FnOnce(&Durable, TxnId) -> Result<()>,
     {
         match session.txn {
-            Some(txn) => body(&mut self.durable, txn),
+            Some(txn) => body(&self.durable, txn),
             None => {
                 let txn = self.durable.begin()?;
-                match body(&mut self.durable, txn) {
+                match body(&self.durable, txn) {
                     Ok(()) => {
                         self.durable.commit(txn)?;
                         Ok(())
@@ -445,7 +516,7 @@ impl Engine {
     }
 
     fn exec_proc(
-        &mut self,
+        &self,
         session: &mut SessionState,
         call: &ExecStmt,
         outer_params: Option<&HashMap<String, Value>>,
@@ -508,52 +579,49 @@ impl Engine {
 
     /// Open a server cursor over a SELECT.
     pub fn open_cursor(
-        &mut self,
+        &self,
         sid: SessionId,
         select: &SelectStmt,
         kind: CursorKind,
     ) -> Result<(CursorId, Schema, CursorKind)> {
-        let mut session = self.take_session(sid)?;
-        let id = self.next_cursor;
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let mut session = session.lock();
+        let id = self.next_cursor.fetch_add(1, Ordering::Relaxed);
         let result = {
+            let store = self.durable.store();
             let view = CatalogView {
-                durable: self.durable.store(),
+                durable: &store,
                 temp: &session.temp,
             };
             Cursor::open(id, select, kind, &view)
         };
-        let out = match result {
+        match result {
             Ok(cursor) => {
-                self.next_cursor += 1;
                 let schema = cursor.schema.clone();
                 let granted = cursor.kind;
                 session.cursors.insert(id, cursor);
                 Ok((id, schema, granted))
             }
             Err(e) => Err(e),
-        };
-        self.sessions.insert(sid, session);
-        out
+        }
     }
 
     /// Fetch from an open cursor.
-    pub fn fetch(
-        &mut self,
-        sid: SessionId,
-        cid: CursorId,
-        dir: FetchDir,
-        n: usize,
-    ) -> Result<Fetched> {
-        let mut session = self.take_session(sid)?;
-        let result = match session.cursors.remove(&cid) {
+    pub fn fetch(&self, sid: SessionId, cid: CursorId, dir: FetchDir, n: usize) -> Result<Fetched> {
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let mut session = session.lock();
+        match session.cursors.remove(&cid) {
             None => Err(EngineError::new(
                 ErrorCode::Cursor,
                 format!("no such cursor {cid}"),
             )),
             Some(mut cursor) => {
                 let r = {
+                    let store = self.durable.store();
                     let view = CatalogView {
-                        durable: self.durable.store(),
+                        durable: &store,
                         temp: &session.temp,
                     };
                     cursor.fetch(dir, n, &view)
@@ -561,17 +629,14 @@ impl Engine {
                 session.cursors.insert(cid, cursor);
                 r
             }
-        };
-        self.sessions.insert(sid, session);
-        result
+        }
     }
 
     /// Close an open cursor.
-    pub fn close_cursor(&mut self, sid: SessionId, cid: CursorId) -> Result<()> {
-        let session = self
-            .sessions
-            .get_mut(&sid)
-            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
+    pub fn close_cursor(&self, sid: SessionId, cid: CursorId) -> Result<()> {
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let mut session = session.lock();
         session
             .cursors
             .remove(&cid)
@@ -582,12 +647,12 @@ impl Engine {
     /// Describe a table visible to the session: schema plus primary-key
     /// column names (the catalog call behind the wire `Describe` request).
     pub fn describe(&self, sid: SessionId, table: &ObjectName) -> Result<(Schema, Vec<String>)> {
-        let session = self
-            .sessions
-            .get(&sid)
-            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let session = session.lock();
+        let store = self.durable.store();
         let view = CatalogView {
-            durable: self.durable.store(),
+            durable: &store,
             temp: &session.temp,
         };
         use crate::plan::Catalog as _;
@@ -604,24 +669,48 @@ impl Engine {
     // -- maintenance -------------------------------------------------------------
 
     /// Take a checkpoint now. Fails if any session has an open transaction.
-    pub fn checkpoint(&mut self) -> Result<()> {
-        if let Some(s) = self.sessions.values().find(|s| s.txn.is_some()) {
-            return Err(EngineError::new(
-                ErrorCode::Txn,
-                format!("session {} has an open transaction", s.id),
-            ));
+    pub fn checkpoint(&self) -> Result<()> {
+        // Name the offending session when we can see one; a session busy
+        // executing (mutex held) is caught by the durability layer's own
+        // active-transaction check below.
+        {
+            let sessions = self.sessions.read();
+            for s in sessions.values() {
+                if let Some(s) = s.try_lock() {
+                    if s.txn.is_some() {
+                        return Err(EngineError::new(
+                            ErrorCode::Txn,
+                            format!("session {} has an open transaction", s.id),
+                        ));
+                    }
+                }
+            }
         }
         self.durable.checkpoint()?;
         Ok(())
     }
 
-    fn maybe_auto_checkpoint(&mut self) {
+    fn maybe_auto_checkpoint(&self) {
         if let Some(every) = self.config.checkpoint_every {
-            if self.durable.log_records_since_checkpoint() >= every
-                && self.sessions.values().all(|s| s.txn.is_none())
-            {
-                // Best effort; failure surfaces on the next explicit call.
-                let _ = self.durable.checkpoint();
+            if self.durable.log_records_since_checkpoint() >= every {
+                // Quiescence probe: any session we cannot inspect (its lock
+                // is held by an in-flight statement) counts as busy; skip
+                // this round rather than block. The durability layer
+                // re-checks under its own locks anyway.
+                let quiescent = self
+                    .sessions
+                    .read()
+                    .values()
+                    .all(|s| s.try_lock().map(|g| g.txn.is_none()).unwrap_or(false));
+                if quiescent {
+                    // Best effort, and non-blocking: `try_checkpoint` skips
+                    // the round when the store is busy instead of queueing
+                    // for the write lock — a queued writer would block every
+                    // new reader behind a long-running statement and stall
+                    // the whole server. Failure surfaces on the next
+                    // explicit `checkpoint()` call.
+                    let _ = self.durable.try_checkpoint();
+                }
             }
         }
     }
@@ -643,7 +732,8 @@ mod tests {
     fn temp_dir() -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let d = std::env::temp_dir().join(format!("phoenix-engine-test-{}-{n}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("phoenix-engine-test-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -653,54 +743,87 @@ mod tests {
         (Engine::open(&dir, EngineConfig::default()).unwrap(), dir)
     }
 
-    fn setup(e: &mut Engine, sid: SessionId) {
-        e.execute(sid, "CREATE TABLE customer (id INT PRIMARY KEY, name TEXT, nation INT)")
-            .unwrap();
-        e.execute(sid, "INSERT INTO customer VALUES (1, 'Smith', 10), (2, 'Jones', 10), (3, 'Smith', 20)")
-            .unwrap();
+    fn setup(e: &Engine, sid: SessionId) {
+        e.execute(
+            sid,
+            "CREATE TABLE customer (id INT PRIMARY KEY, name TEXT, nation INT)",
+        )
+        .unwrap();
+        e.execute(
+            sid,
+            "INSERT INTO customer VALUES (1, 'Smith', 10), (2, 'Jones', 10), (3, 'Smith', 20)",
+        )
+        .unwrap();
     }
 
     #[test]
     fn end_to_end_select() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
-        let r = e.execute(sid, "SELECT name FROM customer WHERE id = 2").unwrap();
+        setup(&e, sid);
+        let r = e
+            .execute(sid, "SELECT name FROM customer WHERE id = 2")
+            .unwrap();
         assert_eq!(r.rows(), &[vec![Value::Text("Jones".into())]]);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn dml_counts() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
-        assert_eq!(e.execute(sid, "UPDATE customer SET nation = 30 WHERE name = 'Smith'").unwrap().affected(), 2);
-        assert_eq!(e.execute(sid, "DELETE FROM customer WHERE nation = 30").unwrap().affected(), 2);
-        assert_eq!(e.execute(sid, "INSERT INTO customer (id, name) VALUES (9, 'New')").unwrap().affected(), 1);
+        setup(&e, sid);
+        assert_eq!(
+            e.execute(sid, "UPDATE customer SET nation = 30 WHERE name = 'Smith'")
+                .unwrap()
+                .affected(),
+            2
+        );
+        assert_eq!(
+            e.execute(sid, "DELETE FROM customer WHERE nation = 30")
+                .unwrap()
+                .affected(),
+            2
+        );
+        assert_eq!(
+            e.execute(sid, "INSERT INTO customer (id, name) VALUES (9, 'New')")
+                .unwrap()
+                .affected(),
+            1
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn explicit_txn_commit_and_rollback() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         e.execute(sid, "BEGIN").unwrap();
         e.execute(sid, "DELETE FROM customer WHERE id = 1").unwrap();
         e.execute(sid, "ROLLBACK").unwrap();
-        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(3));
+        assert_eq!(
+            e.execute(sid, "SELECT COUNT(*) FROM customer")
+                .unwrap()
+                .rows()[0][0],
+            Value::Int(3)
+        );
 
         e.execute(sid, "BEGIN").unwrap();
         e.execute(sid, "DELETE FROM customer WHERE id = 1").unwrap();
         e.execute(sid, "COMMIT").unwrap();
-        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(2));
+        assert_eq!(
+            e.execute(sid, "SELECT COUNT(*) FROM customer")
+                .unwrap()
+                .rows()[0][0],
+            Value::Int(2)
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn txn_misuse_errors() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
         assert_eq!(e.execute(sid, "COMMIT").unwrap_err().code, ErrorCode::Txn);
         e.execute(sid, "BEGIN").unwrap();
@@ -711,17 +834,22 @@ mod tests {
 
     #[test]
     fn autocommit_failure_rolls_back() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         // Second tuple violates the primary key; the whole statement must
         // roll back.
         let err = e
-            .execute(sid, "INSERT INTO customer VALUES (50, 'A', 1), (1, 'Dup', 1)")
+            .execute(
+                sid,
+                "INSERT INTO customer VALUES (50, 'A', 1), (1, 'Dup', 1)",
+            )
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::Constraint);
         assert_eq!(
-            e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0],
+            e.execute(sid, "SELECT COUNT(*) FROM customer")
+                .unwrap()
+                .rows()[0][0],
             Value::Int(3)
         );
         std::fs::remove_dir_all(dir).unwrap();
@@ -729,27 +857,37 @@ mod tests {
 
     #[test]
     fn temp_tables_are_session_scoped_and_volatile() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let s1 = e.create_session("a");
         let s2 = e.create_session("b");
         e.execute(s1, "CREATE TABLE #w (v INT)").unwrap();
         e.execute(s1, "INSERT INTO #w VALUES (1), (2)").unwrap();
-        assert_eq!(e.execute(s1, "SELECT COUNT(*) FROM #w").unwrap().rows()[0][0], Value::Int(2));
+        assert_eq!(
+            e.execute(s1, "SELECT COUNT(*) FROM #w").unwrap().rows()[0][0],
+            Value::Int(2)
+        );
         // Invisible to the other session.
-        assert_eq!(e.execute(s2, "SELECT * FROM #w").unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(
+            e.execute(s2, "SELECT * FROM #w").unwrap_err().code,
+            ErrorCode::NotFound
+        );
         // Gone when the session closes.
         e.close_session(s1).unwrap();
         let s3 = e.create_session("a");
-        assert_eq!(e.execute(s3, "SELECT * FROM #w").unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(
+            e.execute(s3, "SELECT * FROM #w").unwrap_err().code,
+            ErrorCode::NotFound
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn temp_insert_can_read_durable() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
-        e.execute(sid, "CREATE TABLE #copy (id INT, name TEXT)").unwrap();
+        setup(&e, sid);
+        e.execute(sid, "CREATE TABLE #copy (id INT, name TEXT)")
+            .unwrap();
         let n = e
             .execute(sid, "INSERT INTO #copy SELECT id, name FROM customer")
             .unwrap()
@@ -760,9 +898,9 @@ mod tests {
 
     #[test]
     fn procedures_with_params() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         e.execute(
             sid,
             "CREATE PROCEDURE by_name (@n TEXT) AS SELECT id FROM customer WHERE name = @n",
@@ -771,17 +909,21 @@ mod tests {
         let r = e.execute(sid, "EXEC by_name ('Smith')").unwrap();
         assert_eq!(r.rows().len(), 2);
         // Wrong arity.
-        assert_eq!(e.execute(sid, "EXEC by_name").unwrap_err().code, ErrorCode::Type);
+        assert_eq!(
+            e.execute(sid, "EXEC by_name").unwrap_err().code,
+            ErrorCode::Type
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn capture_proc_shape_runs_atomically() {
         // The exact pattern Phoenix generates for result-set capture.
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
-        e.execute(sid, "CREATE TABLE phoenix.rs_1 (id INT, name TEXT)").unwrap();
+        setup(&e, sid);
+        e.execute(sid, "CREATE TABLE phoenix.rs_1 (id INT, name TEXT)")
+            .unwrap();
         e.execute(
             sid,
             "CREATE PROCEDURE phoenix.cap_1 AS INSERT INTO phoenix.rs_1 SELECT id, name FROM customer WHERE name = 'Smith'",
@@ -796,7 +938,7 @@ mod tests {
 
     #[test]
     fn print_produces_message() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
         let r = e.execute(sid, "PRINT 'batch ' + '7'").unwrap();
         assert_eq!(r.messages, vec!["batch 7"]);
@@ -805,13 +947,14 @@ mod tests {
 
     #[test]
     fn set_options_recorded() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
         e.execute(sid, "SET lock_timeout 5000").unwrap();
-        assert_eq!(
-            e.sessions[&sid].option("lock_timeout"),
-            Some(&Value::Int(5000))
-        );
+        let sessions = e.sessions.read();
+        let s = sessions[&sid].lock();
+        assert_eq!(s.option("lock_timeout"), Some(&Value::Int(5000)));
+        drop(s);
+        drop(sessions);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -819,30 +962,41 @@ mod tests {
     fn committed_data_survives_engine_restart() {
         let dir = temp_dir();
         {
-            let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
+            let e = Engine::open(&dir, EngineConfig::default()).unwrap();
             let sid = e.create_session("app");
-            setup(&mut e, sid);
+            setup(&e, sid);
             e.execute(sid, "CREATE TABLE #volatile (v INT)").unwrap();
             // Open a transaction with uncommitted work, then "crash".
             e.execute(sid, "BEGIN").unwrap();
             e.execute(sid, "DELETE FROM customer").unwrap();
             // no COMMIT — drop the engine
         }
-        let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
+        let e = Engine::open(&dir, EngineConfig::default()).unwrap();
         let sid = e.create_session("app");
         // Committed rows are back; uncommitted delete is not; temp is gone;
         // old session ids are dead.
-        assert_eq!(e.execute(sid, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0], Value::Int(3));
-        assert_eq!(e.execute(sid, "SELECT * FROM #volatile").unwrap_err().code, ErrorCode::NotFound);
-        assert_eq!(e.execute(99, "SELECT 1").unwrap_err().code, ErrorCode::NoSession);
+        assert_eq!(
+            e.execute(sid, "SELECT COUNT(*) FROM customer")
+                .unwrap()
+                .rows()[0][0],
+            Value::Int(3)
+        );
+        assert_eq!(
+            e.execute(sid, "SELECT * FROM #volatile").unwrap_err().code,
+            ErrorCode::NotFound
+        );
+        assert_eq!(
+            e.execute(99, "SELECT 1").unwrap_err().code,
+            ErrorCode::NoSession
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn cursor_through_engine() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         let sel = match parse_statement("SELECT id FROM customer").unwrap() {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
@@ -850,18 +1004,21 @@ mod tests {
         let (cid, schema, kind) = e.open_cursor(sid, &sel, CursorKind::Keyset).unwrap();
         assert_eq!(kind, CursorKind::Keyset);
         assert_eq!(schema.columns[0].name, "id");
-        let f = e.fetch(sid, cid, FetchDir::Next, 2, ).unwrap();
+        let f = e.fetch(sid, cid, FetchDir::Next, 2).unwrap();
         assert_eq!(f.rows.len(), 2);
         e.close_cursor(sid, cid).unwrap();
-        assert_eq!(e.fetch(sid, cid, FetchDir::Next, 1).unwrap_err().code, ErrorCode::Cursor);
+        assert_eq!(
+            e.fetch(sid, cid, FetchDir::Next, 1).unwrap_err().code,
+            ErrorCode::Cursor
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn checkpoint_respects_open_txns() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         e.execute(sid, "BEGIN").unwrap();
         assert_eq!(e.checkpoint().unwrap_err().code, ErrorCode::Txn);
         e.execute(sid, "COMMIT").unwrap();
@@ -871,15 +1028,17 @@ mod tests {
 
     #[test]
     fn close_session_aborts_open_txn() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
-        setup(&mut e, sid);
+        setup(&e, sid);
         e.execute(sid, "BEGIN").unwrap();
         e.execute(sid, "DELETE FROM customer").unwrap();
         e.close_session(sid).unwrap();
         let sid2 = e.create_session("app");
         assert_eq!(
-            e.execute(sid2, "SELECT COUNT(*) FROM customer").unwrap().rows()[0][0],
+            e.execute(sid2, "SELECT COUNT(*) FROM customer")
+                .unwrap()
+                .rows()[0][0],
             Value::Int(3)
         );
         std::fs::remove_dir_all(dir).unwrap();
@@ -887,10 +1046,13 @@ mod tests {
 
     #[test]
     fn batch_execution() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
         let results = e
-            .execute_batch(sid, "CREATE TABLE t (v INT); INSERT INTO t VALUES (1); SELECT * FROM t")
+            .execute_batch(
+                sid,
+                "CREATE TABLE t (v INT); INSERT INTO t VALUES (1); SELECT * FROM t",
+            )
             .unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[2].rows().len(), 1);
@@ -899,11 +1061,69 @@ mod tests {
 
     #[test]
     fn drop_if_exists() {
-        let (mut e, dir) = engine();
+        let (e, dir) = engine();
         let sid = e.create_session("app");
         e.execute(sid, "DROP TABLE IF EXISTS nothing").unwrap();
-        assert_eq!(e.execute(sid, "DROP TABLE nothing").unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(
+            e.execute(sid, "DROP TABLE nothing").unwrap_err().code,
+            ErrorCode::NotFound
+        );
         e.execute(sid, "DROP PROCEDURE IF EXISTS nothing").unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Sessions on separate threads make progress against a shared engine —
+    /// the `&self` API's basic exercise.
+    #[test]
+    fn sessions_execute_concurrently() {
+        let (e, dir) = engine();
+        let e = std::sync::Arc::new(e);
+        let seed = e.create_session("seed");
+        e.execute(seed, "CREATE TABLE acc (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|k: i64| {
+                let e = std::sync::Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let sid = e.create_session("worker");
+                    for i in 0..25 {
+                        e.execute(
+                            sid,
+                            &format!("INSERT INTO acc VALUES ({}, {i})", k * 25 + i),
+                        )
+                        .unwrap();
+                        let r = e.execute(sid, "SELECT COUNT(*) FROM acc").unwrap();
+                        assert!(matches!(r.rows()[0][0], Value::Int(n) if n >= 1));
+                    }
+                    e.close_session(sid).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            e.execute(seed, "SELECT COUNT(*) FROM acc").unwrap().rows()[0][0],
+            Value::Int(100)
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A stalled engine blocks new statements until the stall ends.
+    #[test]
+    fn stall_blocks_execution() {
+        use std::time::{Duration, Instant};
+        let (e, dir) = engine();
+        let e = std::sync::Arc::new(e);
+        let sid = e.create_session("app");
+        let e2 = std::sync::Arc::clone(&e);
+        let t = std::thread::spawn(move || e2.stall(Duration::from_millis(300)));
+        // Give the stall thread time to take the gate.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        e.execute(sid, "SELECT 1").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(150));
+        t.join().unwrap();
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

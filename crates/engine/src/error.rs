@@ -126,9 +126,9 @@ impl From<StoreError> for EngineError {
     fn from(e: StoreError) -> Self {
         let code = match &e {
             StoreError::TableExists(_) | StoreError::ProcExists(_) => ErrorCode::AlreadyExists,
-            StoreError::NoSuchTable(_) | StoreError::NoSuchProc(_) | StoreError::NoSuchRow { .. } => {
-                ErrorCode::NotFound
-            }
+            StoreError::NoSuchTable(_)
+            | StoreError::NoSuchProc(_)
+            | StoreError::NoSuchRow { .. } => ErrorCode::NotFound,
             StoreError::DuplicateKey(_) | StoreError::ArityMismatch { .. } => ErrorCode::Constraint,
         };
         EngineError::new(code, e.to_string())
@@ -141,8 +141,12 @@ impl From<DbError> for EngineError {
             DbError::Store(s) => s.into(),
             DbError::Io(io) => EngineError::new(ErrorCode::Storage, io.to_string()),
             DbError::Decode(d) => EngineError::new(ErrorCode::Storage, d.to_string()),
-            DbError::NoSuchTxn(t) => EngineError::new(ErrorCode::Txn, format!("no such transaction {t}")),
-            DbError::TxnActive(t) => EngineError::new(ErrorCode::Txn, format!("transaction {t} active")),
+            DbError::NoSuchTxn(t) => {
+                EngineError::new(ErrorCode::Txn, format!("no such transaction {t}"))
+            }
+            DbError::TxnActive(t) => {
+                EngineError::new(ErrorCode::Txn, format!("transaction {t} active"))
+            }
         }
     }
 }

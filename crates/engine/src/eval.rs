@@ -144,7 +144,8 @@ pub fn literal_value(lit: &Literal) -> Result<Value> {
         Literal::String(s) => Value::Text(s.clone()),
         Literal::Bool(b) => Value::Bool(*b),
         Literal::Date(s) => Value::Date(
-            parse_date(s).ok_or_else(|| EngineError::type_err(format!("bad date literal '{s}'")))?,
+            parse_date(s)
+                .ok_or_else(|| EngineError::type_err(format!("bad date literal '{s}'")))?,
         ),
     })
 }
@@ -335,7 +336,9 @@ fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, env: &Env<'_>) -> Result
         (BinaryOp::Add, Value::Text(a), Value::Text(b)) => Ok(Value::Text(format!("{a}{b}"))),
         (BinaryOp::Add, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d + *n as i32)),
         (BinaryOp::Sub, Value::Date(d), Value::Int(n)) => Ok(Value::Date(d - *n as i32)),
-        (BinaryOp::Sub, Value::Date(a), Value::Date(b)) => Ok(Value::Int((*a as i64) - (*b as i64))),
+        (BinaryOp::Sub, Value::Date(a), Value::Date(b)) => {
+            Ok(Value::Int((*a as i64) - (*b as i64)))
+        }
         _ => {
             let (a, b) = match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => (a, b),
@@ -403,11 +406,19 @@ pub fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
         | (Date(_), Date(_)) => a.cmp(b),
         (Text(s), Date(_)) => match parse_date(s) {
             Some(d) => Date(d).cmp(b),
-            None => return Err(EngineError::type_err(format!("cannot compare '{s}' to a date"))),
+            None => {
+                return Err(EngineError::type_err(format!(
+                    "cannot compare '{s}' to a date"
+                )))
+            }
         },
         (Date(_), Text(s)) => match parse_date(s) {
             Some(d) => a.cmp(&Date(d)),
-            None => return Err(EngineError::type_err(format!("cannot compare a date to '{s}'"))),
+            None => {
+                return Err(EngineError::type_err(format!(
+                    "cannot compare a date to '{s}'"
+                )))
+            }
         },
         _ => {
             return Err(EngineError::type_err(format!(
@@ -537,7 +548,9 @@ fn scalar_function(name: &str, args: &[Value]) -> Result<Value> {
                 other => Err(EngineError::type_err(format!("MONTH({other})"))),
             }
         }
-        other => Err(EngineError::unsupported(format!("unknown function {other}()"))),
+        other => Err(EngineError::unsupported(format!(
+            "unknown function {other}()"
+        ))),
     }
 }
 
@@ -700,7 +713,11 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(5), Value::Text("Smith".into()), Value::Float(1.5)]
+        vec![
+            Value::Int(5),
+            Value::Text("Smith".into()),
+            Value::Float(1.5),
+        ]
     }
 
     #[test]
@@ -735,8 +752,14 @@ mod tests {
         let r = vec![Value::Int(5), Value::Null, Value::Float(1.0)];
         assert_eq!(eval_str("b = 'x'", &r).unwrap(), Value::Null);
         assert_eq!(eval_str("b = 'x' AND t.a = 5", &r).unwrap(), Value::Null);
-        assert_eq!(eval_str("b = 'x' AND t.a = 9", &r).unwrap(), Value::Bool(false));
-        assert_eq!(eval_str("b = 'x' OR t.a = 5", &r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("b = 'x' AND t.a = 9", &r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_str("b = 'x' OR t.a = 5", &r).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("NOT (b = 'x')", &r).unwrap(), Value::Null);
         assert_eq!(eval_str("b IS NULL", &r).unwrap(), Value::Bool(true));
         assert_eq!(eval_str("b IS NOT NULL", &r).unwrap(), Value::Bool(false));
@@ -755,14 +778,32 @@ mod tests {
 
     #[test]
     fn between_in_like() {
-        assert_eq!(eval_str("t.a BETWEEN 1 AND 10", &row()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a NOT BETWEEN 1 AND 4", &row()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a IN (1, 5, 9)", &row()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a NOT IN (1, 9)", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("t.a BETWEEN 1 AND 10", &row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a NOT BETWEEN 1 AND 4", &row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a IN (1, 5, 9)", &row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a NOT IN (1, 9)", &row()).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("t.a IN (1, NULL)", &row()).unwrap(), Value::Null);
         assert_eq!(eval_str("b LIKE 'Sm%'", &row()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("b LIKE '_mith'", &row()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("b NOT LIKE '%x%'", &row()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("b LIKE '_mith'", &row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("b NOT LIKE '%x%'", &row()).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -791,13 +832,31 @@ mod tests {
     #[test]
     fn scalar_functions() {
         assert_eq!(eval_str("ABS(-3)", &row()).unwrap(), Value::Int(3));
-        assert_eq!(eval_str("UPPER(b)", &row()).unwrap(), Value::Text("SMITH".into()));
+        assert_eq!(
+            eval_str("UPPER(b)", &row()).unwrap(),
+            Value::Text("SMITH".into())
+        );
         assert_eq!(eval_str("LENGTH(b)", &row()).unwrap(), Value::Int(5));
-        assert_eq!(eval_str("SUBSTR(b, 2, 3)", &row()).unwrap(), Value::Text("mit".into()));
-        assert_eq!(eval_str("COALESCE(NULL, 7)", &row()).unwrap(), Value::Int(7));
-        assert_eq!(eval_str("ROUND(2.567, 2)", &row()).unwrap(), Value::Float(2.57));
-        assert_eq!(eval_str("YEAR(DATE '1994-03-01')", &row()).unwrap(), Value::Int(1994));
-        assert_eq!(eval_str("MONTH(DATE '1994-03-01')", &row()).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_str("SUBSTR(b, 2, 3)", &row()).unwrap(),
+            Value::Text("mit".into())
+        );
+        assert_eq!(
+            eval_str("COALESCE(NULL, 7)", &row()).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval_str("ROUND(2.567, 2)", &row()).unwrap(),
+            Value::Float(2.57)
+        );
+        assert_eq!(
+            eval_str("YEAR(DATE '1994-03-01')", &row()).unwrap(),
+            Value::Int(1994)
+        );
+        assert_eq!(
+            eval_str("MONTH(DATE '1994-03-01')", &row()).unwrap(),
+            Value::Int(3)
+        );
         assert!(eval_str("NO_SUCH_FN(1)", &row()).is_err());
     }
 
@@ -841,7 +900,9 @@ mod tests {
     #[test]
     fn contains_aggregate_walks_tree() {
         assert!(contains_aggregate(&expr_of("1 + SUM(t.a)")));
-        assert!(contains_aggregate(&expr_of("CASE WHEN COUNT(*) > 1 THEN 1 END")));
+        assert!(contains_aggregate(&expr_of(
+            "CASE WHEN COUNT(*) > 1 THEN 1 END"
+        )));
         assert!(!contains_aggregate(&expr_of("t.a + 1")));
     }
 

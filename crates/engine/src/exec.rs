@@ -32,7 +32,11 @@ pub struct CatalogView<'a> {
 impl Catalog for CatalogView<'_> {
     fn table(&self, name: &ObjectName) -> Result<&TableData> {
         let key = name.canonical();
-        let store = if name.is_temp() { self.temp } else { self.durable };
+        let store = if name.is_temp() {
+            self.temp
+        } else {
+            self.durable
+        };
         store.table(&key).map_err(EngineError::from)
     }
 }
@@ -299,7 +303,9 @@ mod tests {
 
     #[test]
     fn build_def_maps_types_and_pk() {
-        let stmt = parse_statement("CREATE TABLE ns.x (a INT NOT NULL, b VARCHAR(10), PRIMARY KEY (a))").unwrap();
+        let stmt =
+            parse_statement("CREATE TABLE ns.x (a INT NOT NULL, b VARCHAR(10), PRIMARY KEY (a))")
+                .unwrap();
         let c = match stmt {
             Statement::CreateTable(c) => c,
             other => panic!("{other:?}"),
@@ -324,7 +330,10 @@ mod tests {
             Statement::CreateTable(c) => c,
             other => panic!("{other:?}"),
         };
-        assert_eq!(build_table_def(&c).unwrap_err().code, ErrorCode::Unsupported);
+        assert_eq!(
+            build_table_def(&c).unwrap_err().code,
+            ErrorCode::Unsupported
+        );
     }
 
     #[test]
@@ -343,7 +352,10 @@ mod tests {
         };
         let rows = compute_insert_rows(&ins, &def, &view, None).unwrap();
         // v coerced int→float, s defaulted to NULL, order fixed up.
-        assert_eq!(rows, vec![vec![Value::Int(9), Value::Float(7.0), Value::Null]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(9), Value::Float(7.0), Value::Null]]
+        );
     }
 
     #[test]
@@ -373,7 +385,8 @@ mod tests {
             durable: &durable,
             temp: &temp,
         };
-        let stmt = parse_statement("INSERT INTO t SELECT id + 10, v, s FROM t WHERE id <= 2").unwrap();
+        let stmt =
+            parse_statement("INSERT INTO t SELECT id + 10, v, s FROM t WHERE id <= 2").unwrap();
         let ins = match stmt {
             Statement::Insert(i) => i,
             other => panic!("{other:?}"),
@@ -404,7 +417,10 @@ mod tests {
             Statement::Update(u) => u,
             other => panic!("{other:?}"),
         };
-        assert_eq!(compute_update(&upd, &data, None).unwrap_err().code, ErrorCode::Column);
+        assert_eq!(
+            compute_update(&upd, &data, None).unwrap_err().code,
+            ErrorCode::Column
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod exec;
 pub mod plan;
 pub mod session;
 
+pub use cursor::{CursorId, CursorKind, FetchDir};
 pub use engine::{Engine, EngineConfig, ExecOutcome, ExecResult};
 pub use error::{EngineError, ErrorCode};
-pub use cursor::{CursorId, CursorKind, FetchDir};
 pub use session::SessionId;

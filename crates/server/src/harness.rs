@@ -4,12 +4,15 @@
 //! database server):
 //!
 //! * [`ServerHarness::crash`] — stop accepting, **sever every client socket
-//!   first**, then drop the engine without a checkpoint. Severing before
-//!   dropping means a statement that committed an instant earlier can lose
-//!   its reply in flight — the exact lost-message window §3's reply-buffer
-//!   mechanism exists for. All volatile state (sessions, temp tables, open
-//!   cursors, in-flight transactions) is gone; only the data directory
-//!   remains.
+//!   first**, then take the engine out of the shared handle and drop it
+//!   without a checkpoint. Severing before dropping means a statement that
+//!   committed an instant earlier can lose its reply in flight — the exact
+//!   lost-message window §3's reply-buffer mechanism exists for. All
+//!   volatile state (sessions, temp tables, open cursors, in-flight
+//!   transactions) is gone; only the data directory remains. Statements
+//!   already executing finish against their cloned engine handle, but their
+//!   replies cannot reach the client and every *subsequent* request fails —
+//!   indistinguishable, from the client's side, from a dead process.
 //! * [`ServerHarness::restart`] — re-open the engine from the data directory
 //!   (real WAL recovery) and listen on the *same port*, so clients that keep
 //!   retrying the old address eventually get through — Phoenix's reconnect
@@ -33,7 +36,10 @@ pub struct ServerHarness {
 
 impl ServerHarness {
     /// Start a server over `data_dir` on an ephemeral port.
-    pub fn start(data_dir: impl AsRef<Path>, engine_config: EngineConfig) -> io::Result<ServerHarness> {
+    pub fn start(
+        data_dir: impl AsRef<Path>,
+        engine_config: EngineConfig,
+    ) -> io::Result<ServerHarness> {
         let data_dir = data_dir.as_ref().to_path_buf();
         let engine = Engine::open(&data_dir, engine_config.clone())
             .map_err(|e| io::Error::other(e.to_string()))?;
@@ -67,17 +73,32 @@ impl ServerHarness {
         self.server.is_some()
     }
 
+    /// Number of live client connections the server currently tracks.
+    /// `None` while crashed.
+    pub fn connection_count(&self) -> Option<usize> {
+        self.server.as_ref().map(|s| s.connection_count())
+    }
+
     /// Crash the server abruptly. See the module docs for the fault model.
     ///
-    /// Panics if called while already crashed (a test bug).
-    pub fn crash(&mut self) {
-        let server = self.server.take().expect("crash() on a server that is not running");
+    /// Errors with [`io::ErrorKind::NotConnected`] if the server is already
+    /// down — callers decide whether a double-crash is a test bug.
+    pub fn crash(&mut self) -> io::Result<()> {
+        let server = self.server.take().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                "crash() on a server that is not running",
+            )
+        })?;
         // 1. Sever client sockets — in-flight replies are lost.
         server.sever_connections();
-        // 2. Take the engine out and drop it with no checkpoint: all
-        //    volatile state dies. (RunningServer::stop also stops accepting.)
+        // 2. Take the engine out of the shared handle and drop it with no
+        //    checkpoint: all volatile state dies, and every request that
+        //    arrives after this instant fails. (RunningServer::stop also
+        //    stops accepting.)
         let engine = server.stop();
         drop(engine);
+        Ok(())
     }
 
     /// Restart after a crash: recover from the data directory and listen on
@@ -97,40 +118,43 @@ impl ServerHarness {
     /// Graceful shutdown: checkpoint, then stop.
     pub fn shutdown(&mut self) {
         if let Some(server) = self.server.take() {
-            if let Some(mut engine) = server.stop() {
+            if let Some(engine) = server.stop() {
                 let _ = engine.checkpoint();
             }
         }
     }
 
-    /// Stall the server for `d`: a background thread grabs the engine lock
-    /// and sleeps, so every in-flight and new request blocks without any
-    /// socket closing — the "server busy, connection slow, or crashed?"
-    /// ambiguity of paper §2. Clients with read timeouts see `Comm`
-    /// timeouts; the server itself never dies.
+    /// Stall the server for `d`: a background thread holds the engine's
+    /// stall gate exclusively, so every in-flight and new request blocks
+    /// without any socket closing — the "server busy, connection slow, or
+    /// crashed?" ambiguity of paper §2. Clients with read timeouts see
+    /// `Comm` timeouts; the server itself never dies.
     pub fn stall(&self, d: std::time::Duration) {
         if let Some(server) = &self.server {
-            let engine = std::sync::Arc::clone(&server.engine);
-            let started = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-            let flag = std::sync::Arc::clone(&started);
-            std::thread::spawn(move || {
-                let _guard = engine.lock();
-                flag.store(true, std::sync::atomic::Ordering::SeqCst);
-                std::thread::sleep(d);
-            });
-            // Don't return until the stall is actually in effect.
-            while !started.load(std::sync::atomic::Ordering::SeqCst) {
-                std::thread::sleep(std::time::Duration::from_millis(1));
+            let engine = server.engine.read().clone();
+            if let Some(engine) = engine {
+                let started = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let flag = std::sync::Arc::clone(&started);
+                std::thread::spawn(move || {
+                    engine.stall_with(d, move || {
+                        flag.store(true, std::sync::atomic::Ordering::SeqCst)
+                    });
+                });
+                // Don't return until the stall is actually in effect.
+                while !started.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
             }
         }
     }
 
-    /// Direct engine access while running (test setup shortcuts). Runs `f`
-    /// under the engine lock.
-    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> Option<R> {
+    /// Direct engine access while running (test setup shortcuts). The engine
+    /// is internally synchronized, so `f` gets a shared reference and runs
+    /// concurrently with client requests.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> Option<R> {
         let server = self.server.as_ref()?;
-        let mut guard = server.engine.lock();
-        guard.as_mut().map(f)
+        let engine = server.engine.read().clone();
+        engine.map(|e| f(&e))
     }
 }
 
@@ -152,7 +176,8 @@ mod tests {
     fn temp_dir() -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let d = std::env::temp_dir().join(format!("phoenix-server-test-{}-{n}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("phoenix-server-test-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -188,13 +213,34 @@ mod tests {
         let h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
         let mut s = connect(&h);
         login(&mut s);
-        call(&mut s, Request::Exec { sql: "CREATE TABLE t (v INT)".into() });
-        match call(&mut s, Request::Exec { sql: "INSERT INTO t VALUES (1), (2)".into() }) {
-            Response::Result { outcome: Outcome::RowsAffected(2), .. } => {}
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "CREATE TABLE t (v INT)".into(),
+            },
+        );
+        match call(
+            &mut s,
+            Request::Exec {
+                sql: "INSERT INTO t VALUES (1), (2)".into(),
+            },
+        ) {
+            Response::Result {
+                outcome: Outcome::RowsAffected(2),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
-        match call(&mut s, Request::Exec { sql: "SELECT COUNT(*) FROM t".into() }) {
-            Response::Result { outcome: Outcome::ResultSet { rows, .. }, .. } => {
+        match call(
+            &mut s,
+            Request::Exec {
+                sql: "SELECT COUNT(*) FROM t".into(),
+            },
+        ) {
+            Response::Result {
+                outcome: Outcome::ResultSet { rows, .. },
+                ..
+            } => {
                 assert_eq!(rows[0][0], phoenix_storage::types::Value::Int(2));
             }
             other => panic!("{other:?}"),
@@ -217,31 +263,63 @@ mod tests {
         let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
         let mut s = connect(&h);
         login(&mut s);
-        call(&mut s, Request::Exec { sql: "CREATE TABLE t (v INT)".into() });
-        call(&mut s, Request::Exec { sql: "INSERT INTO t VALUES (7)".into() });
-        call(&mut s, Request::Exec { sql: "CREATE TABLE #tmp (v INT)".into() });
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "CREATE TABLE t (v INT)".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "INSERT INTO t VALUES (7)".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "CREATE TABLE #tmp (v INT)".into(),
+            },
+        );
 
-        h.crash();
+        h.crash().unwrap();
 
         // The old connection is dead.
-        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
-        let dead = write_frame(&mut s, &Request::Ping.encode()).is_err()
-            || read_frame(&mut s).is_err();
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let dead =
+            write_frame(&mut s, &Request::Ping.encode()).is_err() || read_frame(&mut s).is_err();
         assert!(dead, "socket should be severed by crash");
+
+        // A double-crash is reported, not a panic.
+        assert!(h.crash().is_err());
 
         // And the port refuses / resets until restart.
         h.restart().unwrap();
         let mut s2 = connect(&h);
         login(&mut s2);
         // Durable data survived...
-        match call(&mut s2, Request::Exec { sql: "SELECT COUNT(*) FROM t".into() }) {
-            Response::Result { outcome: Outcome::ResultSet { rows, .. }, .. } => {
+        match call(
+            &mut s2,
+            Request::Exec {
+                sql: "SELECT COUNT(*) FROM t".into(),
+            },
+        ) {
+            Response::Result {
+                outcome: Outcome::ResultSet { rows, .. },
+                ..
+            } => {
                 assert_eq!(rows[0][0], phoenix_storage::types::Value::Int(1));
             }
             other => panic!("{other:?}"),
         }
         // ...the temp table did not.
-        match call(&mut s2, Request::Exec { sql: "SELECT * FROM #tmp".into() }) {
+        match call(
+            &mut s2,
+            Request::Exec {
+                sql: "SELECT * FROM #tmp".into(),
+            },
+        ) {
             Response::Err { .. } => {}
             other => panic!("{other:?}"),
         }
@@ -257,7 +335,12 @@ mod tests {
         {
             let mut s = connect(&h);
             login(&mut s);
-            call(&mut s, Request::Exec { sql: "CREATE TABLE #mine (v INT)".into() });
+            call(
+                &mut s,
+                Request::Exec {
+                    sql: "CREATE TABLE #mine (v INT)".into(),
+                },
+            );
             // Drop without logout — client vanished.
         }
         // Give the server a moment to notice the disconnect.
@@ -272,16 +355,44 @@ mod tests {
         let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
         let mut s = connect(&h);
         login(&mut s);
-        call(&mut s, Request::Exec { sql: "CREATE TABLE t (v INT)".into() });
-        call(&mut s, Request::Exec { sql: "INSERT INTO t VALUES (1)".into() });
-        call(&mut s, Request::Exec { sql: "BEGIN".into() });
-        call(&mut s, Request::Exec { sql: "DELETE FROM t".into() });
-        h.crash();
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "CREATE TABLE t (v INT)".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "INSERT INTO t VALUES (1)".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "BEGIN".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "DELETE FROM t".into(),
+            },
+        );
+        h.crash().unwrap();
         h.restart().unwrap();
         let mut s2 = connect(&h);
         login(&mut s2);
-        match call(&mut s2, Request::Exec { sql: "SELECT COUNT(*) FROM t".into() }) {
-            Response::Result { outcome: Outcome::ResultSet { rows, .. }, .. } => {
+        match call(
+            &mut s2,
+            Request::Exec {
+                sql: "SELECT COUNT(*) FROM t".into(),
+            },
+        ) {
+            Response::Result {
+                outcome: Outcome::ResultSet { rows, .. },
+                ..
+            } => {
                 assert_eq!(rows[0][0], phoenix_storage::types::Value::Int(1));
             }
             other => panic!("{other:?}"),
@@ -299,17 +410,45 @@ mod tests {
         let mut b = connect(&h);
         login(&mut a);
         login(&mut b);
-        call(&mut a, Request::Exec { sql: "CREATE TABLE shared (v INT)".into() });
-        call(&mut a, Request::Exec { sql: "INSERT INTO shared VALUES (1)".into() });
-        match call(&mut b, Request::Exec { sql: "SELECT COUNT(*) FROM shared".into() }) {
-            Response::Result { outcome: Outcome::ResultSet { rows, .. }, .. } => {
+        call(
+            &mut a,
+            Request::Exec {
+                sql: "CREATE TABLE shared (v INT)".into(),
+            },
+        );
+        call(
+            &mut a,
+            Request::Exec {
+                sql: "INSERT INTO shared VALUES (1)".into(),
+            },
+        );
+        match call(
+            &mut b,
+            Request::Exec {
+                sql: "SELECT COUNT(*) FROM shared".into(),
+            },
+        ) {
+            Response::Result {
+                outcome: Outcome::ResultSet { rows, .. },
+                ..
+            } => {
                 assert_eq!(rows[0][0], phoenix_storage::types::Value::Int(1));
             }
             other => panic!("{other:?}"),
         }
         // Sessions are isolated for temp objects.
-        call(&mut a, Request::Exec { sql: "CREATE TABLE #priv (v INT)".into() });
-        match call(&mut b, Request::Exec { sql: "SELECT * FROM #priv".into() }) {
+        call(
+            &mut a,
+            Request::Exec {
+                sql: "CREATE TABLE #priv (v INT)".into(),
+            },
+        );
+        match call(
+            &mut b,
+            Request::Exec {
+                sql: "SELECT * FROM #priv".into(),
+            },
+        ) {
             Response::Err { .. } => {}
             other => panic!("{other:?}"),
         }

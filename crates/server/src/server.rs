@@ -1,13 +1,21 @@
 //! The TCP request/response server.
 //!
 //! One OS thread per client connection, one engine session per connection.
-//! All engine access funnels through a single `Mutex<Option<Engine>>` —
-//! statement-level serialization, which is the concurrency model the
-//! evaluation needs (the paper's experiments are single-client). The `Option`
-//! is the crash switch: [`crate::harness::ServerHarness::crash`] takes the
-//! engine out and drops it, after which every request on every connection
-//! fails exactly as if the process had died.
+//! The engine itself is internally synchronized (per-session locks, a
+//! reader-writer store lock, group commit), so connections execute
+//! **concurrently**: dispatch takes a short shared lock only to clone the
+//! engine handle, then runs the request with no global lock held. Session B
+//! makes progress while session A sits in a long fetch.
+//!
+//! The `Option` inside [`SharedEngine`] is the crash switch:
+//! [`crate::harness::ServerHarness::crash`] takes the engine out atomically,
+//! after which every request on every connection fails exactly as if the
+//! process had died. Requests already executing finish against their cloned
+//! handle, but their replies are lost — the harness severs every socket
+//! before throwing the switch, which is precisely the lost-reply window the
+//! paper's reply-buffer mechanism exists for.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,14 +23,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use phoenix_engine::{cursor, Engine, EngineError, ErrorCode, ExecOutcome, SessionId};
 use phoenix_wire::frame::{read_frame, write_frame, FrameError};
 use phoenix_wire::message::{CursorKind, FetchDir, Outcome, Request, Response};
 
-/// Shared handle to the (possibly crashed) engine.
-pub type SharedEngine = Arc<Mutex<Option<Engine>>>;
+/// Shared handle to the (possibly crashed) engine. The outer lock is held
+/// only long enough to clone the inner `Arc` (dispatch) or to `take()` it
+/// (crash); request execution never holds it.
+pub type SharedEngine = Arc<RwLock<Option<Arc<Engine>>>>;
+
+/// Registry of live client streams, keyed by connection id so each
+/// connection can prune its own entry when it exits.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// A running server: listener thread + connection registry.
 pub struct RunningServer {
@@ -33,7 +47,7 @@ pub struct RunningServer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     /// Clones of every live client stream so a crash can sever them.
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnRegistry,
 }
 
 impl RunningServer {
@@ -44,9 +58,9 @@ impl RunningServer {
         listener.set_nonblocking(true)?;
         let port = listener.local_addr()?.port();
 
-        let engine: SharedEngine = Arc::new(Mutex::new(Some(engine)));
+        let engine: SharedEngine = Arc::new(RwLock::new(Some(Arc::new(engine))));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_engine = Arc::clone(&engine);
         let accept_shutdown = Arc::clone(&shutdown);
@@ -66,23 +80,28 @@ impl RunningServer {
         })
     }
 
+    /// Number of live client connections currently registered.
+    pub fn connection_count(&self) -> usize {
+        self.conns.lock().len()
+    }
+
     /// Sever every client connection immediately.
     pub fn sever_connections(&self) {
         let mut conns = self.conns.lock();
-        for c in conns.drain(..) {
+        for (_, c) in conns.drain() {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
     }
 
     /// Stop accepting, sever connections, and return the engine (if it has
     /// not already been crashed away).
-    pub fn stop(mut self) -> Option<Engine> {
+    pub fn stop(mut self) -> Option<Arc<Engine>> {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         self.sever_connections();
-        self.engine.lock().take()
+        self.engine.write().take()
     }
 }
 
@@ -100,20 +119,27 @@ fn accept_loop(
     listener: TcpListener,
     engine: SharedEngine,
     shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnRegistry,
 ) {
+    let mut next_conn: u64 = 1;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
+                let conn_id = next_conn;
+                next_conn += 1;
                 if let Ok(clone) = stream.try_clone() {
-                    conns.lock().push(clone);
+                    conns.lock().insert(conn_id, clone);
                 }
                 let engine = Arc::clone(&engine);
+                let conns = Arc::clone(&conns);
                 let _ = std::thread::Builder::new()
                     .name("phx-conn".into())
                     .spawn(move || {
                         serve_connection(stream, engine);
+                        // Prune this connection's registry entry; after a
+                        // sever the entry is already gone, which is fine.
+                        conns.lock().remove(&conn_id);
                     });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -160,10 +186,12 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
         }
     }
 
-    // Connection teardown kills the session (temp tables die with it).
+    // Connection teardown kills the session (temp tables die with it). Clone
+    // the handle out so the crash switch is never held across the close.
     if let Some(sid) = session {
-        if let Some(engine) = engine.lock().as_mut() {
-            let _ = engine.close_session(sid);
+        let eng = engine.read().clone();
+        if let Some(eng) = eng {
+            let _ = eng.close_session(sid);
         }
     }
 }
@@ -173,9 +201,9 @@ fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
 }
 
 fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Request) -> Response {
-    // Ping is answered even without a session — it is the recovery probe.
-    let mut guard = engine.lock();
-    let eng = match guard.as_mut() {
+    // Take a short shared lock to clone the engine handle, then execute with
+    // no global lock held — other connections proceed concurrently.
+    let eng = match engine.read().clone() {
         Some(e) => e,
         None => {
             // Crashed: every request fails. The socket will be severed by the
@@ -189,12 +217,19 @@ fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Req
     };
 
     match request {
+        // Ping is answered even without a session — it is the recovery probe.
         Request::Ping => Response::Pong,
         Request::Login {
             user,
             database: _,
             options,
         } => {
+            // A relogin on the same connection replaces the session: close
+            // the old one first so its temp objects, cursors, and any open
+            // transaction are torn down instead of leaking.
+            if let Some(old) = session.take() {
+                let _ = eng.close_session(old);
+            }
             let sid = eng.create_session(&user);
             for (name, value) in options {
                 // Initial options are ordinary SETs.

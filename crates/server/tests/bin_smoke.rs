@@ -4,7 +4,7 @@
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -20,9 +20,14 @@ fn temp_dir() -> PathBuf {
     d
 }
 
-fn spawn_server(data: &PathBuf, port: u16) -> Child {
+fn spawn_server(data: &Path, port: u16) -> Child {
     Command::new(env!("CARGO_BIN_EXE_phoenix-server"))
-        .args(["--data", data.to_str().unwrap(), "--port", &port.to_string()])
+        .args([
+            "--data",
+            data.to_str().unwrap(),
+            "--port",
+            &port.to_string(),
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::null())
         .stderr(Stdio::null())
@@ -35,9 +40,7 @@ fn wait_for_port(port: u16) -> TcpStream {
     loop {
         match TcpStream::connect(("127.0.0.1", port)) {
             Ok(s) => return s,
-            Err(_) if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(25))
-            }
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
             Err(e) => panic!("server never came up on {port}: {e}"),
         }
     }
@@ -96,8 +99,18 @@ fn server_binary_serves_and_persists_across_restarts() {
             Response::LoginAck { .. } => {}
             other => panic!("{other:?}"),
         }
-        call(&mut s, Request::Exec { sql: "CREATE TABLE t (v INT)".into() });
-        call(&mut s, Request::Exec { sql: "INSERT INTO t VALUES (1), (2), (3)".into() });
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "CREATE TABLE t (v INT)".into(),
+            },
+        );
+        call(
+            &mut s,
+            Request::Exec {
+                sql: "INSERT INTO t VALUES (1), (2), (3)".into(),
+            },
+        );
         match call(&mut s, Request::Logout) {
             Response::Bye => {}
             other => panic!("{other:?}"),
@@ -117,7 +130,12 @@ fn server_binary_serves_and_persists_across_restarts() {
                 options: vec![],
             },
         );
-        match call(&mut s, Request::Exec { sql: "SELECT COUNT(*) FROM t".into() }) {
+        match call(
+            &mut s,
+            Request::Exec {
+                sql: "SELECT COUNT(*) FROM t".into(),
+            },
+        ) {
             Response::Result {
                 outcome: Outcome::ResultSet { rows, .. },
                 ..

@@ -45,7 +45,11 @@ impl ObjectName {
     pub fn canonical(&self) -> String {
         match (&self.namespace, self.is_temp()) {
             (_, true) => self.name.to_ascii_lowercase(),
-            (Some(ns), false) => format!("{}.{}", ns.to_ascii_lowercase(), self.name.to_ascii_lowercase()),
+            (Some(ns), false) => format!(
+                "{}.{}",
+                ns.to_ascii_lowercase(),
+                self.name.to_ascii_lowercase()
+            ),
             (None, false) => format!("dbo.{}", self.name.to_ascii_lowercase()),
         }
     }
@@ -139,7 +143,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -540,7 +549,10 @@ mod tests {
     #[test]
     fn object_name_canonicalization() {
         assert_eq!(ObjectName::bare("Orders").canonical(), "dbo.orders");
-        assert_eq!(ObjectName::qualified("Phoenix", "RS_1").canonical(), "phoenix.rs_1");
+        assert_eq!(
+            ObjectName::qualified("Phoenix", "RS_1").canonical(),
+            "phoenix.rs_1"
+        );
         assert_eq!(ObjectName::bare("#Tmp").canonical(), "#tmp");
         assert!(ObjectName::bare("#t").is_temp());
         assert!(!ObjectName::qualified("dbo", "t").is_temp());
@@ -559,7 +571,9 @@ mod tests {
             Expr::binary(Expr::qcol("t", "b"), BinaryOp::Gt, Expr::lit_str("x")),
         );
         match e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn classification() {
         assert_eq!(kind("SELECT * FROM t"), RequestKind::Query);
-        assert_eq!(kind("INSERT INTO t VALUES (1)"), RequestKind::DataModification);
+        assert_eq!(
+            kind("INSERT INTO t VALUES (1)"),
+            RequestKind::DataModification
+        );
         assert_eq!(kind("UPDATE t SET a = 1"), RequestKind::DataModification);
         assert_eq!(kind("DELETE FROM t"), RequestKind::DataModification);
         assert_eq!(kind("CREATE TABLE t (a INT)"), RequestKind::Ddl);

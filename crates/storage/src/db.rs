@@ -11,11 +11,31 @@
 //! log order. A process crash at *any* point — including mid-append, which
 //! leaves a torn tail the WAL reader discards — recovers to a state
 //! containing exactly the committed transactions.
+//!
+//! # Concurrency
+//!
+//! All methods take `&self`; the layer is safe to share between sessions:
+//!
+//! * the store sits behind an `RwLock` so readers run concurrently and
+//!   mutations serialize;
+//! * every mutation holds the store write lock across its append+apply pair,
+//!   so write-ahead ordering is atomic with respect to other threads;
+//! * commits coalesce through a *group commit*: each committer appends its
+//!   commit record, then one committer (the leader) issues a single
+//!   `sync_data` covering every record appended so far while the rest wait
+//!   on a condition variable. N threads committing together therefore cost
+//!   far fewer than N syncs.
+//!
+//! Lock order (outer to inner): `store` → `wal` → `group.state`, and
+//! `store` → `active`. `active` and `wal` are never held together.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 
 use crate::record::LogRecord;
 use crate::store::{Store, StoreError, TableData};
@@ -81,26 +101,65 @@ impl From<DecodeError> for DbError {
 
 /// Inverse operations recorded per transaction for in-memory rollback.
 enum UndoOp {
-    RemoveRow { table: String, row_id: RowId },
-    ReinsertRow { table: String, row_id: RowId, row: Row },
-    RestoreRow { table: String, row_id: RowId, row: Row },
-    DropCreatedTable { name: String },
-    RestoreDroppedTable { data: TableData },
-    DropCreatedProc { name: String },
-    RestoreDroppedProc { name: String, sql: String },
+    RemoveRow {
+        table: String,
+        row_id: RowId,
+    },
+    ReinsertRow {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    RestoreRow {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    DropCreatedTable {
+        name: String,
+    },
+    RestoreDroppedTable {
+        data: TableData,
+    },
+    DropCreatedProc {
+        name: String,
+    },
+    RestoreDroppedProc {
+        name: String,
+        sql: String,
+    },
 }
 
-/// A durable, transactional store.
+/// Group-commit rendezvous. Committers take a monotonically increasing
+/// sequence number when they append their commit record; the first committer
+/// to find no leader flushes on everyone's behalf.
+struct GroupState {
+    /// Sequence number of the most recently appended commit record.
+    appended: u64,
+    /// All commit records with sequence ≤ `flushed` are on stable storage.
+    flushed: u64,
+    /// A leader is currently inside `sync_data`.
+    leader: bool,
+}
+
+struct GroupCommit {
+    state: Mutex<GroupState>,
+    /// Signalled whenever `flushed` advances or the leader seat frees up.
+    flushed_cv: Condvar,
+}
+
+/// A durable, transactional store, shareable across threads (`&self` API).
 pub struct Durable {
-    store: Store,
-    wal: Wal,
+    store: RwLock<Store>,
+    wal: Mutex<Wal>,
     dir: PathBuf,
     durability: Durability,
-    next_txn: TxnId,
-    active: HashMap<TxnId, Vec<UndoOp>>,
+    next_txn: AtomicU64,
+    active: Mutex<HashMap<TxnId, Vec<UndoOp>>>,
+    group: GroupCommit,
     /// Records appended since the last checkpoint (drives auto-checkpoint
     /// policy in the engine; the layer itself never checkpoints implicitly).
-    records_since_checkpoint: u64,
+    records_since_checkpoint: AtomicU64,
 }
 
 impl Durable {
@@ -144,19 +203,28 @@ impl Durable {
 
         let wal = Wal::open(Self::wal_path(&dir))?;
         Ok(Durable {
-            store,
-            wal,
+            store: RwLock::new(store),
+            wal: Mutex::new(wal),
             dir,
             durability,
-            next_txn: last_txn + 1,
-            active: HashMap::new(),
-            records_since_checkpoint: 0,
+            next_txn: AtomicU64::new(last_txn + 1),
+            active: Mutex::new(HashMap::new()),
+            group: GroupCommit {
+                state: Mutex::new(GroupState {
+                    appended: 0,
+                    flushed: 0,
+                    leader: false,
+                }),
+                flushed_cv: Condvar::new(),
+            },
+            records_since_checkpoint: AtomicU64::new(0),
         })
     }
 
-    /// Read-only view of the durable image.
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// Shared read access to the durable image. Hold the guard only as long
+    /// as the read needs it; mutations block while it is out.
+    pub fn store(&self) -> RwLockReadGuard<'_, Store> {
+        self.store.read()
     }
 
     /// The data directory.
@@ -171,61 +239,130 @@ impl Durable {
 
     /// Number of log records appended since the last checkpoint.
     pub fn log_records_since_checkpoint(&self) -> u64 {
-        self.records_since_checkpoint
+        self.records_since_checkpoint.load(Ordering::Relaxed)
     }
 
-    fn log(&mut self, rec: &LogRecord) -> Result<(), DbError> {
-        self.wal.append(&rec.encode())?;
-        self.records_since_checkpoint += 1;
+    /// Number of `sync_data` calls the WAL has issued (group-commit probe).
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.lock().sync_count()
+    }
+
+    /// Append one record. Callers that need write-ahead atomicity with a
+    /// store mutation must already hold the store write lock.
+    fn log(&self, rec: &LogRecord) -> Result<(), DbError> {
+        self.wal.lock().append(&rec.encode())?;
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Begin a new transaction.
-    pub fn begin(&mut self) -> Result<TxnId, DbError> {
-        let txn = self.next_txn;
-        self.next_txn += 1;
+    pub fn begin(&self) -> Result<TxnId, DbError> {
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
         self.log(&LogRecord::Begin { txn })?;
-        self.active.insert(txn, Vec::new());
+        self.active.lock().insert(txn, Vec::new());
         Ok(txn)
     }
 
     /// Commit: log the commit record and force the log (under `Fsync`).
-    pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
-        if self.active.remove(&txn).is_none() {
+    ///
+    /// Concurrent committers coalesce: each appends its record and takes a
+    /// group sequence number; one of them (the leader) syncs the file once
+    /// for every record appended so far, the rest wait until the flushed
+    /// watermark covers their own sequence number.
+    pub fn commit(&self, txn: TxnId) -> Result<(), DbError> {
+        if self.active.lock().remove(&txn).is_none() {
             return Err(DbError::NoSuchTxn(txn));
         }
-        self.log(&LogRecord::Commit { txn })?;
+        // Append the commit record and claim a sequence number; the group
+        // state is updated under the WAL lock so sequence order matches
+        // append order.
+        let seq = {
+            let mut wal = self.wal.lock();
+            wal.append(&LogRecord::Commit { txn }.encode())?;
+            self.records_since_checkpoint
+                .fetch_add(1, Ordering::Relaxed);
+            let mut st = self.group.state.lock();
+            st.appended += 1;
+            st.appended
+        };
         if self.durability == Durability::Fsync {
-            self.wal.sync()?;
+            self.group_sync(seq)?;
         }
         Ok(())
     }
 
+    /// Wait until the commit record with group sequence `seq` is durable,
+    /// taking the leader role if nobody else is flushing.
+    fn group_sync(&self, seq: u64) -> Result<(), DbError> {
+        let mut st = self.group.state.lock();
+        loop {
+            if st.flushed >= seq {
+                return Ok(());
+            }
+            if st.leader {
+                // A flush is in flight; it may or may not cover us. Wait for
+                // the watermark to move and re-check.
+                self.group.flushed_cv.wait(&mut st);
+                continue;
+            }
+            st.leader = true;
+            drop(st);
+            // Leader: one sync covers every record appended so far —
+            // including those of the committers now parked on the condvar.
+            let flush = {
+                let mut wal = self.wal.lock();
+                let upto = self.group.state.lock().appended;
+                wal.sync().map(|()| upto)
+            };
+            st = self.group.state.lock();
+            st.leader = false;
+            match flush {
+                Ok(upto) => {
+                    st.flushed = st.flushed.max(upto);
+                    self.group.flushed_cv.notify_all();
+                    // `upto` ≥ our `seq` (we appended before flushing), so
+                    // the next loop iteration returns Ok.
+                }
+                Err(e) => {
+                    // Wake waiters so one of them can retry as leader.
+                    self.group.flushed_cv.notify_all();
+                    return Err(DbError::Io(e));
+                }
+            }
+        }
+    }
+
     /// Abort: undo in memory (reverse order) and log the abort record.
-    pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
-        let undo = self.active.remove(&txn).ok_or(DbError::NoSuchTxn(txn))?;
+    pub fn abort(&self, txn: TxnId) -> Result<(), DbError> {
+        let undo = self
+            .active
+            .lock()
+            .remove(&txn)
+            .ok_or(DbError::NoSuchTxn(txn))?;
+        let mut store = self.store.write();
         for op in undo.into_iter().rev() {
             match op {
                 UndoOp::RemoveRow { table, row_id } => {
-                    self.store.table_mut(&table)?.delete(row_id)?;
+                    store.table_mut(&table)?.delete(row_id)?;
                 }
                 UndoOp::ReinsertRow { table, row_id, row } => {
-                    self.store.table_mut(&table)?.insert_with_id(row_id, row)?;
+                    store.table_mut(&table)?.insert_with_id(row_id, row)?;
                 }
                 UndoOp::RestoreRow { table, row_id, row } => {
-                    self.store.table_mut(&table)?.update(row_id, row)?;
+                    store.table_mut(&table)?.update(row_id, row)?;
                 }
                 UndoOp::DropCreatedTable { name } => {
-                    self.store.drop_table(&name)?;
+                    store.drop_table(&name)?;
                 }
                 UndoOp::RestoreDroppedTable { data } => {
-                    self.store.install_table(data);
+                    store.install_table(data);
                 }
                 UndoOp::DropCreatedProc { name } => {
-                    self.store.drop_proc(&name)?;
+                    store.drop_proc(&name)?;
                 }
                 UndoOp::RestoreDroppedProc { name, sql } => {
-                    self.store.create_proc(&name, &sql)?;
+                    store.create_proc(&name, &sql)?;
                 }
             }
         }
@@ -235,122 +372,159 @@ impl Durable {
 
     /// Is `txn` currently active?
     pub fn is_active(&self, txn: TxnId) -> bool {
-        self.active.contains_key(&txn)
+        self.active.lock().contains_key(&txn)
     }
 
-    fn undo_list(&mut self, txn: TxnId) -> Result<&mut Vec<UndoOp>, DbError> {
-        self.active.get_mut(&txn).ok_or(DbError::NoSuchTxn(txn))
+    /// Error unless `txn` is active.
+    fn check_active(&self, txn: TxnId) -> Result<(), DbError> {
+        if self.active.lock().contains_key(&txn) {
+            Ok(())
+        } else {
+            Err(DbError::NoSuchTxn(txn))
+        }
     }
 
-    // -- mutations (log first, then apply) ----------------------------------
+    /// Record an undo entry for `txn` (which the caller verified is active;
+    /// tolerate a concurrent removal by dropping the entry — the txn is gone
+    /// and its undo list with it).
+    fn push_undo(&self, txn: TxnId, op: UndoOp) {
+        if let Some(list) = self.active.lock().get_mut(&txn) {
+            list.push(op);
+        }
+    }
+
+    // -- mutations (log first, then apply; store write lock makes the pair
+    //    atomic with respect to other sessions) ------------------------------
 
     /// Insert a row (logged, undoable), returning its stable id.
-    pub fn insert(&mut self, txn: TxnId, table: &str, row: Row) -> Result<RowId, DbError> {
-        self.undo_list(txn)?;
+    pub fn insert(&self, txn: TxnId, table: &str, row: Row) -> Result<RowId, DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         // Determine the id the insert *will* get so the log matches the apply.
-        let row_id = self.store.table(table)?.next_row_id;
+        let row_id = store.table(table)?.next_row_id;
         self.log(&LogRecord::Insert {
             txn,
             table: table.to_string(),
             row_id,
             row: row.clone(),
         })?;
-        let assigned = self.store.table_mut(table)?.insert(row)?;
+        let assigned = store.table_mut(table)?.insert(row)?;
         debug_assert_eq!(assigned, row_id);
-        self.undo_list(txn)?.push(UndoOp::RemoveRow {
-            table: table.to_string(),
-            row_id,
-        });
+        self.push_undo(
+            txn,
+            UndoOp::RemoveRow {
+                table: table.to_string(),
+                row_id,
+            },
+        );
         Ok(row_id)
     }
 
     /// Delete a row by id (logged, undoable), returning its image.
-    pub fn delete(&mut self, txn: TxnId, table: &str, row_id: RowId) -> Result<Row, DbError> {
-        self.undo_list(txn)?;
+    pub fn delete(&self, txn: TxnId, table: &str, row_id: RowId) -> Result<Row, DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::Delete {
             txn,
             table: table.to_string(),
             row_id,
         })?;
-        let row = self.store.table_mut(table)?.delete(row_id)?;
-        self.undo_list(txn)?.push(UndoOp::ReinsertRow {
-            table: table.to_string(),
-            row_id,
-            row: row.clone(),
-        });
+        let row = store.table_mut(table)?.delete(row_id)?;
+        self.push_undo(
+            txn,
+            UndoOp::ReinsertRow {
+                table: table.to_string(),
+                row_id,
+                row: row.clone(),
+            },
+        );
         Ok(row)
     }
 
     /// Replace a row in place (logged, undoable), returning the old image.
-    pub fn update(&mut self, txn: TxnId, table: &str, row_id: RowId, row: Row) -> Result<Row, DbError> {
-        self.undo_list(txn)?;
+    pub fn update(&self, txn: TxnId, table: &str, row_id: RowId, row: Row) -> Result<Row, DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::Update {
             txn,
             table: table.to_string(),
             row_id,
             row: row.clone(),
         })?;
-        let old = self.store.table_mut(table)?.update(row_id, row)?;
-        self.undo_list(txn)?.push(UndoOp::RestoreRow {
-            table: table.to_string(),
-            row_id,
-            row: old.clone(),
-        });
+        let old = store.table_mut(table)?.update(row_id, row)?;
+        self.push_undo(
+            txn,
+            UndoOp::RestoreRow {
+                table: table.to_string(),
+                row_id,
+                row: old.clone(),
+            },
+        );
         Ok(old)
     }
 
     /// Create a table (logged, undoable).
-    pub fn create_table(&mut self, txn: TxnId, def: TableDef) -> Result<(), DbError> {
-        self.undo_list(txn)?;
+    pub fn create_table(&self, txn: TxnId, def: TableDef) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::CreateTable {
             txn,
             def: def.clone(),
         })?;
         let name = def.name.clone();
-        self.store.create_table(def)?;
-        self.undo_list(txn)?.push(UndoOp::DropCreatedTable { name });
+        store.create_table(def)?;
+        self.push_undo(txn, UndoOp::DropCreatedTable { name });
         Ok(())
     }
 
     /// Drop a table (logged; abort restores it with its rows).
-    pub fn drop_table(&mut self, txn: TxnId, name: &str) -> Result<(), DbError> {
-        self.undo_list(txn)?;
+    pub fn drop_table(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::DropTable {
             txn,
             name: name.to_string(),
         })?;
-        let data = self.store.drop_table(name)?;
-        self.undo_list(txn)?.push(UndoOp::RestoreDroppedTable { data });
+        let data = store.drop_table(name)?;
+        self.push_undo(txn, UndoOp::RestoreDroppedTable { data });
         Ok(())
     }
 
     /// Register a stored procedure (logged, undoable).
-    pub fn create_proc(&mut self, txn: TxnId, name: &str, sql: &str) -> Result<(), DbError> {
-        self.undo_list(txn)?;
+    pub fn create_proc(&self, txn: TxnId, name: &str, sql: &str) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::CreateProc {
             txn,
             name: name.to_string(),
             sql: sql.to_string(),
         })?;
-        self.store.create_proc(name, sql)?;
-        self.undo_list(txn)?.push(UndoOp::DropCreatedProc {
-            name: name.to_string(),
-        });
+        store.create_proc(name, sql)?;
+        self.push_undo(
+            txn,
+            UndoOp::DropCreatedProc {
+                name: name.to_string(),
+            },
+        );
         Ok(())
     }
 
     /// Drop a stored procedure (logged; abort restores it).
-    pub fn drop_proc(&mut self, txn: TxnId, name: &str) -> Result<(), DbError> {
-        self.undo_list(txn)?;
+    pub fn drop_proc(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let mut store = self.store.write();
         self.log(&LogRecord::DropProc {
             txn,
             name: name.to_string(),
         })?;
-        let sql = self.store.drop_proc(name)?;
-        self.undo_list(txn)?.push(UndoOp::RestoreDroppedProc {
-            name: name.to_string(),
-            sql,
-        });
+        let sql = store.drop_proc(name)?;
+        self.push_undo(
+            txn,
+            UndoOp::RestoreDroppedProc {
+                name: name.to_string(),
+                sql,
+            },
+        );
         Ok(())
     }
 
@@ -360,14 +534,39 @@ impl Durable {
     /// Requires no active transactions (the engine quiesces first); a
     /// snapshot + truncate with an in-flight transaction would otherwise
     /// capture its uncommitted effects without the log records needed to
-    /// decide its fate.
-    pub fn checkpoint(&mut self) -> Result<(), DbError> {
-        if let Some((&txn, _)) = self.active.iter().next() {
+    /// decide its fate. The store write lock is held across snapshot and
+    /// truncate so no mutation can land between the two.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let store = self.store.write();
+        self.checkpoint_locked(&store)
+    }
+
+    /// Non-blocking [`Self::checkpoint`]: returns `Ok(false)` without doing
+    /// anything if the store is busy (a reader or writer holds the lock).
+    ///
+    /// Background/best-effort callers must use this rather than
+    /// `checkpoint()`: merely *queueing* for the store write lock behind a
+    /// long-running reader blocks every new reader until that reader
+    /// finishes (writer-priority rwlock), turning an opportunistic
+    /// checkpoint into a server-wide stall.
+    pub fn try_checkpoint(&self) -> Result<bool, DbError> {
+        match self.store.try_write() {
+            Some(store) => self.checkpoint_locked(&store).map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    fn checkpoint_locked(&self, store: &Store) -> Result<(), DbError> {
+        if let Some(txn) = self.active.lock().keys().next().copied() {
             return Err(DbError::TxnActive(txn));
         }
-        snapshot::write(Self::snapshot_path(&self.dir), &self.store, self.next_txn - 1)?;
-        self.wal.truncate()?;
-        self.records_since_checkpoint = 0;
+        snapshot::write(
+            Self::snapshot_path(&self.dir),
+            store,
+            self.next_txn.load(Ordering::Relaxed) - 1,
+        )?;
+        self.wal.lock().truncate()?;
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -405,7 +604,7 @@ mod tests {
     fn committed_work_survives_reopen() {
         let dir = temp_dir();
         {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.create_table(t, def()).unwrap();
             db.insert(t, "dbo.t", row(1, "a")).unwrap();
@@ -414,8 +613,10 @@ mod tests {
             // Simulate crash: drop without checkpoint.
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        let t = db.store().table("dbo.t").unwrap();
+        let store = db.store();
+        let t = store.table("dbo.t").unwrap();
         assert_eq!(t.len(), 2);
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -423,7 +624,7 @@ mod tests {
     fn uncommitted_work_is_lost_on_reopen() {
         let dir = temp_dir();
         {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.create_table(t, def()).unwrap();
             db.commit(t).unwrap();
@@ -439,7 +640,7 @@ mod tests {
     #[test]
     fn abort_rolls_back_in_memory() {
         let dir = temp_dir();
-        let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
         db.create_table(t, def()).unwrap();
         db.insert(t, "dbo.t", row(1, "a")).unwrap();
@@ -452,18 +653,20 @@ mod tests {
         db.create_proc(t2, "p", "SELECT 1").unwrap();
         db.abort(t2).unwrap();
 
-        let tbl = db.store().table("dbo.t").unwrap();
+        let store = db.store();
+        let tbl = store.table("dbo.t").unwrap();
         assert_eq!(tbl.len(), 1);
         assert_eq!(tbl.rows[&1], row(1, "a"));
         assert!(!tbl.rows.contains_key(&rid));
-        assert!(db.store().proc("p").is_none());
+        assert!(store.proc("p").is_none());
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn abort_restores_dropped_table() {
         let dir = temp_dir();
-        let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
         db.create_table(t, def()).unwrap();
         db.insert(t, "dbo.t", row(1, "keep")).unwrap();
@@ -481,7 +684,7 @@ mod tests {
     fn checkpoint_truncates_log_and_preserves_state() {
         let dir = temp_dir();
         {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.create_table(t, def()).unwrap();
             for i in 0..10 {
@@ -503,7 +706,7 @@ mod tests {
     #[test]
     fn checkpoint_refused_with_active_txn() {
         let dir = temp_dir();
-        let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
         assert!(matches!(db.checkpoint(), Err(DbError::TxnActive(x)) if x == t));
         db.abort(t).unwrap();
@@ -515,12 +718,12 @@ mod tests {
     fn txn_ids_monotone_across_restarts() {
         let dir = temp_dir();
         let last = {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.commit(t).unwrap();
             t
         };
-        let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
         assert!(t > last);
         db.commit(t).unwrap();
@@ -531,7 +734,7 @@ mod tests {
     fn row_ids_stable_across_recovery() {
         let dir = temp_dir();
         {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.create_table(t, def()).unwrap();
             db.insert(t, "dbo.t", row(1, "a")).unwrap();
@@ -540,7 +743,7 @@ mod tests {
             db.commit(t).unwrap();
         }
         let dir2 = dir.clone();
-        let mut db = Durable::open(&dir2, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir2, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
         // A new insert must not reuse the deleted id 2.
         let rid = db.insert(t, "dbo.t", row(3, "c")).unwrap();
@@ -552,12 +755,130 @@ mod tests {
     #[test]
     fn mutating_unknown_txn_is_an_error() {
         let dir = temp_dir();
-        let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
         assert!(matches!(
             db.insert(999, "dbo.t", row(1, "x")),
             Err(DbError::NoSuchTxn(999))
         ));
         assert!(matches!(db.commit(999), Err(DbError::NoSuchTxn(999))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The guard returned by an oversized `Wal::append` surfaces through the
+    /// durability layer as an `Io` error even in release builds, instead of
+    /// silently writing a frame recovery would discard as a corrupt tail.
+    #[test]
+    fn oversized_row_is_refused_not_silently_dropped() {
+        use crate::wal::MAX_FRAME;
+        let dir = temp_dir();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def()).unwrap();
+        // A text value bigger than the frame cap; the encoded record is
+        // necessarily bigger still.
+        let huge = "x".repeat(MAX_FRAME as usize + 1);
+        let err = db
+            .insert(t, "dbo.t", vec![Value::Int(1), Value::Text(huge)])
+            .unwrap_err();
+        match err {
+            DbError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidInput),
+            other => panic!("expected Io(InvalidInput), got {other}"),
+        }
+        // The store was not touched (log-before-apply: the append failed
+        // before any apply) and the database remains usable.
+        assert!(db.store().table("dbo.t").unwrap().is_empty());
+        db.insert(t, "dbo.t", row(1, "small")).unwrap();
+        db.commit(t).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Concurrent committers must coalesce into fewer `sync_data` calls than
+    /// commits (the group-commit property the bench measures).
+    #[test]
+    fn group_commit_coalesces_syncs() {
+        use std::sync::Arc;
+        let dir = temp_dir();
+        let db = Arc::new(Durable::open(&dir, Durability::Fsync).unwrap());
+        let t = db.begin().unwrap();
+        db.create_table(t, def()).unwrap();
+        db.commit(t).unwrap();
+
+        let before = db.wal_sync_count();
+        const THREADS: usize = 8;
+        const COMMITS: usize = 25;
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|k| {
+                let db = Arc::clone(&db);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..COMMITS {
+                        let t = db.begin().unwrap();
+                        db.insert(t, "dbo.t", row((k * COMMITS + i) as i64 + 10, "w"))
+                            .unwrap();
+                        db.commit(t).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let syncs = db.wal_sync_count() - before;
+        let commits = (THREADS * COMMITS) as u64;
+        assert!(syncs >= 1, "commits must sync at least once");
+        assert!(
+            syncs < commits,
+            "expected group commit to coalesce: {syncs} syncs for {commits} commits"
+        );
+        assert_eq!(db.store().table("dbo.t").unwrap().len(), commits as usize);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Interleaved transactions from many threads all recover after a crash.
+    #[test]
+    fn concurrent_commits_all_recover() {
+        use std::sync::Arc;
+        let dir = temp_dir();
+        {
+            let db = Arc::new(Durable::open(&dir, Durability::Fsync).unwrap());
+            let t = db.begin().unwrap();
+            db.create_table(t, def()).unwrap();
+            db.commit(t).unwrap();
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    let db = Arc::clone(&db);
+                    std::thread::spawn(move || {
+                        for i in 0..20 {
+                            let t = db.begin().unwrap();
+                            db.insert(t, "dbo.t", row((k * 20 + i) as i64, "v"))
+                                .unwrap();
+                            if i % 5 == 4 {
+                                // Sprinkle empty aborts between the commits,
+                                // plus an extra insert under the live txn.
+                                let a = db.begin().unwrap();
+                                db.insert(t, "dbo.t", row(1000 + (k * 20 + i) as i64, "tmp"))
+                                    .unwrap();
+                                db.abort(a).unwrap();
+                            }
+                            db.commit(t).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Crash: drop without checkpoint.
+        }
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let store = db.store();
+        let tbl = store.table("dbo.t").unwrap();
+        // 4 threads × 20 committed inserts each, plus 4×4 extra rows inserted
+        // under the *committed* txn t during the abort interludes.
+        assert_eq!(tbl.len(), 80 + 16);
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
@@ -584,7 +905,7 @@ mod reopen_tests {
     fn repeated_recovery_is_idempotent() {
         let dir = temp_dir();
         {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             let t = db.begin().unwrap();
             db.create_table(
                 t,
@@ -622,7 +943,7 @@ mod reopen_tests {
     fn alternating_checkpoints_and_crashes() {
         let dir = temp_dir();
         for round in 0..4 {
-            let mut db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
             if round == 0 {
                 let t = db.begin().unwrap();
                 db.create_table(

@@ -175,7 +175,8 @@ mod tests {
         )
         .unwrap();
         let t = s.table_mut("dbo.t").unwrap();
-        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
         t.insert(vec![Value::Int(2), Value::Null]).unwrap();
         s.create_proc("phoenix.p", "SELECT * FROM dbo.t").unwrap();
         s

@@ -53,8 +53,15 @@ impl fmt::Display for StoreError {
             StoreError::ProcExists(n) => write!(f, "procedure '{n}' already exists"),
             StoreError::NoSuchProc(n) => write!(f, "no such procedure '{n}'"),
             StoreError::DuplicateKey(n) => write!(f, "duplicate primary key in '{n}'"),
-            StoreError::ArityMismatch { table, expected, got } => {
-                write!(f, "row arity {got} does not match table '{table}' ({expected} columns)")
+            StoreError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity {got} does not match table '{table}' ({expected} columns)"
+                )
             }
             StoreError::NoSuchRow { table, row_id } => {
                 write!(f, "no row {row_id} in table '{table}'")
@@ -144,10 +151,13 @@ impl TableData {
 
     /// Remove a row by id, returning it.
     pub fn delete(&mut self, row_id: RowId) -> Result<Row, StoreError> {
-        let row = self.rows.remove(&row_id).ok_or_else(|| StoreError::NoSuchRow {
-            table: self.def.name.clone(),
-            row_id,
-        })?;
+        let row = self
+            .rows
+            .remove(&row_id)
+            .ok_or_else(|| StoreError::NoSuchRow {
+                table: self.def.name.clone(),
+                row_id,
+            })?;
         if self.def.has_primary_key() {
             self.pk_index.remove(&self.def.key_of(&row));
         }
@@ -309,7 +319,10 @@ impl Store {
             }
             LogRecord::Update {
                 table, row_id, row, ..
-            } => self.table_mut(table)?.update(*row_id, row.clone()).map(|_| ()),
+            } => self
+                .table_mut(table)?
+                .update(*row_id, row.clone())
+                .map(|_| ()),
             LogRecord::CreateTable { def, .. } => self.create_table(def.clone()),
             LogRecord::DropTable { name, .. } => self.drop_table(name).map(|_| ()),
             LogRecord::CreateProc { name, sql, .. } => self.create_proc(name, sql),
@@ -337,8 +350,12 @@ mod tests {
     #[test]
     fn insert_assigns_monotone_ids() {
         let mut t = TableData::new(keyed_def("dbo.c"));
-        let a = t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
-        let b = t.insert(vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::Text("b".into())])
+            .unwrap();
         assert!(b > a);
         assert_eq!(t.len(), 2);
     }
@@ -446,7 +463,8 @@ mod tests {
     #[test]
     fn recovery_reproduces_row_ids() {
         let mut t = TableData::new(keyed_def("dbo.t"));
-        t.insert_with_id(7, vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert_with_id(7, vec![Value::Int(1), Value::Null])
+            .unwrap();
         // next insert must not collide with the recovered id
         let id = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
         assert_eq!(id, 8);

@@ -447,7 +447,7 @@ mod tests {
 
     #[test]
     fn value_total_order_groups_types() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Text("a".into()),
             Value::Int(3),
             Value::Null,
@@ -486,7 +486,10 @@ mod tests {
 
     #[test]
     fn coercions() {
-        assert_eq!(Value::Int(3).coerce_to(DataType::Float), Some(Value::Float(3.0)));
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float),
+            Some(Value::Float(3.0))
+        );
         assert_eq!(Value::Float(3.5).coerce_to(DataType::Int), None);
         assert_eq!(Value::Null.coerce_to(DataType::Text), Some(Value::Null));
         assert_eq!(
@@ -516,12 +519,21 @@ mod tests {
             ]),
         )
         .with_primary_key(vec![1]);
-        assert_eq!(def.key_of(&vec![Value::Int(1), Value::Text("k".into())]), vec![Value::Text("k".into())]);
+        assert_eq!(
+            def.key_of(&vec![Value::Int(1), Value::Text("k".into())]),
+            vec![Value::Text("k".into())]
+        );
     }
 
     #[test]
     fn data_type_names_roundtrip() {
-        for t in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Date] {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Date,
+        ] {
             assert_eq!(DataType::from_sql_name(t.sql_name()), Some(t));
         }
         assert_eq!(DataType::from_sql_name("VARCHAR"), Some(DataType::Text));

@@ -19,8 +19,10 @@ use std::path::{Path, PathBuf};
 use crate::crc::crc32;
 
 /// Maximum accepted payload size (64 MiB). A length field larger than this is
-/// treated as tail corruption rather than an attempt to allocate wildly.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
+/// treated as tail corruption rather than an attempt to allocate wildly, and
+/// [`Wal::append`] refuses to write a larger frame — it would look committed
+/// in memory but vanish as a "corrupt tail" on the next recovery.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// An open write-ahead log.
 pub struct Wal {
@@ -28,6 +30,10 @@ pub struct Wal {
     path: PathBuf,
     /// Bytes appended since the last sync, used by tests and stats.
     unsynced: usize,
+    /// Number of `sync_data` calls issued over the log's lifetime — the
+    /// probe group-commit tests use to assert that concurrent commits
+    /// coalesce into fewer syncs.
+    sync_calls: u64,
 }
 
 impl Wal {
@@ -44,14 +50,27 @@ impl Wal {
             file,
             path,
             unsynced: 0,
+            sync_calls: 0,
         })
     }
 
     /// Append one framed record. The bytes are written to the OS but not
     /// necessarily forced to stable storage; call [`Wal::sync`] (commit) for
     /// that.
+    ///
+    /// A payload larger than [`MAX_FRAME`] is refused: the reader treats such
+    /// a length as a corrupt tail, so writing it would silently drop the
+    /// record (and everything after it) at the next recovery.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
-        debug_assert!((payload.len() as u32) <= MAX_FRAME);
+        if payload.len() > MAX_FRAME as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "WAL frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                    payload.len()
+                ),
+            ));
+        }
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -64,8 +83,14 @@ impl Wal {
     /// Force all appended frames to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
+        self.sync_calls += 1;
         self.unsynced = 0;
         Ok(())
+    }
+
+    /// Number of `sync_data` calls issued so far (stats/test probe).
+    pub fn sync_count(&self) -> u64 {
+        self.sync_calls
     }
 
     /// Truncate the log to zero length (after a successful checkpoint).

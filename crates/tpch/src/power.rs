@@ -114,9 +114,7 @@ pub fn run_power_test(
             let start = Instant::now();
             let mut item_rows = 0;
             for sql in stmts {
-                item_rows += exec
-                    .exec_sql(sql)
-                    .map_err(|e| format!("{name}: {e}"))?;
+                item_rows += exec.exec_sql(sql).map_err(|e| format!("{name}: {e}"))?;
             }
             samples[i].push(start.elapsed().as_secs_f64());
             rows[i] = item_rows;

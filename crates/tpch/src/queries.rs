@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn suite_covers_operator_mix() {
         let all: String = QUERIES.iter().map(|q| q.sql).collect();
-        for token in ["GROUP BY", "ORDER BY", "CASE", "LIKE", "BETWEEN", "IN (", "DISTINCT", "LIMIT"] {
+        for token in [
+            "GROUP BY", "ORDER BY", "CASE", "LIKE", "BETWEEN", "IN (", "DISTINCT", "LIMIT",
+        ] {
             assert!(all.contains(token), "suite missing {token}");
         }
         // At least one 6-way join (Q5).

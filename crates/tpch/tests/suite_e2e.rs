@@ -21,20 +21,24 @@ fn temp_dir() -> PathBuf {
 
 fn load(scale: f64) -> (Engine, u64, Tpch, PathBuf) {
     let dir = temp_dir();
-    let mut engine = Engine::open(&dir, EngineConfig::default()).unwrap();
+    let engine = Engine::open(&dir, EngineConfig::default()).unwrap();
     let sid = engine.create_session("bench");
     let t = Tpch::new(TpchConfig::default().with_scale(scale));
     for sql in t.setup_sql() {
-        engine.execute(sid, &sql).unwrap_or_else(|e| panic!("{e}: {}", &sql[..sql.len().min(100)]));
+        engine
+            .execute(sid, &sql)
+            .unwrap_or_else(|e| panic!("{e}: {}", &sql[..sql.len().min(100)]));
     }
     (engine, sid, t, dir)
 }
 
 #[test]
 fn all_queries_run_and_are_deterministic() {
-    let (mut engine, sid, _t, dir) = load(0.25);
+    let (engine, sid, _t, dir) = load(0.25);
     for q in QUERIES {
-        let a = engine.execute(sid, q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        let a = engine
+            .execute(sid, q.sql)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.name));
         let b = engine.execute(sid, q.sql).unwrap();
         match (&a.outcome, &b.outcome) {
             (
@@ -52,16 +56,20 @@ fn all_queries_run_and_are_deterministic() {
 
 #[test]
 fn query_shapes_are_plausible() {
-    let (mut engine, sid, _t, dir) = load(0.25);
+    let (engine, sid, _t, dir) = load(0.25);
 
     // Q1 groups by (returnflag, linestatus): at most 4 combinations exist in
     // the generator (R/F, A/F, N/O).
-    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q1").unwrap().sql).unwrap();
+    let r = engine
+        .execute(sid, phoenix_tpch::queries::by_name("Q1").unwrap().sql)
+        .unwrap();
     let n = r.rows().len();
     assert!((1..=4).contains(&n), "Q1 groups: {n}");
 
     // Q6 returns a single aggregate row with a positive revenue.
-    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q6").unwrap().sql).unwrap();
+    let r = engine
+        .execute(sid, phoenix_tpch::queries::by_name("Q6").unwrap().sql)
+        .unwrap();
     assert_eq!(r.rows().len(), 1);
     match &r.rows()[0][0] {
         Value::Float(f) => assert!(*f > 0.0, "Q6 revenue {f}"),
@@ -70,11 +78,15 @@ fn query_shapes_are_plausible() {
     }
 
     // Q3 respects its LIMIT.
-    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q3").unwrap().sql).unwrap();
+    let r = engine
+        .execute(sid, phoenix_tpch::queries::by_name("Q3").unwrap().sql)
+        .unwrap();
     assert!(r.rows().len() <= 10);
 
     // Q11 (the recovery-experiment query) returns a sizable ordered result.
-    let r = engine.execute(sid, phoenix_tpch::queries::by_name("Q11").unwrap().sql).unwrap();
+    let r = engine
+        .execute(sid, phoenix_tpch::queries::by_name("Q11").unwrap().sql)
+        .unwrap();
     assert!(!r.rows().is_empty(), "Q11 empty");
     let values: Vec<f64> = r
         .rows()
@@ -109,7 +121,10 @@ fn refresh_functions_round_trip() {
         inserted += engine.execute(sid, &sql).unwrap().affected();
     }
     assert!(inserted > 0);
-    assert_eq!(count(&mut engine, sid, "orders"), orders0 + t.refresh_orders);
+    assert_eq!(
+        count(&mut engine, sid, "orders"),
+        orders0 + t.refresh_orders
+    );
     assert!(count(&mut engine, sid, "lineitem") > lines0);
 
     // …and RF2 removes exactly what RF1 added.

@@ -569,7 +569,9 @@ mod tests {
         });
         roundtrip_req(Request::CloseCursor { cursor: 7 });
         roundtrip_req(Request::Ping);
-        roundtrip_req(Request::Describe { table: "dbo.orders".into() });
+        roundtrip_req(Request::Describe {
+            table: "dbo.orders".into(),
+        });
         roundtrip_req(Request::Logout);
     }
 

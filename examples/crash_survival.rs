@@ -28,7 +28,9 @@ fn env() -> Environment {
 
 /// The batch, written naively (no retry logic) against the native driver.
 fn native_batch(addr: &str) -> Result<i64, String> {
-    let mut conn = env().connect(addr, "billing", "db").map_err(|e| e.to_string())?;
+    let mut conn = env()
+        .connect(addr, "billing", "db")
+        .map_err(|e| e.to_string())?;
     conn.execute("CREATE TABLE IF_bills (id INT PRIMARY KEY, amount INT)")
         .map_err(|e| e.to_string())?;
     for i in 0..ITEMS {
@@ -47,8 +49,8 @@ fn phoenix_batch(addr: &str) -> Result<i64, String> {
     let mut cfg = PhoenixConfig::default();
     cfg.recovery.read_timeout = Some(Duration::from_millis(800));
     cfg.recovery.ping_interval = Duration::from_millis(25);
-    let mut db =
-        PhoenixConnection::connect(&env(), addr, "billing", "db", cfg).map_err(|e| e.to_string())?;
+    let mut db = PhoenixConnection::connect(&env(), addr, "billing", "db", cfg)
+        .map_err(|e| e.to_string())?;
     db.execute("CREATE TABLE PH_bills (id INT PRIMARY KEY, amount INT)")
         .map_err(|e| e.to_string())?;
     for i in 0..ITEMS {
@@ -71,14 +73,17 @@ fn phoenix_batch(addr: &str) -> Result<i64, String> {
 }
 
 /// Crash/restart the server every ~120 ms until told to stop.
-fn chaos(mut server: ServerHarness, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<ServerHarness> {
+fn chaos(
+    mut server: ServerHarness,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<ServerHarness> {
     std::thread::spawn(move || {
         while !stop.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(120));
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            server.crash();
+            server.crash().unwrap();
             std::thread::sleep(Duration::from_millis(80));
             server.restart().unwrap();
         }

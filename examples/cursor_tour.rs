@@ -31,11 +31,13 @@ fn main() {
     // Seed a ticket queue.
     {
         let mut conn = Environment::new().connect(&addr, "seed", "db").unwrap();
-        conn.execute("CREATE TABLE tickets (id INT PRIMARY KEY, state TEXT, priority INT)").unwrap();
+        conn.execute("CREATE TABLE tickets (id INT PRIMARY KEY, state TEXT, priority INT)")
+            .unwrap();
         let rows: Vec<String> = (1..=12)
             .map(|i| format!("({}, 'open', {})", i * 10, i % 3))
             .collect();
-        conn.execute(&format!("INSERT INTO tickets VALUES {}", rows.join(", "))).unwrap();
+        conn.execute(&format!("INSERT INTO tickets VALUES {}", rows.join(", ")))
+            .unwrap();
         conn.close();
     }
 
@@ -53,7 +55,9 @@ fn main() {
     let mut keyset = db.statement();
     keyset.set_cursor_type(PhoenixCursorKind::Keyset);
     keyset.set_fetch_block(3);
-    keyset.execute("SELECT id, state FROM tickets WHERE state = 'open'").unwrap();
+    keyset
+        .execute("SELECT id, state FROM tickets WHERE state = 'open'")
+        .unwrap();
     println!("  granted: {:?}", keyset.granted_cursor().unwrap());
 
     let first: Vec<i64> = (0..4)
@@ -64,14 +68,18 @@ fn main() {
     // Concurrent modifications while the cursor is open.
     {
         let mut admin = Environment::new().connect(&addr, "admin", "db").unwrap();
-        admin.execute("UPDATE tickets SET state = 'closed-by-admin' WHERE id = 70").unwrap();
+        admin
+            .execute("UPDATE tickets SET state = 'closed-by-admin' WHERE id = 70")
+            .unwrap();
         admin.execute("DELETE FROM tickets WHERE id = 80").unwrap();
-        admin.execute("INSERT INTO tickets VALUES (65, 'open', 9)").unwrap();
+        admin
+            .execute("INSERT INTO tickets VALUES (65, 'open', 9)")
+            .unwrap();
         admin.close();
     }
 
     // …and a crash for good measure.
-    server.crash();
+    server.crash().unwrap();
     let handle = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(250));
         server.restart().unwrap();
@@ -84,8 +92,12 @@ fn main() {
         rest.push((row[0].as_i64().unwrap(), row[1].to_string()));
     }
     println!("  remainder: {rest:?}");
-    println!("  → id 70 shows updated data, id 80 (deleted) was skipped, id 65 (inserted) is invisible");
-    assert!(rest.iter().any(|(id, s)| *id == 70 && s == "closed-by-admin"));
+    println!(
+        "  → id 70 shows updated data, id 80 (deleted) was skipped, id 65 (inserted) is invisible"
+    );
+    assert!(rest
+        .iter()
+        .any(|(id, s)| *id == 70 && s == "closed-by-admin"));
     assert!(!rest.iter().any(|(id, _)| *id == 80));
     assert!(!rest.iter().any(|(id, _)| *id == 65));
     let mut server = handle.join().unwrap();
@@ -94,7 +106,9 @@ fn main() {
     println!("\ndynamic cursor over the same predicate:");
     let mut dynamic = db.statement();
     dynamic.set_cursor_type(PhoenixCursorKind::Dynamic);
-    dynamic.execute("SELECT id FROM tickets WHERE state = 'open'").unwrap();
+    dynamic
+        .execute("SELECT id FROM tickets WHERE state = 'open'")
+        .unwrap();
     println!("  granted: {:?}", dynamic.granted_cursor().unwrap());
 
     let first = dynamic.fetch().unwrap().unwrap()[0].as_i64().unwrap();
@@ -102,11 +116,13 @@ fn main() {
 
     {
         let mut admin = Environment::new().connect(&addr, "admin", "db").unwrap();
-        admin.execute("INSERT INTO tickets VALUES (15, 'open', 5)").unwrap();
+        admin
+            .execute("INSERT INTO tickets VALUES (15, 'open', 5)")
+            .unwrap();
         admin.close();
     }
 
-    server.crash();
+    server.crash().unwrap();
     let handle = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(250));
         server.restart().unwrap();

@@ -90,30 +90,44 @@ fn run_application(addr: &str) -> f64 {
 fn seed(addr: &str) {
     let env = Environment::new();
     let mut conn = env.connect(addr, "dba", "sales").unwrap();
-    conn.execute("CREATE TABLE customers (id INT PRIMARY KEY, first_name TEXT, last_name TEXT, city TEXT)").unwrap();
+    conn.execute(
+        "CREATE TABLE customers (id INT PRIMARY KEY, first_name TEXT, last_name TEXT, city TEXT)",
+    )
+    .unwrap();
     conn.execute(
         "INSERT INTO customers VALUES \
          (1, 'Alice', 'Smith', 'Seattle'), (2, 'Bob', 'Jones', 'Portland'), \
          (3, 'Carol', 'Smith', 'Redmond'), (4, 'Dan', 'Smith', 'Spokane')",
     )
     .unwrap();
-    conn.execute("CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, amount FLOAT)").unwrap();
+    conn.execute("CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, amount FLOAT)")
+        .unwrap();
     let mut tuples = Vec::new();
     for i in 0..40 {
         // Customer 3 owns every fourth order.
         tuples.push(format!("({i}, {}, {}.50)", (i % 4) + 1, (i + 1) * 10));
     }
-    conn.execute(&format!("INSERT INTO orders VALUES {}", tuples.join(", "))).unwrap();
-    conn.execute("CREATE TABLE invoices (customer_id INT PRIMARY KEY, total FLOAT, order_count INT)").unwrap();
-    conn.execute("INSERT INTO invoices VALUES (1, 0.0, 0), (2, 0.0, 0), (3, 0.0, 0), (4, 0.0, 0)").unwrap();
+    conn.execute(&format!("INSERT INTO orders VALUES {}", tuples.join(", ")))
+        .unwrap();
+    conn.execute(
+        "CREATE TABLE invoices (customer_id INT PRIMARY KEY, total FLOAT, order_count INT)",
+    )
+    .unwrap();
+    conn.execute("INSERT INTO invoices VALUES (1, 0.0, 0), (2, 0.0, 0), (3, 0.0, 0), (4, 0.0, 0)")
+        .unwrap();
     conn.close();
 }
 
 fn read_invoice(addr: &str) -> (f64, i64) {
     let env = Environment::new();
     let mut conn = env.connect(addr, "dba", "sales").unwrap();
-    let r = conn.execute("SELECT total, order_count FROM invoices WHERE customer_id = 3").unwrap();
-    let out = (r.rows()[0][0].as_f64().unwrap(), r.rows()[0][1].as_i64().unwrap());
+    let r = conn
+        .execute("SELECT total, order_count FROM invoices WHERE customer_id = 3")
+        .unwrap();
+    let out = (
+        r.rows()[0][0].as_f64().unwrap(),
+        r.rows()[0][1].as_i64().unwrap(),
+    );
     conn.close();
     out
 }
@@ -134,7 +148,7 @@ fn main() {
     let killer = std::thread::spawn(move || {
         // Give the app time to reach step 5, then pull the plug.
         std::thread::sleep(Duration::from_millis(60));
-        server.crash();
+        server.crash().unwrap();
         std::thread::sleep(Duration::from_millis(250));
         server.restart().unwrap();
         server

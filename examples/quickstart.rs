@@ -32,14 +32,17 @@ fn main() {
     .unwrap();
 
     // 3. Ordinary SQL.
-    db.execute("CREATE TABLE greetings (id INT PRIMARY KEY, lang TEXT, text TEXT)").unwrap();
+    db.execute("CREATE TABLE greetings (id INT PRIMARY KEY, lang TEXT, text TEXT)")
+        .unwrap();
     db.execute(
         "INSERT INTO greetings VALUES \
          (1, 'en', 'hello'), (2, 'fr', 'bonjour'), (3, 'de', 'hallo'), (4, 'es', 'hola')",
     )
     .unwrap();
 
-    let r = db.execute("SELECT lang, text FROM greetings ORDER BY id").unwrap();
+    let r = db
+        .execute("SELECT lang, text FROM greetings ORDER BY id")
+        .unwrap();
     println!("\nbefore the crash:");
     for row in r.rows() {
         println!("  {} → {}", row[0], row[1]);
@@ -47,7 +50,7 @@ fn main() {
 
     // 4. The server crashes. (Nobody tells the application.)
     println!("\n*** crashing the database server ***");
-    server.crash();
+    server.crash().unwrap();
     let restarter = std::thread::spawn(move || {
         std::thread::sleep(std::time::Duration::from_millis(300));
         server.restart().unwrap();
@@ -56,7 +59,8 @@ fn main() {
 
     // 5. The application just keeps going; the next statement is simply a
     //    little slower while Phoenix recovers the session.
-    db.execute("INSERT INTO greetings VALUES (5, 'it', 'ciao')").unwrap();
+    db.execute("INSERT INTO greetings VALUES (5, 'it', 'ciao')")
+        .unwrap();
     let r = db.execute("SELECT COUNT(*) FROM greetings").unwrap();
     println!("after the crash, greetings count = {}", r.rows()[0][0]);
 

@@ -64,11 +64,14 @@ fn main() {
 
     println!("\ntop region:");
     let top = report.fetch_scroll(PhoenixFetch::Next, 1).unwrap();
-    println!("  {} — {} orders, {:.2} revenue", top[0][0], top[0][1], top[0][2]);
+    println!(
+        "  {} — {} orders, {:.2} revenue",
+        top[0][0], top[0][1], top[0][2]
+    );
 
     // The server dies while the analyst is scrolling around the report.
     println!("\n*** server crashes while the report is open ***");
-    server.crash();
+    server.crash().unwrap();
     let restarter = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(250));
         server.restart().unwrap();

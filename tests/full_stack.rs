@@ -29,7 +29,7 @@ fn temp_dir() -> PathBuf {
 /// Load the TPC-H workload directly into an engine at `dir`.
 fn load_tpch(dir: &PathBuf, scale: f64) -> Tpch {
     let workload = Tpch::new(TpchConfig::default().with_scale(scale));
-    let mut engine = Engine::open(dir, EngineConfig::default()).unwrap();
+    let engine = Engine::open(dir, EngineConfig::default()).unwrap();
     let sid = engine.create_session("loader");
     for sql in workload.setup_sql() {
         engine.execute(sid, &sql).unwrap();
@@ -75,7 +75,7 @@ fn query_suite_equivalent_under_crash_storm() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             std::thread::sleep(Duration::from_millis(80));
             h.restart().unwrap();
         }
@@ -105,7 +105,10 @@ fn query_suite_equivalent_under_crash_storm() {
     let harness = chaos.join().unwrap();
     pc.close();
     drop(harness);
-    assert!(recoveries > 0, "crash storm never hit the session in {sweeps} sweeps");
+    assert!(
+        recoveries > 0,
+        "crash storm never hit the session in {sweeps} sweeps"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -115,12 +118,13 @@ fn two_phoenix_sessions_survive_the_same_crash() {
     let mut harness = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
     let addr = harness.addr();
 
-    let mut a =
-        PhoenixConnection::connect(&Environment::new(), &addr, "a", "db", phoenix_config()).unwrap();
-    let mut b =
-        PhoenixConnection::connect(&Environment::new(), &addr, "b", "db", phoenix_config()).unwrap();
+    let mut a = PhoenixConnection::connect(&Environment::new(), &addr, "a", "db", phoenix_config())
+        .unwrap();
+    let mut b = PhoenixConnection::connect(&Environment::new(), &addr, "b", "db", phoenix_config())
+        .unwrap();
 
-    a.execute("CREATE TABLE shared (id INT PRIMARY KEY, who TEXT)").unwrap();
+    a.execute("CREATE TABLE shared (id INT PRIMARY KEY, who TEXT)")
+        .unwrap();
     a.execute("INSERT INTO shared VALUES (1, 'a')").unwrap();
     b.execute("INSERT INTO shared VALUES (2, 'b')").unwrap();
     // Both sessions hold temp objects through their redirections.
@@ -129,7 +133,7 @@ fn two_phoenix_sessions_survive_the_same_crash() {
     a.execute("INSERT INTO #mine VALUES (10)").unwrap();
     b.execute("INSERT INTO #mine VALUES (20)").unwrap();
 
-    harness.crash();
+    harness.crash().unwrap();
     let h = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(150));
         harness.restart().unwrap();
@@ -159,8 +163,10 @@ fn durable_state_survives_orderly_and_crash_restarts() {
     {
         let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
         let mut conn = Environment::new().connect(&h.addr(), "u", "db").unwrap();
-        conn.execute("CREATE TABLE log (id INT PRIMARY KEY, note TEXT)").unwrap();
-        conn.execute("INSERT INTO log VALUES (1, 'cycle one')").unwrap();
+        conn.execute("CREATE TABLE log (id INT PRIMARY KEY, note TEXT)")
+            .unwrap();
+        conn.execute("INSERT INTO log VALUES (1, 'cycle one')")
+            .unwrap();
         conn.close();
         h.shutdown();
     }
@@ -171,8 +177,9 @@ fn durable_state_survives_orderly_and_crash_restarts() {
             .with_read_timeout(Some(Duration::from_millis(500)))
             .connect(&h.addr(), "u", "db")
             .unwrap();
-        conn.execute("INSERT INTO log VALUES (2, 'cycle two')").unwrap();
-        h.crash();
+        conn.execute("INSERT INTO log VALUES (2, 'cycle two')")
+            .unwrap();
+        h.crash().unwrap();
         // Connection is dead — that's fine, durability is the point here.
         h.restart().unwrap();
         h.shutdown();
@@ -181,7 +188,9 @@ fn durable_state_survives_orderly_and_crash_restarts() {
     {
         let h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
         let mut conn = Environment::new().connect(&h.addr(), "u", "db").unwrap();
-        let r = conn.execute("SELECT id, note FROM log ORDER BY id").unwrap();
+        let r = conn
+            .execute("SELECT id, note FROM log ORDER BY id")
+            .unwrap();
         assert_eq!(
             r.rows(),
             &[
@@ -217,7 +226,7 @@ fn refresh_functions_exactly_once_through_phoenix_with_crashes() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             std::thread::sleep(Duration::from_millis(60));
             h.restart().unwrap();
         }
@@ -259,7 +268,8 @@ fn concurrent_sessions_exactly_once_under_chaos() {
         let mut seed =
             PhoenixConnection::connect(&Environment::new(), &addr, "seed", "db", phoenix_config())
                 .unwrap();
-        seed.execute("CREATE TABLE ledger (id INT PRIMARY KEY, who TEXT)").unwrap();
+        seed.execute("CREATE TABLE ledger (id INT PRIMARY KEY, who TEXT)")
+            .unwrap();
         seed.close();
     }
 
@@ -272,7 +282,7 @@ fn concurrent_sessions_exactly_once_under_chaos() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             std::thread::sleep(Duration::from_millis(60));
             h.restart().unwrap();
         }
@@ -347,7 +357,7 @@ fn long_session_soak_with_mixed_statements_under_chaos() {
             if chaos_stop.load(Ordering::SeqCst) {
                 break;
             }
-            h.crash();
+            h.crash().unwrap();
             std::thread::sleep(Duration::from_millis(70));
             h.restart().unwrap();
         }
@@ -357,24 +367,31 @@ fn long_session_soak_with_mixed_statements_under_chaos() {
     let mut pc =
         PhoenixConnection::connect(&Environment::new(), &addr, "soak", "db", phoenix_config())
             .unwrap();
-    pc.execute("CREATE TABLE acc (id INT PRIMARY KEY, bal INT)").unwrap();
-    pc.execute("INSERT INTO acc VALUES (1, 0), (2, 0)").unwrap();
-    pc.execute("CREATE TABLE #scratch (round INT, note TEXT)").unwrap();
-    pc.execute("CREATE PROCEDURE transfer (@amt INT) AS BEGIN \
-                UPDATE acc SET bal = bal - @amt WHERE id = 1; \
-                UPDATE acc SET bal = bal + @amt WHERE id = 2 END")
+    pc.execute("CREATE TABLE acc (id INT PRIMARY KEY, bal INT)")
         .unwrap();
+    pc.execute("INSERT INTO acc VALUES (1, 0), (2, 0)").unwrap();
+    pc.execute("CREATE TABLE #scratch (round INT, note TEXT)")
+        .unwrap();
+    pc.execute(
+        "CREATE PROCEDURE transfer (@amt INT) AS BEGIN \
+                UPDATE acc SET bal = bal - @amt WHERE id = 1; \
+                UPDATE acc SET bal = bal + @amt WHERE id = 2 END",
+    )
+    .unwrap();
 
     const ROUNDS: i64 = 12;
     for round in 0..ROUNDS {
         // Wrapped DML.
-        pc.execute(&format!("UPDATE acc SET bal = bal + 10 WHERE id = 1")).unwrap();
+        pc.execute("UPDATE acc SET bal = bal + 10 WHERE id = 1")
+            .unwrap();
         // Procedure with side effects (wrapped like DML).
         pc.execute("EXEC transfer (3)").unwrap();
         // Application transaction with several statements.
         pc.execute("BEGIN").unwrap();
-        pc.execute(&format!("INSERT INTO #scratch VALUES ({round}, 'in-txn')")).unwrap();
-        pc.execute("UPDATE acc SET bal = bal + 1 WHERE id = 2").unwrap();
+        pc.execute(&format!("INSERT INTO #scratch VALUES ({round}, 'in-txn')"))
+            .unwrap();
+        pc.execute("UPDATE acc SET bal = bal + 1 WHERE id = 2")
+            .unwrap();
         pc.execute("COMMIT").unwrap();
         // Materialized query sanity mid-stream.
         let r = pc.execute("SELECT SUM(bal) FROM acc").unwrap();
