@@ -1,0 +1,275 @@
+//! Mixed reader/writer throughput runner: aggregate statements/second for
+//! 1/2/4/8 concurrent clients issuing a fixed blend of point reads,
+//! Q13/Q16-style LIKE scans over comment text, multi-row inserts, and
+//! `INSERT … SELECT` materializations — the statement mix where a coarse
+//! store lock convoys every reader behind one queued writer.
+//!
+//! Emits `BENCH_rw_mix.json`. Run it once on the old tree, then re-run on
+//! the new tree with `--baseline <old.json>` to record both numbers side by
+//! side:
+//!
+//! ```text
+//! cargo run --release -p phoenix-bench --bin rw_mix -- --quick --out pre.json
+//! cargo run --release -p phoenix-bench --bin rw_mix -- --quick \
+//!     --baseline pre.json --out BENCH_rw_mix.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use phoenix_bench::BenchEnv;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Workload knobs; `quick` keeps the whole run in the tens of seconds so it
+/// can gate a PR, the full run is for real trend tracking.
+struct Params {
+    /// Rows in the document table every analytic reader statement scans.
+    doc_rows: u64,
+    /// Statements issued per client per timed run.
+    ops_per_client: usize,
+    /// Timed repetitions per client count (best rate wins, to shed noise).
+    reps: usize,
+}
+
+impl Params {
+    fn quick() -> Params {
+        Params {
+            doc_rows: 1_500,
+            ops_per_client: 96,
+            reps: 2,
+        }
+    }
+
+    fn full() -> Params {
+        Params {
+            doc_rows: 6_000,
+            ops_per_client: 320,
+            reps: 3,
+        }
+    }
+}
+
+/// TPC-H-comment-style text (~500 chars). A minority of rows carry the
+/// "special … requests … packages" sequence the Q13-shaped predicate looks
+/// for; others carry near-miss prefixes so the matcher pays real
+/// backtracking cost on every row.
+fn payload(i: u64) -> String {
+    let w = [
+        "furious", "ironic", "pending", "express", "regular", "unusual", "bold",
+    ];
+    let marker = match i % 7 {
+        3 => "special requests: packages",
+        5 => "special deposits detect",
+        _ => "quiet accounts integrate",
+    };
+    let mut s = format!("c{i:06} ");
+    for k in 0..4 {
+        s.push_str(&format!(
+            "{} deposits wake above the {} ideas; {} cajole slyly among the {} pearls; \
+             instructions nag {}. ",
+            w[((i + k) % 7) as usize],
+            w[((i / 7 + k) % 7) as usize],
+            if k == 2 {
+                marker
+            } else {
+                "quiet accounts integrate"
+            },
+            w[((i / 49 + k) % 7) as usize],
+            (i * 31 + k) % 997
+        ));
+    }
+    s
+}
+
+/// Build the document table once per environment.
+fn setup(env: &BenchEnv, p: &Params) {
+    let mut admin = env.native();
+    admin
+        .execute("CREATE TABLE rwdocs (id INT NOT NULL, grp INT, payload TEXT, PRIMARY KEY (id))")
+        .unwrap();
+    admin
+        .execute("CREATE TABLE rwops (client INT, seq INT, note TEXT)")
+        .unwrap();
+    admin
+        .execute("CREATE TABLE rwagg (id INT, grp INT)")
+        .unwrap();
+    let mut batch = Vec::with_capacity(100);
+    for i in 0..p.doc_rows {
+        batch.push(format!("({i}, {}, '{}')", i % 16, payload(i)));
+        if batch.len() == 100 || i + 1 == p.doc_rows {
+            admin
+                .execute(&format!("INSERT INTO rwdocs VALUES {}", batch.join(", ")))
+                .unwrap();
+            batch.clear();
+        }
+    }
+    admin.close();
+}
+
+/// One client's statement stream, in 8-statement rounds: four point reads,
+/// a Q13-shaped LIKE scan, a Q16-shaped NOT LIKE group scan, one 16-row
+/// insert, and one ~200-row `INSERT … SELECT` materialization.
+fn run_client(env: &BenchEnv, client: usize, p: &Params) {
+    let mut conn = env.native();
+    for i in 0..p.ops_per_client {
+        match i % 8 {
+            2 => {
+                conn.execute(
+                    "SELECT COUNT(*) FROM rwdocs \
+                     WHERE payload LIKE '%special%requests%packages%'",
+                )
+                .unwrap();
+            }
+            5 => {
+                conn.execute(
+                    "SELECT grp, COUNT(*) FROM rwdocs \
+                     WHERE payload NOT LIKE '%unusual%deposits%' GROUP BY grp",
+                )
+                .unwrap();
+            }
+            6 => {
+                let mut vals = Vec::with_capacity(16);
+                for j in 0..16 {
+                    vals.push(format!("({client}, {i}, 'note-{client}-{i}-{j}')"));
+                }
+                conn.execute(&format!("INSERT INTO rwops VALUES {}", vals.join(", ")))
+                    .unwrap();
+            }
+            7 => {
+                let lo = ((client * 131 + i * 37) as u64) % (p.doc_rows - 200);
+                conn.execute(&format!(
+                    "INSERT INTO rwagg SELECT id, grp FROM rwdocs \
+                     WHERE id >= {lo} AND id < {}",
+                    lo + 200
+                ))
+                .unwrap();
+            }
+            _ => {
+                let k = ((client * 977 + i * 61) as u64) % p.doc_rows;
+                conn.execute(&format!("SELECT grp FROM rwdocs WHERE id = {k}"))
+                    .unwrap();
+            }
+        }
+    }
+    conn.close();
+}
+
+fn run_once(env: &Arc<BenchEnv>, clients: usize, p: &Arc<Params>) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let env = Arc::clone(env);
+            let p = Arc::clone(p);
+            std::thread::spawn(move || run_client(&env, c, &p))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (clients * p.ops_per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn measure(p: Params) -> Vec<(usize, f64)> {
+    let p = Arc::new(p);
+    CLIENT_COUNTS
+        .iter()
+        .map(|&clients| {
+            // Fresh database per client count so accumulated writes from one
+            // run never slow the next.
+            let env = Arc::new(BenchEnv::empty());
+            setup(&env, &p);
+            let best = (0..p.reps)
+                .map(|_| run_once(&env, clients, &p))
+                .fold(0.0f64, f64::max);
+            eprintln!("rw_mix: {clients} client(s) -> {best:.0} stmts/s aggregate");
+            (clients, best)
+        })
+        .collect()
+}
+
+/// Pull `"N": rate` pairs out of the `"current"` object of a previous run's
+/// JSON output. Minimal by design: it only reads files this tool wrote.
+fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+    let obj = text
+        .split("\"current\"")
+        .nth(1)
+        .and_then(|rest| rest.split('{').nth(1))
+        .and_then(|rest| rest.split('}').next())
+        .unwrap_or_else(|| panic!("baseline file has no \"current\" object"));
+    obj.split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let clients = k.trim().trim_matches('"').parse().ok()?;
+            let rate = v.trim().parse().ok()?;
+            Some((clients, rate))
+        })
+        .collect()
+}
+
+fn json_rates(rates: &[(usize, f64)], indent: &str) -> String {
+    rates
+        .iter()
+        .map(|(c, r)| format!("{indent}\"{c}\": {r:.1}"))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_rw_mix.json");
+    let mut baseline_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline needs a path").clone())
+            }
+            other => panic!("unknown flag {other} (expected --quick/--out/--baseline)"),
+        }
+    }
+
+    let baseline = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+
+    let mode = if quick { "quick" } else { "full" };
+    let rates = measure(if quick {
+        Params::quick()
+    } else {
+        Params::full()
+    });
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"rw_mix\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str("  \"unit\": \"stmts_per_sec\",\n");
+    body.push_str(
+        "  \"workload\": \"per 8 stmts: 4 point reads, 1 LIKE scan, 1 NOT-LIKE group scan, \
+         1 16-row insert, 1 200-row insert-select\",\n",
+    );
+    body.push_str("  \"current\": {\n");
+    body.push_str(&json_rates(&rates, "    "));
+    body.push_str("\n  }");
+    if let Some(base) = &baseline {
+        body.push_str(",\n  \"pre_change\": {\n");
+        body.push_str(&json_rates(base, "    "));
+        body.push_str("\n  }");
+        let cur8 = rates.iter().find(|(c, _)| *c == 8).map(|(_, r)| *r);
+        let pre8 = base.iter().find(|(c, _)| *c == 8).map(|(_, r)| *r);
+        if let (Some(cur), Some(pre)) = (cur8, pre8) {
+            body.push_str(&format!(",\n  \"speedup_8_clients\": {:.2}", cur / pre));
+        }
+    }
+    body.push_str("\n}\n");
+
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{body}");
+    eprintln!("wrote {out}");
+}

@@ -586,7 +586,7 @@ fn eager_cleanup_bounds_server_growth() {
     }
 
     // …leave no lingering result tables: inspect the server directly.
-    let engine_tables: Vec<String> = h.with_engine(|e| e.durable_store().table_names()).unwrap();
+    let engine_tables: Vec<String> = h.with_engine(|e| e.snapshot().table_names()).unwrap();
     let rs_tables: Vec<&String> = engine_tables
         .iter()
         .filter(|n| n.starts_with("phoenix.rs_"))

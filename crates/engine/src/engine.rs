@@ -20,8 +20,11 @@
 //!   entries — looking a session up takes a short shared lock, and only the
 //!   *session's own* mutex is held while its statement runs, so different
 //!   sessions execute concurrently;
-//! * durable-store access goes through the storage layer's reader-writer
-//!   lock (reads run in parallel, mutations serialize, commits group-flush);
+//! * durable reads grab the storage layer's *published snapshot* — an O(1)
+//!   `Arc` clone — and execute against it with no lock held, so a long scan
+//!   never blocks writers and a queued writer never blocks new readers;
+//!   each statement (and each cursor fetch) takes a fresh snapshot, while
+//!   mutations serialize on the writer lock and commits group-flush;
 //! * the *stall gate* is a reader-writer lock every entry point acquires in
 //!   shared mode; the test harness takes it exclusively to simulate a server
 //!   that has stopped responding without dying.
@@ -30,12 +33,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, RwLock};
 use phoenix_sql::ast::{ExecStmt, ObjectName, SelectStmt, Statement};
 use phoenix_sql::display::render_statement;
 use phoenix_sql::parser::{parse_statement, parse_statements};
 use phoenix_storage::db::{Durability, Durable};
-use phoenix_storage::store::Store;
+use phoenix_storage::store::StoreSnapshot;
 use phoenix_storage::types::{Row, Schema, TxnId, Value};
 
 use crate::cursor::{Cursor, CursorId, CursorKind, FetchDir, Fetched};
@@ -145,10 +148,11 @@ impl Engine {
         })
     }
 
-    /// Shared read access to the durable store (tests, snapshot tooling).
-    /// Mutations block while the guard is held; keep it short-lived.
-    pub fn durable_store(&self) -> RwLockReadGuard<'_, Store> {
-        self.durable.store()
+    /// The durable store's current published snapshot (tests, tooling).
+    /// O(1), lock-free to hold: the image is immutable and later mutations
+    /// publish new snapshots without touching this one.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.durable.snapshot()
     }
 
     /// Number of `sync_data` calls the WAL has issued (group-commit probe).
@@ -310,9 +314,9 @@ impl Engine {
                 })
             }
             Statement::Select(sel) => {
-                let store = self.durable.store();
+                let snap = self.durable.snapshot();
                 let view = CatalogView {
-                    durable: &store,
+                    durable: &snap,
                     temp: &session.temp,
                 };
                 let rs = execute_select(sel, &view, params)?;
@@ -326,9 +330,9 @@ impl Engine {
             }
             Statement::Insert(ins) => {
                 let rows = {
-                    let store = self.durable.store();
+                    let snap = self.durable.snapshot();
                     let view = CatalogView {
-                        durable: &store,
+                        durable: &snap,
                         temp: &session.temp,
                     };
                     let def = view_def(&view, &ins.table)?;
@@ -341,11 +345,11 @@ impl Engine {
                         t.insert(row)?;
                     }
                 } else {
+                    // One WAL append (and one writer-lock round trip) for
+                    // the whole statement, however many rows it carries.
                     let name = ins.table.canonical();
                     self.with_txn(session, |db, txn| {
-                        for row in rows {
-                            db.insert(txn, &name, row)?;
-                        }
+                        db.insert_many(txn, &name, rows)?;
                         Ok(())
                     })?;
                 }
@@ -370,8 +374,8 @@ impl Engine {
                 } else {
                     let name = upd.table.canonical();
                     let changes = {
-                        let store = self.durable.store();
-                        compute_update(upd, store.table(&name)?, params)?
+                        let snap = self.durable.snapshot();
+                        compute_update(upd, snap.table(&name)?, params)?
                     };
                     let n = changes.len() as u64;
                     self.with_txn(session, |db, txn| {
@@ -402,8 +406,8 @@ impl Engine {
                 } else {
                     let name = del.table.canonical();
                     let ids = {
-                        let store = self.durable.store();
-                        compute_delete(del, store.table(&name)?, params)?
+                        let snap = self.durable.snapshot();
+                        compute_delete(del, snap.table(&name)?, params)?
                     };
                     let n = ids.len() as u64;
                     self.with_txn(session, |db, txn| {
@@ -436,7 +440,7 @@ impl Engine {
                         Err(e) => return Err(e.into()),
                     }
                 } else {
-                    let exists = self.durable.store().has_table(&key);
+                    let exists = self.durable.snapshot().has_table(&key);
                     if !exists {
                         if *if_exists {
                             return Ok(ExecResult::done());
@@ -455,7 +459,7 @@ impl Engine {
                 if p.name.is_temp() {
                     session.temp.create_proc(&key, &sql)?;
                 } else {
-                    if self.durable.store().has_proc(&key) {
+                    if self.durable.snapshot().has_proc(&key) {
                         return Err(EngineError::new(
                             ErrorCode::AlreadyExists,
                             format!("procedure '{}' already exists", p.name),
@@ -474,7 +478,7 @@ impl Engine {
                         Err(e) => return Err(e.into()),
                     }
                 } else {
-                    if !self.durable.store().has_proc(&key) {
+                    if !self.durable.snapshot().has_proc(&key) {
                         if *if_exists {
                             return Ok(ExecResult::done());
                         }
@@ -526,7 +530,7 @@ impl Engine {
         let sql = if call.name.is_temp() {
             session.temp.proc(&key).map(str::to_string)
         } else {
-            self.durable.store().proc(&key).map(str::to_string)
+            self.durable.snapshot().proc(&key).map(str::to_string)
         }
         .ok_or_else(|| EngineError::not_found(format!("no such procedure '{}'", call.name)))?;
 
@@ -589,9 +593,9 @@ impl Engine {
         let mut session = session.lock();
         let id = self.next_cursor.fetch_add(1, Ordering::Relaxed);
         let result = {
-            let store = self.durable.store();
+            let snap = self.durable.snapshot();
             let view = CatalogView {
-                durable: &store,
+                durable: &snap,
                 temp: &session.temp,
             };
             Cursor::open(id, select, kind, &view)
@@ -619,9 +623,11 @@ impl Engine {
             )),
             Some(mut cursor) => {
                 let r = {
-                    let store = self.durable.store();
+                    // A fresh snapshot per fetch: keyset/dynamic cursors see
+                    // data as of this fetch, and the scan holds no lock.
+                    let snap = self.durable.snapshot();
                     let view = CatalogView {
-                        durable: &store,
+                        durable: &snap,
                         temp: &session.temp,
                     };
                     cursor.fetch(dir, n, &view)
@@ -650,9 +656,9 @@ impl Engine {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
         let session = session.lock();
-        let store = self.durable.store();
+        let snap = self.durable.snapshot();
         let view = CatalogView {
-            durable: &store,
+            durable: &snap,
             temp: &session.temp,
         };
         use crate::plan::Catalog as _;
@@ -704,11 +710,10 @@ impl Engine {
                     .all(|s| s.try_lock().map(|g| g.txn.is_none()).unwrap_or(false));
                 if quiescent {
                     // Best effort, and non-blocking: `try_checkpoint` skips
-                    // the round when the store is busy instead of queueing
-                    // for the write lock — a queued writer would block every
-                    // new reader behind a long-running statement and stall
-                    // the whole server. Failure surfaces on the next
-                    // explicit `checkpoint()` call.
+                    // the round when another writer holds the working store
+                    // instead of queueing behind it. Readers are unaffected
+                    // either way — they run on published snapshots. Failure
+                    // surfaces on the next explicit `checkpoint()` call.
                     let _ = self.durable.try_checkpoint();
                 }
             }

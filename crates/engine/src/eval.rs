@@ -429,20 +429,196 @@ pub fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
     Ok(ord)
 }
 
-/// `LIKE` pattern matching: `%` any run, `_` any single char. Matching is
-/// case-sensitive, per ANSI.
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[char], p: &[char]) -> bool {
-        match p.split_first() {
-            None => s.is_empty(),
-            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
-            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
-            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+/// One compiled `LIKE` pattern element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pat {
+    /// A literal character.
+    Lit(char),
+    /// `_` — exactly one character.
+    One,
+    /// `%` — any run of characters (adjacent `%`s collapse at compile time).
+    Any,
+}
+
+/// A `LIKE` pattern compiled once and reused across every row of a scan —
+/// the predicate in a Q13/Q16-style filter runs the matcher once per row,
+/// and re-interpreting the pattern text each time dominated scan cost.
+#[derive(Debug)]
+enum LikePattern {
+    /// `[lit] % lit % … % [lit]` — no `_`, at least one `%`: matched with
+    /// plain substring scans (`str::find`) instead of per-character
+    /// stepping. This is the Q13/Q16 predicate shape and the hot path.
+    Segments {
+        /// Literal anchored at the start (pattern did not begin with `%`).
+        prefix: Option<String>,
+        /// Floating literals that must occur in order between the anchors.
+        middle: Vec<String>,
+        /// Literal anchored at the end (pattern did not end with `%`).
+        suffix: Option<String>,
+    },
+    /// Everything else: the general backtracking token matcher.
+    Tokens(Vec<Pat>),
+}
+
+impl LikePattern {
+    fn compile(pattern: &str) -> LikePattern {
+        let mut pats = Vec::with_capacity(pattern.len());
+        for c in pattern.chars() {
+            match c {
+                '%' => {
+                    if pats.last() != Some(&Pat::Any) {
+                        pats.push(Pat::Any);
+                    }
+                }
+                '_' => pats.push(Pat::One),
+                c => pats.push(Pat::Lit(c)),
+            }
+        }
+        let has_one = pats.contains(&Pat::One);
+        let has_any = pats.contains(&Pat::Any);
+        if has_one || !has_any {
+            return LikePattern::Tokens(pats);
+        }
+        // Split into literal runs around the `%`s.
+        let mut runs: Vec<String> = vec![String::new()];
+        for p in &pats {
+            match p {
+                Pat::Lit(c) => runs.last_mut().unwrap().push(*c),
+                Pat::Any => runs.push(String::new()),
+                Pat::One => unreachable!(),
+            }
+        }
+        // An empty first/last run means the pattern begins/ends with `%`.
+        let suffix = match runs.pop() {
+            Some(r) if !r.is_empty() => Some(r),
+            _ => None,
+        };
+        let prefix = if runs.first().is_some_and(|r| !r.is_empty()) {
+            Some(runs.remove(0))
+        } else {
+            None
+        };
+        runs.retain(|r| !r.is_empty());
+        LikePattern::Segments {
+            prefix,
+            middle: runs,
+            suffix,
         }
     }
-    let sc: Vec<char> = s.chars().collect();
-    let pc: Vec<char> = pattern.chars().collect();
-    rec(&sc, &pc)
+
+    fn matches(&self, s: &str) -> bool {
+        match self {
+            LikePattern::Segments {
+                prefix,
+                middle,
+                suffix,
+            } => {
+                let mut lo = 0;
+                if let Some(p) = prefix {
+                    if !s.starts_with(p.as_str()) {
+                        return false;
+                    }
+                    lo = p.len();
+                }
+                let mut hi = s.len();
+                if let Some(x) = suffix {
+                    if hi < lo + x.len() || !s.ends_with(x.as_str()) {
+                        return false;
+                    }
+                    hi -= x.len();
+                }
+                let mut region = &s[lo..hi];
+                for seg in middle {
+                    match region.find(seg.as_str()) {
+                        Some(k) => region = &region[k + seg.len()..],
+                        None => return false,
+                    }
+                }
+                true
+            }
+            LikePattern::Tokens(pats) => Self::match_tokens(pats, s),
+        }
+    }
+
+    /// Classic iterative wildcard match with star backtracking: on a
+    /// mismatch after a `%`, retry from one character further into the
+    /// subject. Walks byte indices and steps chars via `chars().next()`,
+    /// so no per-row allocation.
+    fn match_tokens(p: &[Pat], s: &str) -> bool {
+        let (mut si, mut pi) = (0usize, 0usize);
+        // Most recent `%`: (pattern index after it, subject index to retry).
+        let mut star: Option<(usize, usize)> = None;
+        loop {
+            if pi < p.len() {
+                match p[pi] {
+                    Pat::Any => {
+                        star = Some((pi + 1, si));
+                        pi += 1;
+                        continue;
+                    }
+                    Pat::One => {
+                        if let Some(c) = s[si..].chars().next() {
+                            si += c.len_utf8();
+                            pi += 1;
+                            continue;
+                        }
+                    }
+                    Pat::Lit(want) => {
+                        if let Some(c) = s[si..].chars().next() {
+                            if c == want {
+                                si += c.len_utf8();
+                                pi += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            } else if si == s.len() {
+                return true;
+            }
+            // Mismatch (or pattern exhausted early): backtrack to the last
+            // `%`, consuming one more subject character.
+            match star {
+                Some((star_pi, star_si)) if star_si < s.len() => {
+                    let step = s[star_si..].chars().next().map_or(1, char::len_utf8);
+                    star = Some((star_pi, star_si + step));
+                    pi = star_pi;
+                    si = star_si + step;
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread compiled-pattern cache. Scans call [`like_match`] once per
+    /// row with the same pattern text; this makes compilation once per
+    /// pattern rather than once per row. Bounded so hostile workloads with
+    /// unbounded distinct patterns cannot grow it without limit.
+    static LIKE_CACHE: std::cell::RefCell<HashMap<String, std::rc::Rc<LikePattern>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+const LIKE_CACHE_CAP: usize = 256;
+
+/// `LIKE` pattern matching: `%` any run, `_` any single char. Matching is
+/// case-sensitive, per ANSI. The pattern is compiled once per thread and
+/// cached, so per-row cost is the match alone.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let compiled = LIKE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(hit) = cache.get(pattern) {
+            return std::rc::Rc::clone(hit);
+        }
+        if cache.len() >= LIKE_CACHE_CAP {
+            cache.clear();
+        }
+        let fresh = std::rc::Rc::new(LikePattern::compile(pattern));
+        cache.insert(pattern.to_string(), std::rc::Rc::clone(&fresh));
+        fresh
+    });
+    compiled.matches(s)
 }
 
 /// Scalar (non-aggregate) function dispatch.
@@ -815,6 +991,41 @@ mod tests {
         assert!(like_match("a%c", "a%c")); // literal pass-through of matched text
         assert!(!like_match("ABC", "abc")); // case-sensitive
         assert!(like_match("PROMO BURNISHED", "PROMO%"));
+    }
+
+    /// The compiled matcher agrees with ANSI semantics on the shapes the
+    /// old recursive matcher was slowest at: multi-`%` patterns with
+    /// backtracking, `%_` runs, and multibyte text.
+    #[test]
+    fn like_compiled_matcher_semantics() {
+        // Q13-shaped multi-% with near-miss prefixes that force backtracking.
+        assert!(like_match(
+            "x special y requests z packages w",
+            "%special%requests%packages%"
+        ));
+        assert!(!like_match(
+            "x special y requests z package w",
+            "%special%requests%packages%"
+        ));
+        assert!(!like_match(
+            "special requests",
+            "%special%requests%packages%"
+        ));
+        // A `%` must be able to match the empty run between two literals.
+        assert!(like_match("ab", "a%b"));
+        // `%_` requires at least one character after the run.
+        assert!(like_match("abc", "%_"));
+        assert!(!like_match("", "%_"));
+        assert!(like_match("abc", "%_c"));
+        // `_` counts characters, not bytes.
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("héllo", "%é%"));
+        assert!(!like_match("héllo", "h__llo"));
+        // Trailing-% and exact-suffix behavior.
+        assert!(like_match("abcabc", "%abc"));
+        assert!(!like_match("abcabd", "%abc"));
+        // Collapsed repeated wildcards.
+        assert!(like_match("abc", "%%%_%%"));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Regression test for the reader-stall convoy.
+//!
+//! With a writer-priority reader-writer lock on the store, this sequence
+//! stalls: a slow reader holds the lock shared, a writer queues behind it,
+//! and every *new* reader then queues behind the writer — one slow scan
+//! freezes the whole server. With published copy-on-write snapshots, readers
+//! never touch the writer lock, so the new reader completes promptly while
+//! the slow reader is still running.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phoenix_engine::engine::{Engine, EngineConfig};
+use phoenix_storage::db::Durability;
+
+fn temp_dir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("phoenix-no-stall-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The slow reader: a quadratic cross-join aggregate over `rows²` pairs.
+const SLOW_QUERY: &str = "SELECT COUNT(*) FROM big a, big b WHERE a.v < b.v";
+
+fn load_rows(e: &Engine, sid: u64, from: i64, to: i64) {
+    let mut vals = Vec::with_capacity(256);
+    for v in from..to {
+        vals.push(format!("({v})"));
+        if vals.len() == 256 || v + 1 == to {
+            e.execute(sid, &format!("INSERT INTO big VALUES {}", vals.join(", ")))
+                .unwrap();
+            vals.clear();
+        }
+    }
+}
+
+#[test]
+fn new_reader_completes_while_slow_reader_runs_and_writer_waits() {
+    let dir = temp_dir();
+    let config = EngineConfig {
+        durability: Durability::Buffered,
+        checkpoint_every: None,
+    };
+    let e = Arc::new(Engine::open(&dir, config).unwrap());
+    let admin = e.create_session("admin");
+    e.execute(admin, "CREATE TABLE big (v INT)").unwrap();
+    e.execute(admin, "CREATE TABLE small (v INT)").unwrap();
+    e.execute(admin, "INSERT INTO small VALUES (1), (2), (3)")
+        .unwrap();
+
+    // Calibrate: grow `big` until the slow query takes long enough that the
+    // timing windows below are unambiguous on any build profile.
+    let mut rows: i64 = 0;
+    let slow_dur = loop {
+        let target = if rows == 0 { 400 } else { rows * 2 };
+        load_rows(&e, admin, rows, target);
+        rows = target;
+        let t0 = Instant::now();
+        e.execute(admin, SLOW_QUERY).unwrap();
+        let d = t0.elapsed();
+        if d >= Duration::from_millis(400) || rows >= 25_600 {
+            break d;
+        }
+    };
+
+    let slow_done = Arc::new(AtomicBool::new(false));
+    let slow_started = Arc::new(AtomicBool::new(false));
+
+    // Session A: the slow reader.
+    let a = {
+        let e = Arc::clone(&e);
+        let done = Arc::clone(&slow_done);
+        let started = Arc::clone(&slow_started);
+        std::thread::spawn(move || {
+            let sid = e.create_session("slow-reader");
+            started.store(true, Ordering::SeqCst);
+            e.execute(sid, SLOW_QUERY).unwrap();
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    while !slow_started.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(slow_dur / 10);
+
+    // Session B: a writer. On the old locking scheme it queues for the
+    // store write lock behind A and drags every later reader with it.
+    let b = {
+        let e = Arc::clone(&e);
+        std::thread::spawn(move || {
+            let sid = e.create_session("writer");
+            e.execute(sid, "INSERT INTO small VALUES (99)").unwrap();
+        })
+    };
+    std::thread::sleep(slow_dur / 10);
+
+    // Session C: a brand-new reader issued while A is still scanning and B
+    // is (at worst) still queued. It must come back promptly — far sooner
+    // than waiting out A's scan — and strictly before A finishes.
+    let c_sid = e.create_session("new-reader");
+    let t0 = Instant::now();
+    let r = e.execute(c_sid, "SELECT COUNT(*) FROM small").unwrap();
+    let c_latency = t0.elapsed();
+    let a_was_done = slow_done.load(Ordering::SeqCst);
+
+    assert!(!r.rows().is_empty());
+    assert!(
+        !a_was_done,
+        "slow reader finished before the new reader ran; calibration too small \
+         (slow_dur = {slow_dur:?}) — the test exercised nothing"
+    );
+    assert!(
+        c_latency < slow_dur / 2,
+        "new reader stalled {c_latency:?} behind a slow scan of {slow_dur:?}: \
+         reader convoy is back"
+    );
+
+    a.join().unwrap();
+    b.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

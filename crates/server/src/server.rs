@@ -1,11 +1,13 @@
 //! The TCP request/response server.
 //!
 //! One OS thread per client connection, one engine session per connection.
-//! The engine itself is internally synchronized (per-session locks, a
-//! reader-writer store lock, group commit), so connections execute
-//! **concurrently**: dispatch takes a short shared lock only to clone the
-//! engine handle, then runs the request with no global lock held. Session B
-//! makes progress while session A sits in a long fetch.
+//! The engine itself is internally synchronized (per-session locks,
+//! copy-on-write store snapshots for reads, group commit), so connections
+//! execute **concurrently**: dispatch takes a short shared lock only to
+//! clone the engine handle, then runs the request with no global lock held.
+//! Reads execute against atomically published snapshots without locking the
+//! store at all — session B makes progress while session A sits in a long
+//! fetch, and a queued writer never stalls new readers.
 //!
 //! The `Option` inside [`SharedEngine`] is the crash switch:
 //! [`crate::harness::ServerHarness::crash`] takes the engine out atomically,

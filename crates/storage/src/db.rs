@@ -14,33 +14,41 @@
 //!
 //! # Concurrency
 //!
-//! All methods take `&self`; the layer is safe to share between sessions:
+//! All methods take `&self`; the layer is safe to share between sessions.
+//! Reads and writes are decoupled by *copy-on-write snapshots*:
 //!
-//! * the store sits behind an `RwLock` so readers run concurrently and
-//!   mutations serialize;
-//! * every mutation holds the store write lock across its append+apply pair,
-//!   so write-ahead ordering is atomic with respect to other threads;
+//! * writers serialize on the `working` store mutex and hold it across
+//!   their append+apply pair, so write-ahead ordering is atomic with
+//!   respect to other threads;
+//! * after every successful mutation the writer *publishes* an immutable
+//!   [`StoreSnapshot`] (a shallow, per-table-`Arc` clone of the working
+//!   store) with a cheap pointer swap; [`Durable::snapshot`] hands that
+//!   image out in O(1), and readers execute against it with **no lock
+//!   held** — a long scan never blocks a writer, and a queued writer never
+//!   blocks new readers;
 //! * commits coalesce through a *group commit*: each committer appends its
 //!   commit record, then one committer (the leader) issues a single
 //!   `sync_data` covering every record appended so far while the rest wait
 //!   on a condition variable. N threads committing together therefore cost
 //!   far fewer than N syncs.
 //!
-//! Lock order (outer to inner): `store` → `wal` → `group.state`, and
-//! `store` → `active`. `active` and `wal` are never held together.
+//! Lock order (outer to inner): `working` → `wal` → `group.state`,
+//! `working` → `active`, and `working` → `published`. `active`, `wal` and
+//! `published` are never held together.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::record::LogRecord;
-use crate::store::{Store, StoreError, TableData};
+use crate::store::{Store, StoreError, StoreSnapshot, TableData};
 use crate::types::{Row, RowId, TableDef, TxnId};
-use crate::wal::Wal;
+use crate::wal::{Wal, MAX_FRAME};
 use crate::{codec::DecodeError, snapshot};
 
 /// When to force the log.
@@ -150,7 +158,12 @@ struct GroupCommit {
 
 /// A durable, transactional store, shareable across threads (`&self` API).
 pub struct Durable {
-    store: RwLock<Store>,
+    /// The writers' image. Mutations lock it, append+apply, then publish.
+    working: Mutex<Store>,
+    /// The readers' image: the snapshot published by the latest mutation.
+    /// The lock is held only for the pointer swap / `Arc` clone, never
+    /// across query execution.
+    published: RwLock<Arc<StoreSnapshot>>,
     wal: Mutex<Wal>,
     dir: PathBuf,
     durability: Durability,
@@ -203,7 +216,8 @@ impl Durable {
 
         let wal = Wal::open(Self::wal_path(&dir))?;
         Ok(Durable {
-            store: RwLock::new(store),
+            published: RwLock::new(Arc::new(StoreSnapshot::capture(&store))),
+            working: Mutex::new(store),
             wal: Mutex::new(wal),
             dir,
             durability,
@@ -221,10 +235,21 @@ impl Durable {
         })
     }
 
-    /// Shared read access to the durable image. Hold the guard only as long
-    /// as the read needs it; mutations block while it is out.
-    pub fn store(&self) -> RwLockReadGuard<'_, Store> {
-        self.store.read()
+    /// The current published image. O(1): clones an `Arc` under a lock held
+    /// only for the clone itself. The caller then reads with no lock at
+    /// all — long scans never block writers, and writers never block new
+    /// readers. The snapshot keeps showing the state as of the last
+    /// publication; take a fresh one per statement (or per cursor fetch)
+    /// for current data.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.published.read().clone()
+    }
+
+    /// Publish the working image for readers. Called with the working lock
+    /// held so publication order matches mutation order.
+    fn publish(&self, working: &Store) {
+        let snap = Arc::new(StoreSnapshot::capture(working));
+        *self.published.write() = snap;
     }
 
     /// The data directory.
@@ -248,9 +273,14 @@ impl Durable {
     }
 
     /// Append one record. Callers that need write-ahead atomicity with a
-    /// store mutation must already hold the store write lock.
+    /// store mutation must already hold the working-store lock.
     fn log(&self, rec: &LogRecord) -> Result<(), DbError> {
-        self.wal.lock().append(&rec.encode())?;
+        self.log_bytes(&rec.encode())
+    }
+
+    /// Append an already-encoded record payload.
+    fn log_bytes(&self, payload: &[u8]) -> Result<(), DbError> {
+        self.wal.lock().append(payload)?;
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -340,7 +370,7 @@ impl Durable {
             .lock()
             .remove(&txn)
             .ok_or(DbError::NoSuchTxn(txn))?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         for op in undo.into_iter().rev() {
             match op {
                 UndoOp::RemoveRow { table, row_id } => {
@@ -367,6 +397,7 @@ impl Durable {
             }
         }
         self.log(&LogRecord::Abort { txn })?;
+        self.publish(&store);
         Ok(())
     }
 
@@ -393,13 +424,14 @@ impl Durable {
         }
     }
 
-    // -- mutations (log first, then apply; store write lock makes the pair
-    //    atomic with respect to other sessions) ------------------------------
+    // -- mutations (log first, then apply; the working-store mutex makes the
+    //    pair atomic with respect to other sessions, and every successful
+    //    mutation publishes a fresh snapshot before releasing it) ------------
 
     /// Insert a row (logged, undoable), returning its stable id.
     pub fn insert(&self, txn: TxnId, table: &str, row: Row) -> Result<RowId, DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         // Determine the id the insert *will* get so the log matches the apply.
         let row_id = store.table(table)?.next_row_id;
         self.log(&LogRecord::Insert {
@@ -410,6 +442,7 @@ impl Durable {
         })?;
         let assigned = store.table_mut(table)?.insert(row)?;
         debug_assert_eq!(assigned, row_id);
+        self.publish(&store);
         self.push_undo(
             txn,
             UndoOp::RemoveRow {
@@ -420,16 +453,89 @@ impl Durable {
         Ok(row_id)
     }
 
+    /// Insert a batch of rows with consecutive stable ids, taking **one**
+    /// WAL append (and one lock round trip) for the whole batch instead of
+    /// one per row — the `INSERT … SELECT` materialization hot path.
+    ///
+    /// A batch whose encoding would exceed the WAL frame cap is split into
+    /// the minimum number of conforming chunk records; a single row too big
+    /// for a frame is refused with the same `InvalidInput` error as
+    /// [`Durable::insert`].
+    pub fn insert_many(
+        &self,
+        txn: TxnId,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<Vec<RowId>, DbError> {
+        self.check_active(txn)?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut store = self.working.lock();
+        let mut assigned = Vec::with_capacity(rows.len());
+        let mut pending = std::collections::VecDeque::new();
+        pending.push_back(rows);
+        let result = (|| {
+            while let Some(chunk) = pending.pop_front() {
+                let first_row_id = store.table(table)?.next_row_id;
+                let rec = LogRecord::InsertMany {
+                    txn,
+                    table: table.to_string(),
+                    first_row_id,
+                    rows: chunk,
+                };
+                let encoded = rec.encode();
+                let LogRecord::InsertMany {
+                    rows: mut chunk, ..
+                } = rec
+                else {
+                    unreachable!()
+                };
+                if encoded.len() > MAX_FRAME as usize && chunk.len() > 1 {
+                    // Halve until each piece fits; ids stay consecutive
+                    // because the front piece is re-popped and logged first.
+                    let tail = chunk.split_off(chunk.len() / 2);
+                    pending.push_front(tail);
+                    pending.push_front(chunk);
+                    continue;
+                }
+                // A lone row too big for a frame reaches the append, which
+                // refuses it with `InvalidInput` before anything is applied.
+                self.log_bytes(&encoded)?;
+                let t = store.table_mut(table)?;
+                for row in chunk.drain(..) {
+                    assigned.push(t.insert(row)?);
+                }
+            }
+            Ok(())
+        })();
+        // Rows applied before an error are undoable (and the statement's
+        // transaction aborts on error), so record undo for what landed even
+        // on the failure path — matching the per-row insert loop this
+        // replaces.
+        if !assigned.is_empty() {
+            self.publish(&store);
+            if let Some(list) = self.active.lock().get_mut(&txn) {
+                list.extend(assigned.iter().map(|&row_id| UndoOp::RemoveRow {
+                    table: table.to_string(),
+                    row_id,
+                }));
+            }
+        }
+        result.map(|()| assigned)
+    }
+
     /// Delete a row by id (logged, undoable), returning its image.
     pub fn delete(&self, txn: TxnId, table: &str, row_id: RowId) -> Result<Row, DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::Delete {
             txn,
             table: table.to_string(),
             row_id,
         })?;
         let row = store.table_mut(table)?.delete(row_id)?;
+        self.publish(&store);
         self.push_undo(
             txn,
             UndoOp::ReinsertRow {
@@ -444,7 +550,7 @@ impl Durable {
     /// Replace a row in place (logged, undoable), returning the old image.
     pub fn update(&self, txn: TxnId, table: &str, row_id: RowId, row: Row) -> Result<Row, DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::Update {
             txn,
             table: table.to_string(),
@@ -452,6 +558,7 @@ impl Durable {
             row: row.clone(),
         })?;
         let old = store.table_mut(table)?.update(row_id, row)?;
+        self.publish(&store);
         self.push_undo(
             txn,
             UndoOp::RestoreRow {
@@ -466,13 +573,14 @@ impl Durable {
     /// Create a table (logged, undoable).
     pub fn create_table(&self, txn: TxnId, def: TableDef) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::CreateTable {
             txn,
             def: def.clone(),
         })?;
         let name = def.name.clone();
         store.create_table(def)?;
+        self.publish(&store);
         self.push_undo(txn, UndoOp::DropCreatedTable { name });
         Ok(())
     }
@@ -480,12 +588,13 @@ impl Durable {
     /// Drop a table (logged; abort restores it with its rows).
     pub fn drop_table(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::DropTable {
             txn,
             name: name.to_string(),
         })?;
         let data = store.drop_table(name)?;
+        self.publish(&store);
         self.push_undo(txn, UndoOp::RestoreDroppedTable { data });
         Ok(())
     }
@@ -493,13 +602,14 @@ impl Durable {
     /// Register a stored procedure (logged, undoable).
     pub fn create_proc(&self, txn: TxnId, name: &str, sql: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::CreateProc {
             txn,
             name: name.to_string(),
             sql: sql.to_string(),
         })?;
         store.create_proc(name, sql)?;
+        self.publish(&store);
         self.push_undo(
             txn,
             UndoOp::DropCreatedProc {
@@ -512,12 +622,13 @@ impl Durable {
     /// Drop a stored procedure (logged; abort restores it).
     pub fn drop_proc(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.store.write();
+        let mut store = self.working.lock();
         self.log(&LogRecord::DropProc {
             txn,
             name: name.to_string(),
         })?;
         let sql = store.drop_proc(name)?;
+        self.publish(&store);
         self.push_undo(
             txn,
             UndoOp::RestoreDroppedProc {
@@ -534,23 +645,24 @@ impl Durable {
     /// Requires no active transactions (the engine quiesces first); a
     /// snapshot + truncate with an in-flight transaction would otherwise
     /// capture its uncommitted effects without the log records needed to
-    /// decide its fate. The store write lock is held across snapshot and
-    /// truncate so no mutation can land between the two.
+    /// decide its fate. The writer lock is held across snapshot and
+    /// truncate so no mutation can land between the two. Snapshot readers
+    /// are unaffected: they keep executing against the last published
+    /// image throughout.
     pub fn checkpoint(&self) -> Result<(), DbError> {
-        let store = self.store.write();
+        let store = self.working.lock();
         self.checkpoint_locked(&store)
     }
 
     /// Non-blocking [`Self::checkpoint`]: returns `Ok(false)` without doing
-    /// anything if the store is busy (a reader or writer holds the lock).
+    /// anything if another writer currently holds the working store.
     ///
-    /// Background/best-effort callers must use this rather than
-    /// `checkpoint()`: merely *queueing* for the store write lock behind a
-    /// long-running reader blocks every new reader until that reader
-    /// finishes (writer-priority rwlock), turning an opportunistic
-    /// checkpoint into a server-wide stall.
+    /// Background/best-effort callers use this rather than `checkpoint()`
+    /// so an opportunistic checkpoint never queues behind a long write —
+    /// readers are already immune (they run on published snapshots and
+    /// never touch the writer lock).
     pub fn try_checkpoint(&self) -> Result<bool, DbError> {
-        match self.store.try_write() {
+        match self.working.try_lock() {
             Some(store) => self.checkpoint_locked(&store).map(|()| true),
             None => Ok(false),
         }
@@ -613,7 +725,7 @@ mod tests {
             // Simulate crash: drop without checkpoint.
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        let store = db.store();
+        let store = db.snapshot();
         let t = store.table("dbo.t").unwrap();
         assert_eq!(t.len(), 2);
         drop(store);
@@ -633,7 +745,7 @@ mod tests {
             // No commit; crash.
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        assert!(db.store().table("dbo.t").unwrap().is_empty());
+        assert!(db.snapshot().table("dbo.t").unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -653,7 +765,7 @@ mod tests {
         db.create_proc(t2, "p", "SELECT 1").unwrap();
         db.abort(t2).unwrap();
 
-        let store = db.store();
+        let store = db.snapshot();
         let tbl = store.table("dbo.t").unwrap();
         assert_eq!(tbl.len(), 1);
         assert_eq!(tbl.rows[&1], row(1, "a"));
@@ -674,9 +786,114 @@ mod tests {
 
         let t2 = db.begin().unwrap();
         db.drop_table(t2, "dbo.t").unwrap();
-        assert!(!db.store().has_table("dbo.t"));
+        assert!(!db.snapshot().has_table("dbo.t"));
         db.abort(t2).unwrap();
-        assert_eq!(db.store().table("dbo.t").unwrap().len(), 1);
+        assert_eq!(db.snapshot().table("dbo.t").unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A snapshot handed out before mutations keeps showing the old image:
+    /// inserts, updates, deletes, batch inserts and drops land in later
+    /// publications without disturbing the reader's copy.
+    #[test]
+    fn snapshot_is_immutable_under_later_mutations() {
+        let dir = temp_dir();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def()).unwrap();
+        db.insert(t, "dbo.t", row(1, "a")).unwrap();
+        db.commit(t).unwrap();
+
+        let before = db.snapshot();
+        let t2 = db.begin().unwrap();
+        db.update(t2, "dbo.t", 1, row(1, "mutated")).unwrap();
+        db.insert_many(t2, "dbo.t", vec![row(2, "b"), row(3, "c")])
+            .unwrap();
+        db.delete(t2, "dbo.t", 1).unwrap();
+        db.commit(t2).unwrap();
+
+        // The old snapshot still shows exactly the pre-mutation image …
+        let tbl = before.table("dbo.t").unwrap();
+        assert_eq!(tbl.len(), 1);
+        assert_eq!(tbl.rows[&1], row(1, "a"));
+        // … while a fresh one sees everything.
+        let after = db.snapshot();
+        let tbl = after.table("dbo.t").unwrap();
+        assert_eq!(tbl.len(), 2);
+        assert!(!tbl.rows.contains_key(&1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `insert_many` is one log append for the whole batch, and recovery
+    /// replays it identically to per-row inserts.
+    #[test]
+    fn insert_many_logs_once_and_recovers() {
+        let dir = temp_dir();
+        let ids;
+        {
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let t = db.begin().unwrap();
+            db.create_table(t, def()).unwrap();
+            let before = db.log_records_since_checkpoint();
+            ids = db
+                .insert_many(t, "dbo.t", (0..50).map(|i| row(i, "v")).collect())
+                .unwrap();
+            assert_eq!(db.log_records_since_checkpoint(), before + 1);
+            db.commit(t).unwrap();
+        }
+        assert_eq!(ids, (1..=50).collect::<Vec<RowId>>());
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let snap = db.snapshot();
+        let tbl = snap.table("dbo.t").unwrap();
+        assert_eq!(tbl.len(), 50);
+        assert_eq!(tbl.next_row_id, 51);
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A batch whose encoding exceeds the WAL frame cap is split into
+    /// multiple conforming records instead of being refused.
+    #[test]
+    fn insert_many_splits_oversized_batches() {
+        let dir = temp_dir();
+        let ids;
+        {
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let t = db.begin().unwrap();
+            db.create_table(t, def()).unwrap();
+            // 5 rows × ~20 MiB ≈ 100 MiB encoded — over the 64 MiB cap,
+            // but each half fits.
+            let big = "y".repeat(20 * 1024 * 1024);
+            let before = db.log_records_since_checkpoint();
+            ids = db
+                .insert_many(t, "dbo.t", (0..5).map(|i| row(i, &big)).collect())
+                .unwrap();
+            assert!(db.log_records_since_checkpoint() > before + 1);
+            db.commit(t).unwrap();
+        }
+        assert_eq!(ids, (1..=5).collect::<Vec<RowId>>());
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(db.snapshot().table("dbo.t").unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An aborted `insert_many` is fully undone.
+    #[test]
+    fn insert_many_aborts_cleanly() {
+        let dir = temp_dir();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def()).unwrap();
+        db.insert(t, "dbo.t", row(1, "keep")).unwrap();
+        db.commit(t).unwrap();
+
+        let t2 = db.begin().unwrap();
+        db.insert_many(t2, "dbo.t", vec![row(2, "b"), row(3, "c"), row(4, "d")])
+            .unwrap();
+        db.abort(t2).unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.table("dbo.t").unwrap().len(), 1);
+        drop(snap);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -699,7 +916,7 @@ mod tests {
             db.commit(t2).unwrap();
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        assert_eq!(db.store().table("dbo.t").unwrap().len(), 11);
+        assert_eq!(db.snapshot().table("dbo.t").unwrap().len(), 11);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -769,7 +986,6 @@ mod tests {
     /// silently writing a frame recovery would discard as a corrupt tail.
     #[test]
     fn oversized_row_is_refused_not_silently_dropped() {
-        use crate::wal::MAX_FRAME;
         let dir = temp_dir();
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
         let t = db.begin().unwrap();
@@ -786,7 +1002,7 @@ mod tests {
         }
         // The store was not touched (log-before-apply: the append failed
         // before any apply) and the database remains usable.
-        assert!(db.store().table("dbo.t").unwrap().is_empty());
+        assert!(db.snapshot().table("dbo.t").unwrap().is_empty());
         db.insert(t, "dbo.t", row(1, "small")).unwrap();
         db.commit(t).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
@@ -832,7 +1048,10 @@ mod tests {
             syncs < commits,
             "expected group commit to coalesce: {syncs} syncs for {commits} commits"
         );
-        assert_eq!(db.store().table("dbo.t").unwrap().len(), commits as usize);
+        assert_eq!(
+            db.snapshot().table("dbo.t").unwrap().len(),
+            commits as usize
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -873,7 +1092,7 @@ mod tests {
             // Crash: drop without checkpoint.
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        let store = db.store();
+        let store = db.snapshot();
         let tbl = store.table("dbo.t").unwrap();
         // 4 threads × 20 committed inserts each, plus 4×4 extra rows inserted
         // under the *committed* txn t during the abort interludes.
@@ -918,7 +1137,7 @@ mod reopen_tests {
             db.commit(t).unwrap();
         }
         let snapshot_of = |db: &Durable| -> Vec<(u64, i64)> {
-            db.store()
+            db.snapshot()
                 .table("dbo.t")
                 .unwrap()
                 .rows
@@ -963,7 +1182,7 @@ mod reopen_tests {
             // round's work only in the log.
         }
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        assert_eq!(db.store().table("dbo.t").unwrap().len(), 4);
+        assert_eq!(db.snapshot().table("dbo.t").unwrap().len(), 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

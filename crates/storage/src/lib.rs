@@ -41,5 +41,5 @@ pub mod types;
 pub mod wal;
 
 pub use db::{Durability, Durable};
-pub use store::{Store, TableData};
+pub use store::{Store, StoreSnapshot, TableData};
 pub use types::{Column, DataType, Row, RowId, Schema, TableDef, TxnId, Value};

@@ -43,6 +43,20 @@ pub enum LogRecord {
         /// The inserted row image.
         row: Row,
     },
+    /// A batch of rows inserted with consecutive stable ids starting at
+    /// `first_row_id` — one log append covers a whole multi-row statement
+    /// (the `INSERT … SELECT` materialization hot path) instead of one
+    /// append per row.
+    InsertMany {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Target table (canonical name).
+        table: String,
+        /// Stable id of the first row; row `k` gets `first_row_id + k`.
+        first_row_id: RowId,
+        /// The inserted row images, in id order.
+        rows: Vec<Row>,
+    },
     /// A row deleted by id.
     Delete {
         /// Owning transaction.
@@ -106,6 +120,7 @@ const T_CREATE_TABLE: u8 = 7;
 const T_DROP_TABLE: u8 = 8;
 const T_CREATE_PROC: u8 = 9;
 const T_DROP_PROC: u8 = 10;
+const T_INSERT_MANY: u8 = 11;
 
 impl LogRecord {
     /// The transaction this record belongs to.
@@ -115,6 +130,7 @@ impl LogRecord {
             | LogRecord::Commit { txn }
             | LogRecord::Abort { txn }
             | LogRecord::Insert { txn, .. }
+            | LogRecord::InsertMany { txn, .. }
             | LogRecord::Delete { txn, .. }
             | LogRecord::Update { txn, .. }
             | LogRecord::CreateTable { txn, .. }
@@ -151,6 +167,21 @@ impl LogRecord {
                 codec::put_str(&mut buf, table);
                 buf.put_u64_le(*row_id);
                 codec::put_row(&mut buf, row);
+            }
+            LogRecord::InsertMany {
+                txn,
+                table,
+                first_row_id,
+                rows,
+            } => {
+                buf.put_u8(T_INSERT_MANY);
+                buf.put_u64_le(*txn);
+                codec::put_str(&mut buf, table);
+                buf.put_u64_le(*first_row_id);
+                buf.put_u32_le(rows.len() as u32);
+                for row in rows {
+                    codec::put_row(&mut buf, row);
+                }
             }
             LogRecord::Delete { txn, table, row_id } => {
                 buf.put_u8(T_DELETE);
@@ -221,6 +252,24 @@ impl LogRecord {
                     row,
                 }
             }
+            T_INSERT_MANY => {
+                let table = codec::get_str(&mut buf)?;
+                if buf.remaining() < 12 {
+                    return Err(DecodeError("truncated insert-many".into()));
+                }
+                let first_row_id = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                let mut rows = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    rows.push(codec::get_row(&mut buf)?);
+                }
+                LogRecord::InsertMany {
+                    txn,
+                    table,
+                    first_row_id,
+                    rows,
+                }
+            }
             T_DELETE => {
                 let table = codec::get_str(&mut buf)?;
                 if buf.remaining() < 8 {
@@ -289,6 +338,22 @@ mod tests {
             table: "dbo.orders".into(),
             row_id: 99,
             row: vec![Value::Int(1), Value::Text("x".into()), Value::Null],
+        });
+        roundtrip(LogRecord::InsertMany {
+            txn: 2,
+            table: "dbo.orders".into(),
+            first_row_id: 100,
+            rows: vec![
+                vec![Value::Int(1), Value::Text("x".into())],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Int(3), Value::Text("z".into())],
+            ],
+        });
+        roundtrip(LogRecord::InsertMany {
+            txn: 9,
+            table: "dbo.empty".into(),
+            first_row_id: 1,
+            rows: Vec::new(),
         });
         roundtrip(LogRecord::Delete {
             txn: 3,

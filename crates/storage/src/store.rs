@@ -7,9 +7,16 @@
 //! snapshot image. The engine also uses a bare `Store` for *volatile* state
 //! (session temp tables), which is exactly the state that must die in a
 //! crash.
+//!
+//! Tables are held behind per-table [`Arc`]s, making the store
+//! *copy-on-write*: cloning a `Store` is cheap (it shares every table), and
+//! [`Store::table_mut`] clones a table's data only when some clone of the
+//! store still references it. [`StoreSnapshot`] packages that property as an
+//! immutable published image readers execute against with no lock held.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::record::LogRecord;
 use crate::types::{Row, RowId, TableDef, Value};
@@ -193,9 +200,13 @@ impl TableData {
 
 /// A collection of tables and stored procedures. Lookup is case-insensitive
 /// on the fully qualified name (names are normalized to lowercase keys).
+///
+/// Each table sits behind its own [`Arc`], so `Clone` is shallow — clones
+/// share all row data until one of them mutates a table, at which point
+/// only the touched table is copied ([`Arc::make_mut`]).
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    tables: HashMap<String, TableData>,
+    tables: HashMap<String, Arc<TableData>>,
     procs: HashMap<String, String>,
 }
 
@@ -216,19 +227,22 @@ impl Store {
         if self.tables.contains_key(&key) {
             return Err(StoreError::TableExists(def.name));
         }
-        self.tables.insert(key, TableData::new(def));
+        self.tables.insert(key, Arc::new(TableData::new(def)));
         Ok(())
     }
 
     /// Install a fully populated table (snapshot load).
     pub fn install_table(&mut self, data: TableData) {
-        self.tables.insert(normalize_name(&data.def.name), data);
+        self.tables
+            .insert(normalize_name(&data.def.name), Arc::new(data));
     }
 
-    /// Remove a table, returning its data.
+    /// Remove a table, returning its data (cloned only if a snapshot still
+    /// shares it).
     pub fn drop_table(&mut self, name: &str) -> Result<TableData, StoreError> {
         self.tables
             .remove(&normalize_name(name))
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
@@ -236,13 +250,16 @@ impl Store {
     pub fn table(&self, name: &str) -> Result<&TableData, StoreError> {
         self.tables
             .get(&normalize_name(name))
+            .map(Arc::as_ref)
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup. Copy-on-write: the table's data is cloned here
+    /// if (and only if) a snapshot of this store still shares it.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut TableData, StoreError> {
         self.tables
             .get_mut(&normalize_name(name))
+            .map(Arc::make_mut)
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
@@ -253,7 +270,7 @@ impl Store {
 
     /// Iterate over all tables in an unspecified order.
     pub fn tables(&self) -> impl Iterator<Item = &TableData> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Names of all tables, sorted (deterministic for snapshots and tests).
@@ -314,6 +331,18 @@ impl Store {
             LogRecord::Insert {
                 table, row_id, row, ..
             } => self.table_mut(table)?.insert_with_id(*row_id, row.clone()),
+            LogRecord::InsertMany {
+                table,
+                first_row_id,
+                rows,
+                ..
+            } => {
+                let t = self.table_mut(table)?;
+                for (k, row) in rows.iter().enumerate() {
+                    t.insert_with_id(first_row_id + k as RowId, row.clone())?;
+                }
+                Ok(())
+            }
             LogRecord::Delete { table, row_id, .. } => {
                 self.table_mut(table)?.delete(*row_id).map(|_| ())
             }
@@ -328,6 +357,34 @@ impl Store {
             LogRecord::CreateProc { name, sql, .. } => self.create_proc(name, sql),
             LogRecord::DropProc { name, .. } => self.drop_proc(name).map(|_| ()),
         }
+    }
+}
+
+/// An immutable image of the whole store, published atomically by the
+/// durability layer after every mutation.
+///
+/// Readers obtain one by cloning an `Arc<StoreSnapshot>` — O(1), no matter
+/// how large the database is — and then execute whole queries, scans and
+/// cursor fetches against it with **no lock held**. Writers never wait for
+/// readers and readers never wait for writers; a snapshot simply keeps
+/// showing the state as of its publication. `Deref` lets a snapshot be used
+/// anywhere a `&Store` is expected.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSnapshot(Store);
+
+impl StoreSnapshot {
+    /// Capture the current state of `store`. Shallow: the per-table `Arc`s
+    /// are cloned, all row data is shared until a later writer touches it.
+    pub fn capture(store: &Store) -> StoreSnapshot {
+        StoreSnapshot(store.clone())
+    }
+}
+
+impl std::ops::Deref for StoreSnapshot {
+    type Target = Store;
+
+    fn deref(&self) -> &Store {
+        &self.0
     }
 }
 
@@ -458,6 +515,57 @@ mod tests {
         })
         .unwrap();
         assert!(s.table("dbo.t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_insert_many_assigns_consecutive_ids() {
+        let mut s = Store::new();
+        s.create_table(keyed_def("dbo.t")).unwrap();
+        s.apply(&LogRecord::InsertMany {
+            txn: 1,
+            table: "dbo.t".into(),
+            first_row_id: 5,
+            rows: vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Null],
+            ],
+        })
+        .unwrap();
+        let t = s.table("dbo.t").unwrap();
+        assert_eq!(t.rows[&5], vec![Value::Int(1), Value::Null]);
+        assert_eq!(t.rows[&6], vec![Value::Int(2), Value::Null]);
+        assert_eq!(t.next_row_id, 7);
+    }
+
+    /// The copy-on-write contract: a cloned store keeps showing the old
+    /// image while the original mutates, and only the touched table's data
+    /// is actually copied.
+    #[test]
+    fn clone_is_isolated_from_later_mutations() {
+        let mut s = Store::new();
+        s.create_table(keyed_def("dbo.a")).unwrap();
+        s.create_table(keyed_def("dbo.b")).unwrap();
+        s.table_mut("dbo.a")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Null])
+            .unwrap();
+
+        let snap = StoreSnapshot::capture(&s);
+        // Untouched table is shared, not copied.
+        assert!(std::ptr::eq(
+            s.table("dbo.b").unwrap(),
+            snap.table("dbo.b").unwrap()
+        ));
+
+        s.table_mut("dbo.a")
+            .unwrap()
+            .insert(vec![Value::Int(2), Value::Null])
+            .unwrap();
+        s.drop_table("dbo.b").unwrap();
+
+        assert_eq!(s.table("dbo.a").unwrap().len(), 2);
+        assert_eq!(snap.table("dbo.a").unwrap().len(), 1);
+        assert!(snap.has_table("dbo.b"));
     }
 
     #[test]

@@ -176,7 +176,8 @@ proptest! {
         }
 
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        let table = db.store().table("dbo.t").unwrap();
+        let snap = db.snapshot();
+        let table = snap.table("dbo.t").unwrap();
         let mut recovered: Vec<(u64, i64)> = table
             .rows
             .iter()
@@ -219,10 +220,93 @@ proptest! {
         // respecting subset of the inserted values (commits are sequential,
         // so losses come only from the tail).
         let db = Durable::open(&dir, Durability::Fsync).unwrap();
-        let table = db.store().table("dbo.t").unwrap();
+        let snap = db.snapshot();
+        let table = snap.table("dbo.t").unwrap();
         let recovered: Vec<i64> = table.rows.values().map(|r| r[0].as_i64().unwrap()).collect();
         prop_assert!(recovered.len() <= values.len());
         prop_assert_eq!(&recovered[..], &values[..recovered.len()]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// **Snapshot immutability**: a snapshot taken at an arbitrary point
+    /// keeps showing exactly the image at capture time, no matter what
+    /// random mutations (committed, aborted, or left open) run afterwards.
+    #[test]
+    fn snapshot_observes_pre_mutation_image(
+        seed_values in prop::collection::vec(any::<i64>(), 0..12),
+        scripts in prop::collection::vec(txn_script(), 1..6),
+    ) {
+        let dir = temp_dir();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t0 = db.begin().unwrap();
+        db.create_table(t0, table_def()).unwrap();
+        let mut model: Vec<(u64, i64)> = Vec::new();
+        for v in &seed_values {
+            let rid = db.insert(t0, "dbo.t", vec![Value::Int(*v)]).unwrap();
+            model.push((rid, *v));
+        }
+        db.commit(t0).unwrap();
+
+        // Capture the image, then mutate at will.
+        let snap = db.snapshot();
+        for script in &scripts {
+            let txn = db.begin().unwrap();
+            let mut scratch = model.clone();
+            for op in &script.ops {
+                match op {
+                    Op::Insert(v) => {
+                        let rid = db.insert(txn, "dbo.t", vec![Value::Int(*v)]).unwrap();
+                        scratch.push((rid, *v));
+                    }
+                    Op::Delete(k) => {
+                        if scratch.is_empty() { continue; }
+                        let (rid, _) = scratch.remove(k % scratch.len());
+                        db.delete(txn, "dbo.t", rid).unwrap();
+                    }
+                    Op::Update(k, v) => {
+                        if scratch.is_empty() { continue; }
+                        let idx = k % scratch.len();
+                        db.update(txn, "dbo.t", scratch[idx].0, vec![Value::Int(*v)]).unwrap();
+                        scratch[idx].1 = *v;
+                    }
+                }
+            }
+            if script.commit {
+                db.commit(txn).unwrap();
+                model = scratch;
+            } else {
+                db.abort(txn).unwrap();
+            }
+        }
+
+        // The old snapshot still shows exactly the pre-mutation rows.
+        let table = snap.table("dbo.t").unwrap();
+        let mut seen: Vec<(u64, i64)> = table
+            .rows
+            .iter()
+            .map(|(rid, row)| (*rid, row[0].as_i64().unwrap()))
+            .collect();
+        seen.sort_unstable();
+        let mut expect: Vec<(u64, i64)> = seed_values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64 + 1, *v))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+
+        // And a fresh snapshot agrees with the model.
+        let fresh = db.snapshot();
+        let table = fresh.table("dbo.t").unwrap();
+        let mut now: Vec<(u64, i64)> = table
+            .rows
+            .iter()
+            .map(|(rid, row)| (*rid, row[0].as_i64().unwrap()))
+            .collect();
+        now.sort_unstable();
+        model.sort_unstable();
+        prop_assert_eq!(now, model);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
