@@ -245,6 +245,31 @@ fn main() {
         Params::full()
     });
 
+    // The servers run in-process, so the storage layer's counters land in
+    // this process's global registry: a free cross-check that throughput
+    // numbers came with the expected durability work (group commit batching,
+    // snapshot publishing) rather than from skipped fsyncs.
+    let stats = phoenix_obs::StatsSnapshot::capture();
+    let fsyncs = stats.counter("phoenix_wal_fsyncs_total").unwrap_or(0);
+    let gc_records = stats
+        .counter("phoenix_group_commit_records_total")
+        .unwrap_or(0);
+    let gc_syncs = stats
+        .counter("phoenix_group_commit_syncs_total")
+        .unwrap_or(0);
+    let publishes = stats
+        .counter("phoenix_snapshot_publishes_total")
+        .unwrap_or(0);
+    let mean_batch = if gc_syncs > 0 {
+        gc_records as f64 / gc_syncs as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "rw_mix: {fsyncs} wal fsyncs, mean group-commit batch {mean_batch:.2}, \
+         {publishes} snapshot publishes"
+    );
+
     let mut body = String::new();
     body.push_str("{\n");
     body.push_str("  \"bench\": \"rw_mix\",\n");
@@ -256,7 +281,14 @@ fn main() {
     );
     body.push_str("  \"current\": {\n");
     body.push_str(&json_rates(&rates, "    "));
-    body.push_str("\n  }");
+    body.push_str("\n  },\n");
+    body.push_str("  \"storage_metrics\": {\n");
+    body.push_str(&format!("    \"wal_fsyncs\": {fsyncs},\n"));
+    body.push_str(&format!(
+        "    \"mean_group_commit_batch\": {mean_batch:.2},\n"
+    ));
+    body.push_str(&format!("    \"snapshot_publishes\": {publishes}\n"));
+    body.push_str("  }");
     if let Some(base) = &baseline {
         body.push_str(",\n  \"pre_change\": {\n");
         body.push_str(&json_rates(base, "    "));

@@ -28,10 +28,13 @@ use phoenix_sql::rewrite::rename_table_refs;
 use phoenix_storage::types::Value;
 use phoenix_wire::message::Outcome;
 
+use phoenix_obs::{journal, EventKind};
+
 use crate::config::PhoenixConfig;
 use crate::context::{PhoenixObject, SessionContext};
 use crate::dml::{self, DmlOutcome};
 use crate::materialize::{self, Materialized};
+use crate::metrics::core_metrics;
 use crate::naming::{fresh_session_tag, Namer};
 use crate::recovery;
 use crate::statement::PhoenixStatement;
@@ -328,7 +331,7 @@ impl PhoenixConnection {
                     if let Some(out) = self.probe_status_retry(&req_id)? {
                         // Committed before the crash: return the logged
                         // outcome (the preserved reply buffer).
-                        self.stats.replied_from_status += 1;
+                        self.note_replayed_reply(&req_id);
                         return Ok(dml_reply(out));
                     }
                     self.stats.resubmissions += 1;
@@ -388,7 +391,7 @@ impl PhoenixConnection {
                     self.recover()?;
                     self.stats.status_probes += 1;
                     if let Some(out) = self.probe_status_retry(&req_id)? {
-                        self.stats.replied_from_status += 1;
+                        self.note_replayed_reply(&req_id);
                         return Ok(dml_reply(out));
                     }
                     self.stats.resubmissions += 1;
@@ -396,6 +399,18 @@ impl PhoenixConnection {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Count and journal a reply-buffer hit: a request answered from its
+    /// status record instead of being re-executed.
+    fn note_replayed_reply(&mut self, req_id: &str) {
+        self.stats.replied_from_status += 1;
+        core_metrics().replayed_replies.inc();
+        journal().record(
+            "core",
+            EventKind::ReplyReplayed,
+            format!("request {req_id} answered from status table"),
+        );
     }
 
     fn probe_status_retry(&mut self, req_id: &str) -> Result<Option<DmlOutcome>> {
@@ -450,7 +465,7 @@ impl PhoenixConnection {
                     self.stats.status_probes += 1;
                     if self.probe_status_retry(&req_id)?.is_some() {
                         // The commit made it before the crash.
-                        self.stats.replied_from_status += 1;
+                        self.note_replayed_reply(&req_id);
                         self.ctx.txn_end();
                         return Ok(QueryResult {
                             outcome: Outcome::Done,
@@ -623,6 +638,11 @@ impl PhoenixConnection {
     /// by the call sites that know what was in flight.)
     pub(crate) fn recover(&mut self) -> Result<()> {
         self.stats.recoveries += 1;
+        journal().record(
+            "core",
+            EventKind::CrashDetected,
+            "communication failure intercepted; recovering virtual session",
+        );
         let t0 = std::time::Instant::now();
         let deadline = t0 + self.config.recovery.max_wait;
 
@@ -636,6 +656,14 @@ impl PhoenixConnection {
                     let us = t0.elapsed().as_micros() as u64;
                     self.stats.last_recovery_virtual_us = us;
                     self.stats.recovery_virtual_us += us;
+                    let m = core_metrics();
+                    m.recoveries.inc();
+                    m.recovery_us.record(us);
+                    journal().record(
+                        "core",
+                        EventKind::RecoveryComplete,
+                        format!("virtual session re-established in {us} us"),
+                    );
                     return Ok(());
                 }
                 Err(e) if e.is_comm() && std::time::Instant::now() < deadline => {
@@ -683,20 +711,35 @@ impl PhoenixConnection {
         )?;
         self.stats.reconnect_attempts += attempts;
         self.mapped = mapped;
+        journal().record(
+            "core",
+            EventKind::ContextReinstalled,
+            format!(
+                "mapped connection rebuilt; {} SET option(s) replayed",
+                self.ctx.options.len()
+            ),
+        );
 
         if !blip {
             // Phase 2: verify materialized session state was recovered by
             // the database recovery mechanisms.
+            let mut verified = 0u64;
             for obj in self.ctx.created.clone() {
-                if obj.kind == PhoenixObject::Table
-                    && !recovery::verify_table(&mut self.private, &obj.name)?
-                {
-                    return Err(DriverError::Protocol(format!(
-                        "phoenix session state lost: table {} missing after recovery",
-                        obj.name
-                    )));
+                if obj.kind == PhoenixObject::Table {
+                    if !recovery::verify_table(&mut self.private, &obj.name)? {
+                        return Err(DriverError::Protocol(format!(
+                            "phoenix session state lost: table {} missing after recovery",
+                            obj.name
+                        )));
+                    }
+                    verified += 1;
                 }
             }
+            journal().record(
+                "core",
+                EventKind::StateVerified,
+                format!("{verified} materialized table(s) verified present"),
+            );
         }
         Ok(())
     }

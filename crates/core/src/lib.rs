@@ -62,12 +62,16 @@
 //! * [`materialize`] — the result-set capture pipeline.
 //! * [`dml`] — DML wrapping and the status table.
 //! * [`recovery`] — failure detection, ping loop, two-phase reinstall.
+//! * [`metrics`] — process-wide recovery counters and the recovery-latency
+//!   histogram, registered in the [`phoenix_obs`] registry; recovery steps
+//!   also leave an ordered timeline in the [`phoenix_obs::journal()`].
 
 pub mod config;
 pub mod connection;
 pub mod context;
 pub mod dml;
 pub mod materialize;
+pub mod metrics;
 pub mod naming;
 pub mod recovery;
 pub mod statement;

@@ -1,0 +1,60 @@
+//! Recovery-layer metric handles, registered once and cached in a static.
+//!
+//! These are process-wide aggregates over every [`crate::PhoenixConnection`];
+//! the per-connection [`crate::PhoenixStats`] remains the fine-grained view.
+//! The counters pair with the event journal: the counters say *how much*
+//! recovery happened, the journal says *in what order*.
+
+use std::sync::{Arc, OnceLock};
+
+use phoenix_obs::{registry, Counter, Histogram};
+
+/// Cached handles for every recovery metric.
+pub struct CoreMetrics {
+    /// Reconnect attempts inside ping loops
+    /// (`phoenix_reconnect_attempts_total`).
+    pub reconnect_attempts: Arc<Counter>,
+    /// Sleeps taken between reconnect attempts
+    /// (`phoenix_backoff_sleeps_total`). Always `attempts - successes` —
+    /// the successful attempt never sleeps.
+    pub backoff_sleeps: Arc<Counter>,
+    /// Completed recovery passes (`phoenix_recoveries_total`).
+    pub recoveries: Arc<Counter>,
+    /// End-to-end virtual-session recovery latency
+    /// (`phoenix_recovery_us`): failure detection to re-established,
+    /// verified session.
+    pub recovery_us: Arc<Histogram>,
+    /// Requests answered from the status table instead of re-execution
+    /// (`phoenix_replayed_replies_total`) — the paper's reply-buffer hits.
+    pub replayed_replies: Arc<Counter>,
+}
+
+/// The recovery metric set, registered on first use.
+pub fn core_metrics() -> &'static CoreMetrics {
+    static M: OnceLock<CoreMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        CoreMetrics {
+            reconnect_attempts: r.counter(
+                "phoenix_reconnect_attempts_total",
+                "reconnect attempts made inside ping loops",
+            ),
+            backoff_sleeps: r.counter(
+                "phoenix_backoff_sleeps_total",
+                "sleeps taken between reconnect attempts",
+            ),
+            recoveries: r.counter(
+                "phoenix_recoveries_total",
+                "completed virtual-session recovery passes",
+            ),
+            recovery_us: r.histogram(
+                "phoenix_recovery_us",
+                "end-to-end virtual-session recovery latency (us)",
+            ),
+            replayed_replies: r.counter(
+                "phoenix_replayed_replies_total",
+                "requests answered from the status table (reply-buffer hits)",
+            ),
+        }
+    })
+}

@@ -17,10 +17,12 @@
 use std::time::{Duration, Instant};
 
 use phoenix_driver::{error::codes, Connection, DriverError, Environment};
+use phoenix_obs::{journal, EventKind};
 use phoenix_sql::ast::ObjectName;
 use phoenix_storage::types::Value;
 
 use crate::config::RecoverySettings;
+use crate::metrics::core_metrics;
 use crate::Result;
 
 /// Attempt to (re)connect and log in until it succeeds or `settings.max_wait`
@@ -34,11 +36,25 @@ pub fn reconnect_loop(
     settings: &RecoverySettings,
 ) -> Result<(Connection, u64)> {
     let deadline = Instant::now() + settings.max_wait;
+    let m = core_metrics();
     let mut attempts = 0u64;
     loop {
         attempts += 1;
+        m.reconnect_attempts.inc();
+        journal().record(
+            "core",
+            EventKind::ReconnectAttempt,
+            format!("attempt {attempts} to {addr}"),
+        );
         match env.connect_with_options(addr, user, database, options.clone()) {
-            Ok(conn) => return Ok((conn, attempts)),
+            Ok(conn) => {
+                journal().record(
+                    "core",
+                    EventKind::Reconnected,
+                    format!("connected to {addr} after {attempts} attempt(s)"),
+                );
+                return Ok((conn, attempts));
+            }
             Err(e) => {
                 let now = Instant::now();
                 if now >= deadline {
@@ -48,6 +64,7 @@ pub fn reconnect_loop(
                 // Clamp the sleep to the remaining window so the loop never
                 // overshoots max_wait by (almost) a whole ping interval —
                 // the app asked to wait max_wait, not max_wait rounded up.
+                m.backoff_sleeps.inc();
                 std::thread::sleep(settings.ping_interval.min(deadline - now));
             }
         }
@@ -102,8 +119,13 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    /// The reconnect counters are process-global; serialize the tests that
+    /// exercise `reconnect_loop` so their deltas stay exact.
+    static RECONNECT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn reconnect_gives_up_after_max_wait() {
+        let _g = RECONNECT_LOCK.lock().unwrap();
         let env = Environment::new().with_connect_timeout(Duration::from_millis(50));
         let settings = RecoverySettings {
             ping_interval: Duration::from_millis(10),
@@ -119,6 +141,7 @@ mod tests {
 
     #[test]
     fn reconnect_does_not_overshoot_max_wait() {
+        let _g = RECONNECT_LOCK.lock().unwrap();
         let env = Environment::new().with_connect_timeout(Duration::from_millis(50));
         let settings = RecoverySettings {
             // A ping interval much larger than the window: without the
@@ -135,6 +158,45 @@ mod tests {
             "reconnect_loop overshot max_wait: {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn reconnect_attempts_match_counter_and_sleeps_stay_clamped() {
+        let _g = RECONNECT_LOCK.lock().unwrap();
+        let m = core_metrics();
+        let env = Environment::new().with_connect_timeout(Duration::from_millis(50));
+        let settings = RecoverySettings {
+            // A ping interval far beyond the window: every sleep must be
+            // clamped to the remaining budget or the loop blows way past
+            // max_wait.
+            ping_interval: Duration::from_secs(30),
+            max_wait: Duration::from_millis(120),
+            read_timeout: None,
+        };
+        let attempts_before = m.reconnect_attempts.get();
+        let sleeps_before = m.backoff_sleeps.get();
+        let started = Instant::now();
+        // Nothing listens on this port: every attempt fails fast.
+        let r = reconnect_loop(&env, "127.0.0.1:1", "u", "d", Vec::new(), &settings);
+        assert!(r.is_err());
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= settings.max_wait,
+            "gave up before max_wait: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "a sleep escaped the clamp: {elapsed:?}"
+        );
+
+        let attempts = m.reconnect_attempts.get() - attempts_before;
+        let sleeps = m.backoff_sleeps.get() - sleeps_before;
+        // Fast connection-refused + clamped sleeps: the window fits at
+        // least an initial attempt and a post-sleep final attempt.
+        assert!(attempts >= 2, "expected ≥ 2 attempts, got {attempts}");
+        // Every attempt but the last (which hits the deadline and returns)
+        // is followed by exactly one clamped sleep.
+        assert_eq!(sleeps, attempts - 1);
     }
 
     #[test]

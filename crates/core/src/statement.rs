@@ -505,6 +505,13 @@ impl<'c> PhoenixStatement<'c> {
                         let us = t0.elapsed().as_micros() as u64;
                         self.pc.stats.last_reposition_us = us;
                         self.pc.stats.reposition_us += us;
+                        phoenix_obs::journal().record(
+                            "core",
+                            phoenix_obs::EventKind::CursorRestored,
+                            format!(
+                                "cursor over {table} repositioned past {delivered} row(s) in {us} us"
+                            ),
+                        );
                     }
                     return Ok(());
                 }

@@ -9,6 +9,7 @@ use phoenix_wire::message::{Outcome, Request, Response};
 
 use crate::environment::Environment;
 use crate::error::{DriverError, Result};
+use crate::metrics::driver_metrics;
 use crate::statement::Statement;
 
 /// Result of `Connection::execute` (a complete, default result set — the
@@ -95,6 +96,7 @@ impl Connection {
         })? {
             Response::LoginAck { session } => {
                 conn.session = session;
+                driver_metrics().connects.inc();
                 Ok(conn)
             }
             other => Err(DriverError::Protocol(format!(
@@ -268,9 +270,44 @@ impl Connection {
         }
     }
 
-    /// Graceful logout. Consumes the connection; errors are ignored (the
-    /// server cleans the session up on disconnect anyway).
+    /// Fetch the server's observability snapshot — every registered counter,
+    /// gauge, and latency histogram plus the recovery event journal — over
+    /// the wire. Session-less, like [`Connection::ping`].
+    pub fn server_stats(&mut self) -> Result<phoenix_obs::StatsSnapshot> {
+        match self.call(Request::Stats)? {
+            Response::Stats { snapshot } => phoenix_obs::StatsSnapshot::decode(&snapshot)
+                .map_err(|e| DriverError::Protocol(format!("bad stats snapshot: {e}"))),
+            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            other => Err(DriverError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Graceful logout. Consumes the connection. Best effort: a Logout
+    /// failure is not worth surfacing to the application (the server cleans
+    /// the session up on disconnect anyway), but it is not silently dropped
+    /// either — the outcome is counted and journalled so a rash of failed
+    /// closes shows up in the stats. Closing a poisoned connection is a
+    /// no-op, never a panic.
     pub fn close(mut self) {
-        let _ = self.call(Request::Logout);
+        let m = driver_metrics();
+        let outcome = if self.poisoned {
+            "skipped (poisoned)"
+        } else {
+            match self.call(Request::Logout) {
+                Ok(_) => "clean",
+                Err(_) => {
+                    m.failed_closes.inc();
+                    "logout failed"
+                }
+            }
+        };
+        m.closes.inc();
+        phoenix_obs::journal().record(
+            "driver",
+            phoenix_obs::EventKind::ConnectionClose,
+            format!("session {} close: {outcome}", self.session),
+        );
     }
 }

@@ -26,6 +26,7 @@
 pub mod connection;
 pub mod environment;
 pub mod error;
+pub mod metrics;
 pub mod statement;
 
 pub use connection::{Connection, QueryResult};

@@ -1,0 +1,45 @@
+//! Driver-side metric handles, registered once and cached in a static.
+//!
+//! The driver itself stays recovery-unaware; these count only what the
+//! driver layer can see directly (connection lifecycle). Recovery metrics
+//! live in `phoenix-core`, which owns the crash/reconnect machinery.
+
+use std::sync::{Arc, OnceLock};
+
+use phoenix_obs::{registry, Counter};
+
+/// Cached handles for every driver metric.
+pub struct DriverMetrics {
+    /// Connections opened successfully (`phoenix_driver_connects_total`).
+    pub connects: Arc<Counter>,
+    /// `Connection::close` calls, clean or not
+    /// (`phoenix_driver_closes_total`).
+    pub closes: Arc<Counter>,
+    /// Closes whose Logout round trip failed
+    /// (`phoenix_driver_failed_closes_total`). Best effort by design, but a
+    /// rash of these means sessions are being abandoned to server-side
+    /// cleanup.
+    pub failed_closes: Arc<Counter>,
+}
+
+/// The driver metric set, registered on first use.
+pub fn driver_metrics() -> &'static DriverMetrics {
+    static M: OnceLock<DriverMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        DriverMetrics {
+            connects: r.counter(
+                "phoenix_driver_connects_total",
+                "connections opened successfully",
+            ),
+            closes: r.counter(
+                "phoenix_driver_closes_total",
+                "Connection::close calls (clean or best-effort)",
+            ),
+            failed_closes: r.counter(
+                "phoenix_driver_failed_closes_total",
+                "closes whose Logout round trip failed",
+            ),
+        }
+    })
+}

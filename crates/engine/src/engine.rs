@@ -47,6 +47,7 @@ use crate::eval::{eval, Env};
 use crate::exec::{
     build_table_def, compute_delete, compute_insert_rows, compute_update, CatalogView,
 };
+use crate::metrics::engine_metrics;
 use crate::plan::execute_select;
 use crate::session::{SessionId, SessionState};
 
@@ -189,6 +190,9 @@ impl Engine {
         self.sessions
             .write()
             .insert(id, Arc::new(Mutex::new(SessionState::new(id, user))));
+        let m = engine_metrics();
+        m.sessions_opened.inc();
+        m.sessions_active.inc();
         id
     }
 
@@ -204,7 +208,13 @@ impl Engine {
             self.sessions.write().remove(&sid).ok_or_else(|| {
                 EngineError::new(ErrorCode::NoSession, format!("no session {sid}"))
             })?;
-        let txn = session.lock().txn.take();
+        let (txn, temp_tables) = {
+            let mut s = session.lock();
+            (s.txn.take(), s.temp.tables().count() as i64)
+        };
+        let m = engine_metrics();
+        m.sessions_active.dec();
+        m.temp_tables.add(-temp_tables);
         if let Some(txn) = txn {
             self.durable.abort(txn)?;
         }
@@ -244,6 +254,7 @@ impl Engine {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
         let result = {
+            let _t = phoenix_obs::Timer::new(engine_metrics().stmt_latency(stmt));
             let mut session = session.lock();
             self.exec_in(&mut session, stmt, None, 0)
         };
@@ -426,6 +437,7 @@ impl Engine {
                 let def = build_table_def(c)?;
                 if c.name.is_temp() {
                     session.temp.create_table(def)?;
+                    engine_metrics().temp_tables.inc();
                 } else {
                     self.with_txn(session, |db, txn| Ok(db.create_table(txn, def)?))?;
                 }
@@ -435,7 +447,7 @@ impl Engine {
                 let key = name.canonical();
                 if name.is_temp() {
                     match session.temp.drop_table(&key) {
-                        Ok(_) => {}
+                        Ok(_) => engine_metrics().temp_tables.dec(),
                         Err(_) if *if_exists => {}
                         Err(e) => return Err(e.into()),
                     }
@@ -605,6 +617,7 @@ impl Engine {
                 let schema = cursor.schema.clone();
                 let granted = cursor.kind;
                 session.cursors.insert(id, cursor);
+                engine_metrics().cursor_opens.inc();
                 Ok((id, schema, granted))
             }
             Err(e) => Err(e),
@@ -622,6 +635,7 @@ impl Engine {
                 format!("no such cursor {cid}"),
             )),
             Some(mut cursor) => {
+                engine_metrics().cursor_fetches.inc();
                 let r = {
                     // A fresh snapshot per fetch: keyset/dynamic cursors see
                     // data as of this fetch, and the scan holds no lock.

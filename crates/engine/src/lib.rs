@@ -39,6 +39,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod metrics;
 pub mod plan;
 pub mod session;
 

@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+
+//! # phoenix-obs
+//!
+//! The observability core for the Phoenix database stack: the paper's whole
+//! value proposition is *measurable* — normal-operation overhead versus
+//! time-to-restore-a-session — and this crate is what turns both into
+//! numbers a test or a benchmark harness can assert on.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — lock-free [`Counter`], [`Gauge`] and fixed-bucket
+//!   log-scale [`Histogram`]. Recording a sample is a **single atomic
+//!   `fetch_add`**; no mutex, no rwlock, no allocation anywhere on the hot
+//!   path. Callers cache `Arc` handles in statics, so steady-state
+//!   instrumentation never touches the registry again.
+//! * [`mod@registry`] — a process-wide [`Registry`] of named (optionally
+//!   labeled) metric families with a Prometheus-style text exposition
+//!   ([`Registry::render_text`]) and a structured [`StatsSnapshot`] for the
+//!   wire.
+//! * [`mod@journal`] — a bounded ring-buffer [`Journal`] of timestamped events,
+//!   used to record *recovery timelines*: crash detected → reconnect
+//!   attempts → session context re-installed → cursors and reply buffers
+//!   restored. Events are rare (failures, lifecycle edges), so the journal
+//!   trades a short mutex for perfectly ordered, monotonic timestamps.
+//!
+//! The crate is dependency-free on purpose: every other crate in the
+//! workspace (storage, engine, server, driver, core, bench) links it, so it
+//! must sit at the very bottom of the dependency graph, next to std.
+
+pub mod journal;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use journal::{journal, Event, EventKind, Journal};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{registry, MetricValue, Registry};
+pub use snapshot::StatsSnapshot;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Microseconds elapsed since the process-wide observability epoch (the
+/// first call to any phoenix-obs timestamp). Monotonic: backed by
+/// [`Instant`], never by wall-clock time, so recovery timelines can assert
+/// strict ordering even across NTP steps.
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Convenience guard that records the elapsed time into a histogram when
+/// dropped — the one-liner for latency instrumentation:
+///
+/// ```
+/// # let h = std::sync::Arc::new(phoenix_obs::Histogram::new());
+/// let _t = phoenix_obs::Timer::new(&h);
+/// // ... the code being timed ...
+/// // histogram sample recorded when `_t` drops
+/// ```
+pub struct Timer<'a> {
+    start: Instant,
+    histogram: &'a Histogram,
+}
+
+impl<'a> Timer<'a> {
+    /// Start timing; the sample lands in `histogram` (in microseconds) when
+    /// the guard drops.
+    pub fn new(histogram: &'a Histogram) -> Timer<'a> {
+        Timer {
+            start: Instant::now(),
+            histogram,
+        }
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        let c = now_us();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        {
+            let _t = Timer::new(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        // 1 ms sleep must land at or above the ~1024 µs bucket's range.
+        assert!(h.snapshot().approx_mean_us() >= 256.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Every operation on the recording path is a single atomic instruction on a
+//! pre-existing cell — no mutex, no rwlock, no allocation. That property is
+//! what lets the WAL fsync path and the per-statement execute path carry
+//! instrumentation without measurably perturbing the numbers they measure.
+//!
+//! All atomics use `Relaxed` ordering: metrics are statistical aggregates,
+//! not synchronization primitives, and no reader derives happens-before
+//! relationships from them.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket 0 holds exact zeros; bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, so 64 buckets cover the entire `u64`
+/// range with no clamping surprises below the last bucket.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event count (requests served, fsyncs issued,
+/// replies replayed, ...).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (active sessions, in-flight
+/// requests, temp tables alive).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale (powers of two) latency/size histogram.
+///
+/// [`Histogram::record`] is **exactly one** `fetch_add` on the bucket the
+/// value falls into; there is no separate count or sum atomic to keep the
+/// hot path at a single operation. Count is derived by summing buckets at
+/// read time, and sum/mean are approximated from bucket midpoints — accurate
+/// to within the ×2 bucket resolution, which is plenty for latency
+/// distributions (exact means, where they matter, come from counter pairs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`, so
+    /// `v ∈ [2^(i-1), 2^i)` lands in bucket `i` (the top bucket absorbs
+    /// `u64::MAX` and friends).
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample. Single atomic `fetch_add`; lock-free and
+    /// allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples (derived: sum over buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned, plain-integer copy of a [`Histogram`]'s buckets, suitable for
+/// rendering, wire encoding, and test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; see [`BUCKETS`] for the bucket layout.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Inclusive lower bound of bucket `i` (0, then powers of two).
+    pub fn lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^i - 1`; `u64::MAX` for the
+    /// last bucket, which also absorbs everything above it).
+    pub fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate sum of samples using bucket midpoints (`1.5 · 2^(i-1)`).
+    pub fn approx_sum(&self) -> f64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mid = if i == 0 {
+                    0.0
+                } else {
+                    1.5 * (1u64 << (i - 1)) as f64
+                };
+                n as f64 * mid
+            })
+            .sum()
+    }
+
+    /// Approximate mean sample value in the unit the histogram was recorded
+    /// in (microseconds, by this crate's convention).
+    pub fn approx_mean_us(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.approx_sum() / c as f64
+        }
+    }
+
+    /// Approximate value at quantile `q ∈ [0, 1]`: the upper bound of the
+    /// bucket where the cumulative count crosses `q · total`.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 1);
+        assert_eq!(Histogram::index(2), 2);
+        assert_eq!(Histogram::index(3), 2);
+        assert_eq!(Histogram::index(4), 3);
+        assert_eq!(Histogram::index(1023), 10);
+        assert_eq!(Histogram::index(1024), 11);
+        assert_eq!(Histogram::index(u64::MAX), BUCKETS - 1);
+
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile_are_plausible() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(100); // bucket [64, 128)
+        }
+        let s = h.snapshot();
+        let mean = s.approx_mean_us();
+        assert!((64.0..=128.0).contains(&mean), "mean {mean} out of bucket");
+        let p99 = s.approx_quantile(0.99);
+        assert!((64..=127).contains(&p99), "p99 {p99} out of bucket");
+    }
+
+    #[test]
+    fn concurrent_counts_are_exact() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            handles.push(thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.record(t * 1000 + i % 97);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+    }
+}

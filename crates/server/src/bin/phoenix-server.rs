@@ -1,22 +1,25 @@
 //! Standalone Phoenix database server.
 //!
 //! ```text
-//! phoenix-server [--data <dir>] [--port <port>] [--buffered]
+//! phoenix-server [--data <dir>] [--port <port>] [--buffered] [--stats-port <port>]
 //! ```
 //!
 //! Opens (and crash-recovers) the database in the data directory, listens on
 //! the given port, and serves until SIGINT/EOF on stdin. A checkpoint is
-//! taken on orderly shutdown.
+//! taken on orderly shutdown. With `--stats-port`, a second listener serves
+//! Prometheus-style metrics text over HTTP on that port (`curl
+//! localhost:<port>` to scrape).
 
 use std::io::BufRead;
 
 use phoenix_engine::{Engine, EngineConfig};
-use phoenix_server::RunningServer;
+use phoenix_server::{RunningServer, StatsListener};
 use phoenix_storage::db::Durability;
 
 fn main() {
     let mut data_dir = std::path::PathBuf::from("./phoenix-data");
     let mut port: u16 = 54321;
+    let mut stats_port: Option<u16> = None;
     let mut durability = Durability::Fsync;
 
     let mut args = std::env::args().skip(1);
@@ -31,8 +34,18 @@ fn main() {
                     .expect("bad port")
             }
             "--buffered" => durability = Durability::Buffered,
+            "--stats-port" => {
+                stats_port = Some(
+                    args.next()
+                        .expect("--stats-port needs a number")
+                        .parse()
+                        .expect("bad stats port"),
+                )
+            }
             "--help" | "-h" => {
-                eprintln!("usage: phoenix-server [--data <dir>] [--port <port>] [--buffered]");
+                eprintln!(
+                    "usage: phoenix-server [--data <dir>] [--port <port>] [--buffered] [--stats-port <port>]"
+                );
                 return;
             }
             other => {
@@ -60,6 +73,17 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("phoenix-server: listening on 127.0.0.1:{}", server.port);
+    let _stats = stats_port.map(|p| {
+        let listener = StatsListener::start(p).unwrap_or_else(|e| {
+            eprintln!("cannot listen on stats port {p}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "phoenix-server: serving metrics on http://127.0.0.1:{}/",
+            listener.port
+        );
+        listener
+    });
     eprintln!("phoenix-server: press Enter (or close stdin) to shut down gracefully");
 
     // Block until stdin yields a line or closes.

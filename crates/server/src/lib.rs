@@ -15,9 +15,18 @@
 //!   committed but had not yet been answered loses its reply — reproducing
 //!   the paper's lost-message failure mode. Nothing survives a crash except
 //!   the data directory; `restart()` runs real WAL recovery.
+//! * [`metrics`] — server-layer counters and gauges (connections, requests
+//!   by type, malformed frames), registered in the process-wide
+//!   [`phoenix_obs`] registry.
+//! * [`stats_http`] — [`stats_http::StatsListener`]: a minimal HTTP/1.0
+//!   endpoint serving the registry's Prometheus-style text exposition,
+//!   independent of the database protocol.
 
 pub mod harness;
+pub mod metrics;
 pub mod server;
+pub mod stats_http;
 
 pub use harness::ServerHarness;
 pub use server::{serve_connection, RunningServer};
+pub use stats_http::StatsListener;

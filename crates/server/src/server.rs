@@ -28,8 +28,11 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use phoenix_engine::{cursor, Engine, EngineError, ErrorCode, ExecOutcome, SessionId};
+use phoenix_obs::StatsSnapshot;
 use phoenix_wire::frame::{read_frame, write_frame, FrameError};
 use phoenix_wire::message::{CursorKind, FetchDir, Outcome, Request, Response};
+
+use crate::metrics::server_metrics;
 
 /// Shared handle to the (possibly crashed) engine. The outer lock is held
 /// only long enough to clone the inner `Arc` (dispatch) or to `take()` it
@@ -133,6 +136,9 @@ fn accept_loop(
                 if let Ok(clone) = stream.try_clone() {
                     conns.lock().insert(conn_id, clone);
                 }
+                let m = server_metrics();
+                m.connections_accepted.inc();
+                m.connections_active.inc();
                 let engine = Arc::clone(&engine);
                 let conns = Arc::clone(&conns);
                 let _ = std::thread::Builder::new()
@@ -142,6 +148,9 @@ fn accept_loop(
                         // Prune this connection's registry entry; after a
                         // sever the entry is already gone, which is fine.
                         conns.lock().remove(&conn_id);
+                        let m = server_metrics();
+                        m.connections_pruned.inc();
+                        m.connections_active.dec();
                     });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -167,19 +176,34 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
         let request = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
-                let _ = send(
+                // A garbage payload inside a well-formed frame is the
+                // client's bug, not a transport failure: the frame layer has
+                // preserved message boundaries, so the stream is still in
+                // sync. Answer with a clean error and keep serving instead
+                // of killing the connection (and with it the session's temp
+                // tables and cursors).
+                server_metrics().malformed_requests.inc();
+                if send(
                     &mut stream,
                     &Response::Err {
-                        code: ErrorCode::Internal as u16,
+                        code: ErrorCode::Parse as u16,
                         message: format!("malformed request: {e}"),
                     },
-                );
-                break;
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
             }
         };
 
         let logout = matches!(request, Request::Logout);
+        let m = server_metrics();
+        m.requests(&request).inc();
+        m.requests_inflight.inc();
         let response = dispatch(&engine, &mut session, request);
+        m.requests_inflight.dec();
         if send(&mut stream, &response).is_err() {
             break; // reply lost — the paper's lost-message case
         }
@@ -221,6 +245,10 @@ fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Req
     match request {
         // Ping is answered even without a session — it is the recovery probe.
         Request::Ping => Response::Pong,
+        // Stats is likewise session-less: monitoring must not need a login.
+        Request::Stats => Response::Stats {
+            snapshot: StatsSnapshot::capture().encode(),
+        },
         Request::Login {
             user,
             database: _,

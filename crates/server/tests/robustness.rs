@@ -1,0 +1,126 @@
+//! Protocol-robustness tests: a well-formed frame carrying a garbage payload
+//! must produce a clean `Response::Err` and leave the connection usable —
+//! killing the connection would also kill the session (temp tables, cursors),
+//! which is far too high a price for one bad message.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use phoenix_engine::EngineConfig;
+use phoenix_server::metrics::server_metrics;
+use phoenix_server::ServerHarness;
+use phoenix_wire::frame::{read_frame, write_frame};
+use phoenix_wire::message::{Outcome, Request, Response};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-robust-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn call(s: &mut TcpStream, req: Request) -> Response {
+    write_frame(s, &req.encode()).unwrap();
+    let payload = read_frame(s).unwrap();
+    Response::decode(&payload).unwrap()
+}
+
+/// Send raw bytes as a frame payload and read back the response.
+fn call_raw(s: &mut TcpStream, payload: &[u8]) -> Response {
+    write_frame(s, payload).unwrap();
+    let payload = read_frame(s).unwrap();
+    Response::decode(&payload).unwrap()
+}
+
+#[test]
+fn garbage_payload_gets_error_and_connection_survives() {
+    let dir = temp_dir("garbage");
+    let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+
+    match call(
+        &mut s,
+        Request::Login {
+            user: "t".into(),
+            database: "d".into(),
+            options: vec![],
+        },
+    ) {
+        Response::LoginAck { .. } => {}
+        other => panic!("login failed: {other:?}"),
+    }
+    match call(
+        &mut s,
+        Request::Exec {
+            sql: "CREATE TABLE #scratch (x INT)".into(),
+        },
+    ) {
+        Response::Result { .. } => {}
+        other => panic!("create failed: {other:?}"),
+    }
+
+    let malformed_before = server_metrics().malformed_requests.get();
+
+    // An unknown request tag, a truncated Login, and pure noise: all are
+    // valid *frames*, none are valid *requests*. Each must be answered with
+    // an error on the same, still-living connection.
+    for garbage in [&[200u8][..], &[1, 0, 0][..], &[0xde, 0xad, 0xbe, 0xef][..]] {
+        match call_raw(&mut s, garbage) {
+            Response::Err { message, .. } => {
+                assert!(message.contains("malformed request"), "{message}");
+            }
+            other => panic!("expected Err for {garbage:?}, got {other:?}"),
+        }
+    }
+
+    assert_eq!(
+        server_metrics().malformed_requests.get(),
+        malformed_before + 3,
+        "each garbage frame must be counted"
+    );
+
+    // The connection — and the session behind it — are still intact: the
+    // temp table created before the garbage is still visible.
+    match call(&mut s, Request::Ping) {
+        Response::Pong => {}
+        other => panic!("ping after garbage failed: {other:?}"),
+    }
+    match call(
+        &mut s,
+        Request::Exec {
+            sql: "INSERT INTO #scratch VALUES (1)".into(),
+        },
+    ) {
+        Response::Result {
+            outcome: Outcome::RowsAffected(1),
+            ..
+        } => {}
+        other => panic!("temp table lost after garbage: {other:?}"),
+    }
+
+    h.shutdown();
+}
+
+#[test]
+fn stats_request_round_trips_without_login() {
+    let dir = temp_dir("stats");
+    let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+
+    // Stats is session-less, like Ping: no login required.
+    let snapshot = match call(&mut s, Request::Stats) {
+        Response::Stats { snapshot } => snapshot,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let stats = phoenix_obs::StatsSnapshot::decode(&snapshot).unwrap();
+    assert!(
+        stats
+            .counter("phoenix_connections_accepted_total")
+            .is_some_and(|v| v >= 1),
+        "server-side counters must appear in the wire snapshot"
+    );
+
+    h.shutdown();
+}

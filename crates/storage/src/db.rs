@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::metrics::storage_metrics;
 use crate::record::LogRecord;
 use crate::store::{Store, StoreError, StoreSnapshot, TableData};
 use crate::types::{Row, RowId, TableDef, TxnId};
@@ -250,6 +251,7 @@ impl Durable {
     fn publish(&self, working: &Store) {
         let snap = Arc::new(StoreSnapshot::capture(working));
         *self.published.write() = snap;
+        storage_metrics().snapshot_publishes.inc();
     }
 
     /// The data directory.
@@ -349,6 +351,12 @@ impl Durable {
             st.leader = false;
             match flush {
                 Ok(upto) => {
+                    if upto > st.flushed {
+                        let m = storage_metrics();
+                        m.group_commit_records.add(upto - st.flushed);
+                        m.group_commit_syncs.inc();
+                        m.group_commit_batch.record(upto - st.flushed);
+                    }
                     st.flushed = st.flushed.max(upto);
                     self.group.flushed_cv.notify_all();
                     // `upto` ≥ our `seq` (we appended before flushing), so
@@ -672,6 +680,8 @@ impl Durable {
         if let Some(txn) = self.active.lock().keys().next().copied() {
             return Err(DbError::TxnActive(txn));
         }
+        let m = storage_metrics();
+        let _t = phoenix_obs::Timer::new(&m.checkpoint_us);
         snapshot::write(
             Self::snapshot_path(&self.dir),
             store,
@@ -679,6 +689,7 @@ impl Durable {
         )?;
         self.wal.lock().truncate()?;
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        m.checkpoints.inc();
         Ok(())
     }
 }

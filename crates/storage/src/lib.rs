@@ -26,6 +26,9 @@
 //!   to a WAL: every mutation is logged before it is applied, commits force
 //!   the log, aborts roll back in memory, and [`db::Durable::open`] performs
 //!   crash recovery (snapshot load + replay of committed transactions).
+//! * [`metrics`] — the crate's phoenix-obs handles: WAL append/fsync
+//!   latency, group-commit batch sizes, checkpoint duration, snapshot
+//!   publish counts.
 //!
 //! The paper's central assumption about the database server — *durable tables
 //! survive a crash; everything session-scoped does not* — is exactly the
@@ -34,6 +37,7 @@
 pub mod codec;
 pub mod crc;
 pub mod db;
+pub mod metrics;
 pub mod record;
 pub mod snapshot;
 pub mod store;

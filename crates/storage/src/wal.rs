@@ -17,6 +17,7 @@ use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
+use crate::metrics::storage_metrics;
 
 /// Maximum accepted payload size (64 MiB). A length field larger than this is
 /// treated as tail corruption rather than an attempt to allocate wildly, and
@@ -71,20 +72,26 @@ impl Wal {
                 ),
             ));
         }
+        let m = storage_metrics();
+        let _t = phoenix_obs::Timer::new(&m.wal_append_us);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
         self.unsynced += frame.len();
+        m.wal_appends.inc();
         Ok(())
     }
 
     /// Force all appended frames to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        let m = storage_metrics();
+        let _t = phoenix_obs::Timer::new(&m.wal_fsync_us);
         self.file.sync_data()?;
         self.sync_calls += 1;
         self.unsynced = 0;
+        m.wal_fsyncs.inc();
         Ok(())
     }
 

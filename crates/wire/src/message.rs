@@ -83,6 +83,10 @@ pub enum Request {
         /// Table name (optionally namespace-qualified).
         table: String,
     },
+    /// Fetch the server's observability snapshot (metrics + recovery event
+    /// journal). Session-less like `Ping`: answered even before login, so a
+    /// monitoring client never needs a session.
+    Stats,
     /// End the session gracefully.
     Logout,
 }
@@ -150,6 +154,15 @@ pub enum Response {
         /// Human-readable message.
         message: String,
     },
+    /// Observability snapshot answer for `Stats`. The payload is a
+    /// `phoenix-obs` `StatsSnapshot` in its own versioned encoding, carried
+    /// opaquely so the wire layer needs no knowledge of metric structure
+    /// (and the obs format can evolve without a protocol bump).
+    Stats {
+        /// `StatsSnapshot::encode()` bytes; decode with
+        /// `StatsSnapshot::decode`.
+        snapshot: Vec<u8>,
+    },
     /// Logout acknowledged.
     Bye,
 }
@@ -166,6 +179,7 @@ const REQ_CLOSE_CURSOR: u8 = 5;
 const REQ_PING: u8 = 6;
 const REQ_LOGOUT: u8 = 7;
 const REQ_DESCRIBE: u8 = 8;
+const REQ_STATS: u8 = 9;
 
 const RSP_LOGIN_ACK: u8 = 101;
 const RSP_RESULT: u8 = 102;
@@ -175,6 +189,7 @@ const RSP_PONG: u8 = 105;
 const RSP_ERR: u8 = 106;
 const RSP_BYE: u8 = 107;
 const RSP_TABLE_INFO: u8 = 108;
+const RSP_STATS: u8 = 109;
 
 fn cursor_kind_tag(k: CursorKind) -> u8 {
     match k {
@@ -283,6 +298,7 @@ impl Request {
                 buf.put_u8(REQ_DESCRIBE);
                 codec::put_str(&mut buf, table);
             }
+            Request::Stats => buf.put_u8(REQ_STATS),
             Request::Logout => buf.put_u8(REQ_LOGOUT),
         }
         buf.to_vec()
@@ -350,6 +366,7 @@ impl Request {
             REQ_DESCRIBE => Request::Describe {
                 table: codec::get_str(&mut buf)?,
             },
+            REQ_STATS => Request::Stats,
             REQ_LOGOUT => Request::Logout,
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
@@ -419,6 +436,11 @@ impl Response {
                 buf.put_u8(RSP_ERR);
                 buf.put_u16_le(*code);
                 codec::put_str(&mut buf, message);
+            }
+            Response::Stats { snapshot } => {
+                buf.put_u8(RSP_STATS);
+                buf.put_u32_le(snapshot.len() as u32);
+                buf.put_slice(snapshot);
             }
             Response::Bye => buf.put_u8(RSP_BYE),
         }
@@ -520,6 +542,18 @@ impl Response {
                 let message = codec::get_str(&mut buf)?;
                 Response::Err { code, message }
             }
+            RSP_STATS => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated stats length".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n {
+                    return Err(DecodeError("truncated stats payload".into()));
+                }
+                let mut snapshot = vec![0u8; n];
+                buf.copy_to_slice(&mut snapshot);
+                Response::Stats { snapshot }
+            }
             RSP_BYE => Response::Bye,
             other => return Err(DecodeError(format!("unknown response tag {other}"))),
         };
@@ -572,6 +606,7 @@ mod tests {
         roundtrip_req(Request::Describe {
             table: "dbo.orders".into(),
         });
+        roundtrip_req(Request::Stats);
         roundtrip_req(Request::Logout);
     }
 
@@ -617,6 +652,12 @@ mod tests {
             code: 2,
             message: "no such table 'x'".into(),
         });
+        roundtrip_rsp(Response::Stats {
+            snapshot: Vec::new(),
+        });
+        roundtrip_rsp(Response::Stats {
+            snapshot: vec![0x53, 0x58, 0x48, 0x50, 1, 0, 0, 0, 0],
+        });
         roundtrip_rsp(Response::Bye);
     }
 
@@ -628,6 +669,34 @@ mod tests {
         let mut bytes = Request::Ping.encode();
         bytes.push(0);
         assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_give_descriptive_errors() {
+        // Every unassigned request tag decodes to a clean error naming the
+        // tag — the server relies on this to answer `Response::Err` and keep
+        // the connection alive instead of dropping it.
+        for tag in [0u8, 10, 42, 100, 255] {
+            let err = Request::decode(&[tag]).unwrap_err();
+            assert!(
+                err.0.contains("unknown request tag") && err.0.contains(&tag.to_string()),
+                "tag {tag}: {err:?}"
+            );
+        }
+        // Garbage *after* a valid tag is also an error, not a partial parse.
+        let err = Request::decode(&[REQ_EXEC, 0xFF, 0xFF, 0xFF, 0xFF]).unwrap_err();
+        assert!(!err.0.is_empty());
+    }
+
+    #[test]
+    fn stats_payload_truncations_rejected() {
+        let full = Response::Stats {
+            snapshot: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Response::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Observability tour: run a small workload, crash the server mid-flight,
+//! let Phoenix recover, then pull the stats snapshot over the wire and
+//! pretty-print it — counters, latency histograms, and the ordered recovery
+//! timeline (crash detected → reconnect attempts → context re-installed →
+//! recovery complete).
+//!
+//! ```text
+//! cargo run -p phoenix-bench --example phoenix_stats
+//! ```
+
+use std::time::Duration;
+
+use phoenix_core::{PhoenixConfig, PhoenixConnection};
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("phoenix-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let mut server = ServerHarness::start(&data_dir, EngineConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let env = Environment::new().with_read_timeout(Some(Duration::from_millis(800)));
+    let mut cfg = PhoenixConfig::default();
+    cfg.recovery.read_timeout = Some(Duration::from_millis(800));
+    cfg.recovery.ping_interval = Duration::from_millis(25);
+    let mut db = PhoenixConnection::connect(&env, &addr, "tour", "db", cfg).unwrap();
+
+    // A little work so the statement-latency histograms have something in
+    // them…
+    db.execute("CREATE TABLE readings (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO readings VALUES ({i}, {})", i * i))
+            .unwrap();
+    }
+
+    // …then the main event: a crash mid-workload.
+    println!("crashing the server mid-workload…");
+    server.crash().unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    server.restart().unwrap();
+
+    // Phoenix absorbs the crash; the application just sees a slow statement.
+    for i in 20..30 {
+        db.execute(&format!("INSERT INTO readings VALUES ({i}, {})", i * i))
+            .unwrap();
+    }
+    let n = db.execute("SELECT COUNT(*) FROM readings").unwrap().rows()[0][0]
+        .as_i64()
+        .unwrap();
+    println!("workload finished: {n}/30 rows present (exactly once)\n");
+
+    // Pull the snapshot over the wire, exactly as a monitoring client would.
+    let stats = env
+        .connect(&addr, "monitor", "db")
+        .unwrap()
+        .server_stats()
+        .unwrap();
+    println!("{}", stats.render_pretty());
+
+    db.close();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -1,0 +1,133 @@
+//! End-to-end observability test: a crash/recover cycle must leave a
+//! complete, ordered recovery timeline in the event journal, drive the
+//! recovery counters, and be visible through the `Request::Stats` wire
+//! round trip — server and client run in one process here, so both sides'
+//! metrics land in the same global registry.
+
+use std::time::Duration;
+
+use phoenix_core::{PhoenixConfig, PhoenixConnection};
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_obs::{journal, EventKind};
+use phoenix_server::ServerHarness;
+
+#[test]
+fn crash_recovery_timeline_and_wire_stats() {
+    let dir = std::env::temp_dir().join(format!("phoenix-obs-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut server = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let env = Environment::new().with_read_timeout(Some(Duration::from_millis(500)));
+    let mut cfg = PhoenixConfig::default();
+    cfg.recovery.read_timeout = Some(Duration::from_millis(500));
+    cfg.recovery.ping_interval = Duration::from_millis(20);
+    let mut db = PhoenixConnection::connect(&env, &addr, "obs", "db", cfg).unwrap();
+
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..5 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+    }
+
+    // Crash mid-session; Phoenix must recover transparently.
+    server.crash().unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    server.restart().unwrap();
+    for i in 5..10 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    let n = db.execute("SELECT COUNT(*) FROM t").unwrap().rows()[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, 10, "exactly-once violated across the crash");
+
+    // --- Counters -------------------------------------------------------
+    assert!(db.stats().recoveries >= 1);
+    assert!(
+        db.stats().reconnect_attempts >= 1,
+        "recovery must have reconnected at least once"
+    );
+    let snapshot = phoenix_obs::StatsSnapshot::capture();
+    assert!(
+        snapshot
+            .counter("phoenix_reconnect_attempts_total")
+            .is_some_and(|v| v >= db.stats().reconnect_attempts),
+        "global reconnect counter must cover this connection's attempts"
+    );
+    assert!(snapshot
+        .counter("phoenix_recoveries_total")
+        .is_some_and(|v| v >= 1));
+
+    // --- Recovery timeline ---------------------------------------------
+    // The journal timestamps are taken inside the journal lock, so sequence
+    // order and timestamp order must agree — globally, not just per
+    // component.
+    let events = journal().events();
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "journal out of order");
+        assert!(
+            pair[0].ts_us <= pair[1].ts_us,
+            "timestamps must be monotonic with sequence: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // The full ordered recovery story: crash detected, then at least one
+    // reconnect attempt, then reconnected, then the session context
+    // replayed, then state verified, then recovery complete.
+    let seq_of = |kind: EventKind| {
+        events
+            .iter()
+            .find(|e| e.component == "core" && e.kind == kind)
+            .unwrap_or_else(|| panic!("no {kind:?} event in journal"))
+            .seq
+    };
+    let crash = seq_of(EventKind::CrashDetected);
+    let attempt = seq_of(EventKind::ReconnectAttempt);
+    let reconnected = seq_of(EventKind::Reconnected);
+    let context = seq_of(EventKind::ContextReinstalled);
+    let verified = seq_of(EventKind::StateVerified);
+    let complete = seq_of(EventKind::RecoveryComplete);
+    assert!(
+        crash < attempt && attempt < reconnected && reconnected < context,
+        "timeline out of order: crash={crash} attempt={attempt} \
+         reconnected={reconnected} context={context}"
+    );
+    assert!(
+        context < verified && verified < complete,
+        "timeline out of order: context={context} verified={verified} complete={complete}"
+    );
+
+    // --- Wire round trip ------------------------------------------------
+    let mut monitor = env.connect(&addr, "monitor", "db").unwrap();
+    let stats = monitor.server_stats().unwrap();
+    assert!(
+        stats
+            .counter("phoenix_wal_fsyncs_total")
+            .is_some_and(|v| v > 0),
+        "committed inserts must have fsynced the WAL"
+    );
+    let stmt_latency_samples: u64 = stats
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("phoenix_stmt_latency_us"))
+        .map(|(_, h)| h.count())
+        .sum();
+    assert!(
+        stmt_latency_samples > 0,
+        "statement latency histograms must have recorded the workload"
+    );
+    assert!(
+        !stats.events.is_empty(),
+        "the journal must travel with the snapshot"
+    );
+    monitor.close();
+
+    db.close();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
