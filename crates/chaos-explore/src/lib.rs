@@ -1,0 +1,463 @@
+#![warn(missing_docs)]
+
+//! # phoenix-chaos-explore
+//!
+//! The crash-schedule explorer: systematic validation of the paper's
+//! "survives a crash at *any* instant" guarantee.
+//!
+//! The pipeline:
+//!
+//! 1. **Clean run** ([`run_clean`]) — execute the [canonical
+//!    workload](canonical_workload) against a fresh server with
+//!    `phoenix-chaos` armed in trace mode, recording every fault-point
+//!    visit. With a single sequential client the visit sequence is a pure
+//!    function of the workload, so it doubles as the enumeration of every
+//!    instant the server could die.
+//! 2. **Crash sweep** ([`explore`]) — for each enumerated visit, re-run the
+//!    workload with a one-shot schedule that kills the server exactly there
+//!    (plus torn-write variants at the write-shaped points), let Phoenix
+//!    recover, and compare the workload's observable output against the
+//!    clean run.
+//!
+//! The invariants checked after every crash are the paper's:
+//!
+//! * **No committed write lost** — the final table image equals the clean
+//!   run's.
+//! * **No DML applied twice** — increment-style UPDATEs and row counts
+//!   would diverge if a statement re-executed after its commit.
+//! * **Replayed replies identical** — every statement's rendered reply
+//!   matches the clean run's byte-for-byte, whether it was executed,
+//!   replayed from the status table, or resubmitted.
+//! * **Cursors resume at the saved position** — the row sequence delivered
+//!   through the keyset cursor matches the clean run's.
+//!
+//! Any violation is reported with the `(seed, point, nth)` triple that
+//! deterministically reproduces it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use phoenix_chaos as chaos;
+use phoenix_chaos::{FaultSpec, Visit};
+use phoenix_core::{PhoenixConfig, PhoenixConnection, PhoenixCursorKind, PhoenixStats};
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+
+/// Everything the canonical workload observes: one rendered reply per
+/// statement, the row sequence delivered through the cursor, and the final
+/// table image. Two runs are equivalent iff their outputs are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadOutput {
+    /// Rendered reply of each workload statement, in order.
+    pub replies: Vec<String>,
+    /// Rows fetched through the keyset cursor, in delivery order.
+    pub cursor_rows: Vec<String>,
+    /// `SELECT * FROM acct ORDER BY id` at the end of the workload.
+    pub final_table: Vec<String>,
+}
+
+/// The DML/txn statements of the canonical workload (the cursor phase and
+/// the final table scan are driven separately by [`canonical_workload`]).
+///
+/// Every mutation is chosen so that *double* application changes the
+/// observable state: increments would overshoot, re-inserts would raise
+/// duplicate-key errors, a re-deleted row changes affected counts.
+pub const WORKLOAD_DML: &[&str] = &[
+    "INSERT INTO acct VALUES (9, 900, 'ins')",
+    "UPDATE acct SET bal = bal + 5 WHERE id = 1",
+    "DELETE FROM acct WHERE id = 2",
+    "BEGIN",
+    "UPDATE acct SET bal = bal + 7 WHERE id = 3",
+    "INSERT INTO acct VALUES (10, 1000, 'txn')",
+    "COMMIT",
+    "SELECT id, bal FROM acct WHERE bal >= 500 ORDER BY id",
+];
+
+/// Create and populate the workload's table. Run *before* arming chaos so
+/// schedules align with [`run_clean`]'s trace.
+pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
+    pc.execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT, memo TEXT)")?;
+    pc.execute(
+        "INSERT INTO acct VALUES (1, 100, 'a'), (2, 200, 'b'), (3, 300, 'c'), (4, 400, 'd'), \
+         (5, 500, 'e'), (6, 600, 'f'), (7, 700, 'g'), (8, 800, 'h')",
+    )?;
+    Ok(())
+}
+
+/// Run the canonical workload: wrapped DML, an application transaction, a
+/// materialized SELECT, a keyset-cursor scan, and a final full-table read.
+pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<WorkloadOutput> {
+    let mut replies = Vec::new();
+    for sql in WORKLOAD_DML {
+        let r = pc.execute(sql)?;
+        replies.push(format!("{r:?}"));
+    }
+
+    let mut cursor_rows = Vec::new();
+    {
+        let mut st = pc.statement();
+        st.set_cursor_type(PhoenixCursorKind::Keyset);
+        st.set_fetch_block(3);
+        st.execute("SELECT id, bal FROM acct ORDER BY id")?;
+        while let Some(row) = st.fetch()? {
+            cursor_rows.push(format!("{row:?}"));
+        }
+        st.close();
+    }
+
+    let final_table = pc
+        .execute("SELECT * FROM acct ORDER BY id")?
+        .rows()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+
+    Ok(WorkloadOutput {
+        replies,
+        cursor_rows,
+        final_table,
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "phoenix-chaos-explore-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The recovery tuning every explorer run uses: fast failure detection so a
+/// full sweep stays fast, generous overall deadline so a slow restart never
+/// masquerades as a violation.
+pub fn explorer_config() -> PhoenixConfig {
+    let mut c = PhoenixConfig::default();
+    c.recovery.read_timeout = Some(Duration::from_millis(800));
+    c.recovery.ping_interval = Duration::from_millis(10);
+    c.recovery.max_wait = Duration::from_secs(10);
+    c
+}
+
+fn connect(h: &ServerHarness) -> PhoenixConnection {
+    PhoenixConnection::connect(
+        &Environment::new(),
+        &h.addr(),
+        "chaos",
+        "test",
+        explorer_config(),
+    )
+    .expect("connect to fresh harness")
+}
+
+/// Run the workload with no faults, tracing every fault-point visit.
+/// Returns the baseline output and the visit trace (the crash-point
+/// enumeration).
+pub fn run_clean() -> (WorkloadOutput, Vec<Visit>) {
+    let dir = fresh_dir("clean");
+    let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let mut pc = connect(&h);
+    seed_workload(&mut pc).expect("seed");
+    // Arm only now: visits during startup/connect/seed are not crash
+    // candidates (recovery of an un-seeded session is covered elsewhere),
+    // and skipping them keeps visit numbers aligned across runs.
+    let guard = chaos::arm_traced(chaos::Schedule::new());
+    let out = canonical_workload(&mut pc).expect("clean run must succeed");
+    let trace = guard.trace();
+    drop(guard);
+    pc.close();
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (out, trace)
+}
+
+/// Spawn the crash supervisor: polls [`chaos::crash_requested`] and, when a
+/// fatal fault fires, severs/crashes the harness, acknowledges the crash
+/// (lifting the halt for the next incarnation), and restarts the server on
+/// the same port. Returns `true` from its join handle iff a crash was
+/// handled. Set `stop` after the workload finishes, then join.
+pub fn spawn_supervisor(
+    harness: Arc<Mutex<ServerHarness>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<bool> {
+    std::thread::spawn(move || loop {
+        if chaos::crash_requested() {
+            {
+                let mut h = harness.lock().unwrap();
+                h.crash().expect("supervisor crash");
+                // The dead incarnation is fully drained; the halt may lift
+                // so the next incarnation can write and reply.
+                chaos::acknowledge_crash();
+                std::thread::sleep(Duration::from_millis(20));
+                h.restart().expect("supervisor restart");
+            }
+            return true;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    })
+}
+
+/// One crash case: inject `spec` at the `nth` visit to `point`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashCase {
+    /// Fault-point name (from the clean trace).
+    pub point: &'static str,
+    /// 1-based per-point visit number to fire at.
+    pub nth: u64,
+    /// What to inject there.
+    pub spec: FaultSpec,
+}
+
+impl CrashCase {
+    /// Stable human-readable id, used in violation reports.
+    pub fn id(&self) -> String {
+        format!("{}@{} [{}]", self.point, self.nth, self.spec.as_str())
+    }
+}
+
+/// Outcome of one crashed run.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The workload's observable output, or the error that ended it.
+    pub output: Result<WorkloadOutput, String>,
+    /// Did the injected fault actually fire?
+    pub fired: bool,
+    /// Did the supervisor handle a crash (sever + restart)?
+    pub crashed: bool,
+    /// Phoenix client counters at the end of the run.
+    pub stats: PhoenixStats,
+}
+
+/// Run the canonical workload with `case` injected, supervising the crash
+/// and letting Phoenix recover. Fully deterministic for a given case.
+pub fn run_case(case: &CrashCase) -> CaseOutcome {
+    let dir = fresh_dir("case");
+    let harness = Arc::new(Mutex::new(
+        ServerHarness::start(&dir, EngineConfig::default()).unwrap(),
+    ));
+    let mut pc = {
+        let h = harness.lock().unwrap();
+        connect(&h)
+    };
+    seed_workload(&mut pc).expect("seed");
+
+    let guard = chaos::arm(chaos::Schedule::new().rule(
+        chaos::Target::Point {
+            point: case.point,
+            nth: case.nth,
+        },
+        case.spec,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor = spawn_supervisor(Arc::clone(&harness), Arc::clone(&stop));
+
+    let output = canonical_workload(&mut pc).map_err(|e| e.to_string());
+
+    stop.store(true, Ordering::Relaxed);
+    let crashed = supervisor.join().expect("supervisor join");
+    let fired = !guard.fired().is_empty();
+    drop(guard);
+
+    let stats = pc.stats().clone();
+    pc.close();
+    harness.lock().unwrap().shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CaseOutcome {
+        output,
+        fired,
+        crashed,
+        stats,
+    }
+}
+
+/// Compare a crashed run's output against the clean baseline; returns one
+/// line per divergence (empty = all invariants hold).
+pub fn verify(baseline: &WorkloadOutput, got: &WorkloadOutput) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let mut cmp = |what: &str, base: &[String], got: &[String]| {
+        if base.len() != got.len() {
+            diffs.push(format!(
+                "{what}: {} entries, expected {}",
+                got.len(),
+                base.len()
+            ));
+        }
+        for (i, (b, g)) in base.iter().zip(got.iter()).enumerate() {
+            if b != g {
+                diffs.push(format!("{what}[{i}]: got {g}, expected {b}"));
+            }
+        }
+    };
+    cmp("reply", &baseline.replies, &got.replies);
+    cmp("cursor", &baseline.cursor_rows, &got.cursor_rows);
+    cmp("final_table", &baseline.final_table, &got.final_table);
+    diffs
+}
+
+/// Options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Maximum crash cases to execute; `0` = all of them. When the budget
+    /// is smaller than the case list, a deterministic seed-offset stride
+    /// picks an even sample.
+    pub budget: usize,
+    /// Seed for the budgeted sample selection (and printed with every
+    /// violation for reproduction).
+    pub seed: u64,
+    /// Also generate torn-write variants at the write-shaped points
+    /// (`wal.append`, `server.reply_send`, `wire.write_frame`).
+    pub torn_writes: bool,
+    /// Print per-case progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            budget: 0,
+            seed: 1,
+            torn_writes: true,
+            verbose: false,
+        }
+    }
+}
+
+/// One invariant violation, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// `point@nth [spec]` of the case that failed.
+    pub case_id: String,
+    /// The sweep seed (reproduces the sample selection).
+    pub seed: u64,
+    /// The divergences (or the run-level error).
+    pub details: Vec<String>,
+}
+
+/// Sweep results.
+#[derive(Debug)]
+pub struct Report {
+    /// Crash candidates enumerated from the clean trace (before budgeting).
+    pub enumerated: usize,
+    /// Cases actually executed.
+    pub executed: usize,
+    /// Cases in which the supervisor handled a real crash/restart.
+    pub crashed: usize,
+    /// Cases answered (at least partially) from the status table.
+    pub replayed: usize,
+    /// Invariant violations (empty = the guarantee held everywhere).
+    pub violations: Vec<Violation>,
+}
+
+/// Enumerate the crash candidates for a given clean-run `trace`.
+pub fn enumerate_cases(trace: &[Visit], torn_writes: bool) -> Vec<CrashCase> {
+    let mut cases: Vec<CrashCase> = trace
+        .iter()
+        .map(|v| CrashCase {
+            point: v.point,
+            nth: v.nth,
+            spec: FaultSpec::CrashNow,
+        })
+        .collect();
+    if torn_writes {
+        for v in trace {
+            let torn = match v.point {
+                // Vary the torn length deterministically with the visit so
+                // the sweep covers header-only and mid-payload tears.
+                "wal.append" | "server.reply_send" | "wire.write_frame" => FaultSpec::TornWrite {
+                    n_bytes: 1 + (v.nth as usize % 7),
+                },
+                _ => continue,
+            };
+            cases.push(CrashCase {
+                point: v.point,
+                nth: v.nth,
+                spec: torn,
+            });
+        }
+    }
+    cases
+}
+
+/// Pick the budgeted subset of `cases`: all of them when `budget == 0` or
+/// covers the list, otherwise an even stride with a seed-derived offset.
+pub fn select_cases(cases: Vec<CrashCase>, budget: usize, seed: u64) -> Vec<CrashCase> {
+    if budget == 0 || cases.len() <= budget {
+        return cases;
+    }
+    let stride = cases.len() / budget;
+    let offset = (seed as usize) % stride.max(1);
+    cases
+        .into_iter()
+        .skip(offset)
+        .step_by(stride.max(1))
+        .take(budget)
+        .collect()
+}
+
+/// Run the full pipeline: clean run, enumeration, budgeted crash sweep,
+/// verification. See the crate docs for the invariants.
+pub fn explore(opts: &ExploreOptions) -> Report {
+    let (baseline, trace) = run_clean();
+    let cases = enumerate_cases(&trace, opts.torn_writes);
+    let enumerated = cases.len();
+    let selected = select_cases(cases, opts.budget, opts.seed);
+
+    let mut report = Report {
+        enumerated,
+        executed: 0,
+        crashed: 0,
+        replayed: 0,
+        violations: Vec::new(),
+    };
+    for (i, case) in selected.iter().enumerate() {
+        let outcome = run_case(case);
+        report.executed += 1;
+        if outcome.crashed {
+            report.crashed += 1;
+        }
+        if outcome.stats.replied_from_status > 0 {
+            report.replayed += 1;
+        }
+        let mut details = match &outcome.output {
+            Ok(out) => verify(&baseline, out),
+            Err(e) => vec![format!("workload failed: {e}")],
+        };
+        if !outcome.fired {
+            details.push("scheduled fault never fired".to_string());
+        }
+        if opts.verbose {
+            eprintln!(
+                "[{}/{}] {} crashed={} recoveries={} replayed={} {}",
+                i + 1,
+                selected.len(),
+                case.id(),
+                outcome.crashed,
+                outcome.stats.recoveries,
+                outcome.stats.replied_from_status,
+                if details.is_empty() {
+                    "ok"
+                } else {
+                    "VIOLATION"
+                },
+            );
+        }
+        if !details.is_empty() {
+            report.violations.push(Violation {
+                case_id: case.id(),
+                seed: opts.seed,
+                details,
+            });
+        }
+    }
+    report
+}

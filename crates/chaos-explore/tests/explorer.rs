@@ -1,0 +1,199 @@
+//! Explorer-driven regression tests.
+//!
+//! phoenix-chaos state is process-global, so every test here serializes on
+//! one mutex for its whole body (not just the armed window — un-armed
+//! traffic from a parallel test would otherwise interleave with an armed
+//! session's visit counters).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use phoenix_chaos as chaos;
+use phoenix_chaos_explore::{
+    enumerate_cases, explore, explorer_config, run_case, run_clean, seed_workload, CrashCase,
+    ExploreOptions,
+};
+use phoenix_core::PhoenixConnection;
+use phoenix_driver::Environment;
+use phoenix_engine::EngineConfig;
+use phoenix_server::ServerHarness;
+use phoenix_storage::types::Value;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn clean_trace_is_deterministic_and_enumerates_100_plus_points() {
+    let _s = serial();
+    let (out_a, trace_a) = run_clean();
+    let (out_b, trace_b) = run_clean();
+    assert_eq!(
+        trace_a, trace_b,
+        "the visit trace must be a pure function of the workload"
+    );
+    assert_eq!(out_a, out_b, "clean output must be deterministic");
+    assert!(
+        trace_a.len() >= 100,
+        "acceptance floor: >= 100 distinct crash points, got {}",
+        trace_a.len()
+    );
+    // The trace must cover every layer's fault points.
+    for point in [
+        "wal.append",
+        "wal.fsync",
+        "store.publish",
+        "wire.read_frame",
+        "wire.write_frame",
+        "server.reply_send",
+    ] {
+        assert!(
+            trace_a.iter().any(|v| v.point == point),
+            "canonical workload never visits {point}"
+        );
+    }
+    assert!(
+        enumerate_cases(&trace_a, true).len() > trace_a.len(),
+        "torn-write variants must add cases"
+    );
+}
+
+#[test]
+fn bounded_sweep_upholds_every_invariant() {
+    let _s = serial();
+    // A budgeted slice by default; the whole schedule space behind the
+    // opt-in env var (CI runs it nightly-style, see ci.yml).
+    let full = std::env::var("PHOENIX_CHAOS_FULL").is_ok();
+    let opts = ExploreOptions {
+        budget: if full { 0 } else { 18 },
+        seed: 0xC0FFEE,
+        torn_writes: true,
+        verbose: false,
+    };
+    let report = explore(&opts);
+    assert!(report.enumerated >= 100, "enumerated {}", report.enumerated);
+    assert!(report.executed > 0);
+    assert_eq!(
+        report.executed, report.crashed,
+        "every selected case simulates process death and must crash/restart"
+    );
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations (seed + point id reproduce each):\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!(
+                "  {} seed={} :: {}",
+                v.case_id,
+                v.seed,
+                v.details.join("; ")
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Satellite: the exactly-once window. Crash *between* the WAL commit and
+/// the reply send — the statement is durably committed but its reply is
+/// lost. Phoenix must answer from the persisted reply buffer (status
+/// table), never re-execute.
+#[test]
+fn exactly_once_window_replays_reply_without_reexecution() {
+    let _s = serial();
+    let dir = std::env::temp_dir().join(format!("phoenix-exactly-once-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let harness = Arc::new(Mutex::new(
+        ServerHarness::start(&dir, EngineConfig::default()).unwrap(),
+    ));
+    let mut pc = {
+        let h = harness.lock().unwrap();
+        PhoenixConnection::connect(
+            &Environment::new(),
+            &h.addr(),
+            "app",
+            "test",
+            explorer_config(),
+        )
+        .unwrap()
+    };
+    seed_workload(&mut pc).unwrap();
+
+    // A wrapped DML is four requests: BEGIN, the statement, the status-row
+    // insert, COMMIT. Reply #4 is the COMMIT's — crashing at its
+    // `server.reply_send` visit means the transaction (statement + status
+    // row) is durable but the client never hears back: the exactly-once
+    // window of paper §3.
+    let guard = chaos::arm(chaos::Schedule::new().crash_at("server.reply_send", 4));
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor =
+        phoenix_chaos_explore::spawn_supervisor(Arc::clone(&harness), Arc::clone(&stop));
+
+    let r = pc
+        .execute("UPDATE acct SET bal = bal + 1 WHERE id = 1")
+        .expect("statement must succeed through recovery");
+    assert_eq!(r.affected(), 1);
+
+    stop.store(true, Ordering::Relaxed);
+    assert!(supervisor.join().unwrap(), "the crash must actually fire");
+    let fired = guard.fired();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].point, "server.reply_send");
+    drop(guard);
+
+    let stats = pc.stats().clone();
+    assert!(
+        stats.replied_from_status >= 1,
+        "reply must come from the persisted reply buffer, stats: {stats:?}"
+    );
+    assert_eq!(
+        stats.resubmissions, 0,
+        "a committed statement must never be re-executed"
+    );
+    assert!(stats.recoveries >= 1);
+
+    // Row counts prove no duplicate DML: bal went 100 -> 101 exactly once,
+    // and the table still has its 8 seeded rows.
+    let check = pc
+        .execute("SELECT bal FROM acct WHERE id = 1")
+        .unwrap()
+        .rows()
+        .to_vec();
+    assert_eq!(check, vec![vec![Value::Int(101)]]);
+    let count = pc.execute("SELECT id FROM acct ORDER BY id").unwrap();
+    assert_eq!(count.rows().len(), 8);
+
+    pc.close();
+    harness.lock().unwrap().shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite companion: the server dies mid-send, leaving the client a
+/// half-written response frame. The driver must classify it as a clean
+/// connection loss (recovery), never a decode panic — here proven end to
+/// end through PhoenixConnection.
+#[test]
+fn torn_reply_frame_recovers_cleanly() {
+    let _s = serial();
+    let case = CrashCase {
+        point: "server.reply_send",
+        nth: 4,
+        spec: chaos::FaultSpec::TornWrite { n_bytes: 6 },
+    };
+    let outcome = run_case(&case);
+    assert!(outcome.fired);
+    assert!(outcome.crashed);
+    let out = outcome
+        .output
+        .expect("workload must survive a torn reply frame");
+    // Cross-check against a clean baseline: full equivalence.
+    let (baseline, _) = run_clean();
+    assert_eq!(
+        phoenix_chaos_explore::verify(&baseline, &out),
+        Vec::<String>::new()
+    );
+    assert!(outcome.stats.recoveries >= 1);
+}

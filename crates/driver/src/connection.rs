@@ -152,8 +152,31 @@ impl Connection {
         }
         let mut send = || -> Result<Response> {
             write_frame(&mut self.stream, &request.encode())?;
-            let payload = read_frame(&mut self.stream)?;
-            Response::decode(&payload).map_err(|e| DriverError::Protocol(e.to_string()))
+            // Failures on the *response* path are communication failures,
+            // not protocol bugs: a server that dies mid-send leaves a
+            // half-written frame behind, and once framing is lost the byte
+            // stream is unusable — header bytes read as lengths, payload
+            // bytes read as headers. An undecodable or oversized response
+            // therefore poisons the connection and triggers Phoenix's
+            // reconnect loop instead of surfacing a terminal Protocol error
+            // (or worse, a decode panic).
+            let payload = read_frame(&mut self.stream).map_err(|e| match e {
+                phoenix_wire::frame::FrameError::Io(io) => DriverError::Comm(io),
+                phoenix_wire::frame::FrameError::TooLarge(n) => {
+                    DriverError::Comm(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "response frame of {n} bytes exceeds limit — stream desynchronized"
+                        ),
+                    ))
+                }
+            })?;
+            Response::decode(&payload).map_err(|e| {
+                DriverError::Comm(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("undecodable response frame ({e}) — stream desynchronized"),
+                ))
+            })
         };
         match send() {
             Ok(r) => Ok(r),

@@ -50,6 +50,8 @@ pub enum EventKind {
     ConnectionClose,
     /// Server-side lifecycle event (start, shutdown, prune).
     ServerLifecycle,
+    /// phoenix-chaos fired a fault at a named fault point.
+    FaultInjected,
     /// Anything else (also the decode fallback for kinds newer than this
     /// build).
     Other,
@@ -69,6 +71,7 @@ impl EventKind {
             EventKind::RecoveryComplete => 7,
             EventKind::ConnectionClose => 8,
             EventKind::ServerLifecycle => 9,
+            EventKind::FaultInjected => 10,
             EventKind::Other => 255,
         }
     }
@@ -87,6 +90,7 @@ impl EventKind {
             7 => EventKind::RecoveryComplete,
             8 => EventKind::ConnectionClose,
             9 => EventKind::ServerLifecycle,
+            10 => EventKind::FaultInjected,
             _ => EventKind::Other,
         }
     }
@@ -104,6 +108,7 @@ impl EventKind {
             EventKind::RecoveryComplete => "recovery_complete",
             EventKind::ConnectionClose => "connection_close",
             EventKind::ServerLifecycle => "server_lifecycle",
+            EventKind::FaultInjected => "fault_injected",
             EventKind::Other => "other",
         }
     }
@@ -298,6 +303,7 @@ mod tests {
             EventKind::RecoveryComplete,
             EventKind::ConnectionClose,
             EventKind::ServerLifecycle,
+            EventKind::FaultInjected,
             EventKind::Other,
         ] {
             assert_eq!(EventKind::from_u8(kind.as_u8()), kind);

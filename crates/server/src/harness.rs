@@ -97,7 +97,18 @@ impl ServerHarness {
         //    arrives after this instant fails. (RunningServer::stop also
         //    stops accepting.)
         let engine = server.stop();
-        drop(engine);
+        // 3. Drain: request threads may still hold cloned engine handles.
+        //    Wait (bounded) until ours is the last one so that when a new
+        //    incarnation opens the same data directory, no thread of the
+        //    dead one can still touch the WAL file.
+        if let Some(engine) = engine {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while std::sync::Arc::strong_count(&engine) > 1 && std::time::Instant::now() < deadline
+            {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            drop(engine);
+        }
         Ok(())
     }
 

@@ -223,7 +223,41 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
 }
 
 fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
-    write_frame(stream, &response.encode())
+    // Once a fatal fault has fired, this server incarnation is "dead": no
+    // reply may escape, not even an error reply from a request thread that
+    // observed the injected failure — a crashed process emits nothing. One
+    // relaxed load when chaos is disarmed.
+    if phoenix_chaos::halted() {
+        return Err(FrameError::Io(phoenix_chaos::injected_error(
+            "server.reply_send",
+        )));
+    }
+    let bytes = response.encode();
+    match phoenix_chaos::fault("server.reply_send") {
+        phoenix_chaos::FaultAction::Continue => {}
+        phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+        // The exactly-once window: the statement executed and committed,
+        // but its reply never reaches the client.
+        phoenix_chaos::FaultAction::Crash | phoenix_chaos::FaultAction::IoError => {
+            return Err(FrameError::Io(phoenix_chaos::injected_error(
+                "server.reply_send",
+            )));
+        }
+        // Die mid-send: the client sees a half-written response frame.
+        phoenix_chaos::FaultAction::Torn(n) => {
+            use std::io::Write;
+            let mut framed = Vec::with_capacity(bytes.len() + 4);
+            framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&bytes);
+            let n = n.min(framed.len() - 1);
+            let _ = stream.write_all(&framed[..n]);
+            let _ = stream.flush();
+            return Err(FrameError::Io(phoenix_chaos::injected_error(
+                "server.reply_send",
+            )));
+        }
+    }
+    write_frame(stream, &bytes)
 }
 
 fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Request) -> Response {

@@ -103,6 +103,93 @@ fn garbage_payload_gets_error_and_connection_survives() {
     h.shutdown();
 }
 
+/// A scripted stand-in for a dying server: answers the login handshake, then
+/// hands the connection to `script` to misbehave with.
+fn fake_server<F>(script: F) -> (String, std::thread::JoinHandle<()>)
+where
+    F: FnOnce(&mut TcpStream) + Send + 'static,
+{
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_nodelay(true).unwrap();
+        let _login = read_frame(&mut s).unwrap();
+        write_frame(&mut s, &Response::LoginAck { session: 7 }.encode()).unwrap();
+        script(&mut s);
+    });
+    (addr, handle)
+}
+
+#[test]
+fn half_written_reply_is_clean_comm_error() {
+    // The server dies mid-send: the client has the frame header (promising
+    // 64 bytes) and 10 payload bytes when the socket closes. The driver must
+    // surface a clean connection-lost error — the trigger for Phoenix's
+    // reconnect loop — never a decode panic or a terminal protocol error.
+    let (addr, server) = fake_server(|s| {
+        let _req = read_frame(s).unwrap();
+        use std::io::Write;
+        s.write_all(&64u32.to_le_bytes()).unwrap();
+        s.write_all(&[0xAA; 10]).unwrap();
+        s.flush().unwrap();
+        // Socket drops here: EOF mid-frame on the client.
+    });
+
+    let env = phoenix_driver::Environment::new();
+    let mut conn = env.connect(&addr, "app", "test").unwrap();
+    let err = conn.execute("SELECT 1").unwrap_err();
+    assert!(err.is_comm(), "half-written reply must be comm, got {err}");
+    assert!(conn.is_poisoned(), "connection must be poisoned");
+    assert!(conn.execute("SELECT 1").unwrap_err().is_comm());
+    server.join().unwrap();
+}
+
+#[test]
+fn undecodable_reply_frame_is_comm_and_poisons() {
+    // A complete, well-formed frame whose payload is not a decodable
+    // Response. Framing is lost for good (the stream can't be resynced), so
+    // this too must classify as a communication failure that poisons the
+    // connection — not a protocol error the application would treat as
+    // terminal, and not a panic.
+    let (addr, server) = fake_server(|s| {
+        let _req = read_frame(s).unwrap();
+        write_frame(s, &[0xde, 0xad, 0xbe, 0xef, 0xff]).unwrap();
+        // Keep the socket open until the client gives up, so the failure the
+        // driver sees is the bad payload, not EOF.
+        let _ = read_frame(s);
+    });
+
+    let env = phoenix_driver::Environment::new();
+    let mut conn = env.connect(&addr, "app", "test").unwrap();
+    let err = conn.execute("SELECT 1").unwrap_err();
+    assert!(err.is_comm(), "undecodable reply must be comm, got {err}");
+    assert!(conn.is_poisoned(), "connection must be poisoned");
+    drop(conn);
+    server.join().unwrap();
+}
+
+#[test]
+fn oversized_reply_frame_is_comm_and_poisons() {
+    // A length header past MAX_FRAME means the stream is desynchronized
+    // (we are reading payload bytes as a header). Same classification.
+    let (addr, server) = fake_server(|s| {
+        let _req = read_frame(s).unwrap();
+        use std::io::Write;
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        s.flush().unwrap();
+        let _ = read_frame(s);
+    });
+
+    let env = phoenix_driver::Environment::new();
+    let mut conn = env.connect(&addr, "app", "test").unwrap();
+    let err = conn.execute("SELECT 1").unwrap_err();
+    assert!(err.is_comm(), "oversized reply must be comm, got {err}");
+    assert!(conn.is_poisoned());
+    drop(conn);
+    server.join().unwrap();
+}
+
 #[test]
 fn stats_request_round_trips_without_login() {
     let dir = temp_dir("stats");

@@ -249,6 +249,13 @@ impl Durable {
     /// Publish the working image for readers. Called with the working lock
     /// held so publication order matches mutation order.
     fn publish(&self, working: &Store) {
+        match phoenix_chaos::fault("store.publish") {
+            phoenix_chaos::FaultAction::Continue => {}
+            phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+            // Process death between mutation and publish: readers keep the
+            // previous snapshot, exactly as a crashed server would leave it.
+            _ => return,
+        }
         let snap = Arc::new(StoreSnapshot::capture(working));
         *self.published.write() = snap;
         storage_metrics().snapshot_publishes.inc();
@@ -682,6 +689,7 @@ impl Durable {
         }
         let m = storage_metrics();
         let _t = phoenix_obs::Timer::new(&m.checkpoint_us);
+        phoenix_chaos::check_durable("checkpoint.write")?;
         snapshot::write(
             Self::snapshot_path(&self.dir),
             store,

@@ -39,6 +39,13 @@ pub struct Wal {
 
 impl Wal {
     /// Open (creating if necessary) the log at `path` for appending.
+    ///
+    /// Any torn or corrupt tail left by a crash mid-append is **truncated
+    /// away** before the log accepts its first new frame. The reader already
+    /// ignores a bad tail, but without the truncation a post-recovery append
+    /// would land *after* the garbage bytes, where the tail-scan discipline
+    /// would silently discard it — committed work lost on the following
+    /// recovery.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
@@ -46,6 +53,11 @@ impl Wal {
             .read(true)
             .append(true)
             .open(&path)?;
+        let valid = valid_prefix_len(&mut file)?;
+        if valid < file.metadata()?.len() {
+            file.set_len(valid)?;
+            file.sync_data()?;
+        }
         file.seek(SeekFrom::End(0))?;
         Ok(Wal {
             file,
@@ -78,6 +90,21 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        match phoenix_chaos::durable_fault("wal.append") {
+            phoenix_chaos::FaultAction::Continue => {}
+            phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+            phoenix_chaos::FaultAction::Torn(n) => {
+                // Persist a strict prefix of the frame — the on-disk image a
+                // power cut mid-write(2) leaves behind — then die.
+                let n = n.min(frame.len() - 1);
+                self.file.write_all(&frame[..n])?;
+                let _ = self.file.sync_data();
+                return Err(phoenix_chaos::injected_error("wal.append"));
+            }
+            phoenix_chaos::FaultAction::Crash | phoenix_chaos::FaultAction::IoError => {
+                return Err(phoenix_chaos::injected_error("wal.append"));
+            }
+        }
         self.file.write_all(&frame)?;
         self.unsynced += frame.len();
         m.wal_appends.inc();
@@ -86,6 +113,7 @@ impl Wal {
 
     /// Force all appended frames to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        phoenix_chaos::check_durable("wal.fsync")?;
         let m = storage_metrics();
         let _t = phoenix_obs::Timer::new(&m.wal_fsync_us);
         self.file.sync_data()?;
@@ -102,6 +130,7 @@ impl Wal {
 
     /// Truncate the log to zero length (after a successful checkpoint).
     pub fn truncate(&mut self) -> io::Result<()> {
+        phoenix_chaos::check_durable("wal.truncate")?;
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::End(0))?;
         self.file.sync_data()?;
@@ -159,6 +188,38 @@ impl Wal {
         }
         Ok(frames)
     }
+}
+
+/// Byte length of the longest prefix of the file that consists solely of
+/// valid frames — the tail-scan used by [`Wal::read_all`], but tracking
+/// offsets instead of collecting payloads. Leaves the file cursor wherever
+/// the scan stopped; callers reposition.
+fn valid_prefix_len(file: &mut File) -> io::Result<u64> {
+    file.seek(SeekFrom::Start(0))?;
+    let mut reader = BufReader::new(&mut *file);
+    let mut valid: u64 = 0;
+    loop {
+        let mut header = [0u8; 8];
+        match read_exact_or_eof(&mut reader, &mut header)? {
+            ReadOutcome::Full => {}
+            _ => break,
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME {
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut reader, &mut payload)? {
+            ReadOutcome::Full => {}
+            _ => break,
+        }
+        if crc32(&payload) != crc {
+            break;
+        }
+        valid += 8 + len as u64;
+    }
+    Ok(valid)
 }
 
 enum ReadOutcome {
@@ -270,6 +331,75 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         assert_eq!(Wal::read_all(&path).unwrap(), vec![b"y".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_so_appends_survive() {
+        let path = temp_path("open-trunc");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"keep me").unwrap();
+        wal.append(b"tear me").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Crash mid-append: the last frame loses its final 3 bytes.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        // Recovery reopens the log and appends new work. Without tail
+        // truncation the new frame would sit after the torn bytes and be
+        // unreadable.
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.len().unwrap(), 8 + 7, "torn tail trimmed on open");
+        wal.append(b"after crash").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let frames = Wal::read_all(&path).unwrap();
+        assert_eq!(frames, vec![b"keep me".to_vec(), b"after crash".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_truncates_corrupt_payload_tail() {
+        let path = temp_path("open-corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"evil").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Bit-rot in the last frame's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"new").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(
+            Wal::read_all(&path).unwrap(),
+            vec![b"good".to_vec(), b"new".to_vec()]
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_keeps_fully_valid_log_intact() {
+        let path = temp_path("open-clean");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        wal.sync().unwrap();
+        let len_before = wal.len().unwrap();
+        drop(wal);
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.len().unwrap(), len_before);
+        drop(wal);
+        assert_eq!(
+            Wal::read_all(&path).unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec()]
+        );
         fs::remove_file(&path).unwrap();
     }
 

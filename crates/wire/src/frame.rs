@@ -41,9 +41,38 @@ impl From<io::Error> for FrameError {
 }
 
 /// Write one frame.
+///
+/// Fault point `wire.write_frame` fires *before* any byte is written, so an
+/// injected failure means the peer saw nothing (clean loss) or — for a torn
+/// write — a strict prefix of the frame (the half-frame a dying sender
+/// leaves on the socket).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
     if payload.len() as u32 > MAX_FRAME {
         return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    match phoenix_chaos::fault("wire.write_frame") {
+        phoenix_chaos::FaultAction::Continue => {}
+        phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+        // Crash is delivered asynchronously (socket sever by the harness
+        // supervisor): the local side proceeds — this point fires on both
+        // client and server, and the client must outlive the crash.
+        phoenix_chaos::FaultAction::Crash => {}
+        phoenix_chaos::FaultAction::IoError => {
+            return Err(FrameError::Io(phoenix_chaos::injected_error(
+                "wire.write_frame",
+            )))
+        }
+        phoenix_chaos::FaultAction::Torn(n) => {
+            let mut bytes = Vec::with_capacity(payload.len() + 4);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(payload);
+            let n = n.min(bytes.len() - 1);
+            w.write_all(&bytes[..n])?;
+            w.flush()?;
+            return Err(FrameError::Io(phoenix_chaos::injected_error(
+                "wire.write_frame",
+            )));
+        }
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
@@ -53,6 +82,10 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
 
 /// Read one frame, blocking. EOF before a complete frame is an `Io` error
 /// with kind `UnexpectedEof`.
+///
+/// Fault point `wire.read_frame` fires *after* the blocking read completes:
+/// a visit marks the arrival of a whole frame, which keeps visit order a
+/// pure function of the workload (no race against the peer's next write).
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     let mut header = [0u8; 4];
     r.read_exact(&mut header)?;
@@ -62,6 +95,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    match phoenix_chaos::fault("wire.read_frame") {
+        phoenix_chaos::FaultAction::Continue | phoenix_chaos::FaultAction::Crash => {}
+        phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+        phoenix_chaos::FaultAction::IoError | phoenix_chaos::FaultAction::Torn(_) => {
+            return Err(FrameError::Io(phoenix_chaos::injected_error(
+                "wire.read_frame",
+            )))
+        }
+    }
     Ok(payload)
 }
 
