@@ -1,0 +1,239 @@
+//! Pipelined-throughput runner: aggregate statements/second for 1/2/4/8
+//! concurrent clients issuing a light OLTP blend — point reads and
+//! single-row inserts — in three submission modes over the same statement
+//! stream:
+//!
+//! * **sequential** — one request, one reply, one round trip each (the v1
+//!   discipline);
+//! * **pipelined** — protocol v2 tagged frames with the negotiated window
+//!   in flight ([`phoenix_driver::Pipeline`]);
+//! * **batched** — rounds travel as one `ExecBatch` frame each
+//!   ([`phoenix_driver::Connection::execute_batch`]), pipelined.
+//!
+//! Emits `BENCH_pipeline_mix.json`. The interesting number is the 8-client
+//! pipelined rate versus the sequential rate over identical statements —
+//! the per-round-trip overhead the v2 protocol deletes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use phoenix_bench::BenchEnv;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Statements per pipelined round (also the batch size in batched mode);
+/// comfortably inside the default negotiated window of 32.
+const ROUND: usize = 8;
+
+struct Params {
+    /// Rows in the lookup table point reads hit.
+    doc_rows: u64,
+    /// Statements issued per client per timed run.
+    ops_per_client: usize,
+    /// Timed repetitions per client count (best rate wins, to shed noise).
+    reps: usize,
+}
+
+impl Params {
+    fn quick() -> Params {
+        Params {
+            doc_rows: 2_000,
+            ops_per_client: 480,
+            reps: 2,
+        }
+    }
+
+    fn full() -> Params {
+        Params {
+            doc_rows: 8_000,
+            ops_per_client: 1_600,
+            reps: 3,
+        }
+    }
+}
+
+fn setup(env: &BenchEnv, p: &Params) {
+    let mut admin = env.native();
+    admin
+        .execute("CREATE TABLE pldocs (id INT NOT NULL, grp INT, note TEXT, PRIMARY KEY (id))")
+        .unwrap();
+    admin
+        .execute("CREATE TABLE plops (client INT, seq INT, note TEXT)")
+        .unwrap();
+    let mut batch = Vec::with_capacity(100);
+    for i in 0..p.doc_rows {
+        batch.push(format!("({i}, {}, 'doc-{i}')", i % 16));
+        if batch.len() == 100 || i + 1 == p.doc_rows {
+            admin
+                .execute(&format!("INSERT INTO pldocs VALUES {}", batch.join(", ")))
+                .unwrap();
+            batch.clear();
+        }
+    }
+    admin.close();
+}
+
+/// Statement `i` of client `client`: per 8-statement round, six point reads
+/// and two single-row inserts — cheap statements, so the round trip is the
+/// cost pipelining exists to hide.
+fn stmt(client: usize, i: usize, doc_rows: u64) -> String {
+    match i % ROUND {
+        3 | 7 => format!("INSERT INTO plops VALUES ({client}, {i}, 'op-{client}-{i}')"),
+        _ => {
+            let k = ((client * 977 + i * 61) as u64) % doc_rows;
+            format!("SELECT grp FROM pldocs WHERE id = {k}")
+        }
+    }
+}
+
+fn run_client(env: &BenchEnv, client: usize, p: &Params, mode: &str) {
+    let mut conn = env.native();
+    assert_eq!(
+        conn.protocol(),
+        phoenix_wire::message::PROTOCOL_V2,
+        "bench server must negotiate v2"
+    );
+    match mode {
+        "sequential" => {
+            for i in 0..p.ops_per_client {
+                conn.execute(&stmt(client, i, p.doc_rows)).unwrap();
+            }
+        }
+        "pipelined" => {
+            // Sliding window: keep the negotiated window full, always
+            // retiring the oldest tag — never burst-and-drain.
+            let mut pipe = conn.pipeline();
+            let window = pipe.window() as usize;
+            let mut tags = std::collections::VecDeque::with_capacity(window);
+            for i in 0..p.ops_per_client {
+                tags.push_back(pipe.submit(&stmt(client, i, p.doc_rows)).unwrap());
+                if tags.len() >= window {
+                    pipe.wait(tags.pop_front().unwrap()).unwrap();
+                }
+            }
+            while let Some(tag) = tags.pop_front() {
+                pipe.wait(tag).unwrap();
+            }
+        }
+        "batched" => {
+            let mut round = Vec::with_capacity(ROUND);
+            for i in 0..p.ops_per_client {
+                round.push(stmt(client, i, p.doc_rows));
+                if round.len() == ROUND || i + 1 == p.ops_per_client {
+                    let items = conn.execute_batch(&round).unwrap();
+                    assert_eq!(items.len(), round.len());
+                    round.clear();
+                }
+            }
+        }
+        other => panic!("unknown mode {other}"),
+    }
+    conn.close();
+}
+
+fn run_once(env: &Arc<BenchEnv>, clients: usize, p: &Arc<Params>, mode: &'static str) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let env = Arc::clone(env);
+            let p = Arc::clone(p);
+            std::thread::spawn(move || run_client(&env, c, &p, mode))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (clients * p.ops_per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn measure(p: Params, mode: &'static str) -> Vec<(usize, f64)> {
+    let p = Arc::new(p);
+    CLIENT_COUNTS
+        .iter()
+        .map(|&clients| {
+            let env = Arc::new(BenchEnv::empty());
+            setup(&env, &p);
+            let best = (0..p.reps)
+                .map(|_| run_once(&env, clients, &p, mode))
+                .fold(0.0f64, f64::max);
+            eprintln!("pipeline_mix[{mode}]: {clients} client(s) -> {best:.0} stmts/s aggregate");
+            (clients, best)
+        })
+        .collect()
+}
+
+fn json_rates(rates: &[(usize, f64)], indent: &str) -> String {
+    rates
+        .iter()
+        .map(|(c, r)| format!("{indent}\"{c}\": {r:.1}"))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_pipeline_mix.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            other => panic!("unknown flag {other} (expected --quick/--out)"),
+        }
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let params = || {
+        if quick {
+            Params::quick()
+        } else {
+            Params::full()
+        }
+    };
+    let sequential = measure(params(), "sequential");
+    let pipelined = measure(params(), "pipelined");
+    let batched = measure(params(), "batched");
+
+    let at = |rates: &[(usize, f64)], n: usize| {
+        rates
+            .iter()
+            .find(|(c, _)| *c == n)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let speedup1 = ratio(at(&pipelined, 1), at(&sequential, 1));
+    let speedup8 = ratio(at(&pipelined, 8), at(&sequential, 8));
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"pipeline_mix\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str("  \"unit\": \"stmts_per_sec\",\n");
+    body.push_str(&format!(
+        "  \"workload\": \"per {ROUND} stmts: 6 point reads, 2 single-row inserts; \
+         window {}\",\n",
+        phoenix_wire::message::DEFAULT_WINDOW
+    ));
+    body.push_str("  \"sequential\": {\n");
+    body.push_str(&json_rates(&sequential, "    "));
+    body.push_str("\n  },\n");
+    body.push_str("  \"current\": {\n");
+    body.push_str(&json_rates(&pipelined, "    "));
+    body.push_str("\n  },\n");
+    body.push_str("  \"batched\": {\n");
+    body.push_str(&json_rates(&batched, "    "));
+    body.push_str("\n  },\n");
+    body.push_str(&format!(
+        "  \"pipelined_over_sequential_1_client\": {speedup1:.2},\n"
+    ));
+    body.push_str(&format!(
+        "  \"pipelined_over_sequential_8_clients\": {speedup8:.2}\n"
+    ));
+    body.push_str("}\n");
+
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{body}");
+    eprintln!("wrote {out}");
+}

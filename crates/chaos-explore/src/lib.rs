@@ -10,9 +10,13 @@
 //! 1. **Clean run** ([`run_clean`]) — execute the [canonical
 //!    workload](canonical_workload) against a fresh server with
 //!    `phoenix-chaos` armed in trace mode, recording every fault-point
-//!    visit. With a single sequential client the visit sequence is a pure
-//!    function of the workload, so it doubles as the enumeration of every
-//!    instant the server could die.
+//!    visit. With a single client the durable-point visit sequence (WAL,
+//!    snapshot publish, dequeue/reply) and every per-point visit count are
+//!    pure functions of the workload, so the trace doubles as the
+//!    enumeration of every instant the server could die. (During the
+//!    pipelined phase the client's frame writes overlap the server's frame
+//!    reads, so only the wire-level points' *interleaving* varies run to
+//!    run — their counts and the durable sub-trace do not.)
 //! 2. **Crash sweep** ([`explore`]) — for each enumerated visit, re-run the
 //!    workload with a one-shot schedule that kills the server exactly there
 //!    (plus torn-write variants at the write-shaped points), let Phoenix
@@ -32,7 +36,8 @@
 //!   through the keyset cursor matches the clean run's.
 //!
 //! Any violation is reported with the `(seed, point, nth)` triple that
-//! deterministically reproduces it.
+//! reproduces it — exactly for the durable points, and up to the pipelined
+//! window's frame interleaving for the wire-level points.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -77,6 +82,23 @@ pub const WORKLOAD_DML: &[&str] = &[
     "SELECT id, bal FROM acct WHERE bal >= 500 ORDER BY id",
 ];
 
+/// The pipelined phase: independent DML submitted through
+/// `PhoenixConnection::execute_pipelined`, so a whole window of tagged
+/// `ExecBatch` wrappers is in flight at once. Crashing anywhere in this
+/// phase (the `server.pipeline_dequeue` and `server.reply_send` visits it
+/// generates) exercises the paper's exactly-once guarantee for the entire
+/// in-flight window: committed tags must replay their logged outcome,
+/// uncommitted ones must resubmit. As with [`WORKLOAD_DML`], every mutation
+/// diverges observably if applied twice.
+pub const WORKLOAD_PIPELINED: &[&str] = &[
+    "INSERT INTO acct VALUES (11, 1100, 'p1')",
+    "UPDATE acct SET bal = bal + 11 WHERE id = 4",
+    "UPDATE acct SET bal = bal + 13 WHERE id = 5",
+    "INSERT INTO acct VALUES (12, 1200, 'p2')",
+    "DELETE FROM acct WHERE id = 6",
+    "UPDATE acct SET bal = bal + 17 WHERE id = 7",
+];
+
 /// Create and populate the workload's table. Run *before* arming chaos so
 /// schedules align with [`run_clean`]'s trace.
 pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
@@ -89,11 +111,17 @@ pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
 }
 
 /// Run the canonical workload: wrapped DML, an application transaction, a
-/// materialized SELECT, a keyset-cursor scan, and a final full-table read.
+/// materialized SELECT, a pipelined DML window, a keyset-cursor scan, and a
+/// final full-table read.
 pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<WorkloadOutput> {
     let mut replies = Vec::new();
     for sql in WORKLOAD_DML {
         let r = pc.execute(sql)?;
+        replies.push(format!("{r:?}"));
+    }
+
+    let pipelined: Vec<String> = WORKLOAD_PIPELINED.iter().map(|s| s.to_string()).collect();
+    for r in pc.execute_pipelined(&pipelined)? {
         replies.push(format!("{r:?}"));
     }
 
@@ -158,7 +186,10 @@ fn connect(h: &ServerHarness) -> PhoenixConnection {
 
 /// Run the workload with no faults, tracing every fault-point visit.
 /// Returns the baseline output and the visit trace (the crash-point
-/// enumeration).
+/// enumeration). The durable-point sub-trace and all per-point visit
+/// counts are deterministic; the global interleaving of wire-level visits
+/// is not once the pipelined phase has requests and replies in flight
+/// concurrently.
 pub fn run_clean() -> (WorkloadOutput, Vec<Visit>) {
     let dir = fresh_dir("clean");
     let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();

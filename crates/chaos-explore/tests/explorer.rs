@@ -26,14 +26,52 @@ fn serial() -> MutexGuard<'static, ()> {
         .unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Points whose every visit happens on the server's single execute/commit
+/// path. Their `(point, nth)` sequence is a pure function of the workload
+/// even while the pipelined phase overlaps the client and server threads;
+/// the wire-level points are hit by both sides of the in-process harness,
+/// so only their *counts* are workload-pure once requests are in flight
+/// concurrently with replies.
+const DURABLE_POINTS: &[&str] = &[
+    "wal.append",
+    "wal.fsync",
+    "wal.truncate",
+    "checkpoint.write",
+    "store.publish",
+    "server.pipeline_dequeue",
+    "server.reply_send",
+];
+
+fn durable_subtrace(trace: &[chaos::Visit]) -> Vec<(&'static str, u64)> {
+    trace
+        .iter()
+        .filter(|v| DURABLE_POINTS.contains(&v.point))
+        .map(|v| (v.point, v.nth))
+        .collect()
+}
+
+fn visit_counts(trace: &[chaos::Visit]) -> std::collections::BTreeMap<&'static str, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in trace {
+        *counts.entry(v.point).or_insert(0u64) += 1;
+    }
+    counts
+}
+
 #[test]
 fn clean_trace_is_deterministic_and_enumerates_100_plus_points() {
     let _s = serial();
     let (out_a, trace_a) = run_clean();
     let (out_b, trace_b) = run_clean();
     assert_eq!(
-        trace_a, trace_b,
-        "the visit trace must be a pure function of the workload"
+        durable_subtrace(&trace_a),
+        durable_subtrace(&trace_b),
+        "the durable-point sub-trace must be a pure function of the workload"
+    );
+    assert_eq!(
+        visit_counts(&trace_a),
+        visit_counts(&trace_b),
+        "per-point visit counts must be a pure function of the workload"
     );
     assert_eq!(out_a, out_b, "clean output must be deterministic");
     assert!(
@@ -48,6 +86,7 @@ fn clean_trace_is_deterministic_and_enumerates_100_plus_points() {
         "store.publish",
         "wire.read_frame",
         "wire.write_frame",
+        "server.pipeline_dequeue",
         "server.reply_send",
     ] {
         assert!(

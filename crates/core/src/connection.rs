@@ -64,6 +64,8 @@ pub struct PhoenixStats {
     pub materialized_result_sets: u64,
     /// DML statements wrapped with status records.
     pub wrapped_dml: u64,
+    /// DML statements submitted through the pipelined (ExecBatch) path.
+    pub pipelined_dml: u64,
     /// Status-table probes performed after failures.
     pub status_probes: u64,
     /// Requests answered from the status table (logged outcome returned
@@ -320,18 +322,19 @@ impl PhoenixConnection {
             return Ok(r);
         }
 
-        let req_id = self.namer.request_id();
+        let session = self.namer.tag().to_string();
+        let tag = self.namer.request_tag();
         self.stats.wrapped_dml += 1;
         loop {
-            match dml::wrap_and_execute(&mut self.mapped, &req_id, sql) {
+            match dml::wrap_and_execute(&mut self.mapped, &session, tag, sql) {
                 Ok(out) => return Ok(dml_reply(out)),
                 Err(e) if e.is_comm() => {
                     self.recover()?;
                     self.stats.status_probes += 1;
-                    if let Some(out) = self.probe_status_retry(&req_id)? {
+                    if let Some(out) = self.probe_status_retry(tag)? {
                         // Committed before the crash: return the logged
                         // outcome (the preserved reply buffer).
-                        self.note_replayed_reply(&req_id);
+                        self.note_replayed_reply(tag);
                         return Ok(dml_reply(out));
                     }
                     self.stats.resubmissions += 1;
@@ -340,6 +343,120 @@ impl PhoenixConnection {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Execute a slate of independent DML statements with protocol v2
+    /// pipelining: each statement travels as **one** `ExecBatch` frame
+    /// (`BEGIN; dml; status insert via @@ROWCOUNT; COMMIT`) and up to the
+    /// negotiated window of them is in flight at once. Results come back in
+    /// submission order.
+    ///
+    /// This is the pipelined face of the paper's exactly-once DML treatment:
+    /// a crash with `k` requests in flight leaves each one individually
+    /// testable in `phoenix.status` under its `(session, tag)` key —
+    /// committed requests replay their logged outcome, uncommitted ones are
+    /// resubmitted. A server-reported statement error aborts that
+    /// statement's wrapper and surfaces after the window drains; statements
+    /// already submitted behind it fail their own `BEGIN` against the
+    /// dangling transaction, so nothing beyond the failed statement applies.
+    ///
+    /// On a v1 connection the pipeline degrades to synchronous execution
+    /// with identical semantics.
+    pub fn execute_pipelined(&mut self, stmts: &[String]) -> Result<Vec<QueryResult>> {
+        if self.config.passthrough {
+            let mut out = Vec::with_capacity(stmts.len());
+            for sql in stmts {
+                out.push(self.mapped.execute(sql)?);
+            }
+            return Ok(out);
+        }
+        if self.ctx.txn_open {
+            // Inside an application transaction the wrappers cannot nest;
+            // fall back to the interception pipeline statement by statement
+            // (each is logged for transaction replay).
+            let mut out = Vec::with_capacity(stmts.len());
+            for sql in stmts {
+                out.push(self.execute(sql)?);
+            }
+            return Ok(out);
+        }
+        let session = self.namer.tag().to_string();
+        let jobs: Vec<(u64, String)> = stmts
+            .iter()
+            .map(|sql| (self.namer.request_tag(), sql.clone()))
+            .collect();
+        self.stats.wrapped_dml += jobs.len() as u64;
+        self.stats.pipelined_dml += jobs.len() as u64;
+        let mut results: Vec<Option<DmlOutcome>> = vec![None; jobs.len()];
+        loop {
+            match self.pipeline_round(&session, &jobs, &mut results) {
+                Ok(()) => {
+                    return Ok(results
+                        .into_iter()
+                        .map(|o| dml_reply(o.expect("completed round resolves every job")))
+                        .collect());
+                }
+                Err(e) if e.is_comm() => {
+                    self.recover()?;
+                    // Probe the whole in-flight window: every unresolved tag
+                    // is individually testable in the status table.
+                    for (i, (tag, _)) in jobs.iter().enumerate() {
+                        if results[i].is_none() {
+                            self.stats.status_probes += 1;
+                            if let Some(out) = self.probe_status_retry(*tag)? {
+                                self.note_replayed_reply(*tag);
+                                results[i] = Some(out);
+                            } else {
+                                self.stats.resubmissions += 1;
+                            }
+                        }
+                    }
+                    // Unresolved jobs never committed: resubmit them.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One pipelined pass over the unresolved jobs. Fills `results` for
+    /// every job whose wrapper committed and replied; a statement error
+    /// drains the window, rolls the dangling wrapper back and surfaces.
+    fn pipeline_round(
+        &mut self,
+        session: &str,
+        jobs: &[(u64, String)],
+        results: &mut [Option<DmlOutcome>],
+    ) -> Result<()> {
+        let mut failure: Option<DriverError> = None;
+        {
+            let mut pipe = self.mapped.pipeline();
+            let mut pending: Vec<(usize, u64)> = Vec::new();
+            for (i, (tag, sql)) in jobs.iter().enumerate() {
+                if results[i].is_some() {
+                    continue;
+                }
+                let ptag = pipe.submit_batch(&dml::pipelined_batch(session, *tag, sql))?;
+                pending.push((i, ptag));
+            }
+            for (i, ptag) in pending {
+                let items = pipe.wait_batch(ptag)?;
+                match batch_outcome(&items) {
+                    Ok(out) => results[i] = Some(out),
+                    Err(e) => {
+                        // First statement error wins; later wrappers hit the
+                        // dangling transaction and report nested-BEGIN noise
+                        // that the application never asked about.
+                        failure.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // The failed wrapper's transaction is still open server-side.
+            let _ = self.mapped.execute("ROLLBACK");
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Execute a stored-procedure call. Procedures can modify data, so —
@@ -357,7 +474,8 @@ impl PhoenixConnection {
         if self.ctx.txn_open {
             return self.run_in_txn_context(sql);
         }
-        let req_id = self.namer.request_id();
+        let session = self.namer.tag().to_string();
+        let tag = self.namer.request_tag();
         self.stats.wrapped_dml += 1;
         loop {
             let attempt = (|| -> Result<QueryResult> {
@@ -375,14 +493,18 @@ impl PhoenixConnection {
                     Outcome::RowsAffected(n) => *n,
                     _ => 0,
                 };
-                self.mapped
-                    .execute(&dml::status_insert_sql(&req_id, affected, &r.messages))?;
+                self.mapped.execute(&dml::status_insert_sql(
+                    &session,
+                    tag,
+                    affected,
+                    &r.messages,
+                ))?;
                 self.mapped.execute("COMMIT")?;
                 Ok(r)
             })();
             match attempt {
                 Ok(r) => return Ok(r),
-                Err(DriverError::Server { code, .. }) if code == codes::TXN => {
+                Err(DriverError::Sql { code, .. }) if code == codes::TXN => {
                     // The procedure opened (or closed) its own transaction:
                     // unwrappable. Forward plainly.
                     return self.run_mapped_retry(sql);
@@ -390,8 +512,8 @@ impl PhoenixConnection {
                 Err(e) if e.is_comm() => {
                     self.recover()?;
                     self.stats.status_probes += 1;
-                    if let Some(out) = self.probe_status_retry(&req_id)? {
-                        self.note_replayed_reply(&req_id);
+                    if let Some(out) = self.probe_status_retry(tag)? {
+                        self.note_replayed_reply(tag);
                         return Ok(dml_reply(out));
                     }
                     self.stats.resubmissions += 1;
@@ -403,19 +525,23 @@ impl PhoenixConnection {
 
     /// Count and journal a reply-buffer hit: a request answered from its
     /// status record instead of being re-executed.
-    fn note_replayed_reply(&mut self, req_id: &str) {
+    fn note_replayed_reply(&mut self, tag: u64) {
         self.stats.replied_from_status += 1;
         core_metrics().replayed_replies.inc();
         journal().record(
             "core",
             EventKind::ReplyReplayed,
-            format!("request {req_id} answered from status table"),
+            format!(
+                "request {}:{tag} answered from status table",
+                self.namer.tag()
+            ),
         );
     }
 
-    fn probe_status_retry(&mut self, req_id: &str) -> Result<Option<DmlOutcome>> {
+    fn probe_status_retry(&mut self, tag: u64) -> Result<Option<DmlOutcome>> {
+        let session = self.namer.tag().to_string();
         loop {
-            match dml::probe_status(&mut self.private, req_id) {
+            match dml::probe_status(&mut self.private, &session, tag) {
                 Ok(r) => return Ok(r),
                 Err(e) if e.is_comm() => self.recover()?,
                 Err(e) => return Err(e),
@@ -433,8 +559,8 @@ impl PhoenixConnection {
             return self.mapped.execute("BEGIN");
         }
         let r = self.run_mapped_retry("BEGIN")?;
-        let req_id = self.namer.request_id();
-        self.ctx.txn_begin(req_id);
+        let tag = self.namer.request_tag();
+        self.ctx.txn_begin(tag);
         Ok(r)
     }
 
@@ -442,17 +568,14 @@ impl PhoenixConnection {
         if !self.ctx.txn_open {
             return self.mapped.execute("COMMIT");
         }
-        let req_id = self
-            .ctx
-            .txn_req_id
-            .clone()
-            .expect("open txn always has a request id");
+        let session = self.namer.tag().to_string();
+        let tag = self.ctx.txn_tag.expect("open txn always has a request tag");
         loop {
             // The paper's reply-buffer write: record the transaction outcome
             // in the status table *inside* the transaction, then commit.
             let attempt = (|| -> Result<QueryResult> {
                 self.mapped
-                    .execute(&dml::status_insert_sql(&req_id, 0, &[]))?;
+                    .execute(&dml::status_insert_sql(&session, tag, 0, &[]))?;
                 self.mapped.execute("COMMIT")
             })();
             match attempt {
@@ -463,9 +586,9 @@ impl PhoenixConnection {
                 Err(e) if e.is_comm() => {
                     self.recover()?;
                     self.stats.status_probes += 1;
-                    if self.probe_status_retry(&req_id)?.is_some() {
+                    if self.probe_status_retry(tag)?.is_some() {
                         // The commit made it before the crash.
-                        self.note_replayed_reply(&req_id);
+                        self.note_replayed_reply(tag);
                         self.ctx.txn_end();
                         return Ok(QueryResult {
                             outcome: Outcome::Done,
@@ -582,7 +705,7 @@ impl PhoenixConnection {
                     self.stats.resubmissions += 1;
                     resubmitted = true;
                 }
-                Err(DriverError::Server { code, .. })
+                Err(DriverError::Sql { code, .. })
                     if resubmitted
                         && (code == codes::ALREADY_EXISTS || code == codes::NOT_FOUND) =>
                 {
@@ -727,7 +850,7 @@ impl PhoenixConnection {
             for obj in self.ctx.created.clone() {
                 if obj.kind == PhoenixObject::Table {
                     if !recovery::verify_table(&mut self.private, &obj.name)? {
-                        return Err(DriverError::Protocol(format!(
+                        return Err(DriverError::Recovery(format!(
                             "phoenix session state lost: table {} missing after recovery",
                             obj.name
                         )));
@@ -781,6 +904,36 @@ fn dml_reply(out: DmlOutcome) -> QueryResult {
     QueryResult {
         outcome: Outcome::RowsAffected(out.affected),
         messages: out.messages,
+    }
+}
+
+/// Interpret a pipelined wrapper's batch reply: `[BEGIN; dml; status
+/// insert; COMMIT]`. The DML's own item (index 1) carries the outcome; any
+/// error item aborts the wrapper and surfaces as the statement's error.
+fn batch_outcome(
+    items: &[phoenix_wire::message::BatchItem],
+) -> std::result::Result<DmlOutcome, DriverError> {
+    use phoenix_wire::message::BatchItem;
+    for item in items {
+        if let BatchItem::Err { code, message } = item {
+            return Err(DriverError::Sql {
+                code: *code,
+                message: message.clone(),
+            });
+        }
+    }
+    match items.get(1) {
+        Some(BatchItem::Ok { outcome, messages }) => Ok(DmlOutcome {
+            affected: match outcome {
+                Outcome::RowsAffected(n) => *n,
+                _ => 0,
+            },
+            messages: messages.clone(),
+        }),
+        _ => Err(DriverError::Protocol(format!(
+            "pipelined DML wrapper returned {} item(s) without an error",
+            items.len()
+        ))),
     }
 }
 

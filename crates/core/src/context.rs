@@ -55,9 +55,9 @@ pub struct SessionContext {
     pub txn_log: Vec<String>,
     /// Is an application transaction open?
     pub txn_open: bool,
-    /// Request id under which the open transaction's outcome will be
+    /// Request tag under which the open transaction's outcome will be
     /// recorded in the status table at commit.
-    pub txn_req_id: Option<String>,
+    pub txn_tag: Option<u64>,
 }
 
 impl SessionContext {
@@ -130,9 +130,9 @@ impl SessionContext {
     }
 
     /// Begin logging an application transaction.
-    pub fn txn_begin(&mut self, req_id: String) {
+    pub fn txn_begin(&mut self, tag: u64) {
         self.txn_open = true;
-        self.txn_req_id = Some(req_id);
+        self.txn_tag = Some(tag);
         self.txn_log.clear();
     }
 
@@ -146,7 +146,7 @@ impl SessionContext {
     /// Transaction finished (committed or rolled back).
     pub fn txn_end(&mut self) {
         self.txn_open = false;
-        self.txn_req_id = None;
+        self.txn_tag = None;
         self.txn_log.clear();
     }
 }
@@ -189,12 +189,12 @@ mod tests {
         assert!(!c.txn_open);
         c.txn_log_statement("ignored before begin");
         assert!(c.txn_log.is_empty());
-        c.txn_begin("t-1".into());
+        c.txn_begin(1);
         c.txn_log_statement("INSERT INTO t VALUES (1)");
         c.txn_log_statement("UPDATE t SET v = 2");
         assert_eq!(c.txn_log.len(), 2);
         c.txn_end();
         assert!(c.txn_log.is_empty());
-        assert!(c.txn_req_id.is_none());
+        assert!(c.txn_tag.is_none());
     }
 }

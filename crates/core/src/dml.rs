@@ -9,15 +9,28 @@
 //! ```text
 //! BEGIN;
 //! <dml>;                                   -- reply carries rows-affected n
-//! INSERT INTO phoenix.status VALUES (req_id, n, messages);
+//! INSERT INTO phoenix.status VALUES (session, tag, n, messages);
 //! COMMIT;
 //! ```
 //!
-//! After a crash, probing `phoenix.status` for `req_id` answers the only
-//! question that matters: *did the request complete?* Found → return the
-//! logged outcome (the preserved reply buffer); absent → the transaction
-//! aborted with the crash and the original request is resubmitted, exactly
+//! The table is keyed `(session, tag)`: the process-unique session tag plus
+//! a per-session request counter — the same `tag` that travels in protocol
+//! v2 tagged frames, so with pipelining a whole in-flight *window* of
+//! requests is individually probe-able after a crash. Probing answers the
+//! only question that matters: *did request `tag` complete?* Found → return
+//! the logged outcome (the preserved reply buffer); absent → the transaction
+//! aborted with the crash and the original request is resubmitted — exactly
 //! once-semantics for the application.
+//!
+//! For pipelined submission the whole wrapper travels as **one**
+//! `ExecBatch` frame, with `@@ROWCOUNT` standing in for the rows-affected
+//! literal (the client has not seen the DML reply yet when it composes the
+//! status insert):
+//!
+//! ```text
+//! [BEGIN; <dml>; INSERT INTO phoenix.status VALUES (session, tag,
+//!  @@ROWCOUNT, ''); COMMIT]
+//! ```
 //!
 //! The same record doubles as the paper's *reply buffer* persistence: the
 //! messages column carries the server messages that would otherwise be lost
@@ -41,11 +54,12 @@ pub struct DmlOutcome {
 /// database. Racing sessions are fine: "already exists" is success.
 pub fn ensure_status_table(conn: &mut Connection) -> Result<()> {
     let sql = format!(
-        "CREATE TABLE {STATUS_TABLE} (req_id TEXT NOT NULL, affected INT, messages TEXT, PRIMARY KEY (req_id))"
+        "CREATE TABLE {STATUS_TABLE} (session TEXT NOT NULL, tag INT NOT NULL, \
+         affected INT, messages TEXT, PRIMARY KEY (session, tag))"
     );
     match conn.execute(&sql) {
         Ok(_) => Ok(()),
-        Err(DriverError::Server { code, .. }) if code == codes::ALREADY_EXISTS => Ok(()),
+        Err(DriverError::Sql { code, .. }) if code == codes::ALREADY_EXISTS => Ok(()),
         Err(e) => Err(e),
     }
 }
@@ -57,12 +71,30 @@ fn quote(s: &str) -> String {
 
 /// The INSERT that records an outcome; issued *inside* the wrapping (or the
 /// application's) transaction, so it commits atomically with the work.
-pub fn status_insert_sql(req_id: &str, affected: u64, messages: &[String]) -> String {
+pub fn status_insert_sql(session: &str, tag: u64, affected: u64, messages: &[String]) -> String {
     format!(
-        "INSERT INTO {STATUS_TABLE} VALUES ({}, {affected}, {})",
-        quote(req_id),
+        "INSERT INTO {STATUS_TABLE} VALUES ({}, {tag}, {affected}, {})",
+        quote(session),
         quote(&messages.join("\u{1f}"))
     )
+}
+
+/// The pipelined wrapper: one `ExecBatch` payload executing the DML and its
+/// status record in a single round trip. `@@ROWCOUNT` is substituted by the
+/// server *after* the DML runs, so the record carries the true count even
+/// though the client composed the batch before seeing any reply. Messages
+/// are not capturable server-side this way; the batch reply carries them
+/// live, and a replay after a crash returns none (documented trade-off).
+pub fn pipelined_batch(session: &str, tag: u64, dml_sql: &str) -> Vec<String> {
+    vec![
+        "BEGIN".to_string(),
+        dml_sql.to_string(),
+        format!(
+            "INSERT INTO {STATUS_TABLE} VALUES ({}, {tag}, @@ROWCOUNT, '')",
+            quote(session)
+        ),
+        "COMMIT".to_string(),
+    ]
 }
 
 /// Wrap one DML statement in a transaction with a status record.
@@ -70,7 +102,12 @@ pub fn status_insert_sql(req_id: &str, affected: u64, messages: &[String]) -> St
 /// Errors reported by the server roll the transaction back and surface to
 /// the caller; communication failures bubble up for the recovery machinery
 /// (which will [`probe_status`] before deciding to resubmit).
-pub fn wrap_and_execute(conn: &mut Connection, req_id: &str, dml_sql: &str) -> Result<DmlOutcome> {
+pub fn wrap_and_execute(
+    conn: &mut Connection,
+    session: &str,
+    tag: u64,
+    dml_sql: &str,
+) -> Result<DmlOutcome> {
     conn.execute("BEGIN")?;
     let result = match conn.execute(dml_sql) {
         Ok(r) => r,
@@ -87,7 +124,7 @@ pub fn wrap_and_execute(conn: &mut Connection, req_id: &str, dml_sql: &str) -> R
         phoenix_wire::message::Outcome::RowsAffected(n) => n,
         _ => 0,
     };
-    conn.execute(&status_insert_sql(req_id, affected, &result.messages))?;
+    conn.execute(&status_insert_sql(session, tag, affected, &result.messages))?;
     conn.execute("COMMIT")?;
     Ok(DmlOutcome {
         affected,
@@ -95,12 +132,12 @@ pub fn wrap_and_execute(conn: &mut Connection, req_id: &str, dml_sql: &str) -> R
     })
 }
 
-/// Probe the status table for a request id. `Ok(Some(_))` means the wrapped
+/// Probe the status table for a request. `Ok(Some(_))` means the wrapped
 /// transaction committed before the crash; the logged outcome is the reply.
-pub fn probe_status(conn: &mut Connection, req_id: &str) -> Result<Option<DmlOutcome>> {
+pub fn probe_status(conn: &mut Connection, session: &str, tag: u64) -> Result<Option<DmlOutcome>> {
     let sql = format!(
-        "SELECT affected, messages FROM {STATUS_TABLE} WHERE req_id = {}",
-        quote(req_id)
+        "SELECT affected, messages FROM {STATUS_TABLE} WHERE session = {} AND tag = {tag}",
+        quote(session)
     );
     let result = conn.execute(&sql)?;
     let rows = result.rows();
@@ -116,10 +153,10 @@ pub fn probe_status(conn: &mut Connection, req_id: &str) -> Result<Option<DmlOut
 }
 
 /// Delete this session's status records (clean termination).
-pub fn clear_status(conn: &mut Connection, tag: &str) -> Result<()> {
+pub fn clear_status(conn: &mut Connection, session: &str) -> Result<()> {
     let sql = format!(
-        "DELETE FROM {STATUS_TABLE} WHERE req_id LIKE {}",
-        quote(&format!("{tag}-%"))
+        "DELETE FROM {STATUS_TABLE} WHERE session = {}",
+        quote(session)
     );
     conn.execute(&sql)?;
     Ok(())
@@ -131,8 +168,23 @@ mod tests {
 
     #[test]
     fn status_insert_sql_parses_and_escapes() {
-        let sql = status_insert_sql("12_3-7", 42, &["it's done".to_string(), "msg2".to_string()]);
+        let sql = status_insert_sql(
+            "12_3",
+            7,
+            42,
+            &["it's done".to_string(), "msg2".to_string()],
+        );
         phoenix_sql::parse_statement(&sql).unwrap();
         assert!(sql.contains("''"), "{sql}");
+    }
+
+    #[test]
+    fn pipelined_batch_statements_parse() {
+        let batch = pipelined_batch("12_3", 9, "UPDATE t SET v = 1 WHERE id = 2");
+        assert_eq!(batch.len(), 4);
+        for sql in &batch {
+            phoenix_sql::parse_statement(sql).unwrap();
+        }
+        assert!(batch[2].contains("@@ROWCOUNT"), "{}", batch[2]);
     }
 }

@@ -82,10 +82,11 @@ impl Namer {
         ObjectName::bare(format!("#phx_alive_{}", self.tag))
     }
 
-    /// Request id for the status table: `<tag>-<n>`, unique per session.
-    pub fn request_id(&mut self) -> String {
-        let n = self.next_id();
-        format!("{}-{n}", self.tag)
+    /// Request tag for the status table: a per-session counter. Together
+    /// with the session tag it forms the `(session, tag)` primary key — the
+    /// same numeric tag a pipelined submission carries in its v2 frame.
+    pub fn request_tag(&mut self) -> u64 {
+        self.next_id()
     }
 }
 
@@ -121,8 +122,8 @@ mod tests {
     }
 
     #[test]
-    fn request_ids_progress() {
+    fn request_tags_progress() {
         let mut n = Namer::new("x".into());
-        assert_ne!(n.request_id(), n.request_id());
+        assert_ne!(n.request_tag(), n.request_tag());
     }
 }

@@ -82,7 +82,7 @@ pub fn reconnect_loop(
 pub fn session_alive(conn: &mut Connection, marker: &ObjectName) -> Result<bool> {
     match conn.execute(&format!("SELECT COUNT(*) FROM {marker}")) {
         Ok(_) => Ok(true),
-        Err(DriverError::Server { code, .. }) if code == codes::NOT_FOUND => Ok(false),
+        Err(DriverError::Sql { code, .. }) if code == codes::NOT_FOUND => Ok(false),
         Err(e) => Err(e),
     }
 }
@@ -100,7 +100,7 @@ pub fn create_marker(conn: &mut Connection, marker: &ObjectName) -> Result<()> {
 pub fn verify_table(conn: &mut Connection, table: &ObjectName) -> Result<bool> {
     match conn.execute(&format!("SELECT * FROM {table} WHERE 0 = 1")) {
         Ok(_) => Ok(true),
-        Err(DriverError::Server { code, .. }) if code == codes::NOT_FOUND => Ok(false),
+        Err(DriverError::Sql { code, .. }) if code == codes::NOT_FOUND => Ok(false),
         Err(e) => Err(e),
     }
 }

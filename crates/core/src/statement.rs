@@ -187,12 +187,12 @@ impl<'c> PhoenixStatement<'c> {
         let select = match parse_statement(sql) {
             Ok(Statement::Select(s)) => s,
             Ok(_) => {
-                return Err(DriverError::Usage(
+                return Err(DriverError::Protocol(
                     "PhoenixStatement::execute takes a SELECT; use PhoenixConnection::execute for other statements".into(),
                 ))
             }
             Err(e) => {
-                return Err(DriverError::Server {
+                return Err(DriverError::Sql {
                     code: phoenix_driver::error::codes::PARSE,
                     message: e.to_string(),
                 })
@@ -230,7 +230,7 @@ impl<'c> PhoenixStatement<'c> {
     /// longer while Phoenix recovers and re-positions.
     pub fn fetch(&mut self) -> Result<Option<Row>> {
         match self.state.as_ref() {
-            None => Err(DriverError::Usage("no open result set".into())),
+            None => Err(DriverError::Protocol("no open result set".into())),
             Some(Delivery::Persistent { .. }) => self.fetch_persistent(),
             Some(Delivery::Keyset { .. }) => self.fetch_keyset(),
             Some(Delivery::Dynamic { .. }) => self.fetch_dynamic(),
@@ -246,10 +246,10 @@ impl<'c> PhoenixStatement<'c> {
     /// simply waits out the recovery like any other request.
     pub fn fetch_scroll(&mut self, dir: PhoenixFetch, n: usize) -> Result<Vec<Row>> {
         match self.state.as_ref() {
-            None => Err(DriverError::Usage("no open result set".into())),
+            None => Err(DriverError::Protocol("no open result set".into())),
             Some(Delivery::Persistent { .. }) => self.scroll_persistent(dir, n),
             Some(Delivery::Keyset { .. }) => self.scroll_keyset(dir, n),
-            Some(Delivery::Dynamic { .. }) => Err(DriverError::Server {
+            Some(Delivery::Dynamic { .. }) => Err(DriverError::Sql {
                 code: phoenix_driver::error::codes::CURSOR,
                 message: "dynamic cursors do not support scrolling".into(),
             }),
@@ -288,7 +288,7 @@ impl<'c> PhoenixStatement<'c> {
                 _ => start + rows.len() as u64,
             };
             if let Some(cid) = cursor.take() {
-                let _ = self.pc.mapped.close_cursor(cid);
+                let _ = self.pc.mapped.close_cursor_raw(cid);
             }
             buf.clear();
             *buf_pos = 0;
@@ -416,7 +416,7 @@ impl<'c> PhoenixStatement<'c> {
             // repositioned re-open.
             let block = self.fetch_block;
             let cid = cursor.expect("checked above");
-            match self.pc.mapped.fetch_cursor(cid, FetchDir::Next, block) {
+            match self.pc.mapped.fetch_cursor_raw(cid, FetchDir::Next, block) {
                 Ok((rows, end)) => {
                     // Buffered rows are always served before `at_end` is
                     // consulted (the buffer check heads the loop), so the
@@ -473,20 +473,24 @@ impl<'c> PhoenixStatement<'c> {
                         } else {
                             format!("SELECT * FROM {table}")
                         };
-                        let (cid, _, _) =
-                            self.pc.mapped.open_cursor(&sql, WireCursor::ForwardOnly)?;
+                        let (cid, _, _) = self
+                            .pc
+                            .mapped
+                            .open_cursor_raw(&sql, WireCursor::ForwardOnly)?;
                         Ok(cid)
                     }
                     RepositionStrategy::ClientScan => {
                         // Baseline: re-open from the start and discard.
                         let sql = format!("SELECT * FROM {table}");
-                        let (cid, _, _) =
-                            self.pc.mapped.open_cursor(&sql, WireCursor::ForwardOnly)?;
+                        let (cid, _, _) = self
+                            .pc
+                            .mapped
+                            .open_cursor_raw(&sql, WireCursor::ForwardOnly)?;
                         let mut to_skip = delivered;
                         while to_skip > 0 {
                             let n = to_skip.min(256) as usize;
                             let (rows, end) =
-                                self.pc.mapped.fetch_cursor(cid, FetchDir::Next, n)?;
+                                self.pc.mapped.fetch_cursor_raw(cid, FetchDir::Next, n)?;
                             to_skip -= rows.len() as u64;
                             if end {
                                 break;

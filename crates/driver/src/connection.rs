@@ -1,15 +1,23 @@
 //! The connection handle: one TCP connection, one server session.
+//!
+//! A connection speaks protocol v2 (tagged frames, pipelining, batches) when
+//! both ends support it, negotiated at open; against an old server it falls
+//! back to v1 transparently. [`Connection::protocol`] reports what was
+//! granted.
 
+use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use phoenix_storage::types::{Row, Schema, Value};
-use phoenix_wire::frame::{read_frame, write_frame};
-use phoenix_wire::message::{Outcome, Request, Response};
+use phoenix_wire::frame::{read_frame, read_tagged_frame, write_frame, write_tagged_frame};
+use phoenix_wire::message::{BatchItem, Outcome, Request, Response, PROTOCOL_V1, PROTOCOL_V2};
 
+use crate::cursor::Cursor;
 use crate::environment::Environment;
 use crate::error::{DriverError, Result};
 use crate::metrics::driver_metrics;
+use crate::pipeline::Pipeline;
 use crate::statement::Statement;
 
 /// Result of `Connection::execute` (a complete, default result set — the
@@ -61,6 +69,16 @@ pub struct Connection {
     database: String,
     env: Environment,
     poisoned: bool,
+    /// Negotiated protocol version (v1 against an old server).
+    protocol: u32,
+    /// Granted pipeline window (1 on v1).
+    window: u32,
+    /// Next client-assigned request tag (v2). Tags are issued in submission
+    /// order, which is also the order the server replies in.
+    next_tag: u64,
+    /// Replies received while waiting for a different tag, and results
+    /// buffered by v1 pipeline emulation.
+    pub(crate) pending: VecDeque<(u64, Response)>,
 }
 
 impl Connection {
@@ -75,7 +93,7 @@ impl Connection {
             .to_socket_addrs()
             .map_err(DriverError::from)?
             .next()
-            .ok_or_else(|| DriverError::Usage(format!("cannot resolve '{addr}'")))?;
+            .ok_or_else(|| DriverError::Protocol(format!("cannot resolve '{addr}'")))?;
         let stream = TcpStream::connect_timeout(&sock_addr, env.connect_timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(env.read_timeout)?;
@@ -88,7 +106,46 @@ impl Connection {
             database: database.to_string(),
             env: env.clone(),
             poisoned: false,
+            protocol: PROTOCOL_V1,
+            window: 1,
+            next_tag: 1,
+            pending: VecDeque::new(),
         };
+
+        // The handshake itself is v1-framed in both directions; tagged
+        // framing starts only after a successful v2 ack.
+        if env.protocol >= PROTOCOL_V2 {
+            match conn.call(Request::LoginV2 {
+                user: user.to_string(),
+                database: database.to_string(),
+                options: options.clone(),
+                protocol: PROTOCOL_V2,
+                window: env.window,
+            })? {
+                Response::LoginAckV2 {
+                    session,
+                    protocol,
+                    window,
+                } => {
+                    conn.session = session;
+                    conn.protocol = protocol;
+                    conn.window = window.max(1);
+                    driver_metrics().connects.inc();
+                    return Ok(conn);
+                }
+                // Any error reply means "no v2 here": an old server answers
+                // the unknown LoginV2 tag with a Parse error and keeps the
+                // connection alive, so the same socket can fall through to
+                // the v1 handshake below.
+                Response::Err { .. } => {}
+                other => {
+                    return Err(DriverError::Protocol(format!(
+                        "unexpected login response: {other:?}"
+                    )))
+                }
+            }
+        }
+
         match conn.call(Request::Login {
             user: user.to_string(),
             database: database.to_string(),
@@ -103,6 +160,18 @@ impl Connection {
                 "unexpected login response: {other:?}"
             ))),
         }
+    }
+
+    /// The negotiated protocol version: `PROTOCOL_V2` when both ends speak
+    /// v2, `PROTOCOL_V1` after a fallback to an old server.
+    pub fn protocol(&self) -> u32 {
+        self.protocol
+    }
+
+    /// The pipeline window the server granted (1 on a v1 connection: one
+    /// request in flight, i.e. no pipelining).
+    pub fn window(&self) -> u32 {
+        self.window
     }
 
     /// The server address this connection was opened against.
@@ -142,8 +211,13 @@ impl Connection {
     }
 
     /// One request/response round trip. Any transport failure poisons the
-    /// connection.
+    /// connection. On a v2 connection this is submit-then-await-own-tag, so
+    /// it interleaves correctly with an outstanding [`Pipeline`]'s replies.
     pub(crate) fn call(&mut self, request: Request) -> Result<Response> {
+        if self.protocol >= PROTOCOL_V2 {
+            let tag = self.submit_tagged(&request)?;
+            return self.wait_tagged(tag);
+        }
         if self.poisoned {
             return Err(DriverError::Comm(std::io::Error::new(
                 std::io::ErrorKind::NotConnected,
@@ -189,6 +263,125 @@ impl Connection {
         }
     }
 
+    /// Submit a tagged request without waiting for its reply (v2 only).
+    /// Returns the client-assigned tag. A transport failure poisons the
+    /// connection.
+    pub(crate) fn submit_tagged(&mut self, request: &Request) -> Result<u64> {
+        if self.poisoned {
+            return Err(DriverError::Comm(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection previously failed",
+            )));
+        }
+        debug_assert!(self.protocol >= PROTOCOL_V2);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        if let Err(e) = write_tagged_frame(&mut self.stream, tag, &request.encode()) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(tag)
+    }
+
+    /// Allocate a tag without any I/O — used by v1 pipeline emulation to
+    /// key synchronously-obtained results.
+    pub(crate) fn fresh_tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        tag
+    }
+
+    /// Receive one tagged reply (v2 only). Frames that fail to decode are
+    /// communication failures: once a reply is garbled the stream cannot be
+    /// trusted to stay in sync.
+    pub(crate) fn read_tagged_reply(&mut self) -> Result<(u64, Response)> {
+        if self.poisoned {
+            return Err(DriverError::Comm(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection previously failed",
+            )));
+        }
+        let result = (|stream: &mut TcpStream| -> Result<(u64, Response)> {
+            let (tag, payload) = read_tagged_frame(stream).map_err(DriverError::from)?;
+            let rsp = Response::decode(&payload).map_err(|e| {
+                DriverError::Comm(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("undecodable response frame ({e}) — stream desynchronized"),
+                ))
+            })?;
+            Ok((tag, rsp))
+        })(&mut self.stream);
+        if let Err(e) = &result {
+            if e.is_comm() {
+                self.poisoned = true;
+            }
+        }
+        result
+    }
+
+    /// Await the reply for `tag`, buffering replies to other tags (they
+    /// belong to an outstanding [`Pipeline`]).
+    pub(crate) fn wait_tagged(&mut self, tag: u64) -> Result<Response> {
+        if let Some(pos) = self.pending.iter().position(|(t, _)| *t == tag) {
+            return Ok(self.pending.remove(pos).expect("position exists").1);
+        }
+        loop {
+            let (t, rsp) = self.read_tagged_reply()?;
+            if t == tag {
+                return Ok(rsp);
+            }
+            self.pending.push_back((t, rsp));
+        }
+    }
+
+    /// Begin a pipelined submission scope: submit up to [`Self::window`]
+    /// requests before awaiting their replies. On a v1 connection the same
+    /// API works with a window of 1 (each submit completes synchronously).
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline::new(self)
+    }
+
+    /// Execute several statements in one round trip, returning per-statement
+    /// outcomes. Execution stops at the first failing statement — its error
+    /// is the last item, and the item count tells how far the batch got.
+    ///
+    /// On a v1 connection the batch degrades to sequential round trips with
+    /// identical semantics.
+    pub fn execute_batch(&mut self, stmts: &[String]) -> Result<Vec<BatchItem>> {
+        if self.protocol >= PROTOCOL_V2 {
+            match self.call(Request::ExecBatch {
+                stmts: stmts.to_vec(),
+            })? {
+                Response::BatchResult { items } => Ok(items),
+                Response::Err { code, message } => Err(DriverError::Sql { code, message }),
+                other => Err(DriverError::Protocol(format!(
+                    "unexpected response {other:?}"
+                ))),
+            }
+        } else {
+            let mut items = Vec::with_capacity(stmts.len());
+            for sql in stmts {
+                match self.call(Request::Exec {
+                    sql: sql.to_string(),
+                })? {
+                    Response::Result { outcome, messages } => {
+                        items.push(BatchItem::Ok { outcome, messages })
+                    }
+                    Response::Err { code, message } => {
+                        items.push(BatchItem::Err { code, message });
+                        break;
+                    }
+                    other => {
+                        return Err(DriverError::Protocol(format!(
+                            "unexpected response {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(items)
+        }
+    }
+
     /// Execute a statement with default result-set semantics: for a SELECT
     /// the server sends every row in the reply.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
@@ -196,7 +389,7 @@ impl Connection {
             sql: sql.to_string(),
         })? {
             Response::Result { outcome, messages } => Ok(QueryResult { outcome, messages }),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -208,10 +401,23 @@ impl Connection {
         Statement::new(self)
     }
 
+    /// Open a server cursor as an RAII handle: the cursor is closed on the
+    /// server when the handle drops (or explicitly via [`Cursor::close`],
+    /// which also reports errors).
+    pub fn cursor(
+        &mut self,
+        sql: &str,
+        kind: phoenix_wire::message::CursorKind,
+    ) -> Result<Cursor<'_>> {
+        let (id, schema, granted) = self.open_cursor_raw(sql, kind)?;
+        Ok(Cursor::new(self, id, schema, granted))
+    }
+
     /// Low-level: open a server cursor, returning `(cursor id, schema,
-    /// granted kind)`. Phoenix holds cursor ids across its own calls rather
-    /// than borrowing a [`Statement`].
-    pub fn open_cursor(
+    /// granted kind)`. Phoenix holds cursor ids across recoveries (a raw id
+    /// survives reconnects in its bookkeeping where a borrowing [`Cursor`]
+    /// could not), which is why the raw API stays public.
+    pub fn open_cursor_raw(
         &mut self,
         sql: &str,
         kind: phoenix_wire::message::CursorKind,
@@ -225,7 +431,7 @@ impl Connection {
                 schema,
                 granted,
             } => Ok((cursor, schema, granted)),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -233,7 +439,7 @@ impl Connection {
     }
 
     /// Low-level: fetch a block from an open server cursor.
-    pub fn fetch_cursor(
+    pub fn fetch_cursor_raw(
         &mut self,
         cursor: u64,
         dir: phoenix_wire::message::FetchDir,
@@ -245,7 +451,7 @@ impl Connection {
             n: n as u32,
         })? {
             Response::Rows { rows, at_end } => Ok((rows, at_end)),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -253,14 +459,47 @@ impl Connection {
     }
 
     /// Low-level: close a server cursor.
-    pub fn close_cursor(&mut self, cursor: u64) -> Result<()> {
+    pub fn close_cursor_raw(&mut self, cursor: u64) -> Result<()> {
         match self.call(Request::CloseCursor { cursor })? {
             Response::Result { .. } => Ok(()),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
         }
+    }
+
+    /// Renamed to [`Connection::open_cursor_raw`]; prefer the RAII
+    /// [`Connection::cursor`] for new code.
+    #[deprecated(since = "0.2.0", note = "use `cursor` (RAII) or `open_cursor_raw`")]
+    pub fn open_cursor(
+        &mut self,
+        sql: &str,
+        kind: phoenix_wire::message::CursorKind,
+    ) -> Result<(u64, Schema, phoenix_wire::message::CursorKind)> {
+        self.open_cursor_raw(sql, kind)
+    }
+
+    /// Renamed to [`Connection::fetch_cursor_raw`]; prefer [`Cursor::fetch`]
+    /// for new code.
+    #[deprecated(since = "0.2.0", note = "use `Cursor::fetch` or `fetch_cursor_raw`")]
+    pub fn fetch_cursor(
+        &mut self,
+        cursor: u64,
+        dir: phoenix_wire::message::FetchDir,
+        n: usize,
+    ) -> Result<(Vec<Row>, bool)> {
+        self.fetch_cursor_raw(cursor, dir, n)
+    }
+
+    /// Renamed to [`Connection::close_cursor_raw`]; with the RAII
+    /// [`Cursor`], closing is automatic.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cursor` (closes on drop) or `close_cursor_raw`"
+    )]
+    pub fn close_cursor(&mut self, cursor: u64) -> Result<()> {
+        self.close_cursor_raw(cursor)
     }
 
     /// Catalog call: schema and primary-key columns of a table (the ODBC
@@ -273,7 +512,7 @@ impl Connection {
                 schema,
                 primary_key,
             } => Ok((schema, primary_key)),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -286,7 +525,7 @@ impl Connection {
     pub fn ping(&mut self) -> Result<()> {
         match self.call(Request::Ping)? {
             Response::Pong => Ok(()),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -300,7 +539,7 @@ impl Connection {
         match self.call(Request::Stats)? {
             Response::Stats { snapshot } => phoenix_obs::StatsSnapshot::decode(&snapshot)
                 .map_err(|e| DriverError::Protocol(format!("bad stats snapshot: {e}"))),
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),

@@ -1,0 +1,80 @@
+//! RAII server-cursor handle.
+//!
+//! A [`Cursor`] borrows its [`Connection`] and closes the server-side cursor
+//! when dropped, so an early return or `?` can no longer leak cursors on the
+//! server (each open cursor pins its result snapshot there). The paper's
+//! ODBC layer has no such affordance — `SQLFreeStmt` must be called by hand
+//! — which is exactly the kind of leak the driver can rule out by
+//! construction.
+
+use phoenix_storage::types::{Row, Schema};
+use phoenix_wire::message::{CursorKind, FetchDir};
+
+use crate::connection::Connection;
+use crate::error::Result;
+
+/// An open server cursor, closed on drop. Obtain via
+/// [`Connection::cursor`].
+pub struct Cursor<'c> {
+    conn: &'c mut Connection,
+    id: u64,
+    schema: Schema,
+    granted: CursorKind,
+    closed: bool,
+}
+
+impl<'c> Cursor<'c> {
+    pub(crate) fn new(
+        conn: &'c mut Connection,
+        id: u64,
+        schema: Schema,
+        granted: CursorKind,
+    ) -> Cursor<'c> {
+        Cursor {
+            conn,
+            id,
+            schema,
+            granted,
+            closed: false,
+        }
+    }
+
+    /// The server-side cursor id (diagnostics; the handle owns its
+    /// lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Result-set metadata.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The cursor kind the server actually granted (it may downgrade).
+    pub fn granted(&self) -> CursorKind {
+        self.granted
+    }
+
+    /// Fetch up to `n` rows in the given direction. Returns the rows and
+    /// whether the cursor is at the end of the result.
+    pub fn fetch(&mut self, dir: FetchDir, n: usize) -> Result<(Vec<Row>, bool)> {
+        self.conn.fetch_cursor_raw(self.id, dir, n)
+    }
+
+    /// Close explicitly, surfacing any error (drop closes too, but must
+    /// swallow failures).
+    pub fn close(mut self) -> Result<()> {
+        self.closed = true;
+        self.conn.close_cursor_raw(self.id)
+    }
+}
+
+impl Drop for Cursor<'_> {
+    fn drop(&mut self) {
+        if !self.closed && !self.conn.is_poisoned() {
+            // Best effort: on a healthy connection this is one round trip;
+            // on a dead one the server reclaims cursors with the session.
+            let _ = self.conn.close_cursor_raw(self.id);
+        }
+    }
+}

@@ -1,4 +1,20 @@
-//! Driver error model.
+//! Driver error model: the unified taxonomy every layer above the wire
+//! dispatches on.
+//!
+//! Four classes, chosen by what the caller can *do* about the failure:
+//!
+//! * [`Error::Comm`] — the transport failed; the session may be gone. The
+//!   only retryable class ([`Error::is_retryable`]); Phoenix's failure
+//!   detector triggers on it.
+//! * [`Error::Sql`] — the server executed (or refused) the statement and
+//!   reported an error. The session is intact; retrying the identical
+//!   statement would fail the identical way.
+//! * [`Error::Protocol`] — one side misused the protocol or the API: bytes
+//!   that don't decode, a reply of the wrong shape, a fetch without an open
+//!   result. A bug, not an operational condition.
+//! * [`Error::Recovery`] — Phoenix's masking machinery itself gave up (e.g.
+//!   session state unrecoverable after a crash). The application must
+//!   re-establish its session state by hand.
 
 use std::fmt;
 use std::io;
@@ -37,40 +53,54 @@ pub mod codes {
     pub const STORAGE: ServerErrorCode = 12;
 }
 
-/// A driver error.
+/// A driver error. See the module docs for the class semantics.
 #[derive(Debug)]
-pub enum DriverError {
+pub enum Error {
     /// Communication failure: connect refused, socket died mid-request, or
     /// a read timed out. After a `Comm` error the connection is unusable and
     /// the server session may no longer exist — this is the signal Phoenix's
     /// failure detector triggers on.
     Comm(io::Error),
-    /// The server executed (or refused) the request and reported an error.
-    /// The session itself is intact.
-    Server {
+    /// The server executed (or refused) the request and reported a SQL-level
+    /// error. The session itself is intact.
+    Sql {
         /// The engine's error class.
         code: ServerErrorCode,
         /// Human-readable message.
         message: String,
     },
-    /// The peer sent bytes that don't decode — a protocol bug or version
-    /// mismatch. Treated as fatal for the connection.
+    /// Protocol or API misuse: bytes that don't decode, a reply of the
+    /// wrong shape for the request, a fetch without an open result set.
     Protocol(String),
-    /// Driver misuse (fetch without an open result, etc.).
-    Usage(String),
+    /// Phoenix recovery failed: the crash could not be masked and session
+    /// state was lost. Surfaced only by `phoenix-core`, never by the bare
+    /// driver.
+    Recovery(String),
 }
 
-impl DriverError {
+/// Compatibility alias — the error type's original name. New code should
+/// spell it [`Error`] (e.g. via `phoenix_driver::prelude`).
+pub type DriverError = Error;
+
+impl Error {
     /// Is this a communication failure (vs. a server-reported statement
     /// error)?
     pub fn is_comm(&self) -> bool {
-        matches!(self, DriverError::Comm(_))
+        matches!(self, Error::Comm(_))
+    }
+
+    /// Can the operation be retried — possibly on a fresh connection — with
+    /// a real chance of success? True only for [`Error::Comm`]: a `Sql`
+    /// error would recur, a `Protocol` error is a bug, and a `Recovery`
+    /// error means retrying was already tried and lost.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Comm(_))
     }
 
     /// Did the read time out (possible slow server — not necessarily dead)?
     pub fn is_timeout(&self) -> bool {
         match self {
-            DriverError::Comm(e) => {
+            Error::Comm(e) => {
                 matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
@@ -80,47 +110,47 @@ impl DriverError {
         }
     }
 
-    /// The server error class, when this is a `Server` error.
+    /// The server error class, when this is a [`Error::Sql`] error.
     pub fn server_code(&self) -> Option<ServerErrorCode> {
         match self {
-            DriverError::Server { code, .. } => Some(*code),
+            Error::Sql { code, .. } => Some(*code),
             _ => None,
         }
     }
 }
 
-impl fmt::Display for DriverError {
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DriverError::Comm(e) => write!(f, "communication failure: {e}"),
-            DriverError::Server { code, message } => write!(f, "server error {code}: {message}"),
-            DriverError::Protocol(m) => write!(f, "protocol error: {m}"),
-            DriverError::Usage(m) => write!(f, "driver usage error: {m}"),
+            Error::Comm(e) => write!(f, "communication failure: {e}"),
+            Error::Sql { code, message } => write!(f, "server error {code}: {message}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Recovery(m) => write!(f, "recovery failure: {m}"),
         }
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for Error {}
 
-impl From<io::Error> for DriverError {
+impl From<io::Error> for Error {
     fn from(e: io::Error) -> Self {
-        DriverError::Comm(e)
+        Error::Comm(e)
     }
 }
 
-impl From<phoenix_wire::FrameError> for DriverError {
+impl From<phoenix_wire::FrameError> for Error {
     fn from(e: phoenix_wire::FrameError) -> Self {
         match e {
-            phoenix_wire::FrameError::Io(io) => DriverError::Comm(io),
+            phoenix_wire::FrameError::Io(io) => Error::Comm(io),
             phoenix_wire::FrameError::TooLarge(n) => {
-                DriverError::Protocol(format!("oversized frame ({n} bytes)"))
+                Error::Protocol(format!("oversized frame ({n} bytes)"))
             }
         }
     }
 }
 
 /// Driver result alias.
-pub type Result<T> = std::result::Result<T, DriverError>;
+pub type Result<T> = std::result::Result<T, Error>;
 
 #[cfg(test)]
 mod tests {
@@ -128,17 +158,26 @@ mod tests {
 
     #[test]
     fn classification() {
-        let comm = DriverError::Comm(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        let comm = Error::Comm(io::Error::new(io::ErrorKind::TimedOut, "t"));
         assert!(comm.is_comm());
         assert!(comm.is_timeout());
-        let comm2 = DriverError::Comm(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
+        assert!(comm.is_retryable());
+        let comm2 = Error::Comm(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
         assert!(comm2.is_comm());
         assert!(!comm2.is_timeout());
-        let srv = DriverError::Server {
+        let srv = Error::Sql {
             code: codes::NOT_FOUND,
             message: "x".into(),
         };
         assert!(!srv.is_comm());
+        assert!(!srv.is_retryable());
         assert_eq!(srv.server_code(), Some(codes::NOT_FOUND));
+        assert!(!Error::Protocol("p".into()).is_retryable());
+        assert!(!Error::Recovery("r".into()).is_retryable());
+        // Each class renders with its own prefix — applications can log
+        // without matching on strings.
+        assert!(Error::Recovery("gone".into())
+            .to_string()
+            .starts_with("recovery failure"));
     }
 }

@@ -117,7 +117,7 @@ impl<'c> Statement<'c> {
                     });
                     Ok(StatementResult::ResultSet)
                 }
-                Response::Err { code, message } => Err(DriverError::Server { code, message }),
+                Response::Err { code, message } => Err(DriverError::Sql { code, message }),
                 other => Err(DriverError::Protocol(format!(
                     "unexpected response {other:?}"
                 ))),
@@ -143,7 +143,7 @@ impl<'c> Statement<'c> {
                         Outcome::Done => Ok(StatementResult::Done),
                     }
                 }
-                Response::Err { code, message } => Err(DriverError::Server { code, message }),
+                Response::Err { code, message } => Err(DriverError::Sql { code, message }),
                 other => Err(DriverError::Protocol(format!(
                     "unexpected response {other:?}"
                 ))),
@@ -175,7 +175,7 @@ impl<'c> Statement<'c> {
     pub fn fetch(&mut self) -> Result<Option<Row>> {
         let block = self.fetch_block;
         match self.source.as_mut() {
-            None => Err(DriverError::Usage("no open result set".into())),
+            None => Err(DriverError::Protocol("no open result set".into())),
             Some(Source::Buffered { rows, pos }) => {
                 if *pos < rows.len() {
                     let row = rows[*pos].clone();
@@ -222,7 +222,7 @@ impl<'c> Statement<'c> {
     /// directly from the client buffer for default result sets).
     pub fn fetch_scroll(&mut self, dir: FetchDir, n: usize) -> Result<Vec<Row>> {
         match self.source.as_mut() {
-            None => Err(DriverError::Usage("no open result set".into())),
+            None => Err(DriverError::Protocol("no open result set".into())),
             Some(Source::Buffered { rows, pos }) => match dir {
                 FetchDir::Next => {
                     let start = *pos;
@@ -265,7 +265,7 @@ impl<'c> Statement<'c> {
                         }
                         Ok(rows)
                     }
-                    Response::Err { code, message } => Err(DriverError::Server { code, message }),
+                    Response::Err { code, message } => Err(DriverError::Sql { code, message }),
                     other => Err(DriverError::Protocol(format!(
                         "unexpected response {other:?}"
                     ))),
@@ -277,7 +277,7 @@ impl<'c> Statement<'c> {
     fn fill_block(&mut self, dir: FetchDir, n: usize) -> Result<()> {
         let id = match self.source.as_ref() {
             Some(Source::Cursor { id, .. }) => *id,
-            _ => return Err(DriverError::Usage("not a cursor statement".into())),
+            _ => return Err(DriverError::Protocol("not a cursor statement".into())),
         };
         match self.conn.call(Request::Fetch {
             cursor: id,
@@ -298,7 +298,7 @@ impl<'c> Statement<'c> {
                 }
                 Ok(())
             }
-            Response::Err { code, message } => Err(DriverError::Server { code, message }),
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
@@ -310,7 +310,7 @@ impl<'c> Statement<'c> {
         if let Some(Source::Cursor { id, .. }) = self.source.take() {
             match self.conn.call(Request::CloseCursor { cursor: id })? {
                 Response::Result { .. } => Ok(()),
-                Response::Err { code, message } => Err(DriverError::Server { code, message }),
+                Response::Err { code, message } => Err(DriverError::Sql { code, message }),
                 other => Err(DriverError::Protocol(format!(
                     "unexpected response {other:?}"
                 ))),

@@ -126,7 +126,7 @@ fn server_errors_do_not_poison() {
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     let e = conn.execute("SELECT * FROM missing").unwrap_err();
     assert!(!e.is_comm());
-    assert!(matches!(e, DriverError::Server { .. }));
+    assert!(matches!(e, DriverError::Sql { .. }));
     assert!(!conn.is_poisoned());
     // Connection still works.
     conn.execute("SELECT 1").unwrap();

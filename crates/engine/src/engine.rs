@@ -273,6 +273,33 @@ impl Engine {
         params: Option<&HashMap<String, Value>>,
         depth: usize,
     ) -> Result<ExecResult> {
+        // `@@ROWCOUNT` is session state: substitute the previous statement's
+        // count before execution so a batch can record its own DML outcome
+        // server-side (the wrapped-request pattern).
+        let substituted = phoenix_sql::rewrite::substitute_sysvar(
+            stmt,
+            "ROWCOUNT",
+            &phoenix_sql::ast::Literal::Int(session.rowcount as i64),
+        );
+        let stmt = substituted.as_ref().unwrap_or(stmt);
+        let result = self.exec_dispatch(session, stmt, params, depth);
+        if let Ok(r) = &result {
+            session.rowcount = match &r.outcome {
+                ExecOutcome::RowsAffected(n) => *n,
+                ExecOutcome::ResultSet { rows, .. } => rows.len() as u64,
+                ExecOutcome::Done => 0,
+            };
+        }
+        result
+    }
+
+    fn exec_dispatch(
+        &self,
+        session: &mut SessionState,
+        stmt: &Statement,
+        params: Option<&HashMap<String, Value>>,
+        depth: usize,
+    ) -> Result<ExecResult> {
         if depth > 8 {
             return Err(EngineError::unsupported("procedure call nesting too deep"));
         }
@@ -784,6 +811,47 @@ mod tests {
             .execute(sid, "SELECT name FROM customer WHERE id = 2")
             .unwrap();
         assert_eq!(r.rows(), &[vec![Value::Text("Jones".into())]]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rowcount_sysvar_tracks_previous_statement() {
+        let (e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&e, sid);
+        e.execute(sid, "CREATE TABLE audit (sid TEXT, n INT)")
+            .unwrap();
+        // The wrapped-request pattern: a batch whose status INSERT records
+        // the preceding DML's affected count via @@ROWCOUNT.
+        let results = e
+            .execute_batch(
+                sid,
+                "BEGIN; UPDATE customer SET nation = 99 WHERE name = 'Smith'; \
+                 INSERT INTO audit VALUES ('s1', @@ROWCOUNT); COMMIT",
+            )
+            .unwrap();
+        assert_eq!(results[1].affected(), 2);
+        let r = e
+            .execute(sid, "SELECT n FROM audit WHERE sid = 's1'")
+            .unwrap();
+        assert_eq!(r.rows(), &[vec![Value::Int(2)]]);
+        // A non-DML statement resets @@ROWCOUNT to 0.
+        e.execute(sid, "BEGIN").unwrap();
+        e.execute(sid, "INSERT INTO audit VALUES ('s2', @@ROWCOUNT)")
+            .unwrap();
+        e.execute(sid, "COMMIT").unwrap();
+        let r = e
+            .execute(sid, "SELECT n FROM audit WHERE sid = 's2'")
+            .unwrap();
+        assert_eq!(r.rows(), &[vec![Value::Int(0)]]);
+        // @@ROWCOUNT is per-session: a fresh session starts at 0.
+        let sid2 = e.create_session("app");
+        e.execute(sid2, "INSERT INTO audit VALUES ('s3', @@ROWCOUNT)")
+            .unwrap();
+        let r = e
+            .execute(sid, "SELECT n FROM audit WHERE sid = 's3'")
+            .unwrap();
+        assert_eq!(r.rows(), &[vec![Value::Int(0)]]);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -170,6 +170,12 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
             Some(v) => Ok(v.clone()),
             None => Err(EngineError::column(format!("unbound parameter '@{p}'"))),
         },
+        // System variables are substituted by the engine facade before
+        // execution (DML shapes only); one surviving to evaluation means it
+        // was used somewhere that substitution does not cover.
+        Expr::SysVar(n) => Err(EngineError::unsupported(format!(
+            "system variable '@@{n}' is not available in this context"
+        ))),
         Expr::Unary { op, expr } => {
             let v = eval(expr, env)?;
             match op {
@@ -750,6 +756,7 @@ pub fn infer_type(expr: &Expr, columns: &[BoundColumn]) -> Result<(DataType, boo
             (columns[idx].dtype, columns[idx].nullable)
         }
         Expr::Param(_) => (DataType::Text, true),
+        Expr::SysVar(_) => (DataType::Int, false),
         Expr::Unary { op, expr } => {
             let (t, n) = infer_type(expr, columns)?;
             match op {

@@ -36,6 +36,12 @@ pub struct SessionState {
     pub txn: Option<TxnId>,
     /// Open server cursors.
     pub cursors: HashMap<CursorId, Cursor>,
+    /// Rows affected (or returned) by the previous statement — the value of
+    /// `@@ROWCOUNT`. DML sets it to the affected count, SELECT to the row
+    /// count, and everything else resets it to 0 (T-SQL-compatible enough
+    /// for the wrapped-request pattern, which reads it in the statement
+    /// immediately following the DML).
+    pub rowcount: u64,
 }
 
 impl SessionState {
@@ -48,6 +54,7 @@ impl SessionState {
             temp: Store::new(),
             txn: None,
             cursors: HashMap::new(),
+            rowcount: 0,
         }
     }
 

@@ -20,6 +20,13 @@ pub struct ServerMetrics {
     /// (`phoenix_malformed_requests_total`). The connection survives; the
     /// client gets a `Response::Err`.
     pub malformed_requests: Arc<Counter>,
+    /// Requests currently inside some connection's pipeline window — queued
+    /// or executing — across all v2 connections
+    /// (`phoenix_pipeline_window_depth`).
+    pub pipeline_window_depth: Arc<Gauge>,
+    /// Individual statements executed via `ExecBatch`
+    /// (`phoenix_batch_statements_total`).
+    pub batch_statements: Arc<Counter>,
     login: Arc<Counter>,
     exec: Arc<Counter>,
     open_cursor: Arc<Counter>,
@@ -29,6 +36,8 @@ pub struct ServerMetrics {
     describe: Arc<Counter>,
     stats: Arc<Counter>,
     logout: Arc<Counter>,
+    login_v2: Arc<Counter>,
+    exec_batch: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -44,6 +53,8 @@ impl ServerMetrics {
             Request::Describe { .. } => &self.describe,
             Request::Stats => &self.stats,
             Request::Logout => &self.logout,
+            Request::LoginV2 { .. } => &self.login_v2,
+            Request::ExecBatch { .. } => &self.exec_batch,
         }
     }
 }
@@ -78,6 +89,14 @@ pub fn server_metrics() -> &'static ServerMetrics {
                 "phoenix_malformed_requests_total",
                 "frames that failed request decoding (connection kept alive)",
             ),
+            pipeline_window_depth: r.gauge(
+                "phoenix_pipeline_window_depth",
+                "requests queued or executing inside v2 pipeline windows",
+            ),
+            batch_statements: r.counter(
+                "phoenix_batch_statements_total",
+                "individual statements executed via ExecBatch",
+            ),
             login: req("login"),
             exec: req("exec"),
             open_cursor: req("open_cursor"),
@@ -87,6 +106,8 @@ pub fn server_metrics() -> &'static ServerMetrics {
             describe: req("describe"),
             stats: req("stats"),
             logout: req("logout"),
+            login_v2: req("login_v2"),
+            exec_batch: req("exec_batch"),
         }
     })
 }

@@ -29,8 +29,10 @@ use parking_lot::{Mutex, RwLock};
 
 use phoenix_engine::{cursor, Engine, EngineError, ErrorCode, ExecOutcome, SessionId};
 use phoenix_obs::StatsSnapshot;
-use phoenix_wire::frame::{read_frame, write_frame, FrameError};
-use phoenix_wire::message::{CursorKind, FetchDir, Outcome, Request, Response};
+use phoenix_wire::frame::{read_frame, read_tagged_frame, write_frame, FrameError};
+use phoenix_wire::message::{
+    BatchItem, CursorKind, FetchDir, Outcome, Request, Response, DEFAULT_WINDOW, PROTOCOL_V2,
+};
 
 use crate::metrics::server_metrics;
 
@@ -198,9 +200,39 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
             }
         };
 
-        let logout = matches!(request, Request::Logout);
         let m = server_metrics();
         m.requests(&request).inc();
+
+        // A LoginV2 upgrades this connection to pipelined v2 mode for the
+        // rest of its lifetime. On a negotiation failure (e.g. the client
+        // asked for a version this server cannot speak) the connection stays
+        // in the v1 loop so the client can retry with a plain Login.
+        if let Request::LoginV2 {
+            user,
+            database: _,
+            options,
+            protocol,
+            window,
+        } = request
+        {
+            match login_v2(&engine, &mut session, &user, options, protocol, window) {
+                Ok((ack, granted)) => {
+                    if send(&mut stream, &ack).is_err() {
+                        break;
+                    }
+                    serve_pipelined(&mut stream, &engine, &mut session, granted);
+                    break;
+                }
+                Err(rsp) => {
+                    if send(&mut stream, &rsp).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        let logout = matches!(request, Request::Logout);
         m.requests_inflight.inc();
         let response = dispatch(&engine, &mut session, request);
         m.requests_inflight.dec();
@@ -222,7 +254,147 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
     }
 }
 
+/// Negotiate a v2 login. On success returns the ack to send (untagged — the
+/// handshake itself is still v1-framed) and the granted window.
+fn login_v2(
+    engine: &SharedEngine,
+    session: &mut Option<SessionId>,
+    user: &str,
+    options: Vec<(String, phoenix_storage::types::Value)>,
+    protocol: u32,
+    window: u32,
+) -> Result<(Response, u32), Response> {
+    let eng = engine.read().clone().ok_or(Response::Err {
+        code: ErrorCode::NoSession as u16,
+        message: "server unavailable".into(),
+    })?;
+    if protocol < PROTOCOL_V2 {
+        // A LoginV2 advertising v1 is contradictory; tell the client to use
+        // the v1 handshake, which is what a fallback client does anyway.
+        return Err(Response::Err {
+            code: ErrorCode::Unsupported as u16,
+            message: format!("protocol v{protocol} must use a v1 Login"),
+        });
+    }
+    let sid = create_session_with_options(&eng, session, user, options)?;
+    // The server never grants more than DEFAULT_WINDOW regardless of the ask,
+    // and never less than 1 (a zero window could make no progress).
+    let granted = window.clamp(1, DEFAULT_WINDOW);
+    Ok((
+        Response::LoginAckV2 {
+            session: sid,
+            protocol: PROTOCOL_V2,
+            window: granted,
+        },
+        granted,
+    ))
+}
+
+/// Serve a connection in pipelined v2 mode: a reader thread decodes tagged
+/// frames into a bounded queue (the negotiated window is the bound), while
+/// this thread executes requests strictly in arrival order and streams
+/// tagged replies back in that same order.
+fn serve_pipelined(
+    stream: &mut TcpStream,
+    engine: &SharedEngine,
+    session: &mut Option<SessionId>,
+    window: u32,
+) {
+    let m = server_metrics();
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Queue capacity plus the request being executed equals the window; a
+    // window of 1 degenerates to a rendezvous channel (strict ping-pong).
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(u64, Result<Request, String>)>(
+        (window as usize).saturating_sub(1),
+    );
+    let reader = std::thread::Builder::new()
+        .name("phx-conn-reader".into())
+        .spawn(move || {
+            let mut stream = reader_stream;
+            // Until the client goes away or the socket is severed:
+            while let Ok((tag, payload)) = read_tagged_frame(&mut stream) {
+                let req = Request::decode(&payload).map_err(|e| e.to_string());
+                server_metrics().pipeline_window_depth.inc();
+                if tx.send((tag, req)).is_err() {
+                    break; // executor exited
+                }
+            }
+        });
+    let reader = match reader {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+
+    while let Ok((tag, req)) = rx.recv() {
+        // The moment a queued request is picked up for execution. Crashing
+        // here models dying with a full reply window: earlier tags may have
+        // committed and replied, this tag and everything behind it is lost.
+        match phoenix_chaos::fault("server.pipeline_dequeue") {
+            phoenix_chaos::FaultAction::Continue | phoenix_chaos::FaultAction::Crash => {}
+            phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+            phoenix_chaos::FaultAction::IoError | phoenix_chaos::FaultAction::Torn(_) => {
+                m.pipeline_window_depth.dec();
+                break;
+            }
+        }
+        let (response, logout) = match req {
+            Ok(request) => {
+                let logout = matches!(request, Request::Logout);
+                m.requests(&request).inc();
+                m.requests_inflight.inc();
+                let r = dispatch(engine, session, request);
+                m.requests_inflight.dec();
+                (r, logout)
+            }
+            Err(e) => {
+                // Same contract as the v1 loop: a malformed message inside a
+                // well-formed frame gets an error reply, not a hangup.
+                m.malformed_requests.inc();
+                (
+                    Response::Err {
+                        code: ErrorCode::Parse as u16,
+                        message: format!("malformed request: {e}"),
+                    },
+                    false,
+                )
+            }
+        };
+        m.pipeline_window_depth.dec();
+        if send_tagged(stream, tag, &response).is_err() {
+            break; // tagged reply lost mid-window
+        }
+        if logout {
+            break;
+        }
+    }
+
+    // Unblock the reader (it sits in read_tagged_frame) and reap it, then
+    // drain whatever it had queued so the window-depth gauge ends at zero.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    while rx.try_recv().is_ok() {
+        m.pipeline_window_depth.dec();
+    }
+}
+
 fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
+    send_bytes(stream, &response.encode())
+}
+
+/// Send a tagged (v2) reply: the tag is part of the frame payload, so the
+/// fault-injection path below tears tagged frames exactly like v1 frames.
+fn send_tagged(stream: &mut TcpStream, tag: u64, response: &Response) -> Result<(), FrameError> {
+    let body = response.encode();
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&tag.to_le_bytes());
+    payload.extend_from_slice(&body);
+    send_bytes(stream, &payload)
+}
+
+fn send_bytes(stream: &mut TcpStream, bytes: &[u8]) -> Result<(), FrameError> {
     // Once a fatal fault has fired, this server incarnation is "dead": no
     // reply may escape, not even an error reply from a request thread that
     // observed the injected failure — a crashed process emits nothing. One
@@ -232,7 +404,6 @@ fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
             "server.reply_send",
         )));
     }
-    let bytes = response.encode();
     match phoenix_chaos::fault("server.reply_send") {
         phoenix_chaos::FaultAction::Continue => {}
         phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
@@ -248,7 +419,7 @@ fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
             use std::io::Write;
             let mut framed = Vec::with_capacity(bytes.len() + 4);
             framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            framed.extend_from_slice(&bytes);
+            framed.extend_from_slice(bytes);
             let n = n.min(framed.len() - 1);
             let _ = stream.write_all(&framed[..n]);
             let _ = stream.flush();
@@ -257,7 +428,7 @@ fn send(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
             )));
         }
     }
-    write_frame(stream, &bytes)
+    write_frame(stream, bytes)
 }
 
 fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Request) -> Response {
@@ -287,28 +458,16 @@ fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Req
             user,
             database: _,
             options,
-        } => {
-            // A relogin on the same connection replaces the session: close
-            // the old one first so its temp objects, cursors, and any open
-            // transaction are torn down instead of leaking.
-            if let Some(old) = session.take() {
-                let _ = eng.close_session(old);
-            }
-            let sid = eng.create_session(&user);
-            for (name, value) in options {
-                // Initial options are ordinary SETs.
-                let stmt = phoenix_sql::ast::Statement::Set {
-                    name,
-                    value: value_to_literal_expr(value),
-                };
-                if let Err(e) = eng.execute_stmt(sid, &stmt) {
-                    let _ = eng.close_session(sid);
-                    return err_of(e);
-                }
-            }
-            *session = Some(sid);
-            Response::LoginAck { session: sid }
-        }
+        } => match create_session_with_options(&eng, session, &user, options) {
+            Ok(sid) => Response::LoginAck { session: sid },
+            Err(rsp) => rsp,
+        },
+        // The v2 handshake is handled at the connection layer (it changes the
+        // framing mode); reaching dispatch means it arrived mid-pipeline.
+        Request::LoginV2 { .. } => Response::Err {
+            code: ErrorCode::Unsupported as u16,
+            message: "connection is already in pipelined mode".into(),
+        },
         Request::Logout => {
             if let Some(sid) = session.take() {
                 let _ = eng.close_session(sid);
@@ -321,17 +480,39 @@ fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Req
             };
             match eng.execute(sid, &sql) {
                 Ok(result) => Response::Result {
-                    outcome: match result.outcome {
-                        ExecOutcome::ResultSet { schema, rows } => {
-                            Outcome::ResultSet { schema, rows }
-                        }
-                        ExecOutcome::RowsAffected(n) => Outcome::RowsAffected(n),
-                        ExecOutcome::Done => Outcome::Done,
-                    },
+                    outcome: outcome_of(result.outcome),
                     messages: result.messages,
                 },
                 Err(e) => err_of(e),
             }
+        }
+        Request::ExecBatch { stmts } => {
+            let Some(sid) = *session else {
+                return no_session();
+            };
+            // Per-statement outcomes in one reply. Execution stops at the
+            // first failing statement — its error is the last item, and the
+            // item count tells the client exactly how far the batch got
+            // (statements after it were never attempted).
+            let m = server_metrics();
+            let mut items = Vec::with_capacity(stmts.len());
+            for sql in &stmts {
+                m.batch_statements.inc();
+                match eng.execute(sid, sql) {
+                    Ok(result) => items.push(BatchItem::Ok {
+                        outcome: outcome_of(result.outcome),
+                        messages: result.messages,
+                    }),
+                    Err(e) => {
+                        items.push(BatchItem::Err {
+                            code: e.code as u16,
+                            message: e.message,
+                        });
+                        break;
+                    }
+                }
+            }
+            Response::BatchResult { items }
         }
         Request::OpenCursor { sql, kind } => {
             let Some(sid) = *session else {
@@ -408,6 +589,43 @@ fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Req
                 Err(e) => err_of(e),
             }
         }
+    }
+}
+
+/// Create a session for `user` and apply initial options, replacing any
+/// existing session on the connection. A relogin replaces the session: the
+/// old one is closed first so its temp objects, cursors, and any open
+/// transaction are torn down instead of leaking.
+fn create_session_with_options(
+    eng: &Arc<Engine>,
+    session: &mut Option<SessionId>,
+    user: &str,
+    options: Vec<(String, phoenix_storage::types::Value)>,
+) -> Result<SessionId, Response> {
+    if let Some(old) = session.take() {
+        let _ = eng.close_session(old);
+    }
+    let sid = eng.create_session(user);
+    for (name, value) in options {
+        // Initial options are ordinary SETs.
+        let stmt = phoenix_sql::ast::Statement::Set {
+            name,
+            value: value_to_literal_expr(value),
+        };
+        if let Err(e) = eng.execute_stmt(sid, &stmt) {
+            let _ = eng.close_session(sid);
+            return Err(err_of(e));
+        }
+    }
+    *session = Some(sid);
+    Ok(sid)
+}
+
+fn outcome_of(o: ExecOutcome) -> Outcome {
+    match o {
+        ExecOutcome::ResultSet { schema, rows } => Outcome::ResultSet { schema, rows },
+        ExecOutcome::RowsAffected(n) => Outcome::RowsAffected(n),
+        ExecOutcome::Done => Outcome::Done,
     }
 }
 

@@ -136,7 +136,7 @@ fn half_written_reply_is_clean_comm_error() {
         // Socket drops here: EOF mid-frame on the client.
     });
 
-    let env = phoenix_driver::Environment::new();
+    let env = phoenix_driver::Environment::new().with_protocol(phoenix_wire::message::PROTOCOL_V1);
     let mut conn = env.connect(&addr, "app", "test").unwrap();
     let err = conn.execute("SELECT 1").unwrap_err();
     assert!(err.is_comm(), "half-written reply must be comm, got {err}");
@@ -160,7 +160,7 @@ fn undecodable_reply_frame_is_comm_and_poisons() {
         let _ = read_frame(s);
     });
 
-    let env = phoenix_driver::Environment::new();
+    let env = phoenix_driver::Environment::new().with_protocol(phoenix_wire::message::PROTOCOL_V1);
     let mut conn = env.connect(&addr, "app", "test").unwrap();
     let err = conn.execute("SELECT 1").unwrap_err();
     assert!(err.is_comm(), "undecodable reply must be comm, got {err}");
@@ -181,7 +181,7 @@ fn oversized_reply_frame_is_comm_and_poisons() {
         let _ = read_frame(s);
     });
 
-    let env = phoenix_driver::Environment::new();
+    let env = phoenix_driver::Environment::new().with_protocol(phoenix_wire::message::PROTOCOL_V1);
     let mut conn = env.connect(&addr, "app", "test").unwrap();
     let err = conn.execute("SELECT 1").unwrap_err();
     assert!(err.is_comm(), "oversized reply must be comm, got {err}");
@@ -210,4 +210,128 @@ fn stats_request_round_trips_without_login() {
     );
 
     h.shutdown();
+}
+
+/// The tentpole recovery test: crash the server with a whole pipelined
+/// window of DML in flight. Every committed-and-unacknowledged tag must be
+/// answered from the status table (never re-executed), every uncommitted
+/// tag must be cleanly resubmitted, and the replies must come back in
+/// submission order — the paper's exactly-once guarantee, per tag.
+#[test]
+fn pipelined_window_crash_replays_exactly_once() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use phoenix_chaos as chaos;
+    use phoenix_core::{PhoenixConfig, PhoenixConnection};
+
+    let dir = temp_dir("pipewindow");
+    let harness = Arc::new(Mutex::new(
+        ServerHarness::start(&dir, EngineConfig::default()).unwrap(),
+    ));
+
+    let mut config = PhoenixConfig::default();
+    config.recovery.read_timeout = Some(Duration::from_millis(500));
+    config.recovery.ping_interval = Duration::from_millis(10);
+    config.recovery.max_wait = Duration::from_secs(10);
+    let mut pc = {
+        let h = harness.lock().unwrap();
+        PhoenixConnection::connect(
+            &phoenix_driver::Environment::new(),
+            &h.addr(),
+            "app",
+            "test",
+            config,
+        )
+        .unwrap()
+    };
+    pc.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    pc.execute(
+        "INSERT INTO t VALUES (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0)",
+    )
+    .unwrap();
+
+    // Statement i updates rows id <= i: every affected count is distinct
+    // (proving reply order) and a double application would overshoot the
+    // final increments (proving exactly-once).
+    let stmts: Vec<String> = (1..=8)
+        .map(|i| format!("UPDATE t SET v = v + 1 WHERE id <= {i}"))
+        .collect();
+
+    // Arm only now, so reply_send visit numbers start at the pipelined
+    // window: the 6th reply is the 6th wrapper's — it has committed, and
+    // killing its reply forces a status-table replay, while wrappers 7 and 8
+    // die unexecuted and must be resubmitted.
+    let guard = chaos::arm(chaos::Schedule::new().rule(
+        chaos::Target::Point {
+            point: "server.reply_send",
+            nth: 6,
+        },
+        chaos::FaultSpec::CrashNow,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor = {
+        let harness = Arc::clone(&harness);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            if chaos::crash_requested() {
+                let mut h = harness.lock().unwrap();
+                h.crash().expect("supervisor crash");
+                chaos::acknowledge_crash();
+                std::thread::sleep(Duration::from_millis(20));
+                h.restart().expect("supervisor restart");
+                return true;
+            }
+            if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        })
+    };
+
+    let results = pc
+        .execute_pipelined(&stmts)
+        .expect("window survives the crash");
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let crashed = supervisor.join().unwrap();
+    assert!(guard.fired().iter().any(|f| f.point == "server.reply_send"));
+    drop(guard);
+    assert!(crashed, "the injected fault must have crashed the server");
+
+    // Reply order preserved: result i carries statement i's distinct count.
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.affected(),
+            (i + 1) as u64,
+            "reply {i} out of order or wrong"
+        );
+    }
+
+    // Exactly-once: row id gained exactly (9 - id) increments.
+    let table = pc.execute("SELECT id, v FROM t ORDER BY id").unwrap();
+    for row in table.rows() {
+        let id = row[0].as_i64().unwrap();
+        let v = row[1].as_i64().unwrap();
+        assert_eq!(v, 9 - id, "row {id}: committed tag re-applied or lost");
+    }
+
+    let stats = pc.stats().clone();
+    assert!(stats.recoveries >= 1, "{stats:?}");
+    assert_eq!(stats.pipelined_dml, 8, "{stats:?}");
+    assert!(
+        stats.replied_from_status >= 1,
+        "committed tag 6 must be answered from the status table: {stats:?}"
+    );
+    assert!(
+        stats.resubmissions >= 1,
+        "unexecuted tags must be resubmitted: {stats:?}"
+    );
+
+    pc.close();
+    harness.lock().unwrap().shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -176,6 +176,11 @@ pub enum Expr {
     },
     /// Procedure parameter `@name`.
     Param(String),
+    /// System variable `@@NAME` (T-SQL style; name stored uppercased).
+    /// `@@ROWCOUNT` — the rows affected by the session's previous statement
+    /// — is substituted by the engine before execution, which is what lets a
+    /// wrapped request record its own outcome server-side inside one batch.
+    SysVar(String),
     /// Unary operator application.
     Unary {
         /// The operator.

@@ -270,6 +270,9 @@ fn write_expr(out: &mut String, expr: &Expr) {
         Expr::Param(p) => {
             let _ = write!(out, "@{p}");
         }
+        Expr::SysVar(n) => {
+            let _ = write!(out, "@@{n}");
+        }
         Expr::Unary { op, expr } => {
             // Wrap the whole unary in parentheses as well as the operand:
             // `NOT` parses at a higher level than predicate operands, so a

@@ -243,16 +243,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             continue;
         }
 
-        // Sigil identifier: #temp or @param
+        // Sigil identifier: #temp, @param, or @@sysvar
         if c == '#' || c == '@' {
             let start = i;
             i += 1;
+            if c == '@' && bytes.get(i) == Some(&b'@') {
+                i += 1; // system-variable sigil `@@`
+            }
+            let sigil_end = i;
             while i < bytes.len() && is_ident_char(bytes[i]) {
                 i += 1;
             }
-            if i == start + 1 {
+            if i == sigil_end {
                 return Err(LexError {
-                    message: format!("bare '{c}' is not a token"),
+                    message: format!("bare '{}' is not a token", &input[start..sigil_end]),
                     offset,
                 });
             }

@@ -922,6 +922,10 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Literal::String(s)))
             }
+            TokenKind::SigilIdent(s) if s.starts_with("@@") => {
+                self.advance();
+                Ok(Expr::SysVar(s[2..].to_uppercase()))
+            }
             TokenKind::SigilIdent(s) if s.starts_with('@') => {
                 self.advance();
                 Ok(Expr::Param(s[1..].to_string()))
@@ -1133,6 +1137,28 @@ mod tests {
         let s = sel("SELECT 1");
         assert!(s.from.is_empty());
         assert_eq!(s.projections.len(), 1);
+    }
+
+    #[test]
+    fn sysvar_parses_renders_and_substitutes() {
+        let stmt = parse_statement("INSERT INTO t VALUES ('a', @@rowcount)").unwrap();
+        let rendered = crate::display::render_statement(&stmt);
+        assert!(rendered.contains("@@ROWCOUNT"), "{rendered}");
+        assert_eq!(parse_statement(&rendered).unwrap(), stmt);
+        let sub =
+            crate::rewrite::substitute_sysvar(&stmt, "ROWCOUNT", &crate::ast::Literal::Int(42))
+                .expect("statement mentions @@ROWCOUNT");
+        assert!(crate::display::render_statement(&sub).contains("42"));
+        // No mention → no clone.
+        let plain = parse_statement("INSERT INTO t VALUES (1)").unwrap();
+        assert!(crate::rewrite::substitute_sysvar(
+            &plain,
+            "ROWCOUNT",
+            &crate::ast::Literal::Int(1)
+        )
+        .is_none());
+        // A bare `@@` still fails to lex.
+        assert!(parse_statement("SELECT @@").is_err());
     }
 
     #[test]

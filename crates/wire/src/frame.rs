@@ -107,6 +107,37 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     Ok(payload)
 }
 
+/// Write one *tagged* frame (protocol v2): an ordinary frame whose payload
+/// starts with the request tag as a `u64` LE, followed by the message bytes.
+///
+/// The tag travels *inside* the frame — a single [`write_frame`] call — so a
+/// torn write under fault injection tears the whole unit exactly as it does
+/// for v1 frames; the chaos layer needs no new cases for v2.
+pub fn write_tagged_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> Result<(), FrameError> {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(payload);
+    write_frame(w, &buf)
+}
+
+/// Read one tagged frame (protocol v2), returning `(tag, message bytes)`.
+///
+/// A frame shorter than the 8-byte tag prefix is a protocol violation and
+/// surfaces as an `Io` error of kind `InvalidData` (not `UnexpectedEof`, so
+/// it is never mistaken for a clean peer death).
+pub fn read_tagged_frame(r: &mut impl Read) -> Result<(u64, Vec<u8>), FrameError> {
+    let mut payload = read_frame(r)?;
+    if payload.len() < 8 {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "tagged frame shorter than its tag prefix",
+        )));
+    }
+    let tag = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+    payload.drain(..8);
+    Ok((tag, payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +168,31 @@ mod tests {
         let mut r = Cursor::new(buf);
         match read_frame(&mut r) {
             Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tagged_roundtrip_interleaves_with_plain_frames() {
+        let mut buf = Vec::new();
+        write_tagged_frame(&mut buf, 7, b"first").unwrap();
+        write_tagged_frame(&mut buf, u64::MAX, b"").unwrap();
+        write_frame(&mut buf, b"plain").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_tagged_frame(&mut r).unwrap(), (7, b"first".to_vec()));
+        assert_eq!(read_tagged_frame(&mut r).unwrap(), (u64::MAX, Vec::new()));
+        // The tag rides inside the ordinary frame layer, so a plain read
+        // after tagged frames still works.
+        assert_eq!(read_frame(&mut r).unwrap(), b"plain");
+    }
+
+    #[test]
+    fn short_tagged_frame_is_invalid_data_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap(); // < 8 bytes: no room for a tag
+        let mut r = Cursor::new(buf);
+        match read_tagged_frame(&mut r) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
             other => panic!("{other:?}"),
         }
     }

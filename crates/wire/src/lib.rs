@@ -11,14 +11,34 @@
 //!   (value encoding shared with the storage layer, so a row is encoded the
 //!   same way on disk and on the wire).
 //!
-//! The protocol is strictly request/response per connection; concurrency
-//! comes from multiple connections, exactly as in ODBC. Failure modes the
-//! Phoenix layer must handle — a dead socket mid-request, a response that
-//! never arrives — surface here as ordinary `io::Error`s, which the driver
-//! maps to its `Comm` error class.
+//! Two protocol versions share the frame layer:
+//!
+//! * **v1** is strictly request/response per connection — one request in
+//!   flight, untagged frames — exactly as in ODBC. Old clients and servers
+//!   speak only this.
+//! * **v2** adds *tagged pipelining*: after a [`message::Request::LoginV2`]
+//!   handshake both sides switch to tagged frames (`tag: u64 LE` prefixed to
+//!   every payload). The client may keep up to the negotiated window of
+//!   requests in flight; the server executes them in arrival (= tag) order
+//!   and streams tagged responses back in the same order. v2 also adds
+//!   [`message::Request::ExecBatch`], which executes several statements in
+//!   one round trip and returns per-statement outcomes in a single
+//!   [`message::Response::BatchResult`] frame.
+//!
+//! Version negotiation needs no new mechanism: a v1 server answers the
+//! unknown `LoginV2` tag with a clean `Response::Err` and keeps the
+//! connection alive, so a v2 client simply falls back to a v1 `Login` on the
+//! same socket.
+//!
+//! Failure modes the Phoenix layer must handle — a dead socket mid-request,
+//! a response that never arrives — surface here as ordinary `io::Error`s,
+//! which the driver maps to its `Comm` error class.
 
 pub mod frame;
 pub mod message;
 
-pub use frame::{read_frame, write_frame, FrameError};
-pub use message::{CursorKind, FetchDir, Outcome, Request, Response};
+pub use frame::{read_frame, read_tagged_frame, write_frame, write_tagged_frame, FrameError};
+pub use message::{
+    BatchItem, CursorKind, FetchDir, Outcome, Request, Response, DEFAULT_WINDOW, PROTOCOL_V1,
+    PROTOCOL_V2,
+};

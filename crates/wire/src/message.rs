@@ -13,6 +13,14 @@ use bytes::{Buf, BufMut, BytesMut};
 use phoenix_storage::codec::{self, DecodeError};
 use phoenix_storage::types::{Row, Schema, Value};
 
+/// Protocol version 1: untagged frames, one request in flight.
+pub const PROTOCOL_V1: u32 = 1;
+/// Protocol version 2: tagged frames, pipelined requests, batch execution.
+pub const PROTOCOL_V2: u32 = 2;
+/// The pipeline window the server grants by default (and the maximum it
+/// will grant regardless of what the client asks for).
+pub const DEFAULT_WINDOW: u32 = 32;
+
 /// Cursor kinds on the wire (mirrors the engine's taxonomy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CursorKind {
@@ -89,6 +97,34 @@ pub enum Request {
     Stats,
     /// End the session gracefully.
     Logout,
+    /// Protocol-v2 login: like [`Request::Login`] but advertising the
+    /// client's protocol version and desired pipeline window. A v2 server
+    /// answers [`Response::LoginAckV2`] and — when the granted protocol is
+    /// v2 — both sides switch to tagged frames for the rest of the
+    /// connection. A v1 server answers the unknown tag with
+    /// [`Response::Err`] and keeps the connection open, so the client can
+    /// fall back to a v1 `Login` on the same socket.
+    LoginV2 {
+        /// Login user name.
+        user: String,
+        /// Target database name (advisory in this engine).
+        database: String,
+        /// Initial session options, applied as SETs.
+        options: Vec<(String, Value)>,
+        /// Highest protocol version the client speaks.
+        protocol: u32,
+        /// Pipeline window the client wants (the server grants
+        /// `min(window, DEFAULT_WINDOW)`, at least 1).
+        window: u32,
+    },
+    /// Execute several statements in one round trip (v2). Statements run in
+    /// order against the session; execution stops at the first error. The
+    /// answer is one [`Response::BatchResult`] carrying per-statement
+    /// outcomes.
+    ExecBatch {
+        /// The statements, in execution order.
+        stmts: Vec<String>,
+    },
 }
 
 /// What a statement produced (wire view of the engine's outcome).
@@ -165,6 +201,44 @@ pub enum Response {
     },
     /// Logout acknowledged.
     Bye,
+    /// Protocol-v2 login acknowledged. Sent as the last *untagged* frame;
+    /// when `protocol` is v2, every subsequent frame in both directions is
+    /// tagged.
+    LoginAckV2 {
+        /// Server-assigned session id.
+        session: u64,
+        /// Protocol version the server granted (≤ the client's advertised
+        /// version).
+        protocol: u32,
+        /// Pipeline window the server granted (≥ 1).
+        window: u32,
+    },
+    /// Per-statement outcomes of a [`Request::ExecBatch`]. Contains one
+    /// item per executed statement; when a statement fails its `Err` item
+    /// is last (the rest of the batch did not run).
+    BatchResult {
+        /// Outcomes in statement order.
+        items: Vec<BatchItem>,
+    },
+}
+
+/// One statement's outcome inside a [`Response::BatchResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// The statement executed.
+    Ok {
+        /// What the statement produced.
+        outcome: Outcome,
+        /// Server messages delivered with this statement's reply.
+        messages: Vec<String>,
+    },
+    /// The statement failed; batch execution stopped here.
+    Err {
+        /// The engine's `ErrorCode` as a number.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -180,6 +254,8 @@ const REQ_PING: u8 = 6;
 const REQ_LOGOUT: u8 = 7;
 const REQ_DESCRIBE: u8 = 8;
 const REQ_STATS: u8 = 9;
+const REQ_LOGIN_V2: u8 = 10;
+const REQ_EXEC_BATCH: u8 = 11;
 
 const RSP_LOGIN_ACK: u8 = 101;
 const RSP_RESULT: u8 = 102;
@@ -190,6 +266,8 @@ const RSP_ERR: u8 = 106;
 const RSP_BYE: u8 = 107;
 const RSP_TABLE_INFO: u8 = 108;
 const RSP_STATS: u8 = 109;
+const RSP_LOGIN_ACK_V2: u8 = 110;
+const RSP_BATCH_RESULT: u8 = 111;
 
 fn cursor_kind_tag(k: CursorKind) -> u8 {
     match k {
@@ -255,6 +333,61 @@ fn get_rows(buf: &mut impl Buf) -> Result<Vec<Row>, DecodeError> {
     Ok(rows)
 }
 
+fn put_outcome(buf: &mut BytesMut, outcome: &Outcome) {
+    match outcome {
+        Outcome::ResultSet { schema, rows } => {
+            buf.put_u8(0);
+            codec::put_schema(buf, schema);
+            put_rows(buf, rows);
+        }
+        Outcome::RowsAffected(n) => {
+            buf.put_u8(1);
+            buf.put_u64_le(*n);
+        }
+        Outcome::Done => buf.put_u8(2),
+    }
+}
+
+fn get_outcome(buf: &mut &[u8]) -> Result<Outcome, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError("truncated outcome tag".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => {
+            let schema = codec::get_schema(buf)?;
+            let rows = get_rows(buf)?;
+            Outcome::ResultSet { schema, rows }
+        }
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError("truncated count".into()));
+            }
+            Outcome::RowsAffected(buf.get_u64_le())
+        }
+        2 => Outcome::Done,
+        other => return Err(DecodeError(format!("bad outcome tag {other}"))),
+    })
+}
+
+fn put_messages(buf: &mut BytesMut, messages: &[String]) {
+    buf.put_u16_le(messages.len() as u16);
+    for m in messages {
+        codec::put_str(buf, m);
+    }
+}
+
+fn get_messages(buf: &mut &[u8]) -> Result<Vec<String>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError("truncated message count".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut messages = Vec::with_capacity(n);
+    for _ in 0..n {
+        messages.push(codec::get_str(buf)?);
+    }
+    Ok(messages)
+}
+
 impl Request {
     /// Serialize for framing.
     pub fn encode(&self) -> Vec<u8> {
@@ -300,6 +433,31 @@ impl Request {
             }
             Request::Stats => buf.put_u8(REQ_STATS),
             Request::Logout => buf.put_u8(REQ_LOGOUT),
+            Request::LoginV2 {
+                user,
+                database,
+                options,
+                protocol,
+                window,
+            } => {
+                buf.put_u8(REQ_LOGIN_V2);
+                codec::put_str(&mut buf, user);
+                codec::put_str(&mut buf, database);
+                buf.put_u16_le(options.len() as u16);
+                for (k, v) in options {
+                    codec::put_str(&mut buf, k);
+                    codec::put_value(&mut buf, v);
+                }
+                buf.put_u32_le(*protocol);
+                buf.put_u32_le(*window);
+            }
+            Request::ExecBatch { stmts } => {
+                buf.put_u8(REQ_EXEC_BATCH);
+                buf.put_u32_le(stmts.len() as u32);
+                for s in stmts {
+                    codec::put_str(&mut buf, s);
+                }
+            }
         }
         buf.to_vec()
     }
@@ -368,6 +526,43 @@ impl Request {
             },
             REQ_STATS => Request::Stats,
             REQ_LOGOUT => Request::Logout,
+            REQ_LOGIN_V2 => {
+                let user = codec::get_str(&mut buf)?;
+                let database = codec::get_str(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated option count".into()));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut options = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = codec::get_str(&mut buf)?;
+                    let v = codec::get_value(&mut buf)?;
+                    options.push((k, v));
+                }
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated protocol/window".into()));
+                }
+                let protocol = buf.get_u32_le();
+                let window = buf.get_u32_le();
+                Request::LoginV2 {
+                    user,
+                    database,
+                    options,
+                    protocol,
+                    window,
+                }
+            }
+            REQ_EXEC_BATCH => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated statement count".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut stmts = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    stmts.push(codec::get_str(&mut buf)?);
+                }
+                Request::ExecBatch { stmts }
+            }
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
         if buf.remaining() != 0 {
@@ -388,22 +583,8 @@ impl Response {
             }
             Response::Result { outcome, messages } => {
                 buf.put_u8(RSP_RESULT);
-                match outcome {
-                    Outcome::ResultSet { schema, rows } => {
-                        buf.put_u8(0);
-                        codec::put_schema(&mut buf, schema);
-                        put_rows(&mut buf, rows);
-                    }
-                    Outcome::RowsAffected(n) => {
-                        buf.put_u8(1);
-                        buf.put_u64_le(*n);
-                    }
-                    Outcome::Done => buf.put_u8(2),
-                }
-                buf.put_u16_le(messages.len() as u16);
-                for m in messages {
-                    codec::put_str(&mut buf, m);
-                }
+                put_outcome(&mut buf, outcome);
+                put_messages(&mut buf, messages);
             }
             Response::CursorOpened {
                 cursor,
@@ -443,6 +624,34 @@ impl Response {
                 buf.put_slice(snapshot);
             }
             Response::Bye => buf.put_u8(RSP_BYE),
+            Response::LoginAckV2 {
+                session,
+                protocol,
+                window,
+            } => {
+                buf.put_u8(RSP_LOGIN_ACK_V2);
+                buf.put_u64_le(*session);
+                buf.put_u32_le(*protocol);
+                buf.put_u32_le(*window);
+            }
+            Response::BatchResult { items } => {
+                buf.put_u8(RSP_BATCH_RESULT);
+                buf.put_u32_le(items.len() as u32);
+                for item in items {
+                    match item {
+                        BatchItem::Ok { outcome, messages } => {
+                            buf.put_u8(0);
+                            put_outcome(&mut buf, outcome);
+                            put_messages(&mut buf, messages);
+                        }
+                        BatchItem::Err { code, message } => {
+                            buf.put_u8(1);
+                            buf.put_u16_le(*code);
+                            codec::put_str(&mut buf, message);
+                        }
+                    }
+                }
+            }
         }
         buf.to_vec()
     }
@@ -464,32 +673,8 @@ impl Response {
                 }
             }
             RSP_RESULT => {
-                if buf.remaining() < 1 {
-                    return Err(DecodeError("truncated outcome tag".into()));
-                }
-                let outcome = match buf.get_u8() {
-                    0 => {
-                        let schema = codec::get_schema(&mut buf)?;
-                        let rows = get_rows(&mut buf)?;
-                        Outcome::ResultSet { schema, rows }
-                    }
-                    1 => {
-                        if buf.remaining() < 8 {
-                            return Err(DecodeError("truncated count".into()));
-                        }
-                        Outcome::RowsAffected(buf.get_u64_le())
-                    }
-                    2 => Outcome::Done,
-                    other => return Err(DecodeError(format!("bad outcome tag {other}"))),
-                };
-                if buf.remaining() < 2 {
-                    return Err(DecodeError("truncated message count".into()));
-                }
-                let n = buf.get_u16_le() as usize;
-                let mut messages = Vec::with_capacity(n);
-                for _ in 0..n {
-                    messages.push(codec::get_str(&mut buf)?);
-                }
+                let outcome = get_outcome(&mut buf)?;
+                let messages = get_messages(&mut buf)?;
                 Response::Result { outcome, messages }
             }
             RSP_CURSOR_OPENED => {
@@ -555,6 +740,48 @@ impl Response {
                 Response::Stats { snapshot }
             }
             RSP_BYE => Response::Bye,
+            RSP_LOGIN_ACK_V2 => {
+                if buf.remaining() < 16 {
+                    return Err(DecodeError("truncated v2 login ack".into()));
+                }
+                let session = buf.get_u64_le();
+                let protocol = buf.get_u32_le();
+                let window = buf.get_u32_le();
+                Response::LoginAckV2 {
+                    session,
+                    protocol,
+                    window,
+                }
+            }
+            RSP_BATCH_RESULT => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated batch item count".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    if buf.remaining() < 1 {
+                        return Err(DecodeError("truncated batch item tag".into()));
+                    }
+                    items.push(match buf.get_u8() {
+                        0 => {
+                            let outcome = get_outcome(&mut buf)?;
+                            let messages = get_messages(&mut buf)?;
+                            BatchItem::Ok { outcome, messages }
+                        }
+                        1 => {
+                            if buf.remaining() < 2 {
+                                return Err(DecodeError("truncated batch error code".into()));
+                            }
+                            let code = buf.get_u16_le();
+                            let message = codec::get_str(&mut buf)?;
+                            BatchItem::Err { code, message }
+                        }
+                        other => return Err(DecodeError(format!("bad batch item tag {other}"))),
+                    });
+                }
+                Response::BatchResult { items }
+            }
             other => return Err(DecodeError(format!("unknown response tag {other}"))),
         };
         if buf.remaining() != 0 {
@@ -608,6 +835,21 @@ mod tests {
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Logout);
+        roundtrip_req(Request::LoginV2 {
+            user: "alice".into(),
+            database: "orders".into(),
+            options: vec![("lock_timeout".into(), Value::Int(5))],
+            protocol: PROTOCOL_V2,
+            window: DEFAULT_WINDOW,
+        });
+        roundtrip_req(Request::ExecBatch { stmts: Vec::new() });
+        roundtrip_req(Request::ExecBatch {
+            stmts: vec![
+                "BEGIN TRANSACTION".into(),
+                "UPDATE t SET v = 1".into(),
+                "COMMIT".into(),
+            ],
+        });
     }
 
     #[test]
@@ -659,6 +901,80 @@ mod tests {
             snapshot: vec![0x53, 0x58, 0x48, 0x50, 1, 0, 0, 0, 0],
         });
         roundtrip_rsp(Response::Bye);
+        roundtrip_rsp(Response::LoginAckV2 {
+            session: 12,
+            protocol: PROTOCOL_V2,
+            window: 8,
+        });
+        roundtrip_rsp(Response::BatchResult { items: Vec::new() });
+        roundtrip_rsp(Response::BatchResult {
+            items: vec![
+                BatchItem::Ok {
+                    outcome: Outcome::Done,
+                    messages: Vec::new(),
+                },
+                BatchItem::Ok {
+                    outcome: Outcome::RowsAffected(3),
+                    messages: vec!["3 row(s) affected".into()],
+                },
+                BatchItem::Ok {
+                    outcome: Outcome::ResultSet {
+                        schema: Schema::new(vec![Column::new("n", DataType::Int)]),
+                        rows: vec![vec![Value::Int(3)]],
+                    },
+                    messages: Vec::new(),
+                },
+                BatchItem::Err {
+                    code: 6,
+                    message: "duplicate primary key".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn truncated_v2_messages_rejected() {
+        // Chop bytes off the end of each v2 encoding: every prefix must fail
+        // to decode rather than yield a partial message.
+        let encodings = [
+            Request::LoginV2 {
+                user: "u".into(),
+                database: "d".into(),
+                options: Vec::new(),
+                protocol: PROTOCOL_V2,
+                window: 4,
+            }
+            .encode(),
+            Request::ExecBatch {
+                stmts: vec!["SELECT 1".into()],
+            }
+            .encode(),
+        ];
+        for bytes in &encodings {
+            for cut in 1..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+        let encodings = [
+            Response::LoginAckV2 {
+                session: 1,
+                protocol: PROTOCOL_V2,
+                window: 4,
+            }
+            .encode(),
+            Response::BatchResult {
+                items: vec![BatchItem::Err {
+                    code: 1,
+                    message: "x".into(),
+                }],
+            }
+            .encode(),
+        ];
+        for bytes in &encodings {
+            for cut in 1..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
     }
 
     #[test]
@@ -676,7 +992,7 @@ mod tests {
         // Every unassigned request tag decodes to a clean error naming the
         // tag — the server relies on this to answer `Response::Err` and keep
         // the connection alive instead of dropping it.
-        for tag in [0u8, 10, 42, 100, 255] {
+        for tag in [0u8, 12, 42, 100, 255] {
             let err = Request::decode(&[tag]).unwrap_err();
             assert!(
                 err.0.contains("unknown request tag") && err.0.contains(&tag.to_string()),
