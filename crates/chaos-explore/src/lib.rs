@@ -99,6 +99,25 @@ pub const WORKLOAD_PIPELINED: &[&str] = &[
     "UPDATE acct SET bal = bal + 17 WHERE id = 7",
 ];
 
+/// The checkpoint-heavy phase. With [`explorer_engine_config`]'s small
+/// `checkpoint_every`, these statements push the log-record counter over
+/// the threshold repeatedly, so the clean trace enumerates `wal.rotate`,
+/// `checkpoint.write`, and `checkpoint.truncate` visits — crashing *after*
+/// the new manifest commits but *before* the rotated log is discarded is
+/// exactly the double-apply window the snapshot mark closes. Every
+/// mutation diverges observably if applied twice (duplicate keys,
+/// overshooting increments, changed affected counts).
+pub const WORKLOAD_CHECKPOINT: &[&str] = &[
+    "INSERT INTO acct VALUES (20, 2000, 'ck1')",
+    "UPDATE acct SET bal = bal + 19 WHERE id = 20",
+    "INSERT INTO acct VALUES (21, 2100, 'ck2')",
+    "UPDATE acct SET bal = bal + 23 WHERE id = 1",
+    "INSERT INTO acct VALUES (22, 2200, 'ck3')",
+    "DELETE FROM acct WHERE id = 21",
+    "INSERT INTO acct VALUES (23, 2300, 'ck4')",
+    "UPDATE acct SET bal = bal + 29 WHERE id = 22",
+];
+
 /// Create and populate the workload's table. Run *before* arming chaos so
 /// schedules align with [`run_clean`]'s trace.
 pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
@@ -122,6 +141,11 @@ pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<Wo
 
     let pipelined: Vec<String> = WORKLOAD_PIPELINED.iter().map(|s| s.to_string()).collect();
     for r in pc.execute_pipelined(&pipelined)? {
+        replies.push(format!("{r:?}"));
+    }
+
+    for sql in WORKLOAD_CHECKPOINT {
+        let r = pc.execute(sql)?;
         replies.push(format!("{r:?}"));
     }
 
@@ -173,6 +197,19 @@ pub fn explorer_config() -> PhoenixConfig {
     c
 }
 
+/// The engine tuning every explorer run uses: a checkpoint interval small
+/// enough that the canonical workload triggers several auto-checkpoints,
+/// so the clean trace enumerates crash candidates at `wal.rotate`,
+/// `checkpoint.write`, and `checkpoint.truncate`. The counter only
+/// advances through the single client's statements, so checkpoint timing —
+/// and therefore the visit trace — stays deterministic across runs.
+pub fn explorer_engine_config() -> EngineConfig {
+    EngineConfig {
+        checkpoint_every: Some(24),
+        ..EngineConfig::default()
+    }
+}
+
 fn connect(h: &ServerHarness) -> PhoenixConnection {
     PhoenixConnection::connect(
         &Environment::new(),
@@ -192,7 +229,7 @@ fn connect(h: &ServerHarness) -> PhoenixConnection {
 /// concurrently.
 pub fn run_clean() -> (WorkloadOutput, Vec<Visit>) {
     let dir = fresh_dir("clean");
-    let mut h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+    let mut h = ServerHarness::start(&dir, explorer_engine_config()).unwrap();
     let mut pc = connect(&h);
     seed_workload(&mut pc).expect("seed");
     // Arm only now: visits during startup/connect/seed are not crash
@@ -273,7 +310,7 @@ pub struct CaseOutcome {
 pub fn run_case(case: &CrashCase) -> CaseOutcome {
     let dir = fresh_dir("case");
     let harness = Arc::new(Mutex::new(
-        ServerHarness::start(&dir, EngineConfig::default()).unwrap(),
+        ServerHarness::start(&dir, explorer_engine_config()).unwrap(),
     ));
     let mut pc = {
         let h = harness.lock().unwrap();

@@ -35,8 +35,9 @@ fn serial() -> MutexGuard<'static, ()> {
 const DURABLE_POINTS: &[&str] = &[
     "wal.append",
     "wal.fsync",
-    "wal.truncate",
+    "wal.rotate",
     "checkpoint.write",
+    "checkpoint.truncate",
     "store.publish",
     "server.pipeline_dequeue",
     "server.reply_send",
@@ -83,6 +84,9 @@ fn clean_trace_is_deterministic_and_enumerates_100_plus_points() {
     for point in [
         "wal.append",
         "wal.fsync",
+        "wal.rotate",
+        "checkpoint.write",
+        "checkpoint.truncate",
         "store.publish",
         "wire.read_frame",
         "wire.write_frame",

@@ -37,7 +37,7 @@ use parking_lot::{Mutex, RwLock};
 use phoenix_sql::ast::{ExecStmt, ObjectName, SelectStmt, Statement};
 use phoenix_sql::display::render_statement;
 use phoenix_sql::parser::{parse_statement, parse_statements};
-use phoenix_storage::db::{Durability, Durable};
+use phoenix_storage::db::{CheckpointStats, Durability, Durable, RecoveryOptions, RecoveryReport};
 use phoenix_storage::store::StoreSnapshot;
 use phoenix_storage::types::{Row, Schema, TxnId, Value};
 
@@ -59,6 +59,10 @@ pub struct EngineConfig {
     /// Take a checkpoint automatically once this many log records have
     /// accumulated and the engine is quiescent. `None` disables.
     pub checkpoint_every: Option<u64>,
+    /// Worker threads for partitioned WAL replay during recovery.
+    /// `None` uses the machine's available parallelism; `Some(1)` forces
+    /// the sequential path.
+    pub replay_threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +70,7 @@ impl Default for EngineConfig {
         EngineConfig {
             durability: Durability::Fsync,
             checkpoint_every: Some(100_000),
+            replay_threads: None,
         }
     }
 }
@@ -138,7 +143,13 @@ pub struct Engine {
 impl Engine {
     /// Open (and recover) the database in `dir`.
     pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Engine> {
-        let durable = Durable::open(dir, config.durability)?;
+        let durable = Durable::open_opts(
+            dir,
+            config.durability,
+            &RecoveryOptions {
+                replay_threads: config.replay_threads,
+            },
+        )?;
         Ok(Engine {
             durable,
             sessions: RwLock::new(HashMap::new()),
@@ -154,6 +165,16 @@ impl Engine {
     /// publish new snapshots without touching this one.
     pub fn snapshot(&self) -> Arc<StoreSnapshot> {
         self.durable.snapshot()
+    }
+
+    /// What recovery did when this engine opened (bench/tooling probe).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        self.durable.recovery_report()
+    }
+
+    /// Stats from the most recent checkpoint (bench/tooling probe).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.durable.checkpoint_stats()
     }
 
     /// Number of `sync_data` calls the WAL has issued (group-commit probe).

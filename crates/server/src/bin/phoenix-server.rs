@@ -58,6 +58,7 @@ fn main() {
     let config = EngineConfig {
         durability,
         checkpoint_every: Some(100_000),
+        replay_threads: None,
     };
     eprintln!(
         "phoenix-server: opening {} (recovery may replay the log)…",

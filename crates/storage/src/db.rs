@@ -6,10 +6,18 @@
 //! list (the log keeps the records; recovery ignores them because no commit
 //! record follows).
 //!
-//! [`Durable::open`] is crash recovery: load the latest snapshot, scan the
-//! log for the committed-transaction set, then replay committed records in
-//! log order. A process crash at *any* point — including mid-append, which
-//! leaves a torn tail the WAL reader discards — recovers to a state
+//! [`Durable::open`] is crash recovery: load the latest snapshot (manifest +
+//! per-table segments), scan the log for the committed-transaction set, then
+//! replay committed records with `txn >` the snapshot's *high-water mark* —
+//! records at or below the mark belong to transactions whose effects the
+//! snapshot already materializes, and replaying them would apply mutations
+//! twice. The replay itself is partitioned: DML records group by table and
+//! apply across a scoped thread pool (tables are independent and every
+//! record carries explicit row ids, so the result is bit-identical to the
+//! sequential replay); catalog records are sequential barriers. A process
+//! crash at *any* point — including mid-append, which leaves a torn tail the
+//! WAL reader discards, and mid-checkpoint, which leaves a rotated
+//! `phoenix.wal.old` the next open replays first — recovers to a state
 //! containing exactly the committed transactions.
 //!
 //! # Concurrency
@@ -32,9 +40,32 @@
 //!   on a condition variable. N threads committing together therefore cost
 //!   far fewer than N syncs.
 //!
-//! Lock order (outer to inner): `working` → `wal` → `group.state`,
-//! `working` → `active`, and `working` → `published`. `active`, `wal` and
-//! `published` are never held together.
+//! Lock order (outer to inner): `checkpoint_state` → `working` → `wal` →
+//! {`group.state`, `active`}, and `working` → `published`. `published` is
+//! never held with `wal` or `active`.
+//!
+//! # Checkpoint / commit / abort interlock
+//!
+//! The snapshot's high-water mark is `last_finished` — the largest txn id
+//! that has *finished* (commit record appended, or abort rolled back).
+//! Three ordering rules make the mark sound:
+//!
+//! * `commit` appends the commit record and advances `last_finished` under
+//!   the WAL lock **before** leaving the `active` set, so a transaction the
+//!   checkpoint's quiescence check no longer sees is always covered by the
+//!   mark (and its effects, applied under the working lock, are in the
+//!   captured image);
+//! * `abort` takes the working lock **before** leaving the `active` set, so
+//!   a checkpoint can never capture un-rolled-back effects of a transaction
+//!   that is mid-abort;
+//! * the checkpoint reads the mark and rotates the log inside one WAL
+//!   critical section, so no commit record can land between the two.
+//!
+//! Freshly begun transactions always carry ids greater than any finished
+//! one (`next_txn` is allocation-monotone), their mutations serialize after
+//! the capture on the working lock, and their records land in the
+//! post-rotation log — so `txn > mark` records are exactly the ones the
+//! snapshot does not contain.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -42,12 +73,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::metrics::storage_metrics;
 use crate::record::LogRecord;
-use crate::store::{Store, StoreError, StoreSnapshot, TableData};
+use crate::store::{normalize_name, Store, StoreError, StoreSnapshot, TableData};
 use crate::types::{Row, RowId, TableDef, TxnId};
 use crate::wal::{Wal, MAX_FRAME};
 use crate::{codec::DecodeError, snapshot};
@@ -157,6 +189,58 @@ struct GroupCommit {
     flushed_cv: Condvar,
 }
 
+/// Recovery tuning for [`Durable::open_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Worker threads for the partitioned replay pass. `None` picks the
+    /// available parallelism; `Some(1)` forces sequential replay (the
+    /// baseline the recovery bench compares against).
+    pub replay_threads: Option<usize>,
+}
+
+/// What recovery did, exposed for benches and observability.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Valid WAL frames read (rotated log + live log).
+    pub wal_frames: usize,
+    /// Records applied to the store (committed, past the snapshot mark).
+    pub records_applied: u64,
+    /// Records skipped: uncommitted, or `txn ≤` the snapshot mark.
+    pub records_skipped: u64,
+    /// Distinct tables touched by the replay.
+    pub tables_replayed: usize,
+    /// Worker threads the partitioned pass was allowed to use.
+    pub replay_threads: usize,
+    /// Wall time of decode + commit scan + apply, in microseconds.
+    pub replay_us: u64,
+}
+
+/// Timing/shape of the most recent checkpoint (bench + test probe).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStats {
+    /// How long the writer lock was held (capture + log rotation) — the
+    /// only phase that blocks mutations — in microseconds.
+    pub pause_us: u64,
+    /// Full checkpoint duration in microseconds.
+    pub total_us: u64,
+    /// Table segments serialized by this checkpoint.
+    pub segments_written: usize,
+    /// Table segments reused (data unchanged since the last checkpoint).
+    pub segments_reused: usize,
+}
+
+/// Serializes checkpoints and carries the previous checkpoint's identity
+/// map so the next one can diff against it.
+struct CheckpointState {
+    /// Generation of the last durable manifest (0 = none yet).
+    gen: u64,
+    /// Normalized table key → (segment file, table image as serialized).
+    /// `Arc::ptr_eq` against the live store detects unchanged tables.
+    base: HashMap<String, (String, Arc<TableData>)>,
+    /// Stats of the most recent completed checkpoint.
+    stats: CheckpointStats,
+}
+
 /// A durable, transactional store, shareable across threads (`&self` API).
 pub struct Durable {
     /// The writers' image. Mutations lock it, append+apply, then publish.
@@ -174,6 +258,14 @@ pub struct Durable {
     /// Records appended since the last checkpoint (drives auto-checkpoint
     /// policy in the engine; the layer itself never checkpoints implicitly).
     records_since_checkpoint: AtomicU64,
+    /// Largest txn id that has finished (committed or aborted). Updated
+    /// under the WAL lock at commit-append time; the checkpoint's snapshot
+    /// mark. Recovery seeds it with the recovered high-water mark.
+    last_finished: AtomicU64,
+    /// Checkpoint serialization + the previous checkpoint's segment images.
+    checkpoint_state: Mutex<CheckpointState>,
+    /// What recovery did when this handle was opened.
+    recovery: RecoveryReport,
 }
 
 impl Durable {
@@ -181,39 +273,98 @@ impl Durable {
         dir.join("phoenix.wal")
     }
 
+    /// The rotated-aside log of an in-progress (or crashed) checkpoint.
+    /// Replayed *before* the live log; deleted when the checkpoint's
+    /// manifest is durable.
+    fn wal_old_path(dir: &Path) -> PathBuf {
+        dir.join("phoenix.wal.old")
+    }
+
     fn snapshot_path(dir: &Path) -> PathBuf {
         dir.join("phoenix.snapshot")
     }
 
-    /// Open the database in `dir`, performing crash recovery.
+    /// Open the database in `dir`, performing crash recovery with default
+    /// [`RecoveryOptions`].
     pub fn open(dir: impl AsRef<Path>, durability: Durability) -> Result<Durable, DbError> {
+        Self::open_opts(dir, durability, &RecoveryOptions::default())
+    }
+
+    /// Open the database in `dir`, performing crash recovery.
+    ///
+    /// Recovery loads the snapshot manifest and its table segments, reads
+    /// the rotated log (if a checkpoint was interrupted) followed by the
+    /// live log, scans once for the committed-transaction set, and then
+    /// replays committed records **newer than the snapshot mark** — grouped
+    /// by table and applied in parallel where the log's structure allows.
+    pub fn open_opts(
+        dir: impl AsRef<Path>,
+        durability: Durability,
+        opts: &RecoveryOptions,
+    ) -> Result<Durable, DbError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
-        let (mut store, mut last_txn) = match snapshot::load(Self::snapshot_path(&dir))? {
-            Some((s, t)) => (s, t),
-            None => (Store::new(), 0),
-        };
+        let (mut store, mark, gen, seg_files) =
+            match snapshot::load(&dir, &Self::snapshot_path(&dir))? {
+                Some(s) => (s.store, s.mark, s.gen, s.segments),
+                None => (Store::new(), 0, 0, HashMap::new()),
+            };
 
-        // Pass 1: find committed transactions in the log.
-        let frames = Wal::read_all(Self::wal_path(&dir))?;
+        // The previous checkpoint's identity map, captured *before* replay:
+        // tables the replay leaves untouched keep their `Arc` (the base map
+        // holds a second reference, so replay's `Arc::make_mut` clones
+        // exactly the touched ones) and the next checkpoint reuses their
+        // segments.
+        let base: HashMap<String, (String, Arc<TableData>)> = seg_files
+            .into_iter()
+            .filter_map(|(key, file)| store.table_arc(&key).map(|arc| (key, (file, arc))))
+            .collect();
+
+        let replay_start = Instant::now();
+
+        // Read the rotated log first (frames older than everything in the
+        // live log), then the live log. Both reads tolerate a torn tail.
+        let mut frames = Wal::read_all(Self::wal_old_path(&dir))?;
+        frames.extend(Wal::read_all(Self::wal_path(&dir))?);
+
+        let threads = opts
+            .replay_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+
+        // Pass 1: decode (in parallel — it is pure CPU and usually the
+        // bulk of replay time) and find committed transactions.
+        let records = decode_frames(&frames, threads)?;
         let mut committed: HashSet<TxnId> = HashSet::new();
-        let mut records = Vec::with_capacity(frames.len());
-        for frame in &frames {
-            let rec = LogRecord::decode(frame)?;
+        let mut last_txn = mark;
+        for rec in &records {
             if let LogRecord::Commit { txn } = rec {
-                committed.insert(txn);
+                committed.insert(*txn);
             }
             last_txn = last_txn.max(rec.txn());
-            records.push(rec);
         }
+        let total_records = records.len() as u64;
 
-        // Pass 2: replay committed records in log order.
-        for rec in &records {
-            if committed.contains(&rec.txn()) {
-                store.apply(rec)?;
-            }
-        }
+        // Pass 2: partitioned replay of committed records past the mark.
+        let (applied, tables_replayed) =
+            replay_records(&mut store, records, &committed, mark, threads)?;
+
+        let report = RecoveryReport {
+            wal_frames: frames.len(),
+            records_applied: applied,
+            records_skipped: total_records - applied,
+            tables_replayed,
+            replay_threads: threads,
+            replay_us: replay_start.elapsed().as_micros() as u64,
+        };
+        storage_metrics()
+            .recovery_replay_us
+            .record(report.replay_us);
 
         let wal = Wal::open(Self::wal_path(&dir))?;
         Ok(Durable {
@@ -232,8 +383,25 @@ impl Durable {
                 }),
                 flushed_cv: Condvar::new(),
             },
-            records_since_checkpoint: AtomicU64::new(0),
+            records_since_checkpoint: AtomicU64::new(total_records),
+            last_finished: AtomicU64::new(last_txn),
+            checkpoint_state: Mutex::new(CheckpointState {
+                gen,
+                base,
+                stats: CheckpointStats::default(),
+            }),
+            recovery: report,
         })
+    }
+
+    /// What recovery did when this handle was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Timing/shape of the most recent checkpoint taken by this handle.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.checkpoint_state.lock().stats.clone()
     }
 
     /// The current published image. O(1): clones an `Arc` under a lock held
@@ -310,21 +478,28 @@ impl Durable {
     /// for every record appended so far, the rest wait until the flushed
     /// watermark covers their own sequence number.
     pub fn commit(&self, txn: TxnId) -> Result<(), DbError> {
-        if self.active.lock().remove(&txn).is_none() {
-            return Err(DbError::NoSuchTxn(txn));
-        }
-        // Append the commit record and claim a sequence number; the group
-        // state is updated under the WAL lock so sequence order matches
-        // append order.
+        // Append the commit record, advance the finished-txn high-water
+        // mark, and claim a sequence number — all under the WAL lock (so
+        // sequence order matches append order) and all *before* leaving the
+        // `active` set. A checkpoint that observes this transaction as
+        // inactive is thereby guaranteed to capture a mark covering it: its
+        // commit record can never land after the snapshot's log rotation
+        // while its effects sit inside the snapshot image (the double-apply
+        // window).
         let seq = {
             let mut wal = self.wal.lock();
+            if !self.active.lock().contains_key(&txn) {
+                return Err(DbError::NoSuchTxn(txn));
+            }
             wal.append(&LogRecord::Commit { txn }.encode())?;
             self.records_since_checkpoint
                 .fetch_add(1, Ordering::Relaxed);
+            self.last_finished.fetch_max(txn, Ordering::Relaxed);
             let mut st = self.group.state.lock();
             st.appended += 1;
             st.appended
         };
+        self.active.lock().remove(&txn);
         if self.durability == Durability::Fsync {
             self.group_sync(seq)?;
         }
@@ -379,13 +554,18 @@ impl Durable {
     }
 
     /// Abort: undo in memory (reverse order) and log the abort record.
+    ///
+    /// The working lock is taken *before* the transaction leaves the
+    /// `active` set: a checkpoint serializes its capture on the same lock,
+    /// so it can never see the transaction as finished while its effects
+    /// are still un-rolled-back in the store.
     pub fn abort(&self, txn: TxnId) -> Result<(), DbError> {
+        let mut store = self.working.lock();
         let undo = self
             .active
             .lock()
             .remove(&txn)
             .ok_or(DbError::NoSuchTxn(txn))?;
-        let mut store = self.working.lock();
         for op in undo.into_iter().rev() {
             match op {
                 UndoOp::RemoveRow { table, row_id } => {
@@ -412,6 +592,10 @@ impl Durable {
             }
         }
         self.log(&LogRecord::Abort { txn })?;
+        // Aborted ids count as finished too: the mark also seeds `next_txn`
+        // after a post-checkpoint recovery, and ids must stay monotone even
+        // when the highest allocated one never committed.
+        self.last_finished.fetch_max(txn, Ordering::Relaxed);
         self.publish(&store);
         Ok(())
     }
@@ -654,51 +838,324 @@ impl Durable {
         Ok(())
     }
 
-    /// Take a checkpoint: write a snapshot of the current *committed* image
-    /// and truncate the log.
+    /// Take a checkpoint: capture the current *committed* image, rotate the
+    /// log aside, serialize the tables whose data changed since the last
+    /// checkpoint, commit the new manifest, and discard the rotated log.
     ///
     /// Requires no active transactions (the engine quiesces first); a
-    /// snapshot + truncate with an in-flight transaction would otherwise
-    /// capture its uncommitted effects without the log records needed to
-    /// decide its fate. The writer lock is held across snapshot and
-    /// truncate so no mutation can land between the two. Snapshot readers
-    /// are unaffected: they keep executing against the last published
-    /// image throughout.
+    /// snapshot with an in-flight transaction would otherwise capture its
+    /// uncommitted effects without the log records needed to decide its
+    /// fate. The writer lock is held only for the **pause phase** — an
+    /// O(tables) pointer-clone of the store plus the log rotation — and is
+    /// released before any serialization happens; concurrent writers append
+    /// to the fresh log while the segments are written. Snapshot readers
+    /// are unaffected throughout: they keep executing against the last
+    /// published image.
     pub fn checkpoint(&self) -> Result<(), DbError> {
+        let cp = self.checkpoint_state.lock();
         let store = self.working.lock();
-        self.checkpoint_locked(&store)
+        self.run_checkpoint(cp, store)
     }
 
     /// Non-blocking [`Self::checkpoint`]: returns `Ok(false)` without doing
-    /// anything if another writer currently holds the working store.
+    /// anything if a checkpoint is already running or another writer
+    /// currently holds the working store.
     ///
     /// Background/best-effort callers use this rather than `checkpoint()`
     /// so an opportunistic checkpoint never queues behind a long write —
     /// readers are already immune (they run on published snapshots and
     /// never touch the writer lock).
     pub fn try_checkpoint(&self) -> Result<bool, DbError> {
+        let Some(cp) = self.checkpoint_state.try_lock() else {
+            return Ok(false);
+        };
         match self.working.try_lock() {
-            Some(store) => self.checkpoint_locked(&store).map(|()| true),
+            Some(store) => self.run_checkpoint(cp, store).map(|()| true),
             None => Ok(false),
         }
     }
 
-    fn checkpoint_locked(&self, store: &Store) -> Result<(), DbError> {
+    fn run_checkpoint(
+        &self,
+        mut cp: MutexGuard<'_, CheckpointState>,
+        store: MutexGuard<'_, Store>,
+    ) -> Result<(), DbError> {
+        let start = Instant::now();
         if let Some(txn) = self.active.lock().keys().next().copied() {
             return Err(DbError::TxnActive(txn));
         }
         let m = storage_metrics();
         let _t = phoenix_obs::Timer::new(&m.checkpoint_us);
-        phoenix_chaos::check_durable("checkpoint.write")?;
-        snapshot::write(
-            Self::snapshot_path(&self.dir),
-            store,
-            self.next_txn.load(Ordering::Relaxed) - 1,
-        )?;
-        self.wal.lock().truncate()?;
+
+        // ---- pause phase (writer lock held) --------------------------------
+        // A shallow image: per-table `Arc` clones only. Any later mutation
+        // copies-on-write away from these pointers, so the image is frozen.
+        let image: Store = store.clone();
+        // Mark + rotation inside one WAL critical section: `last_finished`
+        // advances under the WAL lock (commit) or the working lock (abort,
+        // which we also hold), so no transaction can finish between reading
+        // the mark and rotating the log — `txn ≤ mark` is then *exactly*
+        // "records whose effects the image materializes".
+        let mark = {
+            let mut wal = self.wal.lock();
+            let mark = self.last_finished.load(Ordering::Relaxed);
+            wal.rotate_to(&Self::wal_old_path(&self.dir))?;
+            mark
+        };
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        drop(store);
+        let pause_us = start.elapsed().as_micros() as u64;
+        m.checkpoint_pause_us.record(pause_us);
+
+        // ---- write phase (writers run concurrently) ------------------------
+        phoenix_chaos::check_durable("checkpoint.write")?;
+        let gen = cp.gen + 1;
+        let mut tables = Vec::new();
+        let mut base: HashMap<String, (String, Arc<TableData>)> = HashMap::new();
+        let mut written = 0usize;
+        let mut reused = 0usize;
+        for (idx, name) in image.table_names().iter().enumerate() {
+            let key = normalize_name(name);
+            let arc = image.table_arc(&key).expect("table listed but missing");
+            let file = match cp.base.get(&key) {
+                // Same data pointer as the segment on disk: reuse it.
+                Some((file, old)) if Arc::ptr_eq(old, &arc) => {
+                    reused += 1;
+                    file.clone()
+                }
+                _ => {
+                    let file = snapshot::segment_file_name(gen, idx);
+                    snapshot::write_segment(&self.dir.join(&file), &arc)?;
+                    written += 1;
+                    file
+                }
+            };
+            tables.push((name.clone(), file.clone()));
+            base.insert(key, (file, arc));
+        }
+        let procs = image
+            .proc_names()
+            .iter()
+            .map(|n| (n.clone(), image.proc(n).expect("proc listed").to_string()))
+            .collect();
+        snapshot::write_manifest(
+            &Self::snapshot_path(&self.dir),
+            &snapshot::Manifest {
+                mark,
+                gen,
+                tables,
+                procs,
+            },
+        )?;
+
+        // The manifest rename is the commit point: the rotated log and any
+        // segments this generation superseded are now dead. A crash here
+        // (the `checkpoint.truncate` fault point) must leave a recoverable
+        // image — recovery replays the rotated log with the mark filter, so
+        // nothing is applied twice.
+        phoenix_chaos::check_durable("checkpoint.truncate")?;
+        match std::fs::remove_file(Self::wal_old_path(&self.dir)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let keep: HashSet<String> = base.values().map(|(f, _)| f.clone()).collect();
+        snapshot::remove_orphan_segments(&self.dir, &keep)?;
+
+        cp.gen = gen;
+        cp.base = base;
+        cp.stats = CheckpointStats {
+            pause_us,
+            total_us: start.elapsed().as_micros() as u64,
+            segments_written: written,
+            segments_reused: reused,
+        };
         m.checkpoints.inc();
         Ok(())
+    }
+}
+
+/// One unit of the partitioned replay: a catalog record that must apply
+/// alone (a barrier — it changes the table set every later record resolves
+/// against), or a run of per-table DML groups that apply concurrently.
+enum ReplayEpoch {
+    Catalog(LogRecord),
+    Dml(Vec<(String, Vec<LogRecord>)>),
+}
+
+type TableWork = (String, Arc<TableData>, Vec<LogRecord>);
+type WorkerResult = Result<Vec<(String, Arc<TableData>)>, StoreError>;
+
+/// Decode WAL frames into log records, fanning contiguous chunks out over
+/// up to `threads` scoped workers (record order is preserved — workers get
+/// adjacent slices and results are concatenated in slice order). Small
+/// logs stay sequential: the spawn cost would exceed the decode cost.
+fn decode_frames(frames: &[Vec<u8>], threads: usize) -> Result<Vec<LogRecord>, DbError> {
+    if threads <= 1 || frames.len() < 1024 {
+        return frames
+            .iter()
+            .map(|f| LogRecord::decode(f).map_err(DbError::from))
+            .collect();
+    }
+    let chunk = frames.len().div_ceil(threads);
+    let decoded = std::thread::scope(|s| {
+        let handles: Vec<_> = frames
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    c.iter()
+                        .map(|f| LogRecord::decode(f))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("decode worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(frames.len());
+    for r in decoded {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Replay `records` onto `store`: committed transactions only, past the
+/// snapshot `mark`, grouped by table between catalog barriers and applied
+/// across up to `threads` scoped workers. Returns `(records in the replay
+/// set, distinct tables touched)`.
+///
+/// Determinism: every DML record carries explicit row ids and per-table
+/// log order is preserved inside each group, so the partitioned apply is
+/// bit-identical to the sequential one regardless of worker scheduling.
+fn replay_records(
+    store: &mut Store,
+    records: Vec<LogRecord>,
+    committed: &HashSet<TxnId>,
+    mark: TxnId,
+    threads: usize,
+) -> Result<(u64, usize), DbError> {
+    let mut epochs: Vec<ReplayEpoch> = Vec::new();
+    let mut current: Vec<(String, Vec<LogRecord>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut touched: HashSet<String> = HashSet::new();
+    let mut eligible = 0u64;
+    for rec in records {
+        if rec.txn() <= mark || !committed.contains(&rec.txn()) {
+            continue;
+        }
+        eligible += 1;
+        match &rec {
+            // Transaction markers carry no state.
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+            LogRecord::CreateTable { .. }
+            | LogRecord::DropTable { .. }
+            | LogRecord::CreateProc { .. }
+            | LogRecord::DropProc { .. } => {
+                if !current.is_empty() {
+                    epochs.push(ReplayEpoch::Dml(std::mem::take(&mut current)));
+                    index.clear();
+                }
+                epochs.push(ReplayEpoch::Catalog(rec));
+            }
+            LogRecord::Insert { table, .. }
+            | LogRecord::InsertMany { table, .. }
+            | LogRecord::Delete { table, .. }
+            | LogRecord::Update { table, .. } => {
+                let key = normalize_name(table);
+                touched.insert(key.clone());
+                match index.get(&key) {
+                    Some(&i) => current[i].1.push(rec),
+                    None => {
+                        index.insert(key.clone(), current.len());
+                        current.push((key, vec![rec]));
+                    }
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        epochs.push(ReplayEpoch::Dml(current));
+    }
+
+    for epoch in epochs {
+        match epoch {
+            ReplayEpoch::Catalog(rec) => store.apply(&rec)?,
+            ReplayEpoch::Dml(groups) => apply_dml_groups(store, groups, threads)?,
+        }
+    }
+    Ok((eligible, touched.len()))
+}
+
+/// Apply one epoch's per-table DML groups, in parallel when it pays.
+fn apply_dml_groups(
+    store: &mut Store,
+    groups: Vec<(String, Vec<LogRecord>)>,
+    threads: usize,
+) -> Result<(), DbError> {
+    if threads <= 1 || groups.len() <= 1 {
+        for (_, recs) in groups {
+            for rec in recs {
+                store.apply(&rec)?;
+            }
+        }
+        return Ok(());
+    }
+    // Hand each table's `Arc` to a worker. Ownership transfer keeps the
+    // copy-on-write semantics: a table also referenced by the snapshot's
+    // base image is cloned by `Arc::make_mut` exactly once, unreferenced
+    // ones mutate in place.
+    let mut work: Vec<TableWork> = Vec::with_capacity(groups.len());
+    for (key, recs) in groups {
+        let arc = store
+            .take_table(&key)
+            .ok_or_else(|| StoreError::NoSuchTable(key.clone()))?;
+        work.push((key, arc, recs));
+    }
+    let workers = threads.min(work.len());
+    let mut buckets: Vec<Vec<TableWork>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in work.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(bucket.len());
+                    for (key, mut arc, recs) in bucket {
+                        let t = Arc::make_mut(&mut arc);
+                        for rec in &recs {
+                            t.apply_dml(rec)?;
+                        }
+                        out.push((key, arc));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+    let mut first_err: Option<StoreError> = None;
+    for res in results {
+        match res {
+            Ok(tables) => {
+                for (key, arc) in tables {
+                    store.put_table(key, arc);
+                }
+            }
+            // A failed worker's tables stay out of the store; the whole
+            // open fails with the error, so the partial store is discarded.
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    match first_err {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
     }
 }
 

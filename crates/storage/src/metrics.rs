@@ -35,6 +35,13 @@ pub struct StorageMetrics {
     /// Checkpoint duration — snapshot write + log truncate
     /// (`phoenix_checkpoint_us`).
     pub checkpoint_us: Arc<Histogram>,
+    /// Checkpoint *pause* — how long the writer lock was held for the
+    /// capture + log-rotation phase, the only part of a checkpoint that
+    /// blocks mutations (`phoenix_checkpoint_pause_us`).
+    pub checkpoint_pause_us: Arc<Histogram>,
+    /// Recovery replay duration — WAL decode + commit scan + partitioned
+    /// apply, per `Durable::open` (`phoenix_recovery_replay_us`).
+    pub recovery_replay_us: Arc<Histogram>,
     /// Copy-on-write store snapshots published for readers
     /// (`phoenix_snapshot_publishes_total`).
     pub snapshot_publishes: Arc<Counter>,
@@ -69,6 +76,14 @@ pub fn storage_metrics() -> &'static StorageMetrics {
             checkpoint_us: r.histogram(
                 "phoenix_checkpoint_us",
                 "checkpoint duration (snapshot write + log truncate) in microseconds",
+            ),
+            checkpoint_pause_us: r.histogram(
+                "phoenix_checkpoint_pause_us",
+                "writer-lock hold time of the checkpoint capture phase in microseconds",
+            ),
+            recovery_replay_us: r.histogram(
+                "phoenix_recovery_replay_us",
+                "WAL replay duration during recovery in microseconds",
             ),
             snapshot_publishes: r.counter(
                 "phoenix_snapshot_publishes_total",

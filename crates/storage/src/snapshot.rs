@@ -1,12 +1,34 @@
-//! Checkpointing: full-state snapshots written atomically.
+//! Checkpointing: incremental, multi-segment snapshots.
 //!
-//! A snapshot serializes the entire durable [`Store`] plus the transaction-id
-//! high-water mark. It is written to a temporary file, fsynced, and renamed
-//! over the live snapshot — the classic atomic-replace pattern — after which
-//! the WAL can be truncated. Recovery loads the snapshot (if any) and replays
-//! the remaining log on top.
+//! A checkpoint no longer serializes the whole store into one file. It
+//! writes one *segment* file per table (only for tables whose data changed
+//! since the previous checkpoint — the copy-on-write `Arc` pointers make
+//! "changed" an O(1) identity test) and then a small *manifest* naming the
+//! segment each table lives in, the committed-transaction high-water mark,
+//! and the stored-procedure catalog. Every file is written with the classic
+//! temp-file + fsync + rename discipline; the manifest rename is the commit
+//! point of the whole checkpoint.
+//!
+//! The **mark** is the recovery contract's linchpin: every transaction with
+//! id ≤ mark that finished did so before the snapshot image was captured,
+//! so its effects are already materialized in the segments. Recovery must
+//! skip log records with `txn ≤ mark` — replaying them would apply the
+//! mutation twice (see `Durable::open`).
+//!
+//! On-disk layout inside the data directory:
+//!
+//! ```text
+//! phoenix.snapshot            manifest (see MANIFEST_MAGIC)
+//! phoenix.<gen>.<idx>.seg     one table's data (see SEGMENT_MAGIC)
+//! ```
+//!
+//! Segment files are content-immutable once renamed into place: a later
+//! checkpoint that touches the table writes a *new* segment under its own
+//! generation number and the old one becomes garbage, collected only after
+//! the new manifest is durable.
 
 use bytes::{Buf, BufMut, BytesMut};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -16,68 +38,123 @@ use crate::crc::crc32;
 use crate::store::{Store, TableData};
 use crate::types::TxnId;
 
-/// Magic header identifying a phoenix snapshot file (and its format version).
-const MAGIC: &[u8; 8] = b"PHXSNAP1";
+/// Magic header identifying a phoenix snapshot manifest (format version 2 —
+/// the multi-segment layout; version 1 was the monolithic `PHXSNAP1`).
+const MANIFEST_MAGIC: &[u8; 8] = b"PHXMANI2";
 
-/// Serialize the store + txn high-water mark to bytes.
-fn encode(store: &Store, last_txn: TxnId) -> Vec<u8> {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(last_txn);
+/// Magic header identifying one table segment.
+const SEGMENT_MAGIC: &[u8; 8] = b"PHXSEGM1";
 
-    let names = store.table_names();
-    buf.put_u32_le(names.len() as u32);
-    for name in &names {
-        let t = store.table(name).expect("table listed but missing");
-        codec::put_table_def(&mut buf, &t.def);
-        buf.put_u64_le(t.next_row_id);
-        buf.put_u64_le(t.rows.len() as u64);
-        for (row_id, row) in &t.rows {
-            buf.put_u64_le(*row_id);
-            codec::put_row(&mut buf, row);
-        }
-    }
-
-    let procs = store.proc_names();
-    buf.put_u32_le(procs.len() as u32);
-    for name in &procs {
-        let sql = store.proc(name).expect("proc listed but missing");
-        codec::put_str(&mut buf, name);
-        codec::put_str(&mut buf, sql);
-    }
-
-    let body = buf.freeze();
-    // Trailing CRC over everything, so a torn snapshot write is detectable
-    // (the atomic rename makes this nearly impossible, but cheap belt and
-    // braces for the file that everything else depends on).
-    let mut out = body.to_vec();
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out
+/// The checkpoint manifest: which segment file holds each table, plus the
+/// recovery metadata that used to ride in the monolithic snapshot header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Committed/finished-transaction high-water mark at the instant the
+    /// snapshot image was captured. Recovery skips log records with
+    /// `txn ≤ mark`: their effects are already in the segments.
+    pub mark: TxnId,
+    /// Checkpoint generation, monotonically increasing. Segment files embed
+    /// the generation that wrote them, so names never collide.
+    pub gen: u64,
+    /// `(canonical table name, segment file name)` pairs, sorted by name.
+    pub tables: Vec<(String, String)>,
+    /// `(name, sql)` of every stored procedure (tiny; kept inline).
+    pub procs: Vec<(String, String)>,
 }
 
-fn decode(bytes: &[u8]) -> Result<(Store, TxnId), DecodeError> {
-    if bytes.len() < MAGIC.len() + 8 + 4 {
-        return Err(DecodeError("snapshot too short".into()));
+/// Name of the segment file for table index `idx` written by checkpoint
+/// generation `gen`.
+pub fn segment_file_name(gen: u64, idx: usize) -> String {
+    format!("phoenix.{gen:06}.{idx}.seg")
+}
+
+fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn read_file(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+            Ok(Some(bytes))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    // Trailing CRC over everything, so a torn write is detectable (the
+    // atomic rename makes this nearly impossible, but cheap belt and braces
+    // for files everything else depends on).
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+fn unseal<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], DecodeError> {
+    if bytes.len() < 12 {
+        return Err(DecodeError(format!("{what} too short")));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
     let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
     if crc32(body) != stored_crc {
-        return Err(DecodeError("snapshot checksum mismatch".into()));
+        return Err(DecodeError(format!("{what} checksum mismatch")));
     }
-    let mut buf = body;
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError("bad snapshot magic".into()));
-    }
-    let last_txn = buf.get_u64_le();
+    Ok(body)
+}
 
-    let mut store = Store::new();
-    let ntables = buf.get_u32_le();
-    for _ in 0..ntables {
+fn decode_err(e: DecodeError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Write one table's data as a segment file (temp + fsync + rename).
+pub fn write_segment(path: &Path, table: &TableData) -> io::Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(SEGMENT_MAGIC);
+    codec::put_table_def(&mut buf, &table.def);
+    buf.put_u64_le(table.next_row_id);
+    buf.put_u64_le(table.rows.len() as u64);
+    for (row_id, row) in &table.rows {
+        buf.put_u64_le(*row_id);
+        codec::put_row(&mut buf, row);
+    }
+    write_atomically(path, &seal(buf.to_vec()))
+}
+
+/// Load one table segment.
+pub fn load_segment(path: &Path) -> io::Result<TableData> {
+    let bytes = read_file(path)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("missing snapshot segment {}", path.display()),
+        )
+    })?;
+    let mut buf = unseal(&bytes, "segment").map_err(decode_err)?;
+    let mut magic = [0u8; 8];
+    if buf.remaining() < 8 {
+        return Err(decode_err(DecodeError("segment too short".into())));
+    }
+    buf.copy_to_slice(&mut magic);
+    if &magic != SEGMENT_MAGIC {
+        return Err(decode_err(DecodeError("bad segment magic".into())));
+    }
+    let mut inner = || -> Result<TableData, DecodeError> {
         let def = codec::get_table_def(&mut buf)?;
         if buf.remaining() < 16 {
-            return Err(DecodeError("truncated table header".into()));
+            return Err(DecodeError("truncated segment header".into()));
         }
         let next_row_id = buf.get_u64_le();
         let nrows = buf.get_u64_le();
@@ -89,43 +166,35 @@ fn decode(bytes: &[u8]) -> Result<(Store, TxnId), DecodeError> {
             let row_id = buf.get_u64_le();
             let row = codec::get_row(&mut buf)?;
             data.insert_with_id(row_id, row)
-                .map_err(|e| DecodeError(format!("snapshot row rejected: {e}")))?;
+                .map_err(|e| DecodeError(format!("segment row rejected: {e}")))?;
         }
         data.next_row_id = next_row_id;
-        store.install_table(data);
-    }
-
-    if buf.remaining() < 4 {
-        return Err(DecodeError("truncated proc count".into()));
-    }
-    let nprocs = buf.get_u32_le();
-    for _ in 0..nprocs {
-        let name = codec::get_str(&mut buf)?;
-        let sql = codec::get_str(&mut buf)?;
-        store
-            .create_proc(&name, &sql)
-            .map_err(|e| DecodeError(format!("snapshot proc rejected: {e}")))?;
-    }
-    Ok((store, last_txn))
+        Ok(data)
+    };
+    inner().map_err(decode_err)
 }
 
-/// Write a snapshot atomically: temp file + fsync + rename + dir fsync.
-pub fn write(path: impl AsRef<Path>, store: &Store, last_txn: TxnId) -> io::Result<()> {
-    let path = path.as_ref();
-    let tmp = path.with_extension("tmp");
-    let bytes = encode(store, last_txn);
-    {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_data()?;
+/// Write the manifest atomically, then fsync the directory so the rename —
+/// the checkpoint's commit point — survives power loss.
+pub fn write_manifest(path: &Path, m: &Manifest) -> io::Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MANIFEST_MAGIC);
+    buf.put_u64_le(m.mark);
+    buf.put_u64_le(m.gen);
+    buf.put_u32_le(m.tables.len() as u32);
+    for (name, file) in &m.tables {
+        codec::put_str(&mut buf, name);
+        codec::put_str(&mut buf, file);
     }
-    fs::rename(&tmp, path)?;
+    buf.put_u32_le(m.procs.len() as u32);
+    for (name, sql) in &m.procs {
+        codec::put_str(&mut buf, name);
+        codec::put_str(&mut buf, sql);
+    }
+    write_atomically(path, &seal(buf.to_vec()))?;
     if let Some(dir) = path.parent() {
-        // Persist the rename itself.
+        // Persist the rename itself — and, transitively, the earlier
+        // segment renames in the same directory.
         if let Ok(d) = File::open(dir) {
             let _ = d.sync_data();
         }
@@ -133,19 +202,115 @@ pub fn write(path: impl AsRef<Path>, store: &Store, last_txn: TxnId) -> io::Resu
     Ok(())
 }
 
-/// Load the snapshot at `path`. Returns `Ok(None)` when no snapshot exists.
-pub fn load(path: impl AsRef<Path>) -> io::Result<Option<(Store, TxnId)>> {
-    let mut bytes = Vec::new();
-    match File::open(path.as_ref()) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e),
+/// Load the manifest at `path`. Returns `Ok(None)` when none exists.
+pub fn load_manifest(path: &Path) -> io::Result<Option<Manifest>> {
+    let Some(bytes) = read_file(path)? else {
+        return Ok(None);
+    };
+    let mut buf = unseal(&bytes, "manifest").map_err(decode_err)?;
+    let mut magic = [0u8; 8];
+    if buf.remaining() < 8 {
+        return Err(decode_err(DecodeError("manifest too short".into())));
     }
-    decode(&bytes)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    buf.copy_to_slice(&mut magic);
+    if &magic != MANIFEST_MAGIC {
+        return Err(decode_err(DecodeError("bad manifest magic".into())));
+    }
+    let mut inner = || -> Result<Manifest, DecodeError> {
+        if buf.remaining() < 20 {
+            return Err(DecodeError("truncated manifest header".into()));
+        }
+        let mark = buf.get_u64_le();
+        let gen = buf.get_u64_le();
+        let ntables = buf.get_u32_le();
+        let mut tables = Vec::with_capacity(ntables as usize);
+        for _ in 0..ntables {
+            let name = codec::get_str(&mut buf)?;
+            let file = codec::get_str(&mut buf)?;
+            tables.push((name, file));
+        }
+        if buf.remaining() < 4 {
+            return Err(DecodeError("truncated proc count".into()));
+        }
+        let nprocs = buf.get_u32_le();
+        let mut procs = Vec::with_capacity(nprocs as usize);
+        for _ in 0..nprocs {
+            let name = codec::get_str(&mut buf)?;
+            let sql = codec::get_str(&mut buf)?;
+            procs.push((name, sql));
+        }
+        Ok(Manifest {
+            mark,
+            gen,
+            tables,
+            procs,
+        })
+    };
+    inner().map(Some).map_err(decode_err)
+}
+
+/// A fully loaded snapshot: the materialized store plus the metadata the
+/// durability layer needs to filter replay and to diff the next checkpoint.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The store rebuilt from the manifest's segments.
+    pub store: Store,
+    /// Replay high-water mark (skip log records with `txn ≤ mark`).
+    pub mark: TxnId,
+    /// Generation of the manifest (the next checkpoint uses `gen + 1`).
+    pub gen: u64,
+    /// Normalized table key → segment file holding its image.
+    pub segments: HashMap<String, String>,
+}
+
+/// Load the snapshot anchored at manifest `path`, with segments resolved
+/// relative to `dir`. Returns `Ok(None)` when no manifest exists.
+pub fn load(dir: &Path, path: &Path) -> io::Result<Option<LoadedSnapshot>> {
+    let Some(manifest) = load_manifest(path)? else {
+        return Ok(None);
+    };
+    let mut store = Store::new();
+    let mut segments = HashMap::with_capacity(manifest.tables.len());
+    for (name, file) in &manifest.tables {
+        let data = load_segment(&dir.join(file))?;
+        segments.insert(crate::store::normalize_name(name), file.clone());
+        store.install_table(data);
+    }
+    for (name, sql) in &manifest.procs {
+        store
+            .create_proc(name, sql)
+            .map_err(|e| decode_err(DecodeError(format!("manifest proc rejected: {e}"))))?;
+    }
+    Ok(Some(LoadedSnapshot {
+        store,
+        mark: manifest.mark,
+        gen: manifest.gen,
+        segments,
+    }))
+}
+
+/// Delete segment files (and stale temp files) in `dir` that no live
+/// manifest references. Called after the new manifest is durable; `keep`
+/// is the set of segment file names the manifest points at.
+pub fn remove_orphan_segments(
+    dir: &Path,
+    keep: &std::collections::HashSet<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let dead = name.starts_with("phoenix.")
+            && (name.ends_with(".seg") && !keep.contains(name) || name.ends_with(".tmp"));
+        if dead {
+            match fs::remove_file(entry.path()) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -155,10 +320,12 @@ mod tests {
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn temp_path() -> PathBuf {
+    fn temp_dir() -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!("phoenix-snap-test-{}-{n}.snap", std::process::id()))
+        let d = std::env::temp_dir().join(format!("phoenix-snap-test-{}-{n}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
     }
 
     fn sample_store() -> Store {
@@ -182,53 +349,124 @@ mod tests {
         s
     }
 
+    /// Write a full snapshot of `store` the way a (non-incremental)
+    /// checkpoint would: every table gets a fresh segment under `gen`.
+    fn write_full(dir: &Path, store: &Store, mark: TxnId, gen: u64) {
+        let mut tables = Vec::new();
+        for (idx, name) in store.table_names().iter().enumerate() {
+            let file = segment_file_name(gen, idx);
+            write_segment(&dir.join(&file), store.table(name).unwrap()).unwrap();
+            tables.push((name.clone(), file));
+        }
+        let procs = store
+            .proc_names()
+            .iter()
+            .map(|n| (n.clone(), store.proc(n).unwrap().to_string()))
+            .collect();
+        write_manifest(
+            &dir.join("phoenix.snapshot"),
+            &Manifest {
+                mark,
+                gen,
+                tables,
+                procs,
+            },
+        )
+        .unwrap();
+    }
+
     #[test]
     fn snapshot_roundtrip() {
-        let path = temp_path();
+        let dir = temp_dir();
         let store = sample_store();
-        write(&path, &store, 42).unwrap();
-        let (loaded, last_txn) = load(&path).unwrap().unwrap();
-        assert_eq!(last_txn, 42);
-        assert_eq!(loaded.table_names(), store.table_names());
-        let t = loaded.table("dbo.t").unwrap();
+        write_full(&dir, &store, 42, 1);
+        let loaded = load(&dir, &dir.join("phoenix.snapshot")).unwrap().unwrap();
+        assert_eq!(loaded.mark, 42);
+        assert_eq!(loaded.gen, 1);
+        assert_eq!(loaded.store.table_names(), store.table_names());
+        let t = loaded.store.table("dbo.t").unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.row_id_by_key(&[Value::Int(2)]), Some(2));
         assert_eq!(t.next_row_id, 3);
-        assert_eq!(loaded.proc("phoenix.p"), Some("SELECT * FROM dbo.t"));
-        fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.store.proc("phoenix.p"), Some("SELECT * FROM dbo.t"));
+        assert_eq!(loaded.segments.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_snapshot_is_none() {
-        assert!(load(temp_path()).unwrap().is_none());
+        let dir = temp_dir();
+        assert!(load(&dir, &dir.join("phoenix.snapshot")).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_snapshot_is_an_error() {
-        let path = temp_path();
-        write(&path, &sample_store(), 1).unwrap();
+    fn corrupt_manifest_is_an_error() {
+        let dir = temp_dir();
+        write_full(&dir, &sample_store(), 1, 1);
+        let path = dir.join("phoenix.snapshot");
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
-        assert!(load(&path).is_err());
-        fs::remove_file(&path).unwrap();
+        assert!(load(&dir, &path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_is_an_error() {
+        let dir = temp_dir();
+        write_full(&dir, &sample_store(), 1, 1);
+        let seg = dir.join(segment_file_name(1, 0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        assert!(load(&dir, &dir.join("phoenix.snapshot")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_an_error() {
+        let dir = temp_dir();
+        write_full(&dir, &sample_store(), 1, 1);
+        fs::remove_file(dir.join(segment_file_name(1, 0))).unwrap();
+        assert!(load(&dir, &dir.join("phoenix.snapshot")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn overwrite_replaces_previous_snapshot() {
-        let path = temp_path();
-        write(&path, &sample_store(), 1).unwrap();
+        let dir = temp_dir();
+        write_full(&dir, &sample_store(), 1, 1);
         let mut bigger = sample_store();
         bigger
             .table_mut("dbo.t")
             .unwrap()
             .insert(vec![Value::Int(3), Value::Null])
             .unwrap();
-        write(&path, &bigger, 2).unwrap();
-        let (loaded, last_txn) = load(&path).unwrap().unwrap();
-        assert_eq!(last_txn, 2);
-        assert_eq!(loaded.table("dbo.t").unwrap().len(), 3);
-        fs::remove_file(&path).unwrap();
+        write_full(&dir, &bigger, 2, 2);
+        let loaded = load(&dir, &dir.join("phoenix.snapshot")).unwrap().unwrap();
+        assert_eq!(loaded.mark, 2);
+        assert_eq!(loaded.store.table("dbo.t").unwrap().len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_cleanup_spares_live_segments() {
+        let dir = temp_dir();
+        write_full(&dir, &sample_store(), 1, 1);
+        // A dead segment from an older generation plus a stale temp file.
+        fs::write(dir.join(segment_file_name(0, 3)), b"dead").unwrap();
+        fs::write(dir.join("phoenix.000002.0.tmp"), b"stale").unwrap();
+        let keep: std::collections::HashSet<String> =
+            std::iter::once(segment_file_name(1, 0)).collect();
+        remove_orphan_segments(&dir, &keep).unwrap();
+        assert!(dir.join(segment_file_name(1, 0)).exists());
+        assert!(!dir.join(segment_file_name(0, 3)).exists());
+        assert!(!dir.join("phoenix.000002.0.tmp").exists());
+        // The store still loads.
+        assert!(load(&dir, &dir.join("phoenix.snapshot")).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -171,6 +171,26 @@ impl TableData {
         Ok(row)
     }
 
+    /// Apply one committed DML log record addressed to this table — the
+    /// per-table half of recovery's partitioned replay. Catalog records
+    /// (create/drop) never reach here; transaction markers are no-ops.
+    pub(crate) fn apply_dml(&mut self, rec: &LogRecord) -> Result<(), StoreError> {
+        match rec {
+            LogRecord::Insert { row_id, row, .. } => self.insert_with_id(*row_id, row.clone()),
+            LogRecord::InsertMany {
+                first_row_id, rows, ..
+            } => {
+                for (k, row) in rows.iter().enumerate() {
+                    self.insert_with_id(first_row_id + k as RowId, row.clone())?;
+                }
+                Ok(())
+            }
+            LogRecord::Delete { row_id, .. } => self.delete(*row_id).map(|_| ()),
+            LogRecord::Update { row_id, row, .. } => self.update(*row_id, row.clone()).map(|_| ()),
+            _ => Ok(()),
+        }
+    }
+
     /// Replace a row in place, returning the previous image.
     pub fn update(&mut self, row_id: RowId, new_row: Row) -> Result<Row, StoreError> {
         self.check_arity(&new_row)?;
@@ -263,6 +283,26 @@ impl Store {
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
+    /// The shared `Arc` behind a table, by (case-insensitive) name. Pointer
+    /// identity is the copy-on-write change detector: two stores whose
+    /// `table_arc`s are [`Arc::ptr_eq`] hold bit-identical table data, which
+    /// is how incremental checkpoints decide which tables to re-serialize.
+    pub fn table_arc(&self, name: &str) -> Option<Arc<TableData>> {
+        self.tables.get(&normalize_name(name)).cloned()
+    }
+
+    /// Remove a table's `Arc` by *normalized* key, for ownership handoff to
+    /// a replay worker (which mutates via `Arc::make_mut` and hands it
+    /// back through [`Store::put_table`]).
+    pub(crate) fn take_table(&mut self, key: &str) -> Option<Arc<TableData>> {
+        self.tables.remove(key)
+    }
+
+    /// Reinstall a table `Arc` under its *normalized* key (replay handoff).
+    pub(crate) fn put_table(&mut self, key: String, data: Arc<TableData>) {
+        self.tables.insert(key, data);
+    }
+
     /// Does a table with this name exist?
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.contains_key(&normalize_name(name))
@@ -328,30 +368,10 @@ impl Store {
     pub fn apply(&mut self, rec: &LogRecord) -> Result<(), StoreError> {
         match rec {
             LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => Ok(()),
-            LogRecord::Insert {
-                table, row_id, row, ..
-            } => self.table_mut(table)?.insert_with_id(*row_id, row.clone()),
-            LogRecord::InsertMany {
-                table,
-                first_row_id,
-                rows,
-                ..
-            } => {
-                let t = self.table_mut(table)?;
-                for (k, row) in rows.iter().enumerate() {
-                    t.insert_with_id(first_row_id + k as RowId, row.clone())?;
-                }
-                Ok(())
-            }
-            LogRecord::Delete { table, row_id, .. } => {
-                self.table_mut(table)?.delete(*row_id).map(|_| ())
-            }
-            LogRecord::Update {
-                table, row_id, row, ..
-            } => self
-                .table_mut(table)?
-                .update(*row_id, row.clone())
-                .map(|_| ()),
+            LogRecord::Insert { table, .. }
+            | LogRecord::InsertMany { table, .. }
+            | LogRecord::Delete { table, .. }
+            | LogRecord::Update { table, .. } => self.table_mut(table)?.apply_dml(rec),
             LogRecord::CreateTable { def, .. } => self.create_table(def.clone()),
             LogRecord::DropTable { name, .. } => self.drop_table(name).map(|_| ()),
             LogRecord::CreateProc { name, sql, .. } => self.create_proc(name, sql),

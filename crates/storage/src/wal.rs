@@ -138,6 +138,57 @@ impl Wal {
         Ok(())
     }
 
+    /// Rotate the live log aside to `old_path` and restart the live log
+    /// empty. Used by incremental checkpoints: the rotated frames are the
+    /// records the snapshot being written will cover, while new mutations
+    /// keep appending to the (fresh) live log. Recovery reads `old_path`
+    /// first, then the live log, so replay order is preserved.
+    ///
+    /// If `old_path` already exists — a previous checkpoint rotated but died
+    /// before completing — the live frames are *merged* onto the healed tail
+    /// of the old file instead, so no generation of records is ever dropped.
+    pub fn rotate_to(&mut self, old_path: &Path) -> io::Result<()> {
+        phoenix_chaos::check_durable("wal.rotate")?;
+        // Only full, valid frames may move: a torn tail (possible only via
+        // injected faults, which kill the process, but cheap to respect)
+        // stays behind to be discarded.
+        let live_valid = valid_prefix_len(&mut self.file)?;
+        if old_path.exists() {
+            let mut old = OpenOptions::new().read(true).write(true).open(old_path)?;
+            let old_valid = valid_prefix_len(&mut old)?;
+            if old_valid < old.metadata()?.len() {
+                old.set_len(old_valid)?;
+            }
+            old.seek(SeekFrom::Start(old_valid))?;
+            let mut live = vec![0u8; live_valid as usize];
+            self.file.seek(SeekFrom::Start(0))?;
+            read_exact_or_eof(&mut self.file, &mut live)?;
+            old.write_all(&live)?;
+            old.sync_data()?;
+            self.file.set_len(0)?;
+            self.file.seek(SeekFrom::End(0))?;
+            self.file.sync_data()?;
+        } else {
+            self.file.sync_data()?;
+            std::fs::rename(&self.path, old_path)?;
+            // `self.file` now refers to the renamed inode; reopen the live
+            // path fresh and persist the rename.
+            let file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .append(true)
+                .open(&self.path)?;
+            if let Some(dir) = self.path.parent() {
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_data();
+                }
+            }
+            self.file = file;
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+
     /// Current size of the log file in bytes.
     pub fn len(&self) -> io::Result<u64> {
         Ok(self.file.metadata()?.len())
@@ -154,7 +205,10 @@ impl Wal {
     }
 
     /// Read every valid frame currently in the log, stopping silently at a
-    /// torn or corrupt tail.
+    /// torn or corrupt tail — the **same** tail-validation [`Wal::open`]
+    /// uses to heal the file, so recovery (which reads the log *before*
+    /// reopening it for appends) can never error on a tail that open()
+    /// would simply have truncated away.
     pub fn read_all(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u8>>> {
         let path = path.as_ref();
         let file = match File::open(path) {
@@ -162,64 +216,50 @@ impl Wal {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        let mut reader = BufReader::new(file);
         let mut frames = Vec::new();
-        loop {
-            let mut header = [0u8; 8];
-            match read_exact_or_eof(&mut reader, &mut header)? {
-                ReadOutcome::Eof => break,
-                ReadOutcome::Partial => break, // torn header
-                ReadOutcome::Full => {}
-            }
-            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-            if len > MAX_FRAME {
-                break; // corrupt length — treat as tail
-            }
-            let mut payload = vec![0u8; len as usize];
-            match read_exact_or_eof(&mut reader, &mut payload)? {
-                ReadOutcome::Full => {}
-                _ => break, // torn payload
-            }
-            if crc32(&payload) != crc {
-                break; // corrupt payload — treat as tail
-            }
-            frames.push(payload);
-        }
+        scan_valid_frames(BufReader::new(file), |payload| frames.push(payload))?;
         Ok(frames)
     }
 }
 
-/// Byte length of the longest prefix of the file that consists solely of
-/// valid frames — the tail-scan used by [`Wal::read_all`], but tracking
-/// offsets instead of collecting payloads. Leaves the file cursor wherever
-/// the scan stopped; callers reposition.
-fn valid_prefix_len(file: &mut File) -> io::Result<u64> {
-    file.seek(SeekFrom::Start(0))?;
-    let mut reader = BufReader::new(&mut *file);
+/// The tail-scan discipline, shared by every reader of the frame format:
+/// consume frames from `reader` until EOF or the first torn header, torn
+/// payload, over-long length, or CRC mismatch — the signatures of a crash
+/// mid-append — handing each valid payload to `sink`. Returns the byte
+/// length of the valid prefix.
+fn scan_valid_frames(mut reader: impl Read, mut sink: impl FnMut(Vec<u8>)) -> io::Result<u64> {
     let mut valid: u64 = 0;
     loop {
         let mut header = [0u8; 8];
         match read_exact_or_eof(&mut reader, &mut header)? {
             ReadOutcome::Full => {}
-            _ => break,
+            _ => break, // EOF or torn header
         }
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
         if len > MAX_FRAME {
-            break;
+            break; // corrupt length — treat as tail
         }
         let mut payload = vec![0u8; len as usize];
         match read_exact_or_eof(&mut reader, &mut payload)? {
             ReadOutcome::Full => {}
-            _ => break,
+            _ => break, // torn payload
         }
         if crc32(&payload) != crc {
-            break;
+            break; // corrupt payload — treat as tail
         }
         valid += 8 + len as u64;
+        sink(payload);
     }
     Ok(valid)
+}
+
+/// Byte length of the longest prefix of the file that consists solely of
+/// valid frames. Leaves the file cursor wherever the scan stopped; callers
+/// reposition.
+fn valid_prefix_len(file: &mut File) -> io::Result<u64> {
+    file.seek(SeekFrom::Start(0))?;
+    scan_valid_frames(BufReader::new(&mut *file), |_| {})
 }
 
 enum ReadOutcome {
@@ -401,6 +441,75 @@ mod tests {
             vec![b"a".to_vec(), b"b".to_vec()]
         );
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotate_moves_frames_aside_and_restarts_empty() {
+        let path = temp_path("rotate");
+        let old = path.with_extension("old");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&old).unwrap();
+        assert!(wal.is_empty().unwrap());
+        wal.append(b"c").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(
+            Wal::read_all(&old).unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec()]
+        );
+        assert_eq!(Wal::read_all(&path).unwrap(), vec![b"c".to_vec()]);
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(&old).unwrap();
+    }
+
+    #[test]
+    fn rotate_merges_into_leftover_old_file() {
+        let path = temp_path("rotate-merge");
+        let old = path.with_extension("old");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"gen1").unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&old).unwrap();
+        // A checkpoint died here: `old` still exists. New appends land in
+        // the live log, then the next checkpoint rotates again.
+        wal.append(b"gen2").unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&old).unwrap();
+        assert!(wal.is_empty().unwrap());
+        assert_eq!(
+            Wal::read_all(&old).unwrap(),
+            vec![b"gen1".to_vec(), b"gen2".to_vec()],
+            "both generations merged in order"
+        );
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(&old).unwrap();
+    }
+
+    #[test]
+    fn rotate_merge_heals_torn_old_tail() {
+        let path = temp_path("rotate-heal");
+        let old = path.with_extension("old");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"keep").unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&old).unwrap();
+        // Tear the old file's tail (crash mid-append before the rotation
+        // that created it — simulated by chopping bytes).
+        let mut bytes = fs::read(&old).unwrap();
+        bytes.extend_from_slice(&[9, 9, 9]); // garbage partial header
+        fs::write(&old, &bytes).unwrap();
+        wal.append(b"live").unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&old).unwrap();
+        assert_eq!(
+            Wal::read_all(&old).unwrap(),
+            vec![b"keep".to_vec(), b"live".to_vec()],
+            "merge trims the torn tail before appending"
+        );
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(&old).unwrap();
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Recovery regressions for the checkpoint/replay interlock.
+//!
+//! The headline case: a checkpoint that commits its new manifest and then
+//! dies *before* discarding the rotated log (the `checkpoint.truncate`
+//! fault point) leaves both the snapshot image and the log records that
+//! built it on disk. Before the snapshot carried a committed-txn
+//! high-water mark, recovery replayed those records on top of the image —
+//! increments overshot and re-inserted keys raised duplicate-key errors.
+//! With the mark, records of transactions the image already materializes
+//! (`txn ≤ mark`) are skipped and everything applies exactly once.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use phoenix_chaos as chaos;
+use phoenix_storage::db::{Durability, Durable, RecoveryOptions};
+use phoenix_storage::types::{Column, DataType, Row, Schema, TableDef, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-recovery-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn def(name: &str) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("v", DataType::Text),
+        ]),
+    )
+    .with_primary_key(vec![0])
+}
+
+fn row(id: i64, v: &str) -> Row {
+    vec![Value::Int(id), Value::Text(v.into())]
+}
+
+fn ids(db: &Durable, table: &str) -> Vec<i64> {
+    let snap = db.snapshot();
+    let mut ids: Vec<i64> = snap
+        .table(table)
+        .unwrap_or_else(|_| panic!("table {table} missing"))
+        .rows
+        .values()
+        .map(|r| match r[0] {
+            Value::Int(i) => i,
+            _ => panic!("non-int id"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn commit_rows(db: &Durable, table: &str, rows: &[(i64, &str)]) {
+    let t = db.begin().unwrap();
+    for (id, v) in rows {
+        db.insert(t, table, row(*id, v)).unwrap();
+    }
+    db.commit(t).unwrap();
+}
+
+/// Headline regression: crash after the new manifest is durable but before
+/// the rotated log is discarded. Recovery sees *both* the checkpoint image
+/// and the log that produced it; the mark must keep it from applying the
+/// log a second time. Pre-fix this failed with a duplicate-key recovery
+/// error (the snapshot lacked a mark and replay was unfiltered).
+#[test]
+fn checkpoint_crash_before_truncate_does_not_double_apply() {
+    let dir = temp_dir("truncate-window");
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def("dbo.t")).unwrap();
+        db.commit(t).unwrap();
+        commit_rows(&db, "dbo.t", &[(1, "a"), (2, "b"), (3, "c")]);
+
+        let guard = chaos::arm(chaos::Schedule::new().crash_at("checkpoint.truncate", 1));
+        let err = db.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("phoenix-chaos"));
+        assert_eq!(guard.fired().len(), 1);
+        drop(guard);
+        // Process death: the rotated log (phoenix.wal.old) is still on disk
+        // next to the freshly committed manifest.
+        assert!(dir.join("phoenix.wal.old").exists());
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(
+            ids(&db, "dbo.t"),
+            vec![1, 2, 3],
+            "rows applied exactly once"
+        );
+        let rep = db.recovery_report();
+        assert!(
+            rep.records_skipped > 0,
+            "the mark must have filtered the rotated log: {rep:?}"
+        );
+        assert_eq!(rep.records_applied, 0, "image already held everything");
+
+        // The database stays fully usable: new commits land and survive.
+        commit_rows(&db, "dbo.t", &[(4, "d")]);
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(ids(&db, "dbo.t"), vec![1, 2, 3, 4]);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash at `checkpoint.write`: the log is already rotated aside but no new
+/// manifest exists. Recovery must replay the rotated log (plus the fresh
+/// live log) against the *previous* image.
+#[test]
+fn checkpoint_crash_at_write_keeps_old_image() {
+    let dir = temp_dir("write-crash");
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def("dbo.t")).unwrap();
+        db.commit(t).unwrap();
+        commit_rows(&db, "dbo.t", &[(1, "a"), (2, "b")]);
+
+        let guard = chaos::arm(chaos::Schedule::new().crash_at("checkpoint.write", 1));
+        db.checkpoint().unwrap_err();
+        assert_eq!(guard.fired().len(), 1);
+        drop(guard);
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(ids(&db, "dbo.t"), vec![1, 2], "replayed from rotated log");
+        assert!(db.recovery_report().records_applied > 0);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: `Durable::open` tolerates a torn tail on the *live* log while
+/// a rotated log sits next to it — the same tail-validation `Wal::open`
+/// applies governs both files on the read path.
+#[test]
+fn torn_live_tail_with_rotated_log_recovers() {
+    let dir = temp_dir("torn-with-old");
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def("dbo.t")).unwrap();
+        db.commit(t).unwrap();
+        commit_rows(&db, "dbo.t", &[(1, "a"), (2, "b")]);
+
+        // Leave a rotated log behind: checkpoint dies after its manifest.
+        let guard = chaos::arm(chaos::Schedule::new().crash_at("checkpoint.truncate", 1));
+        db.checkpoint().unwrap_err();
+        drop(guard);
+    }
+
+    {
+        // New incarnation: commit into the live log, then tear its tail.
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        commit_rows(&db, "dbo.t", &[(3, "c")]);
+        let t = db.begin().unwrap();
+        let guard = chaos::arm(chaos::Schedule::new().torn_at("wal.append", 1, 7));
+        db.insert(t, "dbo.t", row(4, "torn")).unwrap_err();
+        assert_eq!(guard.fired().len(), 1);
+        drop(guard);
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(
+            ids(&db, "dbo.t"),
+            vec![1, 2, 3],
+            "committed rows exactly once, torn record invisible"
+        );
+        commit_rows(&db, "dbo.t", &[(5, "e")]);
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(ids(&db, "dbo.t"), vec![1, 2, 3, 5]);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Partitioned replay must be bit-identical to the sequential path — same
+/// tables, same rows, same row ids — including across catalog barriers
+/// (a table created mid-log).
+#[test]
+fn parallel_replay_matches_sequential() {
+    let dir = temp_dir("parallel");
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        for name in ["dbo.a", "dbo.b", "dbo.c"] {
+            db.create_table(t, def(name)).unwrap();
+        }
+        db.commit(t).unwrap();
+        for i in 0..40i64 {
+            let t = db.begin().unwrap();
+            db.insert(t, "dbo.a", row(i, "a")).unwrap();
+            db.insert(t, "dbo.b", row(i * 2, "b")).unwrap();
+            if i % 3 == 0 {
+                db.insert(t, "dbo.c", row(i, "c")).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        // Catalog barrier mid-log, then more DML on both sides of it.
+        let t = db.begin().unwrap();
+        db.create_table(t, def("dbo.late")).unwrap();
+        db.insert(t, "dbo.late", row(1, "l")).unwrap();
+        db.insert(t, "dbo.a", row(1000, "post")).unwrap();
+        db.commit(t).unwrap();
+        // Crash: drop without checkpoint.
+    }
+
+    let dump = |db: &Durable| {
+        let snap = db.snapshot();
+        ["dbo.a", "dbo.b", "dbo.c", "dbo.late"]
+            .iter()
+            .map(|name| {
+                let t = snap.table(name).unwrap();
+                let mut rows: Vec<_> = t.rows.iter().map(|(id, r)| (*id, r.clone())).collect();
+                rows.sort_by_key(|(id, _)| *id);
+                (t.next_row_id, rows)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let seq = {
+        let db = Durable::open_opts(
+            &dir,
+            Durability::Fsync,
+            &RecoveryOptions {
+                replay_threads: Some(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(db.recovery_report().replay_threads, 1);
+        dump(&db)
+    };
+    let par = {
+        let db = Durable::open_opts(
+            &dir,
+            Durability::Fsync,
+            &RecoveryOptions {
+                replay_threads: Some(4),
+            },
+        )
+        .unwrap();
+        let rep = db.recovery_report();
+        assert_eq!(rep.replay_threads, 4);
+        assert_eq!(rep.tables_replayed, 4);
+        dump(&db)
+    };
+    assert_eq!(seq, par, "partitioned replay must match sequential replay");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Incremental checkpoints: a second checkpoint after touching one of four
+/// tables serializes exactly that table and reuses the other segments.
+#[test]
+fn incremental_checkpoint_rewrites_only_touched_tables() {
+    let dir = temp_dir("incremental");
+    let db = Durable::open(&dir, Durability::Fsync).unwrap();
+
+    let t = db.begin().unwrap();
+    for name in ["dbo.a", "dbo.b", "dbo.c", "dbo.d"] {
+        db.create_table(t, def(name)).unwrap();
+    }
+    db.commit(t).unwrap();
+    for name in ["dbo.a", "dbo.b", "dbo.c", "dbo.d"] {
+        commit_rows(&db, name, &[(1, "x"), (2, "y")]);
+    }
+
+    db.checkpoint().unwrap();
+    let full = db.checkpoint_stats();
+    assert_eq!(
+        full.segments_written, 4,
+        "first checkpoint writes everything"
+    );
+    assert_eq!(full.segments_reused, 0);
+
+    commit_rows(&db, "dbo.c", &[(3, "z")]);
+    db.checkpoint().unwrap();
+    let incr = db.checkpoint_stats();
+    assert_eq!(incr.segments_written, 1, "only the touched table: {incr:?}");
+    assert_eq!(incr.segments_reused, 3);
+
+    // The incremental image recovers to the same state.
+    drop(db);
+    let db = Durable::open(&dir, Durability::Fsync).unwrap();
+    assert_eq!(ids(&db, "dbo.a"), vec![1, 2]);
+    assert_eq!(ids(&db, "dbo.c"), vec![1, 2, 3]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A checkpoint that fails after rotating the log leaves `phoenix.wal.old`
+/// behind *in-process*. Later commits write to the fresh live log, and the
+/// next successful checkpoint must merge the leftover rotated log instead
+/// of clobbering it.
+#[test]
+fn failed_checkpoint_then_retry_merges_rotated_log() {
+    let dir = temp_dir("retry-merge");
+    let db = Durable::open(&dir, Durability::Fsync).unwrap();
+
+    let t = db.begin().unwrap();
+    db.create_table(t, def("dbo.t")).unwrap();
+    db.commit(t).unwrap();
+    commit_rows(&db, "dbo.t", &[(1, "a"), (2, "b")]);
+
+    // First checkpoint dies after rotation, before writing anything.
+    let guard = chaos::arm(chaos::Schedule::new().crash_at("checkpoint.write", 1));
+    db.checkpoint().unwrap_err();
+    drop(guard);
+    assert!(dir.join("phoenix.wal.old").exists());
+
+    // Life goes on: more commits land in the fresh live log.
+    commit_rows(&db, "dbo.t", &[(3, "c")]);
+
+    // Retry succeeds: it must fold the leftover rotated log back in.
+    db.checkpoint().unwrap();
+    assert!(!dir.join("phoenix.wal.old").exists());
+    commit_rows(&db, "dbo.t", &[(4, "d")]);
+
+    drop(db);
+    let db = Durable::open(&dir, Durability::Fsync).unwrap();
+    assert_eq!(ids(&db, "dbo.t"), vec![1, 2, 3, 4]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An aborted transaction with the highest txn id must still advance the
+/// checkpoint mark: after checkpoint + crash, recovered transaction ids
+/// may not collide with the aborted one, and its effects stay invisible.
+#[test]
+fn abort_advances_checkpoint_mark() {
+    let dir = temp_dir("abort-mark");
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def("dbo.t")).unwrap();
+        db.commit(t).unwrap();
+        commit_rows(&db, "dbo.t", &[(1, "a")]);
+
+        // Aborted txn holds the largest id when the checkpoint runs.
+        let t = db.begin().unwrap();
+        db.insert(t, "dbo.t", row(99, "rolled back")).unwrap();
+        db.abort(t).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(ids(&db, "dbo.t"), vec![1], "aborted insert stays invisible");
+        commit_rows(&db, "dbo.t", &[(2, "b")]);
+    }
+
+    {
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(ids(&db, "dbo.t"), vec![1, 2]);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
