@@ -206,10 +206,15 @@ fn main() {
     let speedup1 = ratio(at(&pipelined, 1), at(&sequential, 1));
     let speedup8 = ratio(at(&pipelined, 8), at(&sequential, 8));
 
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let mut body = String::new();
     body.push_str("{\n");
     body.push_str("  \"bench\": \"pipeline_mix\",\n");
     body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
     body.push_str("  \"unit\": \"stmts_per_sec\",\n");
     body.push_str(&format!(
         "  \"workload\": \"per {ROUND} stmts: 6 point reads, 2 single-row inserts; \

@@ -171,6 +171,7 @@ fn open_with(dir: &Path, threads: usize) -> Durable {
         Durability::Fsync,
         &RecoveryOptions {
             replay_threads: Some(threads),
+            ..RecoveryOptions::default()
         },
     )
     .unwrap()

@@ -61,7 +61,9 @@ pub struct WorkloadOutput {
     pub replies: Vec<String>,
     /// Rows fetched through the keyset cursor, in delivery order.
     pub cursor_rows: Vec<String>,
-    /// `SELECT * FROM acct ORDER BY id` at the end of the workload.
+    /// `SELECT * FROM acct ORDER BY id` followed by `SELECT * FROM customer
+    /// ORDER BY id` at the end of the workload (both partitions' tables, so
+    /// a half-applied cross-partition commit is observable).
     pub final_table: Vec<String>,
 }
 
@@ -99,6 +101,27 @@ pub const WORKLOAD_PIPELINED: &[&str] = &[
     "UPDATE acct SET bal = bal + 17 WHERE id = 7",
 ];
 
+/// The cross-partition phase. Under [`explorer_engine_config`]'s two-way
+/// partitioned store, `acct` (storage key `dbo.acct`) and `customer`
+/// (`dbo.customer`) hash to *different* partitions, so each transaction
+/// here commits via a `CommitMulti` record appended to both WAL streams.
+/// Crashing between the two participant appends (the per-partition
+/// `wal.append.p1` visits) leaves a partial cross-partition commit on disk;
+/// recovery must roll the whole transaction back and the resubmitted
+/// statements must land exactly once. Every mutation diverges observably
+/// if applied twice or half-applied (duplicate keys, unbalanced transfer
+/// totals).
+pub const WORKLOAD_CROSS: &[&str] = &[
+    "BEGIN",
+    "UPDATE acct SET bal = bal - 40 WHERE id = 1",
+    "INSERT INTO customer VALUES (1, 40, 'x1')",
+    "COMMIT",
+    "BEGIN",
+    "INSERT INTO customer VALUES (2, 7, 'x2')",
+    "UPDATE acct SET bal = bal + 7 WHERE id = 3",
+    "COMMIT",
+];
+
 /// The checkpoint-heavy phase. With [`explorer_engine_config`]'s small
 /// `checkpoint_every`, these statements push the log-record counter over
 /// the threshold repeatedly, so the clean trace enumerates `wal.rotate`,
@@ -122,6 +145,7 @@ pub const WORKLOAD_CHECKPOINT: &[&str] = &[
 /// schedules align with [`run_clean`]'s trace.
 pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
     pc.execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT, memo TEXT)")?;
+    pc.execute("CREATE TABLE customer (id INT PRIMARY KEY, owed INT, memo TEXT)")?;
     pc.execute(
         "INSERT INTO acct VALUES (1, 100, 'a'), (2, 200, 'b'), (3, 300, 'c'), (4, 400, 'd'), \
          (5, 500, 'e'), (6, 600, 'f'), (7, 700, 'g'), (8, 800, 'h')",
@@ -144,6 +168,11 @@ pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<Wo
         replies.push(format!("{r:?}"));
     }
 
+    for sql in WORKLOAD_CROSS {
+        let r = pc.execute(sql)?;
+        replies.push(format!("{r:?}"));
+    }
+
     for sql in WORKLOAD_CHECKPOINT {
         let r = pc.execute(sql)?;
         replies.push(format!("{r:?}"));
@@ -161,12 +190,20 @@ pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<Wo
         st.close();
     }
 
-    let final_table = pc
+    // Both partitions' user tables: a half-applied cross-partition commit
+    // (acct debited, customer never credited or vice versa) shows up here.
+    let mut final_table: Vec<String> = pc
         .execute("SELECT * FROM acct ORDER BY id")?
         .rows()
         .iter()
         .map(|r| format!("{r:?}"))
         .collect();
+    final_table.extend(
+        pc.execute("SELECT * FROM customer ORDER BY id")?
+            .rows()
+            .iter()
+            .map(|r| format!("customer {r:?}")),
+    );
 
     Ok(WorkloadOutput {
         replies,
@@ -206,6 +243,9 @@ pub fn explorer_config() -> PhoenixConfig {
 pub fn explorer_engine_config() -> EngineConfig {
     EngineConfig {
         checkpoint_every: Some(24),
+        // Two partitions so the sweep exercises the per-partition WAL
+        // fault points and the partial cross-partition-commit windows.
+        partitions: Some(2),
         ..EngineConfig::default()
     }
 }
@@ -383,7 +423,8 @@ pub struct ExploreOptions {
     /// violation for reproduction).
     pub seed: u64,
     /// Also generate torn-write variants at the write-shaped points
-    /// (`wal.append`, `server.reply_send`, `wire.write_frame`).
+    /// (`wal.append` and its per-partition `wal.append.p<k>` siblings,
+    /// `server.reply_send`, `wire.write_frame`).
     pub torn_writes: bool,
     /// Print per-case progress to stderr.
     pub verbose: bool,
@@ -438,18 +479,23 @@ pub fn enumerate_cases(trace: &[Visit], torn_writes: bool) -> Vec<CrashCase> {
         .collect();
     if torn_writes {
         for v in trace {
-            let torn = match v.point {
-                // Vary the torn length deterministically with the visit so
-                // the sweep covers header-only and mid-payload tears.
-                "wal.append" | "server.reply_send" | "wire.write_frame" => FaultSpec::TornWrite {
-                    n_bytes: 1 + (v.nth as usize % 7),
-                },
-                _ => continue,
-            };
+            // `wal.append` matched by prefix so the per-partition streams'
+            // appends (`wal.append.p1`, …) get torn variants too — they are
+            // exactly the partial cross-partition-commit windows.
+            let write_shaped = v.point.starts_with("wal.append")
+                || v.point == "server.reply_send"
+                || v.point == "wire.write_frame";
+            if !write_shaped {
+                continue;
+            }
             cases.push(CrashCase {
                 point: v.point,
                 nth: v.nth,
-                spec: torn,
+                // Vary the torn length deterministically with the visit so
+                // the sweep covers header-only and mid-payload tears.
+                spec: FaultSpec::TornWrite {
+                    n_bytes: 1 + (v.nth as usize % 7),
+                },
             });
         }
     }

@@ -63,6 +63,13 @@ pub struct EngineConfig {
     /// `None` uses the machine's available parallelism; `Some(1)` forces
     /// the sequential path.
     pub replay_threads: Option<usize>,
+    /// Write-path partitions (per-partition store shard + WAL stream +
+    /// group committer). `None` picks `min(8, available cores)`; `Some(1)`
+    /// forces the single-stream layout.
+    pub partitions: Option<usize>,
+    /// Bounded fsync delay for the group-commit leaders, in microseconds.
+    /// `0` (the default) flushes immediately.
+    pub group_commit_window_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +78,8 @@ impl Default for EngineConfig {
             durability: Durability::Fsync,
             checkpoint_every: Some(100_000),
             replay_threads: None,
+            partitions: None,
+            group_commit_window_us: 0,
         }
     }
 }
@@ -143,11 +152,18 @@ pub struct Engine {
 impl Engine {
     /// Open (and recover) the database in `dir`.
     pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Engine> {
+        let partitions = config.partitions.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        });
         let durable = Durable::open_opts(
             dir,
             config.durability,
             &RecoveryOptions {
                 replay_threads: config.replay_threads,
+                partitions: Some(partitions),
+                group_commit_window_us: config.group_commit_window_us,
             },
         )?;
         Ok(Engine {

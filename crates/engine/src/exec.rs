@@ -12,19 +12,20 @@ use std::collections::HashMap;
 use phoenix_sql::ast::{
     CreateTableStmt, DeleteStmt, InsertSource, InsertStmt, ObjectName, UpdateStmt,
 };
-use phoenix_storage::store::{Store, TableData};
+use phoenix_storage::store::{Store, StoreSnapshot, TableData};
 use phoenix_storage::types::{Column, DataType, Row, RowId, Schema, TableDef, Value};
 
 use crate::error::{EngineError, ErrorCode, Result};
 use crate::eval::{eval, truth, BoundColumn, Env};
 use crate::plan::{execute_select, Catalog};
 
-/// Immutable view over the durable store plus one session's temp store.
-/// Temp names (`#x`) resolve only in the temp store; everything else only in
-/// the durable store.
+/// Immutable view over a durable-store snapshot plus one session's temp
+/// store. Temp names (`#x`) resolve only in the temp store; everything else
+/// only in the durable snapshot (which routes each lookup to the partition
+/// shard owning that table).
 pub struct CatalogView<'a> {
-    /// The durable (crash-surviving) store.
-    pub durable: &'a Store,
+    /// The durable (crash-surviving) store image.
+    pub durable: &'a StoreSnapshot,
     /// The session's volatile temp store.
     pub temp: &'a Store,
 }
@@ -32,12 +33,11 @@ pub struct CatalogView<'a> {
 impl Catalog for CatalogView<'_> {
     fn table(&self, name: &ObjectName) -> Result<&TableData> {
         let key = name.canonical();
-        let store = if name.is_temp() {
-            self.temp
+        if name.is_temp() {
+            self.temp.table(&key).map_err(EngineError::from)
         } else {
-            self.durable
-        };
-        store.table(&key).map_err(EngineError::from)
+            self.durable.table(&key).map_err(EngineError::from)
+        }
     }
 }
 
@@ -295,10 +295,10 @@ mod tests {
         data
     }
 
-    fn view_with(data: TableData) -> (Store, Store) {
+    fn view_with(data: TableData) -> (StoreSnapshot, Store) {
         let mut durable = Store::new();
         durable.install_table(data);
-        (durable, Store::new())
+        (StoreSnapshot::capture(&durable), Store::new())
     }
 
     #[test]
@@ -443,7 +443,7 @@ mod tests {
             Schema::new(vec![Column::new("x", DataType::Int)]),
         ))
         .unwrap();
-        let durable = Store::new();
+        let durable = StoreSnapshot::default();
         let view = CatalogView {
             durable: &durable,
             temp: &temp,

@@ -41,7 +41,7 @@ fn new_reader_completes_while_slow_reader_runs_and_writer_waits() {
     let config = EngineConfig {
         durability: Durability::Buffered,
         checkpoint_every: None,
-        replay_threads: None,
+        ..EngineConfig::default()
     };
     let e = Arc::new(Engine::open(&dir, config).unwrap());
     let admin = e.create_session("admin");

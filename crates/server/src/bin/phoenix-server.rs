@@ -21,11 +21,28 @@ fn main() {
     let mut port: u16 = 54321;
     let mut stats_port: Option<u16> = None;
     let mut durability = Durability::Fsync;
+    let mut partitions: Option<usize> = None;
+    let mut group_commit_window_us: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--data" => data_dir = args.next().expect("--data needs a path").into(),
+            "--partitions" => {
+                partitions = Some(
+                    args.next()
+                        .expect("--partitions needs a number")
+                        .parse()
+                        .expect("bad partition count"),
+                )
+            }
+            "--group-commit-window-us" => {
+                group_commit_window_us = args
+                    .next()
+                    .expect("--group-commit-window-us needs a number")
+                    .parse()
+                    .expect("bad window")
+            }
             "--port" => {
                 port = args
                     .next()
@@ -44,7 +61,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: phoenix-server [--data <dir>] [--port <port>] [--buffered] [--stats-port <port>]"
+                    "usage: phoenix-server [--data <dir>] [--port <port>] [--buffered] \
+                     [--stats-port <port>] [--partitions <n>] [--group-commit-window-us <us>]"
                 );
                 return;
             }
@@ -59,6 +77,8 @@ fn main() {
         durability,
         checkpoint_every: Some(100_000),
         replay_threads: None,
+        partitions,
+        group_commit_window_us,
     };
     eprintln!(
         "phoenix-server: opening {} (recovery may replay the log)…",

@@ -40,9 +40,27 @@
 //!   on a condition variable. N threads committing together therefore cost
 //!   far fewer than N syncs.
 //!
-//! Lock order (outer to inner): `checkpoint_state` → `working` → `wal` →
-//! {`group.state`, `active`}, and `working` → `published`. `published` is
-//! never held with `wal` or `active`.
+//! # Partitioned write path
+//!
+//! The store is sharded by table name hash into N *partitions* (see
+//! [`partition_of`]). Each partition owns its own working-store mutex, its
+//! own WAL stream (`phoenix.wal` for partition 0, `phoenix.wal.p<k>` above)
+//! and its own group committer, so transactions touching disjoint
+//! partitions append, fsync and apply fully concurrently. Every WAL frame
+//! payload is prefixed with a *global sequence number* (GSN) drawn from one
+//! process-wide atomic; recovery merges the N streams by GSN back into the
+//! single total order the replay machinery expects. A transaction that
+//! wrote to several partitions commits with a [`LogRecord::CommitMulti`]
+//! record — one copy appended to *every* touched stream, carrying the full
+//! participant set — and recovery treats it as committed iff the record is
+//! present in each participant's stream (two-phase commit within the
+//! process: a crash between the per-stream appends rolls the whole
+//! transaction back).
+//!
+//! Lock order (outer to inner): `checkpoint_state` → `working[k]`
+//! (ascending k) → `wal[k]` (ascending k) → {`group[k].state`, `active`},
+//! and `working[k]` → `published[k]`. `published` is never held with `wal`
+//! or `active`.
 //!
 //! # Checkpoint / commit / abort interlock
 //!
@@ -67,22 +85,85 @@
 //! post-rotation log — so `txn > mark` records are exactly the ones the
 //! snapshot does not contain.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use phoenix_obs::Histogram;
 
-use crate::metrics::storage_metrics;
+use crate::metrics::{partition_batch_histogram, storage_metrics};
 use crate::record::LogRecord;
-use crate::store::{normalize_name, Store, StoreError, StoreSnapshot, TableData};
+use crate::store::{normalize_name, partition_of, Store, StoreError, StoreSnapshot, TableData};
 use crate::types::{Row, RowId, TableDef, TxnId};
-use crate::wal::{Wal, MAX_FRAME};
+use crate::wal::{Wal, WalPoints, MAX_FRAME};
 use crate::{codec::DecodeError, snapshot};
+
+/// Upper bound on the partition count. Recovery always scans the streams of
+/// all `MAX_PARTITIONS` possible partitions so a database can be re-opened
+/// with a *different* partition count than it was written with: leftover
+/// higher-numbered streams are replayed (merged by GSN like any other) and
+/// deleted by the next checkpoint.
+pub const MAX_PARTITIONS: usize = 8;
+
+/// Chaos fault-point names per partition. Partition 0 keeps the legacy
+/// unsuffixed names so existing crash schedules keep working; partitions
+/// `k ≥ 1` get `.p<k>`-suffixed points that chaos-explore enumerates for
+/// partial cross-partition commit windows.
+static WAL_POINTS: [WalPoints; MAX_PARTITIONS] = [
+    WalPoints {
+        append: "wal.append",
+        fsync: "wal.fsync",
+        truncate: "wal.truncate",
+        rotate: "wal.rotate",
+    },
+    WalPoints {
+        append: "wal.append.p1",
+        fsync: "wal.fsync.p1",
+        truncate: "wal.truncate.p1",
+        rotate: "wal.rotate.p1",
+    },
+    WalPoints {
+        append: "wal.append.p2",
+        fsync: "wal.fsync.p2",
+        truncate: "wal.truncate.p2",
+        rotate: "wal.rotate.p2",
+    },
+    WalPoints {
+        append: "wal.append.p3",
+        fsync: "wal.fsync.p3",
+        truncate: "wal.truncate.p3",
+        rotate: "wal.rotate.p3",
+    },
+    WalPoints {
+        append: "wal.append.p4",
+        fsync: "wal.fsync.p4",
+        truncate: "wal.truncate.p4",
+        rotate: "wal.rotate.p4",
+    },
+    WalPoints {
+        append: "wal.append.p5",
+        fsync: "wal.fsync.p5",
+        truncate: "wal.truncate.p5",
+        rotate: "wal.rotate.p5",
+    },
+    WalPoints {
+        append: "wal.append.p6",
+        fsync: "wal.fsync.p6",
+        truncate: "wal.truncate.p6",
+        rotate: "wal.rotate.p6",
+    },
+    WalPoints {
+        append: "wal.append.p7",
+        fsync: "wal.fsync.p7",
+        truncate: "wal.truncate.p7",
+        rotate: "wal.rotate.p7",
+    },
+];
 
 /// When to force the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,13 +270,24 @@ struct GroupCommit {
     flushed_cv: Condvar,
 }
 
-/// Recovery tuning for [`Durable::open_opts`].
+/// Recovery + layout tuning for [`Durable::open_opts`].
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryOptions {
     /// Worker threads for the partitioned replay pass. `None` picks the
     /// available parallelism; `Some(1)` forces sequential replay (the
     /// baseline the recovery bench compares against).
     pub replay_threads: Option<usize>,
+    /// Write-path partitions (clamped to `1..=MAX_PARTITIONS`). `None`
+    /// means 1 — the single-stream layout. The count is a property of the
+    /// *handle*, not the directory: recovery always merges the streams of
+    /// every possible partition, so a database may be re-opened with any
+    /// partition count.
+    pub partitions: Option<usize>,
+    /// Bounded fsync delay for the per-partition group committers, in
+    /// microseconds. `0` (the default) syncs immediately; a small window
+    /// lets more committers pile onto one `sync_data` at the cost of that
+    /// much commit latency.
+    pub group_commit_window_us: u64,
 }
 
 /// What recovery did, exposed for benches and observability.
@@ -241,43 +333,82 @@ struct CheckpointState {
     stats: CheckpointStats,
 }
 
+/// Per-transaction bookkeeping: the undo list plus the set of partitions
+/// the transaction has written to (its commit-record participant set).
+#[derive(Default)]
+struct TxnState {
+    undo: Vec<UndoOp>,
+    touched: BTreeSet<usize>,
+}
+
+/// One write-path shard: a store partition, its WAL stream, and its group
+/// committer.
+struct Partition {
+    /// The writers' image of this shard. Mutations lock it, append+apply,
+    /// then publish.
+    working: Mutex<Store>,
+    /// The readers' epoch of this shard: re-captured by the latest mutation
+    /// *of this partition only*. [`Durable::snapshot`] stitches the N
+    /// epochs into one [`StoreSnapshot`]. The lock is held only for the
+    /// pointer swap / `Arc` clone, never across query execution.
+    published: RwLock<Arc<Store>>,
+    wal: Mutex<Wal>,
+    group: GroupCommit,
+    /// Largest txn id that has finished (committed or aborted) *in this
+    /// partition*. Updated under the partition's WAL lock at commit-append
+    /// time; the checkpoint takes the max across partitions as its snapshot
+    /// mark. Recovery seeds every partition with the recovered high-water
+    /// mark.
+    last_finished: AtomicU64,
+    /// `phoenix_group_commit_batch{partition="p<k>"}`.
+    batch_hist: Arc<Histogram>,
+}
+
 /// A durable, transactional store, shareable across threads (`&self` API).
 pub struct Durable {
-    /// The writers' image. Mutations lock it, append+apply, then publish.
-    working: Mutex<Store>,
-    /// The readers' image: the snapshot published by the latest mutation.
-    /// The lock is held only for the pointer swap / `Arc` clone, never
-    /// across query execution.
-    published: RwLock<Arc<StoreSnapshot>>,
-    wal: Mutex<Wal>,
+    /// The write-path shards. Tables route by [`partition_of`] their name.
+    parts: Vec<Partition>,
     dir: PathBuf,
     durability: Durability,
     next_txn: AtomicU64,
-    active: Mutex<HashMap<TxnId, Vec<UndoOp>>>,
-    group: GroupCommit,
-    /// Records appended since the last checkpoint (drives auto-checkpoint
-    /// policy in the engine; the layer itself never checkpoints implicitly).
+    /// Global sequence number for the next WAL frame, shared by all
+    /// streams. Allocated under the owning partition's WAL lock, so each
+    /// stream is GSN-monotone and recovery's merge-by-GSN reconstructs one
+    /// total append order.
+    next_gsn: AtomicU64,
+    active: Mutex<HashMap<TxnId, TxnState>>,
+    /// Records appended since the last checkpoint, across all streams
+    /// (drives auto-checkpoint policy in the engine; the layer itself never
+    /// checkpoints implicitly).
     records_since_checkpoint: AtomicU64,
-    /// Largest txn id that has finished (committed or aborted). Updated
-    /// under the WAL lock at commit-append time; the checkpoint's snapshot
-    /// mark. Recovery seeds it with the recovered high-water mark.
-    last_finished: AtomicU64,
     /// Checkpoint serialization + the previous checkpoint's segment images.
     checkpoint_state: Mutex<CheckpointState>,
     /// What recovery did when this handle was opened.
     recovery: RecoveryReport,
+    /// Bounded fsync delay the group-commit leaders apply before flushing.
+    group_commit_window: Duration,
 }
 
 impl Durable {
-    fn wal_path(dir: &Path) -> PathBuf {
-        dir.join("phoenix.wal")
+    /// Partition `k`'s live log. Partition 0 keeps the legacy unsuffixed
+    /// name so single-partition directories are unchanged on disk.
+    fn wal_path(dir: &Path, k: usize) -> PathBuf {
+        if k == 0 {
+            dir.join("phoenix.wal")
+        } else {
+            dir.join(format!("phoenix.wal.p{k}"))
+        }
     }
 
     /// The rotated-aside log of an in-progress (or crashed) checkpoint.
     /// Replayed *before* the live log; deleted when the checkpoint's
     /// manifest is durable.
-    fn wal_old_path(dir: &Path) -> PathBuf {
-        dir.join("phoenix.wal.old")
+    fn wal_old_path(dir: &Path, k: usize) -> PathBuf {
+        if k == 0 {
+            dir.join("phoenix.wal.old")
+        } else {
+            dir.join(format!("phoenix.wal.p{k}.old"))
+        }
     }
 
     fn snapshot_path(dir: &Path) -> PathBuf {
@@ -321,12 +452,24 @@ impl Durable {
             .filter_map(|(key, file)| store.table_arc(&key).map(|arc| (key, (file, arc))))
             .collect();
 
+        let n = opts.partitions.unwrap_or(1).clamp(1, MAX_PARTITIONS);
         let replay_start = Instant::now();
 
-        // Read the rotated log first (frames older than everything in the
-        // live log), then the live log. Both reads tolerate a torn tail.
-        let mut frames = Wal::read_all(Self::wal_old_path(&dir))?;
-        frames.extend(Wal::read_all(Self::wal_path(&dir))?);
+        // Read every possible stream — not just the `n` this handle will
+        // write — so a directory written with a different partition count
+        // recovers completely. Per stream: rotated log first (frames older
+        // than everything in that stream's live log), then the live log.
+        // Both reads tolerate a torn tail.
+        let mut streams: Vec<(u32, Vec<Vec<u8>>)> = Vec::new();
+        let mut total_frames = 0usize;
+        for k in 0..MAX_PARTITIONS {
+            let mut frames = Wal::read_all(Self::wal_old_path(&dir, k))?;
+            frames.extend(Wal::read_all(Self::wal_path(&dir, k))?);
+            total_frames += frames.len();
+            if !frames.is_empty() {
+                streams.push((k as u32, frames));
+            }
+        }
 
         let threads = opts
             .replay_threads
@@ -337,25 +480,49 @@ impl Durable {
             })
             .max(1);
 
-        // Pass 1: decode (in parallel — it is pure CPU and usually the
-        // bulk of replay time) and find committed transactions.
-        let records = decode_frames(&frames, threads)?;
+        // Pass 1: decode each stream (in parallel — it is pure CPU and
+        // usually the bulk of replay time), merge into one total order by
+        // GSN, and find committed transactions. A cross-partition commit
+        // counts iff its `CommitMulti` record is present in *every*
+        // participant stream — a crash between the per-stream appends left
+        // a partial set, and the transaction must roll back.
+        let records = decode_streams(&streams, threads)?;
         let mut committed: HashSet<TxnId> = HashSet::new();
+        let mut multi: HashMap<TxnId, (Vec<u32>, HashSet<u32>)> = HashMap::new();
         let mut last_txn = mark;
-        for rec in &records {
-            if let LogRecord::Commit { txn } = rec {
+        let mut max_gsn = 0u64;
+        for (gsn, stream, rec) in &records {
+            max_gsn = max_gsn.max(*gsn);
+            last_txn = last_txn.max(rec.txn());
+            match rec {
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                LogRecord::CommitMulti { txn, participants } => {
+                    let entry = multi
+                        .entry(*txn)
+                        .or_insert_with(|| (participants.clone(), HashSet::new()));
+                    entry.1.insert(*stream);
+                }
+                _ => {}
+            }
+        }
+        for (txn, (participants, logged)) in &multi {
+            if participants.iter().all(|p| logged.contains(p)) {
                 committed.insert(*txn);
             }
-            last_txn = last_txn.max(rec.txn());
         }
         let total_records = records.len() as u64;
 
-        // Pass 2: partitioned replay of committed records past the mark.
+        // Pass 2: partitioned replay of committed records past the mark,
+        // in merged GSN order (bit-identical to a single-stream replay of
+        // the same workload — the GSN *is* the single-stream append order).
+        let merged: Vec<LogRecord> = records.into_iter().map(|(_, _, rec)| rec).collect();
         let (applied, tables_replayed) =
-            replay_records(&mut store, records, &committed, mark, threads)?;
+            replay_records(&mut store, merged, &committed, mark, threads)?;
 
         let report = RecoveryReport {
-            wal_frames: frames.len(),
+            wal_frames: total_frames,
             records_applied: applied,
             records_skipped: total_records - applied,
             tables_replayed,
@@ -366,32 +533,66 @@ impl Durable {
             .recovery_replay_us
             .record(report.replay_us);
 
-        let wal = Wal::open(Self::wal_path(&dir))?;
+        let parts = store
+            .into_parts(n)
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| -> Result<Partition, DbError> {
+                Ok(Partition {
+                    published: RwLock::new(Arc::new(shard.clone())),
+                    working: Mutex::new(shard),
+                    wal: Mutex::new(Wal::open_with_points(
+                        Self::wal_path(&dir, k),
+                        WAL_POINTS[k],
+                    )?),
+                    group: GroupCommit {
+                        state: Mutex::new(GroupState {
+                            appended: 0,
+                            flushed: 0,
+                            leader: false,
+                        }),
+                        flushed_cv: Condvar::new(),
+                    },
+                    last_finished: AtomicU64::new(last_txn),
+                    batch_hist: partition_batch_histogram(k),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
         Ok(Durable {
-            published: RwLock::new(Arc::new(StoreSnapshot::capture(&store))),
-            working: Mutex::new(store),
-            wal: Mutex::new(wal),
+            parts,
             dir,
             durability,
             next_txn: AtomicU64::new(last_txn + 1),
+            next_gsn: AtomicU64::new(max_gsn + 1),
             active: Mutex::new(HashMap::new()),
-            group: GroupCommit {
-                state: Mutex::new(GroupState {
-                    appended: 0,
-                    flushed: 0,
-                    leader: false,
-                }),
-                flushed_cv: Condvar::new(),
-            },
             records_since_checkpoint: AtomicU64::new(total_records),
-            last_finished: AtomicU64::new(last_txn),
             checkpoint_state: Mutex::new(CheckpointState {
                 gen,
                 base,
                 stats: CheckpointStats::default(),
             }),
             recovery: report,
+            group_commit_window: Duration::from_micros(opts.group_commit_window_us),
         })
+    }
+
+    /// The number of write-path partitions this handle was opened with.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition `name`'s table (or procedure) routes to.
+    fn part_of(&self, name: &str) -> usize {
+        partition_of(name, self.parts.len())
+    }
+
+    /// Home partition for transaction-scoped records of a transaction that
+    /// touched nothing (or whose commit needs a deterministic single
+    /// stream): spreads empty-txn traffic instead of serializing it all on
+    /// partition 0.
+    fn home_of(&self, txn: TxnId) -> usize {
+        (txn % self.parts.len() as u64) as usize
     }
 
     /// What recovery did when this handle was opened.
@@ -404,19 +605,29 @@ impl Durable {
         self.checkpoint_state.lock().stats.clone()
     }
 
-    /// The current published image. O(1): clones an `Arc` under a lock held
-    /// only for the clone itself. The caller then reads with no lock at
-    /// all — long scans never block writers, and writers never block new
-    /// readers. The snapshot keeps showing the state as of the last
-    /// publication; take a fresh one per statement (or per cursor fetch)
-    /// for current data.
+    /// The current published image: the N per-partition epochs stitched
+    /// into one [`StoreSnapshot`]. O(partitions) `Arc` clones, each under a
+    /// lock held only for the clone itself. The caller then reads with no
+    /// lock at all — long scans never block writers, and writers never
+    /// block new readers. The snapshot keeps showing each partition's state
+    /// as of its last publication; take a fresh one per statement (or per
+    /// cursor fetch) for current data.
     pub fn snapshot(&self) -> Arc<StoreSnapshot> {
-        self.published.read().clone()
+        Arc::new(StoreSnapshot::from_parts(
+            self.parts
+                .iter()
+                .map(|p| p.published.read().clone())
+                .collect(),
+        ))
     }
 
-    /// Publish the working image for readers. Called with the working lock
-    /// held so publication order matches mutation order.
-    fn publish(&self, working: &Store) {
+    /// Publish partition `k`'s working image for readers. Called with that
+    /// partition's working lock held so publication order matches mutation
+    /// order. Only the mutated shard is re-captured; with N partitions each
+    /// publish therefore *saves* N−1 of the whole-store captures the
+    /// un-partitioned design paid, which
+    /// `phoenix_snapshot_publishes_coalesced` counts.
+    fn publish(&self, k: usize, working: &Store) {
         match phoenix_chaos::fault("store.publish") {
             phoenix_chaos::FaultAction::Continue => {}
             phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
@@ -424,9 +635,13 @@ impl Durable {
             // previous snapshot, exactly as a crashed server would leave it.
             _ => return,
         }
-        let snap = Arc::new(StoreSnapshot::capture(working));
-        *self.published.write() = snap;
-        storage_metrics().snapshot_publishes.inc();
+        *self.parts[k].published.write() = Arc::new(working.clone());
+        let m = storage_metrics();
+        m.snapshot_publishes.inc();
+        if self.parts.len() > 1 {
+            m.snapshot_publishes_coalesced
+                .add(self.parts.len() as u64 - 1);
+        }
     }
 
     /// The data directory.
@@ -444,30 +659,41 @@ impl Durable {
         self.records_since_checkpoint.load(Ordering::Relaxed)
     }
 
-    /// Number of `sync_data` calls the WAL has issued (group-commit probe).
+    /// Number of `sync_data` calls issued across all WAL streams
+    /// (group-commit probe).
     pub fn wal_sync_count(&self) -> u64 {
-        self.wal.lock().sync_count()
+        self.parts.iter().map(|p| p.wal.lock().sync_count()).sum()
     }
 
-    /// Append one record. Callers that need write-ahead atomicity with a
-    /// store mutation must already hold the working-store lock.
-    fn log(&self, rec: &LogRecord) -> Result<(), DbError> {
-        self.log_bytes(&rec.encode())
-    }
-
-    /// Append an already-encoded record payload.
-    fn log_bytes(&self, payload: &[u8]) -> Result<(), DbError> {
-        self.wal.lock().append(payload)?;
+    /// Append one record to a WAL stream the caller has already locked,
+    /// prefixing it with a freshly allocated GSN. Allocating *under* the
+    /// stream's lock keeps each stream GSN-monotone, which is what lets
+    /// recovery merge the streams by GSN into one total order.
+    fn append_locked(&self, wal: &mut Wal, encoded: &[u8]) -> Result<(), DbError> {
+        let gsn = self.next_gsn.fetch_add(1, Ordering::Relaxed);
+        let mut payload = Vec::with_capacity(8 + encoded.len());
+        payload.extend_from_slice(&gsn.to_le_bytes());
+        payload.extend_from_slice(encoded);
+        wal.append(&payload)?;
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Begin a new transaction.
+    /// Append one record to partition `k`'s stream. Callers that need
+    /// write-ahead atomicity with a store mutation must already hold that
+    /// partition's working-store lock.
+    fn log_to(&self, k: usize, rec: &LogRecord) -> Result<(), DbError> {
+        self.append_locked(&mut self.parts[k].wal.lock(), &rec.encode())
+    }
+
+    /// Begin a new transaction. Nothing is logged — a transaction exists in
+    /// the log only through the records of its mutations (and its final
+    /// commit/abort marker), so an empty transaction costs no I/O until
+    /// commit.
     pub fn begin(&self) -> Result<TxnId, DbError> {
         let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
-        self.log(&LogRecord::Begin { txn })?;
-        self.active.lock().insert(txn, Vec::new());
+        self.active.lock().insert(txn, TxnState::default());
         Ok(txn)
     }
 
@@ -478,38 +704,66 @@ impl Durable {
     /// for every record appended so far, the rest wait until the flushed
     /// watermark covers their own sequence number.
     pub fn commit(&self, txn: TxnId) -> Result<(), DbError> {
-        // Append the commit record, advance the finished-txn high-water
-        // mark, and claim a sequence number — all under the WAL lock (so
-        // sequence order matches append order) and all *before* leaving the
-        // `active` set. A checkpoint that observes this transaction as
-        // inactive is thereby guaranteed to capture a mark covering it: its
-        // commit record can never land after the snapshot's log rotation
-        // while its effects sit inside the snapshot image (the double-apply
-        // window).
-        let seq = {
-            let mut wal = self.wal.lock();
-            if !self.active.lock().contains_key(&txn) {
-                return Err(DbError::NoSuchTxn(txn));
+        // The participant set decides the record shape: a transaction that
+        // wrote to at most one partition commits with a plain `Commit`
+        // (complete in itself wherever recovery finds it); one that wrote
+        // to several commits with a `CommitMulti` carrying the full
+        // participant set, appended to *every* touched stream — recovery
+        // commits it iff all copies landed (two-phase within the process).
+        let targets: Vec<usize> = {
+            let active = self.active.lock();
+            let state = active.get(&txn).ok_or(DbError::NoSuchTxn(txn))?;
+            if state.touched.is_empty() {
+                vec![self.home_of(txn)]
+            } else {
+                state.touched.iter().copied().collect()
             }
-            wal.append(&LogRecord::Commit { txn }.encode())?;
-            self.records_since_checkpoint
-                .fetch_add(1, Ordering::Relaxed);
-            self.last_finished.fetch_max(txn, Ordering::Relaxed);
-            let mut st = self.group.state.lock();
-            st.appended += 1;
-            st.appended
         };
+        let rec = if targets.len() <= 1 {
+            LogRecord::Commit { txn }
+        } else {
+            LogRecord::CommitMulti {
+                txn,
+                participants: targets.iter().map(|&k| k as u32).collect(),
+            }
+        };
+        let encoded = rec.encode();
+
+        // Per target partition: append the commit record, advance the
+        // finished-txn high-water mark, and claim a group sequence number —
+        // all under that partition's WAL lock (so sequence order matches
+        // append order) and all *before* leaving the `active` set. A
+        // checkpoint that observes this transaction as inactive is thereby
+        // guaranteed to capture a mark covering it: its commit records can
+        // never land after the snapshot's log rotation while its effects
+        // sit inside the snapshot image (the double-apply window). The
+        // quiescence check also means a checkpoint can never rotate between
+        // two of a cross-partition commit's appends.
+        let mut seqs = Vec::with_capacity(targets.len());
+        for &k in &targets {
+            let p = &self.parts[k];
+            let mut wal = p.wal.lock();
+            self.append_locked(&mut wal, &encoded)?;
+            p.last_finished.fetch_max(txn, Ordering::Relaxed);
+            let mut st = p.group.state.lock();
+            st.appended += 1;
+            seqs.push((k, st.appended));
+        }
         self.active.lock().remove(&txn);
         if self.durability == Durability::Fsync {
-            self.group_sync(seq)?;
+            for (k, seq) in seqs {
+                self.group_sync(k, seq)?;
+            }
         }
         Ok(())
     }
 
-    /// Wait until the commit record with group sequence `seq` is durable,
-    /// taking the leader role if nobody else is flushing.
-    fn group_sync(&self, seq: u64) -> Result<(), DbError> {
-        let mut st = self.group.state.lock();
+    /// Wait until partition `k`'s commit record with group sequence `seq`
+    /// is durable, taking that partition's leader role if nobody else is
+    /// flushing.
+    fn group_sync(&self, k: usize, seq: u64) -> Result<(), DbError> {
+        let p = &self.parts[k];
+        let mut st = p.group.state.lock();
         loop {
             if st.flushed >= seq {
                 return Ok(());
@@ -517,19 +771,24 @@ impl Durable {
             if st.leader {
                 // A flush is in flight; it may or may not cover us. Wait for
                 // the watermark to move and re-check.
-                self.group.flushed_cv.wait(&mut st);
+                p.group.flushed_cv.wait(&mut st);
                 continue;
             }
             st.leader = true;
             drop(st);
-            // Leader: one sync covers every record appended so far —
-            // including those of the committers now parked on the condvar.
+            // Leader: optionally dwell for the configured window so more
+            // committers can append behind us, then one sync covers every
+            // record appended so far — including those of the committers
+            // now parked on the condvar.
+            if !self.group_commit_window.is_zero() {
+                std::thread::sleep(self.group_commit_window);
+            }
             let flush = {
-                let mut wal = self.wal.lock();
-                let upto = self.group.state.lock().appended;
+                let mut wal = p.wal.lock();
+                let upto = p.group.state.lock().appended;
                 wal.sync().map(|()| upto)
             };
-            st = self.group.state.lock();
+            st = p.group.state.lock();
             st.leader = false;
             match flush {
                 Ok(upto) => {
@@ -538,66 +797,106 @@ impl Durable {
                         m.group_commit_records.add(upto - st.flushed);
                         m.group_commit_syncs.inc();
                         m.group_commit_batch.record(upto - st.flushed);
+                        p.batch_hist.record(upto - st.flushed);
                     }
                     st.flushed = st.flushed.max(upto);
-                    self.group.flushed_cv.notify_all();
+                    p.group.flushed_cv.notify_all();
                     // `upto` ≥ our `seq` (we appended before flushing), so
                     // the next loop iteration returns Ok.
                 }
                 Err(e) => {
                     // Wake waiters so one of them can retry as leader.
-                    self.group.flushed_cv.notify_all();
+                    p.group.flushed_cv.notify_all();
                     return Err(DbError::Io(e));
                 }
             }
         }
     }
 
-    /// Abort: undo in memory (reverse order) and log the abort record.
+    /// Abort: undo in memory (reverse order) and log the abort record to
+    /// every touched stream.
     ///
-    /// The working lock is taken *before* the transaction leaves the
-    /// `active` set: a checkpoint serializes its capture on the same lock,
-    /// so it can never see the transaction as finished while its effects
-    /// are still un-rolled-back in the store.
+    /// The touched partitions' working locks are taken *before* the
+    /// transaction leaves the `active` set: a checkpoint serializes its
+    /// capture on the same locks (and refuses while the transaction is
+    /// still in `active`), so it can never see the transaction as finished
+    /// while its effects are still un-rolled-back in the store.
     pub fn abort(&self, txn: TxnId) -> Result<(), DbError> {
-        let mut store = self.working.lock();
-        let undo = self
-            .active
-            .lock()
-            .remove(&txn)
-            .ok_or(DbError::NoSuchTxn(txn))?;
-        for op in undo.into_iter().rev() {
-            match op {
-                UndoOp::RemoveRow { table, row_id } => {
-                    store.table_mut(&table)?.delete(row_id)?;
-                }
-                UndoOp::ReinsertRow { table, row_id, row } => {
-                    store.table_mut(&table)?.insert_with_id(row_id, row)?;
-                }
-                UndoOp::RestoreRow { table, row_id, row } => {
-                    store.table_mut(&table)?.update(row_id, row)?;
-                }
-                UndoOp::DropCreatedTable { name } => {
-                    store.drop_table(&name)?;
-                }
-                UndoOp::RestoreDroppedTable { data } => {
-                    store.install_table(data);
-                }
-                UndoOp::DropCreatedProc { name } => {
-                    store.drop_proc(&name)?;
-                }
-                UndoOp::RestoreDroppedProc { name, sql } => {
-                    store.create_proc(&name, &sql)?;
+        // Snapshot the undo list and participant set, leaving the entry in
+        // `active` so the checkpoint quiescence check keeps failing until
+        // the rollback is complete.
+        let (undo, touched) = {
+            let mut active = self.active.lock();
+            let state = active.get_mut(&txn).ok_or(DbError::NoSuchTxn(txn))?;
+            (std::mem::take(&mut state.undo), state.touched.clone())
+        };
+        // Lock every touched shard in ascending order (the global lock
+        // order), then roll back: each op routes to its table's shard.
+        let mut guards: BTreeMap<usize, MutexGuard<'_, Store>> = touched
+            .iter()
+            .map(|&k| (k, self.parts[k].working.lock()))
+            .collect();
+        let result = (|| -> Result<(), DbError> {
+            for op in undo.into_iter().rev() {
+                match op {
+                    UndoOp::RemoveRow { table, row_id } => {
+                        let store = guards.get_mut(&self.part_of(&table)).expect("touched");
+                        store.table_mut(&table)?.delete(row_id)?;
+                    }
+                    UndoOp::ReinsertRow { table, row_id, row } => {
+                        let store = guards.get_mut(&self.part_of(&table)).expect("touched");
+                        store.table_mut(&table)?.insert_with_id(row_id, row)?;
+                    }
+                    UndoOp::RestoreRow { table, row_id, row } => {
+                        let store = guards.get_mut(&self.part_of(&table)).expect("touched");
+                        store.table_mut(&table)?.update(row_id, row)?;
+                    }
+                    UndoOp::DropCreatedTable { name } => {
+                        let store = guards.get_mut(&self.part_of(&name)).expect("touched");
+                        store.drop_table(&name)?;
+                    }
+                    UndoOp::RestoreDroppedTable { data } => {
+                        let store = guards
+                            .get_mut(&self.part_of(&data.def.name))
+                            .expect("touched");
+                        store.install_table(data);
+                    }
+                    UndoOp::DropCreatedProc { name } => {
+                        let store = guards.get_mut(&self.part_of(&name)).expect("touched");
+                        store.drop_proc(&name)?;
+                    }
+                    UndoOp::RestoreDroppedProc { name, sql } => {
+                        let store = guards.get_mut(&self.part_of(&name)).expect("touched");
+                        store.create_proc(&name, &sql)?;
+                    }
                 }
             }
+            // Aborted ids count as finished too: the mark also seeds
+            // `next_txn` after a post-checkpoint recovery, and ids must stay
+            // monotone even when the highest allocated one never committed.
+            let targets: Vec<usize> = if touched.is_empty() {
+                vec![self.home_of(txn)]
+            } else {
+                touched.iter().copied().collect()
+            };
+            for k in targets {
+                self.log_to(k, &LogRecord::Abort { txn })?;
+                self.parts[k]
+                    .last_finished
+                    .fetch_max(txn, Ordering::Relaxed);
+            }
+            Ok(())
+        })();
+        // Leave `active` only now, with the shard locks still held (or the
+        // rollback incomplete and the error propagating — either way the
+        // transaction is finished).
+        self.active.lock().remove(&txn);
+        if result.is_ok() {
+            for (&k, store) in &guards {
+                self.publish(k, store);
+            }
         }
-        self.log(&LogRecord::Abort { txn })?;
-        // Aborted ids count as finished too: the mark also seeds `next_txn`
-        // after a post-checkpoint recovery, and ids must stay monotone even
-        // when the highest allocated one never committed.
-        self.last_finished.fetch_max(txn, Ordering::Relaxed);
-        self.publish(&store);
-        Ok(())
+        result
     }
 
     /// Is `txn` currently active?
@@ -614,36 +913,44 @@ impl Durable {
         }
     }
 
-    /// Record an undo entry for `txn` (which the caller verified is active;
-    /// tolerate a concurrent removal by dropping the entry — the txn is gone
-    /// and its undo list with it).
-    fn push_undo(&self, txn: TxnId, op: UndoOp) {
-        if let Some(list) = self.active.lock().get_mut(&txn) {
-            list.push(op);
+    /// Record an undo entry for `txn` and mark partition `k` as touched —
+    /// the commit record's participant set (the caller verified the txn is
+    /// active; tolerate a concurrent removal by dropping the entry — the
+    /// txn is gone and its undo list with it).
+    fn push_undo(&self, txn: TxnId, k: usize, op: UndoOp) {
+        if let Some(state) = self.active.lock().get_mut(&txn) {
+            state.undo.push(op);
+            state.touched.insert(k);
         }
     }
 
-    // -- mutations (log first, then apply; the working-store mutex makes the
-    //    pair atomic with respect to other sessions, and every successful
-    //    mutation publishes a fresh snapshot before releasing it) ------------
+    // -- mutations (log first, then apply; the owning partition's
+    //    working-store mutex makes the pair atomic with respect to other
+    //    sessions, and every successful mutation publishes that partition's
+    //    fresh epoch before releasing it) ----------------------------------
 
     /// Insert a row (logged, undoable), returning its stable id.
     pub fn insert(&self, txn: TxnId, table: &str, row: Row) -> Result<RowId, DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
         // Determine the id the insert *will* get so the log matches the apply.
         let row_id = store.table(table)?.next_row_id;
-        self.log(&LogRecord::Insert {
-            txn,
-            table: table.to_string(),
-            row_id,
-            row: row.clone(),
-        })?;
+        self.log_to(
+            k,
+            &LogRecord::Insert {
+                txn,
+                table: table.to_string(),
+                row_id,
+                row: row.clone(),
+            },
+        )?;
         let assigned = store.table_mut(table)?.insert(row)?;
         debug_assert_eq!(assigned, row_id);
-        self.publish(&store);
+        self.publish(k, &store);
         self.push_undo(
             txn,
+            k,
             UndoOp::RemoveRow {
                 table: table.to_string(),
                 row_id,
@@ -670,7 +977,8 @@ impl Durable {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let mut store = self.working.lock();
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
         let mut assigned = Vec::with_capacity(rows.len());
         let mut pending = std::collections::VecDeque::new();
         pending.push_back(rows);
@@ -690,7 +998,9 @@ impl Durable {
                 else {
                     unreachable!()
                 };
-                if encoded.len() > MAX_FRAME as usize && chunk.len() > 1 {
+                // The 8-byte GSN prefix rides in the same frame, so the
+                // split threshold accounts for it.
+                if encoded.len() > MAX_FRAME as usize - 8 && chunk.len() > 1 {
                     // Halve until each piece fits; ids stay consecutive
                     // because the front piece is re-popped and logged first.
                     let tail = chunk.split_off(chunk.len() / 2);
@@ -700,7 +1010,7 @@ impl Durable {
                 }
                 // A lone row too big for a frame reaches the append, which
                 // refuses it with `InvalidInput` before anything is applied.
-                self.log_bytes(&encoded)?;
+                self.append_locked(&mut self.parts[k].wal.lock(), &encoded)?;
                 let t = store.table_mut(table)?;
                 for row in chunk.drain(..) {
                     assigned.push(t.insert(row)?);
@@ -713,12 +1023,15 @@ impl Durable {
         // on the failure path — matching the per-row insert loop this
         // replaces.
         if !assigned.is_empty() {
-            self.publish(&store);
-            if let Some(list) = self.active.lock().get_mut(&txn) {
-                list.extend(assigned.iter().map(|&row_id| UndoOp::RemoveRow {
-                    table: table.to_string(),
-                    row_id,
-                }));
+            self.publish(k, &store);
+            if let Some(state) = self.active.lock().get_mut(&txn) {
+                state.touched.insert(k);
+                state
+                    .undo
+                    .extend(assigned.iter().map(|&row_id| UndoOp::RemoveRow {
+                        table: table.to_string(),
+                        row_id,
+                    }));
             }
         }
         result.map(|()| assigned)
@@ -727,16 +1040,21 @@ impl Durable {
     /// Delete a row by id (logged, undoable), returning its image.
     pub fn delete(&self, txn: TxnId, table: &str, row_id: RowId) -> Result<Row, DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::Delete {
-            txn,
-            table: table.to_string(),
-            row_id,
-        })?;
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::Delete {
+                txn,
+                table: table.to_string(),
+                row_id,
+            },
+        )?;
         let row = store.table_mut(table)?.delete(row_id)?;
-        self.publish(&store);
+        self.publish(k, &store);
         self.push_undo(
             txn,
+            k,
             UndoOp::ReinsertRow {
                 table: table.to_string(),
                 row_id,
@@ -749,17 +1067,22 @@ impl Durable {
     /// Replace a row in place (logged, undoable), returning the old image.
     pub fn update(&self, txn: TxnId, table: &str, row_id: RowId, row: Row) -> Result<Row, DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::Update {
-            txn,
-            table: table.to_string(),
-            row_id,
-            row: row.clone(),
-        })?;
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::Update {
+                txn,
+                table: table.to_string(),
+                row_id,
+                row: row.clone(),
+            },
+        )?;
         let old = store.table_mut(table)?.update(row_id, row)?;
-        self.publish(&store);
+        self.publish(k, &store);
         self.push_undo(
             txn,
+            k,
             UndoOp::RestoreRow {
                 table: table.to_string(),
                 row_id,
@@ -772,45 +1095,58 @@ impl Durable {
     /// Create a table (logged, undoable).
     pub fn create_table(&self, txn: TxnId, def: TableDef) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::CreateTable {
-            txn,
-            def: def.clone(),
-        })?;
+        let k = self.part_of(&def.name);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::CreateTable {
+                txn,
+                def: def.clone(),
+            },
+        )?;
         let name = def.name.clone();
         store.create_table(def)?;
-        self.publish(&store);
-        self.push_undo(txn, UndoOp::DropCreatedTable { name });
+        self.publish(k, &store);
+        self.push_undo(txn, k, UndoOp::DropCreatedTable { name });
         Ok(())
     }
 
     /// Drop a table (logged; abort restores it with its rows).
     pub fn drop_table(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::DropTable {
-            txn,
-            name: name.to_string(),
-        })?;
+        let k = self.part_of(name);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::DropTable {
+                txn,
+                name: name.to_string(),
+            },
+        )?;
         let data = store.drop_table(name)?;
-        self.publish(&store);
-        self.push_undo(txn, UndoOp::RestoreDroppedTable { data });
+        self.publish(k, &store);
+        self.push_undo(txn, k, UndoOp::RestoreDroppedTable { data });
         Ok(())
     }
 
     /// Register a stored procedure (logged, undoable).
     pub fn create_proc(&self, txn: TxnId, name: &str, sql: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::CreateProc {
-            txn,
-            name: name.to_string(),
-            sql: sql.to_string(),
-        })?;
+        let k = self.part_of(name);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::CreateProc {
+                txn,
+                name: name.to_string(),
+                sql: sql.to_string(),
+            },
+        )?;
         store.create_proc(name, sql)?;
-        self.publish(&store);
+        self.publish(k, &store);
         self.push_undo(
             txn,
+            k,
             UndoOp::DropCreatedProc {
                 name: name.to_string(),
             },
@@ -821,15 +1157,20 @@ impl Durable {
     /// Drop a stored procedure (logged; abort restores it).
     pub fn drop_proc(&self, txn: TxnId, name: &str) -> Result<(), DbError> {
         self.check_active(txn)?;
-        let mut store = self.working.lock();
-        self.log(&LogRecord::DropProc {
-            txn,
-            name: name.to_string(),
-        })?;
+        let k = self.part_of(name);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::DropProc {
+                txn,
+                name: name.to_string(),
+            },
+        )?;
         let sql = store.drop_proc(name)?;
-        self.publish(&store);
+        self.publish(k, &store);
         self.push_undo(
             txn,
+            k,
             UndoOp::RestoreDroppedProc {
                 name: name.to_string(),
                 sql,
@@ -853,8 +1194,8 @@ impl Durable {
     /// published image.
     pub fn checkpoint(&self) -> Result<(), DbError> {
         let cp = self.checkpoint_state.lock();
-        let store = self.working.lock();
-        self.run_checkpoint(cp, store)
+        let guards: Vec<_> = self.parts.iter().map(|p| p.working.lock()).collect();
+        self.run_checkpoint(cp, guards)
     }
 
     /// Non-blocking [`Self::checkpoint`]: returns `Ok(false)` without doing
@@ -869,16 +1210,20 @@ impl Durable {
         let Some(cp) = self.checkpoint_state.try_lock() else {
             return Ok(false);
         };
-        match self.working.try_lock() {
-            Some(store) => self.run_checkpoint(cp, store).map(|()| true),
-            None => Ok(false),
+        let mut guards = Vec::with_capacity(self.parts.len());
+        for p in &self.parts {
+            match p.working.try_lock() {
+                Some(g) => guards.push(g),
+                None => return Ok(false),
+            }
         }
+        self.run_checkpoint(cp, guards).map(|()| true)
     }
 
     fn run_checkpoint(
         &self,
         mut cp: MutexGuard<'_, CheckpointState>,
-        store: MutexGuard<'_, Store>,
+        guards: Vec<MutexGuard<'_, Store>>,
     ) -> Result<(), DbError> {
         let start = Instant::now();
         if let Some(txn) = self.active.lock().keys().next().copied() {
@@ -887,23 +1232,39 @@ impl Durable {
         let m = storage_metrics();
         let _t = phoenix_obs::Timer::new(&m.checkpoint_us);
 
-        // ---- pause phase (writer lock held) --------------------------------
-        // A shallow image: per-table `Arc` clones only. Any later mutation
-        // copies-on-write away from these pointers, so the image is frozen.
-        let image: Store = store.clone();
-        // Mark + rotation inside one WAL critical section: `last_finished`
-        // advances under the WAL lock (commit) or the working lock (abort,
-        // which we also hold), so no transaction can finish between reading
-        // the mark and rotating the log — `txn ≤ mark` is then *exactly*
-        // "records whose effects the image materializes".
+        // ---- pause phase (all writer locks held) ---------------------------
+        // A shallow image of every shard, merged: per-table `Arc` clones
+        // only. Any later mutation copies-on-write away from these
+        // pointers, so the image is frozen.
+        let mut image = Store::new();
+        for g in &guards {
+            image.merge_from(g);
+        }
+        // Mark + rotation inside one critical section over *all* WAL locks
+        // (taken in ascending order): `last_finished` advances under a WAL
+        // lock (commit) or a working lock (abort — and we hold them all),
+        // so no transaction can finish between reading the mark and
+        // rotating the logs; with `active` empty, the max across partitions
+        // is a true global high-water mark, and `txn ≤ mark` is *exactly*
+        // "records whose effects the image materializes". No commit can be
+        // mid-flight across streams either (it would still be in `active`),
+        // so the N rotations cut every stream at the same transaction
+        // boundary.
         let mark = {
-            let mut wal = self.wal.lock();
-            let mark = self.last_finished.load(Ordering::Relaxed);
-            wal.rotate_to(&Self::wal_old_path(&self.dir))?;
+            let mut wals: Vec<_> = self.parts.iter().map(|p| p.wal.lock()).collect();
+            let mark = self
+                .parts
+                .iter()
+                .map(|p| p.last_finished.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            for (k, wal) in wals.iter_mut().enumerate() {
+                wal.rotate_to(&Self::wal_old_path(&self.dir, k))?;
+            }
             mark
         };
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
-        drop(store);
+        drop(guards);
         let pause_us = start.elapsed().as_micros() as u64;
         m.checkpoint_pause_us.record(pause_us);
 
@@ -954,10 +1315,21 @@ impl Durable {
         // image — recovery replays the rotated log with the mark filter, so
         // nothing is applied twice.
         phoenix_chaos::check_durable("checkpoint.truncate")?;
-        match std::fs::remove_file(Self::wal_old_path(&self.dir)) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
+        let remove_ok = |path: PathBuf| -> Result<(), DbError> {
+            match std::fs::remove_file(path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e.into()),
+            }
+        };
+        for k in 0..MAX_PARTITIONS {
+            remove_ok(Self::wal_old_path(&self.dir, k))?;
+            // A stream left behind by a previous, wider layout is fully
+            // materialized in this snapshot now — delete it so it is not
+            // replayed (harmlessly, but wastefully) forever.
+            if k >= self.parts.len() {
+                remove_ok(Self::wal_path(&self.dir, k))?;
+            }
         }
         let keep: HashSet<String> = base.values().map(|(f, _)| f.clone()).collect();
         snapshot::remove_orphan_segments(&self.dir, &keep)?;
@@ -986,38 +1358,63 @@ enum ReplayEpoch {
 type TableWork = (String, Arc<TableData>, Vec<LogRecord>);
 type WorkerResult = Result<Vec<(String, Arc<TableData>)>, StoreError>;
 
-/// Decode WAL frames into log records, fanning contiguous chunks out over
-/// up to `threads` scoped workers (record order is preserved — workers get
-/// adjacent slices and results are concatenated in slice order). Small
-/// logs stay sequential: the spawn cost would exceed the decode cost.
-fn decode_frames(frames: &[Vec<u8>], threads: usize) -> Result<Vec<LogRecord>, DbError> {
-    if threads <= 1 || frames.len() < 1024 {
-        return frames
-            .iter()
-            .map(|f| LogRecord::decode(f).map_err(DbError::from))
-            .collect();
+/// Decode one GSN-prefixed WAL frame: `gsn:u64 LE | LogRecord`.
+fn decode_gsn_frame(frame: &[u8]) -> Result<(u64, LogRecord), DecodeError> {
+    if frame.len() < 8 {
+        return Err(DecodeError(format!(
+            "WAL frame of {} bytes is shorter than its GSN prefix",
+            frame.len()
+        )));
     }
-    let chunk = frames.len().div_ceil(threads);
-    let decoded = std::thread::scope(|s| {
-        let handles: Vec<_> = frames
-            .chunks(chunk)
-            .map(|c| {
-                s.spawn(move || {
-                    c.iter()
-                        .map(|f| LogRecord::decode(f))
-                        .collect::<Result<Vec<_>, _>>()
+    let gsn = u64::from_le_bytes(frame[..8].try_into().expect("8-byte slice"));
+    Ok((gsn, LogRecord::decode(&frame[8..])?))
+}
+
+/// Decode the per-partition WAL streams into `(gsn, stream, record)`
+/// triples **merged by GSN** — the single total order the replay machinery
+/// consumes, bit-identical to what a single-stream run of the same workload
+/// would have logged. Decoding fans contiguous chunks out over up to
+/// `threads` scoped workers (pure CPU, usually the bulk of replay time);
+/// small logs stay sequential, the spawn cost would exceed the decode cost.
+fn decode_streams(
+    streams: &[(u32, Vec<Vec<u8>>)],
+    threads: usize,
+) -> Result<Vec<(u64, u32, LogRecord)>, DbError> {
+    let flat: Vec<(u32, &Vec<u8>)> = streams
+        .iter()
+        .flat_map(|(k, frames)| frames.iter().map(move |f| (*k, f)))
+        .collect();
+    let mut out: Vec<(u64, u32, LogRecord)> = if threads <= 1 || flat.len() < 1024 {
+        flat.iter()
+            .map(|(k, f)| decode_gsn_frame(f).map(|(gsn, rec)| (gsn, *k, rec)))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        let chunk = flat.len().div_ceil(threads);
+        let decoded = std::thread::scope(|s| {
+            let handles: Vec<_> = flat
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        c.iter()
+                            .map(|(k, f)| decode_gsn_frame(f).map(|(gsn, rec)| (gsn, *k, rec)))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("decode worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    let mut out = Vec::with_capacity(frames.len());
-    for r in decoded {
-        out.extend(r?);
-    }
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("decode worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut all = Vec::with_capacity(flat.len());
+        for r in decoded {
+            all.extend(r?);
+        }
+        all
+    };
+    // GSNs are globally unique and allocated in append order within each
+    // stream, so the sort *is* the k-way merge.
+    out.sort_unstable_by_key(|(gsn, _, _)| *gsn);
     Ok(out)
 }
 
@@ -1048,7 +1445,10 @@ fn replay_records(
         eligible += 1;
         match &rec {
             // Transaction markers carry no state.
-            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+            LogRecord::Begin { .. }
+            | LogRecord::Commit { .. }
+            | LogRecord::CommitMulti { .. }
+            | LogRecord::Abort { .. } => {}
             LogRecord::CreateTable { .. }
             | LogRecord::DropTable { .. }
             | LogRecord::CreateProc { .. }
@@ -1574,6 +1974,188 @@ mod tests {
         // under the *committed* txn t during the abort interludes.
         assert_eq!(tbl.len(), 80 + 16);
         drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn opts(partitions: usize) -> RecoveryOptions {
+        RecoveryOptions {
+            partitions: Some(partitions),
+            ..RecoveryOptions::default()
+        }
+    }
+
+    fn named_def(name: &str) -> TableDef {
+        TableDef::new(
+            name,
+            Schema::new(vec![
+                Column::new("id", DataType::Int).not_null(),
+                Column::new("v", DataType::Text),
+            ]),
+        )
+        .with_primary_key(vec![0])
+    }
+
+    /// Basic write/commit/recover with a partitioned layout: tables land in
+    /// distinct shards and streams, and recovery merges them back.
+    #[test]
+    fn partitioned_commit_and_recover() {
+        let dir = temp_dir();
+        let names = ["acct", "dbo.acct", "customer", "audit"];
+        {
+            let db = Durable::open_opts(&dir, Durability::Fsync, &opts(4)).unwrap();
+            assert_eq!(db.partitions(), 4);
+            let t = db.begin().unwrap();
+            for name in names {
+                db.create_table(t, named_def(name)).unwrap();
+                db.insert(t, name, row(1, name)).unwrap();
+            }
+            db.commit(t).unwrap();
+            // The tables hash to more than one partition, so at least one
+            // suffixed stream must exist on disk.
+            let extra: Vec<usize> = (1..4)
+                .filter(|&k| Durable::wal_path(&dir, k).exists())
+                .collect();
+            assert!(!extra.is_empty(), "expected at least one .p<k> stream");
+        }
+        let db = Durable::open_opts(&dir, Durability::Fsync, &opts(4)).unwrap();
+        let snap = db.snapshot();
+        for name in names {
+            let tbl = snap.table(name).unwrap();
+            assert_eq!(tbl.len(), 1, "{name}");
+            assert_eq!(tbl.rows[&1], row(1, name));
+        }
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A cross-partition transaction commits atomically: after crash +
+    /// recovery either both tables show its rows or neither does — here the
+    /// commit completed, so both must.
+    #[test]
+    fn cross_partition_txn_commits_atomically() {
+        let dir = temp_dir();
+        // At n=2, "acct" routes to partition 0 and "dbo.acct" to 1.
+        assert_ne!(partition_of("acct", 2), partition_of("dbo.acct", 2));
+        {
+            let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+            let t = db.begin().unwrap();
+            db.create_table(t, named_def("acct")).unwrap();
+            db.create_table(t, named_def("dbo.acct")).unwrap();
+            db.commit(t).unwrap();
+            let t = db.begin().unwrap();
+            db.insert(t, "acct", row(1, "debit")).unwrap();
+            db.insert(t, "dbo.acct", row(1, "credit")).unwrap();
+            db.commit(t).unwrap();
+            // And an uncommitted cross-partition txn that must vanish.
+            let t = db.begin().unwrap();
+            db.insert(t, "acct", row(2, "ghost")).unwrap();
+            db.insert(t, "dbo.acct", row(2, "ghost")).unwrap();
+            // Crash without commit.
+        }
+        let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.table("acct").unwrap().len(), 1);
+        assert_eq!(snap.table("dbo.acct").unwrap().len(), 1);
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A `CommitMulti` present in only *some* participant streams (the
+    /// mid-commit crash window) rolls the transaction back on recovery.
+    #[test]
+    fn partial_cross_partition_commit_rolls_back() {
+        let dir = temp_dir();
+        let (p_acct, p_other) = (partition_of("acct", 2), partition_of("dbo.acct", 2));
+        {
+            let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+            let t = db.begin().unwrap();
+            db.create_table(t, named_def("acct")).unwrap();
+            db.create_table(t, named_def("dbo.acct")).unwrap();
+            db.commit(t).unwrap();
+            let t = db.begin().unwrap();
+            db.insert(t, "acct", row(1, "half")).unwrap();
+            db.insert(t, "dbo.acct", row(1, "half")).unwrap();
+            // Forge the partial-commit window: append the CommitMulti
+            // record to only ONE participant stream, as a crash between the
+            // two appends would leave it.
+            let rec = LogRecord::CommitMulti {
+                txn: t,
+                participants: vec![p_acct as u32, p_other as u32],
+            };
+            db.append_locked(&mut db.parts[p_acct].wal.lock(), &rec.encode())
+                .unwrap();
+            db.parts[p_acct].wal.lock().sync().unwrap();
+            // Crash.
+        }
+        let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+        let snap = db.snapshot();
+        assert!(snap.table("acct").unwrap().is_empty());
+        assert!(snap.table("dbo.acct").unwrap().is_empty());
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A directory written with one partition count re-opens correctly with
+    /// another: recovery scans every possible stream, and the next
+    /// checkpoint retires the ones outside the new layout.
+    #[test]
+    fn reopen_with_different_partition_count() {
+        let dir = temp_dir();
+        let names = ["acct", "dbo.acct", "customer", "audit"];
+        {
+            let db = Durable::open_opts(&dir, Durability::Fsync, &opts(4)).unwrap();
+            let t = db.begin().unwrap();
+            for name in names {
+                db.create_table(t, named_def(name)).unwrap();
+                db.insert(t, name, row(7, name)).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        {
+            let db = Durable::open_opts(&dir, Durability::Fsync, &opts(1)).unwrap();
+            let snap = db.snapshot();
+            for name in names {
+                assert_eq!(snap.table(name).unwrap().len(), 1, "{name}");
+            }
+            drop(snap);
+            db.checkpoint().unwrap();
+            // Streams outside the single-partition layout are gone.
+            for k in 1..MAX_PARTITIONS {
+                assert!(!Durable::wal_path(&dir, k).exists(), "p{k} should be gone");
+            }
+        }
+        let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+        let snap = db.snapshot();
+        for name in names {
+            assert_eq!(snap.table(name).unwrap().len(), 1, "{name}");
+        }
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Aborting a cross-partition transaction rolls back every shard.
+    #[test]
+    fn cross_partition_abort_rolls_back_all_shards() {
+        let dir = temp_dir();
+        let db = Durable::open_opts(&dir, Durability::Fsync, &opts(2)).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, named_def("acct")).unwrap();
+        db.create_table(t, named_def("dbo.acct")).unwrap();
+        db.insert(t, "acct", row(1, "a")).unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin().unwrap();
+        db.insert(t, "acct", row(2, "x")).unwrap();
+        db.update(t, "acct", 1, row(1, "mutated")).unwrap();
+        db.insert(t, "dbo.acct", row(1, "y")).unwrap();
+        db.create_proc(t, "p", "SELECT 1").unwrap();
+        db.abort(t).unwrap();
+        let snap = db.snapshot();
+        let acct = snap.table("acct").unwrap();
+        assert_eq!(acct.len(), 1);
+        assert_eq!(acct.rows[&1], row(1, "a"));
+        assert!(snap.table("dbo.acct").unwrap().is_empty());
+        assert!(!snap.has_proc("p"));
+        drop(snap);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -45,6 +45,11 @@ pub struct StorageMetrics {
     /// Copy-on-write store snapshots published for readers
     /// (`phoenix_snapshot_publishes_total`).
     pub snapshot_publishes: Arc<Counter>,
+    /// Whole-store captures *avoided* by per-partition epoch publishing:
+    /// each mutation re-captures only its own shard, so with N partitions
+    /// every publish saves N−1 captures the pre-partitioned design paid
+    /// (`phoenix_snapshot_publishes_coalesced`).
+    pub snapshot_publishes_coalesced: Arc<Counter>,
 }
 
 /// The storage metric set, registered on first use.
@@ -89,6 +94,22 @@ pub fn storage_metrics() -> &'static StorageMetrics {
                 "phoenix_snapshot_publishes_total",
                 "copy-on-write store snapshots published",
             ),
+            snapshot_publishes_coalesced: r.counter(
+                "phoenix_snapshot_publishes_coalesced",
+                "whole-store captures avoided by per-partition epoch publishing",
+            ),
         }
     })
+}
+
+/// Per-partition group-commit batch histogram
+/// (`phoenix_group_commit_batch{partition="p<k>"}`), registered on first use
+/// per partition and cached by the caller.
+pub fn partition_batch_histogram(partition: usize) -> Arc<Histogram> {
+    let label = format!("p{partition}");
+    registry().histogram_with(
+        "phoenix_group_commit_batch",
+        "commit records covered per group-commit flush",
+        &[("partition", &label)],
+    )
 }

@@ -32,6 +32,16 @@ pub enum LogRecord {
         /// The transaction.
         txn: TxnId,
     },
+    /// Commit of a transaction that touched more than one WAL partition —
+    /// the in-process two-phase record. One copy is appended to *every*
+    /// participant stream; recovery treats the transaction as committed iff
+    /// the copy is present in each stream the participant set names.
+    CommitMulti {
+        /// The transaction.
+        txn: TxnId,
+        /// Partition indexes the transaction wrote to (sorted, distinct).
+        participants: Vec<u32>,
+    },
     /// A row inserted with the given stable id.
     Insert {
         /// Owning transaction.
@@ -121,6 +131,7 @@ const T_DROP_TABLE: u8 = 8;
 const T_CREATE_PROC: u8 = 9;
 const T_DROP_PROC: u8 = 10;
 const T_INSERT_MANY: u8 = 11;
+const T_COMMIT_MULTI: u8 = 12;
 
 impl LogRecord {
     /// The transaction this record belongs to.
@@ -128,6 +139,7 @@ impl LogRecord {
         match self {
             LogRecord::Begin { txn }
             | LogRecord::Commit { txn }
+            | LogRecord::CommitMulti { txn, .. }
             | LogRecord::Abort { txn }
             | LogRecord::Insert { txn, .. }
             | LogRecord::InsertMany { txn, .. }
@@ -155,6 +167,14 @@ impl LogRecord {
             LogRecord::Abort { txn } => {
                 buf.put_u8(T_ABORT);
                 buf.put_u64_le(*txn);
+            }
+            LogRecord::CommitMulti { txn, participants } => {
+                buf.put_u8(T_COMMIT_MULTI);
+                buf.put_u64_le(*txn);
+                buf.put_u32_le(participants.len() as u32);
+                for p in participants {
+                    buf.put_u32_le(*p);
+                }
             }
             LogRecord::Insert {
                 txn,
@@ -238,6 +258,20 @@ impl LogRecord {
             T_BEGIN => LogRecord::Begin { txn },
             T_COMMIT => LogRecord::Commit { txn },
             T_ABORT => LogRecord::Abort { txn },
+            T_COMMIT_MULTI => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated commit-multi".into()));
+                }
+                let count = buf.get_u32_le() as usize;
+                if buf.remaining() < count * 4 {
+                    return Err(DecodeError("truncated commit-multi participants".into()));
+                }
+                let mut participants = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    participants.push(buf.get_u32_le());
+                }
+                LogRecord::CommitMulti { txn, participants }
+            }
             T_INSERT => {
                 let table = codec::get_str(&mut buf)?;
                 if buf.remaining() < 8 {
@@ -333,6 +367,14 @@ mod tests {
         roundtrip(LogRecord::Begin { txn: 1 });
         roundtrip(LogRecord::Commit { txn: u64::MAX });
         roundtrip(LogRecord::Abort { txn: 7 });
+        roundtrip(LogRecord::CommitMulti {
+            txn: 11,
+            participants: vec![0, 3, 7],
+        });
+        roundtrip(LogRecord::CommitMulti {
+            txn: 12,
+            participants: Vec::new(),
+        });
         roundtrip(LogRecord::Insert {
             txn: 2,
             table: "dbo.orders".into(),

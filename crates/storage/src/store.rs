@@ -235,6 +235,32 @@ pub fn normalize_name(name: &str) -> String {
     name.to_ascii_lowercase()
 }
 
+/// Map a table/procedure name to its partition index under an `n`-way
+/// partitioned store. FNV-1a over the *normalized* name: deterministic
+/// across processes and hosts, which matters because partition routing is
+/// baked into on-disk WAL streams (commit participant sets name partition
+/// indexes, and recovery re-routes tables by re-hashing).
+pub fn partition_of(name: &str, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    // Phoenix-internal bookkeeping (`phoenix.status`, materialized result
+    // sets, keyset tables) embeds a process-unique session tag in the name.
+    // Pin the whole namespace to partition 0 so commit routing — and with
+    // it the WAL fault-point trace — is a pure function of the workload,
+    // never of session-tag entropy.
+    if name.len() >= 8 && name.as_bytes()[..8].eq_ignore_ascii_case(b"phoenix.") {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        let b = b.to_ascii_lowercase();
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n as u64) as usize
+}
+
 impl Store {
     /// An empty store.
     pub fn new() -> Store {
@@ -359,6 +385,35 @@ impl Store {
         self.procs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
+    /// Absorb every table and procedure of `other` by shallow `Arc` clone —
+    /// the stitch step a partitioned checkpoint uses to build one global
+    /// image out of disjoint shards. Keys never collide because each table
+    /// lives in exactly one partition.
+    pub(crate) fn merge_from(&mut self, other: &Store) {
+        for (key, arc) in &other.tables {
+            self.tables.insert(key.clone(), Arc::clone(arc));
+        }
+        for (key, sql) in &other.procs {
+            self.procs.insert(key.clone(), sql.clone());
+        }
+    }
+
+    /// Split this store into `n` disjoint shards by [`partition_of`] on the
+    /// normalized name — the inverse of [`Store::merge_from`], used once at
+    /// the end of recovery to seed the per-partition working stores.
+    pub(crate) fn into_parts(self, n: usize) -> Vec<Store> {
+        let mut parts: Vec<Store> = (0..n.max(1)).map(|_| Store::new()).collect();
+        for (key, arc) in self.tables {
+            let k = partition_of(&key, n);
+            parts[k].tables.insert(key, arc);
+        }
+        for (key, sql) in self.procs {
+            let k = partition_of(&key, n);
+            parts[k].procs.insert(key, sql);
+        }
+        parts
+    }
+
     /// Apply one committed log record during recovery.
     ///
     /// Recovery applies records in log order, so every operation is valid
@@ -367,7 +422,10 @@ impl Store {
     /// surfacing loudly.
     pub fn apply(&mut self, rec: &LogRecord) -> Result<(), StoreError> {
         match rec {
-            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => Ok(()),
+            LogRecord::Begin { .. }
+            | LogRecord::Commit { .. }
+            | LogRecord::CommitMulti { .. }
+            | LogRecord::Abort { .. } => Ok(()),
             LogRecord::Insert { table, .. }
             | LogRecord::InsertMany { table, .. }
             | LogRecord::Delete { table, .. }
@@ -380,31 +438,92 @@ impl Store {
     }
 }
 
-/// An immutable image of the whole store, published atomically by the
-/// durability layer after every mutation.
+/// An immutable image of the whole store, stitched from one published epoch
+/// per write partition.
 ///
-/// Readers obtain one by cloning an `Arc<StoreSnapshot>` — O(1), no matter
-/// how large the database is — and then execute whole queries, scans and
-/// cursor fetches against it with **no lock held**. Writers never wait for
-/// readers and readers never wait for writers; a snapshot simply keeps
-/// showing the state as of its publication. `Deref` lets a snapshot be used
-/// anywhere a `&Store` is expected.
-#[derive(Debug, Clone, Default)]
-pub struct StoreSnapshot(Store);
+/// Readers obtain one from the durability layer — O(partitions) `Arc`
+/// clones, no matter how large the database is — and then execute whole
+/// queries, scans and cursor fetches against it with **no lock held**.
+/// Writers never wait for readers and readers never wait for writers; a
+/// snapshot simply keeps showing each partition's state as of its epoch.
+/// Name lookups route to the owning shard with the same [`partition_of`]
+/// hash the write path uses.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    parts: Vec<Arc<Store>>,
+}
 
-impl StoreSnapshot {
-    /// Capture the current state of `store`. Shallow: the per-table `Arc`s
-    /// are cloned, all row data is shared until a later writer touches it.
-    pub fn capture(store: &Store) -> StoreSnapshot {
-        StoreSnapshot(store.clone())
+impl Default for StoreSnapshot {
+    fn default() -> StoreSnapshot {
+        StoreSnapshot {
+            parts: vec![Arc::new(Store::new())],
+        }
     }
 }
 
-impl std::ops::Deref for StoreSnapshot {
-    type Target = Store;
+impl StoreSnapshot {
+    /// Capture the current state of `store` as a single-partition snapshot.
+    /// Shallow: the per-table `Arc`s are cloned, all row data is shared
+    /// until a later writer touches it.
+    pub fn capture(store: &Store) -> StoreSnapshot {
+        StoreSnapshot {
+            parts: vec![Arc::new(store.clone())],
+        }
+    }
 
-    fn deref(&self) -> &Store {
-        &self.0
+    /// Stitch per-partition published epochs into one snapshot. The slot
+    /// order must match the write path's [`partition_of`] routing.
+    pub(crate) fn from_parts(parts: Vec<Arc<Store>>) -> StoreSnapshot {
+        debug_assert!(!parts.is_empty());
+        StoreSnapshot { parts }
+    }
+
+    /// The shard that owns `name` under this snapshot's partition count.
+    fn shard(&self, name: &str) -> &Store {
+        &self.parts[partition_of(name, self.parts.len())]
+    }
+
+    /// Look a table up by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Result<&TableData, StoreError> {
+        self.shard(name).table(name)
+    }
+
+    /// The shared `Arc` behind a table, by (case-insensitive) name.
+    pub fn table_arc(&self, name: &str) -> Option<Arc<TableData>> {
+        self.shard(name).table_arc(name)
+    }
+
+    /// Does a table with this name exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.shard(name).has_table(name)
+    }
+
+    /// Names of all tables across every shard, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .parts
+            .iter()
+            .flat_map(|p| p.tables().map(|t| t.def.name.clone()))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Look a procedure's SQL text up by name.
+    pub fn proc(&self, name: &str) -> Option<&str> {
+        self.shard(name).proc(name)
+    }
+
+    /// Does a procedure with this name exist?
+    pub fn has_proc(&self, name: &str) -> bool {
+        self.shard(name).has_proc(name)
+    }
+
+    /// Names of all procedures across every shard, sorted.
+    pub fn proc_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.parts.iter().flat_map(|p| p.proc_names()).collect();
+        names.sort();
+        names
     }
 }
 
@@ -586,6 +705,63 @@ mod tests {
         assert_eq!(s.table("dbo.a").unwrap().len(), 2);
         assert_eq!(snap.table("dbo.a").unwrap().len(), 1);
         assert!(snap.has_table("dbo.b"));
+    }
+
+    /// Partition routing is a pure function of the normalized name — pinned
+    /// values guard against accidental hash changes, which would strand
+    /// tables in the wrong WAL stream across an upgrade.
+    #[test]
+    fn partition_routing_is_deterministic_and_case_insensitive() {
+        assert_eq!(partition_of("anything", 1), 0);
+        for n in [2usize, 4, 8] {
+            assert_eq!(partition_of("dbo.Acct", n), partition_of("DBO.ACCT", n));
+            assert!(partition_of("dbo.acct", n) < n);
+        }
+        // FNV-1a pinned values (n = 2).
+        assert_eq!(partition_of("dbo.acct", 2), 1);
+        assert_eq!(partition_of("acct", 2), 0);
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip() {
+        let mut s = Store::new();
+        for name in ["dbo.a", "dbo.b", "dbo.c", "dbo.d"] {
+            s.create_table(keyed_def(name)).unwrap();
+        }
+        s.create_proc("p1", "SELECT 1").unwrap();
+        s.create_proc("p2", "SELECT 2").unwrap();
+        let parts = s.clone().into_parts(4);
+        assert_eq!(parts.len(), 4);
+        let mut merged = Store::new();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.table_names(), s.table_names());
+        assert_eq!(merged.proc_names(), s.proc_names());
+        // Every table landed in the shard its name hashes to.
+        for (k, p) in parts.iter().enumerate() {
+            for t in p.tables() {
+                assert_eq!(partition_of(&t.def.name, 4), k);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_part_snapshot_routes_lookups() {
+        let mut s = Store::new();
+        for name in ["dbo.a", "dbo.b", "dbo.c", "dbo.d"] {
+            s.create_table(keyed_def(name)).unwrap();
+        }
+        s.create_proc("phoenix.p", "SELECT 1").unwrap();
+        let parts: Vec<Arc<Store>> = s.clone().into_parts(4).into_iter().map(Arc::new).collect();
+        let snap = StoreSnapshot::from_parts(parts);
+        for name in ["dbo.a", "dbo.b", "dbo.c", "dbo.d"] {
+            assert!(snap.has_table(name), "{name} must resolve through routing");
+            assert!(snap.table(name).is_ok());
+        }
+        assert_eq!(snap.proc("PHOENIX.P"), Some("SELECT 1"));
+        assert!(!snap.has_table("dbo.nope"));
+        assert_eq!(snap.table_names().len(), 4);
     }
 
     #[test]

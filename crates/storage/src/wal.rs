@@ -25,10 +25,40 @@ use crate::metrics::storage_metrics;
 /// in memory but vanish as a "corrupt tail" on the next recovery.
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
+/// Chaos fault-point names for one log stream. Each WAL partition carries
+/// its own set so a crash-schedule can target (say) `wal.append.p1` without
+/// touching partition 0 — the per-partition windows `chaos-explore`
+/// enumerates for partial cross-partition commits.
+#[derive(Debug, Clone, Copy)]
+pub struct WalPoints {
+    /// Fault point hit inside [`Wal::append`].
+    pub append: &'static str,
+    /// Fault point hit inside [`Wal::sync`].
+    pub fsync: &'static str,
+    /// Fault point hit inside [`Wal::truncate`].
+    pub truncate: &'static str,
+    /// Fault point hit inside [`Wal::rotate_to`].
+    pub rotate: &'static str,
+}
+
+impl Default for WalPoints {
+    /// The legacy (single-stream / partition-0) names.
+    fn default() -> WalPoints {
+        WalPoints {
+            append: "wal.append",
+            fsync: "wal.fsync",
+            truncate: "wal.truncate",
+            rotate: "wal.rotate",
+        }
+    }
+}
+
 /// An open write-ahead log.
 pub struct Wal {
     file: File,
     path: PathBuf,
+    /// Chaos fault-point names this stream fires.
+    points: WalPoints,
     /// Bytes appended since the last sync, used by tests and stats.
     unsynced: usize,
     /// Number of `sync_data` calls issued over the log's lifetime — the
@@ -38,7 +68,8 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Open (creating if necessary) the log at `path` for appending.
+    /// Open (creating if necessary) the log at `path` for appending, with
+    /// the default (partition-0) fault-point names.
     ///
     /// Any torn or corrupt tail left by a crash mid-append is **truncated
     /// away** before the log accepts its first new frame. The reader already
@@ -47,6 +78,12 @@ impl Wal {
     /// would silently discard it — committed work lost on the following
     /// recovery.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Wal> {
+        Self::open_with_points(path, WalPoints::default())
+    }
+
+    /// [`Wal::open`] with explicit chaos fault-point names (per-partition
+    /// streams use suffixed names like `wal.append.p1`).
+    pub fn open_with_points(path: impl AsRef<Path>, points: WalPoints) -> io::Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .create(true)
@@ -62,6 +99,7 @@ impl Wal {
         Ok(Wal {
             file,
             path,
+            points,
             unsynced: 0,
             sync_calls: 0,
         })
@@ -90,7 +128,7 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        match phoenix_chaos::durable_fault("wal.append") {
+        match phoenix_chaos::durable_fault(self.points.append) {
             phoenix_chaos::FaultAction::Continue => {}
             phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
             phoenix_chaos::FaultAction::Torn(n) => {
@@ -99,10 +137,10 @@ impl Wal {
                 let n = n.min(frame.len() - 1);
                 self.file.write_all(&frame[..n])?;
                 let _ = self.file.sync_data();
-                return Err(phoenix_chaos::injected_error("wal.append"));
+                return Err(phoenix_chaos::injected_error(self.points.append));
             }
             phoenix_chaos::FaultAction::Crash | phoenix_chaos::FaultAction::IoError => {
-                return Err(phoenix_chaos::injected_error("wal.append"));
+                return Err(phoenix_chaos::injected_error(self.points.append));
             }
         }
         self.file.write_all(&frame)?;
@@ -113,7 +151,7 @@ impl Wal {
 
     /// Force all appended frames to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
-        phoenix_chaos::check_durable("wal.fsync")?;
+        phoenix_chaos::check_durable(self.points.fsync)?;
         let m = storage_metrics();
         let _t = phoenix_obs::Timer::new(&m.wal_fsync_us);
         self.file.sync_data()?;
@@ -130,7 +168,7 @@ impl Wal {
 
     /// Truncate the log to zero length (after a successful checkpoint).
     pub fn truncate(&mut self) -> io::Result<()> {
-        phoenix_chaos::check_durable("wal.truncate")?;
+        phoenix_chaos::check_durable(self.points.truncate)?;
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::End(0))?;
         self.file.sync_data()?;
@@ -148,7 +186,7 @@ impl Wal {
     /// before completing — the live frames are *merged* onto the healed tail
     /// of the old file instead, so no generation of records is ever dropped.
     pub fn rotate_to(&mut self, old_path: &Path) -> io::Result<()> {
-        phoenix_chaos::check_durable("wal.rotate")?;
+        phoenix_chaos::check_durable(self.points.rotate)?;
         // Only full, valid frames may move: a torn tail (possible only via
         // injected faults, which kill the process, but cheap to respect)
         // stays behind to be discarded.
