@@ -1,0 +1,529 @@
+//! Session-storm runner: the sessiond headline workload. Ramp up thousands
+//! of *virtual* sessions against the sharded reactor front-end (login +
+//! session context + a seed row each), churn tagged DML batches across all
+//! of them, force a mid-storm sessiond spill pass, crash the server in the
+//! middle of the churn, and let the whole herd recover — every session
+//! reconnects, probes its last tags against the durable storm table, and
+//! resubmits exactly the work that never committed.
+//!
+//! Process topology: the bench process hosts the server (so the reactor
+//! owns one fd per session) and forks the client herd into
+//! `CLIENT_PROCS` child processes of itself (`--worker-child`), each
+//! owning one fd per session it drives. A single process would need two
+//! fds per session and 10 000 sessions would blow through common
+//! `RLIMIT_NOFILE` hard caps; split this way each side stays well under.
+//! Children stream `OPS <n>` progress lines over stdout so the parent can
+//! place the spill pass and the crash by global op count, and end with a
+//! `DONE key=value...` stats line.
+//!
+//! Emits `BENCH_session_storm.json`:
+//!
+//! ```text
+//! cargo run --release -p phoenix-bench --bin session_storm -- --quick
+//! cargo run --release -p phoenix-bench --bin session_storm -- \
+//!     --out BENCH_session_storm.json
+//! ```
+//!
+//! `--quick` storms 1 000 sessions (the CI gate); the default storms
+//! 10 000. `--check` additionally asserts the exactly-once invariants:
+//! the storm table holds exactly `sessions * rounds * batch` rows (the
+//! primary key makes any double-apply a duplicate), the roster holds every
+//! session's seed row, and every session went through herd recovery.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phoenix_driver::{Connection, Environment};
+use phoenix_engine::EngineConfig;
+use phoenix_sessiond::{IoModel, LifecycleConfig, ServerConfig, SessiondHarness};
+use phoenix_storage::types::Value;
+
+/// Tagged statements per churn batch (each tag is one idempotently
+/// probeable row).
+const BATCH: u64 = 2;
+/// Churn rounds per session; the crash lands mid-schedule, so every
+/// session has at least one round left to drive its recovery.
+const ROUNDS: u64 = 3;
+/// Client worker threads, total across all client processes.
+const WORKERS: usize = 16;
+/// Client herd processes the storm forks (`--worker-child` re-execs of
+/// this binary); each holds `sessions / CLIENT_PROCS` sockets.
+const CLIENT_PROCS: usize = 4;
+
+fn key(s: u64, round: u64, b: u64) -> u64 {
+    s * 100 + round * BATCH + b
+}
+
+fn temp_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("phoenix-session-storm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn env() -> Environment {
+    Environment::new().with_read_timeout(Some(Duration::from_secs(60)))
+}
+
+fn connect_retry(addr: &str, deadline: Instant) -> Connection {
+    loop {
+        match env().connect(addr, "storm", "bench") {
+            Ok(conn) => return conn,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "reconnect never succeeded: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    resubmitted: u64,
+    replayed: u64,
+    recovered_sessions: u64,
+    comm_errors: u64,
+}
+
+/// Reconnect session `s` and settle `round`: probe each tag, resubmit the
+/// ones that never committed. Returns the fresh connection; counters are
+/// committed only for the pass that fully succeeds.
+fn recover_session(addr: &str, s: u64, round: u64, stats: &mut WorkerStats) -> Connection {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    'pass: loop {
+        let mut conn = connect_retry(addr, deadline);
+        let mut resubmitted = 0u64;
+        let mut replayed = 0u64;
+        for b in 0..BATCH {
+            let k = key(s, round, b);
+            let applied = match conn.execute(&format!("SELECT COUNT(*) FROM storm WHERE k = {k}")) {
+                Ok(r) => r.rows()[0][0] == Value::Int(1),
+                Err(_) => {
+                    stats.comm_errors += 1;
+                    continue 'pass;
+                }
+            };
+            if applied {
+                replayed += 1;
+            } else {
+                let ins = format!("INSERT INTO storm VALUES ({k}, {s}, {})", round * BATCH + b);
+                if conn.execute(&ins).is_err() {
+                    stats.comm_errors += 1;
+                    continue 'pass;
+                }
+                resubmitted += 1;
+            }
+        }
+        stats.resubmitted += resubmitted;
+        stats.replayed += replayed;
+        stats.recovered_sessions += 1;
+        return conn;
+    }
+}
+
+struct WorkerReport {
+    stats: WorkerStats,
+    ramp_done: Instant,
+    churn_done: Instant,
+}
+
+fn worker(id: usize, addr: String, sessions: Vec<u64>, ops: Arc<AtomicU64>) -> WorkerReport {
+    let mut stats = WorkerStats::default();
+    // Ramp: login + session context + seed row per virtual session.
+    let ramp_deadline = Instant::now() + Duration::from_secs(300);
+    let mut conns: Vec<(u64, Connection)> = sessions
+        .iter()
+        .map(|&s| {
+            // Retry: at full scale a burst of 16 workers ramping at once
+            // can transiently outrun the accept loop.
+            let mut conn = connect_retry(&addr, ramp_deadline);
+            conn.execute(&format!("SET app_name 'w{id}_s{s}'"))
+                .expect("ramp SET");
+            conn.execute(&format!("INSERT INTO roster VALUES ({s})"))
+                .expect("ramp seed");
+            (s, conn)
+        })
+        .collect();
+    let ramp_done = Instant::now();
+
+    // Churn: every round sends one tagged batch per session. Any error is
+    // the crash (or a connection severed by it): recover that session —
+    // reconnect, probe this round's tags, resubmit the missing ones — and
+    // move on with the fresh connection.
+    for round in 0..ROUNDS {
+        for (s, conn) in conns.iter_mut() {
+            let stmts: Vec<String> = (0..BATCH)
+                .map(|b| {
+                    format!(
+                        "INSERT INTO storm VALUES ({}, {s}, {})",
+                        key(*s, round, b),
+                        round * BATCH + b
+                    )
+                })
+                .collect();
+            let ok = match conn.execute_batch(&stmts) {
+                Ok(items) => {
+                    items.len() == stmts.len()
+                        && items
+                            .iter()
+                            .all(|i| matches!(i, phoenix_wire::message::BatchItem::Ok { .. }))
+                }
+                Err(_) => false,
+            };
+            if !ok {
+                stats.comm_errors += 1;
+                *conn = recover_session(&addr, *s, round, &mut stats);
+            }
+            ops.fetch_add(BATCH, Ordering::Relaxed);
+        }
+    }
+    let churn_done = Instant::now();
+    for (_, conn) in conns {
+        conn.close();
+    }
+    WorkerReport {
+        stats,
+        ramp_done,
+        churn_done,
+    }
+}
+
+/// Client herd child: drive sessions `[lo, hi)` against `addr` with
+/// `threads` worker threads, streaming `OPS <n>` progress to stdout and a
+/// final `DONE key=value...` stats line. Re-exec'd by the parent so the
+/// herd's client sockets live under this process's own fd limit.
+fn worker_child(addr: String, lo: u64, hi: u64, threads: usize, base_id: usize) {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = phoenix_sessiond::sys::raise_nofile(hi - lo + 256);
+    }
+    let t0 = Instant::now();
+    let ops = Arc::new(AtomicU64::new(0));
+    let finished = Arc::new(AtomicBool::new(false));
+
+    let monitor = {
+        let ops = Arc::clone(&ops);
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || {
+            while !finished.load(Ordering::Relaxed) {
+                // Rust's stdout is line-buffered even into a pipe, so each
+                // println reaches the parent's reader promptly.
+                println!("OPS {}", ops.load(Ordering::Relaxed));
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mine: Vec<u64> = (lo..hi).filter(|s| (*s as usize) % threads == t).collect();
+            let addr = addr.clone();
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || worker(base_id + t, addr, mine, ops))
+        })
+        .collect();
+    let reports: Vec<WorkerReport> = handles
+        .into_iter()
+        .map(|t| t.join().expect("worker panicked"))
+        .collect();
+    finished.store(true, Ordering::Relaxed);
+    monitor.join().unwrap();
+
+    let ramp_ms = reports
+        .iter()
+        .map(|r| (r.ramp_done - t0).as_millis() as u64)
+        .max()
+        .unwrap_or(0);
+    let churn_ms = reports
+        .iter()
+        .map(|r| (r.churn_done - t0).as_millis() as u64)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(ramp_ms);
+    let resubmitted: u64 = reports.iter().map(|r| r.stats.resubmitted).sum();
+    let replayed: u64 = reports.iter().map(|r| r.stats.replayed).sum();
+    let recovered: u64 = reports.iter().map(|r| r.stats.recovered_sessions).sum();
+    let comm: u64 = reports.iter().map(|r| r.stats.comm_errors).sum();
+    println!("OPS {}", ops.load(Ordering::Relaxed));
+    println!(
+        "DONE ramp_ms={ramp_ms} churn_ms={churn_ms} resubmitted={resubmitted} \
+         replayed={replayed} recovered={recovered} comm={comm}"
+    );
+}
+
+/// Stats a client herd child reports on its `DONE` line.
+#[derive(Default)]
+struct ChildDone {
+    ramp_ms: u64,
+    churn_ms: u64,
+    resubmitted: u64,
+    replayed: u64,
+    recovered: u64,
+    comm: u64,
+}
+
+fn parse_done(rest: &str) -> ChildDone {
+    let mut d = ChildDone::default();
+    for kv in rest.split_whitespace() {
+        let (k, v) = kv.split_once('=').expect("DONE key=value");
+        let v: u64 = v.parse().expect("DONE value");
+        match k {
+            "ramp_ms" => d.ramp_ms = v,
+            "churn_ms" => d.churn_ms = v,
+            "resubmitted" => d.resubmitted = v,
+            "replayed" => d.replayed = v,
+            "recovered" => d.recovered = v,
+            "comm" => d.comm = v,
+            other => panic!("DONE key {other}"),
+        }
+    }
+    d
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker-child") {
+        assert_eq!(args.len(), 6, "--worker-child addr lo hi threads base_id");
+        worker_child(
+            args[1].clone(),
+            args[2].parse().unwrap(),
+            args[3].parse().unwrap(),
+            args[4].parse().unwrap(),
+            args[5].parse().unwrap(),
+        );
+        return;
+    }
+
+    let mut quick = false;
+    let mut check = false;
+    let mut out = String::from("BENCH_session_storm.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            other => panic!("unknown flag {other} (expected --quick/--check/--out)"),
+        }
+    }
+    let mut sessions: u64 = if quick { 1_000 } else { 10_000 };
+    let mode = if quick { "quick" } else { "full" };
+
+    // One server-side socket per virtual session lives in this process
+    // (the client ends live in the herd children), plus slack for
+    // WAL/snapshot/epoll/pipe fds.
+    #[cfg(target_os = "linux")]
+    {
+        let want = sessions + 2_048;
+        match phoenix_sessiond::sys::raise_nofile(want) {
+            Ok(got) if got < want => {
+                let fit = got.saturating_sub(2_048);
+                eprintln!(
+                    "session_storm: RLIMIT_NOFILE {got} < {want}, clamping to {fit} sessions"
+                );
+                sessions = fit.max(64);
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("session_storm: raise_nofile failed ({e}), living dangerously"),
+        }
+    }
+
+    let dir = temp_dir();
+    let config = ServerConfig {
+        io: IoModel::Reactor { shards: 4 },
+        lifecycle: LifecycleConfig {
+            idle_spill_after: Some(Duration::from_millis(50)),
+            retention: Some(Duration::from_secs(3600)),
+            ..LifecycleConfig::default()
+        },
+    };
+    let mut h = SessiondHarness::start(&dir, EngineConfig::default(), config)
+        .expect("start sessiond harness");
+    let io_model = h.io_model().unwrap_or("none");
+    let shards = h.shards().unwrap_or(0);
+    let addr = h.addr();
+    eprintln!(
+        "session_storm[{mode}]: {sessions} sessions over io_model={io_model} shards={shards}, \
+         herd split across {CLIENT_PROCS} client processes"
+    );
+
+    {
+        let mut setup = env().connect(&addr, "storm", "bench").expect("setup");
+        setup
+            .execute("CREATE TABLE storm (k INT PRIMARY KEY, s INT, t INT)")
+            .unwrap();
+        setup
+            .execute("CREATE TABLE roster (s INT PRIMARY KEY)")
+            .unwrap();
+        setup.close();
+    }
+
+    let spill_base = phoenix_engine::spill::sessiond_metrics()
+        .spilled_total
+        .get();
+    let restore_base = phoenix_engine::spill::sessiond_metrics()
+        .restored_total
+        .get();
+
+    let total_ops = sessions * ROUNDS * BATCH;
+    let exe = std::env::current_exe().expect("current_exe");
+    let threads_per = WORKERS / CLIENT_PROCS;
+    let child_ops: Arc<Vec<AtomicU64>> =
+        Arc::new((0..CLIENT_PROCS).map(|_| AtomicU64::new(0)).collect());
+    let t_start = Instant::now();
+
+    // Fork the herd: child c drives the contiguous session range
+    // [c*per .. c*per+per), with the remainder spread over the low ids.
+    let mut children = Vec::new();
+    let mut lo = 0u64;
+    for c in 0..CLIENT_PROCS {
+        let per =
+            sessions / CLIENT_PROCS as u64 + u64::from((c as u64) < sessions % CLIENT_PROCS as u64);
+        let hi = lo + per;
+        let mut child = Command::new(&exe)
+            .arg("--worker-child")
+            .arg(&addr)
+            .arg(lo.to_string())
+            .arg(hi.to_string())
+            .arg(threads_per.to_string())
+            .arg((c * threads_per).to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn client herd child");
+        lo = hi;
+        let stdout = child.stdout.take().expect("child stdout");
+        let ops = Arc::clone(&child_ops);
+        let reader = std::thread::spawn(move || -> ChildDone {
+            let mut done = None;
+            for line in BufReader::new(stdout).lines() {
+                let line = line.expect("child pipe");
+                if let Some(n) = line.strip_prefix("OPS ") {
+                    ops[c].store(n.trim().parse().expect("OPS count"), Ordering::Relaxed);
+                } else if let Some(rest) = line.strip_prefix("DONE ") {
+                    done = Some(parse_done(rest));
+                }
+            }
+            done.expect("child exited without DONE")
+        });
+        children.push((child, reader));
+    }
+    let herd_ops = |counters: &[AtomicU64]| -> u64 {
+        counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    };
+
+    // Mid-storm lifecycle pass: most connections sit idle between their
+    // rounds, so this spills a large slice of the herd to the durable
+    // table; each spilled session restores transparently on its next
+    // batch.
+    while herd_ops(&child_ops) < total_ops / 4 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (spilled_now, _, _) = h.cleanup_now().expect("cleanup pass");
+    eprintln!("session_storm: mid-storm spill pass put {spilled_now} sessions on disk");
+
+    // The crash, at roughly half the churn schedule.
+    while herd_ops(&child_ops) < total_ops / 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let t_crash = Instant::now();
+    h.crash().expect("crash");
+    h.restart().expect("restart");
+    let t_restarted = Instant::now();
+    eprintln!(
+        "session_storm: crashed + restarted in {} ms; herd recovery running",
+        (t_restarted - t_crash).as_millis()
+    );
+
+    // Herd drain: every live virtual session hits its dead socket on the
+    // next round and runs the reconnect + probe + resubmit path. A child's
+    // DONE line is its last breath; then reap the process itself.
+    let mut dones = Vec::new();
+    for (mut child, reader) in children {
+        dones.push(reader.join().expect("child reader panicked"));
+        let status = child.wait().expect("wait for herd child");
+        assert!(status.success(), "herd child failed: {status}");
+    }
+    let t_end = Instant::now();
+    let herd_recovered: u64 = dones.iter().map(|d| d.recovered).sum();
+    let herd_recovery_ms = (t_end - t_restarted).as_millis() as u64;
+
+    let ramp_ms = dones.iter().map(|d| d.ramp_ms).max().unwrap_or(0);
+    let churn_ms = dones.iter().map(|d| d.churn_ms).max().unwrap_or(0);
+    let resubmitted: u64 = dones.iter().map(|d| d.resubmitted).sum();
+    let replayed: u64 = dones.iter().map(|d| d.replayed).sum();
+    let comm_errors: u64 = dones.iter().map(|d| d.comm).sum();
+    let churn_rate = total_ops as f64 / (churn_ms.max(1) as f64 / 1_000.0);
+    let wall_ms = (t_end - t_start).as_millis() as u64;
+
+    let m = phoenix_engine::spill::sessiond_metrics();
+    let spilled_total = m.spilled_total.get() - spill_base;
+    let restored_total = m.restored_total.get() - restore_base;
+
+    // Final image: the storm table is the exactly-once ledger.
+    let (final_rows, roster_rows) = {
+        let mut conn = env().connect(&addr, "storm", "bench").expect("verify");
+        let rows = match conn.execute("SELECT COUNT(*) FROM storm").unwrap().rows()[0][0] {
+            Value::Int(n) => n as u64,
+            ref other => panic!("count: {other:?}"),
+        };
+        let roster = match conn.execute("SELECT COUNT(*) FROM roster").unwrap().rows()[0][0] {
+            Value::Int(n) => n as u64,
+            ref other => panic!("count: {other:?}"),
+        };
+        conn.close();
+        (rows, roster)
+    };
+    eprintln!(
+        "session_storm: {final_rows}/{total_ops} ledger rows, {herd_recovered} sessions herd-recovered \
+         in {herd_recovery_ms} ms ({resubmitted} resubmitted, {replayed} replayed, \
+         {spilled_total} spilled / {restored_total} restored mid-storm)"
+    );
+
+    if check {
+        assert_eq!(
+            final_rows, total_ops,
+            "exactly-once violated: ledger row count"
+        );
+        assert_eq!(roster_rows, sessions, "roster lost seed rows");
+        assert!(
+            herd_recovered > 0 && comm_errors > 0,
+            "the crash must actually interrupt the herd"
+        );
+        if !quick {
+            assert!(
+                sessions >= 10_000,
+                "full storm must reach 10k sessions (fd limit clamped it to {sessions})"
+            );
+        }
+        #[cfg(target_os = "linux")]
+        assert_eq!(io_model, "reactor", "storm must run on the reactor path");
+        assert!(
+            spilled_now > 0 && spilled_total > 0 && restored_total > 0,
+            "the mid-storm lifecycle pass must spill and restore sessions"
+        );
+        eprintln!("session_storm: check ok");
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // host_parallelism is disclosed because every number here — churn rate,
+    // herd recovery — is a single-machine measurement; on a 1-core host the
+    // client herd processes, the reactor shards, and the executors all
+    // share that core.
+    let json = format!(
+        "{{\n  \"bench\": \"session_storm\",\n  \"mode\": \"{mode}\",\n  \"host_parallelism\": {host},\n  \"io_model\": \"{io_model}\",\n  \"shards\": {shards},\n  \"client_processes\": {CLIENT_PROCS},\n  \"workers\": {WORKERS},\n  \"sessions\": {sessions},\n  \"rounds\": {ROUNDS},\n  \"batch\": {BATCH},\n  \"total_ops\": {total_ops},\n  \"wall_ms\": {wall_ms},\n  \"ramp_ms\": {ramp_ms},\n  \"churn_ms\": {churn_ms},\n  \"churn_ops_per_sec\": {churn_rate:.0},\n  \"crash_to_listen_ms\": {},\n  \"herd_recovery_ms\": {herd_recovery_ms},\n  \"sessions_herd_recovered\": {herd_recovered},\n  \"resubmitted\": {resubmitted},\n  \"replayed_from_ledger\": {replayed},\n  \"comm_errors\": {comm_errors},\n  \"spilled_mid_storm\": {spilled_total},\n  \"restored_after_spill\": {restored_total},\n  \"ledger_rows\": {final_rows}\n}}\n",
+        (t_restarted - t_crash).as_millis(),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("session_storm: wrote {out}");
+    print!("{json}");
+
+    drop(h);
+    let _ = std::fs::remove_dir_all(&dir);
+}

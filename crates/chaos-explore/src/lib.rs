@@ -141,6 +141,36 @@ pub const WORKLOAD_CHECKPOINT: &[&str] = &[
     "UPDATE acct SET bal = bal + 29 WHERE id = 22",
 ];
 
+/// The session-churn phase, run by a *second* client. It builds up session
+/// state (a var, a temp table, real DML), goes idle, and is spilled to the
+/// durable `phoenix.sessiond_spill` table by [`ChurnHooks::spill`] — which
+/// also spills the main client's idle session. Both sessions must then
+/// restore transparently on their next statement. Crashing anywhere in the
+/// phase — including exactly at the `sessiond.spill` fault point — must
+/// leave every reply unchanged: a lost session is rebuilt by the client's
+/// context replay, a restored one is byte-identical by construction. The
+/// customer INSERT diverges observably (duplicate key) if applied twice.
+pub const WORKLOAD_CHURN: &[&str] = &[
+    "SET app_name 'churn'",
+    "CREATE TABLE #churn (v INT PRIMARY KEY)",
+    "INSERT INTO #churn VALUES (1), (2), (3)",
+    "INSERT INTO customer VALUES (3, 9, 'churn')",
+];
+
+/// What the churn phase needs from the embedding harness.
+pub struct ChurnHooks<'a> {
+    /// Open a fresh Phoenix client against the same server, retrying until
+    /// it succeeds (a scheduled crash can land mid-login; the retried
+    /// connect produces no recorded replies, so retrying keeps the
+    /// workload's observable output crash-independent).
+    pub connect: &'a dyn Fn() -> PhoenixConnection,
+    /// Force the sessiond lifecycle pass: spill every idle session to the
+    /// durable table. Failures are swallowed — under an injected crash
+    /// there is nothing left to spill, and the clients rebuild instead of
+    /// restore.
+    pub spill: &'a dyn Fn(),
+}
+
 /// Create and populate the workload's table. Run *before* arming chaos so
 /// schedules align with [`run_clean`]'s trace.
 pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
@@ -154,9 +184,13 @@ pub fn seed_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<()> {
 }
 
 /// Run the canonical workload: wrapped DML, an application transaction, a
-/// materialized SELECT, a pipelined DML window, a keyset-cursor scan, and a
-/// final full-table read.
-pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<WorkloadOutput> {
+/// materialized SELECT, a pipelined DML window, a session-churn phase with
+/// a forced sessiond spill, a keyset-cursor scan, and a final full-table
+/// read.
+pub fn canonical_workload(
+    pc: &mut PhoenixConnection,
+    hooks: &ChurnHooks<'_>,
+) -> phoenix_core::Result<WorkloadOutput> {
     let mut replies = Vec::new();
     for sql in WORKLOAD_DML {
         let r = pc.execute(sql)?;
@@ -176,6 +210,28 @@ pub fn canonical_workload(pc: &mut PhoenixConnection) -> phoenix_core::Result<Wo
     for sql in WORKLOAD_CHECKPOINT {
         let r = pc.execute(sql)?;
         replies.push(format!("{r:?}"));
+    }
+
+    // Session churn (see [`WORKLOAD_CHURN`]): second client, spill of every
+    // idle session — the main client's included — then transparent restore
+    // on the next statement of each, and an ephemeral third session.
+    {
+        let mut churn = (hooks.connect)();
+        for sql in WORKLOAD_CHURN {
+            let r = churn.execute(sql)?;
+            replies.push(format!("churn {r:?}"));
+        }
+        (hooks.spill)();
+        let r = churn.execute("SELECT COUNT(*) FROM #churn")?;
+        replies.push(format!("churn {r:?}"));
+        let r = churn.execute("SELECT owed FROM customer WHERE id = 3")?;
+        replies.push(format!("churn {r:?}"));
+        churn.close();
+
+        let mut ephemeral = (hooks.connect)();
+        let r = ephemeral.execute("SELECT memo FROM customer WHERE id = 3")?;
+        replies.push(format!("ephemeral {r:?}"));
+        ephemeral.close();
     }
 
     let mut cursor_rows = Vec::new();
@@ -261,6 +317,26 @@ fn connect(h: &ServerHarness) -> PhoenixConnection {
     .expect("connect to fresh harness")
 }
 
+/// Connect for the churn phase, retrying through a crash/restart window (a
+/// scheduled fault can fire mid-login, before the client has any recovery
+/// state to lean on).
+fn connect_with_retry(addr: &str, user: &str) -> PhoenixConnection {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        match PhoenixConnection::connect(&Environment::new(), addr, user, "test", explorer_config())
+        {
+            Ok(pc) => return pc,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "churn connect never succeeded: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
 /// Run the workload with no faults, tracing every fault-point visit.
 /// Returns the baseline output and the visit trace (the crash-point
 /// enumeration). The durable-point sub-trace and all per-point visit
@@ -276,7 +352,18 @@ pub fn run_clean() -> (WorkloadOutput, Vec<Visit>) {
     // candidates (recovery of an un-seeded session is covered elsewhere),
     // and skipping them keeps visit numbers aligned across runs.
     let guard = chaos::arm_traced(chaos::Schedule::new());
-    let out = canonical_workload(&mut pc).expect("clean run must succeed");
+    let out = {
+        let addr = h.addr();
+        let connect_hook = move || connect_with_retry(&addr, "churn");
+        let spill_hook = || {
+            let _ = h.with_engine(|e| e.spill_idle_sessions(Duration::ZERO));
+        };
+        let hooks = ChurnHooks {
+            connect: &connect_hook,
+            spill: &spill_hook,
+        };
+        canonical_workload(&mut pc, &hooks).expect("clean run must succeed")
+    };
     let trace = guard.trace();
     drop(guard);
     pc.close();
@@ -368,7 +455,20 @@ pub fn run_case(case: &CrashCase) -> CaseOutcome {
     let stop = Arc::new(AtomicBool::new(false));
     let supervisor = spawn_supervisor(Arc::clone(&harness), Arc::clone(&stop));
 
-    let output = canonical_workload(&mut pc).map_err(|e| e.to_string());
+    let output = {
+        let addr = { harness.lock().unwrap().addr() };
+        let connect_hook = move || connect_with_retry(&addr, "churn");
+        let spill_harness = Arc::clone(&harness);
+        let spill_hook = move || {
+            let h = spill_harness.lock().unwrap();
+            let _ = h.with_engine(|e| e.spill_idle_sessions(Duration::ZERO));
+        };
+        let hooks = ChurnHooks {
+            connect: &connect_hook,
+            spill: &spill_hook,
+        };
+        canonical_workload(&mut pc, &hooks).map_err(|e| e.to_string())
+    };
 
     stop.store(true, Ordering::Relaxed);
     let crashed = supervisor.join().expect("supervisor join");

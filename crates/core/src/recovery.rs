@@ -56,6 +56,15 @@ pub fn reconnect_loop(
                 return Ok((conn, attempts));
             }
             Err(e) => {
+                // Only transient failures are worth waiting out: connection
+                // refused / reset (`Comm`) or the server's retryable `Busy`
+                // (at capacity, admission queue full). Anything else — a
+                // rejected login, a protocol error — would fail identically
+                // on every retry, so surface it immediately instead of
+                // burning the whole recovery window on it.
+                if !e.is_retryable() {
+                    return Err(e);
+                }
                 let now = Instant::now();
                 if now >= deadline {
                     // Give up: pass the communication error to the app.

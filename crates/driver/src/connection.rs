@@ -133,10 +133,16 @@ impl Connection {
                     driver_metrics().connects.inc();
                     return Ok(conn);
                 }
-                // Any error reply means "no v2 here": an old server answers
-                // the unknown LoginV2 tag with a Parse error and keeps the
-                // connection alive, so the same socket can fall through to
-                // the v1 handshake below.
+                // A Busy reply is a real (retryable) refusal — the server
+                // speaks v2 but is at capacity; falling through to v1 would
+                // just be refused again.
+                Response::Err { code, message } if code == crate::error::codes::BUSY => {
+                    return Err(DriverError::Sql { code, message })
+                }
+                // Any other error reply means "no v2 here": an old server
+                // answers the unknown LoginV2 tag with a Parse error and
+                // keeps the connection alive, so the same socket can fall
+                // through to the v1 handshake below.
                 Response::Err { .. } => {}
                 other => {
                     return Err(DriverError::Protocol(format!(
@@ -156,6 +162,7 @@ impl Connection {
                 driver_metrics().connects.inc();
                 Ok(conn)
             }
+            Response::Err { code, message } => Err(DriverError::Sql { code, message }),
             other => Err(DriverError::Protocol(format!(
                 "unexpected login response: {other:?}"
             ))),

@@ -51,6 +51,9 @@ pub mod codes {
     pub const INTERNAL: ServerErrorCode = 11;
     /// Server-side I/O or durability failure.
     pub const STORAGE: ServerErrorCode = 12;
+    /// Server at capacity (session cap reached or admission queue full).
+    /// Transient by contract: the only `Sql` code that is retryable.
+    pub const BUSY: ServerErrorCode = 13;
 }
 
 /// A driver error. See the module docs for the class semantics.
@@ -90,11 +93,17 @@ impl Error {
     }
 
     /// Can the operation be retried — possibly on a fresh connection — with
-    /// a real chance of success? True only for [`Error::Comm`]: a `Sql`
-    /// error would recur, a `Protocol` error is a bug, and a `Recovery`
-    /// error means retrying was already tried and lost.
+    /// a real chance of success? True for [`Error::Comm`], and for the one
+    /// transient server code, [`codes::BUSY`] (server at capacity — backing
+    /// off and retrying is the contract). Any other `Sql` error would recur,
+    /// a `Protocol` error is a bug, and a `Recovery` error means retrying
+    /// was already tried and lost.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Comm(_))
+        match self {
+            Error::Comm(_) => true,
+            Error::Sql { code, .. } => *code == codes::BUSY,
+            _ => false,
+        }
     }
 
     /// Did the read time out (possible slow server — not necessarily dead)?

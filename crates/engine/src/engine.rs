@@ -70,6 +70,13 @@ pub struct EngineConfig {
     /// Bounded fsync delay for the group-commit leaders, in microseconds.
     /// `0` (the default) flushes immediately.
     pub group_commit_window_us: u64,
+    /// Cap on concurrently *resident* (in-memory) sessions. When a new
+    /// session would exceed the cap, the engine spills the least-recently
+    /// active idle session to the durable spill table to make room; if no
+    /// session is spillable the caller gets [`ErrorCode::Busy`] — a
+    /// retryable error by the driver's taxonomy. `None` (the default)
+    /// disables the cap.
+    pub max_sessions: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +87,7 @@ impl Default for EngineConfig {
             replay_threads: None,
             partitions: None,
             group_commit_window_us: 0,
+            max_sessions: None,
         }
     }
 }
@@ -134,19 +142,53 @@ impl ExecResult {
     }
 }
 
+/// A session catalog entry: the session's state behind its own mutex, plus
+/// a lock-free last-activity stamp the lifecycle manager reads to pick
+/// idle-spill and LRU-eviction victims without touching the state lock.
+pub(crate) struct SessionEntry {
+    /// The session's state; statements serialize on this mutex.
+    pub(crate) state: Mutex<SessionState>,
+    /// `phoenix_obs::now_us()` of the last engine call that touched this
+    /// session.
+    pub(crate) last_active: AtomicU64,
+}
+
+impl SessionEntry {
+    pub(crate) fn new(state: SessionState) -> SessionEntry {
+        SessionEntry {
+            state: Mutex::new(state),
+            last_active: AtomicU64::new(phoenix_obs::now_us()),
+        }
+    }
+
+    pub(crate) fn touch(&self) {
+        self.last_active
+            .store(phoenix_obs::now_us(), Ordering::Relaxed);
+    }
+}
+
 /// The database engine. Shared across connection threads (`&self` API).
 pub struct Engine {
-    durable: Durable,
+    pub(crate) durable: Durable,
     /// Session catalog. The outer lock is held only to look up / insert /
     /// remove entries; each session's statements serialize on its own mutex.
-    sessions: RwLock<HashMap<SessionId, Arc<Mutex<SessionState>>>>,
-    next_session: AtomicU64,
+    pub(crate) sessions: RwLock<HashMap<SessionId, Arc<SessionEntry>>>,
+    pub(crate) next_session: AtomicU64,
     next_cursor: AtomicU64,
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     /// Every entry point holds this in shared mode for the duration of the
     /// call; [`Engine::stall`] takes it exclusively so the test harness can
     /// freeze the server without killing it.
-    stall_gate: RwLock<()>,
+    pub(crate) stall_gate: RwLock<()>,
+    /// Server-incarnation stamp baked into spill-table keys so rows written
+    /// by a previous incarnation can never be mistaken for live spills after
+    /// a crash (stale rows age out via the retention window instead).
+    pub(crate) incarnation: u64,
+    /// Index of sessions currently spilled to the durable spill table.
+    /// A session id is in *either* `sessions` or here, never both; after a
+    /// crash the index starts empty, which is what makes stale spill rows
+    /// unrestorable. Lock order: `spilled` before `sessions`.
+    pub(crate) spilled: Mutex<HashMap<SessionId, crate::spill::SpilledInfo>>,
 }
 
 impl Engine {
@@ -166,6 +208,11 @@ impl Engine {
                 group_commit_window_us: config.group_commit_window_us,
             },
         )?;
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            & (i64::MAX as u64);
         Ok(Engine {
             durable,
             sessions: RwLock::new(HashMap::new()),
@@ -173,6 +220,8 @@ impl Engine {
             next_cursor: AtomicU64::new(1),
             config,
             stall_gate: RwLock::new(()),
+            incarnation,
+            spilled: Mutex::new(HashMap::new()),
         })
     }
 
@@ -220,13 +269,19 @@ impl Engine {
 
     // -- session lifecycle ---------------------------------------------------
 
-    /// Open a new session for `user`.
+    /// Open a new session for `user`, unconditionally (no session cap).
+    /// Servers that honor `max_sessions` go through
+    /// [`Engine::try_create_session`] instead.
     pub fn create_session(&self, user: &str) -> SessionId {
         let _gate = self.stall_gate.read();
+        self.install_session(user)
+    }
+
+    pub(crate) fn install_session(&self, user: &str) -> SessionId {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .write()
-            .insert(id, Arc::new(Mutex::new(SessionState::new(id, user))));
+            .insert(id, Arc::new(SessionEntry::new(SessionState::new(id, user))));
         let m = engine_metrics();
         m.sessions_opened.inc();
         m.sessions_active.inc();
@@ -241,12 +296,14 @@ impl Engine {
     /// finish before tearing the session down.
     pub fn close_session(&self, sid: SessionId) -> Result<()> {
         let _gate = self.stall_gate.read();
-        let session =
-            self.sessions.write().remove(&sid).ok_or_else(|| {
-                EngineError::new(ErrorCode::NoSession, format!("no session {sid}"))
-            })?;
+        let session = match self.sessions.write().remove(&sid) {
+            Some(s) => s,
+            // Temp objects die when a session terminates for any reason, so
+            // closing a *spilled* session discards its durable spill row.
+            None => return self.close_spilled_session(sid),
+        };
         let (txn, temp_tables) = {
-            let mut s = session.lock();
+            let mut s = session.state.lock();
             (s.txn.take(), s.temp.tables().count() as i64)
         };
         let m = engine_metrics();
@@ -258,13 +315,24 @@ impl Engine {
         Ok(())
     }
 
-    /// Look up a session's shared handle.
-    fn session(&self, sid: SessionId) -> Result<Arc<Mutex<SessionState>>> {
-        self.sessions
-            .read()
-            .get(&sid)
-            .cloned()
-            .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))
+    /// Look up a session's shared handle. A session that was spilled to the
+    /// durable spill table is transparently restored — the caller can't tell
+    /// the difference, which is the lifecycle manager's contract.
+    pub(crate) fn session(&self, sid: SessionId) -> Result<Arc<SessionEntry>> {
+        if let Some(entry) = self.sessions.read().get(&sid).cloned() {
+            entry.touch();
+            return Ok(entry);
+        }
+        self.restore_session(sid)
+    }
+
+    /// Current value of a session's SET option (observability/test hook; the
+    /// engine has no `@@name` surface for arbitrary options).
+    pub fn session_option(&self, sid: SessionId, name: &str) -> Result<Option<Value>> {
+        let _gate = self.stall_gate.read();
+        let session = self.session(sid)?;
+        let s = session.state.lock();
+        Ok(s.option(name).cloned())
     }
 
     // -- statement execution --------------------------------------------------
@@ -292,7 +360,7 @@ impl Engine {
         let session = self.session(sid)?;
         let result = {
             let _t = phoenix_obs::Timer::new(engine_metrics().stmt_latency(stmt));
-            let mut session = session.lock();
+            let mut session = session.state.lock();
             self.exec_in(&mut session, stmt, None, 0)
         };
         // Auto-checkpoint runs with no session lock held (it needs the
@@ -666,7 +734,7 @@ impl Engine {
     ) -> Result<(CursorId, Schema, CursorKind)> {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
-        let mut session = session.lock();
+        let mut session = session.state.lock();
         let id = self.next_cursor.fetch_add(1, Ordering::Relaxed);
         let result = {
             let snap = self.durable.snapshot();
@@ -692,7 +760,7 @@ impl Engine {
     pub fn fetch(&self, sid: SessionId, cid: CursorId, dir: FetchDir, n: usize) -> Result<Fetched> {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
-        let mut session = session.lock();
+        let mut session = session.state.lock();
         match session.cursors.remove(&cid) {
             None => Err(EngineError::new(
                 ErrorCode::Cursor,
@@ -720,7 +788,7 @@ impl Engine {
     pub fn close_cursor(&self, sid: SessionId, cid: CursorId) -> Result<()> {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
-        let mut session = session.lock();
+        let mut session = session.state.lock();
         session
             .cursors
             .remove(&cid)
@@ -733,7 +801,7 @@ impl Engine {
     pub fn describe(&self, sid: SessionId, table: &ObjectName) -> Result<(Schema, Vec<String>)> {
         let _gate = self.stall_gate.read();
         let session = self.session(sid)?;
-        let session = session.lock();
+        let session = session.state.lock();
         let snap = self.durable.snapshot();
         let view = CatalogView {
             durable: &snap,
@@ -760,7 +828,7 @@ impl Engine {
         {
             let sessions = self.sessions.read();
             for s in sessions.values() {
-                if let Some(s) = s.try_lock() {
+                if let Some(s) = s.state.try_lock() {
                     if s.txn.is_some() {
                         return Err(EngineError::new(
                             ErrorCode::Txn,
@@ -785,7 +853,7 @@ impl Engine {
                     .sessions
                     .read()
                     .values()
-                    .all(|s| s.try_lock().map(|g| g.txn.is_none()).unwrap_or(false));
+                    .all(|s| s.state.try_lock().map(|g| g.txn.is_none()).unwrap_or(false));
                 if quiescent {
                     // Best effort, and non-blocking: `try_checkpoint` skips
                     // the round when another writer holds the working store
@@ -1074,11 +1142,10 @@ mod tests {
         let (e, dir) = engine();
         let sid = e.create_session("app");
         e.execute(sid, "SET lock_timeout 5000").unwrap();
-        let sessions = e.sessions.read();
-        let s = sessions[&sid].lock();
-        assert_eq!(s.option("lock_timeout"), Some(&Value::Int(5000)));
-        drop(s);
-        drop(sessions);
+        assert_eq!(
+            e.session_option(sid, "lock_timeout").unwrap(),
+            Some(Value::Int(5000))
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -42,6 +42,10 @@ pub enum ErrorCode {
     Internal = 11,
     /// I/O or durability failure.
     Storage = 12,
+    /// Server is at capacity (session cap reached, admission queue full).
+    /// Transient by contract: the client may retry after a backoff — the
+    /// driver treats this code as retryable.
+    Busy = 13,
 }
 
 impl ErrorCode {
@@ -59,6 +63,7 @@ impl ErrorCode {
             9 => ErrorCode::Cursor,
             10 => ErrorCode::NoSession,
             12 => ErrorCode::Storage,
+            13 => ErrorCode::Busy,
             _ => ErrorCode::Internal,
         }
     }
@@ -173,6 +178,7 @@ mod tests {
             ErrorCode::NoSession,
             ErrorCode::Internal,
             ErrorCode::Storage,
+            ErrorCode::Busy,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), code);
         }

@@ -42,6 +42,7 @@ pub mod exec;
 pub mod metrics;
 pub mod plan;
 pub mod session;
+pub mod spill;
 
 pub use cursor::{CursorId, CursorKind, FetchDir};
 pub use engine::{Engine, EngineConfig, ExecOutcome, ExecResult};

@@ -1,0 +1,306 @@
+//! Session spill/restore lifecycle: exactness of the round trip, cap
+//! enforcement, retention purge, and incarnation fencing.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use phoenix_engine::cursor::{CursorKind, FetchDir};
+use phoenix_engine::engine::{Engine, EngineConfig};
+use phoenix_engine::error::ErrorCode;
+use phoenix_engine::spill::SPILL_TABLE;
+use phoenix_sql::ast::{SelectStmt, Statement};
+use phoenix_sql::parser::parse_statement;
+use phoenix_storage::types::Value;
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-spill-test-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn engine_with(config: EngineConfig) -> (Engine, PathBuf) {
+    let dir = temp_dir();
+    (Engine::open(&dir, config).unwrap(), dir)
+}
+
+fn engine() -> (Engine, PathBuf) {
+    engine_with(EngineConfig::default())
+}
+
+fn select(sql: &str) -> SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Select(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+fn seed(e: &Engine, sid: u64) {
+    e.execute(sid, "CREATE TABLE orders (okey INT PRIMARY KEY, total INT)")
+        .unwrap();
+    e.execute(
+        sid,
+        "INSERT INTO orders VALUES (1,10),(2,20),(3,30),(4,40),(5,50)",
+    )
+    .unwrap();
+}
+
+#[test]
+fn spill_restore_preserves_vars_temp_tables_and_cursor_positions() {
+    let (e, dir) = engine();
+    let sid = e.create_session("app");
+    seed(&e, sid);
+    e.execute(sid, "SET lock_timeout 5000").unwrap();
+    e.execute(sid, "SET app_name 'storm'").unwrap();
+    e.execute(sid, "CREATE TABLE #scratch (v INT PRIMARY KEY, note TEXT)")
+        .unwrap();
+    e.execute(sid, "INSERT INTO #scratch VALUES (1,'a'),(2,'b'),(3,'c')")
+        .unwrap();
+    e.execute(
+        sid,
+        "CREATE PROCEDURE #peek AS SELECT COUNT(*) FROM #scratch",
+    )
+    .unwrap();
+
+    // Three cursors, each advanced past its first block.
+    let (fo, _, _) = e
+        .open_cursor(
+            sid,
+            &select("SELECT okey FROM orders ORDER BY okey"),
+            CursorKind::ForwardOnly,
+        )
+        .unwrap();
+    assert_eq!(e.fetch(sid, fo, FetchDir::Next, 2).unwrap().rows.len(), 2);
+    let (ks, _, kind) = e
+        .open_cursor(
+            sid,
+            &select("SELECT okey, total FROM orders"),
+            CursorKind::Keyset,
+        )
+        .unwrap();
+    assert_eq!(kind, CursorKind::Keyset);
+    assert_eq!(e.fetch(sid, ks, FetchDir::Next, 2).unwrap().rows.len(), 2);
+    let (dy, _, kind) = e
+        .open_cursor(sid, &select("SELECT okey FROM orders"), CursorKind::Dynamic)
+        .unwrap();
+    assert_eq!(kind, CursorKind::Dynamic);
+    assert_eq!(e.fetch(sid, dy, FetchDir::Next, 2).unwrap().rows.len(), 2);
+
+    e.spill_session(sid).unwrap();
+    assert_eq!(e.session_count(), 0);
+    assert_eq!(e.spilled_session_count(), 1);
+    assert_eq!(
+        e.snapshot().table(SPILL_TABLE).unwrap().rows.len(),
+        1,
+        "one durable spill row"
+    );
+
+    // Any engine call transparently restores. Options survive...
+    assert_eq!(
+        e.session_option(sid, "lock_timeout").unwrap(),
+        Some(Value::Int(5000))
+    );
+    assert_eq!(e.session_count(), 1);
+    assert_eq!(e.spilled_session_count(), 0);
+    assert_eq!(
+        e.snapshot().table(SPILL_TABLE).unwrap().rows.len(),
+        0,
+        "restore consumes the spill row"
+    );
+    assert_eq!(
+        e.session_option(sid, "app_name").unwrap(),
+        Some(Value::Text("storm".into()))
+    );
+    // ...temp tables and procs survive...
+    let r = e
+        .execute(sid, "SELECT note FROM #scratch WHERE v = 2")
+        .unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Text("b".into())]]);
+    let r = e.execute(sid, "EXEC #peek").unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Int(3)]]);
+    // ...and every cursor resumes exactly where delivery stopped.
+    let f = e.fetch(sid, fo, FetchDir::Next, 2).unwrap();
+    assert_eq!(f.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    let f = e.fetch(sid, ks, FetchDir::Next, 2).unwrap();
+    assert_eq!(
+        f.rows,
+        vec![
+            vec![Value::Int(3), Value::Int(30)],
+            vec![Value::Int(4), Value::Int(40)]
+        ]
+    );
+    let f = e.fetch(sid, dy, FetchDir::Next, 2).unwrap();
+    assert_eq!(f.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn keyset_membership_and_dynamic_visibility_survive_spill() {
+    let (e, dir) = engine();
+    let sid = e.create_session("app");
+    seed(&e, sid);
+    let (ks, _, _) = e
+        .open_cursor(sid, &select("SELECT okey FROM orders"), CursorKind::Keyset)
+        .unwrap();
+    let (dy, _, _) = e
+        .open_cursor(sid, &select("SELECT okey FROM orders"), CursorKind::Dynamic)
+        .unwrap();
+    e.fetch(sid, ks, FetchDir::Next, 1).unwrap();
+    e.fetch(sid, dy, FetchDir::Next, 1).unwrap();
+
+    e.spill_session(sid).unwrap();
+
+    // Mutate the table from another session while the first is spilled.
+    let other = e.create_session("other");
+    e.execute(other, "INSERT INTO orders VALUES (9, 90)")
+        .unwrap();
+    e.execute(other, "DELETE FROM orders WHERE okey = 2")
+        .unwrap();
+
+    // Keyset: membership fixed at open (no 9), deleted 2 skipped.
+    let mut keys = Vec::new();
+    loop {
+        let f = e.fetch(sid, ks, FetchDir::Next, 3).unwrap();
+        keys.extend(f.rows.into_iter().map(|r| r[0].as_i64().unwrap()));
+        if f.at_end {
+            break;
+        }
+    }
+    assert_eq!(keys, vec![3, 4, 5]);
+    // Dynamic: re-evaluates, so 2 is gone and 9 is visible.
+    let mut keys = Vec::new();
+    loop {
+        let f = e.fetch(sid, dy, FetchDir::Next, 3).unwrap();
+        keys.extend(f.rows.into_iter().map(|r| r[0].as_i64().unwrap()));
+        if f.at_end {
+            break;
+        }
+    }
+    assert_eq!(keys, vec![3, 4, 5, 9]);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn spill_refuses_open_transaction() {
+    let (e, dir) = engine();
+    let sid = e.create_session("app");
+    seed(&e, sid);
+    e.execute(sid, "BEGIN").unwrap();
+    let err = e.spill_session(sid).unwrap_err();
+    assert_eq!(err.code, ErrorCode::Busy);
+    e.execute(sid, "ROLLBACK").unwrap();
+    e.spill_session(sid).unwrap();
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn max_sessions_evicts_lru_idle_or_returns_retryable_busy() {
+    let (e, dir) = engine_with(EngineConfig {
+        max_sessions: Some(2),
+        ..EngineConfig::default()
+    });
+    let s1 = e.try_create_session("a").unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    let s2 = e.try_create_session("b").unwrap();
+    e.execute(s2, "SELECT 1").unwrap(); // s1 is now the LRU session
+
+    // At the cap: the third login spills the LRU victim (s1).
+    let s3 = e.try_create_session("c").unwrap();
+    assert_eq!(e.session_count(), 2);
+    assert_eq!(e.spilled_session_count(), 1);
+
+    // Pin both resident sessions in transactions: nothing is spillable, and
+    // restoring s1 would exceed the cap... so a fourth login must get Busy.
+    e.execute(s2, "BEGIN").unwrap();
+    e.execute(s3, "BEGIN").unwrap();
+    let err = e.try_create_session("d").unwrap_err();
+    assert_eq!(err.code, ErrorCode::Busy);
+
+    // s1 still works: touching it transparently restores.
+    e.execute(s2, "ROLLBACK").unwrap();
+    e.execute(s1, "SELECT 1").unwrap();
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn purge_honors_retention_window() {
+    let (e, dir) = engine();
+    let sid = e.create_session("app");
+    e.execute(sid, "SET x 1").unwrap();
+    e.spill_session(sid).unwrap();
+
+    // A generous window keeps the row.
+    assert_eq!(e.purge_spilled(Duration::from_secs(3600)), 0);
+    assert_eq!(e.spilled_session_count(), 1);
+
+    // A zero-length window discards it, and the session is dead for good.
+    assert_eq!(e.purge_spilled(Duration::ZERO), 1);
+    assert_eq!(e.spilled_session_count(), 0);
+    assert_eq!(
+        e.execute(sid, "SELECT 1").unwrap_err().code,
+        ErrorCode::NoSession
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn stale_spill_rows_are_fenced_by_incarnation_and_purgeable() {
+    let dir = temp_dir();
+    let sid;
+    {
+        let e = Engine::open(&dir, EngineConfig::default()).unwrap();
+        sid = e.create_session("app");
+        e.execute(sid, "SET x 1").unwrap();
+        e.spill_session(sid).unwrap();
+        // crash: drop without checkpoint
+    }
+    let e = Engine::open(&dir, EngineConfig::default()).unwrap();
+    // The committed spill row replayed...
+    assert_eq!(e.snapshot().table(SPILL_TABLE).unwrap().rows.len(), 1);
+    // ...but the new incarnation will never restore it.
+    assert_eq!(e.spilled_session_count(), 0);
+    assert_eq!(
+        e.execute(sid, "SELECT 1").unwrap_err().code,
+        ErrorCode::NoSession
+    );
+    // Retention cleanup reaps the stranded row.
+    assert_eq!(e.purge_spilled(Duration::ZERO), 1);
+    assert_eq!(e.snapshot().table(SPILL_TABLE).unwrap().rows.len(), 0);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn closing_a_spilled_session_discards_its_row() {
+    let (e, dir) = engine();
+    let sid = e.create_session("app");
+    e.execute(sid, "CREATE TABLE #t (v INT)").unwrap();
+    e.spill_session(sid).unwrap();
+    e.close_session(sid).unwrap();
+    assert_eq!(e.spilled_session_count(), 0);
+    assert_eq!(e.snapshot().table(SPILL_TABLE).unwrap().rows.len(), 0);
+    assert_eq!(
+        e.execute(sid, "SELECT 1").unwrap_err().code,
+        ErrorCode::NoSession
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn spill_idle_sessions_skips_active_ones() {
+    let (e, dir) = engine();
+    let idle = e.create_session("idle");
+    e.execute(idle, "SET x 1").unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let fresh = e.create_session("fresh");
+    e.execute(fresh, "SELECT 1").unwrap();
+
+    let n = e.spill_idle_sessions(Duration::from_millis(20));
+    assert_eq!(n, 1, "only the idle session spills");
+    assert_eq!(e.spilled_session_count(), 1);
+    assert_eq!(e.session_count(), 1);
+    // And it comes back on touch.
+    assert_eq!(e.session_option(idle, "x").unwrap(), Some(Value::Int(1)));
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -23,6 +23,7 @@ fn main() {
     let mut durability = Durability::Fsync;
     let mut partitions: Option<usize> = None;
     let mut group_commit_window_us: u64 = 0;
+    let mut max_sessions: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +52,14 @@ fn main() {
                     .expect("bad port")
             }
             "--buffered" => durability = Durability::Buffered,
+            "--max-sessions" => {
+                max_sessions = Some(
+                    args.next()
+                        .expect("--max-sessions needs a number")
+                        .parse()
+                        .expect("bad session cap"),
+                )
+            }
             "--stats-port" => {
                 stats_port = Some(
                     args.next()
@@ -62,7 +71,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: phoenix-server [--data <dir>] [--port <port>] [--buffered] \
-                     [--stats-port <port>] [--partitions <n>] [--group-commit-window-us <us>]"
+                     [--stats-port <port>] [--partitions <n>] [--group-commit-window-us <us>] \
+                     [--max-sessions <n>]"
                 );
                 return;
             }
@@ -79,6 +89,7 @@ fn main() {
         replay_threads: None,
         partitions,
         group_commit_window_us,
+        max_sessions,
     };
     eprintln!(
         "phoenix-server: opening {} (recovery may replay the log)…",

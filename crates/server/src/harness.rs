@@ -79,6 +79,15 @@ impl ServerHarness {
         self.server.as_ref().map(|s| s.connection_count())
     }
 
+    /// Reap registry entries whose peer has vanished (non-destructive
+    /// `MSG_PEEK` probe — see [`crate::server::prune_dead`]). Returns how
+    /// many were reaped; `None` while crashed. The sessiond cleanup job
+    /// calls this periodically so a *quiet* listener still notices dead
+    /// clients whose threads are parked inside long dispatches.
+    pub fn prune_dead_conns(&self) -> Option<usize> {
+        self.server.as_ref().map(|s| s.prune_dead_conns())
+    }
+
     /// Crash the server abruptly. See the module docs for the fault model.
     ///
     /// Errors with [`io::ErrorKind::NotConnected`] if the server is already
@@ -410,6 +419,51 @@ mod tests {
         }
         drop(s2);
         h.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn prune_reaps_dead_connection_while_its_thread_is_parked() {
+        let dir = temp_dir();
+        let h = ServerHarness::start(&dir, EngineConfig::default()).unwrap();
+        {
+            let mut s = connect(&h);
+            login(&mut s);
+            // Park the connection thread inside dispatch, then vanish: the
+            // FIN arrives while the thread is *executing*, not reading, so
+            // the registry entry lingers until something probes it.
+            h.stall(Duration::from_millis(600));
+            write_frame(
+                &mut s,
+                &Request::Exec {
+                    sql: "SELECT 1".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+            // Client drops without logout.
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            h.connection_count(),
+            Some(1),
+            "dead connection still registered while its thread is parked"
+        );
+        // No accept traffic, no reads — only the prober notices.
+        assert_eq!(h.prune_dead_conns(), Some(1));
+        assert_eq!(h.connection_count(), Some(0));
+        // A live connection is never reaped by the probe.
+        let mut live = connect(&h);
+        std::thread::sleep(Duration::from_millis(700)); // wait out the stall
+        login(&mut live);
+        assert_eq!(h.prune_dead_conns(), Some(0));
+        assert_eq!(h.connection_count(), Some(1));
+        match call(&mut live, Request::Ping) {
+            Response::Pong => {}
+            other => panic!("{other:?}"),
+        }
+        drop(live);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

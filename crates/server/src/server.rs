@@ -42,8 +42,75 @@ use crate::metrics::server_metrics;
 pub type SharedEngine = Arc<RwLock<Option<Arc<Engine>>>>;
 
 /// Registry of live client streams, keyed by connection id so each
-/// connection can prune its own entry when it exits.
-type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+/// connection can prune its own entry when it exits. Public so alternate
+/// front-ends (the sessiond reactor) can share the sever-on-crash and
+/// reap-dead-connections machinery.
+pub type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Liveness-probe a registered stream without consuming data: a one-byte
+/// `recv(MSG_PEEK | MSG_DONTWAIT)` returning 0 means the peer performed an
+/// orderly shutdown; an error other than `WouldBlock`/`Interrupted` means the
+/// socket is broken. Crucially this never toggles `set_nonblocking` on the
+/// shared fd — that would poison the owning connection thread's blocking
+/// read — and `MSG_PEEK` leaves any pending request bytes in place.
+#[cfg(target_os = "linux")]
+fn stream_is_dead(stream: &TcpStream) -> bool {
+    use std::os::fd::AsRawFd;
+    const MSG_PEEK: i32 = 2;
+    const MSG_DONTWAIT: i32 = 0x40;
+    extern "C" {
+        fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
+    }
+    let mut byte = 0u8;
+    let n = unsafe {
+        recv(
+            stream.as_raw_fd(),
+            &mut byte as *mut u8,
+            1,
+            MSG_PEEK | MSG_DONTWAIT,
+        )
+    };
+    match n {
+        0 => true, // EOF: peer closed while we weren't reading
+        n if n > 0 => false,
+        _ => !matches!(
+            io::Error::last_os_error().kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+        ),
+    }
+}
+
+/// Portable fallback: without a non-destructive peek we cannot tell a quiet
+/// peer from a dead one, so never reap (the connection thread still prunes
+/// itself the moment its blocking read returns).
+#[cfg(not(target_os = "linux"))]
+fn stream_is_dead(_stream: &TcpStream) -> bool {
+    false
+}
+
+/// Reap registry entries whose peer has vanished. Returns how many were
+/// reaped. This is what lets a *quiet* listener notice dead clients: a
+/// connection whose thread is parked inside a long dispatch (or whose
+/// client died without a FIN reaching the blocking read) stays registered
+/// until something probes it. The reaped stream is also shut down so the
+/// owning thread's next read/write fails fast and it exits normally.
+pub fn prune_dead(conns: &ConnRegistry) -> usize {
+    let mut conns = conns.lock();
+    let dead: Vec<u64> = conns
+        .iter()
+        .filter(|(_, s)| stream_is_dead(s))
+        .map(|(id, _)| *id)
+        .collect();
+    for id in &dead {
+        if let Some(s) = conns.remove(id) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    if !dead.is_empty() {
+        server_metrics().connections_reaped.add(dead.len() as u64);
+    }
+    dead.len()
+}
 
 /// A running server: listener thread + connection registry.
 pub struct RunningServer {
@@ -92,6 +159,17 @@ impl RunningServer {
         self.conns.lock().len()
     }
 
+    /// Reap registry entries whose peer has vanished (see [`prune_dead`]).
+    pub fn prune_dead_conns(&self) -> usize {
+        prune_dead(&self.conns)
+    }
+
+    /// A clone of the connection-registry handle, for external probers
+    /// (the sessiond cleanup job prunes through this).
+    pub fn conns_handle(&self) -> ConnRegistry {
+        Arc::clone(&self.conns)
+    }
+
     /// Sever every client connection immediately.
     pub fn sever_connections(&self) {
         let mut conns = self.conns.lock();
@@ -129,9 +207,20 @@ fn accept_loop(
     conns: ConnRegistry,
 ) {
     let mut next_conn: u64 = 1;
+    // Backoff for *non*-WouldBlock accept failures (EMFILE/ENFILE/ENOBUFS,
+    // aborted handshakes). These are transient resource conditions, not
+    // reasons to stop listening: breaking out of the loop here would turn a
+    // momentary fd-exhaustion spike into a permanently deaf server. Sleep
+    // with bounded exponential backoff instead — long enough for the kernel
+    // (or our own connection churn) to release resources, short enough that
+    // service resumes promptly — and reset to the floor on any success.
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+    const BACKOFF_CEIL: Duration = Duration::from_millis(100);
+    let mut backoff = BACKOFF_FLOOR;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = BACKOFF_FLOOR;
                 let _ = stream.set_nodelay(true);
                 let conn_id = next_conn;
                 next_conn += 1;
@@ -158,7 +247,11 @@ fn accept_loop(
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => break,
+            Err(_) => {
+                server_metrics().accept_errors.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
+            }
         }
     }
 }
@@ -255,8 +348,9 @@ pub fn serve_connection(mut stream: TcpStream, engine: SharedEngine) {
 }
 
 /// Negotiate a v2 login. On success returns the ack to send (untagged — the
-/// handshake itself is still v1-framed) and the granted window.
-fn login_v2(
+/// handshake itself is still v1-framed) and the granted window. Public so
+/// the sessiond reactor's executors can run the identical negotiation.
+pub fn login_v2(
     engine: &SharedEngine,
     session: &mut Option<SessionId>,
     user: &str,
@@ -411,7 +505,14 @@ fn send_bytes(stream: &mut TcpStream, bytes: &[u8]) -> Result<(), FrameError> {
     write_frame(stream, bytes)
 }
 
-fn dispatch(engine: &SharedEngine, session: &mut Option<SessionId>, request: Request) -> Response {
+/// Execute one request against the engine and produce its response. Public
+/// so the sessiond reactor's executors share the exact request semantics of
+/// the thread-per-connection server.
+pub fn dispatch(
+    engine: &SharedEngine,
+    session: &mut Option<SessionId>,
+    request: Request,
+) -> Response {
     // Take a short shared lock to clone the engine handle, then execute with
     // no global lock held — other connections proceed concurrently.
     let eng = match engine.read().clone() {
@@ -585,7 +686,10 @@ fn create_session_with_options(
     if let Some(old) = session.take() {
         let _ = eng.close_session(old);
     }
-    let sid = eng.create_session(user);
+    // The fallible path: when a `max_sessions` cap is configured and no
+    // resident session can be spilled to make room, this surfaces the
+    // engine's retryable `Busy` straight over the wire.
+    let sid = eng.try_create_session(user).map_err(err_of)?;
     for (name, value) in options {
         // Initial options are ordinary SETs.
         let stmt = phoenix_sql::ast::Statement::Set {

@@ -1,0 +1,93 @@
+//! Front-end and lifecycle configuration.
+
+use std::time::Duration;
+
+/// Which connection I/O model the front-end runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One OS thread per connection (the portable baseline —
+    /// `phoenix_server`'s loop, unchanged).
+    Threaded,
+    /// Sharded epoll reactor: `shards` event loops, each owning its own
+    /// epoll instance and its own in-order executor thread. `shards = 0`
+    /// means auto (one per available core, capped at 8). On non-Linux
+    /// platforms this silently falls back to [`IoModel::Threaded`].
+    Reactor {
+        /// Number of event-loop shards (0 = auto).
+        shards: usize,
+    },
+}
+
+impl IoModel {
+    /// Resolve `shards = 0` to the auto value.
+    pub fn resolved_shards(self) -> usize {
+        match self {
+            IoModel::Threaded => 0,
+            IoModel::Reactor { shards: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            IoModel::Reactor { shards } => shards,
+        }
+    }
+}
+
+/// Durable session-lifecycle policy.
+#[derive(Debug, Clone)]
+pub struct LifecycleConfig {
+    /// Resident-session cap. A login past the cap spills the least-recently
+    /// active idle session to the `phoenix.sessiond_spill` table; if nothing
+    /// is spillable the login is refused with the retryable `Busy` code.
+    pub max_sessions: Option<usize>,
+    /// Spill sessions idle for at least this long on each cleanup tick,
+    /// releasing their engine memory.
+    pub idle_spill_after: Option<Duration>,
+    /// Discard spill rows older than this on each cleanup tick. Also reaps
+    /// rows stranded by prior incarnations (which can never be restored).
+    pub retention: Option<Duration>,
+    /// Period of the background cleanup job (`None` = no background job;
+    /// the harness can still drive ticks manually).
+    pub cleanup_interval: Option<Duration>,
+    /// Per-shard admission cap: requests queued toward a shard's executor
+    /// beyond this answer immediately with the retryable `Busy` code
+    /// instead of growing the queue without bound.
+    pub queue_depth: usize,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            max_sessions: None,
+            idle_spill_after: None,
+            retention: Some(Duration::from_secs(7 * 24 * 3600)),
+            cleanup_interval: None,
+            queue_depth: 4096,
+        }
+    }
+}
+
+impl LifecycleConfig {
+    /// Convenience: express the retention window in days (the paper-era
+    /// knob name).
+    pub fn retention_days(mut self, days: u64) -> Self {
+        self.retention = Some(Duration::from_secs(days * 24 * 3600));
+        self
+    }
+}
+
+/// Top-level sessiond configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection I/O model.
+    pub io: IoModel,
+    /// Session lifecycle policy.
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            io: IoModel::Reactor { shards: 0 },
+            lifecycle: LifecycleConfig::default(),
+        }
+    }
+}

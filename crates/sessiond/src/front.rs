@@ -1,0 +1,186 @@
+//! The sessiond front-end: one type over both I/O backends.
+//!
+//! [`SessiondServer`] wraps either the portable thread-per-connection
+//! server (`phoenix_server::RunningServer`) or the Linux sharded epoll
+//! [`crate::reactor::Reactor`], selected by [`IoModel`]. On non-Linux
+//! platforms `IoModel::Reactor` silently degrades to the threaded backend —
+//! same wire behaviour, different scalability envelope.
+
+use std::io;
+use std::sync::Arc;
+
+use phoenix_engine::{Engine, EngineConfig};
+use phoenix_server::server::{RunningServer, SharedEngine};
+
+use crate::config::{IoModel, LifecycleConfig, ServerConfig};
+use crate::lifecycle::CleanupJob;
+
+enum Backend {
+    Threaded(RunningServer),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::Reactor),
+}
+
+/// A running sessiond server: I/O backend + optional background cleanup.
+pub struct SessiondServer {
+    backend: Backend,
+    cleanup: Option<CleanupJob>,
+    /// The TCP port being listened on.
+    pub port: u16,
+    /// Resolved I/O model actually running (after platform fallback).
+    pub io_model: &'static str,
+    /// Shards actually running (0 for the threaded backend).
+    pub shards: usize,
+}
+
+impl SessiondServer {
+    /// Open the engine at `data_dir` and start serving on `port` (0 =
+    /// ephemeral). `lifecycle.max_sessions` overrides the engine config's
+    /// cap so there is a single knob.
+    pub fn start(
+        data_dir: impl AsRef<std::path::Path>,
+        mut engine_config: EngineConfig,
+        config: &ServerConfig,
+        port: u16,
+    ) -> io::Result<SessiondServer> {
+        if config.lifecycle.max_sessions.is_some() {
+            engine_config.max_sessions = config.lifecycle.max_sessions;
+        }
+        let engine = Engine::open(data_dir.as_ref(), engine_config)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        Self::start_with_engine(engine, config, port)
+    }
+
+    /// Start serving an already-open engine.
+    pub fn start_with_engine(
+        engine: Engine,
+        config: &ServerConfig,
+        port: u16,
+    ) -> io::Result<SessiondServer> {
+        let (backend, io_model, shards) = match config.io {
+            IoModel::Threaded => (
+                Backend::Threaded(RunningServer::start(engine, port)?),
+                "threaded",
+                0,
+            ),
+            IoModel::Reactor { .. } => {
+                let n = config.io.resolved_shards();
+                #[cfg(target_os = "linux")]
+                {
+                    (
+                        Backend::Reactor(crate::reactor::Reactor::start(
+                            engine,
+                            port,
+                            n,
+                            config.lifecycle.queue_depth,
+                        )?),
+                        "reactor",
+                        n,
+                    )
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    let _ = n;
+                    (
+                        Backend::Threaded(RunningServer::start(engine, port)?),
+                        "threaded",
+                        0,
+                    )
+                }
+            }
+        };
+        let port = match &backend {
+            Backend::Threaded(s) => s.port,
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => r.port,
+        };
+
+        let mut server = SessiondServer {
+            backend,
+            cleanup: None,
+            port,
+            io_model,
+            shards,
+        };
+        if let Some(interval) = config.lifecycle.cleanup_interval {
+            server.cleanup = Some(CleanupJob::start(
+                server.engine_handle(),
+                config.lifecycle.clone(),
+                interval,
+                server.prune_fn(),
+            ));
+        }
+        Ok(server)
+    }
+
+    /// The shared crash-switch engine handle.
+    pub fn engine_handle(&self) -> SharedEngine {
+        match &self.backend {
+            Backend::Threaded(s) => Arc::clone(&s.engine),
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => Arc::clone(&r.engine),
+        }
+    }
+
+    /// Number of live client connections currently registered.
+    pub fn connection_count(&self) -> usize {
+        match &self.backend {
+            Backend::Threaded(s) => s.connection_count(),
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => r.connection_count(),
+        }
+    }
+
+    /// Sever every client connection immediately (crash fault model).
+    pub fn sever_connections(&self) {
+        match &self.backend {
+            Backend::Threaded(s) => s.sever_connections(),
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => r.sever_connections(),
+        }
+    }
+
+    /// Reap registry entries whose peer has vanished.
+    pub fn prune_dead_conns(&self) -> usize {
+        match &self.backend {
+            Backend::Threaded(s) => s.prune_dead_conns(),
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => r.prune_dead_conns(),
+        }
+    }
+
+    /// Run one cleanup pass synchronously (tests and harnesses drive this
+    /// when no background interval is configured).
+    pub fn cleanup_now(&self, lifecycle: &LifecycleConfig) -> (usize, usize, usize) {
+        let engine = self.engine_handle();
+        crate::lifecycle::cleanup_tick(&engine, lifecycle, &|| self.prune_dead_conns())
+    }
+
+    /// Stop everything and return the engine (if not crashed away).
+    pub fn stop(mut self) -> Option<Arc<Engine>> {
+        if let Some(job) = self.cleanup.take() {
+            job.stop();
+        }
+        match self.backend {
+            Backend::Threaded(s) => s.stop(),
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => r.stop(),
+        }
+    }
+
+    fn prune_fn(&self) -> Arc<dyn Fn() -> usize + Send + Sync> {
+        // The closure must not borrow `self` (the job outlives the borrow),
+        // so capture the backend's own registry-probing handle.
+        match &self.backend {
+            Backend::Threaded(s) => {
+                let conns = s.conns_handle();
+                Arc::new(move || phoenix_server::server::prune_dead(&conns))
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(r) => {
+                let conns = r.conns_handle();
+                Arc::new(move || crate::reactor::prune_dead(&conns))
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Crash-injection harness for the sessiond front-end — the reactor-path
+//! twin of `phoenix_server::ServerHarness`, with the same fault model:
+//! `crash()` severs every client socket *before* dropping the engine (the
+//! lost-reply window), `restart()` recovers from the data directory on the
+//! same port.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use phoenix_engine::{Engine, EngineConfig};
+
+use crate::config::ServerConfig;
+use crate::front::SessiondServer;
+
+/// Test/bench harness around a [`SessiondServer`].
+pub struct SessiondHarness {
+    data_dir: PathBuf,
+    engine_config: EngineConfig,
+    config: ServerConfig,
+    port: u16,
+    server: Option<SessiondServer>,
+}
+
+impl SessiondHarness {
+    /// Start a sessiond server over `data_dir` on an ephemeral port.
+    pub fn start(
+        data_dir: impl AsRef<Path>,
+        engine_config: EngineConfig,
+        config: ServerConfig,
+    ) -> io::Result<SessiondHarness> {
+        let data_dir = data_dir.as_ref().to_path_buf();
+        let server = SessiondServer::start(&data_dir, engine_config.clone(), &config, 0)?;
+        let port = server.port;
+        Ok(SessiondHarness {
+            data_dir,
+            engine_config,
+            config,
+            port,
+            server: Some(server),
+        })
+    }
+
+    /// `host:port` the server listens on (stable across crash/restart).
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+
+    /// The listen port (stable across crash/restart).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The durable data directory.
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// Is the server currently up (not crashed)?
+    pub fn is_running(&self) -> bool {
+        self.server.is_some()
+    }
+
+    /// Which I/O model is actually serving (`"reactor"` or `"threaded"`).
+    pub fn io_model(&self) -> Option<&'static str> {
+        self.server.as_ref().map(|s| s.io_model)
+    }
+
+    /// Shards actually running (0 for the threaded backend).
+    pub fn shards(&self) -> Option<usize> {
+        self.server.as_ref().map(|s| s.shards)
+    }
+
+    /// Number of live client connections; `None` while crashed.
+    pub fn connection_count(&self) -> Option<usize> {
+        self.server.as_ref().map(|s| s.connection_count())
+    }
+
+    /// Reap dead connections; `None` while crashed.
+    pub fn prune_dead_conns(&self) -> Option<usize> {
+        self.server.as_ref().map(|s| s.prune_dead_conns())
+    }
+
+    /// Drive one synchronous cleanup pass (idle spill, retention purge,
+    /// dead-connection reap) with this harness's lifecycle config.
+    pub fn cleanup_now(&self) -> Option<(usize, usize, usize)> {
+        self.server
+            .as_ref()
+            .map(|s| s.cleanup_now(&self.config.lifecycle))
+    }
+
+    /// Crash the server abruptly: sever sockets, then drop the engine with
+    /// no checkpoint. Volatile state dies; the data directory (including
+    /// committed spill rows) survives.
+    pub fn crash(&mut self) -> io::Result<()> {
+        let server = self.server.take().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                "crash() on a server that is not running",
+            )
+        })?;
+        // Throw the crash switch *before* severing: the instant the process
+        // "dies", every teardown path (EOF-driven session closes, final
+        // replies) must find the engine already gone — otherwise a "crash"
+        // would gracefully close sessions and delete their durable spill
+        // rows on the way out. Requests already inside dispatch keep their
+        // cloned handle and may still commit; their replies are lost when
+        // the sockets are severed next — the paper's lost-reply window.
+        let engine = server.engine_handle().write().take();
+        server.sever_connections();
+        let _ = server.stop();
+        // Drain: executor threads may still hold cloned engine handles for
+        // an instant; the next incarnation must be the only WAL owner.
+        if let Some(engine) = engine {
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while std::sync::Arc::strong_count(&engine) > 1 && std::time::Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(engine);
+        }
+        Ok(())
+    }
+
+    /// Restart after a crash: recover from the data directory and listen on
+    /// the same port.
+    pub fn restart(&mut self) -> io::Result<()> {
+        assert!(self.server.is_none(), "restart() while still running");
+        let server = SessiondServer::start(
+            &self.data_dir,
+            self.engine_config.clone(),
+            &self.config,
+            self.port,
+        )?;
+        debug_assert_eq!(server.port, self.port);
+        self.server = Some(server);
+        Ok(())
+    }
+
+    /// Graceful shutdown: checkpoint, then stop.
+    pub fn shutdown(&mut self) {
+        if let Some(server) = self.server.take() {
+            if let Some(engine) = server.stop() {
+                let _ = engine.checkpoint();
+            }
+        }
+    }
+
+    /// Stall the server for `d`: a background thread holds the engine's
+    /// stall gate exclusively, so every in-flight and new request blocks
+    /// without any socket closing. On the reactor path this parks the
+    /// executor threads, which is how tests fill the admission queue
+    /// deterministically.
+    pub fn stall(&self, d: Duration) {
+        if let Some(server) = &self.server {
+            let engine = server.engine_handle().read().clone();
+            if let Some(engine) = engine {
+                let started = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let flag = std::sync::Arc::clone(&started);
+                std::thread::spawn(move || {
+                    engine.stall_with(d, move || {
+                        flag.store(true, std::sync::atomic::Ordering::SeqCst)
+                    });
+                });
+                while !started.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Direct engine access while running (test setup shortcuts).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> Option<R> {
+        let server = self.server.as_ref()?;
+        let engine = server.engine_handle().read().clone();
+        engine.map(|e| f(&e))
+    }
+}
+
+impl Drop for SessiondHarness {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

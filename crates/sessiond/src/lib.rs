@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # phoenix-sessiond
+//!
+//! The scale-out front-end for the Phoenix server: an event-driven
+//! connection reactor plus a durable session lifecycle manager, built for
+//! tens of thousands of concurrent *virtual* sessions on a handful of
+//! threads.
+//!
+//! * [`config`] — [`config::ServerConfig`]: pick the I/O model
+//!   ([`config::IoModel::Reactor`] on Linux, thread-per-connection
+//!   fallback everywhere) and the lifecycle policy (session cap, idle
+//!   spill, retention window, cleanup period, admission queue depth).
+//! * [`sys`] — raw `extern "C"` epoll/pipe/rlimit bindings (Linux only; no
+//!   new dependencies).
+//! * [`reactor`] — N event-loop shards, each an epoll instance owning its
+//!   connections, paired with an in-order executor thread that runs
+//!   requests through the *same* `phoenix_server::dispatch` as the
+//!   threaded server. Bounded executor queues answer overload with the
+//!   retryable `Busy` error.
+//! * [`lifecycle`] — the periodic cleanup job: spill idle sessions to the
+//!   durable `phoenix.sessiond_spill` table (the mechanism itself lives in
+//!   `phoenix_engine::spill`), purge expired spill rows, reap dead
+//!   connections.
+//! * [`front`] — [`front::SessiondServer`], one type over both backends.
+//! * [`harness`] — [`harness::SessiondHarness`]: `start()` / `crash()` /
+//!   `restart()` with the same brutal fault model as the server harness.
+//!
+//! The headline workload is the `session_storm` bench (`crates/bench`):
+//! thousands of virtual sessions ramp up, churn, survive a mid-storm crash,
+//! and herd-recover exactly-once through `phoenix-core`.
+
+pub mod config;
+pub mod front;
+pub mod harness;
+pub mod lifecycle;
+pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+pub use config::{IoModel, LifecycleConfig, ServerConfig};
+pub use front::SessiondServer;
+pub use harness::SessiondHarness;
+pub use lifecycle::CleanupJob;

@@ -1,0 +1,116 @@
+//! The periodic session-lifecycle cleanup job.
+//!
+//! One background thread; each tick it
+//!
+//! 1. spills sessions idle past `idle_spill_after` (releasing their engine
+//!    memory to the durable `phoenix.sessiond_spill` table),
+//! 2. purges spill rows older than `retention` (including rows stranded by
+//!    dead incarnations, which can never be restored),
+//! 3. reaps dead client connections from the registry (the satellite fix:
+//!    a *quiet* listener still notices vanished peers).
+//!
+//! Every pass increments `phoenix_sessiond_cleanup_runs_total` and records
+//! a `server_lifecycle` journal event when it did any work.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use phoenix_engine::spill::sessiond_metrics;
+use phoenix_server::server::SharedEngine;
+
+use crate::config::LifecycleConfig;
+
+/// Handle to the running cleanup thread; stops (and joins) on drop.
+pub struct CleanupJob {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// One cleanup pass over `engine` + the connection registry prober.
+/// Separated from the thread so harnesses (and tests) can drive ticks
+/// deterministically. Returns `(spilled, purged, pruned)`.
+pub fn cleanup_tick(
+    engine: &SharedEngine,
+    config: &LifecycleConfig,
+    prune: &(dyn Fn() -> usize + Sync),
+) -> (usize, usize, usize) {
+    let mut spilled = 0;
+    let mut purged = 0;
+    let eng = engine.read().clone();
+    if let Some(eng) = eng {
+        if let Some(idle) = config.idle_spill_after {
+            spilled = eng.spill_idle_sessions(idle);
+        }
+        if let Some(retention) = config.retention {
+            purged = eng.purge_spilled(retention);
+        }
+    }
+    let pruned = prune();
+    sessiond_metrics().cleanup_runs.inc();
+    if spilled + purged + pruned > 0 {
+        phoenix_obs::journal().record(
+            "sessiond",
+            phoenix_obs::EventKind::ServerLifecycle,
+            format!("cleanup spilled={spilled} purged={purged} pruned={pruned}"),
+        );
+    }
+    (spilled, purged, pruned)
+}
+
+impl CleanupJob {
+    /// Start the periodic job. `prune` is the dead-connection prober for
+    /// whichever backend is running.
+    pub fn start(
+        engine: SharedEngine,
+        config: LifecycleConfig,
+        interval: Duration,
+        prune: Arc<dyn Fn() -> usize + Send + Sync>,
+    ) -> CleanupJob {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("phx-cleanup".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    // Sleep first so a short-lived server doesn't spill on
+                    // startup; poll the stop flag often enough to shut down
+                    // promptly even with long intervals.
+                    let mut left = interval;
+                    while !left.is_zero() && !stop2.load(Ordering::SeqCst) {
+                        let step = left.min(Duration::from_millis(20));
+                        std::thread::sleep(step);
+                        left = left.saturating_sub(step);
+                    }
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    cleanup_tick(&engine, &config, &|| prune());
+                }
+            })
+            .expect("spawn cleanup thread");
+        CleanupJob {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop and join the job thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CleanupJob {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

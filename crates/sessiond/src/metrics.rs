@@ -1,0 +1,53 @@
+//! Reactor-layer metric handles. The lifecycle metrics
+//! (`phoenix_sessiond_spilled_total` and friends) live in
+//! `phoenix_engine::spill` next to the mechanism they count; these cover the
+//! connection front-end.
+
+use std::sync::{Arc, OnceLock};
+
+use phoenix_obs::{registry, Counter, Gauge};
+
+/// Cached handles for the reactor metric set.
+pub struct ReactorMetrics {
+    /// Connections currently owned by reactor shards
+    /// (`phoenix_sessiond_conns`).
+    pub conns: Arc<Gauge>,
+    /// Event-loop shards running (`phoenix_sessiond_shards`).
+    pub shards: Arc<Gauge>,
+    /// Request frames parsed off sockets by shards
+    /// (`phoenix_sessiond_frames_total`).
+    pub frames: Arc<Counter>,
+    /// Requests refused at admission with the retryable `Busy` code because
+    /// a shard's executor queue was full
+    /// (`phoenix_sessiond_overload_total`).
+    pub overload: Arc<Counter>,
+    /// Times a shard's `epoll_wait` returned (`phoenix_sessiond_wakeups_total`).
+    pub wakeups: Arc<Counter>,
+}
+
+/// The reactor metric set, registered on first use.
+pub fn reactor_metrics() -> &'static ReactorMetrics {
+    static M: OnceLock<ReactorMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        ReactorMetrics {
+            conns: r.gauge(
+                "phoenix_sessiond_conns",
+                "connections owned by reactor shards",
+            ),
+            shards: r.gauge("phoenix_sessiond_shards", "event-loop shards running"),
+            frames: r.counter(
+                "phoenix_sessiond_frames_total",
+                "request frames parsed by reactor shards",
+            ),
+            overload: r.counter(
+                "phoenix_sessiond_overload_total",
+                "requests refused at admission (executor queue full)",
+            ),
+            wakeups: r.counter(
+                "phoenix_sessiond_wakeups_total",
+                "reactor shard epoll_wait returns",
+            ),
+        }
+    })
+}

@@ -1,0 +1,892 @@
+//! The sharded event-loop front-end.
+//!
+//! Topology: one nonblocking accept thread round-robins incoming sockets
+//! across N shards. Each shard is a pair of threads:
+//!
+//! * the **event loop** owns an epoll instance and every socket assigned to
+//!   the shard. It reads nonblocking, slices the byte stream into frames
+//!   with the same length-prefix codec the wire crate uses, decodes
+//!   requests, and hands them to its executor. It also flushes executor
+//!   replies back out, honouring `EPOLLOUT` when a socket's send buffer
+//!   fills.
+//! * the **executor** pulls decoded requests off a FIFO channel and runs
+//!   them through `phoenix_server::dispatch` — the *same* function the
+//!   thread-per-connection server uses, so request semantics are identical
+//!   by construction. FIFO order per shard preserves the per-connection
+//!   in-order execution contract (a connection lives on exactly one shard).
+//!
+//! Admission control: the event loop tracks how many requests it has queued
+//! toward its executor and have not yet been answered. Past
+//! `queue_depth`, new requests are refused *at the socket* with the
+//! retryable `Busy` error — the queue stays bounded and an overloaded
+//! server degrades into fast, honest push-back instead of unbounded memory
+//! growth.
+//!
+//! Framing subtlety: a `LoginV2` switches the connection to tagged frames,
+//! but only once the server acks it. The shard therefore *pauses* parsing
+//! the moment it sees a `LoginV2` and resumes — in the new framing mode on
+//! success, the old on refusal — when the executor's completion comes back.
+//! Bytes that arrived behind the login stay buffered; nothing is lost.
+
+#![cfg(target_os = "linux")]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use phoenix_engine::{Engine, ErrorCode, SessionId};
+use phoenix_server::metrics::server_metrics;
+use phoenix_server::server::{dispatch, login_v2, SharedEngine};
+use phoenix_wire::frame::MAX_FRAME;
+use phoenix_wire::message::{Request, Response};
+
+use crate::metrics::reactor_metrics;
+use crate::sys::{
+    Epoll, EpollEvent, WakePipe, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+
+/// Token reserved for the shard's wake pipe.
+const WAKE_TOKEN: u64 = 0;
+
+/// Hand-off queue the accept thread fills and a shard drains.
+type IncomingQueue = Arc<Mutex<Vec<(u64, TcpStream)>>>;
+
+/// Registry of live connection fds, keyed by connection id — the reactor's
+/// analogue of `phoenix_server::server::ConnRegistry`, holding *raw* fds
+/// instead of `try_clone`d streams: at 10k+ sessions a dup per connection
+/// doubles the server's `RLIMIT_NOFILE` bill and turns the hard cap into a
+/// mid-ramp EMFILE wedge. The entries are non-owning; safety comes from
+/// ordering: an fd is inserted before its stream reaches a shard and
+/// removed under this lock before the owning shard closes it, so a
+/// registered fd always refers to the live socket (never a recycled fd).
+pub type FdRegistry = Arc<Mutex<HashMap<u64, RawFd>>>;
+
+/// Reap registry entries whose peer has vanished (the reactor's analogue
+/// of `phoenix_server::server::prune_dead`). The reaped socket is also
+/// shut down so the owning shard observes EOF and tears the connection
+/// down through its normal close path.
+pub fn prune_dead(conns: &FdRegistry) -> usize {
+    let mut conns = conns.lock();
+    let dead: Vec<u64> = conns
+        .iter()
+        .filter(|(_, fd)| crate::sys::socket_is_dead(**fd))
+        .map(|(id, _)| *id)
+        .collect();
+    for id in &dead {
+        if let Some(fd) = conns.remove(id) {
+            crate::sys::shutdown_both(fd);
+        }
+    }
+    if !dead.is_empty() {
+        server_metrics().connections_reaped.add(dead.len() as u64);
+    }
+    dead.len()
+}
+
+/// A unit of work for a shard's executor.
+enum Job {
+    /// Execute one decoded request for a connection. `tag` is present iff
+    /// the connection is in v2 (tagged) mode.
+    Request {
+        conn: u64,
+        tag: Option<u64>,
+        req: Request,
+    },
+    /// The connection is gone: close its engine session.
+    Close { conn: u64 },
+    /// Stop the executor thread.
+    Shutdown,
+}
+
+/// What the executor hands back to the event loop.
+struct Completion {
+    conn: u64,
+    /// Fully framed reply bytes (length prefix included), ready to write.
+    /// `None` means "no reply escapes" (chaos halt) — combined with
+    /// `close_after` it models a crashed process going silent.
+    bytes: Option<Vec<u8>>,
+    /// `Some(true)`: v2 negotiation succeeded — switch framing and resume.
+    /// `Some(false)`: negotiation failed — resume in v1 mode.
+    upgrade: Option<bool>,
+    /// Close the connection once the reply has been flushed.
+    close_after: bool,
+}
+
+/// Per-connection state owned by a shard's event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (`rpos..` is live).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Pending outbound bytes (`wpos..` is live).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Tagged-frame mode (post-LoginV2).
+    v2: bool,
+    /// Parsing paused while a LoginV2 is in flight.
+    paused: bool,
+    /// Close once `wbuf` drains.
+    close_after_flush: bool,
+    /// Interest mask currently registered with epoll.
+    interest: u32,
+    /// Peer hit EOF/error while replies were still buffered: close as soon
+    /// as the flush finishes or fails.
+    read_dead: bool,
+}
+
+struct Shard {
+    epoll: Epoll,
+    wake: WakePipe,
+    conns: HashMap<u64, Conn>,
+    /// Sockets handed over by the accept thread.
+    incoming: IncomingQueue,
+    /// Replies handed back by the executor.
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    jobs: Sender<Job>,
+    /// Requests queued toward the executor and not yet completed.
+    depth: usize,
+    /// Admission cap for `depth`.
+    queue_depth: usize,
+    registry: FdRegistry,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle the reactor keeps per shard.
+struct ShardHandle {
+    waker: Waker,
+    incoming: IncomingQueue,
+    jobs: Sender<Job>,
+    loop_thread: Option<JoinHandle<()>>,
+    exec_thread: Option<JoinHandle<()>>,
+}
+
+/// A running sharded-reactor server. Same external contract as
+/// `phoenix_server::RunningServer`: shared crash-switch engine, connection
+/// registry severable by the harness, `stop()` returns the engine.
+pub struct Reactor {
+    /// The engine behind the crash switch (None once crashed).
+    pub engine: SharedEngine,
+    /// The TCP port being listened on.
+    pub port: u16,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    shards: Vec<ShardHandle>,
+    conns: FdRegistry,
+}
+
+impl Reactor {
+    /// Start `shards` event loops listening on 127.0.0.1:`port` (0 =
+    /// ephemeral).
+    pub fn start(
+        engine: Engine,
+        port: u16,
+        shards: usize,
+        queue_depth: usize,
+    ) -> std::io::Result<Reactor> {
+        let shards = shards.max(1);
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+
+        let engine: SharedEngine = Arc::new(parking_lot::RwLock::new(Some(Arc::new(engine))));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry: FdRegistry = Arc::new(Mutex::new(HashMap::new()));
+
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let incoming = Arc::new(Mutex::new(Vec::new()));
+            let completions = Arc::new(Mutex::new(VecDeque::new()));
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+
+            let shard = Shard::new(
+                Arc::clone(&incoming),
+                Arc::clone(&completions),
+                tx.clone(),
+                queue_depth,
+                Arc::clone(&registry),
+                Arc::clone(&shutdown),
+            )?;
+            let waker = shard.wake.waker();
+
+            let exec_engine = Arc::clone(&engine);
+            let exec_completions = Arc::clone(&completions);
+            let exec_waker = waker.clone();
+            let exec_thread = std::thread::Builder::new()
+                .name(format!("phx-sexec-{i}"))
+                .spawn(move || executor_loop(exec_engine, rx, exec_completions, exec_waker))?;
+
+            let loop_thread = std::thread::Builder::new()
+                .name(format!("phx-shard-{i}"))
+                .spawn(move || shard.run())?;
+
+            handles.push(ShardHandle {
+                waker,
+                incoming,
+                jobs: tx,
+                loop_thread: Some(loop_thread),
+                exec_thread: Some(exec_thread),
+            });
+        }
+        reactor_metrics().shards.set(shards as i64);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_registry = Arc::clone(&registry);
+        let accept_targets: Vec<(Waker, IncomingQueue)> = handles
+            .iter()
+            .map(|h| (h.waker.clone(), Arc::clone(&h.incoming)))
+            .collect();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("phx-saccept-{port}"))
+            .spawn(move || {
+                accept_loop(listener, accept_targets, accept_shutdown, accept_registry)
+            })?;
+
+        phoenix_obs::journal().record(
+            "sessiond",
+            phoenix_obs::EventKind::ServerLifecycle,
+            format!("reactor start port={port} shards={shards} queue_depth={queue_depth}"),
+        );
+
+        Ok(Reactor {
+            engine,
+            port,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            shards: handles,
+            conns: registry,
+        })
+    }
+
+    /// Number of live client connections currently registered.
+    pub fn connection_count(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// A clone of the connection-registry handle, for external probers.
+    /// A pruned (shut-down) fd raises `EPOLLHUP` on its owning shard, so no
+    /// explicit wake is needed.
+    pub fn conns_handle(&self) -> FdRegistry {
+        Arc::clone(&self.conns)
+    }
+
+    /// Sever every client connection immediately (crash fault model). The
+    /// shards observe EOF/error on their next event and clean up.
+    pub fn sever_connections(&self) {
+        let conns = self.conns.lock();
+        for fd in conns.values() {
+            crate::sys::shutdown_both(*fd);
+        }
+        // Entries are removed by their owning shard; a crashed harness just
+        // needs the sockets dead, not the map empty.
+        drop(conns);
+        for s in &self.shards {
+            s.waker.wake();
+        }
+    }
+
+    /// Reap registry entries whose peer has vanished (shared liveness probe
+    /// with the threaded server).
+    pub fn prune_dead_conns(&self) -> usize {
+        let n = prune_dead(&self.conns);
+        if n > 0 {
+            // Wake the shards so their event loops notice the shutdown fds.
+            for s in &self.shards {
+                s.waker.wake();
+            }
+        }
+        n
+    }
+
+    /// Stop accepting, stop every shard, and return the engine (if not
+    /// already crashed away).
+    pub fn stop(mut self) -> Option<Arc<Engine>> {
+        self.shutdown_threads();
+        self.engine.write().take()
+    }
+
+    fn shutdown_threads(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for s in &mut self.shards {
+            s.waker.wake();
+            if let Some(t) = s.loop_thread.take() {
+                let _ = t.join();
+            }
+            let _ = s.jobs.send(Job::Shutdown);
+            if let Some(t) = s.exec_thread.take() {
+                let _ = t.join();
+            }
+        }
+        reactor_metrics().shards.set(0);
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown_threads();
+    }
+}
+
+/// Accept loop: same bounded-backoff error policy as the threaded server's
+/// (satellite: a transient EMFILE must never kill the listener), plus
+/// round-robin shard assignment.
+fn accept_loop(
+    listener: TcpListener,
+    targets: Vec<(Waker, IncomingQueue)>,
+    shutdown: Arc<AtomicBool>,
+    registry: FdRegistry,
+) {
+    static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+    const BACKOFF_CEIL: Duration = Duration::from_millis(100);
+    let mut backoff = BACKOFF_FLOOR;
+    let mut rr = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = BACKOFF_FLOOR;
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let conn_id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
+                // Non-owning entry: the shard owns the stream; the registry
+                // holds the raw fd so sever/prune cost no second fd.
+                registry.lock().insert(conn_id, stream.as_raw_fd());
+                let m = server_metrics();
+                m.connections_accepted.inc();
+                m.connections_active.inc();
+                let (waker, incoming) = &targets[rr % targets.len()];
+                rr = rr.wrapping_add(1);
+                incoming.lock().push((conn_id, stream));
+                waker.wake();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                server_metrics().accept_errors.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
+            }
+        }
+    }
+}
+
+impl Shard {
+    fn new(
+        incoming: IncomingQueue,
+        completions: Arc<Mutex<VecDeque<Completion>>>,
+        jobs: Sender<Job>,
+        queue_depth: usize,
+        registry: FdRegistry,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<Shard> {
+        let epoll = Epoll::new()?;
+        let wake = WakePipe::new()?;
+        epoll.add(wake.read_fd(), EPOLLIN, WAKE_TOKEN)?;
+        Ok(Shard {
+            epoll,
+            wake,
+            conns: HashMap::new(),
+            incoming,
+            completions,
+            jobs,
+            depth: 0,
+            queue_depth: queue_depth.max(1),
+            registry,
+            shutdown,
+        })
+    }
+
+    fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        while let Ok(r) = self.epoll.wait(&mut events, -1) {
+            let ready: Vec<EpollEvent> = r.to_vec();
+            reactor_metrics().wakeups.inc();
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in ready {
+                let token = ev.data;
+                if token == WAKE_TOKEN {
+                    self.wake.drain();
+                } else {
+                    self.handle_io(token, ev.events);
+                }
+            }
+            self.admit_incoming();
+            self.apply_completions();
+        }
+        // Teardown: every owned socket dies with the shard.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    /// Register sockets the accept thread has handed over.
+    fn admit_incoming(&mut self) {
+        let batch: Vec<(u64, TcpStream)> = std::mem::take(&mut *self.incoming.lock());
+        for (id, stream) in batch {
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(stream.as_raw_fd(), interest, id).is_err() {
+                self.registry.lock().remove(&id);
+                let m = server_metrics();
+                m.connections_pruned.inc();
+                m.connections_active.dec();
+                continue;
+            }
+            reactor_metrics().conns.inc();
+            self.conns.insert(
+                id,
+                Conn {
+                    stream,
+                    rbuf: Vec::new(),
+                    rpos: 0,
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    v2: false,
+                    paused: false,
+                    close_after_flush: false,
+                    interest,
+                    read_dead: false,
+                },
+            );
+        }
+    }
+
+    /// Drain the executor's completion queue into connection write buffers.
+    fn apply_completions(&mut self) {
+        loop {
+            let c = match self.completions.lock().pop_front() {
+                Some(c) => c,
+                None => break,
+            };
+            self.depth = self.depth.saturating_sub(1);
+            let Some(bytes) = c.bytes else {
+                // Chaos halt: no reply escapes, the connection dies.
+                self.close_conn(c.conn);
+                continue;
+            };
+            let Some(conn) = self.conns.get_mut(&c.conn) else {
+                continue; // connection died while the request executed
+            };
+            conn.wbuf.extend_from_slice(&bytes);
+            if let Some(upgraded) = c.upgrade {
+                conn.v2 = conn.v2 || upgraded;
+                conn.paused = false;
+            }
+            if c.close_after {
+                conn.close_after_flush = true;
+                conn.paused = true; // no further requests after logout
+            }
+            self.flush_and_continue(c.conn);
+        }
+    }
+
+    /// Epoll readiness on a connection.
+    fn handle_io(&mut self, id: u64, events: u32) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        if events & EPOLLOUT != 0 {
+            self.flush_and_continue(id);
+            if !self.conns.contains_key(&id) {
+                return;
+            }
+        }
+        if events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+            // Read everything available right now.
+            let mut dead = false;
+            {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(n) => conn.rbuf.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            self.parse_frames(id);
+            if dead {
+                // EOF after parsing: complete frames that arrived ahead of
+                // the FIN were still dispatched. If replies are still
+                // buffered, keep the connection just long enough to flush
+                // them; otherwise tear down now.
+                let flush_pending = match self.conns.get_mut(&id) {
+                    Some(conn) => {
+                        if conn.wbuf.len() > conn.wpos {
+                            conn.read_dead = true;
+                            conn.paused = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => return,
+                };
+                if flush_pending {
+                    // Drop EPOLLIN interest (EOF is permanently "readable")
+                    // and arm EPOLLOUT for the remaining backlog.
+                    self.update_interest(id);
+                } else {
+                    self.close_conn(id);
+                }
+            }
+        }
+    }
+
+    /// Slice buffered bytes into frames and act on each. Stops while paused
+    /// (LoginV2 in flight) and on admission pushback.
+    fn parse_frames(&mut self, id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.paused {
+                break;
+            }
+            let avail = conn.rbuf.len() - conn.rpos;
+            if avail < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(
+                conn.rbuf[conn.rpos..conn.rpos + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            if len > MAX_FRAME {
+                // Protocol violation — the stream cannot be resynced.
+                self.close_conn(id);
+                return;
+            }
+            let total = 4 + len as usize;
+            if avail < total {
+                break;
+            }
+            let payload: Vec<u8> = conn.rbuf[conn.rpos + 4..conn.rpos + total].to_vec();
+            conn.rpos += total;
+            reactor_metrics().frames.inc();
+            self.handle_frame(id, payload);
+        }
+        // Compact the read buffer once the parsed prefix dominates it.
+        if let Some(conn) = self.conns.get_mut(&id) {
+            if conn.rpos > 4096 && conn.rpos * 2 >= conn.rbuf.len() {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+    }
+
+    /// One complete frame: split the v2 tag off, decode, apply admission,
+    /// enqueue toward the executor (or answer directly).
+    fn handle_frame(&mut self, id: u64, payload: Vec<u8>) {
+        let v2 = match self.conns.get(&id) {
+            Some(c) => c.v2,
+            None => return,
+        };
+        let (tag, body): (Option<u64>, &[u8]) = if v2 {
+            if payload.len() < 8 {
+                self.close_conn(id);
+                return;
+            }
+            (
+                Some(u64::from_le_bytes(
+                    payload[..8].try_into().expect("8 bytes"),
+                )),
+                &payload[8..],
+            )
+        } else {
+            (None, &payload[..])
+        };
+
+        let req = match Request::decode(body) {
+            Ok(r) => r,
+            Err(e) => {
+                // Same contract as the threaded loop: a malformed message
+                // inside a well-formed frame gets an error reply, not a
+                // hangup.
+                server_metrics().malformed_requests.inc();
+                let rsp = Response::Err {
+                    code: ErrorCode::Parse as u16,
+                    message: format!("malformed request: {e}"),
+                };
+                self.reply_direct(id, tag, &rsp);
+                return;
+            }
+        };
+        server_metrics().requests(&req).inc();
+
+        // Admission control: a full executor queue answers Busy instead of
+        // queueing without bound. Clients treat it as retryable.
+        if self.depth >= self.queue_depth {
+            reactor_metrics().overload.inc();
+            let rsp = Response::Err {
+                code: ErrorCode::Busy as u16,
+                message: format!(
+                    "server overloaded: shard queue depth {} reached; retry",
+                    self.queue_depth
+                ),
+            };
+            self.reply_direct(id, tag, &rsp);
+            return;
+        }
+
+        // A v2 login changes this connection's framing mode: stop parsing
+        // until the executor tells us whether the upgrade happened.
+        if matches!(req, Request::LoginV2 { .. }) && !v2 {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.paused = true;
+            }
+        }
+
+        self.depth += 1;
+        if self.jobs.send(Job::Request { conn: id, tag, req }).is_err() {
+            self.close_conn(id);
+        }
+    }
+
+    /// Frame and enqueue a shard-synthesized reply (parse error, admission
+    /// Busy) without touching the executor.
+    fn reply_direct(&mut self, id: u64, tag: Option<u64>, rsp: &Response) {
+        let framed = frame_reply(tag, rsp);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.wbuf.extend_from_slice(&framed);
+        }
+        self.flush_and_continue(id);
+    }
+
+    /// Write as much pending output as the socket accepts; keep `EPOLLOUT`
+    /// interest exactly while a backlog remains; close when a deferred
+    /// close's flush completes.
+    fn flush_and_continue(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.close_conn(id);
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.close_after_flush || conn.read_dead {
+                self.close_conn(id);
+                return;
+            }
+        }
+        self.update_interest(id);
+    }
+
+    /// Recompute and (if changed) re-register the epoll interest mask.
+    fn update_interest(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut want = EPOLLRDHUP;
+        if !conn.paused {
+            want |= EPOLLIN;
+        }
+        if conn.wpos < conn.wbuf.len() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = self.epoll.modify(conn.stream.as_raw_fd(), want, id);
+        }
+    }
+
+    /// Tear a connection down: epoll dereg (implicit in close), registry
+    /// prune, session close via the executor (FIFO order — after any
+    /// in-flight requests for this connection).
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.registry.lock().remove(&id);
+            let m = server_metrics();
+            m.connections_pruned.inc();
+            m.connections_active.dec();
+            reactor_metrics().conns.dec();
+            let _ = self.jobs.send(Job::Close { conn: id });
+        }
+    }
+}
+
+/// Frame a reply, tagged iff `tag` is present.
+fn frame_reply(tag: Option<u64>, rsp: &Response) -> Vec<u8> {
+    let body = rsp.encode();
+    match tag {
+        Some(t) => {
+            let mut framed = Vec::with_capacity(12 + body.len());
+            framed.extend_from_slice(&((body.len() + 8) as u32).to_le_bytes());
+            framed.extend_from_slice(&t.to_le_bytes());
+            framed.extend_from_slice(&body);
+            framed
+        }
+        None => {
+            let mut framed = Vec::with_capacity(4 + body.len());
+            framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&body);
+            framed
+        }
+    }
+}
+
+/// The shard executor: strict FIFO over decoded requests, executing through
+/// the same `dispatch`/`login_v2` as the threaded server, with the same
+/// chaos fault points (`server.pipeline_dequeue` before execution,
+/// `server.reply_send` before the reply escapes).
+fn executor_loop(
+    engine: SharedEngine,
+    jobs: Receiver<Job>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    waker: Waker,
+) {
+    let mut sessions: HashMap<u64, Option<SessionId>> = HashMap::new();
+    let m = server_metrics();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Shutdown => break,
+            Job::Close { conn } => {
+                if let Some(Some(sid)) = sessions.remove(&conn) {
+                    let eng = engine.read().clone();
+                    if let Some(eng) = eng {
+                        let _ = eng.close_session(sid);
+                    }
+                }
+            }
+            Job::Request { conn, tag, req } => {
+                let session = sessions.entry(conn).or_insert(None);
+                match phoenix_chaos::fault("server.pipeline_dequeue") {
+                    phoenix_chaos::FaultAction::Continue | phoenix_chaos::FaultAction::Crash => {}
+                    phoenix_chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+                    phoenix_chaos::FaultAction::IoError | phoenix_chaos::FaultAction::Torn(_) => {
+                        push(
+                            &completions,
+                            &waker,
+                            Completion {
+                                conn,
+                                bytes: None,
+                                upgrade: None,
+                                close_after: true,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                let completion = if let Request::LoginV2 {
+                    user,
+                    database: _,
+                    options,
+                    protocol,
+                    window,
+                } = req
+                {
+                    match login_v2(&engine, session, &user, options, protocol, window) {
+                        Ok((ack, _granted)) => Completion {
+                            conn,
+                            // The v2 ack itself is still v1-framed.
+                            bytes: Some(frame_reply(None, &ack)),
+                            upgrade: Some(true),
+                            close_after: false,
+                        },
+                        Err(rsp) => Completion {
+                            conn,
+                            bytes: Some(frame_reply(None, &rsp)),
+                            upgrade: Some(false),
+                            close_after: false,
+                        },
+                    }
+                } else {
+                    let logout = matches!(req, Request::Logout);
+                    m.requests_inflight.inc();
+                    let rsp = dispatch(&engine, session, req);
+                    m.requests_inflight.dec();
+                    Completion {
+                        conn,
+                        bytes: Some(frame_reply(tag, &rsp)),
+                        upgrade: None,
+                        close_after: logout,
+                    }
+                };
+                // No reply escapes a halted (crashed-by-chaos) server.
+                let completion = if phoenix_chaos::halted() {
+                    Completion {
+                        conn,
+                        bytes: None,
+                        upgrade: None,
+                        close_after: true,
+                    }
+                } else {
+                    match phoenix_chaos::fault("server.reply_send") {
+                        phoenix_chaos::FaultAction::Continue => completion,
+                        phoenix_chaos::FaultAction::Delay(d) => {
+                            std::thread::sleep(d);
+                            completion
+                        }
+                        phoenix_chaos::FaultAction::Crash | phoenix_chaos::FaultAction::IoError => {
+                            Completion {
+                                conn,
+                                bytes: None,
+                                upgrade: None,
+                                close_after: true,
+                            }
+                        }
+                        phoenix_chaos::FaultAction::Torn(n) => {
+                            // Die mid-send: the client sees a truncated frame.
+                            let mut bytes = completion.bytes.unwrap_or_default();
+                            bytes.truncate(n.min(bytes.len().saturating_sub(1)));
+                            Completion {
+                                conn,
+                                bytes: Some(bytes),
+                                upgrade: None,
+                                close_after: true,
+                            }
+                        }
+                    }
+                };
+                push(&completions, &waker, completion);
+            }
+        }
+    }
+}
+
+fn push(completions: &Mutex<VecDeque<Completion>>, waker: &Waker, c: Completion) {
+    completions.lock().push_back(c);
+    waker.wake();
+}

@@ -1,0 +1,325 @@
+//! Raw Linux syscall bindings for the reactor: epoll, a self-wake pipe, and
+//! rlimit adjustment. No external crates — the handful of syscalls the
+//! reactor needs are declared `extern "C"` against the platform libc that is
+//! already linked into every Rust binary. The whole module is gated on
+//! `target_os = "linux"`; other platforms use the thread-per-connection
+//! fallback and never reference it.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+
+// ---------------------------------------------------------------------------
+// epoll
+// ---------------------------------------------------------------------------
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it (the
+/// 64-bit data member is 4-byte aligned); on other architectures it has
+/// natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event mask (`EPOLL*` bits).
+    pub events: u32,
+    /// Caller-chosen token (we store the connection id).
+    pub data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event mask (`EPOLL*` bits).
+    pub events: u32,
+    /// Caller-chosen token (we store the connection id).
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn shutdown(fd: i32, how: i32) -> i32;
+    fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
+}
+
+/// An owned epoll instance; closes its fd on drop.
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    /// Register `fd` with interest `events` and token `token`.
+    pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of an already-registered `fd`.
+    pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister `fd`. (Closing the fd also deregisters it implicitly; this
+    /// exists for the paths that keep the fd open a little longer.)
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Block until events are ready (or `timeout_ms`; −1 = forever). Returns
+    /// the ready prefix of `events`.
+    pub fn wait<'a>(
+        &self,
+        events: &'a mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<&'a [EpollEvent]> {
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            return Ok(&events[..n as usize]);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wake pipe
+// ---------------------------------------------------------------------------
+
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+
+/// A nonblocking self-pipe: the shard registers the read end in its epoll
+/// set; any thread holding a [`Waker`] can interrupt `epoll_wait`.
+pub struct WakePipe {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+/// The write end of a [`WakePipe`], cloneable across threads.
+#[derive(Clone)]
+pub struct Waker {
+    write_fd: i32,
+}
+
+impl WakePipe {
+    /// `pipe2(O_NONBLOCK | O_CLOEXEC)`.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd to register in epoll.
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// A handle other threads use to wake this pipe's owner.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            write_fd: self.write_fd,
+        }
+    }
+
+    /// Drain pending wake bytes (the wake is level-triggered otherwise).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break; // EAGAIN (drained) or error — either way, done
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+impl Waker {
+    /// Interrupt the owning shard's `epoll_wait`. A full pipe means a wake
+    /// is already pending, which is exactly as good as another byte.
+    pub fn wake(&self) {
+        let b = 1u8;
+        unsafe { write(self.write_fd, &b, 1) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// socket probes (for the non-owning fd registry)
+// ---------------------------------------------------------------------------
+
+const SHUT_RDWR: i32 = 2;
+const MSG_PEEK: i32 = 2;
+const MSG_DONTWAIT: i32 = 0x40;
+
+/// `shutdown(fd, SHUT_RDWR)`: sever both directions of a socket without
+/// closing the fd (the owner still holds it and will observe the EOF).
+pub fn shutdown_both(fd: i32) {
+    unsafe { shutdown(fd, SHUT_RDWR) };
+}
+
+/// Liveness-probe a socket fd without consuming data: a one-byte
+/// `recv(MSG_PEEK | MSG_DONTWAIT)` returning 0 means the peer performed an
+/// orderly shutdown; an error other than `EAGAIN`/`EINTR` means the socket
+/// is broken. `MSG_PEEK` leaves any pending request bytes in place for the
+/// owning shard.
+pub fn socket_is_dead(fd: i32) -> bool {
+    let mut byte = 0u8;
+    let n = unsafe { recv(fd, &mut byte, 1, MSG_PEEK | MSG_DONTWAIT) };
+    match n {
+        0 => true, // EOF: peer closed while we weren't reading
+        n if n > 0 => false,
+        _ => !matches!(
+            io::Error::last_os_error().kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rlimit
+// ---------------------------------------------------------------------------
+
+const RLIMIT_NOFILE: i32 = 7;
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+/// Raise the soft `RLIMIT_NOFILE` to at least `want` (clamped to the hard
+/// limit). Returns the resulting soft limit. The session-storm bench needs
+/// two fds per virtual session — far beyond the usual 1024 default.
+pub fn raise_nofile(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    // A privileged process (CAP_SYS_RESOURCE) may raise the hard limit
+    // too — try the full ask first, then fall back to the current ceiling.
+    if lim.rlim_max < want {
+        let raised = Rlimit {
+            rlim_cur: want,
+            rlim_max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(want);
+        }
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_round_trip() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing pending: a zero-timeout wait returns empty.
+        assert!(ep.wait(&mut events, 0).unwrap().is_empty());
+        pipe.waker().wake();
+        let ready = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        let token = ready[0].data;
+        assert_eq!(token, 7);
+        pipe.drain();
+        assert!(ep.wait(&mut events, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raise_nofile_is_monotone() {
+        let cur = raise_nofile(64).unwrap();
+        assert!(cur >= 64);
+    }
+}

@@ -1,0 +1,210 @@
+//! Session lifecycle over the wire: spill → transparent restore across
+//! client requests, `max_sessions` eviction surfacing the retryable driver
+//! error, and retention purge through the cleanup job.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use phoenix_driver::{DriverError, Environment};
+use phoenix_engine::EngineConfig;
+use phoenix_sessiond::{IoModel, LifecycleConfig, ServerConfig, SessiondHarness};
+use phoenix_storage::types::Value;
+use phoenix_wire::message::{CursorKind, FetchDir};
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "phoenix-sessiond-lifecycle-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn start(lifecycle: LifecycleConfig) -> (SessiondHarness, PathBuf) {
+    let dir = temp_dir();
+    let config = ServerConfig {
+        io: IoModel::Reactor { shards: 1 },
+        lifecycle,
+    };
+    let h = SessiondHarness::start(&dir, EngineConfig::default(), config).unwrap();
+    (h, dir)
+}
+
+#[test]
+fn idle_spill_then_transparent_restore_preserves_session_state() {
+    let (h, dir) = start(LifecycleConfig {
+        idle_spill_after: Some(Duration::from_millis(40)),
+        retention: Some(Duration::from_secs(3600)),
+        ..LifecycleConfig::default()
+    });
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("CREATE TABLE orders (k INT PRIMARY KEY, v INT)")
+        .unwrap();
+    conn.execute("INSERT INTO orders VALUES (1,10),(2,20),(3,30),(4,40)")
+        .unwrap();
+    conn.execute("SET app_name 'storm'").unwrap();
+    conn.execute("CREATE TABLE #scratch (v INT PRIMARY KEY)")
+        .unwrap();
+    conn.execute("INSERT INTO #scratch VALUES (1),(2),(3)")
+        .unwrap();
+    let (cur, _, _) = conn
+        .open_cursor_raw("SELECT k FROM orders ORDER BY k", CursorKind::Keyset)
+        .unwrap();
+    let (rows, _) = conn.fetch_cursor_raw(cur, FetchDir::Next, 2).unwrap();
+    assert_eq!(rows.len(), 2);
+
+    // Go idle past the threshold, then run the cleanup job's tick.
+    std::thread::sleep(Duration::from_millis(80));
+    let (spilled, _, _) = h.cleanup_now().unwrap();
+    assert_eq!(spilled, 1, "the idle session spilled");
+    assert_eq!(h.with_engine(|e| e.session_count()), Some(0));
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(1));
+
+    // The *same* driver connection keeps working: the next request
+    // transparently restores the session from the durable table —
+    // options, temp tables, and the cursor's exact position included.
+    let r = conn.execute("SELECT COUNT(*) FROM #scratch").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(3));
+    let (rows, at_end) = conn.fetch_cursor_raw(cur, FetchDir::Next, 5).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    assert!(at_end);
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(0));
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn eviction_past_max_sessions_surfaces_retryable_driver_error() {
+    let (h, dir) = start(LifecycleConfig {
+        max_sessions: Some(1),
+        ..LifecycleConfig::default()
+    });
+    let env = Environment::new();
+    let mut pinned = env.connect(&h.addr(), "app", "db").unwrap();
+    pinned.execute("CREATE TABLE t (v INT)").unwrap();
+    // An open transaction pins the session: it cannot be spilled to make
+    // room, so the next login must be refused.
+    pinned.execute("BEGIN").unwrap();
+
+    let err = match env.connect(&h.addr(), "other", "db") {
+        Err(e) => e,
+        Ok(_) => panic!("login past the cap must be refused"),
+    };
+    match &err {
+        DriverError::Sql { code, .. } => {
+            assert_eq!(*code, phoenix_driver::error::codes::BUSY)
+        }
+        other => panic!("expected Busy at login, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "cap refusal must be retryable");
+
+    // Release the pin: the next login spills the idle session instead.
+    pinned.execute("COMMIT").unwrap();
+    let mut second = env.connect(&h.addr(), "other", "db").unwrap();
+    assert_eq!(h.with_engine(|e| e.session_count()), Some(1));
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(1));
+    // And the evicted session still works — restore swaps it back in (the
+    // newcomer is younger, so the cap spills LRU on demand).
+    let r = pinned.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(0));
+    second.execute("SELECT 1").unwrap();
+    pinned.close();
+    second.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn cleanup_job_honors_retention_window() {
+    let (h, dir) = start(LifecycleConfig {
+        idle_spill_after: Some(Duration::from_millis(10)),
+        // Zero retention: every spill row is already expired.
+        retention: Some(Duration::ZERO),
+        ..LifecycleConfig::default()
+    });
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("SET x 1").unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+
+    // One tick spills the idle session AND purges the expired row (the
+    // purge runs after the spill within a tick, and the window is zero).
+    let (spilled, purged, _) = h.cleanup_now().unwrap();
+    assert_eq!(spilled, 1);
+    assert_eq!(purged, 1);
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(0));
+
+    // The session is gone for good: the driver sees NoSession.
+    let err = conn.execute("SELECT 1").unwrap_err();
+    match err {
+        DriverError::Sql { code, .. } => {
+            assert_eq!(code, phoenix_driver::error::codes::NO_SESSION)
+        }
+        other => panic!("expected NoSession, got {other:?}"),
+    }
+    drop(conn);
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn background_cleanup_job_ticks_on_its_own() {
+    let (h, dir) = start(LifecycleConfig {
+        idle_spill_after: Some(Duration::from_millis(30)),
+        cleanup_interval: Some(Duration::from_millis(50)),
+        ..LifecycleConfig::default()
+    });
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("SET x 1").unwrap();
+    // Idle long enough for the background job to spill us.
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    loop {
+        if h.with_engine(|e| e.spilled_session_count()) == Some(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background job never spilled the idle session"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Still transparently restorable.
+    let r = conn.execute("SELECT 1").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(1));
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn spilled_sessions_die_with_a_crash_but_rows_are_reaped() {
+    let (mut h, dir) = start(LifecycleConfig {
+        idle_spill_after: Some(Duration::from_millis(10)),
+        retention: Some(Duration::ZERO),
+        ..LifecycleConfig::default()
+    });
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("SET x 1").unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    h.with_engine(|e| e.spill_idle_sessions(Duration::from_millis(10)));
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(1));
+
+    h.crash().unwrap();
+    h.restart().unwrap();
+
+    // The committed spill row replayed, but the new incarnation fences it:
+    // it can never be restored, only reaped.
+    assert_eq!(h.with_engine(|e| e.spilled_session_count()), Some(0));
+    let (_, purged, _) = h.cleanup_now().unwrap();
+    assert_eq!(purged, 1, "stranded spill row reaped by retention");
+    drop(conn);
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,282 @@
+//! End-to-end tests of the sharded reactor front-end: both protocol
+//! versions, concurrency, admission control, malformed input, and the
+//! crash/restart fault model. On non-Linux hosts `IoModel::Reactor`
+//! degrades to the threaded backend and these tests exercise that instead —
+//! the wire contract is identical by construction.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use phoenix_driver::{DriverError, Environment};
+use phoenix_engine::EngineConfig;
+use phoenix_sessiond::{IoModel, LifecycleConfig, ServerConfig, SessiondHarness};
+use phoenix_storage::types::Value;
+use phoenix_wire::frame::{read_frame, write_frame};
+use phoenix_wire::message::{CursorKind, FetchDir, Request, Response, PROTOCOL_V1};
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("phoenix-sessiond-test-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn reactor_config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        io: IoModel::Reactor { shards },
+        lifecycle: LifecycleConfig::default(),
+    }
+}
+
+fn start(shards: usize) -> (SessiondHarness, PathBuf) {
+    let dir = temp_dir();
+    let h = SessiondHarness::start(&dir, EngineConfig::default(), reactor_config(shards)).unwrap();
+    (h, dir)
+}
+
+#[test]
+fn v1_round_trip_over_reactor() {
+    let (h, dir) = start(2);
+    #[cfg(target_os = "linux")]
+    assert_eq!(h.io_model(), Some("reactor"));
+    let env = Environment::new().with_protocol(PROTOCOL_V1);
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("CREATE TABLE t (v INT)").unwrap();
+    let r = conn.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    assert_eq!(r.affected(), 3);
+    let r = conn.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(3));
+    conn.ping().unwrap();
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn v2_pipeline_batch_and_cursor_over_reactor() {
+    let (h, dir) = start(2);
+    let env = Environment::new(); // defaults to v2 negotiation
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    assert_eq!(conn.protocol(), phoenix_wire::message::PROTOCOL_V2);
+
+    conn.execute("CREATE TABLE seq (k INT PRIMARY KEY, v INT)")
+        .unwrap();
+    let items = conn
+        .execute_batch(&[
+            "INSERT INTO seq VALUES (1, 10)".into(),
+            "INSERT INTO seq VALUES (2, 20)".into(),
+            "INSERT INTO seq VALUES (3, 30)".into(),
+        ])
+        .unwrap();
+    assert_eq!(items.len(), 3);
+
+    // No ORDER BY: keyset grants require a plain keyed scan (PK order).
+    let (cur, _, granted) = conn
+        .open_cursor_raw("SELECT k FROM seq", CursorKind::Keyset)
+        .unwrap();
+    assert_eq!(granted, CursorKind::Keyset);
+    let (rows, _) = conn.fetch_cursor_raw(cur, FetchDir::Next, 2).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    let (rows, at_end) = conn.fetch_cursor_raw(cur, FetchDir::Next, 5).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(3)]]);
+    assert!(at_end);
+    conn.close_cursor_raw(cur).unwrap();
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn many_concurrent_connections_across_shards() {
+    let (h, dir) = start(4);
+    let env = Environment::new();
+    let mut setup = env.connect(&h.addr(), "app", "db").unwrap();
+    setup
+        .execute("CREATE TABLE hits (w INT PRIMARY KEY, n INT)")
+        .unwrap();
+    setup.close();
+
+    const WORKERS: usize = 24;
+    let addr = h.addr();
+    let threads: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let env = Environment::new();
+                let mut conn = env.connect(&addr, "app", "db").unwrap();
+                conn.execute(&format!("INSERT INTO hits VALUES ({w}, 0)"))
+                    .unwrap();
+                for _ in 0..20 {
+                    conn.execute(&format!("UPDATE hits SET n = n + 1 WHERE w = {w}"))
+                        .unwrap();
+                }
+                // Session isolation: each worker's temp table is its own.
+                conn.execute("CREATE TABLE #mine (v INT)").unwrap();
+                conn.execute("INSERT INTO #mine VALUES (1)").unwrap();
+                let r = conn.execute("SELECT COUNT(*) FROM #mine").unwrap();
+                assert_eq!(r.rows()[0][0], Value::Int(1));
+                conn.close();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut check = env.connect(&h.addr(), "app", "db").unwrap();
+    let r = check.execute("SELECT COUNT(*), SUM(n) FROM hits").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(WORKERS as i64));
+    assert_eq!(r.rows()[0][1], Value::Int((WORKERS * 20) as i64));
+    check.close();
+    // Every worker logged out; only the checker's connection came and went.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(h.connection_count(), Some(0));
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn malformed_request_gets_error_reply_and_connection_survives() {
+    let (h, dir) = start(1);
+    let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    // A well-formed frame whose payload is garbage.
+    write_frame(&mut s, &[0xFF, 0xEE, 0xDD]).unwrap();
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::Err { code, .. } => {
+            assert_eq!(code, phoenix_engine::ErrorCode::Parse as u16)
+        }
+        other => panic!("{other:?}"),
+    }
+    // The stream is still in sync: a valid Ping works.
+    write_frame(&mut s, &Request::Ping.encode()).unwrap();
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::Pong => {}
+        other => panic!("{other:?}"),
+    }
+    drop(s);
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn admission_control_answers_retryable_busy_when_queue_full() {
+    let dir = temp_dir();
+    let config = ServerConfig {
+        io: IoModel::Reactor { shards: 1 },
+        lifecycle: LifecycleConfig {
+            queue_depth: 1,
+            ..LifecycleConfig::default()
+        },
+    };
+    let h = SessiondHarness::start(&dir, EngineConfig::default(), config).unwrap();
+    let env = Environment::new().with_read_timeout(Some(Duration::from_secs(5)));
+    let mut a = env.connect(&h.addr(), "app", "db").unwrap();
+    let mut b = env.connect(&h.addr(), "app", "db").unwrap();
+
+    // Park the executor: the engine stalls, so connection A's request
+    // occupies the single queue slot for the whole stall window.
+    h.stall(Duration::from_millis(700));
+
+    let a_thread = std::thread::spawn(move || {
+        let r = a.execute("SELECT 1").unwrap();
+        assert_eq!(r.rows()[0][0], Value::Int(1));
+        a.close();
+    });
+    // Give A's request time to reach the executor queue.
+    std::thread::sleep(Duration::from_millis(150));
+    let err = b.execute("SELECT 1").unwrap_err();
+    match &err {
+        DriverError::Sql { code, .. } => {
+            assert_eq!(*code, phoenix_driver::error::codes::BUSY)
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "admission Busy must be retryable");
+    a_thread.join().unwrap();
+
+    // After the stall drains, the same connection B works again — push-back
+    // is per-request, not a poisoned connection.
+    let r = b.execute("SELECT 1").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(1));
+    b.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn crash_severs_and_restart_recovers_durable_state() {
+    let (mut h, dir) = start(2);
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("CREATE TABLE t (v INT)").unwrap();
+    match conn.execute("INSERT INTO t VALUES (7)").unwrap().affected() {
+        1 => {}
+        n => panic!("affected {n}"),
+    }
+    conn.execute("CREATE TABLE #tmp (v INT)").unwrap();
+
+    h.crash().unwrap();
+    // The old connection is dead: the next call fails with a Comm error.
+    let err = conn.execute("SELECT 1").unwrap_err();
+    assert!(err.is_comm(), "severed socket must surface as Comm: {err}");
+
+    h.restart().unwrap();
+    let mut conn2 = env.connect(&h.addr(), "app", "db").unwrap();
+    let r = conn2.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(1), "durable row survived");
+    let err = conn2.execute("SELECT * FROM #tmp").unwrap_err();
+    assert!(
+        matches!(err, DriverError::Sql { .. }),
+        "temp table died with the crash: {err}"
+    );
+    conn2.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn logout_closes_session_and_disconnect_without_logout_also_does() {
+    let (h, dir) = start(1);
+    let env = Environment::new();
+    // Clean logout.
+    let conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.close();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(h.with_engine(|e| e.session_count()), Some(0));
+    // Vanishing client: the reactor sees EOF and closes the session.
+    {
+        let mut c = env.connect(&h.addr(), "app", "db").unwrap();
+        c.execute("CREATE TABLE #gone (v INT)").unwrap();
+        // drop without logout
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(h.with_engine(|e| e.session_count()), Some(0));
+    assert_eq!(h.connection_count(), Some(0));
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn fetch_dir_and_outcome_shapes_match_threaded_server() {
+    // The reactor shares dispatch with the threaded server; spot-check a
+    // response shape that exercises the Outcome enum over the wire.
+    let (h, dir) = start(1);
+    let env = Environment::new().with_protocol(PROTOCOL_V1);
+    let mut conn = env.connect(&h.addr(), "app", "db").unwrap();
+    conn.execute("CREATE TABLE o (v INT)").unwrap();
+    let r = conn.execute("INSERT INTO o VALUES (1)").unwrap();
+    assert_eq!(r.affected(), 1);
+    let q = conn.execute("SELECT * FROM o WHERE 0 = 1").unwrap();
+    assert!(q.rows().is_empty());
+    assert!(q.schema().is_some());
+    match conn.execute("SELECT nonsense FROM nothing") {
+        Err(DriverError::Sql { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
