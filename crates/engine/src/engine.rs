@@ -278,10 +278,20 @@ impl Engine {
     }
 
     pub(crate) fn install_session(&self, user: &str) -> SessionId {
+        let mut sessions = self.sessions.write();
+        self.install_session_locked(&mut sessions, user)
+    }
+
+    /// Install a session while the caller already holds the catalog write
+    /// lock — lets `try_create_session` make its cap check and insert one
+    /// atomic critical section.
+    pub(crate) fn install_session_locked(
+        &self,
+        sessions: &mut HashMap<SessionId, Arc<SessionEntry>>,
+        user: &str,
+    ) -> SessionId {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .write()
-            .insert(id, Arc::new(SessionEntry::new(SessionState::new(id, user))));
+        sessions.insert(id, Arc::new(SessionEntry::new(SessionState::new(id, user))));
         let m = engine_metrics();
         m.sessions_opened.inc();
         m.sessions_active.inc();
@@ -326,13 +336,36 @@ impl Engine {
         self.restore_session(sid)
     }
 
+    /// Look up a session and run `f` with its state mutex held, re-validating
+    /// after the lock is acquired: the lifecycle manager may spill a session
+    /// *between* the catalog lookup (which only clones the `Arc`) and the
+    /// state-lock acquisition. Executing against such an orphaned entry would
+    /// silently discard the statement's session-state effects when the
+    /// session is later restored from the spill row, so on a tombstone we
+    /// retry the lookup — which restores the durable copy.
+    fn with_session_state<R>(
+        &self,
+        sid: SessionId,
+        f: impl FnOnce(&mut SessionState) -> Result<R>,
+    ) -> Result<R> {
+        let mut f = Some(f);
+        loop {
+            let entry = self.session(sid)?;
+            let mut state = entry.state.lock();
+            if state.spilled_out {
+                drop(state);
+                continue;
+            }
+            let f = f.take().expect("validated-session closure runs once");
+            return f(&mut state);
+        }
+    }
+
     /// Current value of a session's SET option (observability/test hook; the
     /// engine has no `@@name` surface for arbitrary options).
     pub fn session_option(&self, sid: SessionId, name: &str) -> Result<Option<Value>> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let s = session.state.lock();
-        Ok(s.option(name).cloned())
+        self.with_session_state(sid, |s| Ok(s.option(name).cloned()))
     }
 
     // -- statement execution --------------------------------------------------
@@ -357,12 +390,10 @@ impl Engine {
     /// Execute an already-parsed statement.
     pub fn execute_stmt(&self, sid: SessionId, stmt: &Statement) -> Result<ExecResult> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let result = {
+        let result = self.with_session_state(sid, |session| {
             let _t = phoenix_obs::Timer::new(engine_metrics().stmt_latency(stmt));
-            let mut session = session.state.lock();
-            self.exec_in(&mut session, stmt, None, 0)
-        };
+            self.exec_in(session, stmt, None, 0)
+        });
         // Auto-checkpoint runs with no session lock held (it needs the
         // engine quiescent, and must never deadlock with our own session).
         if result.is_ok() {
@@ -733,35 +764,33 @@ impl Engine {
         kind: CursorKind,
     ) -> Result<(CursorId, Schema, CursorKind)> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let mut session = session.state.lock();
-        let id = self.next_cursor.fetch_add(1, Ordering::Relaxed);
-        let result = {
-            let snap = self.durable.snapshot();
-            let view = CatalogView {
-                durable: &snap,
-                temp: &session.temp,
+        self.with_session_state(sid, |session| {
+            let id = self.next_cursor.fetch_add(1, Ordering::Relaxed);
+            let result = {
+                let snap = self.durable.snapshot();
+                let view = CatalogView {
+                    durable: &snap,
+                    temp: &session.temp,
+                };
+                Cursor::open(id, select, kind, &view)
             };
-            Cursor::open(id, select, kind, &view)
-        };
-        match result {
-            Ok(cursor) => {
-                let schema = cursor.schema.clone();
-                let granted = cursor.kind;
-                session.cursors.insert(id, cursor);
-                engine_metrics().cursor_opens.inc();
-                Ok((id, schema, granted))
+            match result {
+                Ok(cursor) => {
+                    let schema = cursor.schema.clone();
+                    let granted = cursor.kind;
+                    session.cursors.insert(id, cursor);
+                    engine_metrics().cursor_opens.inc();
+                    Ok((id, schema, granted))
+                }
+                Err(e) => Err(e),
             }
-            Err(e) => Err(e),
-        }
+        })
     }
 
     /// Fetch from an open cursor.
     pub fn fetch(&self, sid: SessionId, cid: CursorId, dir: FetchDir, n: usize) -> Result<Fetched> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let mut session = session.state.lock();
-        match session.cursors.remove(&cid) {
+        self.with_session_state(sid, |session| match session.cursors.remove(&cid) {
             None => Err(EngineError::new(
                 ErrorCode::Cursor,
                 format!("no such cursor {cid}"),
@@ -781,41 +810,41 @@ impl Engine {
                 session.cursors.insert(cid, cursor);
                 r
             }
-        }
+        })
     }
 
     /// Close an open cursor.
     pub fn close_cursor(&self, sid: SessionId, cid: CursorId) -> Result<()> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let mut session = session.state.lock();
-        session
-            .cursors
-            .remove(&cid)
-            .map(|_| ())
-            .ok_or_else(|| EngineError::new(ErrorCode::Cursor, format!("no such cursor {cid}")))
+        self.with_session_state(sid, |session| {
+            session
+                .cursors
+                .remove(&cid)
+                .map(|_| ())
+                .ok_or_else(|| EngineError::new(ErrorCode::Cursor, format!("no such cursor {cid}")))
+        })
     }
 
     /// Describe a table visible to the session: schema plus primary-key
     /// column names (the catalog call behind the wire `Describe` request).
     pub fn describe(&self, sid: SessionId, table: &ObjectName) -> Result<(Schema, Vec<String>)> {
         let _gate = self.stall_gate.read();
-        let session = self.session(sid)?;
-        let session = session.state.lock();
-        let snap = self.durable.snapshot();
-        let view = CatalogView {
-            durable: &snap,
-            temp: &session.temp,
-        };
-        use crate::plan::Catalog as _;
-        let data = view.table(table)?;
-        let pk = data
-            .def
-            .primary_key
-            .iter()
-            .map(|&i| data.def.schema.columns[i].name.clone())
-            .collect();
-        Ok((data.def.schema.clone(), pk))
+        self.with_session_state(sid, |session| {
+            let snap = self.durable.snapshot();
+            let view = CatalogView {
+                durable: &snap,
+                temp: &session.temp,
+            };
+            use crate::plan::Catalog as _;
+            let data = view.table(table)?;
+            let pk = data
+                .def
+                .primary_key
+                .iter()
+                .map(|&i| data.def.schema.columns[i].name.clone())
+                .collect();
+            Ok((data.def.schema.clone(), pk))
+        })
     }
 
     // -- maintenance -------------------------------------------------------------

@@ -42,6 +42,13 @@ pub struct SessionState {
     /// for the wrapped-request pattern, which reads it in the statement
     /// immediately following the DML).
     pub rowcount: u64,
+    /// Tombstone set (under this state's mutex) by the lifecycle manager
+    /// when it spills the session: the durable spill row is now the
+    /// authoritative copy and this in-memory state is an orphan. A request
+    /// thread that cloned the catalog entry before the spill re-checks this
+    /// after locking and retries its lookup instead of executing against
+    /// state whose effects would be silently discarded.
+    pub(crate) spilled_out: bool,
 }
 
 impl SessionState {
@@ -55,6 +62,7 @@ impl SessionState {
             txn: None,
             cursors: HashMap::new(),
             rowcount: 0,
+            spilled_out: false,
         }
     }
 

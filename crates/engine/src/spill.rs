@@ -320,32 +320,52 @@ impl Engine {
     /// [`ErrorCode::Busy`].
     pub fn try_create_session(&self, user: &str) -> Result<SessionId> {
         let _gate = self.stall_gate.read();
-        if let Some(cap) = self.config.max_sessions {
-            if self.sessions.read().len() >= cap {
-                let mut candidates: Vec<(u64, SessionId)> = self
-                    .sessions
-                    .read()
-                    .iter()
-                    .map(|(id, e)| (e.last_active.load(Ordering::Relaxed), *id))
-                    .collect();
-                candidates.sort_unstable();
-                let mut evicted = false;
-                for (_, sid) in candidates {
-                    if self.spill_session_inner(sid).is_ok() {
-                        sessiond_metrics().evicted_total.inc();
-                        evicted = true;
-                        break;
-                    }
-                }
-                if !evicted && self.sessions.read().len() >= cap {
-                    sessiond_metrics().busy_total.inc();
-                    return Err(busy(format!(
-                        "session limit {cap} reached and no session is idle; retry"
-                    )));
+        let Some(cap) = self.config.max_sessions else {
+            return Ok(self.install_session(user));
+        };
+        // The cap check and the insert happen under one catalog write lock,
+        // so concurrent logins cannot all pass a stale check and push the
+        // resident count past the cap. Each round that finds the catalog
+        // full spills one victim and retries; the loop is bounded because a
+        // racing login can steal the slot we just freed.
+        for _ in 0..8 {
+            {
+                let mut sessions = self.sessions.write();
+                if sessions.len() < cap {
+                    return Ok(self.install_session_locked(&mut sessions, user));
                 }
             }
+            let mut candidates: Vec<(u64, SessionId)> = self
+                .sessions
+                .read()
+                .iter()
+                .map(|(id, e)| (e.last_active.load(Ordering::Relaxed), *id))
+                .collect();
+            candidates.sort_unstable();
+            let mut evicted = false;
+            for (_, sid) in candidates {
+                if self.spill_session_inner(sid, None).is_ok() {
+                    sessiond_metrics().evicted_total.inc();
+                    evicted = true;
+                    break;
+                }
+            }
+            if !evicted {
+                break;
+            }
         }
-        Ok(self.install_session(user))
+        // Nothing was spillable (or we kept losing the race) — one last
+        // atomic check in case a concurrent close freed a slot.
+        {
+            let mut sessions = self.sessions.write();
+            if sessions.len() < cap {
+                return Ok(self.install_session_locked(&mut sessions, user));
+            }
+        }
+        sessiond_metrics().busy_total.inc();
+        Err(busy(format!(
+            "session limit {cap} reached and no session is idle; retry"
+        )))
     }
 
     /// Spill session `sid`'s volatile state to the durable spill table and
@@ -354,10 +374,10 @@ impl Engine {
     /// mid-transaction would detach the txn from its owner).
     pub fn spill_session(&self, sid: SessionId) -> Result<()> {
         let _gate = self.stall_gate.read();
-        self.spill_session_inner(sid).map(|_| ())
+        self.spill_session_inner(sid, None).map(|_| ())
     }
 
-    fn spill_session_inner(&self, sid: SessionId) -> Result<usize> {
+    fn spill_session_inner(&self, sid: SessionId, idle_cutoff: Option<u64>) -> Result<usize> {
         // Lock order: spilled index, then session catalog (matches restore).
         let mut spilled = self.spilled.lock();
         let mut sessions = self.sessions.write();
@@ -365,7 +385,16 @@ impl Engine {
             .get(&sid)
             .cloned()
             .ok_or_else(|| EngineError::new(ErrorCode::NoSession, format!("no session {sid}")))?;
-        let state = entry
+        // Re-validate idleness under the catalog lock: the victim was picked
+        // from an unlocked scan and may have been touched since. (`touch`
+        // happens under the catalog read lock, so it cannot interleave with
+        // this check.)
+        if let Some(cutoff) = idle_cutoff {
+            if entry.last_active.load(Ordering::Relaxed) > cutoff {
+                return Err(busy(format!("session {sid} is no longer idle")));
+            }
+        }
+        let mut state = entry
             .state
             .try_lock()
             .ok_or_else(|| busy(format!("session {sid} has a statement in flight")))?;
@@ -408,6 +437,11 @@ impl Engine {
                 return Err(e);
             }
         }
+        // Tombstone, set while we still hold the state mutex: a request
+        // thread that cloned the catalog entry before this spill will see it
+        // after acquiring the lock and retry its lookup (restoring the
+        // durable row we just wrote) instead of executing against an orphan.
+        state.spilled_out = true;
         drop(state);
         sessions.remove(&sid);
         spilled.insert(sid, SpilledInfo { user });
@@ -522,6 +556,7 @@ impl Engine {
     /// window, no open transaction). Returns how many were spilled. The
     /// periodic cleanup job calls this.
     pub fn spill_idle_sessions(&self, idle_for: Duration) -> usize {
+        let _gate = self.stall_gate.read();
         let now = phoenix_obs::now_us();
         let cutoff = now.saturating_sub(idle_for.as_micros() as u64);
         let mut victims: Vec<SessionId> = self
@@ -537,7 +572,10 @@ impl Engine {
         victims.sort_unstable();
         let mut spilled = 0;
         for sid in victims {
-            if self.spill_session(sid).is_ok() {
+            // The cutoff travels with the spill so idleness is re-verified
+            // under the catalog lock — a session touched after this scan is
+            // skipped, not spilled mid-request.
+            if self.spill_session_inner(sid, Some(cutoff)).is_ok() {
                 spilled += 1;
             }
         }

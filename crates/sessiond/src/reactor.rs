@@ -100,6 +100,17 @@ enum Job {
         tag: Option<u64>,
         req: Request,
     },
+    /// Echo a shard-synthesized reply (admission Busy, parse error) back
+    /// through the completion queue. Routing these through the executor's
+    /// FIFO instead of writing them straight to the socket keeps replies in
+    /// request order: a v1 client matches responses to requests by position,
+    /// so a Busy that jumped ahead of earlier in-flight replies would be
+    /// misattributed — exactly under the load that makes Busy fire.
+    Synth {
+        conn: u64,
+        tag: Option<u64>,
+        rsp: Response,
+    },
     /// The connection is gone: close its engine session.
     Close { conn: u64 },
     /// Stop the executor thread.
@@ -118,6 +129,9 @@ struct Completion {
     upgrade: Option<bool>,
     /// Close the connection once the reply has been flushed.
     close_after: bool,
+    /// Whether this completion was admission-counted in the shard's `depth`
+    /// (true for executed requests, false for synthesized echoes).
+    counted: bool,
 }
 
 /// Per-connection state owned by a shard's event loop.
@@ -318,12 +332,16 @@ impl Reactor {
             let _ = t.join();
         }
         for s in &mut self.shards {
-            s.waker.wake();
-            if let Some(t) = s.loop_thread.take() {
-                let _ = t.join();
-            }
+            // Executor first: while draining queued jobs it still writes to
+            // the shard's wake pipe, whose fds die with the loop thread's
+            // `Shard`. Joining the loop thread first would leave the
+            // executor waking a closed — possibly recycled — fd.
             let _ = s.jobs.send(Job::Shutdown);
             if let Some(t) = s.exec_thread.take() {
+                let _ = t.join();
+            }
+            s.waker.wake();
+            if let Some(t) = s.loop_thread.take() {
                 let _ = t.join();
             }
         }
@@ -473,7 +491,9 @@ impl Shard {
                 Some(c) => c,
                 None => break,
             };
-            self.depth = self.depth.saturating_sub(1);
+            if c.counted {
+                self.depth = self.depth.saturating_sub(1);
+            }
             let Some(bytes) = c.bytes else {
                 // Chaos halt: no reply escapes, the connection dies.
                 self.close_conn(c.conn);
@@ -483,15 +503,25 @@ impl Shard {
                 continue; // connection died while the request executed
             };
             conn.wbuf.extend_from_slice(&bytes);
+            let mut resumed = false;
             if let Some(upgraded) = c.upgrade {
                 conn.v2 = conn.v2 || upgraded;
                 conn.paused = false;
+                resumed = true;
             }
             if c.close_after {
                 conn.close_after_flush = true;
                 conn.paused = true; // no further requests after logout
+                resumed = false;
             }
             self.flush_and_continue(c.conn);
+            if resumed {
+                // Bytes a client pipelined behind its LoginV2 were already
+                // read into rbuf before parsing paused; level-triggered
+                // epoll will never re-announce them, so parse them now, in
+                // the newly negotiated framing mode.
+                self.parse_frames(c.conn);
+            }
         }
     }
 
@@ -634,7 +664,7 @@ impl Shard {
                     code: ErrorCode::Parse as u16,
                     message: format!("malformed request: {e}"),
                 };
-                self.reply_direct(id, tag, &rsp);
+                self.reply_synth(id, tag, rsp);
                 return;
             }
         };
@@ -651,7 +681,7 @@ impl Shard {
                     self.queue_depth
                 ),
             };
-            self.reply_direct(id, tag, &rsp);
+            self.reply_synth(id, tag, rsp);
             return;
         }
 
@@ -669,14 +699,21 @@ impl Shard {
         }
     }
 
-    /// Frame and enqueue a shard-synthesized reply (parse error, admission
-    /// Busy) without touching the executor.
-    fn reply_direct(&mut self, id: u64, tag: Option<u64>, rsp: &Response) {
-        let framed = frame_reply(tag, rsp);
-        if let Some(conn) = self.conns.get_mut(&id) {
-            conn.wbuf.extend_from_slice(&framed);
+    /// Queue a shard-synthesized reply (parse error, admission Busy) through
+    /// the executor's FIFO. The executor does not run these — it just echoes
+    /// them back as completions — but the round trip guarantees the reply
+    /// cannot overtake replies for earlier requests from the same connection
+    /// still in the queue (v1 clients match responses to requests by order).
+    /// Synthesized echoes are not admission-counted: under overload each
+    /// refused frame must not consume the very capacity being protected.
+    fn reply_synth(&mut self, id: u64, tag: Option<u64>, rsp: Response) {
+        if self
+            .jobs
+            .send(Job::Synth { conn: id, tag, rsp })
+            .is_err()
+        {
+            self.close_conn(id);
         }
-        self.flush_and_continue(id);
     }
 
     /// Write as much pending output as the socket accepts; keep `EPOLLOUT`
@@ -790,6 +827,28 @@ fn executor_loop(
                     }
                 }
             }
+            Job::Synth { conn, tag, rsp } => {
+                // Shard-synthesized reply, looped through here purely for
+                // ordering. A halted (chaos-crashed) server stays silent.
+                let completion = if phoenix_chaos::halted() {
+                    Completion {
+                        conn,
+                        bytes: None,
+                        upgrade: None,
+                        close_after: true,
+                        counted: false,
+                    }
+                } else {
+                    Completion {
+                        conn,
+                        bytes: Some(frame_reply(tag, &rsp)),
+                        upgrade: None,
+                        close_after: false,
+                        counted: false,
+                    }
+                };
+                push(&completions, &waker, completion);
+            }
             Job::Request { conn, tag, req } => {
                 let session = sessions.entry(conn).or_insert(None);
                 match phoenix_chaos::fault("server.pipeline_dequeue") {
@@ -804,6 +863,7 @@ fn executor_loop(
                                 bytes: None,
                                 upgrade: None,
                                 close_after: true,
+                                counted: true,
                             },
                         );
                         continue;
@@ -824,12 +884,14 @@ fn executor_loop(
                             bytes: Some(frame_reply(None, &ack)),
                             upgrade: Some(true),
                             close_after: false,
+                            counted: true,
                         },
                         Err(rsp) => Completion {
                             conn,
                             bytes: Some(frame_reply(None, &rsp)),
                             upgrade: Some(false),
                             close_after: false,
+                            counted: true,
                         },
                     }
                 } else {
@@ -842,6 +904,7 @@ fn executor_loop(
                         bytes: Some(frame_reply(tag, &rsp)),
                         upgrade: None,
                         close_after: logout,
+                        counted: true,
                     }
                 };
                 // No reply escapes a halted (crashed-by-chaos) server.
@@ -851,6 +914,7 @@ fn executor_loop(
                         bytes: None,
                         upgrade: None,
                         close_after: true,
+                        counted: true,
                     }
                 } else {
                     match phoenix_chaos::fault("server.reply_send") {
@@ -865,6 +929,7 @@ fn executor_loop(
                                 bytes: None,
                                 upgrade: None,
                                 close_after: true,
+                                counted: true,
                             }
                         }
                         phoenix_chaos::FaultAction::Torn(n) => {
@@ -876,6 +941,7 @@ fn executor_loop(
                                 bytes: Some(bytes),
                                 upgrade: None,
                                 close_after: true,
+                                counted: true,
                             }
                         }
                     }

@@ -161,6 +161,108 @@ fn malformed_request_gets_error_reply_and_connection_survives() {
     std::fs::remove_dir_all(dir).unwrap();
 }
 
+/// Regression: bytes a client pipelines *behind* its LoginV2 in the same
+/// write are already sitting in the shard's read buffer when parsing pauses
+/// for the negotiation. Level-triggered epoll never re-announces buffered
+/// bytes, so the shard must explicitly re-parse once the login completes —
+/// otherwise the tagged request below hangs forever.
+#[test]
+fn bytes_pipelined_behind_login_v2_are_parsed_after_upgrade() {
+    use phoenix_wire::message::{DEFAULT_WINDOW, PROTOCOL_V2};
+    use std::io::Write as _;
+    let (h, dir) = start(1);
+    let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // One write: the untagged LoginV2 frame with a tagged Ping pipelined
+    // directly behind it.
+    let login = Request::LoginV2 {
+        user: "app".into(),
+        database: "db".into(),
+        options: Vec::new(),
+        protocol: PROTOCOL_V2,
+        window: DEFAULT_WINDOW,
+    };
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &login.encode()).unwrap();
+    let mut tagged = 7u64.to_le_bytes().to_vec();
+    tagged.extend_from_slice(&Request::Ping.encode());
+    write_frame(&mut bytes, &tagged).unwrap();
+    s.write_all(&bytes).unwrap();
+
+    // First reply: the still-untagged v2 ack.
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::LoginAckV2 { protocol, .. } => assert_eq!(protocol, PROTOCOL_V2),
+        other => panic!("{other:?}"),
+    }
+    // Second reply: the tagged Pong. Without the post-upgrade re-parse the
+    // pipelined frame is never dequeued and this read times out.
+    let reply = read_frame(&mut s).unwrap();
+    assert_eq!(u64::from_le_bytes(reply[..8].try_into().unwrap()), 7);
+    match Response::decode(&reply[8..]).unwrap() {
+        Response::Pong => {}
+        other => panic!("{other:?}"),
+    }
+    drop(s);
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Regression: shard-synthesized replies (parse errors, admission Busy) must
+/// not overtake replies for earlier requests still in the executor — a v1
+/// client matches responses to requests purely by order.
+#[test]
+fn synthesized_reply_does_not_overtake_earlier_request_v1() {
+    use std::io::Write as _;
+    let (h, dir) = start(1);
+    let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let login = Request::Login {
+        user: "app".into(),
+        database: "db".into(),
+        options: Vec::new(),
+    };
+    write_frame(&mut s, &login.encode()).unwrap();
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::LoginAck { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    // One write: a valid fsync-backed DDL followed by a malformed frame.
+    // The parse error is synthesized on the event loop while the DDL is
+    // still in the executor; it must queue behind it, not jump ahead.
+    let mut bytes = Vec::new();
+    write_frame(
+        &mut bytes,
+        &Request::Exec {
+            sql: "CREATE TABLE ord (v INT)".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    write_frame(&mut bytes, &[0xFF, 0xEE, 0xDD]).unwrap();
+    s.write_all(&bytes).unwrap();
+
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::Err { code, message } => {
+            panic!("first reply must be the DDL's, got Err {code}: {message}")
+        }
+        _ => {}
+    }
+    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
+        Response::Err { code, .. } => {
+            assert_eq!(code, phoenix_engine::ErrorCode::Parse as u16)
+        }
+        other => panic!("second reply must be the parse error, got {other:?}"),
+    }
+    drop(s);
+    drop(h);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
 #[test]
 fn admission_control_answers_retryable_busy_when_queue_full() {
     let dir = temp_dir();
