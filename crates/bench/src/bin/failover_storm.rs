@@ -1,0 +1,487 @@
+//! Failover storm: the phoenix-repl headline numbers. Three phases against
+//! a primary/standby pair joined by the WAL-shipping channel:
+//!
+//! 1. **Lag vs write rate** — burst DML at the primary under async
+//!    shipping and sample `last_gsn - applied_gsn` on the standby, then
+//!    time the drain to full catch-up. Shows the ship channel keeps up
+//!    with the commit path and how far behind async mode is allowed to
+//!    fall.
+//! 2. **Promotion time** — kill a caught-up semi-sync primary, promote
+//!    the standby, and measure wall time from loss to the first query
+//!    answered by the survivor (replay-the-tail + listen + login).
+//! 3. **Session herd** — a herd of Phoenix sessions opened with
+//!    `connect_multi(primary, standby)` churns tagged DML; mid-churn the
+//!    primary is killed and the standby promoted. Every session must ride
+//!    the loss masked; the phase reports time-to-first-reply percentiles
+//!    measured from the instant of server loss.
+//!
+//! Emits `BENCH_failover.json`:
+//!
+//! ```text
+//! cargo run --release -p phoenix-bench --bin failover_storm -- --quick --check
+//! cargo run --release -p phoenix-bench --bin failover_storm -- \
+//!     --out BENCH_failover.json
+//! ```
+//!
+//! `--quick` storms 100 sessions (the CI gate); the default storms 1 000.
+//! `--check` additionally asserts the exactly-once invariants on the
+//! survivor: the herd table holds exactly as many rows as the herd had
+//! acknowledged, a per-session sample matches each session's own acked
+//! count (a double-apply or a lost write would skew it), and at least one
+//! session went through recovery — the loss really interrupted the herd.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phoenix_core::{PhoenixConfig, PhoenixConnection};
+use phoenix_driver::{Connection, Environment};
+use phoenix_engine::{CommitMode, EngineConfig};
+use phoenix_repl::{Shipper, Standby, StandbyConfig};
+use phoenix_server::ServerHarness;
+use phoenix_storage::types::Value;
+
+/// Client worker threads driving the herd.
+const WORKERS: usize = 16;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("phoenix-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn semi_sync() -> EngineConfig {
+    EngineConfig {
+        commit_mode: CommitMode::SemiSync,
+        ..EngineConfig::default()
+    }
+}
+
+fn count(conn: &mut Connection, sql: &str) -> i64 {
+    match conn.execute(sql).unwrap().rows()[0][0] {
+        Value::Int(n) => n,
+        ref other => panic!("expected integer count, got {other:?}"),
+    }
+}
+
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let t = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < t, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Retry promotion until the standby accepts it; the accept loop needs a
+/// beat to drain after the operator decision, same as a real supervisor.
+fn promote_retry(standby: &Standby) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match standby.promote(0) {
+            Ok(epoch) => return epoch,
+            Err(e) if e.to_string().contains("already promoted") => return standby.epoch(),
+            Err(e) => {
+                assert!(Instant::now() < deadline, "promotion never succeeded: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: replication lag vs write rate (async shipping)
+// ---------------------------------------------------------------------------
+
+struct LagEntry {
+    label: &'static str,
+    writes: u64,
+    achieved_per_sec: f64,
+    max_lag_records: u64,
+    drain_ms: u128,
+}
+
+fn lag_phase(quick: bool) -> Vec<LagEntry> {
+    let pdir = temp_dir("lag-p");
+    let sdir = temp_dir("lag-s");
+    // Async shipping: commits do not wait for the standby, so lag is real.
+    let h = ServerHarness::start(&pdir, EngineConfig::default()).unwrap();
+    let standby = Standby::start(&sdir, StandbyConfig::default()).unwrap();
+    let shipper = Shipper::start(h.shared_engine().unwrap(), standby.addr());
+
+    let env = Environment::new();
+    let mut c = env.connect(&h.addr(), "bench", "lag").unwrap();
+    c.execute("CREATE TABLE lag (id INT, v TEXT)").unwrap();
+
+    let bursts: &[(&'static str, u64, Duration)] = if quick {
+        &[
+            ("throttled_1ms", 200, Duration::from_millis(1)),
+            ("unthrottled", 1_000, Duration::ZERO),
+        ]
+    } else {
+        &[
+            ("throttled_1ms", 1_000, Duration::from_millis(1)),
+            ("unthrottled", 5_000, Duration::ZERO),
+            ("unthrottled_x2", 10_000, Duration::ZERO),
+        ]
+    };
+
+    let mut out = Vec::new();
+    let mut next_id = 0u64;
+    for &(label, writes, pace) in bursts {
+        let t0 = Instant::now();
+        let mut max_lag = 0u64;
+        for i in 0..writes {
+            let id = next_id;
+            next_id += 1;
+            c.execute(&format!("INSERT INTO lag VALUES ({id}, 'r-{id}')"))
+                .unwrap();
+            if !pace.is_zero() {
+                std::thread::sleep(pace);
+            }
+            if i % 32 == 0 {
+                let last = h.with_engine(|e| e.last_gsn()).unwrap();
+                max_lag = max_lag.max(last.saturating_sub(standby.applied_gsn()));
+            }
+        }
+        let burst = t0.elapsed();
+        let target = h.with_engine(|e| e.last_gsn()).unwrap();
+        let d0 = Instant::now();
+        wait_until("standby drain", Duration::from_secs(30), || {
+            standby.applied_gsn() >= target
+        });
+        out.push(LagEntry {
+            label,
+            writes,
+            achieved_per_sec: writes as f64 / burst.as_secs_f64(),
+            max_lag_records: max_lag,
+            drain_ms: d0.elapsed().as_millis(),
+        });
+    }
+
+    drop(c);
+    shipper.stop();
+    drop(standby);
+    drop(h);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&sdir);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: promotion time (loss → first answered query)
+// ---------------------------------------------------------------------------
+
+struct PromotionResult {
+    seeded_rows: u64,
+    promote_ms: u128,
+    first_query_ms: u128,
+    epoch: u64,
+}
+
+fn promotion_phase(quick: bool) -> PromotionResult {
+    let pdir = temp_dir("promo-p");
+    let sdir = temp_dir("promo-s");
+    let mut h = ServerHarness::start(&pdir, semi_sync()).unwrap();
+    let standby = Standby::start(&sdir, StandbyConfig::default()).unwrap();
+    let shipper = Shipper::start(h.shared_engine().unwrap(), standby.addr());
+
+    let rows: u64 = if quick { 500 } else { 2_000 };
+    let env = Environment::new();
+    let mut c = env.connect(&h.addr(), "bench", "promo").unwrap();
+    c.execute("CREATE TABLE p (id INT)").unwrap();
+    for i in 0..rows {
+        c.execute(&format!("INSERT INTO p VALUES ({i})")).unwrap();
+    }
+    let target = h.with_engine(|e| e.last_gsn()).unwrap();
+    wait_until("standby catch-up", Duration::from_secs(30), || {
+        standby.applied_gsn() >= target
+    });
+    drop(c);
+
+    let t_loss = Instant::now();
+    h.crash().unwrap();
+    shipper.stop();
+    let epoch = promote_retry(&standby);
+    let promote_ms = t_loss.elapsed().as_millis();
+
+    // First query answered by the survivor, measured from the loss.
+    let mut c2 = env.connect(&standby.addr(), "bench", "promo").unwrap();
+    let served = count(&mut c2, "SELECT COUNT(*) FROM p");
+    let first_query_ms = t_loss.elapsed().as_millis();
+    assert_eq!(served as u64, rows, "promotion lost acknowledged rows");
+
+    drop(c2);
+    drop(standby);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&sdir);
+    PromotionResult {
+        seeded_rows: rows,
+        promote_ms,
+        first_query_ms,
+        epoch,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: session herd rides the failover
+// ---------------------------------------------------------------------------
+
+struct HerdResult {
+    sessions: u64,
+    acked: u64,
+    recoveries: u64,
+    ttfr_p50_ms: u128,
+    ttfr_p95_ms: u128,
+    ttfr_max_ms: u128,
+    promote_ms: u128,
+    ledger_rows: u64,
+}
+
+fn herd_phase(sessions: usize, check: bool) -> HerdResult {
+    let pdir = temp_dir("herd-p");
+    let sdir = temp_dir("herd-s");
+    let mut h = ServerHarness::start(&pdir, semi_sync()).unwrap();
+    let standby = Standby::start(&sdir, StandbyConfig::default()).unwrap();
+    let shipper = Shipper::start(h.shared_engine().unwrap(), standby.addr());
+
+    let env = Environment::new();
+    let mut admin = env.connect(&h.addr(), "bench", "herd").unwrap();
+    admin.execute("CREATE TABLE herd (id INT, s INT)").unwrap();
+    drop(admin);
+
+    let start = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let ramped = Arc::new(AtomicU64::new(0));
+    let replied = Arc::new(AtomicU64::new(0));
+    // Microseconds since `start` at which the primary was lost; 0 = alive.
+    let crash_us = Arc::new(AtomicU64::new(0));
+    let paddr = h.addr();
+    let saddr = standby.addr();
+
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let (paddr, saddr) = (paddr.clone(), saddr.clone());
+        let (stop, ramped, replied, crash_us) = (
+            stop.clone(),
+            ramped.clone(),
+            replied.clone(),
+            crash_us.clone(),
+        );
+        let mine: Vec<usize> = (0..sessions).filter(|s| s % WORKERS == w).collect();
+        handles.push(std::thread::spawn(move || {
+            let env = Environment::new();
+            let mut config = PhoenixConfig::default();
+            config.recovery.ping_interval = Duration::from_millis(20);
+            config.recovery.max_wait = Duration::from_secs(30);
+            let mut conns: Vec<(usize, PhoenixConnection)> = mine
+                .iter()
+                .map(|&s| {
+                    let pc = PhoenixConnection::connect_multi(
+                        &env,
+                        &[paddr.as_str(), saddr.as_str()],
+                        "bench",
+                        "herd",
+                        config.clone(),
+                    )
+                    .unwrap_or_else(|e| panic!("session {s} failed to open: {e}"));
+                    ramped.fetch_add(1, Ordering::Relaxed);
+                    (s, pc)
+                })
+                .collect();
+
+            let mut acked = vec![0u64; conns.len()];
+            let mut ttfr: Vec<Option<Duration>> = vec![None; conns.len()];
+            let mut pass = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for (i, (s, pc)) in conns.iter_mut().enumerate() {
+                    let id = *s as u64 * 1_000_000 + pass;
+                    match pc.execute(&format!("INSERT INTO herd VALUES ({id}, {s})")) {
+                        Ok(_) => {
+                            acked[i] += 1;
+                            let lost = crash_us.load(Ordering::Relaxed);
+                            if lost != 0 && ttfr[i].is_none() {
+                                let since =
+                                    start.elapsed().saturating_sub(Duration::from_micros(lost));
+                                ttfr[i] = Some(since);
+                                replied.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => panic!("herd insert on session {s} not masked: {e}"),
+                    }
+                }
+                pass += 1;
+            }
+            let per_session: Vec<(usize, u64, u128, u64)> = conns
+                .iter()
+                .enumerate()
+                .map(|(i, (s, pc))| {
+                    (
+                        *s,
+                        acked[i],
+                        ttfr[i].map(|d| d.as_millis()).unwrap_or(0),
+                        pc.stats().recoveries,
+                    )
+                })
+                .collect();
+            per_session
+        }));
+    }
+
+    wait_until("herd ramp", Duration::from_secs(120), || {
+        ramped.load(Ordering::Relaxed) == sessions as u64
+    });
+    // Let the churn settle, then lose the primary mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    crash_us.store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    let t_loss = Instant::now();
+    h.crash().unwrap();
+    shipper.stop();
+    std::thread::sleep(Duration::from_millis(100));
+    promote_retry(&standby);
+    let promote_ms = t_loss.elapsed().as_millis();
+
+    wait_until("herd time-to-first-reply", Duration::from_secs(120), || {
+        replied.load(Ordering::Relaxed) == sessions as u64
+    });
+    stop.store(true, Ordering::Relaxed);
+
+    let mut acked_by_session = vec![0u64; sessions];
+    let mut ttfr_ms = Vec::with_capacity(sessions);
+    let mut recoveries = 0u64;
+    for hdl in handles {
+        for (s, acked, ttfr, recs) in hdl.join().unwrap() {
+            acked_by_session[s] = acked;
+            ttfr_ms.push(ttfr);
+            recoveries += recs;
+        }
+    }
+    ttfr_ms.sort_unstable();
+    let acked: u64 = acked_by_session.iter().sum();
+
+    let mut audit = env.connect(&standby.addr(), "audit", "herd").unwrap();
+    let ledger_rows = count(&mut audit, "SELECT COUNT(*) FROM herd") as u64;
+    if check {
+        assert_eq!(
+            ledger_rows, acked,
+            "exactly-once violated: survivor row count != acknowledged inserts"
+        );
+        // A skew hidden by the total (dup + loss cancelling) shows up in the
+        // per-session ledger; sample a stride of the herd.
+        for s in (0..sessions).step_by((sessions / 37).max(1)) {
+            let n = count(
+                &mut audit,
+                &format!("SELECT COUNT(*) FROM herd WHERE s = {s}"),
+            );
+            assert_eq!(
+                n as u64, acked_by_session[s],
+                "session {s}: ledger diverged from its acked count"
+            );
+        }
+        assert!(
+            recoveries >= sessions as u64,
+            "every session must recover across the loss ({recoveries}/{sessions})"
+        );
+        eprintln!("failover_storm: check ok");
+    }
+    drop(audit);
+    drop(standby);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&sdir);
+
+    HerdResult {
+        sessions: sessions as u64,
+        acked,
+        recoveries,
+        ttfr_p50_ms: ttfr_ms[sessions / 2],
+        ttfr_p95_ms: ttfr_ms[(sessions * 95) / 100],
+        ttfr_max_ms: *ttfr_ms.last().unwrap(),
+        promote_ms,
+        ledger_rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut out = "BENCH_failover.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let sessions = if quick { 100 } else { 1_000 };
+    let mode = if quick { "quick" } else { "full" };
+
+    eprintln!("failover_storm: phase 1 — replication lag vs write rate");
+    let lag = lag_phase(quick);
+    for e in &lag {
+        eprintln!(
+            "  {}: {} writes at {:.0}/s, max lag {} records, drained in {} ms",
+            e.label, e.writes, e.achieved_per_sec, e.max_lag_records, e.drain_ms
+        );
+    }
+
+    eprintln!("failover_storm: phase 2 — promotion time");
+    let promo = promotion_phase(quick);
+    eprintln!(
+        "  {} rows preserved; promoted (epoch {}) in {} ms, first query answered {} ms after loss",
+        promo.seeded_rows, promo.epoch, promo.promote_ms, promo.first_query_ms
+    );
+
+    eprintln!("failover_storm: phase 3 — {sessions}-session herd rides the failover");
+    let herd = herd_phase(sessions, check);
+    eprintln!(
+        "  {} sessions, {} acked inserts, {} rows on survivor; \
+         time-to-first-reply p50 {} ms / p95 {} ms / max {} ms",
+        herd.sessions,
+        herd.acked,
+        herd.ledger_rows,
+        herd.ttfr_p50_ms,
+        herd.ttfr_p95_ms,
+        herd.ttfr_max_ms
+    );
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // host_parallelism is disclosed because every number here — ship rate,
+    // promotion time, herd recovery — is a single-machine measurement; the
+    // primary, the standby, and the whole client herd share these cores.
+    let lag_json: Vec<String> = lag
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{ \"label\": \"{}\", \"writes\": {}, \"achieved_per_sec\": {:.0}, \
+                 \"max_lag_records\": {}, \"drain_ms\": {} }}",
+                e.label, e.writes, e.achieved_per_sec, e.max_lag_records, e.drain_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"failover_storm\",\n  \"mode\": \"{mode}\",\n  \"host_parallelism\": {host},\n  \"commit_mode\": \"semi_sync\",\n  \"lag_vs_write_rate\": [\n{}\n  ],\n  \"promotion\": {{\n    \"seeded_rows\": {},\n    \"promote_ms\": {},\n    \"first_query_ms\": {},\n    \"epoch\": {}\n  }},\n  \"herd\": {{\n    \"sessions\": {},\n    \"workers\": {WORKERS},\n    \"acked_inserts\": {},\n    \"ledger_rows\": {},\n    \"recoveries\": {},\n    \"promote_ms\": {},\n    \"time_to_first_reply_ms\": {{ \"p50\": {}, \"p95\": {}, \"max\": {} }}\n  }}\n}}\n",
+        lag_json.join(",\n"),
+        promo.seeded_rows,
+        promo.promote_ms,
+        promo.first_query_ms,
+        promo.epoch,
+        herd.sessions,
+        herd.acked,
+        herd.ledger_rows,
+        herd.recoveries,
+        herd.promote_ms,
+        herd.ttfr_p50_ms,
+        herd.ttfr_p95_ms,
+        herd.ttfr_max_ms,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("failover_storm: wrote {out}");
+    print!("{json}");
+}

@@ -52,8 +52,14 @@ pub mod codes {
     /// Server-side I/O or durability failure.
     pub const STORAGE: ServerErrorCode = 12;
     /// Server at capacity (session cap reached or admission queue full).
-    /// Transient by contract: the only `Sql` code that is retryable.
+    /// Transient by contract, like [`FENCED`]: retrying can succeed.
     pub const BUSY: ServerErrorCode = 13;
+    /// Server fenced: either a deposed primary (a newer server has been
+    /// promoted — this one will never accept a login again) or a standby
+    /// that has not been promoted *yet*. Retryable by contract: the
+    /// reconnect loop rotates to the next server in the session's list,
+    /// which is exactly where a fenced answer says the session should go.
+    pub const FENCED: ServerErrorCode = 14;
 }
 
 /// A driver error. See the module docs for the class semantics.
@@ -92,16 +98,19 @@ impl Error {
         matches!(self, Error::Comm(_))
     }
 
-    /// Can the operation be retried — possibly on a fresh connection — with
-    /// a real chance of success? True for [`Error::Comm`], and for the one
-    /// transient server code, [`codes::BUSY`] (server at capacity — backing
-    /// off and retrying is the contract). Any other `Sql` error would recur,
-    /// a `Protocol` error is a bug, and a `Recovery` error means retrying
-    /// was already tried and lost.
+    /// Can the operation be retried — possibly on a fresh connection, or a
+    /// *different server* — with a real chance of success? True for
+    /// [`Error::Comm`] (covers connection refused/reset on a lost server),
+    /// and for the two transient server codes: [`codes::BUSY`] (at
+    /// capacity — back off and retry) and [`codes::FENCED`] (deposed
+    /// primary or not-yet-promoted standby — rotate to the next server in
+    /// the list). Any other `Sql` error would recur, a `Protocol` error is
+    /// a bug, and a `Recovery` error means retrying was already tried and
+    /// lost.
     pub fn is_retryable(&self) -> bool {
         match self {
             Error::Comm(_) => true,
-            Error::Sql { code, .. } => *code == codes::BUSY,
+            Error::Sql { code, .. } => *code == codes::BUSY || *code == codes::FENCED,
             _ => false,
         }
     }
@@ -181,6 +190,19 @@ mod tests {
         assert!(!srv.is_comm());
         assert!(!srv.is_retryable());
         assert_eq!(srv.server_code(), Some(codes::NOT_FOUND));
+        assert!(Error::Sql {
+            code: codes::BUSY,
+            message: "full".into(),
+        }
+        .is_retryable());
+        assert!(
+            Error::Sql {
+                code: codes::FENCED,
+                message: "standby: not promoted yet".into(),
+            }
+            .is_retryable(),
+            "fenced must be retryable or failover rotation never reaches the standby"
+        );
         assert!(!Error::Protocol("p".into()).is_retryable());
         assert!(!Error::Recovery("r".into()).is_retryable());
         // Each class renders with its own prefix — applications can log

@@ -46,6 +46,11 @@ pub enum ErrorCode {
     /// Transient by contract: the client may retry after a backoff — the
     /// driver treats this code as retryable.
     Busy = 13,
+    /// This server incarnation was fenced by a newer primary (or has not
+    /// been promoted yet) and refuses logins and writes. Retryable by the
+    /// driver's taxonomy: the client should rotate to the next server in
+    /// its list, where the promoted incarnation is (or will be) accepting.
+    Fenced = 14,
 }
 
 impl ErrorCode {
@@ -64,6 +69,7 @@ impl ErrorCode {
             10 => ErrorCode::NoSession,
             12 => ErrorCode::Storage,
             13 => ErrorCode::Busy,
+            14 => ErrorCode::Fenced,
             _ => ErrorCode::Internal,
         }
     }
@@ -179,6 +185,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Storage,
             ErrorCode::Busy,
+            ErrorCode::Fenced,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), code);
         }

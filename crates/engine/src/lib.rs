@@ -45,6 +45,8 @@ pub mod session;
 pub mod spill;
 
 pub use cursor::{CursorId, CursorKind, FetchDir};
-pub use engine::{Engine, EngineConfig, ExecOutcome, ExecResult};
+pub use engine::{
+    read_epoch, write_epoch, CommitMode, Engine, EngineConfig, ExecOutcome, ExecResult,
+};
 pub use error::{EngineError, ErrorCode};
 pub use session::SessionId;

@@ -361,7 +361,10 @@ fn concurrent_logins_never_exceed_cap() {
         t.join().unwrap();
     }
     let peak = peak.load(Ordering::Relaxed);
-    assert!(peak <= CAP as u64, "resident sessions peaked at {peak} > cap {CAP}");
+    assert!(
+        peak <= CAP as u64,
+        "resident sessions peaked at {peak} > cap {CAP}"
+    );
     assert!(e.session_count() <= CAP);
     std::fs::remove_dir_all(dir).unwrap();
 }

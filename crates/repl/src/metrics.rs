@@ -1,0 +1,86 @@
+//! Replication metric handles, registered once and cached in a static.
+
+use std::sync::{Arc, OnceLock};
+
+use phoenix_obs::{registry, Counter, Gauge};
+
+/// Cached handles for every replication metric.
+pub struct ReplMetrics {
+    /// Frames shipped to the standby (`phoenix_repl_frames_shipped_total`).
+    pub frames_shipped: Arc<Counter>,
+    /// Record bytes shipped (`phoenix_repl_bytes_shipped_total`).
+    pub bytes_shipped: Arc<Counter>,
+    /// Frames appended + applied on the standby
+    /// (`phoenix_repl_frames_applied_total`).
+    pub frames_applied: Arc<Counter>,
+    /// Standby acks processed by the shipper
+    /// (`phoenix_repl_acks_total`).
+    pub acks: Arc<Counter>,
+    /// Shipper connection/stream failures that forced a reconnect + re-attach
+    /// (`phoenix_repl_ship_errors_total`).
+    pub ship_errors: Arc<Counter>,
+    /// Promotions performed by a standby
+    /// (`phoenix_repl_promotions_total`).
+    pub promotions: Arc<Counter>,
+    /// Primary-side replication lag in log records: highest allocated GSN
+    /// minus highest standby-acked GSN (`phoenix_repl_lag_records`).
+    pub lag_records: Arc<Gauge>,
+    /// Highest GSN the shipper has sent (`phoenix_repl_last_shipped_gsn`).
+    pub last_shipped_gsn: Arc<Gauge>,
+    /// Highest GSN the standby has acknowledged
+    /// (`phoenix_repl_last_acked_gsn`).
+    pub last_acked_gsn: Arc<Gauge>,
+    /// Highest GSN materialized on the standby
+    /// (`phoenix_repl_applied_gsn`).
+    pub applied_gsn: Arc<Gauge>,
+}
+
+/// The replication metric set, registered on first use.
+pub fn repl_metrics() -> &'static ReplMetrics {
+    static M: OnceLock<ReplMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = registry();
+        ReplMetrics {
+            frames_shipped: r.counter(
+                "phoenix_repl_frames_shipped_total",
+                "WAL frames shipped to the standby",
+            ),
+            bytes_shipped: r.counter(
+                "phoenix_repl_bytes_shipped_total",
+                "record bytes shipped to the standby",
+            ),
+            frames_applied: r.counter(
+                "phoenix_repl_frames_applied_total",
+                "shipped frames appended and applied on the standby",
+            ),
+            acks: r.counter(
+                "phoenix_repl_acks_total",
+                "standby receive-acks processed by the shipper",
+            ),
+            ship_errors: r.counter(
+                "phoenix_repl_ship_errors_total",
+                "shipper failures that forced a reconnect and re-attach",
+            ),
+            promotions: r.counter(
+                "phoenix_repl_promotions_total",
+                "standby promotions to primary",
+            ),
+            lag_records: r.gauge(
+                "phoenix_repl_lag_records",
+                "primary log records not yet acknowledged by the standby",
+            ),
+            last_shipped_gsn: r.gauge(
+                "phoenix_repl_last_shipped_gsn",
+                "highest GSN the shipper has sent",
+            ),
+            last_acked_gsn: r.gauge(
+                "phoenix_repl_last_acked_gsn",
+                "highest GSN the standby has acknowledged",
+            ),
+            applied_gsn: r.gauge(
+                "phoenix_repl_applied_gsn",
+                "highest GSN materialized on the standby",
+            ),
+        }
+    })
+}

@@ -12,7 +12,7 @@
 
 use std::io::BufRead;
 
-use phoenix_engine::{Engine, EngineConfig};
+use phoenix_engine::{CommitMode, Engine, EngineConfig};
 use phoenix_server::{RunningServer, StatsListener};
 use phoenix_storage::db::Durability;
 
@@ -24,6 +24,7 @@ fn main() {
     let mut partitions: Option<usize> = None;
     let mut group_commit_window_us: u64 = 0;
     let mut max_sessions: Option<usize> = None;
+    let mut commit_mode = CommitMode::Async;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +53,7 @@ fn main() {
                     .expect("bad port")
             }
             "--buffered" => durability = Durability::Buffered,
+            "--semi-sync" => commit_mode = CommitMode::SemiSync,
             "--max-sessions" => {
                 max_sessions = Some(
                     args.next()
@@ -72,7 +74,7 @@ fn main() {
                 eprintln!(
                     "usage: phoenix-server [--data <dir>] [--port <port>] [--buffered] \
                      [--stats-port <port>] [--partitions <n>] [--group-commit-window-us <us>] \
-                     [--max-sessions <n>]"
+                     [--max-sessions <n>] [--semi-sync]"
                 );
                 return;
             }
@@ -90,6 +92,7 @@ fn main() {
         partitions,
         group_commit_window_us,
         max_sessions,
+        commit_mode,
     };
     eprintln!(
         "phoenix-server: opening {} (recovery may replay the log)…",

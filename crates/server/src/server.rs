@@ -670,6 +670,35 @@ pub fn dispatch(
                 Err(e) => err_of(e),
             }
         }
+        // Replication streams terminate at a *standby* receiver, never at a
+        // serving primary: a ReplHello here means someone pointed a shipper
+        // at the wrong address.
+        Request::ReplHello { .. } | Request::ReplFrames { .. } => Response::Err {
+            code: ErrorCode::Unsupported as u16,
+            message: "this server is a primary; replication frames go to a standby".into(),
+        },
+        // Promote sent to a live primary is the split-brain kill switch: an
+        // operator (or the failover supervisor) telling this incarnation a
+        // newer primary exists. Fence it — durably — so it refuses every
+        // write and login from here on, even across a restart.
+        Request::Promote { epoch } => {
+            if eng.fence(epoch) {
+                phoenix_obs::journal().record(
+                    "server",
+                    phoenix_obs::EventKind::ServerLifecycle,
+                    format!("fenced by Promote(epoch {epoch})"),
+                );
+                Response::Promoted { epoch }
+            } else {
+                Response::Err {
+                    code: ErrorCode::Unsupported as u16,
+                    message: format!(
+                        "promote epoch {epoch} does not outrank this primary's epoch {}",
+                        eng.epoch()
+                    ),
+                }
+            }
+        }
     }
 }
 
@@ -683,6 +712,16 @@ fn create_session_with_options(
     user: &str,
     options: Vec<(String, phoenix_storage::types::Value)>,
 ) -> Result<SessionId, Response> {
+    // A deposed primary must not hand out sessions: every statement the
+    // client ran here would be refused at the WAL anyway, and the client's
+    // recovery loop should rotate to the promoted server instead. Fenced is
+    // retryable by the driver's taxonomy, exactly like Busy.
+    if eng.is_fenced() {
+        return Err(Response::Err {
+            code: ErrorCode::Fenced as u16,
+            message: "server fenced: a newer primary has been promoted".into(),
+        });
+    }
     if let Some(old) = session.take() {
         let _ = eng.close_session(old);
     }

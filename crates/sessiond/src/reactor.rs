@@ -707,11 +707,7 @@ impl Shard {
     /// Synthesized echoes are not admission-counted: under overload each
     /// refused frame must not consume the very capacity being protected.
     fn reply_synth(&mut self, id: u64, tag: Option<u64>, rsp: Response) {
-        if self
-            .jobs
-            .send(Job::Synth { conn: id, tag, rsp })
-            .is_err()
-        {
+        if self.jobs.send(Job::Synth { conn: id, tag, rsp }).is_err() {
             self.close_conn(id);
         }
     }

@@ -246,11 +246,9 @@ fn synthesized_reply_does_not_overtake_earlier_request_v1() {
     write_frame(&mut bytes, &[0xFF, 0xEE, 0xDD]).unwrap();
     s.write_all(&bytes).unwrap();
 
-    match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
-        Response::Err { code, message } => {
-            panic!("first reply must be the DDL's, got Err {code}: {message}")
-        }
-        _ => {}
+    if let Response::Err { code, message } = Response::decode(&read_frame(&mut s).unwrap()).unwrap()
+    {
+        panic!("first reply must be the DDL's, got Err {code}: {message}")
     }
     match Response::decode(&read_frame(&mut s).unwrap()).unwrap() {
         Response::Err { code, .. } => {

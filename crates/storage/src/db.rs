@@ -89,7 +89,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,7 @@ use phoenix_obs::Histogram;
 
 use crate::metrics::{partition_batch_histogram, storage_metrics};
 use crate::record::LogRecord;
+use crate::repl::{FrameState, ReplTap, ShipFrame, TapFrame, WarmImage, TAP_CAP};
 use crate::store::{normalize_name, partition_of, Store, StoreError, StoreSnapshot, TableData};
 use crate::types::{Row, RowId, TableDef, TxnId};
 use crate::wal::{Wal, WalPoints, MAX_FRAME};
@@ -360,6 +361,11 @@ struct Partition {
     /// mark. Recovery seeds every partition with the recovered high-water
     /// mark.
     last_finished: AtomicU64,
+    /// Largest GSN appended to this partition's stream. Written under the
+    /// partition's WAL lock (so it is append-order monotone); the
+    /// group-commit leader reads it under the same lock right before
+    /// syncing, making it the replication tap's durable watermark source.
+    last_gsn: AtomicU64,
     /// `phoenix_group_commit_batch{partition="p<k>"}`.
     batch_hist: Arc<Histogram>,
 }
@@ -387,12 +393,30 @@ pub struct Durable {
     recovery: RecoveryReport,
     /// Bounded fsync delay the group-commit leaders apply before flushing.
     group_commit_window: Duration,
+    /// The replication tap (dormant until a shipper attaches).
+    tap: ReplTap,
+    /// Sticky fencing flag: once set, every WAL append is refused. A deposed
+    /// primary is fenced when a newer incarnation is known to exist; the
+    /// engine layer persists the decision across restarts.
+    fenced: AtomicBool,
+    /// Oldest GSN still reconstructible from this directory's logs: raised
+    /// to the GSN high-water inside every checkpoint's rotation critical
+    /// section (the checkpoint folds older frames into the snapshot and
+    /// deletes them). A standby behind the floor must be re-seeded.
+    ship_floor: AtomicU64,
+    /// Semi-sync commit: how long a committer waits for the standby ack
+    /// watermark to cover its commit record before degrading to async.
+    /// `None` (the default) is fully asynchronous replication.
+    commit_wait: Mutex<Option<Duration>>,
 }
 
 impl Durable {
     /// Partition `k`'s live log. Partition 0 keeps the legacy unsuffixed
-    /// name so single-partition directories are unchanged on disk.
-    fn wal_path(dir: &Path, k: usize) -> PathBuf {
+    /// name so single-partition directories are unchanged on disk. Public
+    /// because the replication standby appends shipped frames to the same
+    /// per-partition layout, keeping its directory recoverable at every
+    /// instant.
+    pub fn wal_path(dir: &Path, k: usize) -> PathBuf {
         if k == 0 {
             dir.join("phoenix.wal")
         } else {
@@ -403,7 +427,7 @@ impl Durable {
     /// The rotated-aside log of an in-progress (or crashed) checkpoint.
     /// Replayed *before* the live log; deleted when the checkpoint's
     /// manifest is durable.
-    fn wal_old_path(dir: &Path, k: usize) -> PathBuf {
+    pub(crate) fn wal_old_path(dir: &Path, k: usize) -> PathBuf {
         if k == 0 {
             dir.join("phoenix.wal.old")
         } else {
@@ -411,7 +435,7 @@ impl Durable {
         }
     }
 
-    fn snapshot_path(dir: &Path) -> PathBuf {
+    pub(crate) fn snapshot_path(dir: &Path) -> PathBuf {
         dir.join("phoenix.snapshot")
     }
 
@@ -433,14 +457,50 @@ impl Durable {
         durability: Durability,
         opts: &RecoveryOptions,
     ) -> Result<Durable, DbError> {
+        Self::open_inner(dir, durability, opts, None)
+    }
+
+    /// Open a directory whose prefix is already materialized in a warm
+    /// standby image (see [`crate::repl`]): skip the snapshot load, seed the
+    /// store from the image, and replay only the records at or past the
+    /// image's GSN watermark. This is promotion's fast path — the replay
+    /// tail is bounded by the standby's lag, not the log size — and the
+    /// result is bit-identical to a cold `open_opts` of the same directory.
+    pub fn open_warm(
+        dir: impl AsRef<Path>,
+        durability: Durability,
+        opts: &RecoveryOptions,
+        warm: WarmImage,
+    ) -> Result<Durable, DbError> {
+        Self::open_inner(dir, durability, opts, Some(warm))
+    }
+
+    fn open_inner(
+        dir: impl AsRef<Path>,
+        durability: Durability,
+        opts: &RecoveryOptions,
+        warm: Option<WarmImage>,
+    ) -> Result<Durable, DbError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
-        let (mut store, mark, gen, seg_files) =
-            match snapshot::load(&dir, &Self::snapshot_path(&dir))? {
-                Some(s) => (s.store, s.mark, s.gen, s.segments),
-                None => (Store::new(), 0, 0, HashMap::new()),
-            };
+        let (mut store, mark, gen, seg_files, warm_cut) = match warm {
+            Some(w) => {
+                // The warm store's table `Arc`s have diverged from the
+                // on-disk segments (the applier mutated them), so the next
+                // checkpoint rewrites everything: no base identity map. The
+                // manifest is still read for its generation — segment file
+                // names must not collide with the seed snapshot's.
+                let gen = snapshot::load_manifest(&Self::snapshot_path(&dir))?
+                    .map(|m| m.gen)
+                    .unwrap_or(0);
+                (w.store, w.mark, gen, HashMap::new(), w.applied_below_gsn)
+            }
+            None => match snapshot::load(&dir, &Self::snapshot_path(&dir))? {
+                Some(s) => (s.store, s.mark, s.gen, s.segments, 0),
+                None => (Store::new(), 0, 0, HashMap::new(), 0),
+            },
+        };
 
         // The previous checkpoint's identity map, captured *before* replay:
         // tables the replay leaves untouched keep their `Arc` (the base map
@@ -513,11 +573,20 @@ impl Durable {
             }
         }
         let total_records = records.len() as u64;
+        let min_gsn = records.first().map(|r| r.0);
 
         // Pass 2: partitioned replay of committed records past the mark,
         // in merged GSN order (bit-identical to a single-stream replay of
         // the same workload — the GSN *is* the single-stream append order).
-        let merged: Vec<LogRecord> = records.into_iter().map(|(_, _, rec)| rec).collect();
+        // A warm open additionally drops records below the image's GSN
+        // watermark: the standby applier already materialized them (the
+        // commit scan above still covered the full log, so the tail's
+        // transaction fates are decided with complete knowledge).
+        let merged: Vec<LogRecord> = records
+            .into_iter()
+            .filter(|(gsn, _, _)| *gsn >= warm_cut)
+            .map(|(_, _, rec)| rec)
+            .collect();
         let (applied, tables_replayed) =
             replay_records(&mut store, merged, &committed, mark, threads)?;
 
@@ -554,6 +623,7 @@ impl Durable {
                         flushed_cv: Condvar::new(),
                     },
                     last_finished: AtomicU64::new(last_txn),
+                    last_gsn: AtomicU64::new(max_gsn),
                     batch_hist: partition_batch_histogram(k),
                 })
             })
@@ -574,6 +644,18 @@ impl Durable {
             }),
             recovery: report,
             group_commit_window: Duration::from_micros(opts.group_commit_window_us),
+            tap: ReplTap::new(),
+            fenced: AtomicBool::new(false),
+            // With a snapshot on disk, frames it folded in are gone: the
+            // oldest shippable GSN is the oldest one still in the logs (or
+            // just past the high-water if the logs are empty). Without one,
+            // the entire history is reconstructible from GSN 1.
+            ship_floor: AtomicU64::new(if gen > 0 {
+                min_gsn.unwrap_or(max_gsn + 1)
+            } else {
+                1
+            }),
+            commit_wait: Mutex::new(None),
         })
     }
 
@@ -665,26 +747,86 @@ impl Durable {
         self.parts.iter().map(|p| p.wal.lock().sync_count()).sum()
     }
 
-    /// Append one record to a WAL stream the caller has already locked,
-    /// prefixing it with a freshly allocated GSN. Allocating *under* the
-    /// stream's lock keeps each stream GSN-monotone, which is what lets
-    /// recovery merge the streams by GSN into one total order.
-    fn append_locked(&self, wal: &mut Wal, encoded: &[u8]) -> Result<(), DbError> {
-        let gsn = self.next_gsn.fetch_add(1, Ordering::Relaxed);
+    /// Append one record to partition `k`'s stream, whose WAL lock the
+    /// caller already holds, prefixing it with a freshly allocated GSN.
+    /// Allocating *under* the stream's lock keeps each stream GSN-monotone,
+    /// which is what lets recovery merge the streams by GSN into one total
+    /// order. Returns the frame's GSN.
+    ///
+    /// Refused outright on a fenced handle: a deposed primary must never
+    /// extend its log, however the write reached this layer.
+    fn append_locked(&self, k: usize, wal: &mut Wal, encoded: &[u8]) -> Result<u64, DbError> {
+        if self.fenced.load(Ordering::Relaxed) {
+            return Err(DbError::Io(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "wal.append refused: this incarnation was fenced by a newer primary",
+            )));
+        }
+        // With a shipper attached, GSN allocation and frame staging are one
+        // atomic step under the tap lock, so the staged queue is strictly
+        // GSN-ordered across all partition streams. Unattached, allocation
+        // stays a bare fetch_add.
+        let gsn = if self.tap.enabled.load(Ordering::Acquire) {
+            let mut t = self.tap.state.lock();
+            let gsn = self.next_gsn.fetch_add(1, Ordering::Relaxed);
+            if !t.lost {
+                if t.frames.len() >= TAP_CAP {
+                    // The shipper fell too far behind the write rate: drop
+                    // the queue (bounding memory, not throughput); the
+                    // shipper must re-attach with a disk catch-up.
+                    t.frames.clear();
+                    t.lost = true;
+                } else {
+                    t.frames.push_back(TapFrame {
+                        gsn,
+                        partition: k as u8,
+                        record: encoded.to_vec(),
+                        state: FrameState::Staged,
+                    });
+                }
+            }
+            gsn
+        } else {
+            self.next_gsn.fetch_add(1, Ordering::Relaxed)
+        };
         let mut payload = Vec::with_capacity(8 + encoded.len());
         payload.extend_from_slice(&gsn.to_le_bytes());
         payload.extend_from_slice(encoded);
-        wal.append(&payload)?;
+        let appended = wal.append(&payload);
+        if self.tap.enabled.load(Ordering::Acquire) {
+            self.tap_mark(gsn, appended.is_ok());
+        }
+        appended?;
+        self.parts[k].last_gsn.store(gsn, Ordering::Release);
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(gsn)
+    }
+
+    /// Resolve a staged frame's fate once its append outcome is known: a
+    /// successful append makes it shippable (subject to the durable
+    /// watermark), a failed one leaves a `Dead` tombstone preserving the
+    /// queue's GSN contiguity.
+    fn tap_mark(&self, gsn: u64, ok: bool) {
+        let mut t = self.tap.state.lock();
+        // The frame is near the back (staged moments ago under this lock).
+        if let Some(f) = t.frames.iter_mut().rev().find(|f| f.gsn == gsn) {
+            f.state = if ok {
+                FrameState::Appended
+            } else {
+                FrameState::Dead
+            };
+        }
+        drop(t);
+        self.tap.cv.notify_all();
     }
 
     /// Append one record to partition `k`'s stream. Callers that need
     /// write-ahead atomicity with a store mutation must already hold that
     /// partition's working-store lock.
     fn log_to(&self, k: usize, rec: &LogRecord) -> Result<(), DbError> {
-        self.append_locked(&mut self.parts[k].wal.lock(), &rec.encode())
+        self.append_locked(k, &mut self.parts[k].wal.lock(), &rec.encode())
+            .map(|_gsn| ())
     }
 
     /// Begin a new transaction. Nothing is logged — a transaction exists in
@@ -740,10 +882,15 @@ impl Durable {
         // quiescence check also means a checkpoint can never rotate between
         // two of a cross-partition commit's appends.
         let mut seqs = Vec::with_capacity(targets.len());
+        let mut commit_gsn = 0u64;
         for &k in &targets {
             let p = &self.parts[k];
             let mut wal = p.wal.lock();
-            self.append_locked(&mut wal, &encoded)?;
+            let gsn = self.append_locked(k, &mut wal, &encoded)?;
+            // The commit record's GSN dominates every record of the
+            // transaction (they were all allocated earlier), so the standby
+            // ack watermark covering it covers the whole transaction.
+            commit_gsn = commit_gsn.max(gsn);
             p.last_finished.fetch_max(txn, Ordering::Relaxed);
             let mut st = p.group.state.lock();
             st.appended += 1;
@@ -755,7 +902,47 @@ impl Durable {
                 self.group_sync(k, seq)?;
             }
         }
+        self.semi_sync_wait(commit_gsn);
         Ok(())
+    }
+
+    /// Under semi-sync replication, hold the committer until the standby
+    /// ack watermark covers `gsn` — the reply does not leave the server
+    /// before the standby holds the transaction. Bounded: past the
+    /// configured timeout the commit *degrades* to async (counted by
+    /// `phoenix_repl_semisync_degraded_total`) rather than stalling the
+    /// session behind a dead standby. No-op when async (the default) or
+    /// when no shipper is attached.
+    fn semi_sync_wait(&self, gsn: u64) {
+        let Some(timeout) = *self.commit_wait.lock() else {
+            return;
+        };
+        if !self.tap.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut acked = self.tap.acked.lock();
+        while *acked < gsn {
+            // Re-check the exit conditions at a bounded cadence: the
+            // shipper may detach, and a chaos-halted process must never
+            // leave committers parked (the harness drains them on crash).
+            if !self.tap.enabled.load(Ordering::Acquire) || phoenix_chaos::halted() {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                phoenix_obs::registry()
+                    .counter(
+                        "phoenix_repl_semisync_degraded_total",
+                        "semi-sync commits that timed out waiting for a standby ack \
+                         and degraded to async",
+                    )
+                    .inc();
+                return;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            self.tap.acked_cv.wait_for(&mut acked, wait);
+        }
     }
 
     /// Wait until partition `k`'s commit record with group sequence `seq`
@@ -786,12 +973,16 @@ impl Durable {
             let flush = {
                 let mut wal = p.wal.lock();
                 let upto = p.group.state.lock().appended;
-                wal.sync().map(|()| upto)
+                // Captured under the WAL lock: every frame of this
+                // partition with gsn ≤ gsn_upto is covered by the sync
+                // below — the replication tap's durable watermark.
+                let gsn_upto = p.last_gsn.load(Ordering::Acquire);
+                wal.sync().map(|()| (upto, gsn_upto))
             };
             st = p.group.state.lock();
             st.leader = false;
             match flush {
-                Ok(upto) => {
+                Ok((upto, gsn_upto)) => {
                     if upto > st.flushed {
                         let m = storage_metrics();
                         m.group_commit_records.add(upto - st.flushed);
@@ -801,6 +992,10 @@ impl Durable {
                     }
                     st.flushed = st.flushed.max(upto);
                     p.group.flushed_cv.notify_all();
+                    if self.tap.enabled.load(Ordering::Acquire) {
+                        self.tap.durable[k].fetch_max(gsn_upto, Ordering::AcqRel);
+                        self.tap.cv.notify_all();
+                    }
                     // `upto` ≥ our `seq` (we appended before flushing), so
                     // the next loop iteration returns Ok.
                 }
@@ -1010,7 +1205,7 @@ impl Durable {
                 }
                 // A lone row too big for a frame reaches the append, which
                 // refuses it with `InvalidInput` before anything is applied.
-                self.append_locked(&mut self.parts[k].wal.lock(), &encoded)?;
+                self.append_locked(k, &mut self.parts[k].wal.lock(), &encoded)?;
                 let t = store.table_mut(table)?;
                 for row in chunk.drain(..) {
                     assigned.push(t.insert(row)?);
@@ -1261,6 +1456,13 @@ impl Durable {
             for (k, wal) in wals.iter_mut().enumerate() {
                 wal.rotate_to(&Self::wal_old_path(&self.dir, k))?;
             }
+            // Everything below the current GSN high-water is being folded
+            // into the snapshot; once the manifest commits, those frames
+            // are deleted. Raise the shipping floor now, conservatively —
+            // a standby catch-up between rotation and deletion refuses
+            // rather than racing the unlink.
+            self.ship_floor
+                .fetch_max(self.next_gsn.load(Ordering::Relaxed), Ordering::Relaxed);
             mark
         };
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
@@ -1345,6 +1547,178 @@ impl Durable {
         m.checkpoints.inc();
         Ok(())
     }
+
+    // -- replication tap (see `crate::repl` for the frame/queue types) ----
+
+    /// Permanently fence this handle: every subsequent WAL append is
+    /// refused with `PermissionDenied`. Called when a newer incarnation (a
+    /// promoted standby) is known to exist; the engine layer persists the
+    /// decision so it sticks across restarts.
+    pub fn fence(&self) {
+        self.fenced.store(true, Ordering::SeqCst);
+        // Wake any semi-sync committers; they re-check and bail on timeout
+        // or detach, never completing a write on a fenced primary anyway.
+        self.tap.acked_cv.notify_all();
+    }
+
+    /// Has [`Durable::fence`] been called on this handle?
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Highest GSN allocated so far (0 = none yet): the shipper's lag
+    /// reference point.
+    pub fn last_gsn(&self) -> u64 {
+        self.next_gsn.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Oldest GSN still reconstructible from this directory (frames below
+    /// it were folded into a snapshot). A standby whose log ends before
+    /// `floor - 1` cannot catch up over the wire and must be re-seeded from
+    /// a copy of the primary's data directory.
+    pub fn ship_floor(&self) -> u64 {
+        self.ship_floor.load(Ordering::Relaxed)
+    }
+
+    /// Configure the semi-sync commit wait: `Some(timeout)` holds each
+    /// commit until the standby ack watermark covers it (degrading to async
+    /// past the timeout), `None` (the default) replicates asynchronously.
+    pub fn set_commit_wait(&self, wait: Option<Duration>) {
+        *self.commit_wait.lock() = wait;
+        self.tap.acked_cv.notify_all();
+    }
+
+    /// Attach a shipper whose standby has every frame up to and including
+    /// `standby_last_gsn`: arm the live tap and return the disk backlog —
+    /// every on-disk frame past that GSN, sorted by GSN.
+    ///
+    /// Holding **all** WAL locks (ascending, per the global lock order)
+    /// blocks every append for the duration, so the returned backlog and
+    /// the armed queue partition the GSN space exactly: no frame is missed,
+    /// none is delivered twice.
+    pub fn repl_attach(&self, standby_last_gsn: u64) -> Result<Vec<ShipFrame>, DbError> {
+        let _wals: Vec<_> = self.parts.iter().map(|p| p.wal.lock()).collect();
+        let floor = self.ship_floor.load(Ordering::Relaxed);
+        if standby_last_gsn + 1 < floor {
+            return Err(DbError::Io(io::Error::other(format!(
+                "standby is at gsn {standby_last_gsn} but the oldest shippable frame is \
+                 {floor} (a checkpoint folded the gap into the snapshot); re-seed the \
+                 standby from a copy of the primary's data directory"
+            ))));
+        }
+        if standby_last_gsn > self.last_gsn() {
+            return Err(DbError::Io(io::Error::other(format!(
+                "standby is at gsn {standby_last_gsn}, ahead of this primary's high-water \
+                 {} — it was seeded from a different log history; re-seed it",
+                self.last_gsn()
+            ))));
+        }
+        {
+            let mut t = self.tap.state.lock();
+            t.frames.clear();
+            t.lost = false;
+        }
+        *self.tap.acked.lock() = standby_last_gsn;
+        self.tap.enabled.store(true, Ordering::SeqCst);
+        let mut backlog: Vec<ShipFrame> = Vec::new();
+        for k in 0..MAX_PARTITIONS {
+            for path in [
+                Self::wal_old_path(&self.dir, k),
+                Self::wal_path(&self.dir, k),
+            ] {
+                for frame in Wal::read_all(path)? {
+                    if frame.len() < 8 {
+                        continue;
+                    }
+                    let gsn = u64::from_le_bytes(frame[..8].try_into().expect("8-byte slice"));
+                    if gsn > standby_last_gsn {
+                        backlog.push((k as u8, gsn, frame[8..].to_vec()));
+                    }
+                }
+            }
+        }
+        backlog.sort_unstable_by_key(|&(_, gsn, _)| gsn);
+        Ok(backlog)
+    }
+
+    /// Drain up to `max` shippable frames in GSN order, blocking up to
+    /// `wait` for the first one. A frame is shippable once its append
+    /// succeeded **and** (under `Fsync`) the partition's durable watermark
+    /// covers it — the shipper only ever sees post-fsync data. Returns an
+    /// error if the tap overflowed its bounded queue: the caller
+    /// must detach and re-attach with a disk catch-up.
+    pub fn repl_poll(&self, max: usize, wait: Duration) -> Result<Vec<ShipFrame>, DbError> {
+        let deadline = Instant::now() + wait;
+        let mut t = self.tap.state.lock();
+        loop {
+            if t.lost {
+                return Err(DbError::Io(io::Error::other(
+                    "replication tap overflowed; re-attach with a disk catch-up",
+                )));
+            }
+            let mut out = Vec::new();
+            while out.len() < max {
+                let ship = match t.frames.front() {
+                    None => break,
+                    Some(f) => match f.state {
+                        FrameState::Staged => false,
+                        FrameState::Dead => true, // tombstone: pop, never ship
+                        FrameState::Appended => {
+                            self.durability == Durability::Buffered
+                                || f.gsn
+                                    <= self.tap.durable[f.partition as usize]
+                                        .load(Ordering::Acquire)
+                        }
+                    },
+                };
+                if !ship {
+                    break;
+                }
+                let f = t.frames.pop_front().expect("front checked");
+                if matches!(f.state, FrameState::Appended) {
+                    out.push((f.partition, f.gsn, f.record));
+                }
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            if Instant::now() >= deadline {
+                return Ok(Vec::new());
+            }
+            // Bounded wait: notifications cover the common paths (append,
+            // sync), the timeout covers the rest.
+            self.tap.cv.wait_for(&mut t, Duration::from_millis(2));
+        }
+    }
+
+    /// Record the standby's ack watermark: every frame with `gsn ≤` the
+    /// watermark is received and persisted on the standby. Unblocks
+    /// semi-sync committers.
+    pub fn repl_ack(&self, gsn: u64) {
+        let mut acked = self.tap.acked.lock();
+        if gsn > *acked {
+            *acked = gsn;
+        }
+        drop(acked);
+        self.tap.acked_cv.notify_all();
+    }
+
+    /// The standby ack watermark (for lag accounting).
+    pub fn repl_acked_gsn(&self) -> u64 {
+        *self.tap.acked.lock()
+    }
+
+    /// Detach the shipper: disarm the tap, drop staged frames, and release
+    /// any semi-sync committers (their standby is gone; holding commits
+    /// hostage would not make it less gone).
+    pub fn repl_detach(&self) {
+        self.tap.enabled.store(false, Ordering::SeqCst);
+        let mut t = self.tap.state.lock();
+        t.frames.clear();
+        t.lost = false;
+        drop(t);
+        self.tap.acked_cv.notify_all();
+    }
 }
 
 /// One unit of the partitioned replay: a catalog record that must apply
@@ -1376,7 +1750,7 @@ fn decode_gsn_frame(frame: &[u8]) -> Result<(u64, LogRecord), DecodeError> {
 /// would have logged. Decoding fans contiguous chunks out over up to
 /// `threads` scoped workers (pure CPU, usually the bulk of replay time);
 /// small logs stay sequential, the spawn cost would exceed the decode cost.
-fn decode_streams(
+pub(crate) fn decode_streams(
     streams: &[(u32, Vec<Vec<u8>>)],
     threads: usize,
 ) -> Result<Vec<(u64, u32, LogRecord)>, DbError> {
@@ -1426,7 +1800,7 @@ fn decode_streams(
 /// Determinism: every DML record carries explicit row ids and per-table
 /// log order is preserved inside each group, so the partitioned apply is
 /// bit-identical to the sequential one regardless of worker scheduling.
-fn replay_records(
+pub(crate) fn replay_records(
     store: &mut Store,
     records: Vec<LogRecord>,
     committed: &HashSet<TxnId>,
@@ -2082,7 +2456,7 @@ mod tests {
                 txn: t,
                 participants: vec![p_acct as u32, p_other as u32],
             };
-            db.append_locked(&mut db.parts[p_acct].wal.lock(), &rec.encode())
+            db.append_locked(p_acct, &mut db.parts[p_acct].wal.lock(), &rec.encode())
                 .unwrap();
             db.parts[p_acct].wal.lock().sync().unwrap();
             // Crash.

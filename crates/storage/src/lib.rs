@@ -39,11 +39,13 @@ pub mod crc;
 pub mod db;
 pub mod metrics;
 pub mod record;
+pub mod repl;
 pub mod snapshot;
 pub mod store;
 pub mod types;
 pub mod wal;
 
 pub use db::{Durability, Durable};
+pub use repl::{warm_load, ShipFrame, WarmImage, WarmLoad};
 pub use store::{Store, StoreSnapshot, TableData};
 pub use types::{Column, DataType, Row, RowId, Schema, TableDef, TxnId, Value};

@@ -39,6 +39,6 @@ pub mod message;
 
 pub use frame::{read_frame, read_tagged_frame, write_frame, write_tagged_frame, FrameError};
 pub use message::{
-    BatchItem, CursorKind, FetchDir, Outcome, Request, Response, DEFAULT_WINDOW, PROTOCOL_V1,
-    PROTOCOL_V2,
+    BatchItem, CursorKind, FetchDir, Outcome, ReplFrame, Request, Response, DEFAULT_WINDOW,
+    PROTOCOL_V1, PROTOCOL_V2,
 };

@@ -125,6 +125,52 @@ pub enum Request {
         /// The statements, in execution order.
         stmts: Vec<String>,
     },
+    /// Replication handshake, sent by a primary's shipper to a standby's
+    /// receiver. The standby answers [`Response::ReplHelloAck`] with its own
+    /// log high-water so the shipper can serve exactly the missing suffix —
+    /// or [`Response::Err`] when the sender's epoch is stale (the shipper
+    /// must then fence its primary: a newer incarnation exists).
+    ReplHello {
+        /// The sending primary's incarnation epoch.
+        epoch: u64,
+        /// Replication protocol version the shipper speaks.
+        protocol: u32,
+    },
+    /// A batch of WAL frames shipped primary → standby, in strict GSN
+    /// order. The standby appends each to its own per-partition log, fsyncs,
+    /// applies, and answers [`Response::ReplAck`] with its new watermark. An
+    /// empty batch is a heartbeat (resets the standby's auto-promotion
+    /// timer) and is acked like any other.
+    ReplFrames {
+        /// The sending primary's incarnation epoch (re-checked per batch:
+        /// a standby that has seen a newer epoch refuses the stale one).
+        epoch: u64,
+        /// The frames, GSN-ascending.
+        frames: Vec<ReplFrame>,
+    },
+    /// Operator command: promote the receiving standby to primary under (at
+    /// least) the given epoch. The standby replies [`Response::Promoted`]
+    /// with the epoch it actually took, then replays its tail and starts
+    /// accepting logins. Sent to a live *primary*, this fences it instead —
+    /// the split-brain kill switch.
+    Promote {
+        /// Minimum epoch the new incarnation must exceed the old one by.
+        epoch: u64,
+    },
+}
+
+/// One replicated WAL frame: a partition-tagged, GSN-stamped log record,
+/// byte-identical to the source stream's frame payload (minus the GSN
+/// prefix, carried explicitly here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplFrame {
+    /// Which of the primary's partition streams the record came from — the
+    /// standby appends it to the same stream index of its own directory.
+    pub partition: u8,
+    /// The record's global sequence number.
+    pub gsn: u64,
+    /// The encoded `LogRecord` bytes (opaque to the wire layer).
+    pub record: Vec<u8>,
 }
 
 /// What a statement produced (wire view of the engine's outcome).
@@ -220,6 +266,28 @@ pub enum Response {
         /// Outcomes in statement order.
         items: Vec<BatchItem>,
     },
+    /// Standby's answer to [`Request::ReplHello`]: its current epoch and
+    /// log high-water. The shipper resumes shipping at `last_gsn + 1`.
+    ReplHelloAck {
+        /// The standby's (possibly just-raised) epoch.
+        epoch: u64,
+        /// Highest GSN present in the standby's logs (0 = empty).
+        last_gsn: u64,
+    },
+    /// Standby's answer to [`Request::ReplFrames`]: every frame with
+    /// `gsn ≤ last_gsn` is received, appended to the standby's own log and
+    /// fsynced — the semi-sync commit ack point.
+    ReplAck {
+        /// The standby's new log high-water.
+        last_gsn: u64,
+    },
+    /// Answer to [`Request::Promote`]: the standby took this epoch and is
+    /// replaying its tail; logins are accepted shortly after on the same
+    /// address.
+    Promoted {
+        /// The new incarnation's epoch (> every epoch the standby had seen).
+        epoch: u64,
+    },
 }
 
 /// One statement's outcome inside a [`Response::BatchResult`].
@@ -256,6 +324,9 @@ const REQ_DESCRIBE: u8 = 8;
 const REQ_STATS: u8 = 9;
 const REQ_LOGIN_V2: u8 = 10;
 const REQ_EXEC_BATCH: u8 = 11;
+const REQ_REPL_HELLO: u8 = 12;
+const REQ_REPL_FRAMES: u8 = 13;
+const REQ_PROMOTE: u8 = 14;
 
 const RSP_LOGIN_ACK: u8 = 101;
 const RSP_RESULT: u8 = 102;
@@ -268,6 +339,9 @@ const RSP_TABLE_INFO: u8 = 108;
 const RSP_STATS: u8 = 109;
 const RSP_LOGIN_ACK_V2: u8 = 110;
 const RSP_BATCH_RESULT: u8 = 111;
+const RSP_REPL_HELLO_ACK: u8 = 112;
+const RSP_REPL_ACK: u8 = 113;
+const RSP_PROMOTED: u8 = 114;
 
 fn cursor_kind_tag(k: CursorKind) -> u8 {
     match k {
@@ -458,6 +532,26 @@ impl Request {
                     codec::put_str(&mut buf, s);
                 }
             }
+            Request::ReplHello { epoch, protocol } => {
+                buf.put_u8(REQ_REPL_HELLO);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*protocol);
+            }
+            Request::ReplFrames { epoch, frames } => {
+                buf.put_u8(REQ_REPL_FRAMES);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(frames.len() as u32);
+                for f in frames {
+                    buf.put_u8(f.partition);
+                    buf.put_u64_le(f.gsn);
+                    buf.put_u32_le(f.record.len() as u32);
+                    buf.extend_from_slice(&f.record);
+                }
+            }
+            Request::Promote { epoch } => {
+                buf.put_u8(REQ_PROMOTE);
+                buf.put_u64_le(*epoch);
+            }
         }
         buf.to_vec()
     }
@@ -563,6 +657,49 @@ impl Request {
                 }
                 Request::ExecBatch { stmts }
             }
+            REQ_REPL_HELLO => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError("truncated repl hello".into()));
+                }
+                let epoch = buf.get_u64_le();
+                let protocol = buf.get_u32_le();
+                Request::ReplHello { epoch, protocol }
+            }
+            REQ_REPL_FRAMES => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError("truncated repl frame header".into()));
+                }
+                let epoch = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                let mut frames = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    if buf.remaining() < 13 {
+                        return Err(DecodeError("truncated repl frame".into()));
+                    }
+                    let partition = buf.get_u8();
+                    let gsn = buf.get_u64_le();
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len {
+                        return Err(DecodeError("truncated repl frame record".into()));
+                    }
+                    let record = buf[..len].to_vec();
+                    buf.advance(len);
+                    frames.push(ReplFrame {
+                        partition,
+                        gsn,
+                        record,
+                    });
+                }
+                Request::ReplFrames { epoch, frames }
+            }
+            REQ_PROMOTE => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated promote epoch".into()));
+                }
+                Request::Promote {
+                    epoch: buf.get_u64_le(),
+                }
+            }
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
         if buf.remaining() != 0 {
@@ -651,6 +788,19 @@ impl Response {
                         }
                     }
                 }
+            }
+            Response::ReplHelloAck { epoch, last_gsn } => {
+                buf.put_u8(RSP_REPL_HELLO_ACK);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*last_gsn);
+            }
+            Response::ReplAck { last_gsn } => {
+                buf.put_u8(RSP_REPL_ACK);
+                buf.put_u64_le(*last_gsn);
+            }
+            Response::Promoted { epoch } => {
+                buf.put_u8(RSP_PROMOTED);
+                buf.put_u64_le(*epoch);
             }
         }
         buf.to_vec()
@@ -782,6 +932,30 @@ impl Response {
                 }
                 Response::BatchResult { items }
             }
+            RSP_REPL_HELLO_ACK => {
+                if buf.remaining() < 16 {
+                    return Err(DecodeError("truncated repl hello ack".into()));
+                }
+                let epoch = buf.get_u64_le();
+                let last_gsn = buf.get_u64_le();
+                Response::ReplHelloAck { epoch, last_gsn }
+            }
+            RSP_REPL_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated repl ack".into()));
+                }
+                Response::ReplAck {
+                    last_gsn: buf.get_u64_le(),
+                }
+            }
+            RSP_PROMOTED => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError("truncated promoted epoch".into()));
+                }
+                Response::Promoted {
+                    epoch: buf.get_u64_le(),
+                }
+            }
             other => return Err(DecodeError(format!("unknown response tag {other}"))),
         };
         if buf.remaining() != 0 {
@@ -850,6 +1024,30 @@ mod tests {
                 "COMMIT".into(),
             ],
         });
+        roundtrip_req(Request::ReplHello {
+            epoch: 3,
+            protocol: PROTOCOL_V2,
+        });
+        roundtrip_req(Request::ReplFrames {
+            epoch: 3,
+            frames: Vec::new(),
+        });
+        roundtrip_req(Request::ReplFrames {
+            epoch: 3,
+            frames: vec![
+                ReplFrame {
+                    partition: 0,
+                    gsn: 41,
+                    record: vec![1, 2, 3],
+                },
+                ReplFrame {
+                    partition: 7,
+                    gsn: 42,
+                    record: Vec::new(),
+                },
+            ],
+        });
+        roundtrip_req(Request::Promote { epoch: 4 });
     }
 
     #[test]
@@ -930,6 +1128,12 @@ mod tests {
                 },
             ],
         });
+        roundtrip_rsp(Response::ReplHelloAck {
+            epoch: 3,
+            last_gsn: 4096,
+        });
+        roundtrip_rsp(Response::ReplAck { last_gsn: 4097 });
+        roundtrip_rsp(Response::Promoted { epoch: 4 });
     }
 
     #[test]
@@ -949,6 +1153,21 @@ mod tests {
                 stmts: vec!["SELECT 1".into()],
             }
             .encode(),
+            Request::ReplHello {
+                epoch: 1,
+                protocol: PROTOCOL_V2,
+            }
+            .encode(),
+            Request::ReplFrames {
+                epoch: 1,
+                frames: vec![ReplFrame {
+                    partition: 1,
+                    gsn: 9,
+                    record: vec![0xAB],
+                }],
+            }
+            .encode(),
+            Request::Promote { epoch: 2 }.encode(),
         ];
         for bytes in &encodings {
             for cut in 1..bytes.len() {
@@ -969,6 +1188,13 @@ mod tests {
                 }],
             }
             .encode(),
+            Response::ReplHelloAck {
+                epoch: 1,
+                last_gsn: 9,
+            }
+            .encode(),
+            Response::ReplAck { last_gsn: 9 }.encode(),
+            Response::Promoted { epoch: 2 }.encode(),
         ];
         for bytes in &encodings {
             for cut in 1..bytes.len() {
@@ -992,7 +1218,7 @@ mod tests {
         // Every unassigned request tag decodes to a clean error naming the
         // tag — the server relies on this to answer `Response::Err` and keep
         // the connection alive instead of dropping it.
-        for tag in [0u8, 12, 42, 100, 255] {
+        for tag in [0u8, 15, 42, 100, 255] {
             let err = Request::decode(&[tag]).unwrap_err();
             assert!(
                 err.0.contains("unknown request tag") && err.0.contains(&tag.to_string()),
