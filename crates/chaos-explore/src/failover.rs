@@ -246,6 +246,19 @@ pub fn run_failover_case(case: &FailoverCase) -> CaseOutcome {
     let fired = !guard.fired().is_empty();
     drop(guard);
 
+    // Audit secondary indexes on whichever incarnation ended up serving —
+    // a promoted standby must have replayed the index DDL and maintenance
+    // into a consistent catalog just like a restarted primary.
+    let index_check = if promoted.load(Ordering::SeqCst) {
+        standby
+            .with_engine(|e| e.verify_indexes())
+            .unwrap_or_else(|| Err("no live engine for index audit".to_string()))
+    } else {
+        let h = harness.lock().unwrap();
+        h.with_engine(|e| e.verify_indexes())
+            .unwrap_or_else(|| Err("no live engine for index audit".to_string()))
+    };
+
     let stats = pc.stats().clone();
     pc.close();
     drop(shipper);
@@ -260,6 +273,7 @@ pub fn run_failover_case(case: &FailoverCase) -> CaseOutcome {
         output,
         fired,
         crashed,
+        index_check,
         stats,
     }
 }

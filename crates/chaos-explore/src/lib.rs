@@ -34,6 +34,11 @@
 //!   replayed from the status table, or resubmitted.
 //! * **Cursors resume at the saved position** — the row sequence delivered
 //!   through the keyset cursor matches the clean run's.
+//! * **Secondary indexes stay consistent** — after recovery every index in
+//!   the catalog is audited entry-by-entry against its table's rows
+//!   ([`phoenix_engine::Engine::verify_indexes`]), so a crash inside index
+//!   backfill, maintenance, or drop can neither lose the index nor leave
+//!   stale entries behind.
 //!
 //! Any violation is reported with the `(seed, point, nth)` triple that
 //! reproduces it — exactly for the durable points, and up to the pipelined
@@ -143,6 +148,27 @@ pub const WORKLOAD_CHECKPOINT: &[&str] = &[
     "UPDATE acct SET bal = bal + 29 WHERE id = 22",
 ];
 
+/// The secondary-index phase. CREATE INDEX is journaled in the WAL like
+/// any catalog change, DML afterwards maintains the index inline, and the
+/// DROP/re-CREATE pair exercises both directions of the catalog records —
+/// so the
+/// sweep crashes inside index backfill, maintenance, and drop windows.
+/// Recovery rebuilds indexes REDO-only from the WAL; [`run_case`] then
+/// audits every table's indexes against its rows (`Engine::verify_indexes`)
+/// on top of the usual output comparison. The EXPLAIN reply pins the access
+/// path observably: a recovered server that lost the index (or its
+/// contents) would answer with a different plan or different rows.
+pub const WORKLOAD_INDEX: &[&str] = &[
+    "CREATE INDEX ix_acct_bal ON acct(bal)",
+    "INSERT INTO acct VALUES (30, 3000, 'ix1')",
+    "UPDATE acct SET bal = bal + 31 WHERE id = 30",
+    "DELETE FROM acct WHERE id = 9",
+    "EXPLAIN SELECT id FROM acct WHERE bal = 3031",
+    "SELECT id FROM acct WHERE bal = 3031",
+    "DROP INDEX ix_acct_bal",
+    "CREATE INDEX ix_acct_bal ON acct(bal)",
+];
+
 /// The session-churn phase, run by a *second* client. It builds up session
 /// state (a var, a temp table, real DML), goes idle, and is spilled to the
 /// durable `phoenix.sessiond_spill` table by [`ChurnHooks::spill`] — which
@@ -210,6 +236,11 @@ pub fn canonical_workload(
     }
 
     for sql in WORKLOAD_CHECKPOINT {
+        let r = pc.execute(sql)?;
+        replies.push(format!("{r:?}"));
+    }
+
+    for sql in WORKLOAD_INDEX {
         let r = pc.execute(sql)?;
         replies.push(format!("{r:?}"));
     }
@@ -430,6 +461,11 @@ pub struct CaseOutcome {
     pub fired: bool,
     /// Did the supervisor handle a crash (sever + restart)?
     pub crashed: bool,
+    /// Post-workload audit of every secondary index against its table's
+    /// rows (`Engine::verify_indexes` on the surviving incarnation) — a
+    /// recovery that rebuilt an index wrong fails here even if no workload
+    /// statement happened to read through the damage.
+    pub index_check: Result<(), String>,
     /// Phoenix client counters at the end of the run.
     pub stats: PhoenixStats,
 }
@@ -477,6 +513,12 @@ pub fn run_case(case: &CrashCase) -> CaseOutcome {
     let fired = !guard.fired().is_empty();
     drop(guard);
 
+    let index_check = {
+        let h = harness.lock().unwrap();
+        h.with_engine(|e| e.verify_indexes())
+            .unwrap_or_else(|| Err("no live engine for index audit".to_string()))
+    };
+
     let stats = pc.stats().clone();
     pc.close();
     harness.lock().unwrap().shutdown();
@@ -486,6 +528,7 @@ pub fn run_case(case: &CrashCase) -> CaseOutcome {
         output,
         fired,
         crashed,
+        index_check,
         stats,
     }
 }
@@ -648,6 +691,9 @@ pub fn explore(opts: &ExploreOptions) -> Report {
             Ok(out) => verify(&baseline, out),
             Err(e) => vec![format!("workload failed: {e}")],
         };
+        if let Err(e) = &outcome.index_check {
+            details.push(format!("index audit: {e}"));
+        }
         if !outcome.fired {
             details.push("scheduled fault never fired".to_string());
         }

@@ -109,6 +109,14 @@ fn clean_trace_is_deterministic_and_enumerates_100_plus_points() {
             "canonical workload never visits {point}"
         );
     }
+    // The index phase must be planner-visible in the baseline: its EXPLAIN
+    // reply pins the access path, so any crash case that recovers with a
+    // lost or mis-built index diverges from this reply.
+    let replies = out_a.replies.join("\n");
+    assert!(
+        replies.contains("index-eq") && replies.contains("ix_acct_bal"),
+        "index phase must record an index-served EXPLAIN in the baseline"
+    );
     assert!(
         enumerate_cases(&trace_a, true).len() > trace_a.len(),
         "torn-write variants must add cases"
@@ -250,4 +258,70 @@ fn torn_reply_frame_recovers_cleanly() {
         Vec::<String>::new()
     );
     assert!(outcome.stats.recoveries >= 1);
+    outcome.index_check.expect("index audit after recovery");
+}
+
+/// Satellite: crash mid-WAL inside index-maintained DML. Chaos is armed
+/// only after CREATE INDEX, so the scheduled `wal.append` visit lands
+/// inside the wrapped INSERT's transaction — index entries in flight when
+/// the server dies. Recovery must land the row exactly once, rebuild the
+/// index REDO-only, and keep serving the equality probe through it.
+#[test]
+fn crash_mid_wal_during_indexed_dml_stays_consistent() {
+    let _s = serial();
+    let dir = std::env::temp_dir().join(format!("phoenix-index-crash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let harness = Arc::new(Mutex::new(
+        ServerHarness::start(&dir, EngineConfig::default()).unwrap(),
+    ));
+    let mut pc = {
+        let h = harness.lock().unwrap();
+        PhoenixConnection::connect(
+            &Environment::new(),
+            &h.addr(),
+            "app",
+            "test",
+            explorer_config(),
+        )
+        .unwrap()
+    };
+    seed_workload(&mut pc).unwrap();
+    pc.execute("CREATE INDEX ix_bal ON acct(bal)").unwrap();
+
+    let guard = chaos::arm(chaos::Schedule::new().crash_at("wal.append", 2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor =
+        phoenix_chaos_explore::spawn_supervisor(Arc::clone(&harness), Arc::clone(&stop));
+
+    let r = pc
+        .execute("INSERT INTO acct VALUES (42, 4200, 'ix')")
+        .expect("statement must succeed through recovery");
+    assert_eq!(r.affected(), 1);
+
+    stop.store(true, Ordering::Relaxed);
+    assert!(supervisor.join().unwrap(), "the crash must actually fire");
+    drop(guard);
+
+    // Exactly once, visible through the rebuilt index, and the full audit
+    // finds every index entry backed by exactly its table rows.
+    let rows = pc
+        .execute("SELECT id FROM acct WHERE bal = 4200")
+        .unwrap()
+        .rows()
+        .to_vec();
+    assert_eq!(rows, vec![vec![Value::Int(42)]]);
+    let plan = pc
+        .execute("EXPLAIN SELECT id FROM acct WHERE bal = 4200")
+        .unwrap();
+    assert_eq!(plan.rows()[0][3], Value::Text("index-eq".into()));
+    {
+        let h = harness.lock().unwrap();
+        h.with_engine(|e| e.verify_indexes())
+            .expect("live engine")
+            .expect("index audit after recovery");
+    }
+
+    pc.close();
+    harness.lock().unwrap().shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -226,13 +226,17 @@ impl PhoenixConnection {
         let stmt = self.redirect_temps(&stmt);
 
         match classify(&stmt) {
-            RequestKind::Query => {
-                let select = match &stmt {
-                    Statement::Select(s) => s.clone(),
-                    _ => unreachable!("classified Query"),
-                };
-                self.execute_query_complete(&select)
-            }
+            RequestKind::Query => match &stmt {
+                Statement::Select(s) => {
+                    let select = s.clone();
+                    self.execute_query_complete(&select)
+                }
+                // EXPLAIN is read-only and idempotent: forward it directly
+                // (with resubmission on comm failure). Materializing a plan
+                // listing into a persistent table would be pure overhead.
+                Statement::Explain(_) => self.run_mapped_retry(&render_statement(&stmt)),
+                _ => unreachable!("classified Query"),
+            },
             RequestKind::DataModification => self.execute_dml(&render_statement(&stmt)),
             RequestKind::Ddl => self.execute_ddl(&stmt),
             RequestKind::TxnBegin => self.execute_begin(),

@@ -484,37 +484,12 @@ impl Connection {
         }
     }
 
-    /// Renamed to [`Connection::open_cursor_raw`]; prefer the RAII
-    /// [`Connection::cursor`] for new code.
-    #[deprecated(since = "0.2.0", note = "use `cursor` (RAII) or `open_cursor_raw`")]
-    pub fn open_cursor(
-        &mut self,
-        sql: &str,
-        kind: phoenix_wire::message::CursorKind,
-    ) -> Result<(u64, Schema, phoenix_wire::message::CursorKind)> {
-        self.open_cursor_raw(sql, kind)
-    }
-
-    /// Renamed to [`Connection::fetch_cursor_raw`]; prefer [`Cursor::fetch`]
-    /// for new code.
-    #[deprecated(since = "0.2.0", note = "use `Cursor::fetch` or `fetch_cursor_raw`")]
-    pub fn fetch_cursor(
-        &mut self,
-        cursor: u64,
-        dir: phoenix_wire::message::FetchDir,
-        n: usize,
-    ) -> Result<(Vec<Row>, bool)> {
-        self.fetch_cursor_raw(cursor, dir, n)
-    }
-
-    /// Renamed to [`Connection::close_cursor_raw`]; with the RAII
-    /// [`Cursor`], closing is automatic.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Cursor` (closes on drop) or `close_cursor_raw`"
-    )]
-    pub fn close_cursor(&mut self, cursor: u64) -> Result<()> {
-        self.close_cursor_raw(cursor)
+    /// Run `EXPLAIN <sql>` and return the plan as an ordinary result set:
+    /// one row per plan step with `(step, table, join, access, index,
+    /// est_rows)` columns, plus a trailing ORDER BY row when the statement
+    /// sorts. The statement itself is planned but never executed.
+    pub fn explain(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute(&format!("EXPLAIN {sql}"))
     }
 
     /// Catalog call: schema and primary-key columns of a table (the ODBC

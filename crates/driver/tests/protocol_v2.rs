@@ -287,24 +287,56 @@ fn raii_cursor_closes_on_drop() {
 }
 
 #[test]
-fn deprecated_cursor_shims_still_work() {
+fn raw_cursor_api_round_trip() {
     let (h, dir) = start();
     let env = Environment::new();
     let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
     conn.execute("INSERT INTO t VALUES (1), (2)").unwrap();
 
-    #[allow(deprecated)]
-    {
-        let (id, schema, _granted) = conn
-            .open_cursor("SELECT id FROM t", CursorKind::ForwardOnly)
+    let (id, schema, _granted) = conn
+        .open_cursor_raw("SELECT id FROM t", CursorKind::ForwardOnly)
+        .unwrap();
+    assert_eq!(schema.columns.len(), 1);
+    let (rows, at_end) = conn.fetch_cursor_raw(id, FetchDir::Next, 10).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(at_end);
+    conn.close_cursor_raw(id).unwrap();
+
+    conn.close();
+    drop(h);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn index_ddl_and_explain_over_the_wire() {
+    let (h, dir) = start();
+    let env = Environment::new();
+    let mut conn = env.connect(&h.addr(), "app", "test").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)")
+        .unwrap();
+    for i in 0..40 {
+        conn.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
             .unwrap();
-        assert_eq!(schema.columns.len(), 1);
-        let (rows, at_end) = conn.fetch_cursor(id, FetchDir::Next, 10).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert!(at_end);
-        conn.close_cursor(id).unwrap();
     }
+
+    // Before the index: equality on grp scans.
+    let plan = conn.explain("SELECT id FROM t WHERE grp = 2").unwrap();
+    assert_eq!(plan.rows()[0][3], Value::Text("scan".into()));
+
+    conn.execute("CREATE INDEX ix_grp ON t(grp)").unwrap();
+    let plan = conn.explain("SELECT id FROM t WHERE grp = 2").unwrap();
+    assert_eq!(plan.rows()[0][3], Value::Text("index-eq".into()));
+    assert_eq!(plan.rows()[0][4], Value::Text("ix_grp".into()));
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.columns[3].name, "access");
+
+    let r = conn.execute("SELECT id FROM t WHERE grp = 2").unwrap();
+    assert_eq!(r.rows().len(), 10);
+
+    conn.execute("DROP INDEX ix_grp").unwrap();
+    let plan = conn.explain("SELECT id FROM t WHERE grp = 2").unwrap();
+    assert_eq!(plan.rows()[0][3], Value::Text("scan".into()));
 
     conn.close();
     drop(h);

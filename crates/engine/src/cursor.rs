@@ -110,7 +110,7 @@ impl Cursor {
         match requested {
             CursorKind::ForwardOnly => Self::open_materialized(id, select, catalog),
             CursorKind::Keyset | CursorKind::Dynamic => {
-                match keyed_single_table(select, catalog)? {
+                match keyed_single_table(select, catalog, requested == CursorKind::Keyset)? {
                     Some((table, projection, columns, key_idx)) => {
                         if requested == CursorKind::Keyset {
                             Self::open_keyset(id, select, catalog, table, projection, key_idx)
@@ -582,22 +582,34 @@ fn projected_schema(data: &phoenix_storage::store::TableData, projection: &[usiz
 
 /// Check whether `select` has the shape keyset/dynamic cursors support:
 /// single table with a primary key, plain column projection (or `*`), no
-/// grouping/aggregation/ordering/limit. Returns the table, output projection
+/// grouping/aggregation/limit. Returns the table, output projection
 /// (column indices), bound columns, and the key column indices.
+///
+/// ORDER BY is allowed only when `allow_order` is set (keyset requests):
+/// the keyset captures qualifying keys in the query's own order — with a
+/// secondary index on the sort column the planner serves that order by an
+/// index walk, and restore replays the captured sequence position-exact.
+/// Dynamic cursors walk primary-key order by construction, so any ORDER BY
+/// still downgrades them.
 #[allow(clippy::type_complexity)]
 fn keyed_single_table(
     select: &SelectStmt,
     catalog: &dyn Catalog,
+    allow_order: bool,
 ) -> Result<Option<(ObjectName, Vec<usize>, Vec<BoundColumn>, Vec<usize>)>> {
     if select.from.len() != 1
         || select.distinct
         || !select.group_by.is_empty()
         || select.having.is_some()
-        || !select.order_by.is_empty()
         || select.limit.is_some()
         || select.offset.is_some()
     {
         return Ok(None);
+    }
+    match select.order_by.as_slice() {
+        [] => {}
+        [item] if allow_order && matches!(&item.expr, Expr::Column { .. }) => {}
+        _ => return Ok(None),
     }
     let item = &select.from[0];
     let data = catalog.table(&item.table)?;
@@ -886,5 +898,65 @@ mod tests {
         .unwrap();
         cur.fetch(FetchDir::Next, 4, &c).unwrap();
         assert_eq!(cur.position(), Some(4));
+    }
+
+    #[test]
+    fn keyset_order_by_rides_index_and_restores_position_exact() {
+        let mut c = cat();
+        c.store
+            .table_mut("dbo.orders")
+            .unwrap()
+            .create_index("ix_total", 1)
+            .unwrap();
+        // ORDER BY on the indexed column no longer downgrades a keyset:
+        // the key capture walks the index in order (no sort).
+        let mut cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders ORDER BY total DESC"),
+            CursorKind::Keyset,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(cur.kind, CursorKind::Keyset);
+        let f = cur.fetch(FetchDir::Next, 3, &c).unwrap();
+        assert_eq!(
+            f.rows,
+            vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(9)],
+                vec![Value::Int(8)]
+            ]
+        );
+
+        // Spill and restore: the captured order and position come back
+        // verbatim, so delivery resumes mid-sequence with no re-sort.
+        let mut buf = Vec::new();
+        cur.spill_encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let mut restored = Cursor::spill_decode(&mut slice, &c).unwrap();
+        assert_eq!(restored.kind, CursorKind::Keyset);
+        assert_eq!(restored.position(), Some(3));
+        let f = restored.fetch(FetchDir::Next, 3, &c).unwrap();
+        assert_eq!(
+            f.rows,
+            vec![
+                vec![Value::Int(7)],
+                vec![Value::Int(6)],
+                vec![Value::Int(5)]
+            ]
+        );
+    }
+
+    #[test]
+    fn dynamic_order_by_still_downgrades() {
+        let c = cat();
+        let cur = Cursor::open(
+            1,
+            &select("SELECT okey FROM orders ORDER BY total DESC"),
+            CursorKind::Dynamic,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(cur.kind, CursorKind::ForwardOnly);
     }
 }

@@ -832,6 +832,92 @@ impl Engine {
                 }
                 Ok(ExecResult::done())
             }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                let key = table.canonical();
+                if table.is_temp() {
+                    let col = temp_column_index(&session.temp, &key, column)?;
+                    if session.temp.find_index_owner(name).is_some() {
+                        return Err(EngineError::new(
+                            ErrorCode::AlreadyExists,
+                            format!("index '{name}' already exists"),
+                        ));
+                    }
+                    session.temp.table_mut(&key)?.create_index(name, col)?;
+                } else {
+                    let snap = self.durable.snapshot();
+                    let data = snap
+                        .table(&key)
+                        .map_err(|_| EngineError::not_found(format!("no such table '{table}'")))?;
+                    let col = data.def.schema.index_of(column).ok_or_else(|| {
+                        EngineError::column(format!("no column '{column}' in '{table}'"))
+                    })?;
+                    // Index names resolve globally at DROP time; enforce
+                    // global uniqueness here so that stays unambiguous.
+                    if snap.find_index_owner(name).is_some() {
+                        return Err(EngineError::new(
+                            ErrorCode::AlreadyExists,
+                            format!("index '{name}' already exists"),
+                        ));
+                    }
+                    drop(snap);
+                    self.with_txn(
+                        session,
+                        |db, txn| Ok(db.create_index(txn, &key, name, col)?),
+                    )?;
+                }
+                engine_metrics().index_ddl.inc();
+                Ok(ExecResult::done())
+            }
+            Statement::DropIndex { name, if_exists } => {
+                // Index names are not table-qualified: resolve the owning
+                // table, session temp store first.
+                if let Some(owner) = session
+                    .temp
+                    .find_index_owner(name)
+                    .map(|t| t.def.name.clone())
+                {
+                    session.temp.table_mut(&owner)?.drop_index(name)?;
+                } else {
+                    let owner = self
+                        .durable
+                        .snapshot()
+                        .find_index_owner(name)
+                        .map(|t| t.def.name.clone());
+                    match owner {
+                        Some(owner) => {
+                            self.with_txn(
+                                session,
+                                |db, txn| Ok(db.drop_index(txn, &owner, name)?),
+                            )?;
+                        }
+                        None if *if_exists => return Ok(ExecResult::done()),
+                        None => {
+                            return Err(EngineError::not_found(format!("no such index '{name}'")))
+                        }
+                    }
+                }
+                engine_metrics().index_ddl.inc();
+                Ok(ExecResult::done())
+            }
+            Statement::Explain(inner) => {
+                let snap = self.durable.snapshot();
+                let view = CatalogView {
+                    durable: &snap,
+                    temp: &session.temp,
+                };
+                let rs = crate::plan::explain_statement(inner, &view, params)?;
+                Ok(ExecResult {
+                    outcome: ExecOutcome::ResultSet {
+                        schema: rs.schema,
+                        rows: rs.rows,
+                    },
+                    messages: Vec::new(),
+                })
+            }
             Statement::Exec(e) => self.exec_proc(session, e, params, depth),
         }
     }
@@ -992,6 +1078,12 @@ impl Engine {
         })
     }
 
+    /// Cross-check every durable secondary index against its table's row
+    /// image. Chaos sweeps call this after crash recovery.
+    pub fn verify_indexes(&self) -> std::result::Result<(), String> {
+        self.durable.snapshot().verify_indexes()
+    }
+
     /// Describe a table visible to the session: schema plus primary-key
     /// column names (the catalog call behind the wire `Describe` request).
     pub fn describe(&self, sid: SessionId, table: &ObjectName) -> Result<(Schema, Vec<String>)> {
@@ -1068,6 +1160,19 @@ impl Engine {
 fn view_def(view: &CatalogView<'_>, name: &ObjectName) -> Result<phoenix_storage::types::TableDef> {
     use crate::plan::Catalog as _;
     Ok(view.table(name)?.def.clone())
+}
+
+/// Resolve a column name within a session-temp table.
+fn temp_column_index(
+    temp: &phoenix_storage::store::Store,
+    key: &str,
+    column: &str,
+) -> Result<usize> {
+    let data = temp.table(key)?;
+    data.def
+        .schema
+        .index_of(column)
+        .ok_or_else(|| EngineError::column(format!("no column '{column}' in '{key}'")))
 }
 
 #[cfg(test)]
@@ -1511,6 +1616,115 @@ mod tests {
         e.execute(sid, "SELECT 1").unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(150));
         t.join().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn index_ddl_lifecycle_and_explain() {
+        let (e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&e, sid);
+        // Enough rows that a 2-row bucket beats scanning (probe is only
+        // chosen when it reads at most half the table).
+        for i in 100..120 {
+            e.execute(
+                sid,
+                &format!("INSERT INTO customer VALUES ({i}, 'Fill', {i})"),
+            )
+            .unwrap();
+        }
+        e.execute(sid, "CREATE INDEX ix_nation ON customer(nation)")
+            .unwrap();
+        // Global name uniqueness (DROP INDEX resolves by name alone).
+        let err = e
+            .execute(sid, "CREATE INDEX ix_nation ON customer(nation)")
+            .unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::AlreadyExists);
+        // The planner now serves equality on nation through the index.
+        let ex = e
+            .execute(sid, "EXPLAIN SELECT name FROM customer WHERE nation = 10")
+            .unwrap();
+        let row = &ex.rows()[0];
+        assert_eq!(row[3], Value::Text("index-eq".into()));
+        assert_eq!(row[4], Value::Text("ix_nation".into()));
+        let r = e
+            .execute(sid, "SELECT name FROM customer WHERE nation = 10")
+            .unwrap();
+        assert_eq!(r.rows().len(), 2);
+        e.execute(sid, "DROP INDEX ix_nation").unwrap();
+        let err = e.execute(sid, "DROP INDEX ix_nation").unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::NotFound);
+        e.execute(sid, "DROP INDEX IF EXISTS ix_nation").unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn index_survives_restart() {
+        let dir = temp_dir();
+        {
+            let e = Engine::open(&dir, EngineConfig::default()).unwrap();
+            let sid = e.create_session("app");
+            setup(&e, sid);
+            for i in 100..120 {
+                e.execute(
+                    sid,
+                    &format!("INSERT INTO customer VALUES ({i}, 'Fill', {i})"),
+                )
+                .unwrap();
+            }
+            e.execute(sid, "CREATE INDEX ix_nation ON customer(nation)")
+                .unwrap();
+            // DML after the DDL so recovery must maintain the index.
+            e.execute(sid, "INSERT INTO customer VALUES (7, 'Lee', 10)")
+                .unwrap();
+        }
+        let e = Engine::open(&dir, EngineConfig::default()).unwrap();
+        e.verify_indexes().unwrap();
+        let sid = e.create_session("app");
+        let ex = e
+            .execute(sid, "EXPLAIN SELECT name FROM customer WHERE nation = 10")
+            .unwrap();
+        assert_eq!(ex.rows()[0][4], Value::Text("ix_nation".into()));
+        let r = e
+            .execute(sid, "SELECT name FROM customer WHERE nation = 10")
+            .unwrap();
+        assert_eq!(r.rows().len(), 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn index_on_temp_table_is_session_local() {
+        let (e, dir) = engine();
+        let sid = e.create_session("app");
+        e.execute(sid, "CREATE TABLE #t (k INT, v INT)").unwrap();
+        e.execute(sid, "INSERT INTO #t VALUES (1, 10), (2, 20), (1, 30)")
+            .unwrap();
+        e.execute(sid, "CREATE INDEX ix_tk ON #t(k)").unwrap();
+        let r = e.execute(sid, "SELECT v FROM #t WHERE k = 1").unwrap();
+        assert_eq!(r.rows().len(), 2);
+        // Another session neither sees the temp table nor its index name.
+        let sid2 = e.create_session("app");
+        e.execute(sid2, "DROP INDEX ix_tk").unwrap_err();
+        e.execute(sid, "DROP INDEX ix_tk").unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn index_ddl_rolls_back() {
+        let (e, dir) = engine();
+        let sid = e.create_session("app");
+        setup(&e, sid);
+        e.execute(sid, "BEGIN").unwrap();
+        e.execute(sid, "CREATE INDEX ix_nation ON customer(nation)")
+            .unwrap();
+        e.execute(sid, "ROLLBACK").unwrap();
+        // Rolled back: the name is free again and plans fall back to scans.
+        let ex = e
+            .execute(sid, "EXPLAIN SELECT name FROM customer WHERE nation = 10")
+            .unwrap();
+        assert_eq!(ex.rows()[0][3], Value::Text("scan".into()));
+        e.execute(sid, "CREATE INDEX ix_nation ON customer(nation)")
+            .unwrap();
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

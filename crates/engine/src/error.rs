@@ -136,9 +136,12 @@ impl From<ParseError> for EngineError {
 impl From<StoreError> for EngineError {
     fn from(e: StoreError) -> Self {
         let code = match &e {
-            StoreError::TableExists(_) | StoreError::ProcExists(_) => ErrorCode::AlreadyExists,
+            StoreError::TableExists(_) | StoreError::ProcExists(_) | StoreError::IndexExists(_) => {
+                ErrorCode::AlreadyExists
+            }
             StoreError::NoSuchTable(_)
             | StoreError::NoSuchProc(_)
+            | StoreError::NoSuchIndex(_)
             | StoreError::NoSuchRow { .. } => ErrorCode::NotFound,
             StoreError::DuplicateKey(_) | StoreError::ArityMismatch { .. } => ErrorCode::Constraint,
         };

@@ -69,6 +69,7 @@ pub fn build_table_def(c: &CreateTableStmt) -> Result<TableDef> {
         name: c.name.canonical(),
         schema,
         primary_key: pk,
+        indexes: Vec::new(),
     })
 }
 
@@ -282,6 +283,7 @@ mod tests {
                 Column::new("s", DataType::Text),
             ]),
             primary_key: vec![0],
+            indexes: Vec::new(),
         };
         let mut data = TableData::new(def);
         for i in 1..=3 {

@@ -23,6 +23,8 @@ pub struct EngineMetrics {
     /// Session temp tables currently alive (`phoenix_temp_tables`) — the
     /// paper's liveness-proxy objects.
     pub temp_tables: Arc<Gauge>,
+    /// CREATE/DROP INDEX statements applied (`phoenix_index_ddl_total`).
+    pub index_ddl: Arc<Counter>,
     select: Arc<Histogram>,
     insert: Arc<Histogram>,
     update: Arc<Histogram>,
@@ -44,9 +46,13 @@ impl EngineMetrics {
             Statement::CreateTable(_)
             | Statement::DropTable { .. }
             | Statement::CreateProc(_)
-            | Statement::DropProc { .. } => &self.ddl,
+            | Statement::DropProc { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropIndex { .. } => &self.ddl,
             Statement::Begin | Statement::Commit | Statement::Rollback => &self.txn,
             Statement::Exec(_) => &self.proc,
+            // EXPLAIN plans but never touches data; bill it with SELECT.
+            Statement::Explain(_) => &self.select,
             Statement::Set { .. } | Statement::Print(_) => &self.other,
         }
     }
@@ -70,6 +76,10 @@ pub fn engine_metrics() -> &'static EngineMetrics {
             cursor_opens: r.counter("phoenix_cursor_opens_total", "server cursors opened"),
             cursor_fetches: r.counter("phoenix_cursor_fetches_total", "cursor fetches served"),
             temp_tables: r.gauge("phoenix_temp_tables", "session temp tables currently alive"),
+            index_ddl: r.counter(
+                "phoenix_index_ddl_total",
+                "CREATE/DROP INDEX statements applied",
+            ),
             select: lat("select"),
             insert: lat("insert"),
             update: lat("update"),

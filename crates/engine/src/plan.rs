@@ -1,11 +1,16 @@
-//! SELECT execution.
+//! SELECT planning and execution.
 //!
-//! The planner is deliberately simple but real: it splits the WHERE clause
-//! into conjuncts, pushes single-table conjuncts down to the scans, joins the
-//! FROM list left-to-right using hash joins whenever an equi-conjunct links
-//! the next table to the tables already joined (nested-loop filtering
-//! otherwise), then applies grouping/aggregation, HAVING, ORDER BY and
-//! LIMIT/OFFSET.
+//! The planner is cost-aware but deliberately compact. The WHERE clause is
+//! split into conjuncts; for each FROM table the planner picks an access
+//! path — full scan, primary-key point lookup, or a secondary-index
+//! equality/range probe — by comparing exact index-bucket counts against
+//! the table cardinality. Join order is chosen greedily from the cheapest
+//! estimated input, using an index nested-loop join when the inner side of
+//! an equi-conjunct is an indexed column and the outer estimate is small,
+//! and a hash join otherwise. A single-column ORDER BY over an indexed (or
+//! primary-key) column is satisfied by walking the index in key order
+//! instead of sorting. `EXPLAIN` renders the same `Plan` that execution
+//! follows, so the displayed access paths are the executed ones.
 //!
 //! Constant conjuncts are evaluated once before any scan — so Phoenix's
 //! `WHERE 0=1` metadata probe touches no data at all, matching the paper's
@@ -15,12 +20,15 @@
 //! BY therefore returns rows in the order they were inserted. Phoenix's
 //! result-set materialization relies on this documented property.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
 
-use phoenix_sql::ast::{Expr, ObjectName, SelectItem, SelectStmt};
+use phoenix_sql::ast::{
+    BinaryOp, Expr, InsertSource, ObjectName, SelectItem, SelectStmt, Statement,
+};
 use phoenix_sql::display::render_expr;
 use phoenix_storage::store::TableData;
-use phoenix_storage::types::{Column, Row, Schema, Value};
+use phoenix_storage::types::{Column, DataType, Row, RowId, Schema, Value};
 
 #[cfg(test)]
 use crate::error::ErrorCode;
@@ -56,13 +64,13 @@ pub fn execute_select(
     let conjuncts = split_conjuncts(select.where_clause.as_ref());
     let mut classified = Vec::with_capacity(conjuncts.len());
     for c in &conjuncts {
-        classified.push((c, tables_of_expr(c, &bound)?));
+        classified.push(tables_of_expr(c, &bound)?);
     }
 
     // Constant conjuncts: evaluate once; a false/NULL constant conjunct
     // empties the result without scanning.
     let empty_row: Row = Vec::new();
-    for (c, tables) in &classified {
+    for (c, tables) in conjuncts.iter().zip(&classified) {
         if tables.is_empty() {
             let env = Env {
                 columns: &[],
@@ -71,122 +79,14 @@ pub fn execute_select(
                 precomputed: None,
             };
             if truth(&eval(c, &env)?)? != Some(true) {
-                return finish_select(select, &bound, Vec::new(), params, schema);
+                return finish_select(select, &bound, Vec::new(), params, schema, false);
             }
         }
     }
 
-    // Join the FROM list left-to-right.
-    let mut rows: Vec<Row> = Vec::new();
-    let mut applied = vec![false; classified.len()];
-    // Mark constant conjuncts applied (handled above).
-    for (i, (_, tables)) in classified.iter().enumerate() {
-        if tables.is_empty() {
-            applied[i] = true;
-        }
-    }
-
-    if bound.tables.is_empty() {
-        // SELECT without FROM: one empty row.
-        rows.push(Vec::new());
-    }
-
-    for (ti, table) in bound.tables.iter().enumerate() {
-        // Scan the next table, applying its single-table conjuncts.
-        let single: Vec<&Expr> = classified
-            .iter()
-            .enumerate()
-            .filter(|(i, (_, tabs))| !applied[*i] && tabs.len() == 1 && tabs.contains(&ti))
-            .map(|(_, (c, _))| *c)
-            .collect();
-        let scan = scan_table(table, &bound, ti, &single, params)?;
-        for (i, (_, tabs)) in classified.iter().enumerate() {
-            if tabs.len() == 1 && tabs.contains(&ti) {
-                applied[i] = true;
-            }
-        }
-
-        if ti == 0 {
-            rows = scan;
-        } else {
-            // Equi-conjuncts linking the new table to the already-joined
-            // prefix drive a hash join.
-            let mut left_keys: Vec<&Expr> = Vec::new();
-            let mut right_keys: Vec<&Expr> = Vec::new();
-            let mut equi_idx: Vec<usize> = Vec::new();
-            for (i, (c, tabs)) in classified.iter().enumerate() {
-                if applied[i] || !tabs.iter().all(|t| *t <= ti) || !tabs.contains(&ti) {
-                    continue;
-                }
-                if let Expr::Binary {
-                    left,
-                    op: phoenix_sql::ast::BinaryOp::Eq,
-                    right,
-                } = c
-                {
-                    let lt = tables_of_expr(left, &bound)?;
-                    let rt = tables_of_expr(right, &bound)?;
-                    if lt.iter().all(|t| *t < ti) && rt == vec![ti] {
-                        left_keys.push(left);
-                        right_keys.push(right);
-                        equi_idx.push(i);
-                    } else if rt.iter().all(|t| *t < ti) && lt == vec![ti] {
-                        left_keys.push(right);
-                        right_keys.push(left);
-                        equi_idx.push(i);
-                    }
-                }
-            }
-
-            rows = if left_keys.is_empty() {
-                cross_join(rows, scan)
-            } else {
-                for i in &equi_idx {
-                    applied[*i] = true;
-                }
-                hash_join(rows, scan, &left_keys, &right_keys, &bound, ti, params)?
-            };
-            let joined_tables = ti + 1;
-
-            // Apply any now-evaluable residual conjuncts.
-            let cols = &bound.columns[..bound.offsets[joined_tables]];
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut ok = true;
-                for (i, (c, tabs)) in classified.iter().enumerate() {
-                    if applied[i] || !tabs.iter().all(|t| *t < joined_tables) {
-                        continue;
-                    }
-                    let env = Env {
-                        columns: cols,
-                        row: &row,
-                        params,
-                        precomputed: None,
-                    };
-                    if truth(&eval(c, &env)?)? != Some(true) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    kept.push(row);
-                }
-            }
-            for (i, (_, tabs)) in classified.iter().enumerate() {
-                if tabs.iter().all(|t| *t < joined_tables) {
-                    applied[i] = true;
-                }
-            }
-            rows = kept;
-        }
-    }
-
-    // With a single table all conjuncts were applied during the scan; with
-    // zero tables, apply row-level conjuncts (there are none possible beyond
-    // constants). Any conjunct still unapplied here is a bug.
-    debug_assert!(applied.iter().all(|a| *a), "unapplied conjunct after join");
-
-    finish_select(select, &bound, rows, params, schema)
+    let plan = build_plan(select, &bound, &conjuncts, &classified, params)?;
+    let rows = run_plan(&plan, &bound, &conjuncts, &classified, params)?;
+    finish_select(select, &bound, rows, params, schema, plan.presorted)
 }
 
 /// Compute the output schema of a SELECT without executing it — the engine's
@@ -194,6 +94,1243 @@ pub fn execute_select(
 pub fn select_schema(select: &SelectStmt, catalog: &dyn Catalog) -> Result<Schema> {
     let bound = bind_from(select, catalog)?;
     output_schema_from_binding(select, &bound)
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+/// Selectivity assumed per predicate the cost model cannot probe through an
+/// index.
+const FILTER_SEL: f64 = 0.33;
+
+/// An index nested-loop join is chosen only when the outer estimate times
+/// this margin stays below the inner table's cardinality.
+const NL_MARGIN: f64 = 4.0;
+
+/// How a single table is read.
+#[derive(Debug, Clone)]
+enum Access {
+    /// Full scan in row-id (insertion) order.
+    Scan,
+    /// Primary-key point lookup: every pk column pinned to a constant.
+    PkPoint,
+    /// Secondary-index equality probe on one or more constant values.
+    SecEq { pos: usize, values: Vec<Expr> },
+    /// Secondary-index range walk. Bounds are (expr, inclusive); a missing
+    /// low bound still excludes NULL keys — no comparison matches NULL.
+    SecRange {
+        pos: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+        desc: bool,
+    },
+    /// Full walk of a secondary index in key order, to satisfy ORDER BY.
+    SecOrder { pos: usize, desc: bool },
+    /// Full walk of a single-column primary key in key order.
+    PkOrder { desc: bool },
+}
+
+/// What an index nested-loop probe targets on the inner table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeTarget {
+    /// Single-column primary key.
+    Pk,
+    /// Secondary index at `def.indexes[pos]`.
+    Sec(usize),
+}
+
+/// How a table's rows combine with the rows already produced.
+#[derive(Debug, Clone)]
+enum JoinKind {
+    /// First table in execution order.
+    First,
+    /// Hash join on the given equi-conjunct key expressions.
+    Hash { outer: Vec<Expr>, inner: Vec<Expr> },
+    /// For each outer row, evaluate `outer` and probe the inner table's
+    /// index directly — the inner table is never scanned.
+    IndexNested { outer: Expr, target: ProbeTarget },
+    /// No connecting conjunct: Cartesian product.
+    Cross,
+}
+
+/// One table's placement in the executable plan.
+#[derive(Debug, Clone)]
+struct Step {
+    /// FROM-list position of the table.
+    t: usize,
+    access: Access,
+    join: JoinKind,
+    /// Conjunct indices consumed by the join itself.
+    join_conjuncts: Vec<usize>,
+    /// Estimated cumulative row count after this step.
+    est: u64,
+}
+
+/// An executable (and explainable) SELECT plan.
+struct Plan {
+    steps: Vec<Step>,
+    /// Rows already emerge in ORDER BY order; `finish_select` skips its sort.
+    presorted: bool,
+}
+
+/// The bound columns of one FROM table.
+fn table_cols<'b>(bound: &'b BoundFrom, t: usize) -> &'b [BoundColumn] {
+    &bound.columns[bound.offsets[t]..bound.offsets[t + 1]]
+}
+
+/// Build the plan shared by execution and EXPLAIN.
+fn build_plan(
+    select: &SelectStmt,
+    bound: &BoundFrom,
+    conjuncts: &[Expr],
+    classified: &[Vec<usize>],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Plan> {
+    let n = bound.tables.len();
+    if n == 0 {
+        return Ok(Plan {
+            steps: Vec::new(),
+            presorted: false,
+        });
+    }
+
+    // Single-table conjunct indices, per table.
+    let singles: Vec<Vec<usize>> = (0..n)
+        .map(|t| {
+            classified
+                .iter()
+                .enumerate()
+                .filter(|(_, tabs)| tabs.len() == 1 && tabs[0] == t)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    // Pick an access path and estimate for each table in isolation.
+    let mut accesses: Vec<(Access, f64)> = Vec::with_capacity(n);
+    for (t, single) in singles.iter().enumerate() {
+        let filters: Vec<&Expr> = single.iter().map(|&i| &conjuncts[i]).collect();
+        accesses.push(choose_access(
+            bound.tables[t],
+            table_cols(bound, t),
+            &filters,
+            params,
+        ));
+    }
+
+    if n == 1 {
+        let (mut access, est) = accesses.pop().unwrap();
+        let presorted = apply_order(select, bound, &mut access, params);
+        return Ok(Plan {
+            steps: vec![Step {
+                t: 0,
+                access,
+                join: JoinKind::First,
+                join_conjuncts: Vec::new(),
+                est: est.ceil() as u64,
+            }],
+            presorted,
+        });
+    }
+
+    // Greedy join ordering from the cheapest estimated input.
+    let nrows: Vec<f64> = bound.tables.iter().map(|t| t.len() as f64).collect();
+    let ests: Vec<f64> = accesses.iter().map(|(_, e)| *e).collect();
+    let mut consumed = vec![false; conjuncts.len()];
+    let mut in_plan = vec![false; n];
+    let mut steps: Vec<Step> = Vec::new();
+
+    let first = (0..n).min_by(|&a, &b| ests[a].total_cmp(&ests[b])).unwrap();
+    in_plan[first] = true;
+    let mut cur_est = ests[first];
+    steps.push(Step {
+        t: first,
+        access: accesses[first].0.clone(),
+        join: JoinKind::First,
+        join_conjuncts: Vec::new(),
+        est: cur_est.ceil() as u64,
+    });
+
+    while steps.len() < n {
+        // Cost the cheapest way to attach each remaining connected table.
+        let mut best: Option<(f64, usize, JoinKind, Vec<usize>)> = None;
+        for c in 0..n {
+            if in_plan[c] {
+                continue;
+            }
+            // Equi-conjuncts linking the joined set to `c`.
+            let mut outer_keys: Vec<Expr> = Vec::new();
+            let mut inner_keys: Vec<Expr> = Vec::new();
+            let mut equi: Vec<usize> = Vec::new();
+            // Best probeable equi-conjunct: prefer a pk target (one match
+            // per probe) over a secondary index.
+            let mut probe: Option<(Expr, ProbeTarget, usize)> = None;
+            for (i, conj) in conjuncts.iter().enumerate() {
+                if consumed[i] {
+                    continue;
+                }
+                let tabs = &classified[i];
+                if !tabs.contains(&c)
+                    || !tabs.iter().any(|t| *t != c)
+                    || !tabs.iter().all(|t| *t == c || in_plan[*t])
+                {
+                    continue;
+                }
+                if let Expr::Binary {
+                    left,
+                    op: BinaryOp::Eq,
+                    right,
+                } = conj
+                {
+                    let lt = tables_of_expr(left, bound)?;
+                    let rt = tables_of_expr(right, bound)?;
+                    let (okey, ikey) = if rt.len() == 1 && rt[0] == c && !lt.contains(&c) {
+                        (left, right)
+                    } else if lt.len() == 1 && lt[0] == c && !rt.contains(&c) {
+                        (right, left)
+                    } else {
+                        continue;
+                    };
+                    equi.push(i);
+                    outer_keys.push(okey.as_ref().clone());
+                    inner_keys.push(ikey.as_ref().clone());
+                    if let Some(local) = bare_column_of(ikey, bound, c) {
+                        let def = &bound.tables[c].def;
+                        let target = if let Some(pos) = def.index_on(local) {
+                            Some(ProbeTarget::Sec(pos))
+                        } else if def.primary_key.as_slice() == [local] {
+                            Some(ProbeTarget::Pk)
+                        } else {
+                            None
+                        };
+                        if let Some(tgt) = target {
+                            let better = matches!(
+                                (&probe, tgt),
+                                (None, _) | (Some((_, ProbeTarget::Sec(_), _)), ProbeTarget::Pk)
+                            );
+                            if better {
+                                probe = Some((okey.as_ref().clone(), tgt, i));
+                            }
+                        }
+                    }
+                }
+            }
+            if equi.is_empty() {
+                continue;
+            }
+
+            let f_sel = FILTER_SEL.powi(singles[c].len() as i32);
+            let hash_est = cur_est.max(ests[c]);
+            let (est_c, join, jconj) = match &probe {
+                Some((okey, tgt, i)) if cur_est * NL_MARGIN <= nrows[c] => {
+                    let match_per = match tgt {
+                        ProbeTarget::Pk => 1.0,
+                        ProbeTarget::Sec(pos) => {
+                            let distinct = bound.tables[c].sec_index(*pos).len().max(1) as f64;
+                            (nrows[c] / distinct).max(1.0)
+                        }
+                    };
+                    (
+                        cur_est * match_per * f_sel,
+                        JoinKind::IndexNested {
+                            outer: okey.clone(),
+                            target: *tgt,
+                        },
+                        vec![*i],
+                    )
+                }
+                _ => (
+                    hash_est,
+                    JoinKind::Hash {
+                        outer: outer_keys,
+                        inner: inner_keys,
+                    },
+                    equi,
+                ),
+            };
+            if best.as_ref().is_none_or(|(b, ..)| est_c < *b) {
+                best = Some((est_c, c, join, jconj));
+            }
+        }
+
+        let (est_c, c, join, jconj) = match best {
+            Some(b) => b,
+            None => {
+                // Nothing connected: cross join the cheapest remainder.
+                let c = (0..n)
+                    .filter(|t| !in_plan[*t])
+                    .min_by(|&a, &b| ests[a].total_cmp(&ests[b]))
+                    .unwrap();
+                (cur_est * ests[c].max(1.0), c, JoinKind::Cross, Vec::new())
+            }
+        };
+        for &i in &jconj {
+            consumed[i] = true;
+        }
+        in_plan[c] = true;
+        cur_est = est_c;
+        steps.push(Step {
+            t: c,
+            access: accesses[c].0.clone(),
+            join,
+            join_conjuncts: jconj,
+            est: cur_est.ceil() as u64,
+        });
+    }
+
+    Ok(Plan {
+        steps,
+        presorted: false,
+    })
+}
+
+/// Choose the cheapest access path for one table given its single-table
+/// filters, returning it with the estimated output row count.
+fn choose_access(
+    table: &TableData,
+    cols: &[BoundColumn],
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> (Access, f64) {
+    let nrows = table.len() as f64;
+
+    if table.def.has_primary_key() && pk_pinned(table, cols, filters) {
+        return (Access::PkPoint, 1.0);
+    }
+
+    // Best secondary-index probe by exact bucket counts.
+    let mut best: Option<(Access, f64, usize)> = None;
+    for (pos, ix) in table.def.indexes.iter().enumerate() {
+        let col = &table.def.schema.columns[ix.column];
+        if let Some(cand) = index_probe(table, cols, pos, &col.name, col.dtype, filters, params) {
+            if best.as_ref().is_none_or(|(_, b, _)| cand.1 < *b) {
+                best = Some(cand);
+            }
+        }
+    }
+    if let Some((access, base, probed)) = best {
+        // The probe must clear the scan by a comfortable margin.
+        if base * 2.0 <= nrows {
+            let residual = filters.len().saturating_sub(probed);
+            return (access, base * FILTER_SEL.powi(residual as i32));
+        }
+    }
+    (Access::Scan, nrows * FILTER_SEL.powi(filters.len() as i32))
+}
+
+/// Do the filters pin every primary-key column to a constant?
+fn pk_pinned(table: &TableData, cols: &[BoundColumn], filters: &[&Expr]) -> bool {
+    table.def.primary_key.iter().all(|&pk_idx| {
+        let pk_name = &table.def.schema.columns[pk_idx].name;
+        filters.iter().any(|f| {
+            matches!(f, Expr::Binary { left, op: BinaryOp::Eq, right }
+                if (is_column_named(left, pk_name, cols) && is_constant(right))
+                    || (is_column_named(right, pk_name, cols) && is_constant(left)))
+        })
+    })
+}
+
+/// Find the best equality or range probe for one secondary index. Returns
+/// the access path, its exact base row estimate from the index buckets, and
+/// how many filter conjuncts the probe subsumes.
+#[allow(clippy::too_many_arguments)]
+fn index_probe(
+    table: &TableData,
+    cols: &[BoundColumn],
+    pos: usize,
+    col_name: &str,
+    dtype: DataType,
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> Option<(Access, f64, usize)> {
+    let map = table.sec_index(pos);
+    let nrows = table.len() as f64;
+    let avg_bucket = nrows / map.len().max(1) as f64;
+
+    // Prefer an equality probe: `col = const` or `col IN (consts)`.
+    for f in filters {
+        let values: Vec<Expr> = match f {
+            Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } => {
+                if is_column_named(left, col_name, cols) && is_constant(right) {
+                    vec![right.as_ref().clone()]
+                } else if is_column_named(right, col_name, cols) && is_constant(left) {
+                    vec![left.as_ref().clone()]
+                } else {
+                    continue;
+                }
+            }
+            Expr::InList {
+                expr,
+                negated: false,
+                list,
+            } if is_column_named(expr, col_name, cols) && list.iter().all(is_constant) => {
+                list.clone()
+            }
+            _ => continue,
+        };
+        // Exact base: sum the matched buckets; values opaque at plan time
+        // (e.g. EXPLAIN of a parameterized query) cost one average bucket.
+        let mut seen: Vec<Value> = Vec::new();
+        let mut base = 0.0;
+        for v in &values {
+            match probe_value(v, dtype, params) {
+                Some(val) => {
+                    if seen.contains(&val) {
+                        continue;
+                    }
+                    base += map.get(&val).map_or(0, |ids| ids.len()) as f64;
+                    seen.push(val);
+                }
+                None => base += avg_bucket,
+            }
+        }
+        return Some((Access::SecEq { pos, values }, base, 1));
+    }
+
+    // Range probe: merge comparison and BETWEEN bounds on the column.
+    let mut lo: Option<(Expr, bool, Option<Value>)> = None;
+    let mut hi: Option<(Expr, bool, Option<Value>)> = None;
+    let mut probed = 0usize;
+    for f in filters {
+        match f {
+            Expr::Binary { left, op, right } => {
+                let (bexpr, is_lo, inc) =
+                    if is_column_named(left, col_name, cols) && is_constant(right) {
+                        match op {
+                            BinaryOp::Gt => (right.as_ref().clone(), true, false),
+                            BinaryOp::GtEq => (right.as_ref().clone(), true, true),
+                            BinaryOp::Lt => (right.as_ref().clone(), false, false),
+                            BinaryOp::LtEq => (right.as_ref().clone(), false, true),
+                            _ => continue,
+                        }
+                    } else if is_column_named(right, col_name, cols) && is_constant(left) {
+                        // `const op col` mirrors the comparison.
+                        match op {
+                            BinaryOp::Lt => (left.as_ref().clone(), true, false),
+                            BinaryOp::LtEq => (left.as_ref().clone(), true, true),
+                            BinaryOp::Gt => (left.as_ref().clone(), false, false),
+                            BinaryOp::GtEq => (left.as_ref().clone(), false, true),
+                            _ => continue,
+                        }
+                    } else {
+                        continue;
+                    };
+                let val = probe_value(&bexpr, dtype, params);
+                if is_lo {
+                    tighten_lo(&mut lo, bexpr, inc, val);
+                } else {
+                    tighten_hi(&mut hi, bexpr, inc, val);
+                }
+                probed += 1;
+            }
+            Expr::Between {
+                expr,
+                negated: false,
+                low,
+                high,
+            } if is_column_named(expr, col_name, cols) && is_constant(low) && is_constant(high) => {
+                let lv = probe_value(low, dtype, params);
+                let hv = probe_value(high, dtype, params);
+                tighten_lo(&mut lo, low.as_ref().clone(), true, lv);
+                tighten_hi(&mut hi, high.as_ref().clone(), true, hv);
+                probed += 1;
+            }
+            _ => {}
+        }
+    }
+    if lo.is_none() && hi.is_none() {
+        return None;
+    }
+    // Exact base when a bound is evaluable: count the buckets inside the
+    // range. Both bounds opaque → assume a third of the table.
+    let lo_v = lo
+        .as_ref()
+        .and_then(|(_, inc, v)| v.clone().map(|v| (v, *inc)));
+    let hi_v = hi
+        .as_ref()
+        .and_then(|(_, inc, v)| v.clone().map(|v| (v, *inc)));
+    let base = if lo_v.is_some() || hi_v.is_some() {
+        range_count(map, lo_v.as_ref(), hi_v.as_ref()) as f64
+    } else {
+        nrows / 3.0
+    };
+    Some((
+        Access::SecRange {
+            pos,
+            lo: lo.map(|(e, inc, _)| (e, inc)),
+            hi: hi.map(|(e, inc, _)| (e, inc)),
+            desc: false,
+        },
+        base,
+        probed,
+    ))
+}
+
+/// Keep the tighter of two lower bounds: an evaluable bound beats an opaque
+/// one, a greater value (or stricter inclusivity) beats a lesser one.
+fn tighten_lo(cur: &mut Option<(Expr, bool, Option<Value>)>, e: Expr, inc: bool, v: Option<Value>) {
+    let replace = match (cur.as_ref(), &v) {
+        (None, _) => true,
+        (Some((_, _, None)), Some(_)) => true,
+        (Some((_, cinc, Some(cv))), Some(nv)) => nv > cv || (nv == cv && *cinc && !inc),
+        _ => false,
+    };
+    if replace {
+        *cur = Some((e, inc, v));
+    }
+}
+
+/// Mirror of [`tighten_lo`] for upper bounds.
+fn tighten_hi(cur: &mut Option<(Expr, bool, Option<Value>)>, e: Expr, inc: bool, v: Option<Value>) {
+    let replace = match (cur.as_ref(), &v) {
+        (None, _) => true,
+        (Some((_, _, None)), Some(_)) => true,
+        (Some((_, cinc, Some(cv))), Some(nv)) => nv < cv || (nv == cv && *cinc && !inc),
+        _ => false,
+    };
+    if replace {
+        *cur = Some((e, inc, v));
+    }
+}
+
+/// Evaluate a constant probe expression at plan time and coerce it to the
+/// indexed column's type. `None` when it cannot be evaluated (parameters
+/// absent during EXPLAIN) or evaluates to NULL.
+fn probe_value(
+    e: &Expr,
+    dtype: DataType,
+    params: Option<&HashMap<String, Value>>,
+) -> Option<Value> {
+    let empty: Row = Vec::new();
+    let env = Env {
+        columns: &[],
+        row: &empty,
+        params,
+        precomputed: None,
+    };
+    let v = eval(e, &env).ok()?;
+    if v.is_null() {
+        return None;
+    }
+    Some(v.coerce_to(dtype).unwrap_or(v))
+}
+
+/// Execution-time probe evaluation: errors propagate (a missing parameter
+/// is an error, exactly as a scan would report it); NULL means "matches
+/// nothing" and comes back as `None`.
+fn eval_probe(
+    e: &Expr,
+    dtype: DataType,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Option<Value>> {
+    let empty: Row = Vec::new();
+    let env = Env {
+        columns: &[],
+        row: &empty,
+        params,
+        precomputed: None,
+    };
+    let v = eval(e, &env)?;
+    if v.is_null() {
+        return Ok(None);
+    }
+    Ok(Some(v.coerce_to(dtype).unwrap_or(v)))
+}
+
+/// Sum the bucket sizes of the index entries inside the bounds.
+fn range_count(
+    map: &BTreeMap<Value, BTreeSet<RowId>>,
+    lo: Option<&(Value, bool)>,
+    hi: Option<&(Value, bool)>,
+) -> usize {
+    let lo_b = match lo {
+        Some((v, true)) => Bound::Included(v.clone()),
+        Some((v, false)) => Bound::Excluded(v.clone()),
+        None => Bound::Excluded(Value::Null),
+    };
+    let hi_b = match hi {
+        Some((v, true)) => Bound::Included(v.clone()),
+        Some((v, false)) => Bound::Excluded(v.clone()),
+        None => Bound::Unbounded,
+    };
+    if range_is_empty(&lo_b, &hi_b) {
+        return 0;
+    }
+    map.range((lo_b, hi_b)).map(|(_, ids)| ids.len()).sum()
+}
+
+/// Would `BTreeMap::range` see an inverted (panicking) or empty range?
+fn range_is_empty(lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    let (lv, li) = match lo {
+        Bound::Included(v) => (v, true),
+        Bound::Excluded(v) => (v, false),
+        Bound::Unbounded => return false,
+    };
+    let (hv, hinc) = match hi {
+        Bound::Included(v) => (v, true),
+        Bound::Excluded(v) => (v, false),
+        Bound::Unbounded => return false,
+    };
+    lv > hv || (lv == hv && !(li && hinc))
+}
+
+/// If `e` is a bare column reference belonging to FROM table `t`, return its
+/// column index within that table.
+fn bare_column_of(e: &Expr, bound: &BoundFrom, t: usize) -> Option<usize> {
+    match e {
+        Expr::Column { table, name } => {
+            let env = Env::new(&bound.columns, &[]);
+            let idx = env.resolve(table.as_deref(), name).ok()?;
+            if idx >= bound.offsets[t] && idx < bound.offsets[t + 1] {
+                Some(idx - bound.offsets[t])
+            } else {
+                None
+            }
+        }
+        Expr::Nested(inner) => bare_column_of(inner, bound, t),
+        _ => None,
+    }
+}
+
+/// For a single-table plan, try to satisfy ORDER BY from index order by
+/// rewriting the access path. Returns true when the access path's output
+/// order already matches the requested order.
+fn apply_order(
+    select: &SelectStmt,
+    bound: &BoundFrom,
+    access: &mut Access,
+    params: Option<&HashMap<String, Value>>,
+) -> bool {
+    if select.order_by.is_empty() {
+        return false;
+    }
+    if matches!(access, Access::PkPoint) {
+        // At most one output row: any requested order trivially holds.
+        return true;
+    }
+    if select.order_by.len() != 1
+        || !select.group_by.is_empty()
+        || !collect_aggregates(select).is_empty()
+    {
+        return false;
+    }
+    let item = &select.order_by[0];
+    let oc = match bare_column_of(&item.expr, bound, 0) {
+        Some(c) => c,
+        None => return false,
+    };
+    // `finish_select` sorts on a projection's value when an alias or exact
+    // rendering matches; that is only our column's order when the matched
+    // projection is the same column.
+    let projections = match expand_projections(select, bound) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    let okey = render_expr(&item.expr);
+    for (pexpr, pname) in &projections {
+        let alias_match = matches!(&item.expr,
+            Expr::Column { table: None, name } if name.eq_ignore_ascii_case(pname));
+        if alias_match || render_expr(pexpr) == okey {
+            if bare_column_of(pexpr, bound, 0) != Some(oc) {
+                return false;
+            }
+            break;
+        }
+    }
+    let table = bound.tables[0];
+    let desc = item.desc;
+    match access {
+        Access::Scan => {
+            if let Some(pos) = table.def.index_on(oc) {
+                *access = Access::SecOrder { pos, desc };
+                return true;
+            }
+            if table.def.primary_key.as_slice() == [oc] {
+                *access = Access::PkOrder { desc };
+                return true;
+            }
+            false
+        }
+        Access::SecEq { pos, values } => {
+            if table.def.indexes[*pos].column != oc {
+                return false;
+            }
+            if values.len() > 1 {
+                // Visit the probe buckets in output order.
+                let dtype = table.def.schema.columns[oc].dtype;
+                let mut evald = Vec::with_capacity(values.len());
+                for e in values.iter() {
+                    match probe_value(e, dtype, params) {
+                        Some(v) => evald.push((v, e.clone())),
+                        None => return false,
+                    }
+                }
+                evald.sort_by(|a, b| a.0.cmp(&b.0));
+                if desc {
+                    evald.reverse();
+                }
+                *values = evald.into_iter().map(|(_, e)| e).collect();
+            }
+            true
+        }
+        Access::SecRange { pos, desc: d, .. } => {
+            if table.def.indexes[*pos].column != oc {
+                return false;
+            }
+            *d = desc;
+            true
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+/// Execute the plan's steps, returning joined rows laid out in FROM order.
+fn run_plan(
+    plan: &Plan,
+    bound: &BoundFrom,
+    conjuncts: &[Expr],
+    classified: &[Vec<usize>],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Vec<Row>> {
+    let mut applied: Vec<bool> = classified.iter().map(|tabs| tabs.is_empty()).collect();
+
+    if bound.tables.is_empty() {
+        // SELECT without FROM: one empty row.
+        debug_assert!(applied.iter().all(|a| *a));
+        return Ok(vec![Vec::new()]);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut exec_cols: Vec<BoundColumn> = Vec::new();
+    let mut exec_tables: Vec<usize> = Vec::new();
+
+    for step in &plan.steps {
+        let t = step.t;
+        let cols = table_cols(bound, t);
+        let mut filters: Vec<&Expr> = Vec::new();
+        for (i, tabs) in classified.iter().enumerate() {
+            if !applied[i] && tabs.len() == 1 && tabs[0] == t {
+                filters.push(&conjuncts[i]);
+            }
+        }
+
+        rows = match &step.join {
+            JoinKind::IndexNested { outer, target } => index_nl_join(
+                std::mem::take(&mut rows),
+                &exec_cols,
+                bound.tables[t],
+                cols,
+                outer,
+                *target,
+                &filters,
+                params,
+            )?,
+            other => {
+                let scan = access_rows(bound.tables[t], cols, &step.access, &filters, params)?;
+                match other {
+                    JoinKind::First => scan,
+                    JoinKind::Cross => cross_join(std::mem::take(&mut rows), scan),
+                    JoinKind::Hash { outer, inner } => {
+                        let ok: Vec<&Expr> = outer.iter().collect();
+                        let ik: Vec<&Expr> = inner.iter().collect();
+                        hash_join(
+                            std::mem::take(&mut rows),
+                            &exec_cols,
+                            scan,
+                            cols,
+                            &ok,
+                            &ik,
+                            params,
+                        )?
+                    }
+                    JoinKind::IndexNested { .. } => unreachable!(),
+                }
+            }
+        };
+
+        for (i, tabs) in classified.iter().enumerate() {
+            if tabs.len() == 1 && tabs[0] == t {
+                applied[i] = true;
+            }
+        }
+        for &i in &step.join_conjuncts {
+            applied[i] = true;
+        }
+        exec_cols.extend_from_slice(cols);
+        exec_tables.push(t);
+
+        // Residual conjuncts that became fully evaluable with this step.
+        let mut residual: Vec<usize> = Vec::new();
+        for (i, tabs) in classified.iter().enumerate() {
+            if !applied[i] && tabs.iter().all(|x| exec_tables.contains(x)) {
+                residual.push(i);
+            }
+        }
+        if !residual.is_empty() {
+            let mut kept = Vec::with_capacity(rows.len());
+            'rows: for row in rows {
+                for &i in &residual {
+                    let env = Env {
+                        columns: &exec_cols,
+                        row: &row,
+                        params,
+                        precomputed: None,
+                    };
+                    if truth(&eval(&conjuncts[i], &env)?)? != Some(true) {
+                        continue 'rows;
+                    }
+                }
+                kept.push(row);
+            }
+            rows = kept;
+            for &i in &residual {
+                applied[i] = true;
+            }
+        }
+    }
+
+    debug_assert!(applied.iter().all(|a| *a), "unapplied conjunct after join");
+
+    // Rows accumulated in execution order; permute segments to FROM order.
+    if exec_tables.windows(2).any(|w| w[0] > w[1]) {
+        let n = bound.tables.len();
+        let mut seg = vec![(0usize, 0usize); n];
+        let mut off = 0;
+        for &t in &exec_tables {
+            let w = bound.offsets[t + 1] - bound.offsets[t];
+            seg[t] = (off, off + w);
+            off += w;
+        }
+        rows = rows
+            .into_iter()
+            .map(|r| {
+                let mut out = Vec::with_capacity(r.len());
+                for s in &seg {
+                    out.extend_from_slice(&r[s.0..s.1]);
+                }
+                out
+            })
+            .collect();
+    }
+    Ok(rows)
+}
+
+/// Produce one table's rows via the planned access path, applying every
+/// single-table filter to each candidate. Scans emit row-id order; index
+/// paths emit index-key order.
+fn access_rows(
+    table: &TableData,
+    cols: &[BoundColumn],
+    access: &Access,
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Vec<Row>> {
+    let keep = |row: &Row| -> Result<bool> {
+        for f in filters {
+            let env = Env {
+                columns: cols,
+                row,
+                params,
+                precomputed: None,
+            };
+            if truth(&eval(f, &env)?)? != Some(true) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+
+    match access {
+        Access::Scan => {
+            let mut out = Vec::new();
+            for row in table.rows.values() {
+                if keep(row)? {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Access::PkPoint => {
+            let candidates = match try_point_lookup(table, cols, filters, params)? {
+                Some(c) => c,
+                // The plan promised a pinned key; fall back to a scan if the
+                // constants stop qualifying at execution time.
+                None => table.rows.values().cloned().collect(),
+            };
+            let mut out = Vec::new();
+            for row in candidates {
+                if keep(&row)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Access::SecEq { pos, values } => {
+            let dtype = table.def.schema.columns[table.def.indexes[*pos].column].dtype;
+            let map = table.sec_index(*pos);
+            let mut seen: Vec<Value> = Vec::new();
+            let mut out = Vec::new();
+            for vexpr in values {
+                let v = match eval_probe(vexpr, dtype, params)? {
+                    Some(v) => v,
+                    None => continue, // `col = NULL` matches nothing
+                };
+                if seen.contains(&v) {
+                    continue;
+                }
+                if let Some(ids) = map.get(&v) {
+                    for id in ids {
+                        let row = &table.rows[id];
+                        if keep(row)? {
+                            out.push(row.clone());
+                        }
+                    }
+                }
+                seen.push(v);
+            }
+            Ok(out)
+        }
+        Access::SecRange { pos, lo, hi, desc } => {
+            let dtype = table.def.schema.columns[table.def.indexes[*pos].column].dtype;
+            let lo_v = match lo {
+                Some((e, inc)) => match eval_probe(e, dtype, params)? {
+                    Some(v) => Some((v, *inc)),
+                    None => return Ok(Vec::new()), // NULL bound: empty range
+                },
+                None => None,
+            };
+            let hi_v = match hi {
+                Some((e, inc)) => match eval_probe(e, dtype, params)? {
+                    Some(v) => Some((v, *inc)),
+                    None => return Ok(Vec::new()),
+                },
+                None => None,
+            };
+            let lo_b = match &lo_v {
+                Some((v, true)) => Bound::Included(v.clone()),
+                Some((v, false)) => Bound::Excluded(v.clone()),
+                // No low bound still skips NULL keys: no comparison
+                // predicate matches NULL.
+                None => Bound::Excluded(Value::Null),
+            };
+            let hi_b = match &hi_v {
+                Some((v, true)) => Bound::Included(v.clone()),
+                Some((v, false)) => Bound::Excluded(v.clone()),
+                None => Bound::Unbounded,
+            };
+            if range_is_empty(&lo_b, &hi_b) {
+                return Ok(Vec::new());
+            }
+            let map = table.sec_index(*pos);
+            let buckets: Box<dyn Iterator<Item = (&Value, &BTreeSet<RowId>)>> = if *desc {
+                Box::new(map.range((lo_b, hi_b)).rev())
+            } else {
+                Box::new(map.range((lo_b, hi_b)))
+            };
+            let mut out = Vec::new();
+            for (_, ids) in buckets {
+                for id in ids {
+                    let row = &table.rows[id];
+                    if keep(row)? {
+                        out.push(row.clone());
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Access::SecOrder { pos, desc } => {
+            let map = table.sec_index(*pos);
+            let buckets: Box<dyn Iterator<Item = (&Value, &BTreeSet<RowId>)>> = if *desc {
+                Box::new(map.iter().rev())
+            } else {
+                Box::new(map.iter())
+            };
+            let mut out = Vec::new();
+            for (_, ids) in buckets {
+                for id in ids {
+                    let row = &table.rows[id];
+                    if keep(row)? {
+                        out.push(row.clone());
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Access::PkOrder { desc } => {
+            let entries: Box<dyn Iterator<Item = (&Vec<Value>, &RowId)>> = if *desc {
+                Box::new(table.pk_index.iter().rev())
+            } else {
+                Box::new(table.pk_index.iter())
+            };
+            let mut out = Vec::new();
+            for (_, id) in entries {
+                let row = &table.rows[id];
+                if keep(row)? {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Index nested-loop join: for each outer row, evaluate the outer key and
+/// probe the inner table's index directly. Inner-table filters apply to
+/// each probed candidate; NULL outer keys never match.
+#[allow(clippy::too_many_arguments)]
+fn index_nl_join(
+    outer_rows: Vec<Row>,
+    outer_cols: &[BoundColumn],
+    inner: &TableData,
+    inner_cols: &[BoundColumn],
+    outer_key: &Expr,
+    target: ProbeTarget,
+    filters: &[&Expr],
+    params: Option<&HashMap<String, Value>>,
+) -> Result<Vec<Row>> {
+    let key_col = match target {
+        ProbeTarget::Pk => inner.def.primary_key[0],
+        ProbeTarget::Sec(pos) => inner.def.indexes[pos].column,
+    };
+    let dtype = inner.def.schema.columns[key_col].dtype;
+    let mut out = Vec::new();
+    for orow in outer_rows {
+        let env = Env {
+            columns: outer_cols,
+            row: &orow,
+            params,
+            precomputed: None,
+        };
+        let v = eval(outer_key, &env)?;
+        if v.is_null() {
+            continue;
+        }
+        let v = v.coerce_to(dtype).unwrap_or(v);
+        let mut push = |row: &Row| -> Result<()> {
+            for f in filters {
+                let env = Env {
+                    columns: inner_cols,
+                    row,
+                    params,
+                    precomputed: None,
+                };
+                if truth(&eval(f, &env)?)? != Some(true) {
+                    return Ok(());
+                }
+            }
+            let mut joined = orow.clone();
+            joined.extend(row.iter().cloned());
+            out.push(joined);
+            Ok(())
+        };
+        match target {
+            ProbeTarget::Pk => {
+                if let Some(id) = inner.row_id_by_key(std::slice::from_ref(&v)) {
+                    push(&inner.rows[&id])?;
+                }
+            }
+            ProbeTarget::Sec(pos) => {
+                if let Some(ids) = inner.sec_index(pos).get(&v) {
+                    for id in ids {
+                        push(&inner.rows[id])?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// The fixed schema of EXPLAIN output.
+pub fn explain_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("step", DataType::Int).not_null(),
+        Column::new("table", DataType::Text).not_null(),
+        Column::new("join", DataType::Text).not_null(),
+        Column::new("access", DataType::Text).not_null(),
+        Column::new("index", DataType::Text),
+        Column::new("est_rows", DataType::Int).not_null(),
+    ])
+}
+
+fn explain_row(
+    step: i64,
+    table: &str,
+    join: &str,
+    access: &str,
+    index: Option<&str>,
+    est: i64,
+) -> Row {
+    vec![
+        Value::Int(step),
+        Value::Text(table.to_string()),
+        Value::Text(join.to_string()),
+        Value::Text(access.to_string()),
+        index.map_or(Value::Null, |s| Value::Text(s.to_string())),
+        Value::Int(est),
+    ]
+}
+
+/// Explain a statement: the plan the engine would execute, one row per
+/// step, returned as an ordinary result set.
+pub fn explain_statement(
+    stmt: &Statement,
+    catalog: &dyn Catalog,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<ResultSet> {
+    match stmt {
+        Statement::Explain(inner) => explain_statement(inner, catalog, params),
+        Statement::Select(s) => explain_select(s, catalog, params),
+        Statement::Insert(i) => {
+            catalog.table(&i.table)?;
+            let est = match &i.source {
+                InsertSource::Values(v) => v.len() as i64,
+                InsertSource::Select(_) => 0,
+            };
+            Ok(ResultSet {
+                schema: explain_schema(),
+                rows: vec![explain_row(
+                    1,
+                    &i.table.canonical(),
+                    "-",
+                    "insert",
+                    None,
+                    est,
+                )],
+            })
+        }
+        Statement::Update(u) => explain_dml(catalog, &u.table, u.where_clause.as_ref()),
+        Statement::Delete(d) => explain_dml(catalog, &d.table, d.where_clause.as_ref()),
+        _ => Err(EngineError::unsupported(
+            "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE",
+        )),
+    }
+}
+
+/// UPDATE/DELETE run a full scan of the target table today; report that
+/// honestly rather than inventing an index path execution won't take.
+fn explain_dml(
+    catalog: &dyn Catalog,
+    table: &ObjectName,
+    where_clause: Option<&Expr>,
+) -> Result<ResultSet> {
+    let data = catalog.table(table)?;
+    let n = split_conjuncts(where_clause).len();
+    let est = (data.len() as f64 * FILTER_SEL.powi(n as i32)).ceil() as i64;
+    Ok(ResultSet {
+        schema: explain_schema(),
+        rows: vec![explain_row(1, &data.def.name, "-", "scan", None, est)],
+    })
+}
+
+fn explain_select(
+    select: &SelectStmt,
+    catalog: &dyn Catalog,
+    params: Option<&HashMap<String, Value>>,
+) -> Result<ResultSet> {
+    let bound = bind_from(select, catalog)?;
+    // Surface the same binding errors the query itself would.
+    output_schema_from_binding(select, &bound)?;
+    let conjuncts = split_conjuncts(select.where_clause.as_ref());
+    let mut classified = Vec::with_capacity(conjuncts.len());
+    for c in &conjuncts {
+        classified.push(tables_of_expr(c, &bound)?);
+    }
+    let plan = build_plan(select, &bound, &conjuncts, &classified, params)?;
+
+    let mut rows = Vec::new();
+    for (i, step) in plan.steps.iter().enumerate() {
+        let def = &bound.tables[step.t].def;
+        let (join, probe_index) = match &step.join {
+            JoinKind::First => ("-", None),
+            JoinKind::Hash { .. } => ("hash", None),
+            JoinKind::Cross => ("cross", None),
+            JoinKind::IndexNested { target, .. } => (
+                "index-nested",
+                Some(match target {
+                    ProbeTarget::Pk => "pk".to_string(),
+                    ProbeTarget::Sec(pos) => def.indexes[*pos].name.clone(),
+                }),
+            ),
+        };
+        let (access, index) = if probe_index.is_some() {
+            ("probe".to_string(), probe_index)
+        } else {
+            match &step.access {
+                Access::Scan => ("scan".to_string(), None),
+                Access::PkPoint => ("pk-point".to_string(), Some("pk".to_string())),
+                Access::SecEq { pos, .. } => {
+                    ("index-eq".to_string(), Some(def.indexes[*pos].name.clone()))
+                }
+                Access::SecRange { pos, desc, .. } => (
+                    if *desc {
+                        "index-range-desc"
+                    } else {
+                        "index-range"
+                    }
+                    .to_string(),
+                    Some(def.indexes[*pos].name.clone()),
+                ),
+                Access::SecOrder { pos, desc } => (
+                    if *desc {
+                        "index-order-desc"
+                    } else {
+                        "index-order"
+                    }
+                    .to_string(),
+                    Some(def.indexes[*pos].name.clone()),
+                ),
+                Access::PkOrder { desc } => (
+                    if *desc { "pk-order-desc" } else { "pk-order" }.to_string(),
+                    Some("pk".to_string()),
+                ),
+            }
+        };
+        rows.push(explain_row(
+            (i + 1) as i64,
+            &def.name,
+            join,
+            &access,
+            index.as_deref(),
+            step.est as i64,
+        ));
+    }
+    if plan.steps.is_empty() {
+        rows.push(explain_row(1, "", "-", "const", None, 1));
+    }
+    if !select.order_by.is_empty() {
+        let how = if plan.presorted {
+            "order-by-index"
+        } else {
+            "order-by-sort"
+        };
+        let est = plan.steps.last().map_or(0, |s| s.est as i64);
+        rows.push(explain_row(
+            (plan.steps.len() + 1) as i64,
+            "",
+            "-",
+            how,
+            None,
+            est,
+        ));
+    }
+    Ok(ResultSet {
+        schema: explain_schema(),
+        rows,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -305,59 +1442,6 @@ fn output_schema_from_binding(select: &SelectStmt, bound: &BoundFrom) -> Result<
 // Scanning and joining
 // ---------------------------------------------------------------------------
 
-/// Scan one table in row-id order, filtering by its single-table conjuncts.
-///
-/// When the conjuncts pin every primary-key column to a constant, the scan
-/// collapses to an index point lookup — this is what makes Phoenix's keyset
-/// cursor (one `SELECT … WHERE pk = v` per fetched row) sub-linear instead
-/// of a full scan per row.
-fn scan_table(
-    table: &TableData,
-    bound: &BoundFrom,
-    table_idx: usize,
-    filters: &[&Expr],
-    params: Option<&HashMap<String, Value>>,
-) -> Result<Vec<Row>> {
-    let cols = &bound.columns[bound.offsets[table_idx]..bound.offsets[table_idx + 1]];
-
-    // Fast path: primary-key point lookup.
-    if let Some(candidates) = try_point_lookup(table, cols, filters, params)? {
-        let mut out = Vec::new();
-        'cands: for row in candidates {
-            for f in filters {
-                let env = Env {
-                    columns: cols,
-                    row: &row,
-                    params,
-                    precomputed: None,
-                };
-                if truth(&eval(f, &env)?)? != Some(true) {
-                    continue 'cands;
-                }
-            }
-            out.push(row);
-        }
-        return Ok(out);
-    }
-
-    let mut out = Vec::new();
-    'rows: for row in table.rows.values() {
-        for f in filters {
-            let env = Env {
-                columns: cols,
-                row,
-                params,
-                precomputed: None,
-            };
-            if truth(&eval(f, &env)?)? != Some(true) {
-                continue 'rows;
-            }
-        }
-        out.push(row.clone());
-    }
-    Ok(out)
-}
-
 /// If the filter conjuncts contain `pk_col = <constant>` for every primary-
 /// key column, resolve the key through the index and return the candidate
 /// rows (zero or one). `None` means the fast path does not apply.
@@ -457,21 +1541,18 @@ fn cross_join(left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
     out
 }
 
-/// Hash join: build on the (smaller, already-filtered) right input, probe
-/// with the joined prefix.
+/// Hash join: build on the (already-filtered) inner input, probe with the
+/// joined prefix. NULL keys on either side never match.
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
     left: Vec<Row>,
+    left_cols: &[BoundColumn],
     right: Vec<Row>,
+    right_cols: &[BoundColumn],
     left_keys: &[&Expr],
     right_keys: &[&Expr],
-    bound: &BoundFrom,
-    right_table: usize,
     params: Option<&HashMap<String, Value>>,
 ) -> Result<Vec<Row>> {
-    let right_cols = &bound.columns[bound.offsets[right_table]..bound.offsets[right_table + 1]];
-    let left_cols = &bound.columns[..bound.offsets[right_table]];
-
     let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
     for r in &right {
         let env = Env {
@@ -702,6 +1783,7 @@ fn finish_select(
     rows: Vec<Row>,
     params: Option<&HashMap<String, Value>>,
     schema: Schema,
+    presorted: bool,
 ) -> Result<ResultSet> {
     let projections = expand_projections(select, bound)?;
     let aggregates = collect_aggregates(select);
@@ -798,8 +1880,9 @@ fn finish_select(
         });
     }
 
-    // ORDER BY.
-    if !select.order_by.is_empty() {
+    // ORDER BY — skipped when the access path already delivered the rows in
+    // the requested order.
+    if !select.order_by.is_empty() && !presorted {
         // Precompute sort keys.
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(output.len());
         for (out_row, pre, in_row) in &output {
@@ -1491,5 +2574,349 @@ mod distinct_tests {
         let c = cat();
         let rows = run(&c, "SELECT DISTINCT a, b FROM dup LIMIT 2");
         assert_eq!(rows.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod index_plan_tests {
+    use super::*;
+    use phoenix_sql::parser::parse_statement;
+    use phoenix_sql::Statement;
+    use phoenix_storage::store::Store;
+    use phoenix_storage::types::{DataType, TableDef};
+
+    struct Cat {
+        store: Store,
+    }
+
+    impl Catalog for Cat {
+        fn table(&self, name: &ObjectName) -> Result<&TableData> {
+            self.store
+                .table(&name.canonical())
+                .map_err(EngineError::from)
+        }
+    }
+
+    /// 102 items: ids 0..99 with cat = id % 5 and price = id, plus two
+    /// NULL-cat rows priced 1000/1001. Secondary indexes on cat and price.
+    fn cat() -> Cat {
+        let mut store = Store::new();
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.item",
+                    Schema::new(vec![
+                        Column::new("id", DataType::Int).not_null(),
+                        Column::new("cat", DataType::Int),
+                        Column::new("price", DataType::Float),
+                    ]),
+                )
+                .with_primary_key(vec![0]),
+            )
+            .unwrap();
+        store
+            .create_table(
+                TableDef::new(
+                    "dbo.category",
+                    Schema::new(vec![
+                        Column::new("cid", DataType::Int).not_null(),
+                        Column::new("label", DataType::Text),
+                    ]),
+                )
+                .with_primary_key(vec![0]),
+            )
+            .unwrap();
+        {
+            let t = store.table_mut("dbo.item").unwrap();
+            for i in 0..100i64 {
+                t.insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 5),
+                    Value::Float(i as f64),
+                ])
+                .unwrap();
+            }
+            t.insert(vec![Value::Int(100), Value::Null, Value::Float(1000.0)])
+                .unwrap();
+            t.insert(vec![Value::Int(101), Value::Null, Value::Float(1001.0)])
+                .unwrap();
+            t.create_index("ix_cat", 1).unwrap();
+            t.create_index("ix_price", 2).unwrap();
+        }
+        {
+            let t = store.table_mut("dbo.category").unwrap();
+            for (i, l) in ["zero", "one", "two", "three", "four"].iter().enumerate() {
+                t.insert(vec![Value::Int(i as i64), Value::Text((*l).into())])
+                    .unwrap();
+            }
+        }
+        Cat { store }
+    }
+
+    fn run(c: &Cat, sql: &str) -> Vec<Row> {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => execute_select(&s, c, None).unwrap().rows,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn explain(c: &Cat, sql: &str) -> Vec<Row> {
+        let stmt = parse_statement(sql).unwrap();
+        explain_statement(&stmt, c, None).unwrap().rows
+    }
+
+    fn txt(v: &Value) -> String {
+        match v {
+            Value::Text(t) => t.clone(),
+            Value::Null => "<null>".into(),
+            other => other.to_string(),
+        }
+    }
+
+    /// (join, access, index) columns of one EXPLAIN row.
+    fn shape(row: &Row) -> (String, String, String) {
+        (txt(&row[2]), txt(&row[3]), txt(&row[4]))
+    }
+
+    fn ids(rows: &[Row]) -> Vec<i64> {
+        rows.iter()
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equality_probe_matches_scan_semantics() {
+        let c = cat();
+        let rows = run(&c, "SELECT id FROM item WHERE cat = 3");
+        assert_eq!(ids(&rows), (0..20).map(|i| i * 5 + 3).collect::<Vec<_>>());
+        let ex = explain(&c, "EXPLAIN SELECT id FROM item WHERE cat = 3");
+        assert_eq!(
+            shape(&ex[0]),
+            ("-".into(), "index-eq".into(), "ix_cat".into())
+        );
+    }
+
+    #[test]
+    fn equality_probe_coerces_constant() {
+        // Int constant against the FLOAT price column.
+        let c = cat();
+        let rows = run(&c, "SELECT id FROM item WHERE price = 50");
+        assert_eq!(ids(&rows), vec![50]);
+    }
+
+    #[test]
+    fn in_list_probe_dedupes_and_keeps_list_order() {
+        let c = cat();
+        let rows = run(&c, "SELECT id FROM item WHERE cat IN (4, 1, 4)");
+        assert_eq!(rows.len(), 40);
+        assert_eq!(ids(&rows)[0], 4); // cat-4 bucket first, list order
+        let ex = explain(&c, "EXPLAIN SELECT id FROM item WHERE cat IN (4, 1, 4)");
+        assert_eq!(shape(&ex[0]).1, "index-eq");
+    }
+
+    #[test]
+    fn range_probe_excludes_null_keys() {
+        let c = cat();
+        // The two NULL-cat rows satisfy no comparison; the probe must skip
+        // their index bucket exactly as predicate evaluation would.
+        let rows = run(&c, "SELECT id FROM item WHERE cat > 2");
+        assert_eq!(rows.len(), 40);
+        assert!(ids(&rows).iter().all(|i| i % 5 >= 3));
+        let ex = explain(&c, "EXPLAIN SELECT id FROM item WHERE cat > 2");
+        assert_eq!(
+            shape(&ex[0]),
+            ("-".into(), "index-range".into(), "ix_cat".into())
+        );
+    }
+
+    #[test]
+    fn range_probe_merges_bounds_and_between() {
+        let c = cat();
+        let rows = run(
+            &c,
+            "SELECT id FROM item WHERE price >= 10.0 AND price < 15.0",
+        );
+        assert_eq!(ids(&rows), vec![10, 11, 12, 13, 14]);
+        let rows = run(&c, "SELECT id FROM item WHERE price BETWEEN 20.0 AND 24.0");
+        assert_eq!(ids(&rows), vec![20, 21, 22, 23, 24]);
+    }
+
+    #[test]
+    fn unselective_probe_falls_back_to_scan() {
+        let c = cat();
+        // cat >= 0 matches 100 of 102 rows: scanning is cheaper.
+        let ex = explain(&c, "EXPLAIN SELECT id FROM item WHERE cat >= 0");
+        assert_eq!(shape(&ex[0]).1, "scan");
+        assert_eq!(run(&c, "SELECT id FROM item WHERE cat >= 0").len(), 100);
+    }
+
+    #[test]
+    fn join_reorders_and_probes_secondary_index() {
+        let c = cat();
+        let rows = run(
+            &c,
+            "SELECT i.id, c.label FROM item i, category c \
+             WHERE i.cat = c.cid AND c.label = 'two'",
+        );
+        assert_eq!(rows.len(), 20);
+        // Output layout is FROM order even though category executed first.
+        for r in &rows {
+            assert!(matches!(&r[0], Value::Int(i) if i % 5 == 2));
+            assert_eq!(r[1], Value::Text("two".into()));
+        }
+        let ex = explain(
+            &c,
+            "EXPLAIN SELECT i.id, c.label FROM item i, category c \
+             WHERE i.cat = c.cid AND c.label = 'two'",
+        );
+        assert_eq!(txt(&ex[0][1]), "dbo.category");
+        assert_eq!(shape(&ex[0]), ("-".into(), "scan".into(), "<null>".into()));
+        assert_eq!(txt(&ex[1][1]), "dbo.item");
+        assert_eq!(
+            shape(&ex[1]),
+            ("index-nested".into(), "probe".into(), "ix_cat".into())
+        );
+    }
+
+    #[test]
+    fn join_probes_primary_key() {
+        let c = cat();
+        let rows = run(
+            &c,
+            "SELECT i.id, c.label FROM item i, category c \
+             WHERE c.cid = i.cat AND i.price < 1.0",
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[0][1], Value::Text("zero".into()));
+        let ex = explain(
+            &c,
+            "EXPLAIN SELECT i.id, c.label FROM item i, category c \
+             WHERE c.cid = i.cat AND i.price < 1.0",
+        );
+        assert_eq!(
+            shape(&ex[1]),
+            ("index-nested".into(), "probe".into(), "pk".into())
+        );
+    }
+
+    #[test]
+    fn order_by_walks_index_instead_of_sorting() {
+        let c = cat();
+        let rows = run(&c, "SELECT id FROM item ORDER BY price DESC LIMIT 3");
+        assert_eq!(ids(&rows), vec![101, 100, 99]);
+        let ex = explain(
+            &c,
+            "EXPLAIN SELECT id FROM item ORDER BY price DESC LIMIT 3",
+        );
+        assert_eq!(shape(&ex[0]).1, "index-order-desc");
+        assert_eq!(shape(&ex[1]).1, "order-by-index");
+    }
+
+    #[test]
+    fn order_by_index_sorts_nulls_first() {
+        let c = cat();
+        // NULL sorts lowest; index order must agree with the sort path.
+        let rows = run(&c, "SELECT id FROM item ORDER BY cat LIMIT 2");
+        assert_eq!(ids(&rows), vec![100, 101]);
+    }
+
+    #[test]
+    fn order_by_pk_walks_pk_index() {
+        let c = cat();
+        let rows = run(&c, "SELECT cid FROM category ORDER BY cid DESC LIMIT 2");
+        assert_eq!(ids(&rows), vec![4, 3]);
+        let ex = explain(
+            &c,
+            "EXPLAIN SELECT cid FROM category ORDER BY cid DESC LIMIT 2",
+        );
+        assert_eq!(shape(&ex[0]).1, "pk-order-desc");
+    }
+
+    #[test]
+    fn range_probe_satisfies_order_by() {
+        let c = cat();
+        let rows = run(
+            &c,
+            "SELECT id FROM item WHERE price > 90.0 ORDER BY price DESC",
+        );
+        assert_eq!(rows.len(), 11);
+        assert_eq!(ids(&rows)[0], 101);
+        let ex = explain(
+            &c,
+            "EXPLAIN SELECT id FROM item WHERE price > 90.0 ORDER BY price DESC",
+        );
+        assert_eq!(shape(&ex[0]).1, "index-range-desc");
+        assert_eq!(shape(&ex[1]).1, "order-by-index");
+    }
+
+    #[test]
+    fn alias_shadowing_forces_a_real_sort() {
+        let c = cat();
+        // ORDER BY price binds to the alias (the cat values), not the
+        // indexed price column — index order must NOT be claimed.
+        let rows = run(&c, "SELECT cat AS price FROM item ORDER BY price");
+        assert_eq!(rows.len(), 102);
+        assert_eq!(rows[0][0], Value::Null);
+        let ex = explain(&c, "EXPLAIN SELECT cat AS price FROM item ORDER BY price");
+        assert_eq!(shape(&ex[1]).1, "order-by-sort");
+    }
+
+    #[test]
+    fn explain_handles_parameterized_probes() {
+        let c = cat();
+        // Parameters are absent at EXPLAIN time; the plan still forms.
+        let ex = explain(&c, "EXPLAIN SELECT id FROM item WHERE price < @p");
+        assert_eq!(shape(&ex[0]).1, "index-range");
+    }
+
+    #[test]
+    fn explain_dml_and_insert() {
+        let c = cat();
+        let ex = explain(&c, "EXPLAIN UPDATE item SET price = 0.0 WHERE cat = 1");
+        assert_eq!(txt(&ex[0][1]), "dbo.item");
+        assert_eq!(shape(&ex[0]).1, "scan");
+        let ex = explain(
+            &c,
+            "EXPLAIN INSERT INTO item VALUES (500, 1, 1.0), (501, 2, 2.0)",
+        );
+        assert_eq!(shape(&ex[0]).1, "insert");
+        assert_eq!(ex[0][5], Value::Int(2));
+        let ex = explain(&c, "EXPLAIN DELETE FROM category WHERE cid = 1");
+        assert_eq!(shape(&ex[0]).1, "scan");
+    }
+
+    #[test]
+    fn explain_point_lookup_and_const() {
+        let c = cat();
+        let ex = explain(&c, "EXPLAIN SELECT price FROM item WHERE id = 42");
+        assert_eq!(shape(&ex[0]), ("-".into(), "pk-point".into(), "pk".into()));
+        assert_eq!(ex[0][5], Value::Int(1));
+        let ex = explain(&c, "EXPLAIN SELECT 1 + 1");
+        assert_eq!(shape(&ex[0]).1, "const");
+    }
+
+    #[test]
+    fn probe_results_equal_scan_results() {
+        // Same data, same queries, indexed vs unindexed: identical rows.
+        let indexed = cat();
+        let mut plain = cat();
+        {
+            let t = plain.store.table_mut("dbo.item").unwrap();
+            t.drop_index("ix_cat").unwrap();
+            t.drop_index("ix_price").unwrap();
+        }
+        for sql in [
+            "SELECT id, cat, price FROM item WHERE cat = 2 ORDER BY id",
+            "SELECT id FROM item WHERE cat IN (0, 3) ORDER BY id",
+            "SELECT id FROM item WHERE price > 95.0 AND price <= 1000.0 ORDER BY id",
+            "SELECT id FROM item WHERE cat = 1 AND price > 50.0 ORDER BY id",
+            "SELECT i.id FROM item i, category c WHERE i.cat = c.cid ORDER BY i.id",
+        ] {
+            assert_eq!(run(&indexed, sql), run(&plain, sql), "{sql}");
+        }
     }
 }

@@ -534,6 +534,27 @@ pub enum Statement {
     /// `PRINT expr` — emits a server message (used to exercise the paper's
     /// reply-buffer persistence).
     Print(Expr),
+    /// `CREATE INDEX name ON table (column)` — a single-column secondary
+    /// index.
+    CreateIndex {
+        /// Index name (unique per table).
+        name: String,
+        /// The table to index.
+        table: ObjectName,
+        /// The indexed column.
+        column: String,
+    },
+    /// `DROP INDEX [IF EXISTS] name` — the owning table is resolved from
+    /// the catalog.
+    DropIndex {
+        /// The index to drop.
+        name: String,
+        /// Suppress the not-found error?
+        if_exists: bool,
+    },
+    /// `EXPLAIN <stmt>` — return the planner's chosen access paths as an
+    /// ordinary result set instead of executing the statement.
+    Explain(Box<Statement>),
 }
 
 impl Statement {

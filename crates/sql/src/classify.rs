@@ -42,18 +42,22 @@ pub fn classify(stmt: &Statement) -> RequestKind {
         Statement::CreateTable(_)
         | Statement::DropTable { .. }
         | Statement::CreateProc(_)
-        | Statement::DropProc { .. } => RequestKind::Ddl,
+        | Statement::DropProc { .. }
+        | Statement::CreateIndex { .. }
+        | Statement::DropIndex { .. } => RequestKind::Ddl,
         Statement::Exec(_) => RequestKind::Exec,
         Statement::Begin => RequestKind::TxnBegin,
         Statement::Commit | Statement::Rollback => RequestKind::TxnEnd,
         Statement::Set { .. } => RequestKind::SessionContext,
         Statement::Print(_) => RequestKind::Message,
+        // EXPLAIN reads the catalog and returns rows; route it like a query.
+        Statement::Explain(_) => RequestKind::Query,
     }
 }
 
 /// Does this statement produce a result set the client will fetch from?
 pub fn produces_result_set(stmt: &Statement) -> bool {
-    matches!(stmt, Statement::Select(_))
+    matches!(stmt, Statement::Select(_) | Statement::Explain(_))
 }
 
 /// The temp object this statement *creates*, if any (`CREATE TABLE #x`,
@@ -116,6 +120,11 @@ mod tests {
         assert_eq!(kind("ROLLBACK"), RequestKind::TxnEnd);
         assert_eq!(kind("SET opt 1"), RequestKind::SessionContext);
         assert_eq!(kind("PRINT 'x'"), RequestKind::Message);
+        assert_eq!(kind("CREATE INDEX ix ON t (a)"), RequestKind::Ddl);
+        assert_eq!(kind("DROP INDEX ix"), RequestKind::Ddl);
+        assert_eq!(kind("EXPLAIN SELECT * FROM t"), RequestKind::Query);
+        let explain = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
+        assert!(produces_result_set(&explain));
     }
 
     #[test]

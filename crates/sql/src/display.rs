@@ -160,6 +160,24 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             out.push_str("PRINT ");
             write_expr(out, e);
         }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            let _ = write!(out, "CREATE INDEX {name} ON {table} ({column})");
+        }
+        Statement::DropIndex { name, if_exists } => {
+            out.push_str("DROP INDEX ");
+            if *if_exists {
+                out.push_str("IF EXISTS ");
+            }
+            out.push_str(name);
+        }
+        Statement::Explain(inner) => {
+            out.push_str("EXPLAIN ");
+            write_statement(out, inner);
+        }
     }
 }
 
@@ -537,6 +555,7 @@ pub fn normalize_statement(stmt: &Statement) -> Statement {
             value: normalize_expr(value),
         },
         Statement::Print(e) => Statement::Print(normalize_expr(e)),
+        Statement::Explain(inner) => Statement::Explain(Box::new(normalize_statement(inner))),
         other => other.clone(),
     }
 }
@@ -581,6 +600,10 @@ mod tests {
         roundtrip("CREATE PROCEDURE p (@a INT, @b TEXT) AS SELECT * FROM t WHERE x = @a");
         roundtrip("CREATE PROC p AS BEGIN INSERT INTO t VALUES (1); SELECT * FROM t END");
         roundtrip("DROP PROCEDURE IF EXISTS p");
+        roundtrip("CREATE INDEX ix_bal ON acct (bal)");
+        roundtrip("DROP INDEX ix_bal");
+        roundtrip("DROP INDEX IF EXISTS ix_bal");
+        roundtrip("EXPLAIN SELECT a FROM t WHERE b > 3 ORDER BY a");
         roundtrip("EXEC p (1, 'x')");
         roundtrip("EXEC p");
         roundtrip("BEGIN TRANSACTION");

@@ -257,6 +257,9 @@ impl Parser {
         if self.eat_kw("PRINT") {
             return Ok(Statement::Print(self.parse_expr()?));
         }
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+        }
         Err(self.unexpected("statement"))
     }
 
@@ -534,7 +537,20 @@ impl Parser {
         if self.eat_kw("PROCEDURE") || self.eat_kw("PROC") {
             return self.parse_create_proc();
         }
-        Err(self.unexpected("TABLE or PROCEDURE after CREATE"))
+        if self.eat_kw("INDEX") {
+            let name = self.parse_ident()?;
+            self.expect_kw("ON")?;
+            let table = self.parse_object_name()?;
+            self.expect_symbol(Symbol::LParen)?;
+            let column = self.parse_ident()?;
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                column,
+            });
+        }
+        Err(self.unexpected("TABLE, PROCEDURE or INDEX after CREATE"))
     }
 
     fn parse_create_table(&mut self) -> Result<Statement, ParseError> {
@@ -666,12 +682,23 @@ impl Parser {
 
     fn parse_drop(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("DROP")?;
+        if self.eat_kw("INDEX") {
+            let if_exists = if self.check_kw("IF") && self.check_kw_at(1, "EXISTS") {
+                self.advance();
+                self.advance();
+                true
+            } else {
+                false
+            };
+            let name = self.parse_ident()?;
+            return Ok(Statement::DropIndex { name, if_exists });
+        }
         let is_table = if self.eat_kw("TABLE") {
             true
         } else if self.eat_kw("PROCEDURE") || self.eat_kw("PROC") {
             false
         } else {
-            return Err(self.unexpected("TABLE or PROCEDURE after DROP"));
+            return Err(self.unexpected("TABLE, PROCEDURE or INDEX after DROP"));
         };
         let if_exists = if self.check_kw("IF") && self.check_kw_at(1, "EXISTS") {
             self.advance();
@@ -1079,6 +1106,7 @@ fn is_statement_keyword(upper: &str) -> bool {
             | "COMMIT"
             | "ROLLBACK"
             | "PRINT"
+            | "EXPLAIN"
             | "GROUP"
             | "HAVING"
             | "ORDER"
@@ -1472,6 +1500,46 @@ mod tests {
             parse_statement("PRINT 'hello'").unwrap(),
             Statement::Print(_)
         ));
+    }
+
+    #[test]
+    fn index_ddl_and_explain() {
+        match parse_statement("CREATE INDEX ix_bal ON acct (bal)").unwrap() {
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                assert_eq!(name, "ix_bal");
+                assert_eq!(table.canonical(), "dbo.acct");
+                assert_eq!(column, "bal");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("DROP INDEX IF EXISTS ix_bal").unwrap() {
+            Statement::DropIndex { name, if_exists } => {
+                assert_eq!(name, "ix_bal");
+                assert!(if_exists);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("DROP INDEX ix_bal").unwrap(),
+            Statement::DropIndex {
+                if_exists: false,
+                ..
+            }
+        ));
+        match parse_statement("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap() {
+            Statement::Explain(inner) => assert!(matches!(*inner, Statement::Select(_))),
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN covers DML too.
+        assert!(matches!(
+            parse_statement("EXPLAIN UPDATE t SET a = 1").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(parse_statement("CREATE INDEX ON t (a)").is_err());
     }
 
     #[test]

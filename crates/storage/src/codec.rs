@@ -20,7 +20,7 @@
 use bytes::{Buf, BufMut};
 use std::fmt;
 
-use crate::types::{Column, DataType, Row, Schema, TableDef, Value};
+use crate::types::{Column, DataType, IndexDef, Row, Schema, TableDef, Value};
 
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,7 +208,7 @@ pub fn get_schema(buf: &mut impl Buf) -> Result<Schema, DecodeError> {
     Ok(Schema { columns })
 }
 
-/// Encode a full table definition (name + schema + primary key).
+/// Encode a full table definition (name + schema + primary key + indexes).
 pub fn put_table_def(buf: &mut impl BufMut, def: &TableDef) {
     put_str(buf, &def.name);
     put_schema(buf, &def.schema);
@@ -216,9 +216,15 @@ pub fn put_table_def(buf: &mut impl BufMut, def: &TableDef) {
     for &i in &def.primary_key {
         buf.put_u16_le(i as u16);
     }
+    buf.put_u16_le(def.indexes.len() as u16);
+    for ix in &def.indexes {
+        put_str(buf, &ix.name);
+        buf.put_u16_le(ix.column as u16);
+    }
 }
 
-/// Decode a table definition, validating key indices against the schema.
+/// Decode a table definition, validating key and index column indices
+/// against the schema.
 pub fn get_table_def(buf: &mut impl Buf) -> Result<TableDef, DecodeError> {
     let name = get_str(buf)?;
     let schema = get_schema(buf)?;
@@ -233,10 +239,26 @@ pub fn get_table_def(buf: &mut impl Buf) -> Result<TableDef, DecodeError> {
         }
         primary_key.push(i);
     }
+    need(buf, 2, "index count")?;
+    let n = buf.get_u16_le() as usize;
+    let mut indexes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ix_name = get_str(buf)?;
+        need(buf, 2, "index column")?;
+        let column = buf.get_u16_le() as usize;
+        if column >= schema.columns.len() {
+            return Err(err(format!("index column {column} out of range")));
+        }
+        indexes.push(IndexDef {
+            name: ix_name,
+            column,
+        });
+    }
     Ok(TableDef {
         name,
         schema,
         primary_key,
+        indexes,
     })
 }
 
@@ -285,6 +307,10 @@ mod tests {
                 Column::new("when", DataType::Date),
             ]),
             primary_key: vec![0, 2],
+            indexes: vec![IndexDef {
+                name: "rs_7_name".into(),
+                column: 1,
+            }],
         };
         let mut buf = BytesMut::new();
         put_table_def(&mut buf, &def);
@@ -315,11 +341,34 @@ mod tests {
             name: "t".into(),
             schema: Schema::new(vec![Column::new("a", DataType::Int)]),
             primary_key: vec![0],
+            indexes: Vec::new(),
         };
         let mut buf = BytesMut::new();
         put_table_def(&mut buf, &def);
         let mut raw = buf.to_vec();
-        // Corrupt the pk index (last two bytes) to point out of range.
+        // Corrupt the pk index (it sits before the empty index count at the
+        // tail) to point out of range.
+        let n = raw.len();
+        raw[n - 4] = 9;
+        let mut b = bytes::Bytes::from(raw);
+        assert!(get_table_def(&mut b).is_err());
+    }
+
+    #[test]
+    fn index_column_out_of_range_rejected() {
+        let def = TableDef {
+            name: "t".into(),
+            schema: Schema::new(vec![Column::new("a", DataType::Int)]),
+            primary_key: Vec::new(),
+            indexes: vec![IndexDef {
+                name: "ix".into(),
+                column: 0,
+            }],
+        };
+        let mut buf = BytesMut::new();
+        put_table_def(&mut buf, &def);
+        let mut raw = buf.to_vec();
+        // The index column is the final u16.
         let n = raw.len();
         raw[n - 2] = 9;
         let mut b = bytes::Bytes::from(raw);

@@ -251,6 +251,15 @@ enum UndoOp {
         name: String,
         sql: String,
     },
+    DropCreatedIndex {
+        table: String,
+        name: String,
+    },
+    RestoreDroppedIndex {
+        table: String,
+        name: String,
+        column: usize,
+    },
 }
 
 /// Group-commit rendezvous. Committers take a monotonically increasing
@@ -1064,6 +1073,18 @@ impl Durable {
                         let store = guards.get_mut(&self.part_of(&name)).expect("touched");
                         store.create_proc(&name, &sql)?;
                     }
+                    UndoOp::DropCreatedIndex { table, name } => {
+                        let store = guards.get_mut(&self.part_of(&table)).expect("touched");
+                        store.table_mut(&table)?.drop_index(&name)?;
+                    }
+                    UndoOp::RestoreDroppedIndex {
+                        table,
+                        name,
+                        column,
+                    } => {
+                        let store = guards.get_mut(&self.part_of(&table)).expect("touched");
+                        store.table_mut(&table)?.create_index(&name, column)?;
+                    }
                 }
             }
             // Aborted ids count as finished too: the mark also seeds
@@ -1369,6 +1390,67 @@ impl Durable {
             UndoOp::RestoreDroppedProc {
                 name: name.to_string(),
                 sql,
+            },
+        );
+        Ok(())
+    }
+
+    /// Create a secondary index on `table` (logged, undoable). The index is
+    /// backfilled from the table's current rows; no index pages are logged.
+    pub fn create_index(
+        &self,
+        txn: TxnId,
+        table: &str,
+        name: &str,
+        column: usize,
+    ) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::CreateIndex {
+                txn,
+                table: table.to_string(),
+                name: name.to_string(),
+                column,
+            },
+        )?;
+        store.table_mut(table)?.create_index(name, column)?;
+        self.publish(k, &store);
+        self.push_undo(
+            txn,
+            k,
+            UndoOp::DropCreatedIndex {
+                table: table.to_string(),
+                name: name.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a secondary index from `table` (logged; abort rebuilds it).
+    pub fn drop_index(&self, txn: TxnId, table: &str, name: &str) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let k = self.part_of(table);
+        let mut store = self.parts[k].working.lock();
+        self.log_to(
+            k,
+            &LogRecord::DropIndex {
+                txn,
+                table: table.to_string(),
+                name: name.to_string(),
+            },
+        )?;
+        let dropped = store.table_mut(table)?.drop_index(name)?;
+        self.publish(k, &store);
+        self.push_undo(
+            txn,
+            k,
+            UndoOp::RestoreDroppedIndex {
+                table: table.to_string(),
+                name: dropped.name,
+                column: dropped.column,
             },
         );
         Ok(())
@@ -1826,7 +1908,9 @@ pub(crate) fn replay_records(
             LogRecord::CreateTable { .. }
             | LogRecord::DropTable { .. }
             | LogRecord::CreateProc { .. }
-            | LogRecord::DropProc { .. } => {
+            | LogRecord::DropProc { .. }
+            | LogRecord::CreateIndex { .. }
+            | LogRecord::DropIndex { .. } => {
                 if !current.is_empty() {
                     epochs.push(ReplayEpoch::Dml(std::mem::take(&mut current)));
                     index.clear();
@@ -2039,6 +2123,72 @@ mod tests {
         assert!(!db.snapshot().has_table("dbo.t"));
         db.abort(t2).unwrap();
         assert_eq!(db.snapshot().table("dbo.t").unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Index DDL is redo-only durable: the CreateIndex barrier replays from
+    /// the WAL, and DML before/after it lands in the rebuilt map.
+    #[test]
+    fn index_recovers_from_wal_and_checkpoint() {
+        let dir = temp_dir();
+        {
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let t = db.begin().unwrap();
+            db.create_table(t, def()).unwrap();
+            db.insert(t, "dbo.t", row(1, "a")).unwrap();
+            db.commit(t).unwrap();
+            let t2 = db.begin().unwrap();
+            db.create_index(t2, "dbo.t", "t_name", 1).unwrap();
+            db.insert(t2, "dbo.t", row(2, "b")).unwrap();
+            db.commit(t2).unwrap();
+            // Crash (drop without checkpoint): replay rebuilds the index.
+        }
+        {
+            let db = Durable::open(&dir, Durability::Fsync).unwrap();
+            let snap = db.snapshot();
+            let tbl = snap.table("dbo.t").unwrap();
+            assert_eq!(tbl.def.indexes.len(), 1);
+            assert_eq!(tbl.sec_index(0).len(), 2);
+            snap.verify_indexes().unwrap();
+            drop(snap);
+            // Checkpoint, then more DML, then crash again: the index def now
+            // rides the snapshot segment and replayed DML maintains it.
+            db.checkpoint().unwrap();
+            let t3 = db.begin().unwrap();
+            db.insert(t3, "dbo.t", row(3, "c")).unwrap();
+            db.commit(t3).unwrap();
+        }
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let snap = db.snapshot();
+        let tbl = snap.table("dbo.t").unwrap();
+        assert_eq!(tbl.sec_index(0).len(), 3);
+        snap.verify_indexes().unwrap();
+        drop(snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_index_ddl() {
+        let dir = temp_dir();
+        let db = Durable::open(&dir, Durability::Fsync).unwrap();
+        let t = db.begin().unwrap();
+        db.create_table(t, def()).unwrap();
+        db.insert(t, "dbo.t", row(1, "a")).unwrap();
+        db.create_index(t, "dbo.t", "t_keep", 1).unwrap();
+        db.commit(t).unwrap();
+
+        let t2 = db.begin().unwrap();
+        db.create_index(t2, "dbo.t", "t_scratch", 0).unwrap();
+        db.drop_index(t2, "dbo.t", "t_keep").unwrap();
+        db.abort(t2).unwrap();
+
+        let snap = db.snapshot();
+        let tbl = snap.table("dbo.t").unwrap();
+        assert_eq!(tbl.def.indexes.len(), 1, "scratch gone, keep restored");
+        assert!(tbl.def.index_pos("t_keep").is_some());
+        assert_eq!(tbl.sec_index(0).len(), 1, "restored index is backfilled");
+        snap.verify_indexes().unwrap();
+        drop(snap);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -118,6 +118,28 @@ pub enum LogRecord {
         /// The dropped procedure.
         name: String,
     },
+    /// A secondary index created. No index pages are ever logged — recovery
+    /// replays this barrier and subsequent DML rebuilds the map (REDO-only).
+    CreateIndex {
+        /// Owning transaction.
+        txn: TxnId,
+        /// The owning table (canonical name).
+        table: String,
+        /// Index name.
+        name: String,
+        /// Index of the indexed column in the table schema.
+        column: usize,
+    },
+    /// A secondary index dropped.
+    DropIndex {
+        /// Owning transaction.
+        txn: TxnId,
+        /// The owning table (canonical name), resolved when the statement
+        /// executed so replay needs no catalog search.
+        table: String,
+        /// The dropped index.
+        name: String,
+    },
 }
 
 const T_BEGIN: u8 = 1;
@@ -132,6 +154,8 @@ const T_CREATE_PROC: u8 = 9;
 const T_DROP_PROC: u8 = 10;
 const T_INSERT_MANY: u8 = 11;
 const T_COMMIT_MULTI: u8 = 12;
+const T_CREATE_INDEX: u8 = 13;
+const T_DROP_INDEX: u8 = 14;
 
 impl LogRecord {
     /// The transaction this record belongs to.
@@ -148,7 +172,9 @@ impl LogRecord {
             | LogRecord::CreateTable { txn, .. }
             | LogRecord::DropTable { txn, .. }
             | LogRecord::CreateProc { txn, .. }
-            | LogRecord::DropProc { txn, .. } => *txn,
+            | LogRecord::DropProc { txn, .. }
+            | LogRecord::CreateIndex { txn, .. }
+            | LogRecord::DropIndex { txn, .. } => *txn,
         }
     }
 
@@ -240,6 +266,24 @@ impl LogRecord {
             LogRecord::DropProc { txn, name } => {
                 buf.put_u8(T_DROP_PROC);
                 buf.put_u64_le(*txn);
+                codec::put_str(&mut buf, name);
+            }
+            LogRecord::CreateIndex {
+                txn,
+                table,
+                name,
+                column,
+            } => {
+                buf.put_u8(T_CREATE_INDEX);
+                buf.put_u64_le(*txn);
+                codec::put_str(&mut buf, table);
+                codec::put_str(&mut buf, name);
+                buf.put_u16_le(*column as u16);
+            }
+            LogRecord::DropIndex { txn, table, name } => {
+                buf.put_u8(T_DROP_INDEX);
+                buf.put_u64_le(*txn);
+                codec::put_str(&mut buf, table);
                 codec::put_str(&mut buf, name);
             }
         }
@@ -343,6 +387,25 @@ impl LogRecord {
                 txn,
                 name: codec::get_str(&mut buf)?,
             },
+            T_CREATE_INDEX => {
+                let table = codec::get_str(&mut buf)?;
+                let name = codec::get_str(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(DecodeError("truncated create-index".into()));
+                }
+                let column = buf.get_u16_le() as usize;
+                LogRecord::CreateIndex {
+                    txn,
+                    table,
+                    name,
+                    column,
+                }
+            }
+            T_DROP_INDEX => {
+                let table = codec::get_str(&mut buf)?;
+                let name = codec::get_str(&mut buf)?;
+                LogRecord::DropIndex { txn, table, name }
+            }
             other => return Err(DecodeError(format!("unknown log record tag {other}"))),
         };
         if buf.remaining() != 0 {
@@ -428,6 +491,17 @@ mod tests {
         roundtrip(LogRecord::DropProc {
             txn: 8,
             name: "phoenix.p_1".into(),
+        });
+        roundtrip(LogRecord::CreateIndex {
+            txn: 9,
+            table: "dbo.orders".into(),
+            name: "orders_cust".into(),
+            column: 2,
+        });
+        roundtrip(LogRecord::DropIndex {
+            txn: 10,
+            table: "dbo.orders".into(),
+            name: "orders_cust".into(),
         });
     }
 

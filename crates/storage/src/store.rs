@@ -14,12 +14,12 @@
 //! store still references it. [`StoreSnapshot`] packages that property as an
 //! immutable published image readers execute against with no lock held.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
 use crate::record::LogRecord;
-use crate::types::{Row, RowId, TableDef, Value};
+use crate::types::{IndexDef, Row, RowId, TableDef, Value};
 
 /// Error type for store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +50,10 @@ pub enum StoreError {
         /// The missing row id.
         row_id: RowId,
     },
+    /// CREATE INDEX with a name already used on the same table.
+    IndexExists(String),
+    /// Reference to an index that does not exist.
+    NoSuchIndex(String),
 }
 
 impl fmt::Display for StoreError {
@@ -73,15 +77,23 @@ impl fmt::Display for StoreError {
             StoreError::NoSuchRow { table, row_id } => {
                 write!(f, "no row {row_id} in table '{table}'")
             }
+            StoreError::IndexExists(n) => write!(f, "index '{n}' already exists"),
+            StoreError::NoSuchIndex(n) => write!(f, "no such index '{n}'"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// One table's data: definition, rows by id, and (when a primary key is
+/// One table's data: definition, rows by id, (when a primary key is
 /// declared) a key → row-id index kept in key order so keyset cursors can
-/// walk it.
+/// walk it, and one ordered secondary index per entry in `def.indexes`.
+///
+/// Secondary indexes are *derived* state: every mutation path funnels
+/// through [`TableData::insert_with_id`], [`TableData::delete`] or
+/// [`TableData::update`], which keep `sec` in lock-step with `rows`. That
+/// single chokepoint is what makes REDO-only index recovery work — replaying
+/// committed DML rebuilds the maps with no index-page log records at all.
 #[derive(Debug, Clone)]
 pub struct TableData {
     /// The table definition.
@@ -90,6 +102,9 @@ pub struct TableData {
     pub rows: BTreeMap<RowId, Row>,
     /// Primary-key index; empty map when no key is declared.
     pub pk_index: BTreeMap<Vec<Value>, RowId>,
+    /// Secondary indexes, parallel to `def.indexes`: indexed-column value →
+    /// ids of the rows holding it. Non-unique, so the payload is a set.
+    pub sec: Vec<BTreeMap<Value, BTreeSet<RowId>>>,
     /// Next row id to assign (never reused).
     pub next_row_id: RowId,
 }
@@ -97,10 +112,12 @@ pub struct TableData {
 impl TableData {
     /// An empty table with the given definition.
     pub fn new(def: TableDef) -> TableData {
+        let sec = vec![BTreeMap::new(); def.indexes.len()];
         TableData {
             def,
             rows: BTreeMap::new(),
             pk_index: BTreeMap::new(),
+            sec,
             next_row_id: 1,
         }
     }
@@ -132,6 +149,28 @@ impl TableData {
         Ok(())
     }
 
+    /// Add `row_id` to every secondary index under the row's column values.
+    fn index_row(&mut self, row_id: RowId, row: &Row) {
+        for (k, ix) in self.def.indexes.iter().enumerate() {
+            self.sec[k]
+                .entry(row[ix.column].clone())
+                .or_default()
+                .insert(row_id);
+        }
+    }
+
+    /// Remove `row_id` from every secondary index, pruning empty buckets.
+    fn unindex_row(&mut self, row_id: RowId, row: &Row) {
+        for (k, ix) in self.def.indexes.iter().enumerate() {
+            if let Some(ids) = self.sec[k].get_mut(&row[ix.column]) {
+                ids.remove(&row_id);
+                if ids.is_empty() {
+                    self.sec[k].remove(&row[ix.column]);
+                }
+            }
+        }
+    }
+
     /// Insert with a specific row id (used by recovery and undo).
     pub fn insert_with_id(&mut self, row_id: RowId, row: Row) -> Result<(), StoreError> {
         self.check_arity(&row)?;
@@ -142,6 +181,7 @@ impl TableData {
             }
             self.pk_index.insert(key, row_id);
         }
+        self.index_row(row_id, &row);
         self.rows.insert(row_id, row);
         if row_id >= self.next_row_id {
             self.next_row_id = row_id + 1;
@@ -168,6 +208,7 @@ impl TableData {
         if self.def.has_primary_key() {
             self.pk_index.remove(&self.def.key_of(&row));
         }
+        self.unindex_row(row_id, &row);
         Ok(row)
     }
 
@@ -213,8 +254,66 @@ impl TableData {
                 self.pk_index.insert(new_key, row_id);
             }
         }
+        self.unindex_row(row_id, &old);
+        self.index_row(row_id, &new_row);
         self.rows.insert(row_id, new_row);
         Ok(old)
+    }
+
+    /// Create a secondary index over one column, backfilling it from the
+    /// current rows. Errors if the name is already taken on this table.
+    pub fn create_index(&mut self, name: &str, column: usize) -> Result<(), StoreError> {
+        if self.def.index_pos(name).is_some() {
+            return Err(StoreError::IndexExists(name.to_string()));
+        }
+        let mut map: BTreeMap<Value, BTreeSet<RowId>> = BTreeMap::new();
+        for (&row_id, row) in &self.rows {
+            map.entry(row[column].clone()).or_default().insert(row_id);
+        }
+        self.def.indexes.push(IndexDef {
+            name: name.to_string(),
+            column,
+        });
+        self.sec.push(map);
+        Ok(())
+    }
+
+    /// Drop a secondary index by name, returning its definition (so undo
+    /// can recreate it).
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDef, StoreError> {
+        let pos = self
+            .def
+            .index_pos(name)
+            .ok_or_else(|| StoreError::NoSuchIndex(name.to_string()))?;
+        self.sec.remove(pos);
+        Ok(self.def.indexes.remove(pos))
+    }
+
+    /// The secondary-index map for `def.indexes[pos]`.
+    pub fn sec_index(&self, pos: usize) -> &BTreeMap<Value, BTreeSet<RowId>> {
+        &self.sec[pos]
+    }
+
+    /// Cross-check every secondary index against the row image: each row
+    /// must appear under exactly its column value, and every indexed id
+    /// must reference a live row. Used by chaos sweeps after recovery.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        for (k, ix) in self.def.indexes.iter().enumerate() {
+            let mut expect: BTreeMap<Value, BTreeSet<RowId>> = BTreeMap::new();
+            for (&row_id, row) in &self.rows {
+                expect
+                    .entry(row[ix.column].clone())
+                    .or_default()
+                    .insert(row_id);
+            }
+            if self.sec[k] != expect {
+                return Err(format!(
+                    "index '{}' on '{}' diverges from table rows",
+                    ix.name, self.def.name
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -434,7 +533,30 @@ impl Store {
             LogRecord::DropTable { name, .. } => self.drop_table(name).map(|_| ()),
             LogRecord::CreateProc { name, sql, .. } => self.create_proc(name, sql),
             LogRecord::DropProc { name, .. } => self.drop_proc(name).map(|_| ()),
+            LogRecord::CreateIndex {
+                table,
+                name,
+                column,
+                ..
+            } => self.table_mut(table)?.create_index(name, *column),
+            LogRecord::DropIndex { table, name, .. } => {
+                self.table_mut(table)?.drop_index(name).map(|_| ())
+            }
         }
+    }
+
+    /// Verify every secondary index in every table against its row image.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        for t in self.tables() {
+            t.verify_indexes()?;
+        }
+        Ok(())
+    }
+
+    /// The table owning an index with this (case-insensitive) name, if any.
+    pub fn find_index_owner(&self, index_name: &str) -> Option<&TableData> {
+        self.tables()
+            .find(|t| t.def.index_pos(index_name).is_some())
     }
 }
 
@@ -524,6 +646,22 @@ impl StoreSnapshot {
         let mut names: Vec<String> = self.parts.iter().flat_map(|p| p.proc_names()).collect();
         names.sort();
         names
+    }
+
+    /// The table owning an index with this (case-insensitive) name, if any.
+    /// Index names are not partition-routable, so this searches every shard.
+    pub fn find_index_owner(&self, index_name: &str) -> Option<&TableData> {
+        self.parts
+            .iter()
+            .find_map(|p| p.find_index_owner(index_name))
+    }
+
+    /// Verify every secondary index in every table against its row image.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        for p in &self.parts {
+            p.verify_indexes()?;
+        }
+        Ok(())
     }
 }
 
@@ -762,6 +900,105 @@ mod tests {
         assert_eq!(snap.proc("PHOENIX.P"), Some("SELECT 1"));
         assert!(!snap.has_table("dbo.nope"));
         assert_eq!(snap.table_names().len(), 4);
+    }
+
+    #[test]
+    fn secondary_index_tracks_dml() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        t.create_index("c_name", 1).unwrap();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::Text("x".into())])
+            .unwrap();
+        let c = t
+            .insert(vec![Value::Int(3), Value::Text("y".into())])
+            .unwrap();
+        let ix = t.sec_index(0);
+        assert_eq!(
+            ix[&Value::Text("x".into())],
+            BTreeSet::from([a, b]),
+            "non-unique bucket holds both rows"
+        );
+        t.update(b, vec![Value::Int(2), Value::Text("y".into())])
+            .unwrap();
+        assert_eq!(
+            t.sec_index(0)[&Value::Text("x".into())],
+            BTreeSet::from([a])
+        );
+        assert_eq!(
+            t.sec_index(0)[&Value::Text("y".into())],
+            BTreeSet::from([b, c])
+        );
+        t.delete(a).unwrap();
+        assert!(
+            !t.sec_index(0).contains_key(&Value::Text("x".into())),
+            "empty buckets are pruned"
+        );
+        t.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut t = TableData::new(keyed_def("dbo.c"));
+        t.insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        t.create_index("c_name", 1).unwrap();
+        assert_eq!(t.sec_index(0).len(), 2);
+        assert!(t.sec_index(0).contains_key(&Value::Null));
+        t.verify_indexes().unwrap();
+        assert!(matches!(
+            t.create_index("C_NAME", 0),
+            Err(StoreError::IndexExists(_))
+        ));
+        let dropped = t.drop_index("c_name").unwrap();
+        assert_eq!(dropped.column, 1);
+        assert!(t.sec.is_empty());
+        assert!(matches!(
+            t.drop_index("c_name"),
+            Err(StoreError::NoSuchIndex(_))
+        ));
+    }
+
+    #[test]
+    fn apply_replays_index_ddl() {
+        let mut s = Store::new();
+        s.create_table(keyed_def("dbo.t")).unwrap();
+        s.apply(&LogRecord::Insert {
+            txn: 1,
+            table: "dbo.t".into(),
+            row_id: 1,
+            row: vec![Value::Int(1), Value::Text("a".into())],
+        })
+        .unwrap();
+        s.apply(&LogRecord::CreateIndex {
+            txn: 2,
+            table: "dbo.t".into(),
+            name: "t_name".into(),
+            column: 1,
+        })
+        .unwrap();
+        // DML after the barrier maintains the recovered index.
+        s.apply(&LogRecord::Insert {
+            txn: 3,
+            table: "dbo.t".into(),
+            row_id: 2,
+            row: vec![Value::Int(2), Value::Text("b".into())],
+        })
+        .unwrap();
+        let t = s.table("dbo.t").unwrap();
+        assert_eq!(t.sec_index(0).len(), 2);
+        s.verify_indexes().unwrap();
+        assert!(s.find_index_owner("T_NAME").is_some());
+        s.apply(&LogRecord::DropIndex {
+            txn: 4,
+            table: "dbo.t".into(),
+            name: "t_name".into(),
+        })
+        .unwrap();
+        assert!(s.find_index_owner("t_name").is_none());
     }
 
     #[test]

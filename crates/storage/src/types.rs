@@ -396,7 +396,23 @@ impl Schema {
     }
 }
 
-/// The full definition of a base table: name, schema and primary key.
+/// A secondary index over one column of a table.
+///
+/// Indexes are part of the table definition (and therefore of the snapshot
+/// and every WAL `CreateTable` record that carries the def); the index *data*
+/// — the ordered map from column value to row ids — lives in `TableData` and
+/// is rebuilt deterministically from the rows, which is what makes REDO-only
+/// recovery from the existing DML log sufficient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within the table's store.
+    pub name: String,
+    /// Index (into `schema.columns`) of the indexed column.
+    pub column: usize,
+}
+
+/// The full definition of a base table: name, schema, primary key and
+/// secondary indexes.
 ///
 /// `name` is the fully qualified name (`namespace.table`); the default
 /// namespace is `dbo`, Phoenix's private objects live under `phoenix`, and
@@ -412,6 +428,8 @@ pub struct TableDef {
     /// the table has no declared key. Keyset and dynamic server cursors
     /// require a non-empty key, as with real ODBC drivers.
     pub primary_key: Vec<usize>,
+    /// Secondary indexes, in creation order.
+    pub indexes: Vec<IndexDef>,
 }
 
 impl TableDef {
@@ -421,6 +439,7 @@ impl TableDef {
             name: name.into(),
             schema,
             primary_key: Vec::new(),
+            indexes: Vec::new(),
         }
     }
 
@@ -438,6 +457,18 @@ impl TableDef {
     /// Does the table declare a primary key?
     pub fn has_primary_key(&self) -> bool {
         !self.primary_key.is_empty()
+    }
+
+    /// Position of the named secondary index, if it exists.
+    pub fn index_pos(&self, name: &str) -> Option<usize> {
+        self.indexes
+            .iter()
+            .position(|ix| ix.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Position of a secondary index over `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<usize> {
+        self.indexes.iter().position(|ix| ix.column == column)
     }
 }
 
